@@ -1,0 +1,148 @@
+//! Criterion benches over the same entry points the experiment binaries
+//! use — one group per paper artifact, plus substrate microbenches.
+//!
+//! Absolute wall-clock here measures the *simulator*, not the 2003
+//! testbed; the regenerated tables/figures come from the `exp_*`
+//! binaries. These benches guard the harness's own performance and give
+//! `cargo bench --workspace` one target per table and figure.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use soda_bench::experiments::{download, fig4, fig5, fig6, placement, table2, table4};
+use soda_core::policy::{SwitchPolicy, WeightedRoundRobin};
+use soda_core::switch::ServiceSwitch;
+use soda_core::service::ServiceId;
+use soda_hostos::sched::{water_fill, CpuScheduler, ProportionalShareScheduler, TimeShareScheduler};
+use soda_net::link::{LinkSpec, ProcessorSharingLink};
+use soda_sim::{SimDuration, SimTime};
+use soda_vmm::intercept::InterceptCostModel;
+use soda_vmm::vsn::VsnId;
+use soda_workload::datasets::{FIG4_SWEEP, FIG6_SWEEP};
+use soda_workload::loads::Fig5Workload;
+
+fn bench_table2_bootstrap(c: &mut Criterion) {
+    c.bench_function("table2/bootstrap_model_all_rows", |b| {
+        b.iter(|| black_box(table2::run()))
+    });
+}
+
+fn bench_table4_syscalls(c: &mut Criterion) {
+    let model = InterceptCostModel::new();
+    c.bench_function("table4/intercept_model_all_rows", |b| {
+        b.iter(|| black_box(table4::run()))
+    });
+    c.bench_function("table4/uml_cycles_single_call", |b| {
+        b.iter(|| black_box(model.uml_cycles(soda_hostos::syscall::Syscall::Getpid)))
+    });
+}
+
+fn bench_fig4_point(c: &mut Criterion) {
+    c.bench_function("fig4/one_sweep_point_20s_load", |b| {
+        b.iter(|| black_box(fig4::run_point(&FIG4_SWEEP[0], 20, 1)))
+    });
+}
+
+fn bench_fig5_schedulers(c: &mut Criterion) {
+    c.bench_function("fig5/stock_scheduler_10s", |b| {
+        b.iter(|| black_box(fig5::run_stock(10, 1)))
+    });
+    c.bench_function("fig5/proportional_scheduler_10s", |b| {
+        b.iter(|| black_box(fig5::run_proportional(10, 1)))
+    });
+    // Single-tick allocation microbenches.
+    let mut workload = Fig5Workload::standard(1);
+    let procs = workload.tick();
+    c.bench_function("fig5/timeshare_allocate_tick", |b| {
+        let mut s = TimeShareScheduler::new();
+        b.iter(|| black_box(s.allocate(&procs)))
+    });
+    c.bench_function("fig5/propshare_allocate_tick", |b| {
+        let mut s = ProportionalShareScheduler::new(100);
+        b.iter(|| black_box(s.allocate(&procs)))
+    });
+}
+
+fn bench_fig6_cell(c: &mut Criterion) {
+    c.bench_function("fig6/one_cell_40_requests", |b| {
+        b.iter(|| {
+            black_box(fig6::run_cell(
+                fig6::Scenario::VsnWithSwitch,
+                &FIG6_SWEEP[0],
+                40,
+                1,
+            ))
+        })
+    });
+}
+
+fn bench_download(c: &mut Criterion) {
+    c.bench_function("download/six_image_sweep", |b| b.iter(|| black_box(download::run())));
+}
+
+fn bench_placement(c: &mut Criterion) {
+    c.bench_function("placement/ablation_6_hosts_20_requests", |b| {
+        b.iter(|| black_box(placement::run(6, 20, 7)))
+    });
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    // The switch's routing hot path.
+    c.bench_function("substrate/switch_route_complete", |b| {
+        let mut sw = ServiceSwitch::new(ServiceId(1), VsnId(1));
+        sw.add_backend(VsnId(1), "10.0.0.1".parse().expect("valid"), 80, 2);
+        sw.add_backend(VsnId(2), "10.0.0.2".parse().expect("valid"), 80, 1);
+        b.iter(|| {
+            let i = sw.route().expect("healthy");
+            sw.complete(i, SimDuration::from_millis(5));
+        })
+    });
+    // Smooth WRR pick alone.
+    c.bench_function("substrate/wrr_pick_8_backends", |b| {
+        let mut p = WeightedRoundRobin::new();
+        let views: Vec<soda_core::policy::BackendView> = (0..8)
+            .map(|i| soda_core::policy::BackendView {
+                capacity: i + 1,
+                healthy: true,
+                outstanding: 0,
+                ewma_response: 0.0,
+            })
+            .collect();
+        b.iter(|| black_box(p.pick(&views)))
+    });
+    // Water-filling.
+    c.bench_function("substrate/water_fill_32_items", |b| {
+        let weights: Vec<f64> = (1..=32).map(|i| i as f64).collect();
+        let demands: Vec<f64> = (1..=32).map(|i| (i % 7) as f64 / 7.0).collect();
+        b.iter(|| black_box(water_fill(1.0, &weights, &demands)))
+    });
+    // Processor-sharing link churn.
+    c.bench_function("substrate/ps_link_100_flows", |b| {
+        b.iter_batched(
+            || ProcessorSharingLink::new(LinkSpec::lan_100mbps()),
+            |mut link| {
+                for i in 0..100u64 {
+                    link.add_flow(50_000 + i * 1000, SimTime::from_millis(i));
+                }
+                link.advance(SimTime::from_secs(3600));
+                black_box(link.take_completed())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_table2_bootstrap,
+        bench_table4_syscalls,
+        bench_fig4_point,
+        bench_fig5_schedulers,
+        bench_fig6_cell,
+        bench_download,
+        bench_placement,
+        bench_substrate
+}
+criterion_main!(benches);

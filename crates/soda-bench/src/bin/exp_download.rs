@@ -1,0 +1,23 @@
+//! Regenerates the §4.3 measurement: service-image download time over
+//! the 100 Mbps LAN grows linearly with image size.
+
+use soda_bench::cells;
+use soda_bench::experiments::download;
+use soda_bench::Table;
+
+fn main() {
+    let rows = download::run();
+    let mut t = Table::new(
+        "Image download time over the 100 Mbps LAN (§4.3)",
+        &["image size", "analytic (s)", "simulated (s)"],
+    );
+    for r in &rows {
+        t.row(cells![
+            format!("{:.1}MB", r.image_bytes as f64 / 1e6),
+            format!("{:.2}", r.analytic_secs),
+            format!("{:.2}", r.simulated_secs),
+        ]);
+    }
+    t.print();
+    println!("linearity R² = {:.6}", download::linearity_r2(&rows));
+}

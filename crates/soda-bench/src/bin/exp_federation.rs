@@ -1,0 +1,13 @@
+//! Extension X-FED (§3.5): federated wide-area HUPs — overflow from a
+//! small home site into peers and the WAN image-shipping cost.
+
+use soda_bench::experiments::federation;
+
+fn main() {
+    let r = federation::run(30);
+    println!("== X-FED — 30 requests preferring the 1-host home site ==");
+    println!("placed at home site   : {}", r.placed_home);
+    println!("placed at remote sites: {}", r.placed_remote);
+    println!("rejected              : {}", r.rejected);
+    println!("mean WAN shipping time: {:.1} s per remote placement", r.mean_wan_secs);
+}

@@ -1,0 +1,55 @@
+//! Regenerates Figure 4: per-node mean response time of the web content
+//! service under weighted-round-robin 2:1 switching, across six dataset
+//! sizes. Sweep points run in parallel (each is an independent
+//! deterministic simulation).
+
+use rayon::prelude::*;
+use soda_bench::cells;
+use soda_bench::experiments::fig4;
+use soda_bench::Table;
+use soda_workload::datasets::FIG4_SWEEP;
+
+fn main() {
+    let measure_secs = 120;
+    let rows: Vec<fig4::Row> = FIG4_SWEEP
+        .par_iter()
+        .map(|p| fig4::run_point(p, measure_secs, 1))
+        .collect();
+    let mut t = Table::new(
+        "Figure 4 — per-node mean response time, WRR 2:1",
+        &[
+            "dataset",
+            "rate (req/s)",
+            "seattle served",
+            "tacoma served",
+            "served ratio",
+            "seattle mean (s)",
+            "tacoma mean (s)",
+            "resp ratio",
+        ],
+    );
+    for r in &rows {
+        t.row(cells![
+            format!("{}kB", r.dataset_bytes / 1000),
+            r.rate_rps,
+            r.seattle_served,
+            r.tacoma_served,
+            format!("{:.2}", r.served_ratio()),
+            format!("{:.4}", r.seattle_mean_secs),
+            format!("{:.4}", r.tacoma_mean_secs),
+            format!("{:.2}", r.response_ratio()),
+        ]);
+    }
+    t.print();
+    println!("paper: served ratio ≈ 2 and response ratio ≈ 1 at every size");
+
+    // Cross-check with siege-faithful closed-loop clients at one point.
+    let c = fig4::run_point_closed(&FIG4_SWEEP[2], 12, measure_secs, 1);
+    println!(
+        "closed-loop cross-check ({}kB, 12 clients): served ratio {:.2}, response ratio {:.2}",
+        c.dataset_bytes / 1000,
+        c.served_ratio(),
+        c.response_ratio()
+    );
+    println!("{}", serde_json::to_string_pretty(&rows).expect("rows serialize"));
+}

@@ -1,0 +1,45 @@
+//! Regenerates Figure 6: application-level slowdown — mean request
+//! response time in (1) a VSN with switch, (2) host OS with switch,
+//! (3) host OS direct, across dataset sizes.
+
+use rayon::prelude::*;
+use soda_bench::cells;
+use soda_bench::experiments::fig6::{self, Scenario};
+use soda_bench::Table;
+use soda_workload::datasets::FIG6_SWEEP;
+
+fn main() {
+    let n_requests = 100;
+    let cells_out: Vec<fig6::Cell> = FIG6_SWEEP
+        .par_iter()
+        .flat_map(|p| {
+            Scenario::ALL
+                .into_par_iter()
+                .map(move |s| fig6::run_cell(s, p, n_requests, 6))
+        })
+        .collect();
+    let mut t = Table::new(
+        "Figure 6 — application-level slow-down (mean response time, s)",
+        &["dataset", "(1) vsn+switch", "(2) host+switch", "(3) host-direct", "slowdown (1)/(3)"],
+    );
+    for p in &FIG6_SWEEP {
+        let get = |sc: Scenario| {
+            cells_out
+                .iter()
+                .find(|c| c.scenario == sc && c.dataset_bytes == p.dataset_bytes)
+                .map(|c| c.mean_secs)
+                .unwrap_or(0.0)
+        };
+        let c1 = get(Scenario::VsnWithSwitch);
+        let c3 = get(Scenario::HostDirect);
+        t.row(cells![
+            format!("{}kB", p.dataset_bytes / 1000),
+            format!("{:.4}", c1),
+            format!("{:.4}", get(Scenario::HostWithSwitch)),
+            format!("{:.4}", c3),
+            format!("{:.2}x", c1 / c3),
+        ]);
+    }
+    t.print();
+    println!("paper: (1) > (2) > (3); the factor is far below Table 4's ~22x and ~flat in size");
+}

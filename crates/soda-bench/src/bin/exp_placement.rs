@@ -1,0 +1,33 @@
+//! Extension X-PLC: placement-policy ablation — admission yield, node
+//! fan-out and load balance of first-fit / best-fit / worst-fit on the
+//! same randomized request stream.
+
+use soda_bench::cells;
+use soda_bench::experiments::placement;
+use soda_bench::Table;
+
+fn main() {
+    for (label, requests) in [("partial fill, 6 requests", 6u32), ("saturating, 40 requests", 40)] {
+        let results = placement::run(8, requests, 7);
+        let mut t = Table::new(
+            format!("X-PLC — placement ablation (8 hosts, {label}, n ∈ 1..=4)"),
+            &["policy", "admitted", "rejected", "instances", "nodes", "cpu-util std"],
+        );
+        for r in &results {
+            t.row(cells![
+                r.policy,
+                r.admitted,
+                r.rejected,
+                r.instances_placed,
+                r.nodes_created,
+                format!("{:.4}", r.cpu_util_std),
+            ]);
+        }
+        t.print();
+        println!();
+    }
+    println!("worst-fit (the Master's default) trades node fan-out (more, smaller nodes)");
+    println!("for balance; at partial fill its utilisation spread is the lowest, and");
+    println!("first-fit leaves whole hosts idle. Admission yield converges at saturation");
+    println!("because SODA services may span hosts (§3.2's one-node-per-host granularity).");
+}

@@ -1,0 +1,27 @@
+//! Extension X-RSZ: `SODA_service_resizing` — correctness and cost of a
+//! grow/shrink schedule.
+
+use soda_bench::cells;
+use soda_bench::experiments::resize;
+use soda_bench::Table;
+
+fn main() {
+    let steps = resize::run(&[1, 2, 3, 5, 3, 1], 1);
+    let mut t = Table::new(
+        "X-RSZ — resize schedule 1 → 2 → 3 → 5 → 3 → 1 instances",
+        &["target n", "placed", "nodes", "in-place", "removed", "added", "added bootstrap (s)"],
+    );
+    for s in &steps {
+        t.row(cells![
+            s.target_instances,
+            s.placed_after,
+            s.nodes_after,
+            s.in_place,
+            s.removed,
+            s.added,
+            format!("{:.2}", s.added_bootstrap_secs),
+        ]);
+    }
+    t.print();
+    println!("in-place resizes are instant; only freshly placed nodes pay a bootstrap");
+}

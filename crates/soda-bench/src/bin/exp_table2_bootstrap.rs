@@ -1,0 +1,55 @@
+//! Regenerates Table 2: service bootstrapping time for four application
+//! services on *seattle* and *tacoma*, with the seattle stage breakdown.
+
+use soda_bench::cells;
+use soda_bench::experiments::table2;
+use soda_bench::Table;
+
+fn main() {
+    let rows = table2::run();
+    let mut t = Table::new(
+        "Table 2 — service bootstrapping time",
+        &[
+            "App. service",
+            "Linux configuration",
+            "Image size",
+            "Time (seattle)",
+            "Time (tacoma)",
+            "paper (seattle)",
+            "paper (tacoma)",
+        ],
+    );
+    for (row, (_, ps, pt)) in rows.iter().zip(table2::PAPER_SECONDS) {
+        t.row(cells![
+            row.service,
+            row.linux_configuration,
+            format!("{:.1}MB", row.image_bytes as f64 / 1e6),
+            format!("{:.1} sec.", row.seattle_secs),
+            format!("{:.1} sec.", row.tacoma_secs),
+            format!("{ps:.1} sec."),
+            format!("{pt:.1} sec."),
+        ]);
+    }
+    t.print();
+
+    let mut stages = Table::new(
+        "seattle stage breakdown (seconds)",
+        &["service", "customize", "mount", "kernel", "services", "app"],
+    );
+    for row in &rows {
+        let s = row.seattle_stages;
+        stages.row(cells![
+            row.service,
+            format!("{:.2}", s[0]),
+            format!("{:.2}", s[1]),
+            format!("{:.2}", s[2]),
+            format!("{:.2}", s[3]),
+            format!("{:.2}", s[4]),
+        ]);
+    }
+    stages.print();
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&rows).expect("rows serialize")
+    );
+}

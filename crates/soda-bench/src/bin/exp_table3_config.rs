@@ -1,0 +1,45 @@
+//! Regenerates Table 3: the service configuration file the SODA Master
+//! writes after priming `<3, M>` over the testbed.
+
+use soda_core::master::SodaMaster;
+use soda_core::service::ServiceSpec;
+use soda_hostos::resources::ResourceVector;
+use soda_hup::daemon::SodaDaemon;
+use soda_hup::host::{HostId, HupHost};
+use soda_net::pool::IpPool;
+use soda_sim::SimTime;
+use soda_vmm::rootfs::RootFsCatalog;
+use soda_vmm::sysservices::StartupClass;
+
+fn main() {
+    let mut master = SodaMaster::new();
+    let mut daemons = vec![
+        SodaDaemon::new(HupHost::seattle(
+            HostId(1),
+            // The paper's published address range.
+            IpPool::new("128.10.9.125".parse().expect("valid"), 1),
+        )),
+        SodaDaemon::new(HupHost::tacoma(
+            HostId(2),
+            IpPool::new("128.10.9.126".parse().expect("valid"), 1),
+        )),
+    ];
+    let spec = ServiceSpec {
+        name: "web".into(),
+        image: RootFsCatalog::new().base_1_0(),
+        required_services: vec!["network", "syslogd"],
+        app_class: StartupClass::Light,
+        instances: 3,
+        machine: ResourceVector::TABLE1_EXAMPLE,
+        port: 8080,
+    };
+    let reply = master
+        .create_service_now(spec, "webco", &mut daemons, SimTime::ZERO)
+        .expect("admitted");
+    println!("== Table 3 — service configuration file (<3, M> over two nodes) ==");
+    print!("{}", master.switch(reply.service).expect("switch").config());
+    println!();
+    println!("paper:");
+    println!("BackEnd 128.10.9.125 8080 2");
+    println!("BackEnd 128.10.9.126 8080 1");
+}

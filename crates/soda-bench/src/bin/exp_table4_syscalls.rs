@@ -1,0 +1,37 @@
+//! Regenerates Table 4: system-call completion cycles in UML vs the
+//! host OS.
+
+use soda_bench::cells;
+use soda_bench::experiments::table4;
+use soda_bench::Table;
+
+fn main() {
+    let rows = table4::run();
+    let mut t = Table::new(
+        "Table 4 — syscall slow-down (clock cycles)",
+        &["System call", "in UML", "in host OS", "penalty", "paper UML", "paper host"],
+    );
+    for (row, (_, pu, ph)) in rows.iter().zip(table4::PAPER_CYCLES) {
+        t.row(cells![
+            row.call,
+            row.uml_cycles,
+            row.host_cycles,
+            format!("{:.1}x", row.penalty),
+            pu,
+            ph,
+        ]);
+    }
+    t.print();
+
+    // Ablation: UML's later "skas" mode halves the interception traffic.
+    let skas = table4::run_mode(soda_vmm::intercept::UmlMode::Skas);
+    let mut t2 = Table::new(
+        "ablation — skas mode (post-2003 UML)",
+        &["System call", "in UML (skas)", "penalty"],
+    );
+    for row in &skas {
+        t2.row(cells![row.call, row.uml_cycles, format!("{:.1}x", row.penalty)]);
+    }
+    t2.print();
+    println!("{}", serde_json::to_string_pretty(&rows).expect("rows serialize"));
+}

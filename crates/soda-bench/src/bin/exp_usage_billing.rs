@@ -1,0 +1,26 @@
+//! Extension X-BILL: reservation-based vs usage-based billing over the
+//! Figure 5 node mix.
+
+use soda_bench::cells;
+use soda_bench::experiments::usage_billing;
+use soda_bench::Table;
+
+fn main() {
+    let rows = usage_billing::run(3600, 60.0, 11);
+    let mut t = Table::new(
+        "X-BILL — one host-hour of the web/comp/log mix at 60 units/CPU-hour",
+        &["node", "CPU-seconds used", "reserved bill", "usage bill"],
+    );
+    for r in &rows {
+        t.row(cells![
+            r.node,
+            format!("{:.0}", r.used_cpu_secs),
+            format!("{:.2}", r.reserved_bill),
+            format!("{:.2}", r.usage_bill),
+        ]);
+    }
+    t.print();
+    println!("under full overload the work-conserving proportional scheduler keeps usage");
+    println!("near the equal shares, so the two models nearly agree; the gap opens when a");
+    println!("tenant idles — its reserved bill stays flat while its usage bill drops");
+}

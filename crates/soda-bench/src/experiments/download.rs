@@ -1,0 +1,85 @@
+//! §4.3's measurement: image download time over the 100 Mbps LAN
+//! "grows linearly with the size of the service image".
+//!
+//! Two measurements are reported per size: the analytic uncontended
+//! time, and the time observed in the full event-driven world (download
+//! as a NIC flow), which validates the pipeline against the closed form.
+
+use serde::Serialize;
+use soda_net::http::HttpModel;
+use soda_net::link::{LinkSpec, ProcessorSharingLink};
+use soda_sim::SimTime;
+
+/// One sweep point.
+#[derive(Clone, Debug, Serialize)]
+pub struct Row {
+    /// Image size, bytes.
+    pub image_bytes: u64,
+    /// Closed-form uncontended download seconds.
+    pub analytic_secs: f64,
+    /// Seconds measured through the flow-level link model.
+    pub simulated_secs: f64,
+}
+
+/// Image sizes swept (covers the Table 2 images and beyond).
+pub const SIZES: [u64; 6] =
+    [15_000_000, 29_300_000, 60_000_000, 120_000_000, 253_000_000, 400_000_000];
+
+/// Reproduce the measurement.
+pub fn run() -> Vec<Row> {
+    let http = HttpModel::new();
+    let lan = LinkSpec::lan_100mbps();
+    SIZES
+        .iter()
+        .map(|&bytes| {
+            let analytic = http.download_time(bytes, &lan).as_secs_f64();
+            // Through the fluid link: one flow, full rate.
+            let mut link = ProcessorSharingLink::new(lan);
+            link.add_flow(http.download_bytes(bytes), SimTime::ZERO);
+            link.advance(SimTime::from_secs(3_600));
+            let (_, finish) = link.take_completed()[0];
+            let simulated = (finish + lan.latency).as_secs_f64();
+            Row { image_bytes: bytes, analytic_secs: analytic, simulated_secs: simulated }
+        })
+        .collect()
+}
+
+/// Least-squares linearity check: returns the R² of seconds ~ bytes.
+pub fn linearity_r2(rows: &[Row]) -> f64 {
+    let xs: Vec<f64> = rows.iter().map(|r| r.image_bytes as f64).collect();
+    let ys: Vec<f64> = rows.iter().map(|r| r.simulated_secs).collect();
+    soda_sim::stats::linear_fit(&xs, &ys).map(|f| f.r2).unwrap_or(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn download_time_is_linear_in_size() {
+        let rows = run();
+        assert_eq!(rows.len(), SIZES.len());
+        let r2 = linearity_r2(&rows);
+        assert!(r2 > 0.9999, "R² = {r2}");
+        // Monotone.
+        for w in rows.windows(2) {
+            assert!(w[1].simulated_secs > w[0].simulated_secs);
+        }
+    }
+
+    #[test]
+    fn simulated_matches_analytic() {
+        for r in run() {
+            let rel = (r.simulated_secs - r.analytic_secs).abs() / r.analytic_secs;
+            assert!(rel < 0.01, "{} bytes: sim {} vs analytic {}", r.image_bytes, r.simulated_secs, r.analytic_secs);
+        }
+    }
+
+    #[test]
+    fn magnitudes_sane_for_100mbps() {
+        // 400 MB at ~100 Mbps with 3% framing ≈ 33 s.
+        let rows = run();
+        let last = rows.last().unwrap();
+        assert!((30.0..40.0).contains(&last.simulated_secs), "{}", last.simulated_secs);
+    }
+}

@@ -1,0 +1,96 @@
+//! X-FED — federated wide-area HUPs (§3.5): demand overflow from a
+//! small preferred site into peers, and the WAN image-shipping cost
+//! paid for remote placement.
+
+use serde::Serialize;
+use soda_core::federation::{Federation, Site, SiteId};
+use soda_core::master::SodaMaster;
+use soda_core::service::ServiceSpec;
+use soda_hostos::resources::ResourceVector;
+use soda_hup::daemon::SodaDaemon;
+use soda_hup::host::{HostId, HupHost};
+use soda_net::link::LinkSpec;
+use soda_net::pool::IpPool;
+use soda_sim::{SimDuration, SimTime};
+use soda_vmm::rootfs::RootFsCatalog;
+use soda_vmm::sysservices::StartupClass;
+
+/// Outcome of the overflow experiment.
+#[derive(Clone, Debug, Serialize)]
+pub struct FederationResult {
+    /// Requests placed at the preferred (home) site.
+    pub placed_home: u32,
+    /// Requests placed at a remote site.
+    pub placed_remote: u32,
+    /// Requests rejected federation-wide.
+    pub rejected: u32,
+    /// Mean extra creation seconds paid by remote placements (WAN
+    /// shipping).
+    pub mean_wan_secs: f64,
+}
+
+fn site(id: u32, hosts: u32) -> Site {
+    let daemons = (0..hosts)
+        .map(|i| {
+            SodaDaemon::new(HupHost::seattle(
+                HostId(id * 100 + i),
+                IpPool::new(format!("10.{id}.{i}.0").parse().expect("valid"), 16),
+            ))
+        })
+        .collect();
+    Site { id: SiteId(id), name: format!("site{id}"), master: SodaMaster::new(), daemons }
+}
+
+/// Offer `requests` single-instance services to a small home site
+/// federated with two larger peers.
+pub fn run(requests: u32) -> FederationResult {
+    let mut fed = Federation::new(vec![site(1, 1), site(2, 2), site(3, 3)]);
+    fed.connect(SiteId(1), SiteId(2), LinkSpec::wan(20.0, SimDuration::from_millis(25)));
+    fed.connect(SiteId(1), SiteId(3), LinkSpec::wan(20.0, SimDuration::from_millis(70)));
+    let image = RootFsCatalog::new().base_1_0();
+    let mut placed_home = 0;
+    let mut placed_remote = 0;
+    let mut rejected = 0;
+    let mut wan_total = 0.0;
+    for i in 0..requests {
+        let spec = ServiceSpec {
+            name: format!("svc{i}"),
+            image: image.clone(),
+            required_services: vec!["network"],
+            app_class: StartupClass::Light,
+            instances: 1,
+            machine: ResourceVector::TABLE1_EXAMPLE,
+            port: 8080,
+        };
+        match fed.create_service(spec, "asp", SiteId(1), SimTime::ZERO) {
+            Ok(r) if r.site == SiteId(1) => placed_home += 1,
+            Ok(r) => {
+                placed_remote += 1;
+                wan_total += r.wan_transfer.as_secs_f64();
+            }
+            Err(_) => rejected += 1,
+        }
+    }
+    FederationResult {
+        placed_home,
+        placed_remote,
+        rejected,
+        mean_wan_secs: if placed_remote > 0 { wan_total / placed_remote as f64 } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overflow_spills_to_peers_then_rejects() {
+        let r = run(30);
+        assert!(r.placed_home >= 1, "home site takes some");
+        assert!(r.placed_remote > r.placed_home, "most overflow to the bigger peers");
+        assert!(r.rejected > 0, "eventually the federation fills");
+        assert_eq!(r.placed_home + r.placed_remote + r.rejected, 30);
+        // 29.3 MB at 20 Mbps ≈ 12 s of WAN shipping.
+        assert!((8.0..20.0).contains(&r.mean_wan_secs), "wan {}", r.mean_wan_secs);
+    }
+}

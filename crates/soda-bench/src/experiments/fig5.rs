@@ -1,0 +1,182 @@
+//! Figure 5 — CPU shares versus time for the *web*/*comp*/*log* nodes
+//! under (a) unmodified Linux and (b) SODA's proportional-share
+//! scheduler.
+//!
+//! "Each of the three virtual service nodes is allocated an *equal*
+//! share of the CPU. However, their loads are *higher* than their
+//! respective shares. … the 'equal-share' isolation between the virtual
+//! service nodes is better enforced by our enhanced host OS."
+
+use serde::Serialize;
+use soda_hostos::process::Uid;
+use soda_hostos::sched::{
+    CpuScheduler, LotteryScheduler, ProportionalShareScheduler, TimeShareScheduler,
+};
+use soda_sim::{SimDuration, SimTime, WindowedMean};
+use soda_workload::loads::Fig5Workload;
+
+/// Scheduler tick (Linux 2.4's 10 ms jiffy scale).
+pub const TICK: SimDuration = SimDuration::from_millis(10);
+
+/// One node's share trajectory and summary.
+#[derive(Clone, Debug, Serialize)]
+pub struct NodeSeries {
+    /// Node label (`web`/`comp`/`log`).
+    pub label: &'static str,
+    /// Per-second mean CPU share, in time order.
+    pub shares: Vec<f64>,
+    /// Mean share over the run.
+    pub mean: f64,
+    /// Standard deviation of the per-second shares.
+    pub std_dev: f64,
+}
+
+/// Result of one scheduler run.
+#[derive(Clone, Debug, Serialize)]
+pub struct SchedulerRun {
+    /// Which scheduler.
+    pub scheduler: &'static str,
+    /// Per-node series (web, comp, log order).
+    pub nodes: Vec<NodeSeries>,
+}
+
+impl SchedulerRun {
+    /// Maximum deviation of any node's mean share from the fair 1/3.
+    pub fn max_mean_deviation(&self) -> f64 {
+        self.nodes.iter().map(|n| (n.mean - 1.0 / 3.0).abs()).fold(0.0, f64::max)
+    }
+}
+
+fn run_one(mut sched: Box<dyn CpuScheduler>, name: &'static str, secs: u64, seed: u64) -> SchedulerRun {
+    let mut workload = Fig5Workload::standard(seed);
+    let uids = workload.uids();
+    let labels = ["web", "comp", "log"];
+    let mut windows: Vec<WindowedMean> =
+        (0..3).map(|_| WindowedMean::new(SimDuration::from_secs(1))).collect();
+    let ticks = secs * 1_000 / TICK.as_millis();
+    let mut now = SimTime::ZERO;
+    for _ in 0..ticks {
+        let procs = workload.tick();
+        let grants = sched.allocate(&procs);
+        for (i, uid) in uids.iter().enumerate() {
+            let share: f64 = procs
+                .iter()
+                .zip(grants.iter())
+                .filter(|(p, _)| p.uid == *uid)
+                .map(|(_, g)| *g)
+                .sum();
+            windows[i].record(now, share);
+        }
+        now += TICK;
+    }
+    let nodes = windows
+        .into_iter()
+        .enumerate()
+        .map(|(i, w)| {
+            // Close at the last recorded instant so no empty trailing
+            // window is emitted (`now` sits exactly on a boundary).
+            let shares: Vec<f64> = w
+                .finish(now - SimDuration::from_nanos(1))
+                .into_iter()
+                .map(|(_, v)| v)
+                .collect();
+            let mean = shares.iter().sum::<f64>() / shares.len().max(1) as f64;
+            let var = shares.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
+                / shares.len().max(1) as f64;
+            NodeSeries { label: labels[i], shares, mean, std_dev: var.sqrt() }
+        })
+        .collect();
+    SchedulerRun { scheduler: name, nodes }
+}
+
+/// Figure 5(a): the stock time-share scheduler.
+pub fn run_stock(secs: u64, seed: u64) -> SchedulerRun {
+    run_one(Box::new(TimeShareScheduler::new()), "unmodified-linux", secs, seed)
+}
+
+/// Figure 5(b): SODA's proportional-share scheduler with equal shares.
+pub fn run_proportional(secs: u64, seed: u64) -> SchedulerRun {
+    let mut s = ProportionalShareScheduler::new(100);
+    for uid in [Uid(1), Uid(2), Uid(3)] {
+        s.set_share(uid, 100);
+    }
+    run_one(Box::new(s), "soda-proportional", secs, seed)
+}
+
+/// Ablation: lottery scheduling with equal tickets — same mean shares as
+/// the deterministic proportional scheduler, higher variance.
+pub fn run_lottery(secs: u64, seed: u64) -> SchedulerRun {
+    let mut s = LotteryScheduler::new(100, seed.wrapping_add(0x107e47));
+    for uid in [Uid(1), Uid(2), Uid(3)] {
+        s.set_share(uid, 100);
+    }
+    run_one(Box::new(s), "lottery", secs, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportional_holds_thirds_stock_skews() {
+        let stock = run_stock(30, 42);
+        let prop = run_proportional(30, 42);
+        // (b): every node's mean within 2% of 1/3.
+        assert!(prop.max_mean_deviation() < 0.02, "prop dev {}", prop.max_mean_deviation());
+        // (a): visibly unequal — comp (3 spinners) hogs well over 1/3.
+        let comp = &stock.nodes[1];
+        assert!(comp.mean > 0.45, "stock comp mean {}", comp.mean);
+        assert!(stock.max_mean_deviation() > 0.10, "stock dev {}", stock.max_mean_deviation());
+        // Same workload, so the contrast is the scheduler's doing.
+        assert_eq!(stock.nodes.len(), 3);
+        assert_eq!(prop.nodes.len(), 3);
+    }
+
+    #[test]
+    fn work_conservation_under_overload() {
+        // All three nodes demand > 1/3, so total granted ≈ 1 per tick,
+        // i.e. per-second shares sum to ≈ 1.
+        for run in [run_stock(10, 7), run_proportional(10, 7)] {
+            let n = run.nodes[0].shares.len();
+            for t in 0..n {
+                let total: f64 = run.nodes.iter().map(|s| s.shares[t]).sum();
+                assert!((total - 1.0).abs() < 1e-6, "{} t={t} total {total}", run.scheduler);
+            }
+        }
+    }
+
+    #[test]
+    fn series_length_matches_duration() {
+        let r = run_proportional(15, 1);
+        for n in &r.nodes {
+            assert!((15..=16).contains(&n.shares.len()), "{}", n.shares.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run_stock(10, 3);
+        let b = run_stock(10, 3);
+        assert_eq!(a.nodes[0].shares, b.nodes[0].shares);
+        let c = run_stock(10, 4);
+        assert_ne!(a.nodes[0].shares, c.nodes[0].shares);
+    }
+
+    #[test]
+    fn lottery_matches_proportional_mean_with_more_noise() {
+        let lot = run_lottery(30, 5);
+        let prop = run_proportional(30, 5);
+        // Same target: near-equal thirds.
+        assert!(lot.max_mean_deviation() < 0.05, "lottery dev {}", lot.max_mean_deviation());
+        // But the per-second series is noisier than stride's.
+        let noise = |r: &SchedulerRun| {
+            r.nodes.iter().map(|n| n.std_dev).sum::<f64>() / r.nodes.len() as f64
+        };
+        assert!(
+            noise(&lot) > noise(&prop),
+            "lottery {} vs prop {}",
+            noise(&lot),
+            noise(&prop)
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! X-INFL — footnote 2: "we set the slow-down factor to be 1.5".
+//!
+//! Sensitivity of admission yield to the inflation factor: higher
+//! inflation wastes capacity on headroom (fewer services fit); factors
+//! below the *measured* slowdown under-reserve, which would violate the
+//! promised capacity. The experiment sweeps the factor and reports both
+//! the yield and whether the reservation covers the measured need.
+
+use serde::Serialize;
+use soda_core::master::SodaMaster;
+use soda_core::service::ServiceSpec;
+use soda_hostos::resources::ResourceVector;
+use soda_hup::daemon::SodaDaemon;
+use soda_hup::host::{HostId, HupHost};
+use soda_net::pool::IpPool;
+use soda_sim::SimTime;
+use soda_vmm::intercept::{InterceptCostModel, SlowdownFactors};
+use soda_vmm::rootfs::RootFsCatalog;
+use soda_vmm::sysservices::StartupClass;
+
+/// One sweep point.
+#[derive(Clone, Debug, Serialize)]
+pub struct Row {
+    /// The inflation factor in force at admission.
+    pub factor: f64,
+    /// Single-instance services admitted before the HUP fills.
+    pub admitted: u32,
+    /// Does the reservation cover the measured web-workload slowdown?
+    pub covers_measured: bool,
+}
+
+/// The factors swept.
+pub const FACTORS: [f64; 5] = [1.0, 1.2, 1.5, 2.0, 3.0];
+
+/// Run the sweep.
+pub fn run() -> Vec<Row> {
+    let measured = SlowdownFactors::measured_web(&InterceptCostModel::new()).cpu;
+    FACTORS
+        .iter()
+        .map(|&factor| {
+            let mut master = SodaMaster::new();
+            master.slowdown_inflation = factor;
+            let mut daemons = vec![
+                SodaDaemon::new(HupHost::seattle(
+                    HostId(1),
+                    IpPool::new("10.0.0.0".parse().expect("valid"), 32),
+                )),
+                SodaDaemon::new(HupHost::tacoma(
+                    HostId(2),
+                    IpPool::new("10.0.1.0".parse().expect("valid"), 32),
+                )),
+            ];
+            let image = RootFsCatalog::new().base_1_0();
+            let mut admitted = 0u32;
+            loop {
+                let spec = ServiceSpec {
+                    name: format!("svc{admitted}"),
+                    image: image.clone(),
+                    required_services: vec!["network"],
+                    app_class: StartupClass::Light,
+                    instances: 1,
+                    machine: ResourceVector::TABLE1_EXAMPLE,
+                    port: 8080,
+                };
+                if master.create_service_now(spec, "asp", &mut daemons, SimTime::ZERO).is_err() {
+                    break;
+                }
+                admitted += 1;
+                if admitted > 1000 {
+                    unreachable!("HUP capacity is finite");
+                }
+            }
+            Row { factor, admitted, covers_measured: factor >= measured }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yield_is_monotone_decreasing_in_factor() {
+        let rows = run();
+        assert_eq!(rows.len(), FACTORS.len());
+        for w in rows.windows(2) {
+            assert!(w[1].admitted <= w[0].admitted, "{w:?}");
+        }
+        // Some spread must exist between no inflation and 3×.
+        assert!(rows[0].admitted > rows.last().unwrap().admitted);
+    }
+
+    #[test]
+    fn paper_factor_covers_measured_slowdown() {
+        let rows = run();
+        let at_1_5 = rows.iter().find(|r| r.factor == 1.5).unwrap();
+        assert!(at_1_5.covers_measured, "1.5 must cover the ~1.19 measured factor");
+        let at_1_0 = rows.iter().find(|r| r.factor == 1.0).unwrap();
+        assert!(!at_1_0.covers_measured, "no inflation under-reserves");
+    }
+}

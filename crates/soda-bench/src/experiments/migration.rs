@@ -1,0 +1,125 @@
+//! X-MIG — virtual-service-node migration (an extension the paper's
+//! resizing machinery makes natural): replace a node on one host with a
+//! fresh one on another, shipping the guest's memory image across the
+//! LAN. Make-before-break: the old node serves until the replacement is
+//! up, so the measured cost is total migration *time*, not downtime.
+
+use serde::Serialize;
+use soda_core::master::SodaMaster;
+use soda_core::service::ServiceSpec;
+use soda_hostos::resources::ResourceVector;
+use soda_hup::daemon::SodaDaemon;
+use soda_hup::host::{HostId, HupHost};
+use soda_net::http::HttpModel;
+use soda_net::link::LinkSpec;
+use soda_net::pool::IpPool;
+use soda_sim::SimTime;
+use soda_vmm::rootfs::RootFsCatalog;
+use soda_vmm::sysservices::StartupClass;
+
+/// One migration measurement.
+#[derive(Clone, Debug, Serialize)]
+pub struct Row {
+    /// Guest memory size (the checkpoint), MB.
+    pub mem_mb: u32,
+    /// Checkpoint transfer seconds over the 100 Mbps LAN.
+    pub transfer_secs: f64,
+    /// Replacement bootstrap seconds on the target.
+    pub bootstrap_secs: f64,
+    /// Total migration time.
+    pub total_secs: f64,
+    /// Did the switch stay serviceable throughout (make-before-break)?
+    pub zero_downtime: bool,
+}
+
+/// Sweep guest memory sizes.
+pub fn run(mem_sizes_mb: &[u32]) -> Vec<Row> {
+    let lan = LinkSpec::lan_100mbps();
+    let http = HttpModel::new();
+    mem_sizes_mb
+        .iter()
+        .map(|&mem_mb| {
+            let mut master = SodaMaster::new();
+            let mut daemons = vec![
+                SodaDaemon::new(HupHost::seattle(
+                    HostId(1),
+                    IpPool::new("10.0.0.0".parse().expect("valid"), 8),
+                )),
+                SodaDaemon::new(HupHost::tacoma(
+                    HostId(2),
+                    IpPool::new("10.0.1.0".parse().expect("valid"), 8),
+                )),
+            ];
+            let spec = ServiceSpec {
+                name: "svc".into(),
+                image: RootFsCatalog::new().base_1_0(),
+                required_services: vec!["network", "syslogd"],
+                app_class: StartupClass::Light,
+                instances: 1,
+                machine: ResourceVector::new(512, mem_mb, 1024, 10),
+                port: 8080,
+            };
+            let reply = master
+                .create_service_now(spec, "asp", &mut daemons, SimTime::ZERO)
+                .expect("admitted");
+            let svc = reply.service;
+            let vsn = master.service(svc).expect("exists").nodes[0].vsn;
+            let src = master.service(svc).expect("exists").nodes[0].host;
+            let target = if src == HostId(1) { HostId(2) } else { HostId(1) };
+            let out = master
+                .migrate(svc, vsn, target, &mut daemons, SimTime::ZERO)
+                .expect("migration admitted");
+            // During transfer+bootstrap the old node still routes.
+            let old_serves = {
+                let sw = master.switch_mut(svc).expect("switch");
+                let i = sw.route().expect("old node healthy");
+                let ok = sw.backends()[i].vsn == vsn;
+                sw.complete(i, soda_sim::SimDuration::from_millis(1));
+                ok
+            };
+            let transfer_secs =
+                http.download_time(out.checkpoint_bytes, &lan).as_secs_f64();
+            let bootstrap_secs = out.ticket.timing.total().as_secs_f64();
+            master
+                .complete_migration(&out, &mut daemons, SimTime::from_secs(60))
+                .expect("completes");
+            // After cut-over the new node routes.
+            let new_serves = {
+                let sw = master.switch_mut(svc).expect("switch");
+                let i = sw.route().expect("new node healthy");
+                let ok = sw.backends()[i].vsn == out.new_vsn;
+                sw.complete(i, soda_sim::SimDuration::from_millis(1));
+                ok
+            };
+            Row {
+                mem_mb,
+                transfer_secs,
+                bootstrap_secs,
+                total_secs: transfer_secs + bootstrap_secs,
+                zero_downtime: old_serves && new_serves,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn migration_time_scales_with_memory() {
+        let rows = run(&[128, 256, 512]);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.zero_downtime, "{} MB", r.mem_mb);
+            assert!(r.transfer_secs > 0.0);
+            assert!(r.bootstrap_secs > 1.0);
+        }
+        // Transfer grows ~linearly with the checkpoint.
+        assert!(rows[1].transfer_secs > rows[0].transfer_secs * 1.8);
+        assert!(rows[2].transfer_secs > rows[1].transfer_secs * 1.8);
+        // 256 MB at ~100 Mbps ≈ 21 s.
+        let t = rows[1].transfer_secs;
+        assert!((18.0..26.0).contains(&t), "{t}");
+    }
+}

@@ -1,0 +1,17 @@
+//! Experiment implementations, one module per paper artifact.
+
+pub mod attack;
+pub mod ddos;
+pub mod download;
+pub mod federation;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod host_failure;
+pub mod inflation;
+pub mod migration;
+pub mod placement;
+pub mod resize;
+pub mod table2;
+pub mod table4;
+pub mod usage_billing;

@@ -1,0 +1,105 @@
+//! Table 2 — service bootstrapping time for four application services
+//! on both testbed hosts.
+
+use serde::Serialize;
+use soda_vmm::bootstrap::{BootstrapHostProfile, BootstrapModel};
+use soda_vmm::rootfs::RootFsImage;
+use soda_vmm::sysservices::StartupClass;
+
+/// Paper-reported seconds (seattle, tacoma) per row, for comparison.
+pub const PAPER_SECONDS: [(&str, f64, f64); 4] =
+    [("S_I", 3.0, 4.0), ("S_II", 2.0, 3.0), ("S_III", 4.0, 16.0), ("S_IV", 22.0, 42.0)];
+
+/// One reproduced row of Table 2.
+#[derive(Clone, Debug, Serialize)]
+pub struct Row {
+    /// `S_I` … `S_IV`.
+    pub service: &'static str,
+    /// Linux configuration (image name).
+    pub linux_configuration: String,
+    /// Image size in bytes.
+    pub image_bytes: u64,
+    /// Bootstrap seconds on *seattle*.
+    pub seattle_secs: f64,
+    /// Bootstrap seconds on *tacoma*.
+    pub tacoma_secs: f64,
+    /// Stage breakdown on seattle (customize, mount, kernel, services,
+    /// app), seconds.
+    pub seattle_stages: [f64; 5],
+}
+
+/// The four (label, image, required-services, app-class) rows.
+pub fn rows(model: &BootstrapModel) -> Vec<(&'static str, RootFsImage, Vec<&'static str>, StartupClass)> {
+    let c = model.catalog();
+    vec![
+        ("S_I", c.base_1_0(), vec!["network", "syslogd"], StartupClass::Light),
+        ("S_II", c.tomsrtbt(), vec!["network"], StartupClass::Light),
+        ("S_III", c.lfs_4_0(), vec!["network", "syslogd", "sshd"], StartupClass::Light),
+        ("S_IV", c.rh72_server_pristine(), vec!["httpd"], StartupClass::Light),
+    ]
+}
+
+/// Reproduce the table.
+pub fn run() -> Vec<Row> {
+    let model = BootstrapModel::new();
+    let seattle = BootstrapHostProfile::seattle();
+    let tacoma = BootstrapHostProfile::tacoma();
+    rows(&model)
+        .into_iter()
+        .map(|(label, image, required, class)| {
+            let (_, ts) = model.timing(&seattle, &image, &required, class);
+            let (_, tt) = model.timing(&tacoma, &image, &required, class);
+            Row {
+                service: label,
+                linux_configuration: image.name.clone(),
+                image_bytes: image.total_bytes(),
+                seattle_secs: ts.total().as_secs_f64(),
+                tacoma_secs: tt.total().as_secs_f64(),
+                seattle_stages: [
+                    ts.customize.as_secs_f64(),
+                    ts.mount.as_secs_f64(),
+                    ts.kernel_boot.as_secs_f64(),
+                    ts.services_start.as_secs_f64(),
+                    ts.app_start.as_secs_f64(),
+                ],
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_table2_shape() {
+        let rows = run();
+        assert_eq!(rows.len(), 4);
+        // Ordering S_II < S_I < S_III << S_IV on both hosts.
+        assert!(rows[1].seattle_secs < rows[0].seattle_secs);
+        assert!(rows[0].seattle_secs < rows[2].seattle_secs);
+        assert!(rows[3].seattle_secs > 2.0 * rows[2].seattle_secs);
+        for r in &rows {
+            assert!(r.tacoma_secs > r.seattle_secs, "{}", r.service);
+            let sum: f64 = r.seattle_stages.iter().sum();
+            assert!((sum - r.seattle_secs).abs() < 1e-6);
+        }
+        // S_III is the biggest image but not the slowest boot.
+        let s3 = &rows[2];
+        let s4 = &rows[3];
+        assert!(s3.image_bytes > s4.image_bytes);
+        assert!(s3.seattle_secs < s4.seattle_secs);
+    }
+
+    #[test]
+    fn within_2x_of_paper_numbers() {
+        let rows = run();
+        for (r, (label, ps, pt)) in rows.iter().zip(PAPER_SECONDS) {
+            assert_eq!(r.service, label);
+            assert!(r.seattle_secs > ps / 2.0 && r.seattle_secs < ps * 2.0,
+                "{label} seattle {} vs paper {ps}", r.seattle_secs);
+            assert!(r.tacoma_secs > pt / 2.0 && r.tacoma_secs < pt * 2.0,
+                "{label} tacoma {} vs paper {pt}", r.tacoma_secs);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Table 4 — syscall completion cycles in UML vs the host OS.
+
+use serde::Serialize;
+use soda_hostos::syscall::Syscall;
+use soda_vmm::intercept::{InterceptCostModel, UmlMode};
+
+/// Paper-reported (call, uml cycles, host cycles).
+pub const PAPER_CYCLES: [(&str, u64, u64); 6] = [
+    ("dup2", 27_276, 1_208),
+    ("getpid", 26_648, 1_064),
+    ("geteuid", 26_904, 1_084),
+    ("mmap", 27_864, 1_208),
+    ("mmap_munmap", 27_044, 1_200),
+    ("gettimeofday", 37_004, 1_368),
+];
+
+/// One reproduced row.
+#[derive(Clone, Debug, Serialize)]
+pub struct Row {
+    /// Syscall label.
+    pub call: &'static str,
+    /// Modelled cycles in UML.
+    pub uml_cycles: u64,
+    /// Modelled cycles natively.
+    pub host_cycles: u64,
+    /// Penalty factor.
+    pub penalty: f64,
+}
+
+/// Reproduce the table (tt mode, as measured in 2003).
+pub fn run() -> Vec<Row> {
+    run_mode(UmlMode::Tt)
+}
+
+/// The same table under a chosen UML mode — `Skas` is the ablation for
+/// the mode UML grew after the paper.
+pub fn run_mode(mode: UmlMode) -> Vec<Row> {
+    let model = InterceptCostModel::for_mode(mode);
+    Syscall::TABLE4
+        .iter()
+        .map(|&call| Row {
+            call: call.label(),
+            uml_cycles: model.uml_cycles(call),
+            host_cycles: model.native.native_cycles(call),
+            penalty: model.penalty(call),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_table4_within_15_percent() {
+        let rows = run();
+        assert_eq!(rows.len(), 6);
+        for (row, (label, uml, host)) in rows.iter().zip(PAPER_CYCLES) {
+            assert_eq!(row.call, label);
+            let uml_err = (row.uml_cycles as f64 - uml as f64).abs() / uml as f64;
+            let host_err = (row.host_cycles as f64 - host as f64).abs() / host as f64;
+            assert!(uml_err < 0.15, "{label} uml {} vs {uml}", row.uml_cycles);
+            assert!(host_err < 0.05, "{label} host {} vs {host}", row.host_cycles);
+            assert!(row.penalty > 15.0 && row.penalty < 35.0);
+        }
+        // gettimeofday is the worst in UML.
+        let worst = rows.iter().max_by_key(|r| r.uml_cycles).unwrap();
+        assert_eq!(worst.call, "gettimeofday");
+    }
+
+    #[test]
+    fn skas_ablation_cuts_every_row() {
+        let tt = run_mode(UmlMode::Tt);
+        let skas = run_mode(UmlMode::Skas);
+        for (t, s) in tt.iter().zip(&skas) {
+            assert_eq!(t.call, s.call);
+            assert!(s.uml_cycles < t.uml_cycles, "{}", t.call);
+            assert_eq!(s.host_cycles, t.host_cycles, "native path unchanged");
+            assert!(s.penalty > 5.0, "interception still costs: {}", s.penalty);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! The SODA Agent.
+//!
+//! "SODA Agent is a middleware-level entity serving as the interface
+//! between the ASPs and the HUP. It accepts service creation requests
+//! and performs other administrative tasks such as billing." (§2.2)
+//! "As the interface between ASPs and the HUP, the SODA Agent
+//! authenticates the ASP and passes the request to the SODA Master."
+//! (§3.1)
+
+use std::collections::BTreeMap;
+
+use soda_sim::SimTime;
+
+use crate::api::Credential;
+use crate::billing::BillingLedger;
+use crate::error::SodaError;
+use crate::service::ServiceId;
+
+/// The ASP-facing front door of the HUP.
+#[derive(Clone, Debug)]
+pub struct SodaAgent {
+    registered: BTreeMap<String, String>,
+    billing: BillingLedger,
+    authenticated_calls: u64,
+    rejected_calls: u64,
+}
+
+impl SodaAgent {
+    /// An agent with the given billing rate (per machine-instance-hour).
+    pub fn new(rate_per_instance_hour: f64) -> Self {
+        SodaAgent {
+            registered: BTreeMap::new(),
+            billing: BillingLedger::new(rate_per_instance_hour),
+            authenticated_calls: 0,
+            rejected_calls: 0,
+        }
+    }
+
+    /// Register an ASP and its API key (out-of-band contract setup).
+    pub fn register_asp(&mut self, asp: impl Into<String>, key: impl Into<String>) {
+        self.registered.insert(asp.into(), key.into());
+    }
+
+    /// Remove an ASP (contract ended).
+    pub fn unregister_asp(&mut self, asp: &str) -> bool {
+        self.registered.remove(asp).is_some()
+    }
+
+    /// Authenticate a credential; every API call passes through here
+    /// before reaching the Master. Constant-shape comparison (no early
+    /// exit on the key) — a nod to timing-attack hygiene even in a
+    /// simulator.
+    pub fn authenticate(&mut self, cred: &Credential) -> Result<(), SodaError> {
+        let ok = match self.registered.get(&cred.asp) {
+            Some(expected) => {
+                let a = expected.as_bytes();
+                let b = cred.key.as_bytes();
+                let mut diff = a.len() ^ b.len();
+                for i in 0..a.len().min(b.len()) {
+                    diff |= (a[i] ^ b[i]) as usize;
+                }
+                diff == 0
+            }
+            None => false,
+        };
+        if ok {
+            self.authenticated_calls += 1;
+            Ok(())
+        } else {
+            self.rejected_calls += 1;
+            Err(SodaError::AuthenticationFailed { asp: cred.asp.clone() })
+        }
+    }
+
+    /// Billing hooks, driven by the Master's lifecycle notifications.
+    pub fn billing_start(&mut self, service: ServiceId, asp: &str, instances: u32, now: SimTime) {
+        self.billing.start(service, asp, instances, now);
+    }
+
+    /// Capacity change (resize) notification.
+    pub fn billing_resize(&mut self, service: ServiceId, instances: u32, now: SimTime) {
+        self.billing.set_instances(service, instances, now);
+    }
+
+    /// Teardown notification.
+    pub fn billing_stop(&mut self, service: ServiceId, now: SimTime) {
+        self.billing.stop(service, now);
+    }
+
+    /// The amount an ASP owes as of `now`.
+    pub fn invoice(&self, asp: &str, now: SimTime) -> f64 {
+        self.billing.invoice(asp, now)
+    }
+
+    /// Usage for one service, instance-seconds.
+    pub fn usage(&self, service: ServiceId, now: SimTime) -> f64 {
+        self.billing.usage_instance_seconds(service, now)
+    }
+
+    /// (authenticated, rejected) call counters.
+    pub fn call_stats(&self) -> (u64, u64) {
+        (self.authenticated_calls, self.rejected_calls)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cred(asp: &str, key: &str) -> Credential {
+        Credential { asp: asp.into(), key: key.into() }
+    }
+
+    #[test]
+    fn authentication_accepts_registered_key() {
+        let mut a = SodaAgent::new(1.0);
+        a.register_asp("biolab", "s3cret");
+        assert!(a.authenticate(&cred("biolab", "s3cret")).is_ok());
+        assert_eq!(a.call_stats(), (1, 0));
+    }
+
+    #[test]
+    fn authentication_rejects_bad_key_and_unknown_asp() {
+        let mut a = SodaAgent::new(1.0);
+        a.register_asp("biolab", "s3cret");
+        assert!(matches!(
+            a.authenticate(&cred("biolab", "wrong")),
+            Err(SodaError::AuthenticationFailed { .. })
+        ));
+        assert!(a.authenticate(&cred("biolab", "s3cret0")).is_err(), "prefix key");
+        assert!(a.authenticate(&cred("biolab", "")).is_err());
+        assert!(a.authenticate(&cred("ghost", "s3cret")).is_err());
+        assert_eq!(a.call_stats(), (0, 4));
+    }
+
+    #[test]
+    fn unregistering_revokes_access() {
+        let mut a = SodaAgent::new(1.0);
+        a.register_asp("biolab", "k");
+        assert!(a.unregister_asp("biolab"));
+        assert!(!a.unregister_asp("biolab"));
+        assert!(a.authenticate(&cred("biolab", "k")).is_err());
+    }
+
+    #[test]
+    fn billing_flows_through_agent() {
+        let mut a = SodaAgent::new(3600.0); // 1 unit per instance-second
+        a.billing_start(ServiceId(1), "biolab", 2, SimTime::ZERO);
+        a.billing_resize(ServiceId(1), 4, SimTime::from_secs(10)); // 20 accrued
+        a.billing_stop(ServiceId(1), SimTime::from_secs(20)); // +40
+        let now = SimTime::from_secs(100);
+        assert!((a.usage(ServiceId(1), now) - 60.0).abs() < 1e-9);
+        assert!((a.invoice("biolab", now) - 60.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,109 @@
+//! The SODA API (§4.1).
+//!
+//! "SODA provides APIs for service creation, tear-down, and resizing.
+//! The SODA Agent accepts these calls and passes them to the SODA Master
+//! after proper authentication."
+
+use soda_net::addr::Ipv4Addr;
+use soda_sim::SimDuration;
+
+use crate::service::{ServiceId, ServiceSpec};
+
+/// Credential an ASP presents with each call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Credential {
+    /// ASP identity.
+    pub asp: String,
+    /// Shared-secret API key.
+    pub key: String,
+}
+
+/// `SODA_service_creation`: "allows the ASP to specify service name,
+/// location of service image, and resource requirement `<n, M>`".
+#[derive(Clone, Debug)]
+pub struct CreationRequest {
+    /// Who is asking.
+    pub credential: Credential,
+    /// Everything about the service (name, image, `<n, M>`, …).
+    pub spec: ServiceSpec,
+}
+
+/// Per-node information returned to the ASP.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeInfo {
+    /// The node's address.
+    pub ip: Ipv4Addr,
+    /// Service port.
+    pub port: u16,
+    /// Relative capacity (machine instances).
+    pub capacity: u32,
+}
+
+/// Reply to a successful creation: "the SODA Agent will reply to the ASP
+/// with information about the virtual service nodes created for S".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CreationReply {
+    /// Handle for later teardown/resizing calls.
+    pub service: ServiceId,
+    /// The created nodes.
+    pub nodes: Vec<NodeInfo>,
+    /// Where clients send requests (the service switch).
+    pub switch_endpoint: NodeInfo,
+    /// How long creation took end-to-end (download + bootstrap of the
+    /// slowest node).
+    pub creation_time: SimDuration,
+}
+
+/// `SODA_service_teardown`.
+#[derive(Clone, Debug)]
+pub struct TeardownRequest {
+    /// Who is asking.
+    pub credential: Credential,
+    /// The service to tear down.
+    pub service: ServiceId,
+}
+
+/// `SODA_service_resizing`: "resize the service capacity based on a new
+/// resource requirement `<n_new, M>`".
+#[derive(Clone, Debug)]
+pub struct ResizeRequest {
+    /// Who is asking.
+    pub credential: Credential,
+    /// The service to resize.
+    pub service: ServiceId,
+    /// The new instance count `n_new` (the machine configuration `M` is
+    /// fixed at creation).
+    pub new_instances: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soda_hostos::resources::ResourceVector;
+    use soda_vmm::rootfs::RootFsCatalog;
+    use soda_vmm::sysservices::StartupClass;
+
+    #[test]
+    fn request_types_carry_the_paper_fields() {
+        let req = CreationRequest {
+            credential: Credential { asp: "biolab".into(), key: "k".into() },
+            spec: ServiceSpec {
+                name: "genome-match".into(),
+                image: RootFsCatalog::new().base_1_0(),
+                required_services: vec!["network"],
+                app_class: StartupClass::Heavy,
+                instances: 3,
+                machine: ResourceVector::TABLE1_EXAMPLE,
+                port: 8080,
+            },
+        };
+        assert_eq!(req.spec.instances, 3);
+        assert_eq!(req.spec.machine.cpu_mhz, 512);
+        let resize = ResizeRequest {
+            credential: req.credential.clone(),
+            service: ServiceId(1),
+            new_instances: 5,
+        };
+        assert_eq!(resize.new_instances, 5);
+    }
+}

@@ -1,0 +1,154 @@
+//! Usage metering and billing.
+//!
+//! The SODA Agent "performs other administrative tasks such as billing"
+//! (§2.2). The natural utility metric is machine-instance-time: a service
+//! holding `k` instances of `M` for `t` seconds owes `k × t` instance-
+//! seconds, priced per hour. The meter is driven by the Master's
+//! lifecycle events (node ready, resize, teardown).
+
+use std::collections::BTreeMap;
+
+use soda_sim::SimTime;
+
+use crate::service::ServiceId;
+
+/// One service's running meter.
+#[derive(Clone, Debug)]
+struct Meter {
+    asp: String,
+    /// Current total capacity (machine instances) accruing charges.
+    instances: u32,
+    /// When the current rate started.
+    since: SimTime,
+    /// Accumulated instance-seconds.
+    accrued: f64,
+    closed: bool,
+}
+
+impl Meter {
+    fn accrue(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.since).as_secs_f64();
+        self.accrued += dt * self.instances as f64;
+        self.since = now;
+    }
+}
+
+/// The Agent's billing ledger.
+#[derive(Clone, Debug)]
+pub struct BillingLedger {
+    /// Price per machine-instance-hour (arbitrary currency units).
+    pub rate_per_instance_hour: f64,
+    meters: BTreeMap<ServiceId, Meter>,
+}
+
+impl BillingLedger {
+    /// A ledger with the given hourly rate.
+    pub fn new(rate_per_instance_hour: f64) -> Self {
+        BillingLedger { rate_per_instance_hour, meters: BTreeMap::new() }
+    }
+
+    /// Start metering a service at `instances × M` from `now`.
+    pub fn start(&mut self, service: ServiceId, asp: &str, instances: u32, now: SimTime) {
+        self.meters.insert(
+            service,
+            Meter { asp: asp.to_string(), instances, since: now, accrued: 0.0, closed: false },
+        );
+    }
+
+    /// The service's capacity changed (resize) at `now`.
+    pub fn set_instances(&mut self, service: ServiceId, instances: u32, now: SimTime) {
+        if let Some(m) = self.meters.get_mut(&service) {
+            if !m.closed {
+                m.accrue(now);
+                m.instances = instances;
+            }
+        }
+    }
+
+    /// Stop metering (teardown) at `now`.
+    pub fn stop(&mut self, service: ServiceId, now: SimTime) {
+        if let Some(m) = self.meters.get_mut(&service) {
+            if !m.closed {
+                m.accrue(now);
+                m.closed = true;
+            }
+        }
+    }
+
+    /// Instance-seconds accrued by a service as of `now`.
+    pub fn usage_instance_seconds(&self, service: ServiceId, now: SimTime) -> f64 {
+        match self.meters.get(&service) {
+            None => 0.0,
+            Some(m) => {
+                let mut total = m.accrued;
+                if !m.closed {
+                    total += now.saturating_since(m.since).as_secs_f64() * m.instances as f64;
+                }
+                total
+            }
+        }
+    }
+
+    /// Total amount owed by one ASP across its services as of `now`.
+    pub fn invoice(&self, asp: &str, now: SimTime) -> f64 {
+        self.meters
+            .iter()
+            .filter(|(_, m)| m.asp == asp)
+            .map(|(&id, _)| self.usage_instance_seconds(id, now))
+            .sum::<f64>()
+            / 3600.0
+            * self.rate_per_instance_hour
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metering_accrues_instance_seconds() {
+        let mut b = BillingLedger::new(10.0);
+        b.start(ServiceId(1), "biolab", 3, SimTime::from_secs(100));
+        let used = b.usage_instance_seconds(ServiceId(1), SimTime::from_secs(160));
+        assert!((used - 180.0).abs() < 1e-9, "{used}");
+    }
+
+    #[test]
+    fn resize_changes_rate() {
+        let mut b = BillingLedger::new(10.0);
+        b.start(ServiceId(1), "a", 2, SimTime::ZERO);
+        b.set_instances(ServiceId(1), 4, SimTime::from_secs(100)); // 200 so far
+        let used = b.usage_instance_seconds(ServiceId(1), SimTime::from_secs(150));
+        assert!((used - 400.0).abs() < 1e-9, "{used}");
+    }
+
+    #[test]
+    fn stop_freezes_the_meter() {
+        let mut b = BillingLedger::new(10.0);
+        b.start(ServiceId(1), "a", 1, SimTime::ZERO);
+        b.stop(ServiceId(1), SimTime::from_secs(50));
+        let used = b.usage_instance_seconds(ServiceId(1), SimTime::from_secs(500));
+        assert!((used - 50.0).abs() < 1e-9);
+        // Resize after stop is ignored.
+        b.set_instances(ServiceId(1), 100, SimTime::from_secs(600));
+        assert!((b.usage_instance_seconds(ServiceId(1), SimTime::from_secs(700)) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invoice_sums_per_asp() {
+        let mut b = BillingLedger::new(3600.0); // 1 unit per instance-second
+        b.start(ServiceId(1), "a", 1, SimTime::ZERO);
+        b.start(ServiceId(2), "a", 2, SimTime::ZERO);
+        b.start(ServiceId(3), "other", 5, SimTime::ZERO);
+        let now = SimTime::from_secs(10);
+        assert!((b.invoice("a", now) - 30.0).abs() < 1e-9);
+        assert!((b.invoice("other", now) - 50.0).abs() < 1e-9);
+        assert_eq!(b.invoice("nobody", now), 0.0);
+    }
+
+    #[test]
+    fn unknown_service_has_zero_usage() {
+        let b = BillingLedger::new(1.0);
+        assert_eq!(b.usage_instance_seconds(ServiceId(9), SimTime::from_secs(10)), 0.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Unified error type for SODA operations.
+
+use std::fmt;
+
+use soda_hostos::resources::ResourceVector;
+use soda_hup::daemon::PrimingError;
+use soda_vmm::vsn::VsnId;
+
+use crate::service::ServiceId;
+
+/// Anything that can go wrong in a SODA API call.
+#[derive(Debug)]
+pub enum SodaError {
+    /// The ASP's credential did not verify (SODA Agent).
+    AuthenticationFailed {
+        /// The claimed ASP identity.
+        asp: String,
+    },
+    /// Admission control rejected the request: the HUP cannot satisfy
+    /// `<n, M>` right now ("a request failure will be reported", §3.2).
+    AdmissionRejected {
+        /// The (inflated) total demand.
+        requested: ResourceVector,
+        /// Aggregate availability at decision time.
+        available: ResourceVector,
+    },
+    /// A daemon-level priming failure.
+    Priming(PrimingError),
+    /// Unknown service id.
+    UnknownService(ServiceId),
+    /// Unknown virtual service node.
+    UnknownVsn(VsnId),
+    /// The operation conflicts with the service's current state.
+    InvalidState {
+        /// The service.
+        service: ServiceId,
+        /// What was attempted.
+        attempted: &'static str,
+    },
+    /// Malformed request (e.g. `n == 0`).
+    BadRequest(String),
+}
+
+impl fmt::Display for SodaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SodaError::AuthenticationFailed { asp } => {
+                write!(f, "authentication failed for ASP {asp:?}")
+            }
+            SodaError::AdmissionRejected { requested, available } => write!(
+                f,
+                "admission rejected: requested [{requested}] exceeds available [{available}]"
+            ),
+            SodaError::Priming(e) => write!(f, "priming failed: {e}"),
+            SodaError::UnknownService(id) => write!(f, "unknown service {id}"),
+            SodaError::UnknownVsn(id) => write!(f, "unknown VSN {id}"),
+            SodaError::InvalidState { service, attempted } => {
+                write!(f, "service {service}: cannot {attempted} in current state")
+            }
+            SodaError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SodaError {}
+
+impl From<PrimingError> for SodaError {
+    fn from(e: PrimingError) -> Self {
+        SodaError::Priming(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = SodaError::AuthenticationFailed { asp: "biolab".into() };
+        assert!(e.to_string().contains("biolab"));
+        let e = SodaError::AdmissionRejected {
+            requested: ResourceVector::new(1, 2, 3, 4),
+            available: ResourceVector::ZERO,
+        };
+        assert!(e.to_string().contains("admission rejected"));
+        let e = SodaError::BadRequest("n must be positive".into());
+        assert!(e.to_string().contains("n must be positive"));
+        let e = SodaError::UnknownService(ServiceId(3));
+        assert!(e.to_string().contains("svc-3"));
+    }
+}

@@ -1,0 +1,57 @@
+//! # soda-core
+//!
+//! The SODA architecture itself (Jiang & Xu, HPDC'03): the middleware
+//! entities that turn a pool of HUP hosts into a Service-On-Demand
+//! hosting utility.
+//!
+//! * [`api`] — the SODA API: `SODA_service_creation`,
+//!   `SODA_service_teardown`, `SODA_service_resizing` (§4.1).
+//! * [`agent`] — the **SODA Agent**: ASP authentication and billing, the
+//!   interface between ASPs and the HUP (§3.1).
+//! * [`master`] — the **SODA Master**: admission control, slice
+//!   placement, priming coordination, switch creation, resizing (§3.2).
+//! * [`placement`] — algorithms mapping `<n, M>` to host slices.
+//! * [`config`] — the service configuration file (Table 3 format).
+//! * [`policy`] — request-switching policies: weighted round-robin
+//!   (default) and replaceable alternatives (§3.4).
+//! * [`switch`] — the per-service **service switch**.
+//! * [`service`] — service specs, ids and records.
+//! * [`billing`] — usage metering behind the Agent.
+//! * [`world`] — the composed simulation world: engine state wiring
+//!   hosts, daemons, master, switches and the LAN into one request
+//!   pipeline (what Figures 4 and 6 measure).
+//! * [`federation`] — the §3.5 wide-area extension: multiple local HUPs
+//!   federated behind their Agents.
+
+pub mod agent;
+pub mod api;
+pub mod billing;
+pub mod config;
+pub mod error;
+pub mod federation;
+pub mod master;
+pub mod monitoring;
+pub mod partition;
+pub mod placement;
+pub mod queue;
+pub mod policy;
+pub mod service;
+pub mod switch;
+pub mod world;
+
+pub use agent::SodaAgent;
+pub use api::{CreationReply, CreationRequest, ResizeRequest, TeardownRequest};
+pub use config::{ConfigDirective, ServiceConfigFile};
+pub use error::SodaError;
+pub use master::SodaMaster;
+pub use placement::{BestFit, FirstFit, NodePlan, PlacementPolicy, WorstFit};
+pub use policy::{
+    BackendView, LeastConnections, RandomPolicy, RoundRobin, SwitchPolicy, WeightedRoundRobin,
+};
+pub use service::{ServiceId, ServiceRecord, ServiceSpec, ServiceState};
+pub use switch::ServiceSwitch;
+pub use world::{
+    attack_node, create_service_driven, ddos_switch_host, fail_host, failover_node, revive_node,
+    submit_request, submit_request_direct, submit_request_with_callback, CreationRecord,
+    RequestCallback, RequestId, RequestRecord, SodaWorld,
+};

@@ -1,0 +1,983 @@
+//! The SODA Master.
+//!
+//! "SODA Master is a middleware-level entity coordinating the service
+//! creation activities across the HUP. More specifically, SODA Master
+//! determines the set of virtual service nodes for each service creation
+//! request and coordinates the service priming process." (§2.2)
+//!
+//! The Master here is written *sans-IO* with respect to time: methods
+//! perform all state changes immediately and return
+//! [`PrimingTicket`]s whose durations the simulation driver schedules;
+//! [`SodaMaster::node_ready`] is called back when a node's download +
+//! bootstrap completes. `create_service_now` wraps the full cycle for
+//! callers that don't need the temporal detail (unit tests, quickstart).
+
+use std::collections::BTreeMap;
+
+use soda_hostos::resources::ResourceVector;
+use soda_hup::daemon::{PrimingTicket, SodaDaemon};
+use soda_hup::host::HostId;
+use soda_hup::inventory::ResourceInventory;
+use soda_sim::{SimDuration, SimTime};
+use soda_vmm::intercept::SlowdownFactors;
+use soda_vmm::vsn::VsnId;
+
+use crate::api::{CreationReply, NodeInfo};
+use crate::error::SodaError;
+use crate::placement::{PlacementPolicy, WorstFit};
+use crate::service::{PlacedNode, ServiceId, ServiceRecord, ServiceSpec, ServiceState};
+use crate::switch::ServiceSwitch;
+
+/// What admission hands back: the new service id plus one priming ticket
+/// per placed node, for the driver to schedule.
+#[derive(Debug)]
+pub struct AdmissionOutcome {
+    /// The admitted service.
+    pub service: ServiceId,
+    /// `(host, ticket)` per node.
+    pub tickets: Vec<(HostId, PrimingTicket)>,
+}
+
+/// Outcome of a resize: nodes whose capacity changed in place, plus
+/// tickets for any newly added nodes.
+#[derive(Debug)]
+pub struct ResizeOutcome {
+    /// Nodes resized in place as `(vsn, new_capacity)`.
+    pub resized: Vec<(VsnId, u32)>,
+    /// Nodes removed.
+    pub removed: Vec<VsnId>,
+    /// Newly placed nodes, still priming.
+    pub tickets: Vec<(HostId, PrimingTicket)>,
+}
+
+/// What a migration needs from the caller before completion: ship the
+/// checkpoint, wait out the replacement's bootstrap.
+#[derive(Debug)]
+pub struct MigrationOutcome {
+    /// The service being migrated.
+    pub service: ServiceId,
+    /// The node being replaced.
+    pub old_vsn: VsnId,
+    /// The replacement node (priming on `target`).
+    pub new_vsn: VsnId,
+    /// Destination host.
+    pub target: HostId,
+    /// The replacement's priming ticket.
+    pub ticket: PrimingTicket,
+    /// Bytes of guest memory image to ship source → target.
+    pub checkpoint_bytes: u64,
+}
+
+/// The HUP-wide coordinator.
+pub struct SodaMaster {
+    inventory: ResourceInventory,
+    placement: Box<dyn PlacementPolicy>,
+    /// Slow-down inflation applied to `M` at admission (footnote 2;
+    /// default 1.5).
+    pub slowdown_inflation: f64,
+    services: BTreeMap<ServiceId, ServiceRecord>,
+    switches: BTreeMap<ServiceId, ServiceSwitch>,
+    next_service: u64,
+    next_vsn: u64,
+}
+
+impl Default for SodaMaster {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SodaMaster {
+    /// A Master with the default worst-fit (load-spreading) placement
+    /// and the paper's conservative 1.5× inflation.
+    pub fn new() -> Self {
+        SodaMaster {
+            inventory: ResourceInventory::new(),
+            placement: Box::new(WorstFit),
+            slowdown_inflation: SlowdownFactors::CONSERVATIVE.cpu,
+            services: BTreeMap::new(),
+            switches: BTreeMap::new(),
+            next_service: 1,
+            next_vsn: 1,
+        }
+    }
+
+    /// Replace the placement policy (the placement ablation experiment).
+    pub fn set_placement(&mut self, p: Box<dyn PlacementPolicy>) {
+        self.placement = p;
+    }
+
+    /// The placement policy's name.
+    pub fn placement_name(&self) -> &'static str {
+        self.placement.name()
+    }
+
+    /// Refresh the inventory from the daemons' reports.
+    pub fn collect_resources(&mut self, daemons: &[SodaDaemon], now: SimTime) {
+        for d in daemons {
+            self.inventory.update(d.host.id, d.report_resources(), now);
+        }
+    }
+
+    /// The per-instance slice actually reserved: `M` with CPU and
+    /// bandwidth inflated for the guest-OS slow-down.
+    pub fn inflated_machine(&self, m: &ResourceVector) -> ResourceVector {
+        m.inflate_for_slowdown(self.slowdown_inflation)
+    }
+
+    /// Admission + placement + begin priming on every chosen daemon.
+    pub fn admit(
+        &mut self,
+        spec: ServiceSpec,
+        asp: &str,
+        daemons: &mut [SodaDaemon],
+        now: SimTime,
+    ) -> Result<AdmissionOutcome, SodaError> {
+        if spec.instances == 0 {
+            return Err(SodaError::BadRequest("instance count n must be positive".into()));
+        }
+        self.collect_resources(daemons, now);
+        let m_infl = self.inflated_machine(&spec.machine);
+        let hosts: Vec<(HostId, ResourceVector)> = self
+            .inventory
+            .hosts()
+            .map(|(id, r)| (id, r.available))
+            .collect();
+        let Some(plan) = self.placement.place(spec.instances, &m_infl, &hosts) else {
+            let available = hosts.iter().fold(ResourceVector::ZERO, |acc, &(_, a)| acc + a);
+            return Err(SodaError::AdmissionRejected {
+                requested: m_infl * spec.instances,
+                available,
+            });
+        };
+        let service = ServiceId(self.next_service);
+        self.next_service += 1;
+        let mut tickets = Vec::with_capacity(plan.len());
+        let mut nodes = Vec::with_capacity(plan.len());
+        for node_plan in &plan {
+            let daemon = daemons
+                .iter_mut()
+                .find(|d| d.host.id == node_plan.host)
+                .expect("placement only chooses reported hosts");
+            let vsn = VsnId(self.next_vsn);
+            self.next_vsn += 1;
+            let slice = m_infl * node_plan.instances;
+            let ticket = daemon.begin_priming(
+                vsn,
+                node_plan.instances,
+                slice,
+                &spec.image,
+                &spec.required_services,
+                spec.app_class,
+                &spec.name,
+                now,
+            )?;
+            nodes.push(PlacedNode { host: node_plan.host, vsn, capacity: node_plan.instances });
+            tickets.push((node_plan.host, ticket));
+        }
+        self.services.insert(
+            service,
+            ServiceRecord {
+                id: service,
+                spec,
+                asp: asp.to_string(),
+                state: ServiceState::Creating,
+                nodes,
+                nodes_ready: 0,
+            },
+        );
+        Ok(AdmissionOutcome { service, tickets })
+    }
+
+    /// Called when one node's download + bootstrap has completed. When
+    /// the last node reports, the Master creates the service switch and
+    /// the service goes Running; the returned reply is what the Agent
+    /// sends to the ASP.
+    pub fn node_ready(
+        &mut self,
+        service: ServiceId,
+        vsn: VsnId,
+        daemons: &mut [SodaDaemon],
+        now: SimTime,
+        creation_time: SimDuration,
+    ) -> Result<Option<CreationReply>, SodaError> {
+        let rec = self.services.get_mut(&service).ok_or(SodaError::UnknownService(service))?;
+        let placed = *rec.node(vsn).ok_or(SodaError::UnknownVsn(vsn))?;
+        let daemon = daemons
+            .iter_mut()
+            .find(|d| d.host.id == placed.host)
+            .ok_or(SodaError::UnknownVsn(vsn))?;
+        daemon.complete_priming(vsn, now)?;
+        rec.nodes_ready += 1;
+        if rec.nodes_ready < rec.nodes.len() {
+            return Ok(None);
+        }
+        // All nodes up: build the switch, colocated in the first node.
+        rec.state = ServiceState::Running;
+        let port = rec.spec.port;
+        let first = rec.nodes[0].vsn;
+        let mut switch = ServiceSwitch::new(service, first);
+        let mut infos = Vec::with_capacity(rec.nodes.len());
+        for n in &rec.nodes {
+            let d = daemons.iter().find(|d| d.host.id == n.host).expect("host exists");
+            let ip = d.vsn(n.vsn).and_then(|v| v.ip).expect("booted node has an IP");
+            switch.add_backend(n.vsn, ip, port, n.capacity);
+            infos.push(NodeInfo { ip, port, capacity: n.capacity });
+        }
+        let switch_endpoint = infos[0];
+        self.switches.insert(service, switch);
+        Ok(Some(CreationReply {
+            service,
+            nodes: infos,
+            switch_endpoint,
+            creation_time,
+        }))
+    }
+
+    /// Full creation with zero simulated latency — for tests, examples
+    /// and callers that only need the end state. The reported
+    /// `creation_time` is the slowest node's bootstrap total (download
+    /// excluded: no link is involved here).
+    pub fn create_service_now(
+        &mut self,
+        spec: ServiceSpec,
+        asp: &str,
+        daemons: &mut [SodaDaemon],
+        now: SimTime,
+    ) -> Result<CreationReply, SodaError> {
+        let outcome = self.admit(spec, asp, daemons, now)?;
+        let worst = outcome
+            .tickets
+            .iter()
+            .map(|(_, t)| t.timing.total())
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        let mut reply = None;
+        for (_, ticket) in &outcome.tickets {
+            reply = self.node_ready(outcome.service, ticket.vsn, daemons, now, worst)?;
+        }
+        Ok(reply.expect("last node_ready yields the reply"))
+    }
+
+    /// Tear a service down: every node released, the switch destroyed.
+    pub fn teardown(
+        &mut self,
+        service: ServiceId,
+        daemons: &mut [SodaDaemon],
+    ) -> Result<(), SodaError> {
+        let rec = self.services.get_mut(&service).ok_or(SodaError::UnknownService(service))?;
+        if rec.state == ServiceState::TornDown {
+            return Err(SodaError::InvalidState { service, attempted: "teardown" });
+        }
+        for n in rec.nodes.clone() {
+            if let Some(d) = daemons.iter_mut().find(|d| d.host.id == n.host) {
+                let _ = d.teardown_vsn(n.vsn);
+            }
+        }
+        rec.state = ServiceState::TornDown;
+        rec.nodes.clear();
+        self.switches.remove(&service);
+        Ok(())
+    }
+
+    /// Resize to `<n_new, M>` (§3.4): "the SODA Master will either
+    /// adjust the resources in the current virtual service nodes, or
+    /// add/remove virtual service node(s). In either case, the service
+    /// configuration file will be updated."
+    ///
+    /// Strategy: shrink removes capacity node-by-node from the end
+    /// (tearing down emptied nodes); growth first tries to widen
+    /// existing nodes in place, then places new nodes for the remainder.
+    pub fn resize(
+        &mut self,
+        service: ServiceId,
+        new_instances: u32,
+        daemons: &mut [SodaDaemon],
+        now: SimTime,
+    ) -> Result<ResizeOutcome, SodaError> {
+        if new_instances == 0 {
+            return Err(SodaError::BadRequest("n_new must be positive".into()));
+        }
+        let rec = self.services.get(&service).ok_or(SodaError::UnknownService(service))?;
+        if rec.state != ServiceState::Running {
+            return Err(SodaError::InvalidState { service, attempted: "resize" });
+        }
+        let current = rec.placed_capacity();
+        let m_infl = self.inflated_machine(&rec.spec.machine);
+        let mut outcome =
+            ResizeOutcome { resized: Vec::new(), removed: Vec::new(), tickets: Vec::new() };
+        if new_instances == current {
+            return Ok(outcome);
+        }
+
+        if new_instances < current {
+            let mut to_shed = current - new_instances;
+            let rec = self.services.get_mut(&service).expect("checked");
+            let mut keep = Vec::new();
+            // Shed from the last-placed node backwards: drop whole nodes
+            // while they fit in the deficit, then narrow one node.
+            for mut n in rec.nodes.clone().into_iter().rev() {
+                if to_shed >= n.capacity {
+                    to_shed -= n.capacity;
+                    if let Some(d) = daemons.iter_mut().find(|d| d.host.id == n.host) {
+                        d.teardown_vsn(n.vsn)?;
+                    }
+                    outcome.removed.push(n.vsn);
+                    continue;
+                }
+                if to_shed > 0 {
+                    let new_cap = n.capacity - to_shed;
+                    to_shed = 0;
+                    if let Some(d) = daemons.iter_mut().find(|d| d.host.id == n.host) {
+                        d.resize_vsn(n.vsn, new_cap, m_infl * new_cap, now)?;
+                    }
+                    n.capacity = new_cap;
+                    outcome.resized.push((n.vsn, new_cap));
+                }
+                keep.push(n);
+            }
+            keep.reverse();
+            rec.nodes = keep;
+            // Update the switch + config file.
+            if let Some(sw) = self.switches.get_mut(&service) {
+                for &vsn in &outcome.removed {
+                    sw.remove_backend(vsn);
+                }
+                for &(vsn, cap) in &outcome.resized {
+                    sw.set_capacity(vsn, cap);
+                }
+            }
+            return Ok(outcome);
+        }
+
+        // Growth: widen existing nodes where the host has headroom.
+        let mut to_add = new_instances - current;
+        let nodes_snapshot = self.services[&service].nodes.clone();
+        for n in &nodes_snapshot {
+            if to_add == 0 {
+                break;
+            }
+            let Some(d) = daemons.iter_mut().find(|d| d.host.id == n.host) else {
+                continue;
+            };
+            let headroom = d.report_resources().instances_of(&m_infl);
+            if headroom == 0 {
+                continue;
+            }
+            let grow_by = headroom.min(to_add);
+            let new_cap = n.capacity + grow_by;
+            d.resize_vsn(n.vsn, new_cap, m_infl * new_cap, now)?;
+            to_add -= grow_by;
+            outcome.resized.push((n.vsn, new_cap));
+        }
+        // Place fresh nodes for any remainder.
+        if to_add > 0 {
+            self.collect_resources(daemons, now);
+            let used_hosts: Vec<HostId> = nodes_snapshot.iter().map(|n| n.host).collect();
+            let hosts: Vec<(HostId, ResourceVector)> = self
+                .inventory
+                .hosts()
+                .filter(|(id, _)| !used_hosts.contains(id))
+                .map(|(id, r)| (id, r.available))
+                .collect();
+            let Some(plan) = self.placement.place(to_add, &m_infl, &hosts) else {
+                // Roll back the in-place growth.
+                for &(vsn, _) in &outcome.resized {
+                    let n = nodes_snapshot.iter().find(|n| n.vsn == vsn).expect("known");
+                    if let Some(d) = daemons.iter_mut().find(|d| d.host.id == n.host) {
+                        let _ = d.resize_vsn(vsn, n.capacity, m_infl * n.capacity, now);
+                    }
+                }
+                let available =
+                    hosts.iter().fold(ResourceVector::ZERO, |acc, &(_, a)| acc + a);
+                return Err(SodaError::AdmissionRejected {
+                    requested: m_infl * to_add,
+                    available,
+                });
+            };
+            let rec = self.services.get_mut(&service).expect("checked");
+            for node_plan in &plan {
+                let daemon = daemons
+                    .iter_mut()
+                    .find(|d| d.host.id == node_plan.host)
+                    .expect("placement only chooses reported hosts");
+                let vsn = VsnId(self.next_vsn);
+                self.next_vsn += 1;
+                let ticket = daemon.begin_priming(
+                    vsn,
+                    node_plan.instances,
+                    m_infl * node_plan.instances,
+                    &rec.spec.image,
+                    &rec.spec.required_services,
+                    rec.spec.app_class,
+                    &rec.spec.name,
+                    now,
+                )?;
+                rec.nodes.push(PlacedNode {
+                    host: node_plan.host,
+                    vsn,
+                    capacity: node_plan.instances,
+                });
+                outcome.tickets.push((node_plan.host, ticket));
+            }
+            rec.state = ServiceState::Resizing;
+        }
+        // Apply in-place growth to the switch immediately.
+        let rec = self.services.get_mut(&service).expect("checked");
+        for n in &mut rec.nodes {
+            if let Some(&(_, cap)) = outcome.resized.iter().find(|&&(v, _)| v == n.vsn) {
+                n.capacity = cap;
+            }
+        }
+        if let Some(sw) = self.switches.get_mut(&service) {
+            for &(vsn, cap) in &outcome.resized {
+                sw.set_capacity(vsn, cap);
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// A resize-added node finished priming: wire it into the switch.
+    pub fn resize_node_ready(
+        &mut self,
+        service: ServiceId,
+        vsn: VsnId,
+        daemons: &mut [SodaDaemon],
+        now: SimTime,
+    ) -> Result<(), SodaError> {
+        let rec = self.services.get_mut(&service).ok_or(SodaError::UnknownService(service))?;
+        let placed = *rec.node(vsn).ok_or(SodaError::UnknownVsn(vsn))?;
+        let daemon = daemons
+            .iter_mut()
+            .find(|d| d.host.id == placed.host)
+            .ok_or(SodaError::UnknownVsn(vsn))?;
+        let ip = daemon.complete_priming(vsn, now)?;
+        rec.state = ServiceState::Running;
+        let port = rec.spec.port;
+        if let Some(sw) = self.switches.get_mut(&service) {
+            sw.add_backend(vsn, ip, port, placed.capacity);
+        }
+        Ok(())
+    }
+
+    /// Migrate one node to another host (make-before-break): prime a
+    /// replacement node on `target`, transfer the checkpoint, cut the
+    /// switch over, then release the old slice. The old node keeps
+    /// serving until the replacement is up, so a healthy migration drops
+    /// nothing.
+    ///
+    /// Returns the replacement ticket plus the checkpoint size; the
+    /// caller accounts `checkpoint_bytes / LAN` of transfer time before
+    /// calling [`SodaMaster::complete_migration`].
+    pub fn migrate(
+        &mut self,
+        service: ServiceId,
+        vsn: VsnId,
+        target: HostId,
+        daemons: &mut [SodaDaemon],
+        now: SimTime,
+    ) -> Result<MigrationOutcome, SodaError> {
+        let rec = self.services.get(&service).ok_or(SodaError::UnknownService(service))?;
+        if rec.state != ServiceState::Running {
+            return Err(SodaError::InvalidState { service, attempted: "migrate" });
+        }
+        let placed = *rec.node(vsn).ok_or(SodaError::UnknownVsn(vsn))?;
+        if placed.host == target {
+            return Err(SodaError::BadRequest("target equals source host".into()));
+        }
+        if rec.nodes.iter().any(|n| n.host == target) {
+            return Err(SodaError::BadRequest(
+                "service already has a node on the target host".into(),
+            ));
+        }
+        let m_infl = self.inflated_machine(&rec.spec.machine);
+        let slice = m_infl * placed.capacity;
+        let spec = rec.spec.clone();
+        let daemon = daemons
+            .iter_mut()
+            .find(|d| d.host.id == target)
+            .ok_or(SodaError::BadRequest(format!("unknown host {target}")))?;
+        let new_vsn = VsnId(self.next_vsn);
+        self.next_vsn += 1;
+        let ticket = daemon.begin_priming(
+            new_vsn,
+            placed.capacity,
+            slice,
+            &spec.image,
+            &spec.required_services,
+            spec.app_class,
+            &spec.name,
+            now,
+        )?;
+        // The checkpoint is the guest's memory image (its `mem=` cap).
+        let checkpoint_bytes = u64::from(slice.mem_mb) * 1_000_000;
+        Ok(MigrationOutcome { service, old_vsn: vsn, new_vsn, target, ticket, checkpoint_bytes })
+    }
+
+    /// Finish a migration: bring the replacement up, cut the switch
+    /// over, tear the old node down.
+    pub fn complete_migration(
+        &mut self,
+        outcome: &MigrationOutcome,
+        daemons: &mut [SodaDaemon],
+        now: SimTime,
+    ) -> Result<(), SodaError> {
+        let service = outcome.service;
+        let rec = self.services.get_mut(&service).ok_or(SodaError::UnknownService(service))?;
+        let old = *rec.node(outcome.old_vsn).ok_or(SodaError::UnknownVsn(outcome.old_vsn))?;
+        let target_daemon = daemons
+            .iter_mut()
+            .find(|d| d.host.id == outcome.target)
+            .ok_or(SodaError::UnknownVsn(outcome.new_vsn))?;
+        let new_ip = target_daemon.complete_priming(outcome.new_vsn, now)?;
+        // Switch cut-over.
+        let port = rec.spec.port;
+        if let Some(sw) = self.switches.get_mut(&service) {
+            sw.add_backend(outcome.new_vsn, new_ip, port, old.capacity);
+            sw.remove_backend(outcome.old_vsn);
+        }
+        // Record update + old slice release.
+        if let Some(n) = rec.nodes.iter_mut().find(|n| n.vsn == outcome.old_vsn) {
+            n.vsn = outcome.new_vsn;
+            n.host = outcome.target;
+        }
+        if let Some(d) = daemons.iter_mut().find(|d| d.host.id == old.host) {
+            d.teardown_vsn(outcome.old_vsn)?;
+        }
+        Ok(())
+    }
+
+    /// A whole host failed: mark every affected backend down. Returns
+    /// the affected `(service, vsn, capacity)` triples so the driver can
+    /// decide what to recover. (The Daemons' `fail_host` is called by
+    /// the driver; this is the Master-side bookkeeping.)
+    pub fn host_failed(&mut self, host: HostId) -> Vec<(ServiceId, VsnId, u32)> {
+        let affected: Vec<(ServiceId, VsnId, u32)> = self
+            .services
+            .values()
+            .filter(|rec| rec.state != ServiceState::TornDown)
+            .flat_map(|rec| {
+                rec.nodes
+                    .iter()
+                    .filter(|n| n.host == host)
+                    .map(move |n| (rec.id, n.vsn, n.capacity))
+            })
+            .collect();
+        for &(svc, vsn, _) in &affected {
+            if let Some(sw) = self.switches.get_mut(&svc) {
+                sw.set_health(vsn, false);
+            }
+        }
+        affected
+    }
+
+    /// Replace a dead node with a fresh one elsewhere (failover): place
+    /// the node's capacity on a surviving host that does not already
+    /// carry this service, begin priming, and rewrite the record. The
+    /// dead node's backend leaves the switch immediately; the new one
+    /// joins via [`SodaMaster::resize_node_ready`] when its bootstrap
+    /// finishes. If the old host is still alive (planned evacuation),
+    /// its slice is released.
+    pub fn replace_node(
+        &mut self,
+        service: ServiceId,
+        vsn: VsnId,
+        daemons: &mut [SodaDaemon],
+        now: SimTime,
+    ) -> Result<(HostId, PrimingTicket), SodaError> {
+        let rec = self.services.get(&service).ok_or(SodaError::UnknownService(service))?;
+        let dead = *rec.node(vsn).ok_or(SodaError::UnknownVsn(vsn))?;
+        let m_infl = self.inflated_machine(&rec.spec.machine);
+        let spec = rec.spec.clone();
+        let used_hosts: Vec<HostId> = rec.nodes.iter().map(|n| n.host).collect();
+        self.collect_resources(daemons, now);
+        let hosts: Vec<(HostId, ResourceVector)> = self
+            .inventory
+            .hosts()
+            .filter(|(id, _)| !used_hosts.contains(id))
+            .map(|(id, r)| (id, r.available))
+            .collect();
+        let plan = self
+            .placement
+            .place(dead.capacity, &m_infl, &hosts)
+            .filter(|p| p.len() == 1)
+            .ok_or_else(|| {
+                let available =
+                    hosts.iter().fold(ResourceVector::ZERO, |acc, &(_, a)| acc + a);
+                SodaError::AdmissionRejected { requested: m_infl * dead.capacity, available }
+            })?;
+        let target = plan[0].host;
+        let new_vsn = VsnId(self.next_vsn);
+        self.next_vsn += 1;
+        let daemon = daemons
+            .iter_mut()
+            .find(|d| d.host.id == target)
+            .expect("placement only chooses reported hosts");
+        let ticket = daemon.begin_priming(
+            new_vsn,
+            dead.capacity,
+            m_infl * dead.capacity,
+            &spec.image,
+            &spec.required_services,
+            spec.app_class,
+            &spec.name,
+            now,
+        )?;
+        // Drop the dead node: from the switch now, from the source
+        // daemon if it survives.
+        if let Some(sw) = self.switches.get_mut(&service) {
+            sw.remove_backend(vsn);
+        }
+        if let Some(d) = daemons.iter_mut().find(|d| d.host.id == dead.host) {
+            if !d.is_failed() {
+                let _ = d.teardown_vsn(vsn);
+            }
+        }
+        let rec = self.services.get_mut(&service).expect("checked");
+        if let Some(n) = rec.nodes.iter_mut().find(|n| n.vsn == vsn) {
+            n.vsn = new_vsn;
+            n.host = target;
+        }
+        rec.state = ServiceState::Resizing; // back to Running at node_ready
+        Ok((target, ticket))
+    }
+
+    /// A node crashed: mark it down in the switch (the service record
+    /// keeps the node; a re-prime can bring it back).
+    pub fn node_crashed(&mut self, service: ServiceId, vsn: VsnId) {
+        if let Some(sw) = self.switches.get_mut(&service) {
+            sw.set_health(vsn, false);
+        }
+    }
+
+    /// A crashed node recovered.
+    pub fn node_recovered(&mut self, service: ServiceId, vsn: VsnId) {
+        if let Some(sw) = self.switches.get_mut(&service) {
+            sw.set_health(vsn, true);
+        }
+    }
+
+    /// The service record.
+    pub fn service(&self, id: ServiceId) -> Option<&ServiceRecord> {
+        self.services.get(&id)
+    }
+
+    /// The service's switch.
+    pub fn switch(&self, id: ServiceId) -> Option<&ServiceSwitch> {
+        self.switches.get(&id)
+    }
+
+    /// Mutable switch access (routing mutates policy state).
+    pub fn switch_mut(&mut self, id: ServiceId) -> Option<&mut ServiceSwitch> {
+        self.switches.get_mut(&id)
+    }
+
+    /// All hosted services.
+    pub fn services(&self) -> impl Iterator<Item = &ServiceRecord> {
+        self.services.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soda_net::pool::IpPool;
+    use soda_vmm::rootfs::RootFsCatalog;
+    use soda_vmm::sysservices::StartupClass;
+
+    use soda_hup::host::HupHost;
+
+    fn testbed() -> Vec<SodaDaemon> {
+        vec![
+            SodaDaemon::new(HupHost::seattle(
+                HostId(1),
+                IpPool::new("128.10.9.120".parse().unwrap(), 8),
+            )),
+            SodaDaemon::new(HupHost::tacoma(
+                HostId(2),
+                IpPool::new("128.10.9.128".parse().unwrap(), 8),
+            )),
+        ]
+    }
+
+    fn web_spec(n: u32) -> ServiceSpec {
+        ServiceSpec {
+            name: "web".into(),
+            image: RootFsCatalog::new().base_1_0(),
+            required_services: vec!["network", "syslogd"],
+            app_class: StartupClass::Light,
+            instances: n,
+            machine: ResourceVector::TABLE1_EXAMPLE,
+            port: 8080,
+        }
+    }
+
+    #[test]
+    fn create_service_reproduces_figure2_layout() {
+        let mut master = SodaMaster::new();
+        let mut daemons = testbed();
+        let reply = master
+            .create_service_now(web_spec(3), "webco", &mut daemons, SimTime::ZERO)
+            .unwrap();
+        // <3, M> → 2M on seattle, 1M on tacoma (Figure 2 / Table 3).
+        assert_eq!(reply.nodes.len(), 2);
+        assert_eq!(reply.nodes[0].capacity, 2);
+        assert_eq!(reply.nodes[1].capacity, 1);
+        let rec = master.service(reply.service).unwrap();
+        assert_eq!(rec.state, ServiceState::Running);
+        assert_eq!(rec.nodes[0].host, HostId(1));
+        assert_eq!(rec.nodes[1].host, HostId(2));
+        // The switch's config file has the Table 3 shape.
+        let sw = master.switch(reply.service).unwrap();
+        let cfg = sw.config().to_string();
+        assert!(cfg.contains("8080 2"), "{cfg}");
+        assert!(cfg.contains("8080 1"), "{cfg}");
+        assert_eq!(sw.config().total_capacity(), 3);
+        assert!(reply.creation_time > SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn admission_inflates_by_slowdown_factor() {
+        let master = SodaMaster::new();
+        let m = ResourceVector::TABLE1_EXAMPLE;
+        let infl = master.inflated_machine(&m);
+        assert_eq!(infl.cpu_mhz, 768); // 512 × 1.5
+        assert_eq!(infl.bw_mbps, 15);
+        assert_eq!(infl.mem_mb, m.mem_mb);
+    }
+
+    #[test]
+    fn admission_rejects_oversized_requests() {
+        let mut master = SodaMaster::new();
+        let mut daemons = testbed();
+        let err = master
+            .create_service_now(web_spec(50), "webco", &mut daemons, SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, SodaError::AdmissionRejected { .. }));
+        // Nothing leaked.
+        assert_eq!(daemons[0].vsn_count(), 0);
+        assert_eq!(daemons[1].vsn_count(), 0);
+    }
+
+    #[test]
+    fn zero_instances_is_a_bad_request() {
+        let mut master = SodaMaster::new();
+        let mut daemons = testbed();
+        let err = master
+            .create_service_now(web_spec(0), "webco", &mut daemons, SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, SodaError::BadRequest(_)));
+    }
+
+    #[test]
+    fn teardown_releases_all_hosts() {
+        let mut master = SodaMaster::new();
+        let mut daemons = testbed();
+        let before: Vec<_> = daemons.iter().map(|d| d.report_resources()).collect();
+        let reply = master
+            .create_service_now(web_spec(3), "webco", &mut daemons, SimTime::ZERO)
+            .unwrap();
+        master.teardown(reply.service, &mut daemons).unwrap();
+        let after: Vec<_> = daemons.iter().map(|d| d.report_resources()).collect();
+        assert_eq!(before, after);
+        assert!(master.switch(reply.service).is_none());
+        assert_eq!(master.service(reply.service).unwrap().state, ServiceState::TornDown);
+        // Double teardown rejected.
+        assert!(matches!(
+            master.teardown(reply.service, &mut daemons),
+            Err(SodaError::InvalidState { .. })
+        ));
+    }
+
+    #[test]
+    fn resize_shrink_in_place_and_remove_nodes() {
+        let mut master = SodaMaster::new();
+        let mut daemons = testbed();
+        let reply = master
+            .create_service_now(web_spec(3), "webco", &mut daemons, SimTime::ZERO)
+            .unwrap();
+        // 3 → 2: drops the tacoma node entirely (capacity 1, shed from
+        // the end).
+        let out = master.resize(reply.service, 2, &mut daemons, SimTime::from_secs(10)).unwrap();
+        assert_eq!(out.removed.len(), 1);
+        assert!(out.tickets.is_empty());
+        let rec = master.service(reply.service).unwrap();
+        assert_eq!(rec.placed_capacity(), 2);
+        assert_eq!(rec.nodes.len(), 1);
+        let seattle_vsn = rec.nodes[0].vsn;
+        assert_eq!(master.switch(reply.service).unwrap().config().total_capacity(), 2);
+        assert_eq!(daemons[1].vsn_count(), 0, "tacoma node torn down");
+        // 2 → 1: in-place shrink of the seattle node.
+        let out = master.resize(reply.service, 1, &mut daemons, SimTime::from_secs(20)).unwrap();
+        assert_eq!(out.removed.len(), 0);
+        assert_eq!(out.resized, vec![(seattle_vsn, 1)]);
+        assert_eq!(
+            master.service(reply.service).unwrap().placed_capacity(),
+            1
+        );
+    }
+
+    #[test]
+    fn resize_grow_in_place() {
+        let mut master = SodaMaster::new();
+        let mut daemons = testbed();
+        let reply = master
+            .create_service_now(web_spec(2), "webco", &mut daemons, SimTime::ZERO)
+            .unwrap();
+        let rec_nodes = master.service(reply.service).unwrap().nodes.clone();
+        let out = master.resize(reply.service, 3, &mut daemons, SimTime::from_secs(5)).unwrap();
+        // Growth fits in place (seattle has headroom): no new tickets.
+        assert!(out.tickets.is_empty());
+        assert!(!out.resized.is_empty());
+        assert_eq!(master.service(reply.service).unwrap().placed_capacity(), 3);
+        assert_eq!(master.switch(reply.service).unwrap().config().total_capacity(), 3);
+        // The original node ids survive.
+        for n in &master.service(reply.service).unwrap().nodes {
+            assert!(rec_nodes.iter().any(|o| o.vsn == n.vsn));
+        }
+    }
+
+    #[test]
+    fn resize_noop_and_errors() {
+        let mut master = SodaMaster::new();
+        let mut daemons = testbed();
+        let reply = master
+            .create_service_now(web_spec(2), "webco", &mut daemons, SimTime::ZERO)
+            .unwrap();
+        let out = master.resize(reply.service, 2, &mut daemons, SimTime::ZERO).unwrap();
+        assert!(out.resized.is_empty() && out.removed.is_empty() && out.tickets.is_empty());
+        assert!(matches!(
+            master.resize(reply.service, 0, &mut daemons, SimTime::ZERO),
+            Err(SodaError::BadRequest(_))
+        ));
+        assert!(matches!(
+            master.resize(ServiceId(999), 1, &mut daemons, SimTime::ZERO),
+            Err(SodaError::UnknownService(_))
+        ));
+        // Oversized growth is rejected and rolls back.
+        let before = master.service(reply.service).unwrap().placed_capacity();
+        assert!(master.resize(reply.service, 60, &mut daemons, SimTime::ZERO).is_err());
+        assert_eq!(master.service(reply.service).unwrap().placed_capacity(), before);
+    }
+
+    #[test]
+    fn crash_marks_switch_unhealthy() {
+        let mut master = SodaMaster::new();
+        let mut daemons = testbed();
+        let reply = master
+            .create_service_now(web_spec(3), "webco", &mut daemons, SimTime::ZERO)
+            .unwrap();
+        let vsn = master.service(reply.service).unwrap().nodes[0].vsn;
+        master.node_crashed(reply.service, vsn);
+        let sw = master.switch_mut(reply.service).unwrap();
+        // All traffic now flows to the healthy tacoma node.
+        for _ in 0..10 {
+            let i = sw.route().unwrap();
+            let b = &sw.backends()[i];
+            assert_ne!(b.vsn, vsn);
+            sw.complete(i, SimDuration::from_millis(1));
+        }
+        master.node_recovered(reply.service, vsn);
+        let sw = master.switch_mut(reply.service).unwrap();
+        let mut saw_recovered = false;
+        for _ in 0..10 {
+            let i = sw.route().unwrap();
+            if sw.backends()[i].vsn == vsn {
+                saw_recovered = true;
+            }
+            sw.complete(i, SimDuration::from_millis(1));
+        }
+        assert!(saw_recovered);
+    }
+
+    #[test]
+    fn migration_moves_node_and_preserves_capacity() {
+        let mut master = SodaMaster::new();
+        let mut daemons = testbed();
+        // One node on seattle.
+        let reply = master
+            .create_service_now(web_spec(1), "webco", &mut daemons, SimTime::ZERO)
+            .unwrap();
+        let svc = reply.service;
+        let old_vsn = master.service(svc).unwrap().nodes[0].vsn;
+        let src = master.service(svc).unwrap().nodes[0].host;
+        assert_eq!(src, HostId(1));
+        let src_before = daemons[0].report_resources();
+        // Migrate to tacoma.
+        let out = master.migrate(svc, old_vsn, HostId(2), &mut daemons, SimTime::ZERO).unwrap();
+        assert_eq!(out.checkpoint_bytes, 256_000_000);
+        // Old node still serving while the replacement primes
+        // (make-before-break).
+        assert!(daemons[0].vsn(old_vsn).unwrap().is_running());
+        master
+            .complete_migration(&out, &mut daemons, SimTime::from_secs(30))
+            .unwrap();
+        let rec = master.service(svc).unwrap();
+        assert_eq!(rec.nodes.len(), 1);
+        assert_eq!(rec.nodes[0].host, HostId(2));
+        assert_eq!(rec.nodes[0].vsn, out.new_vsn);
+        assert_eq!(rec.placed_capacity(), 1);
+        // Source slice released; destination charged.
+        assert_eq!(daemons[0].report_resources(), src_before + master.inflated_machine(&rec.spec.machine));
+        assert_eq!(daemons[0].vsn_count(), 0);
+        assert_eq!(daemons[1].vsn_count(), 1);
+        // The switch routes to the new node.
+        let sw = master.switch_mut(svc).unwrap();
+        let i = sw.route().unwrap();
+        assert_eq!(sw.backends()[i].vsn, out.new_vsn);
+        sw.complete(i, SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn migration_error_paths() {
+        let mut master = SodaMaster::new();
+        let mut daemons = testbed();
+        let reply = master
+            .create_service_now(web_spec(3), "webco", &mut daemons, SimTime::ZERO)
+            .unwrap();
+        let svc = reply.service;
+        let vsn = master.service(svc).unwrap().nodes[0].vsn;
+        // Target == source.
+        assert!(matches!(
+            master.migrate(svc, vsn, HostId(1), &mut daemons, SimTime::ZERO),
+            Err(SodaError::BadRequest(_))
+        ));
+        // Target already hosts a node of this service.
+        assert!(matches!(
+            master.migrate(svc, vsn, HostId(2), &mut daemons, SimTime::ZERO),
+            Err(SodaError::BadRequest(_))
+        ));
+        // Unknown service / node.
+        assert!(master.migrate(ServiceId(99), vsn, HostId(2), &mut daemons, SimTime::ZERO).is_err());
+        assert!(master
+            .migrate(svc, VsnId(999), HostId(2), &mut daemons, SimTime::ZERO)
+            .is_err());
+    }
+
+    #[test]
+    fn two_services_share_the_hup() {
+        // The §5 testbed: web content (2 nodes) + honeypot (1 node on
+        // seattle) coexist.
+        let mut master = SodaMaster::new();
+        let mut daemons = testbed();
+        let web = master
+            .create_service_now(web_spec(3), "webco", &mut daemons, SimTime::ZERO)
+            .unwrap();
+        let honeypot_spec = ServiceSpec {
+            name: "honeypot".into(),
+            image: RootFsCatalog::new().tomsrtbt(),
+            required_services: vec!["network"],
+            app_class: StartupClass::Light,
+            instances: 1,
+            machine: ResourceVector::TABLE1_EXAMPLE,
+            port: 80,
+        };
+        let hp = master
+            .create_service_now(honeypot_spec, "seclab", &mut daemons, SimTime::ZERO)
+            .unwrap();
+        assert_ne!(web.service, hp.service);
+        assert_eq!(master.services().count(), 2);
+        let total_vsns: usize = daemons.iter().map(|d| d.vsn_count()).sum();
+        assert_eq!(total_vsns, 3);
+    }
+}

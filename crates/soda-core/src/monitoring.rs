@@ -1,0 +1,212 @@
+//! ASP-facing service monitoring.
+//!
+//! §1: "staff of the bioinformatics institute should be able to perform
+//! service monitoring and management, as if the service were hosted
+//! locally." The Agent already gives the ASP administration *inside*
+//! each guest (root of the guest OS); this module adds the outside-in
+//! view: a point-in-time snapshot of every node's state, traffic and
+//! latency, plus service-level health rollups.
+
+use soda_hup::daemon::SodaDaemon;
+use soda_hup::host::HostId;
+use soda_net::addr::Ipv4Addr;
+use soda_sim::SimTime;
+use soda_vmm::vsn::{VsnId, VsnState};
+
+use crate::master::SodaMaster;
+use crate::service::ServiceId;
+
+/// One node's monitoring entry.
+#[derive(Clone, Debug)]
+pub struct NodeStatus {
+    /// The node.
+    pub vsn: VsnId,
+    /// Host carrying it.
+    pub host: HostId,
+    /// Node address (if assigned).
+    pub ip: Option<Ipv4Addr>,
+    /// Relative capacity (machine instances).
+    pub capacity: u32,
+    /// Lifecycle state.
+    pub state: VsnState,
+    /// Crashes observed so far.
+    pub crash_count: u32,
+    /// Running since (None when not running).
+    pub running_since: Option<SimTime>,
+    /// Requests served (from the switch).
+    pub served: u64,
+    /// Requests in flight (from the switch).
+    pub outstanding: u32,
+    /// Mean response time, seconds (0 before any completion).
+    pub mean_response_secs: f64,
+    /// Host-side processes the node currently runs.
+    pub process_count: usize,
+}
+
+/// Service-level rollup.
+#[derive(Clone, Debug)]
+pub struct ServiceStatus {
+    /// The service.
+    pub service: ServiceId,
+    /// Snapshot time.
+    pub taken_at: SimTime,
+    /// Per-node entries, placement order.
+    pub nodes: Vec<NodeStatus>,
+    /// Fraction of nodes currently Running.
+    pub healthy_fraction: f64,
+    /// Total requests served across nodes.
+    pub total_served: u64,
+    /// Requests dropped by the switch (no healthy backend).
+    pub switch_dropped: u64,
+}
+
+impl ServiceStatus {
+    /// True iff every node is running.
+    pub fn all_healthy(&self) -> bool {
+        self.healthy_fraction >= 1.0
+    }
+}
+
+/// Take a monitoring snapshot of one service. Returns `None` for an
+/// unknown service.
+pub fn snapshot(
+    master: &SodaMaster,
+    daemons: &[SodaDaemon],
+    service: ServiceId,
+    now: SimTime,
+) -> Option<ServiceStatus> {
+    let rec = master.service(service)?;
+    let switch = master.switch(service);
+    let mut nodes = Vec::with_capacity(rec.nodes.len());
+    let mut running = 0usize;
+    let mut total_served = 0u64;
+    for placed in &rec.nodes {
+        let daemon = daemons.iter().find(|d| d.host.id == placed.host)?;
+        let vsn = daemon.vsn(placed.vsn)?;
+        let (served, outstanding, mean) = switch
+            .and_then(|sw| {
+                sw.index_of(placed.vsn).map(|i| {
+                    let b = &sw.backends()[i];
+                    (b.served, b.outstanding, b.response_stats.mean())
+                })
+            })
+            .unwrap_or((0, 0, 0.0));
+        if vsn.is_running() {
+            running += 1;
+        }
+        total_served += served;
+        nodes.push(NodeStatus {
+            vsn: placed.vsn,
+            host: placed.host,
+            ip: vsn.ip,
+            capacity: placed.capacity,
+            state: vsn.state().clone(),
+            crash_count: vsn.crash_count,
+            running_since: vsn.running_since,
+            served,
+            outstanding,
+            mean_response_secs: mean,
+            process_count: daemon.host.processes.count_uid(vsn.uid),
+        });
+    }
+    let healthy_fraction =
+        if nodes.is_empty() { 0.0 } else { running as f64 / nodes.len() as f64 };
+    Some(ServiceStatus {
+        service,
+        taken_at: now,
+        nodes,
+        healthy_fraction,
+        total_served,
+        switch_dropped: switch.map(|s| s.dropped()).unwrap_or(0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceSpec;
+    use soda_hostos::resources::ResourceVector;
+    use soda_hup::host::HupHost;
+    use soda_net::pool::IpPool;
+    use soda_sim::SimDuration;
+    use soda_vmm::rootfs::RootFsCatalog;
+    use soda_vmm::sysservices::StartupClass;
+
+    fn setup() -> (SodaMaster, Vec<SodaDaemon>, ServiceId) {
+        let mut master = SodaMaster::new();
+        let mut daemons = vec![
+            SodaDaemon::new(HupHost::seattle(
+                HostId(1),
+                IpPool::new("10.0.0.0".parse().unwrap(), 8),
+            )),
+            SodaDaemon::new(HupHost::tacoma(
+                HostId(2),
+                IpPool::new("10.0.1.0".parse().unwrap(), 8),
+            )),
+        ];
+        let spec = ServiceSpec {
+            name: "web".into(),
+            image: RootFsCatalog::new().base_1_0(),
+            required_services: vec!["network", "syslogd"],
+            app_class: StartupClass::Light,
+            instances: 3,
+            machine: ResourceVector::TABLE1_EXAMPLE,
+            port: 8080,
+        };
+        let reply = master
+            .create_service_now(spec, "webco", &mut daemons, SimTime::ZERO)
+            .unwrap();
+        (master, daemons, reply.service)
+    }
+
+    #[test]
+    fn healthy_snapshot() {
+        let (master, daemons, svc) = setup();
+        let s = snapshot(&master, &daemons, svc, SimTime::from_secs(10)).unwrap();
+        assert_eq!(s.nodes.len(), 2);
+        assert!(s.all_healthy());
+        assert_eq!(s.healthy_fraction, 1.0);
+        assert_eq!(s.total_served, 0);
+        for n in &s.nodes {
+            assert_eq!(n.state, VsnState::Running);
+            assert!(n.ip.is_some());
+            assert!(n.process_count >= 5, "guest threads + services + app");
+            assert_eq!(n.crash_count, 0);
+            assert!(n.running_since.is_some());
+        }
+        assert_eq!(s.nodes[0].capacity, 2);
+        assert_eq!(s.nodes[1].capacity, 1);
+    }
+
+    #[test]
+    fn snapshot_reflects_traffic_and_crashes() {
+        let (mut master, mut daemons, svc) = setup();
+        // Serve a few requests through the switch.
+        for _ in 0..6 {
+            let sw = master.switch_mut(svc).unwrap();
+            let i = sw.route().unwrap();
+            sw.complete(i, SimDuration::from_millis(10));
+        }
+        // Crash the tacoma node.
+        let tacoma_vsn = master.service(svc).unwrap().nodes[1].vsn;
+        daemons[1].crash_vsn(tacoma_vsn).unwrap();
+        master.node_crashed(svc, tacoma_vsn);
+        let s = snapshot(&master, &daemons, svc, SimTime::from_secs(20)).unwrap();
+        assert_eq!(s.total_served, 6);
+        assert!(!s.all_healthy());
+        assert!((s.healthy_fraction - 0.5).abs() < 1e-12);
+        let t = s.nodes.iter().find(|n| n.vsn == tacoma_vsn).unwrap();
+        assert_eq!(t.state, VsnState::Crashed);
+        assert_eq!(t.crash_count, 1);
+        assert_eq!(t.process_count, 0, "crashed guest has no processes");
+        assert!(t.running_since.is_none());
+        let seattle = &s.nodes[0];
+        assert!(seattle.mean_response_secs > 0.0);
+    }
+
+    #[test]
+    fn unknown_service_yields_none() {
+        let (master, daemons, _) = setup();
+        assert!(snapshot(&master, &daemons, ServiceId(999), SimTime::ZERO).is_none());
+    }
+}

@@ -1,0 +1,287 @@
+//! Partitionable services — §3.5 limitation 3.
+//!
+//! "Currently, SODA only supports fully replicated services, i.e. the
+//! same service image is mapped to every virtual service node. However,
+//! a more flexible service image mapping is desirable … for example, a
+//! partitionable service \[25\] where different service components are
+//! mapped to different virtual service nodes."
+//!
+//! This extension composes the existing Master machinery: a partitioned
+//! service is a named set of *components*, each with its **own image**
+//! and its own `<n, M>`; each component is created as a service of its
+//! own (own nodes, own switch), and the partition object routes by
+//! component name. Creation is atomic: if any component fails admission,
+//! the ones already created are rolled back.
+
+use std::fmt;
+
+use soda_hup::daemon::SodaDaemon;
+use soda_sim::SimTime;
+
+use crate::error::SodaError;
+use crate::master::SodaMaster;
+use crate::service::{ServiceId, ServiceSpec};
+
+/// Identifier of a partitioned service.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PartitionId(pub u64);
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "part-{}", self.0)
+    }
+}
+
+/// A partitioned service's specification: an ordered list of components,
+/// each a full [`ServiceSpec`] (own image, own `<n, M>`, own port).
+#[derive(Clone, Debug)]
+pub struct PartitionedSpec {
+    /// Partition name.
+    pub name: String,
+    /// The components, e.g. `web` / `app` / `db`.
+    pub components: Vec<ServiceSpec>,
+}
+
+/// A created partitioned service.
+#[derive(Clone, Debug)]
+pub struct PartitionedService {
+    /// Partition id.
+    pub id: PartitionId,
+    /// Partition name.
+    pub name: String,
+    /// `(component name, underlying service)` in spec order.
+    pub components: Vec<(String, ServiceId)>,
+}
+
+impl PartitionedService {
+    /// The underlying service of a component.
+    pub fn component(&self, name: &str) -> Option<ServiceId> {
+        self.components.iter().find(|(n, _)| n == name).map(|&(_, id)| id)
+    }
+}
+
+/// Create every component, atomically: on the first failure all
+/// previously created components are torn down and the error returned.
+pub fn create_partitioned_now(
+    master: &mut SodaMaster,
+    spec: &PartitionedSpec,
+    asp: &str,
+    daemons: &mut [SodaDaemon],
+    now: SimTime,
+    id: PartitionId,
+) -> Result<PartitionedService, SodaError> {
+    if spec.components.is_empty() {
+        return Err(SodaError::BadRequest("partition needs at least one component".into()));
+    }
+    let mut created: Vec<(String, ServiceId)> = Vec::with_capacity(spec.components.len());
+    for comp in &spec.components {
+        match master.create_service_now(comp.clone(), asp, daemons, now) {
+            Ok(reply) => created.push((comp.name.clone(), reply.service)),
+            Err(e) => {
+                // Roll back what exists so far.
+                for (_, svc) in created {
+                    let _ = master.teardown(svc, daemons);
+                }
+                return Err(e);
+            }
+        }
+    }
+    Ok(PartitionedService { id, name: spec.name.clone(), components: created })
+}
+
+/// Tear the whole partition down.
+pub fn teardown_partitioned(
+    master: &mut SodaMaster,
+    partition: &PartitionedService,
+    daemons: &mut [SodaDaemon],
+) -> Result<(), SodaError> {
+    for (_, svc) in &partition.components {
+        master.teardown(*svc, daemons)?;
+    }
+    Ok(())
+}
+
+/// Route one request to a named component's switch; returns the backend
+/// index chosen, for completion bookkeeping by the caller.
+pub fn route_component(
+    master: &mut SodaMaster,
+    partition: &PartitionedService,
+    component: &str,
+) -> Option<(ServiceId, usize)> {
+    let svc = partition.component(component)?;
+    let idx = master.switch_mut(svc)?.route()?;
+    Some((svc, idx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soda_hostos::resources::ResourceVector;
+    use soda_hup::host::{HostId, HupHost};
+    use soda_net::pool::IpPool;
+    use soda_sim::SimDuration;
+    use soda_vmm::rootfs::RootFsCatalog;
+    use soda_vmm::sysservices::StartupClass;
+
+    fn daemons() -> Vec<SodaDaemon> {
+        vec![
+            SodaDaemon::new(HupHost::seattle(
+                HostId(1),
+                IpPool::new("10.0.0.0".parse().unwrap(), 8),
+            )),
+            SodaDaemon::new(HupHost::tacoma(
+                HostId(2),
+                IpPool::new("10.0.1.0".parse().unwrap(), 8),
+            )),
+        ]
+    }
+
+    fn three_tier() -> PartitionedSpec {
+        let c = RootFsCatalog::new();
+        let m = ResourceVector::TABLE1_EXAMPLE;
+        PartitionedSpec {
+            name: "shop".into(),
+            components: vec![
+                ServiceSpec {
+                    name: "web".into(),
+                    image: c.base_1_0(),
+                    required_services: vec!["network", "syslogd"],
+                    app_class: StartupClass::Light,
+                    instances: 2,
+                    machine: m,
+                    port: 80,
+                },
+                ServiceSpec {
+                    name: "app".into(),
+                    image: c.custom("app_fs", 25_000_000, 10_000_000, &["network", "syslogd"], false),
+                    required_services: vec!["network", "syslogd"],
+                    app_class: StartupClass::Heavy,
+                    instances: 1,
+                    machine: m,
+                    port: 9000,
+                },
+                ServiceSpec {
+                    name: "db".into(),
+                    image: c.custom("db_fs", 40_000_000, 200_000_000, &["network", "syslogd", "mysqld"], false),
+                    required_services: vec!["network", "syslogd", "mysqld"],
+                    app_class: StartupClass::Heavy,
+                    instances: 1,
+                    machine: m,
+                    port: 3306,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn three_tier_creation_maps_different_images() {
+        let mut master = SodaMaster::new();
+        let mut ds = daemons();
+        let part = create_partitioned_now(
+            &mut master,
+            &three_tier(),
+            "shopco",
+            &mut ds,
+            SimTime::ZERO,
+            PartitionId(1),
+        )
+        .unwrap();
+        assert_eq!(part.components.len(), 3);
+        // Each component has its own service, its own switch, its own
+        // image.
+        let web = part.component("web").unwrap();
+        let db = part.component("db").unwrap();
+        assert_ne!(web, db);
+        assert!(part.component("cache").is_none());
+        assert_eq!(master.service(web).unwrap().spec.image.name, "rootfs_base_1.0");
+        assert_eq!(master.service(db).unwrap().spec.image.name, "db_fs");
+        assert_eq!(master.switch(web).unwrap().config().total_capacity(), 2);
+        assert_eq!(master.switch(db).unwrap().config().total_capacity(), 1);
+        // Total VSNs across the HUP: web(2 nodes or 1) + app(1) + db(1).
+        let total: usize = ds.iter().map(|d| d.vsn_count()).sum();
+        assert!(total >= 3);
+    }
+
+    #[test]
+    fn components_route_independently() {
+        let mut master = SodaMaster::new();
+        let mut ds = daemons();
+        let part = create_partitioned_now(
+            &mut master,
+            &three_tier(),
+            "shopco",
+            &mut ds,
+            SimTime::ZERO,
+            PartitionId(1),
+        )
+        .unwrap();
+        // A request path: web → app → db, each hop through its own
+        // switch.
+        for tier in ["web", "app", "db"] {
+            let (svc, idx) = route_component(&mut master, &part, tier).unwrap();
+            master.switch_mut(svc).unwrap().complete(idx, SimDuration::from_millis(2));
+        }
+        for tier in ["web", "app", "db"] {
+            let svc = part.component(tier).unwrap();
+            let served: u64 =
+                master.switch(svc).unwrap().served_counts().iter().sum();
+            assert_eq!(served, 1, "{tier}");
+        }
+        assert!(route_component(&mut master, &part, "nope").is_none());
+    }
+
+    #[test]
+    fn failed_component_rolls_back_partition() {
+        let mut master = SodaMaster::new();
+        let mut ds = daemons();
+        let baseline: Vec<_> = ds.iter().map(|d| d.report_resources()).collect();
+        let mut spec = three_tier();
+        // Make the db tier impossible.
+        spec.components[2].instances = 50;
+        let err = create_partitioned_now(
+            &mut master,
+            &spec,
+            "shopco",
+            &mut ds,
+            SimTime::ZERO,
+            PartitionId(1),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SodaError::AdmissionRejected { .. }));
+        // Everything rolled back.
+        let after: Vec<_> = ds.iter().map(|d| d.report_resources()).collect();
+        assert_eq!(after, baseline);
+        let total: usize = ds.iter().map(|d| d.vsn_count()).sum();
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn teardown_releases_all_components() {
+        let mut master = SodaMaster::new();
+        let mut ds = daemons();
+        let baseline: Vec<_> = ds.iter().map(|d| d.report_resources()).collect();
+        let part = create_partitioned_now(
+            &mut master,
+            &three_tier(),
+            "shopco",
+            &mut ds,
+            SimTime::ZERO,
+            PartitionId(1),
+        )
+        .unwrap();
+        teardown_partitioned(&mut master, &part, &mut ds).unwrap();
+        let after: Vec<_> = ds.iter().map(|d| d.report_resources()).collect();
+        assert_eq!(after, baseline);
+    }
+
+    #[test]
+    fn empty_partition_rejected() {
+        let mut master = SodaMaster::new();
+        let mut ds = daemons();
+        let spec = PartitionedSpec { name: "x".into(), components: vec![] };
+        assert!(matches!(
+            create_partitioned_now(&mut master, &spec, "a", &mut ds, SimTime::ZERO, PartitionId(1)),
+            Err(SodaError::BadRequest(_))
+        ));
+    }
+}

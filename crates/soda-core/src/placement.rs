@@ -1,0 +1,295 @@
+//! Slice placement — mapping `<n, M>` onto HUP hosts.
+//!
+//! §3.2: "The SODA Master maps the service resource requirement `<n, M>`
+//! to `n'` (`n' ≤ n`) virtual service nodes. Our current implementation
+//! assumes that (1) service S is fully replicated in each virtual
+//! service node and (2) the minimum granularity of each virtual service
+//! node is one machine instance M — the capacity of one virtual service
+//! node is either one M or a multiple of M."
+//!
+//! A plan therefore assigns each chosen host at most one node, with an
+//! integer number of instances; the node's slice is `instances × M`
+//! (no resource aggregation, per footnote 2). Three classic policies are
+//! provided; the Master defaults to [`WorstFit`] (spread for balance),
+//! which reproduces the paper's Figure 2 layout — 2 M on *seattle*,
+//! 1 M on *tacoma* for `<3, M>`.
+
+use soda_hostos::resources::ResourceVector;
+use soda_hup::host::HostId;
+
+/// One planned node: `instances × M` on `host`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodePlan {
+    /// Target host.
+    pub host: HostId,
+    /// Machine instances mapped to this node (≥ 1).
+    pub instances: u32,
+}
+
+/// A placement algorithm.
+pub trait PlacementPolicy: Send {
+    /// Place `n` instances of (already slow-down-inflated) `m` on
+    /// `hosts` (id + current availability, in id order). Returns `None`
+    /// if the demand cannot be fully placed — admission then fails.
+    fn place(
+        &self,
+        n: u32,
+        m: &ResourceVector,
+        hosts: &[(HostId, ResourceVector)],
+    ) -> Option<Vec<NodePlan>>;
+
+    /// Policy name for experiment output.
+    fn name(&self) -> &'static str;
+}
+
+fn finish(mut counts: Vec<(HostId, u32)>) -> Vec<NodePlan> {
+    counts.retain(|&(_, k)| k > 0);
+    counts.into_iter().map(|(host, instances)| NodePlan { host, instances }).collect()
+}
+
+/// First-fit: walk hosts in id order, packing as many instances as fit
+/// before moving on. Minimises the number of nodes (and hence switch
+/// fan-out) but concentrates load.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FirstFit;
+
+impl PlacementPolicy for FirstFit {
+    fn place(
+        &self,
+        n: u32,
+        m: &ResourceVector,
+        hosts: &[(HostId, ResourceVector)],
+    ) -> Option<Vec<NodePlan>> {
+        let mut remaining = n;
+        let mut counts = Vec::new();
+        for &(id, avail) in hosts {
+            if remaining == 0 {
+                break;
+            }
+            let fit = avail.instances_of(m).min(remaining);
+            if fit > 0 {
+                counts.push((id, fit));
+                remaining -= fit;
+            }
+        }
+        (remaining == 0).then(|| finish(counts))
+    }
+
+    fn name(&self) -> &'static str {
+        "first-fit"
+    }
+}
+
+/// Best-fit: place instances one at a time on the host with the *least*
+/// remaining headroom that still fits. Preserves large holes for large
+/// future requests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BestFit;
+
+/// Worst-fit: place instances one at a time on the host with the *most*
+/// remaining headroom. Spreads load — the Master's default.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorstFit;
+
+fn one_at_a_time(
+    n: u32,
+    m: &ResourceVector,
+    hosts: &[(HostId, ResourceVector)],
+    prefer_most_headroom: bool,
+) -> Option<Vec<NodePlan>> {
+    let mut avail: Vec<(HostId, ResourceVector)> = hosts.to_vec();
+    let mut counts: Vec<(HostId, u32)> = hosts.iter().map(|&(id, _)| (id, 0)).collect();
+    for _ in 0..n {
+        // Headroom measured in whole instances of m.
+        let mut best: Option<(usize, u32)> = None;
+        for (i, &(_, a)) in avail.iter().enumerate() {
+            let k = a.instances_of(m);
+            if k == 0 {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((_, bk)) => {
+                    if prefer_most_headroom {
+                        k > bk
+                    } else {
+                        k < bk
+                    }
+                }
+            };
+            if better {
+                best = Some((i, k));
+            }
+        }
+        let (i, _) = best?;
+        avail[i].1 -= *m;
+        counts[i].1 += 1;
+    }
+    Some(finish(counts))
+}
+
+impl PlacementPolicy for BestFit {
+    fn place(
+        &self,
+        n: u32,
+        m: &ResourceVector,
+        hosts: &[(HostId, ResourceVector)],
+    ) -> Option<Vec<NodePlan>> {
+        one_at_a_time(n, m, hosts, false)
+    }
+
+    fn name(&self) -> &'static str {
+        "best-fit"
+    }
+}
+
+impl PlacementPolicy for WorstFit {
+    fn place(
+        &self,
+        n: u32,
+        m: &ResourceVector,
+        hosts: &[(HostId, ResourceVector)],
+    ) -> Option<Vec<NodePlan>> {
+        one_at_a_time(n, m, hosts, true)
+    }
+
+    fn name(&self) -> &'static str {
+        "worst-fit"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn m() -> ResourceVector {
+        ResourceVector::new(512, 256, 1024, 10)
+    }
+
+    /// seattle/tacoma-shaped availability: seattle fits 3 M, tacoma 2 M.
+    fn testbed() -> Vec<(HostId, ResourceVector)> {
+        vec![
+            (HostId(1), ResourceVector::new(1800, 1500, 50_000, 80)),
+            (HostId(2), ResourceVector::new(1100, 600, 30_000, 60)),
+        ]
+    }
+
+    #[test]
+    fn worst_fit_reproduces_figure2_layout() {
+        // <3, M> over seattle+tacoma → 2 M on seattle, 1 M on tacoma.
+        let plan = WorstFit.place(3, &m(), &testbed()).unwrap();
+        assert_eq!(
+            plan,
+            vec![
+                NodePlan { host: HostId(1), instances: 2 },
+                NodePlan { host: HostId(2), instances: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn first_fit_packs_lowest_host() {
+        let plan = FirstFit.place(3, &m(), &testbed()).unwrap();
+        assert_eq!(plan, vec![NodePlan { host: HostId(1), instances: 3 }]);
+        let plan4 = FirstFit.place(4, &m(), &testbed()).unwrap();
+        assert_eq!(
+            plan4,
+            vec![
+                NodePlan { host: HostId(1), instances: 3 },
+                NodePlan { host: HostId(2), instances: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn best_fit_fills_tightest_host_first() {
+        let plan = BestFit.place(2, &m(), &testbed()).unwrap();
+        assert_eq!(plan, vec![NodePlan { host: HostId(2), instances: 2 }]);
+    }
+
+    #[test]
+    fn all_policies_fail_cleanly_when_demand_exceeds_capacity() {
+        for policy in [&FirstFit as &dyn PlacementPolicy, &BestFit, &WorstFit] {
+            assert!(policy.place(6, &m(), &testbed()).is_none(), "{}", policy.name());
+            assert!(policy.place(1, &m(), &[]).is_none(), "{}", policy.name());
+        }
+    }
+
+    #[test]
+    fn zero_instances_yields_empty_plan() {
+        // n = 0 is rejected upstream by the API, but the algorithms
+        // degrade gracefully.
+        let plan = WorstFit.place(0, &m(), &testbed()).unwrap();
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn multidimensional_constraint_respected() {
+        // A host with plenty of CPU but no bandwidth cannot take a node.
+        let hosts = vec![
+            (HostId(1), ResourceVector::new(10_000, 10_000, 100_000, 5)),
+            (HostId(2), ResourceVector::new(600, 300, 2_000, 100)),
+        ];
+        let plan = WorstFit.place(1, &m(), &hosts).unwrap();
+        assert_eq!(plan[0].host, HostId(2), "bandwidth-starved host skipped");
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(FirstFit.name(), "first-fit");
+        assert_eq!(BestFit.name(), "best-fit");
+        assert_eq!(WorstFit.name(), "worst-fit");
+    }
+
+    proptest! {
+        /// Every successful plan (a) places exactly n instances, (b) has
+        /// at most one node per host, and (c) never oversubscribes any
+        /// host dimension.
+        #[test]
+        fn prop_plan_validity(
+            n in 1u32..12,
+            hosts in proptest::collection::vec((1u32..6, 1u32..6, 1u32..6, 1u32..6), 1..5),
+            which in 0usize..3
+        ) {
+            let m = ResourceVector::new(512, 256, 1024, 10);
+            let host_list: Vec<(HostId, ResourceVector)> = hosts
+                .iter()
+                .enumerate()
+                .map(|(i, &(a, b, c, d))| {
+                    (HostId(i as u32), ResourceVector::new(512 * a, 256 * b, 1024 * c, 10 * d))
+                })
+                .collect();
+            let policy: &dyn PlacementPolicy = match which {
+                0 => &FirstFit,
+                1 => &BestFit,
+                _ => &WorstFit,
+            };
+            if let Some(plan) = policy.place(n, &m, &host_list) {
+                let total: u32 = plan.iter().map(|p| p.instances).sum();
+                prop_assert_eq!(total, n);
+                let mut seen = std::collections::HashSet::new();
+                for node in &plan {
+                    prop_assert!(node.instances >= 1);
+                    prop_assert!(seen.insert(node.host), "host used twice");
+                    let avail = host_list.iter().find(|&&(id, _)| id == node.host).unwrap().1;
+                    prop_assert!(avail.covers(&(m * node.instances)),
+                        "{:?} oversubscribed", node.host);
+                }
+            }
+        }
+
+        /// The three policies agree on feasibility (all succeed or all
+        /// fail) for single-host pools.
+        #[test]
+        fn prop_single_host_feasibility(n in 1u32..10, k in 1u32..10) {
+            let m = ResourceVector::new(512, 256, 1024, 10);
+            let hosts = vec![(HostId(1), m * k)];
+            let results: Vec<bool> = [&FirstFit as &dyn PlacementPolicy, &BestFit, &WorstFit]
+                .iter()
+                .map(|p| p.place(n, &m, &hosts).is_some())
+                .collect();
+            prop_assert!(results.iter().all(|&r| r == (n <= k)));
+        }
+    }
+}

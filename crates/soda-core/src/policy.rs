@@ -1,0 +1,391 @@
+//! Request-switching policies.
+//!
+//! "The service switch enforces a default request switching policy,
+//! which can be *replaced* with a service-specific policy by the ASP."
+//! (§3.4) The default in the paper's experiments is weighted round-robin
+//! "with the weights reflecting the capacity of the two virtual service
+//! nodes" (§5). The trait below is the replacement point; several
+//! alternatives are provided, including a deliberately ill-behaved one
+//! for the isolation argument ("even if the service-specific policy is
+//! ill-behaving, it will not affect other services hosted in the HUP").
+
+use soda_sim::SimRng;
+
+/// What a policy sees about each backend at pick time.
+#[derive(Clone, Copy, Debug)]
+pub struct BackendView {
+    /// Relative capacity (machine instances `M`).
+    pub capacity: u32,
+    /// Healthy (running, reachable)?
+    pub healthy: bool,
+    /// Requests currently in flight to this backend.
+    pub outstanding: u32,
+    /// Exponentially weighted moving average of observed response time
+    /// (seconds; 0.0 until the first completion).
+    pub ewma_response: f64,
+}
+
+/// A replaceable request-switching policy.
+pub trait SwitchPolicy: Send {
+    /// Choose a backend index for the next request, or `None` to drop it
+    /// (no healthy backend, or a broken custom policy).
+    fn pick(&mut self, backends: &[BackendView]) -> Option<usize>;
+
+    /// Human-readable name for experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// Smooth weighted round-robin (the default policy): each backend's
+/// current weight grows by its capacity every round; the largest current
+/// weight wins and is decremented by the total. Produces exactly
+/// capacity-proportional interleavings, matching Figure 4's
+/// "approximately twice as many requests".
+///
+/// ```
+/// use soda_core::policy::{BackendView, SwitchPolicy, WeightedRoundRobin};
+/// let backends: Vec<BackendView> = [2, 1]
+///     .iter()
+///     .map(|&capacity| BackendView {
+///         capacity,
+///         healthy: true,
+///         outstanding: 0,
+///         ewma_response: 0.0,
+///     })
+///     .collect();
+/// let mut wrr = WeightedRoundRobin::new();
+/// let picks: Vec<usize> = (0..6).map(|_| wrr.pick(&backends).unwrap()).collect();
+/// // Period A B A: the 2-capacity backend serves twice as often.
+/// assert_eq!(picks, vec![0, 1, 0, 0, 1, 0]);
+/// ```
+#[derive(Debug, Default)]
+pub struct WeightedRoundRobin {
+    current: Vec<i64>,
+}
+
+impl WeightedRoundRobin {
+    /// A fresh instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SwitchPolicy for WeightedRoundRobin {
+    fn pick(&mut self, backends: &[BackendView]) -> Option<usize> {
+        if self.current.len() != backends.len() {
+            self.current = vec![0; backends.len()];
+        }
+        let mut total: i64 = 0;
+        let mut best: Option<usize> = None;
+        for (i, b) in backends.iter().enumerate() {
+            if !b.healthy || b.capacity == 0 {
+                continue;
+            }
+            let w = b.capacity as i64;
+            self.current[i] += w;
+            total += w;
+            match best {
+                Some(j) if self.current[j] >= self.current[i] => {}
+                _ => best = Some(i),
+            }
+        }
+        let chosen = best?;
+        self.current[chosen] -= total;
+        Some(chosen)
+    }
+
+    fn name(&self) -> &'static str {
+        "weighted-round-robin"
+    }
+}
+
+/// Plain round-robin, ignoring capacity.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// A fresh instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SwitchPolicy for RoundRobin {
+    fn pick(&mut self, backends: &[BackendView]) -> Option<usize> {
+        if backends.is_empty() {
+            return None;
+        }
+        for _ in 0..backends.len() {
+            let i = self.next % backends.len();
+            self.next = self.next.wrapping_add(1);
+            if backends[i].healthy {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Uniform random choice among healthy backends.
+#[derive(Debug)]
+pub struct RandomPolicy {
+    rng: SimRng,
+}
+
+impl RandomPolicy {
+    /// A seeded random policy (deterministic per seed).
+    pub fn new(seed: u64) -> Self {
+        RandomPolicy { rng: SimRng::new(seed) }
+    }
+}
+
+impl SwitchPolicy for RandomPolicy {
+    fn pick(&mut self, backends: &[BackendView]) -> Option<usize> {
+        let healthy: Vec<usize> = backends
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.healthy)
+            .map(|(i, _)| i)
+            .collect();
+        if healthy.is_empty() {
+            None
+        } else {
+            Some(healthy[self.rng.index(healthy.len())])
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Least outstanding-per-capacity: send to the backend with the lowest
+/// normalised in-flight count.
+#[derive(Debug, Default)]
+pub struct LeastConnections;
+
+impl LeastConnections {
+    /// A fresh instance.
+    pub fn new() -> Self {
+        LeastConnections
+    }
+}
+
+impl SwitchPolicy for LeastConnections {
+    fn pick(&mut self, backends: &[BackendView]) -> Option<usize> {
+        backends
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.healthy && b.capacity > 0)
+            .min_by(|(_, a), (_, b)| {
+                let la = a.outstanding as f64 / a.capacity as f64;
+                let lb = b.outstanding as f64 / b.capacity as f64;
+                la.partial_cmp(&lb).expect("loads are finite")
+            })
+            .map(|(i, _)| i)
+    }
+
+    fn name(&self) -> &'static str {
+        "least-connections"
+    }
+}
+
+/// Pick the backend with the lowest observed EWMA response time
+/// (falling back to capacity order before any feedback exists).
+#[derive(Debug, Default)]
+pub struct FastestResponse;
+
+impl FastestResponse {
+    /// A fresh instance.
+    pub fn new() -> Self {
+        FastestResponse
+    }
+}
+
+impl SwitchPolicy for FastestResponse {
+    fn pick(&mut self, backends: &[BackendView]) -> Option<usize> {
+        backends
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.healthy)
+            .min_by(|(_, a), (_, b)| {
+                a.ewma_response
+                    .partial_cmp(&b.ewma_response)
+                    .expect("EWMAs are finite")
+                    .then(b.capacity.cmp(&a.capacity))
+            })
+            .map(|(i, _)| i)
+    }
+
+    fn name(&self) -> &'static str {
+        "fastest-response"
+    }
+}
+
+/// A deliberately ill-behaved "service-specific" policy: it dumps every
+/// request on backend 0, healthy or not. Used to demonstrate that a bad
+/// ASP policy only hurts its own service (§5).
+#[derive(Debug, Default)]
+pub struct IllBehaved;
+
+impl IllBehaved {
+    /// A fresh instance.
+    pub fn new() -> Self {
+        IllBehaved
+    }
+}
+
+impl SwitchPolicy for IllBehaved {
+    fn pick(&mut self, backends: &[BackendView]) -> Option<usize> {
+        if backends.is_empty() {
+            None
+        } else {
+            Some(0)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ill-behaved"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn views(caps: &[u32]) -> Vec<BackendView> {
+        caps.iter()
+            .map(|&c| BackendView { capacity: c, healthy: true, outstanding: 0, ewma_response: 0.0 })
+            .collect()
+    }
+
+    fn tally(policy: &mut dyn SwitchPolicy, backends: &[BackendView], n: usize) -> Vec<u32> {
+        let mut counts = vec![0u32; backends.len()];
+        for _ in 0..n {
+            if let Some(i) = policy.pick(backends) {
+                counts[i] += 1;
+            }
+        }
+        counts
+    }
+
+    #[test]
+    fn wrr_exact_2_to_1() {
+        // The Figure 2 configuration: seattle 2M, tacoma 1M.
+        let mut p = WeightedRoundRobin::new();
+        let b = views(&[2, 1]);
+        let counts = tally(&mut p, &b, 300);
+        assert_eq!(counts, vec![200, 100], "exactly 2:1 over full rounds");
+    }
+
+    #[test]
+    fn wrr_interleaves_smoothly() {
+        // Smooth WRR spreads the minority backend out: 2:1 gives the
+        // period A B A, never A A B B …
+        let mut p = WeightedRoundRobin::new();
+        let b = views(&[2, 1]);
+        let seq: Vec<usize> = (0..6).map(|_| p.pick(&b).unwrap()).collect();
+        assert_eq!(seq, vec![0, 1, 0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn wrr_skips_unhealthy() {
+        let mut p = WeightedRoundRobin::new();
+        let mut b = views(&[2, 1]);
+        b[0].healthy = false;
+        let counts = tally(&mut p, &b, 10);
+        assert_eq!(counts, vec![0, 10]);
+    }
+
+    #[test]
+    fn wrr_none_when_all_down() {
+        let mut p = WeightedRoundRobin::new();
+        let mut b = views(&[2, 1]);
+        b[0].healthy = false;
+        b[1].healthy = false;
+        assert_eq!(p.pick(&b), None);
+        assert_eq!(p.pick(&[]), None);
+    }
+
+    #[test]
+    fn wrr_adapts_to_backend_set_changes() {
+        let mut p = WeightedRoundRobin::new();
+        let b2 = views(&[1, 1]);
+        p.pick(&b2).unwrap();
+        // Resize to three backends mid-stream: state resets cleanly.
+        let b3 = views(&[1, 1, 1]);
+        let counts = tally(&mut p, &b3, 300);
+        assert_eq!(counts, vec![100, 100, 100]);
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut p = RoundRobin::new();
+        let b = views(&[5, 1, 1]); // capacity ignored
+        let counts = tally(&mut p, &b, 300);
+        assert_eq!(counts, vec![100, 100, 100]);
+        assert_eq!(p.name(), "round-robin");
+    }
+
+    #[test]
+    fn round_robin_skips_unhealthy() {
+        let mut p = RoundRobin::new();
+        let mut b = views(&[1, 1, 1]);
+        b[1].healthy = false;
+        let counts = tally(&mut p, &b, 100);
+        assert_eq!(counts[1], 0);
+        assert_eq!(counts[0] + counts[2], 100);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_covers() {
+        let b = views(&[1, 1, 1, 1]);
+        let mut a = RandomPolicy::new(7);
+        let mut c = RandomPolicy::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.pick(&b), c.pick(&b));
+        }
+        let counts = tally(&mut RandomPolicy::new(1), &b, 4000);
+        for &n in &counts {
+            assert!((800..1200).contains(&n), "uniformity: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn least_connections_balances_by_load() {
+        let mut p = LeastConnections::new();
+        let mut b = views(&[1, 1]);
+        b[0].outstanding = 5;
+        b[1].outstanding = 1;
+        assert_eq!(p.pick(&b), Some(1));
+        // Normalised by capacity: 5 in flight on a 10× node is lighter.
+        b[0].capacity = 10;
+        assert_eq!(p.pick(&b), Some(0));
+    }
+
+    #[test]
+    fn fastest_response_uses_feedback() {
+        let mut p = FastestResponse::new();
+        let mut b = views(&[1, 1]);
+        b[0].ewma_response = 0.5;
+        b[1].ewma_response = 0.1;
+        assert_eq!(p.pick(&b), Some(1));
+        b[1].healthy = false;
+        assert_eq!(p.pick(&b), Some(0));
+    }
+
+    #[test]
+    fn ill_behaved_ignores_health() {
+        let mut p = IllBehaved::new();
+        let mut b = views(&[1, 1]);
+        b[0].healthy = false;
+        assert_eq!(p.pick(&b), Some(0), "dumps on a dead backend");
+        assert_eq!(p.pick(&[]), None);
+        assert_eq!(p.name(), "ill-behaved");
+    }
+}

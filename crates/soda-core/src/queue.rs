@@ -1,0 +1,329 @@
+//! Admission backlog queue — X-QUEUE.
+//!
+//! §3.2: "If the resource requirement cannot be satisfied, a request
+//! failure will be reported." That is the paper's behaviour (and the
+//! Master's default). A hosting *utility*, though, naturally wants a
+//! backlog: park the request and admit it when capacity frees. This
+//! wrapper adds exactly that, without touching the Master: rejected
+//! creations queue up, and `retry` drains the queue after teardowns or
+//! shrinks.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use soda_hup::daemon::SodaDaemon;
+use soda_sim::SimTime;
+
+use crate::api::CreationReply;
+use crate::error::SodaError;
+use crate::master::SodaMaster;
+use crate::service::ServiceSpec;
+
+/// Handle for a queued request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct QueueTicket(pub u64);
+
+impl fmt::Display for QueueTicket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "queued-{}", self.0)
+    }
+}
+
+/// How the backlog is drained.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueuePolicy {
+    /// Strictly in arrival order; a stuck head blocks the queue
+    /// (no starvation of large requests).
+    Fifo,
+    /// Admit whatever fits, smallest total demand first (better
+    /// utilisation, can starve large requests).
+    SmallestFirst,
+}
+
+/// Outcome of a submission through the queue.
+#[derive(Debug)]
+pub enum Submission {
+    /// Admitted immediately.
+    Admitted(CreationReply),
+    /// Parked in the backlog.
+    Queued(QueueTicket),
+    /// Rejected outright (malformed, or the backlog is full).
+    Rejected(SodaError),
+}
+
+struct Pending {
+    ticket: QueueTicket,
+    spec: ServiceSpec,
+    asp: String,
+    queued_at: SimTime,
+}
+
+/// The backlog in front of a Master.
+pub struct AdmissionQueue {
+    pending: VecDeque<Pending>,
+    policy: QueuePolicy,
+    max_len: usize,
+    next_ticket: u64,
+}
+
+impl AdmissionQueue {
+    /// A queue with the given drain policy and capacity bound.
+    pub fn new(policy: QueuePolicy, max_len: usize) -> Self {
+        AdmissionQueue { pending: VecDeque::new(), policy, max_len, next_ticket: 1 }
+    }
+
+    /// Number of parked requests.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True iff nothing is parked.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Submit a creation request: admit now if possible, otherwise park.
+    pub fn submit(
+        &mut self,
+        master: &mut SodaMaster,
+        daemons: &mut [SodaDaemon],
+        spec: ServiceSpec,
+        asp: &str,
+        now: SimTime,
+    ) -> Submission {
+        match master.create_service_now(spec.clone(), asp, daemons, now) {
+            Ok(reply) => Submission::Admitted(reply),
+            Err(SodaError::AdmissionRejected { .. }) => {
+                if self.pending.len() >= self.max_len {
+                    return Submission::Rejected(SodaError::BadRequest(
+                        "admission backlog full".into(),
+                    ));
+                }
+                let ticket = QueueTicket(self.next_ticket);
+                self.next_ticket += 1;
+                self.pending.push_back(Pending {
+                    ticket,
+                    spec,
+                    asp: asp.to_string(),
+                    queued_at: now,
+                });
+                Submission::Queued(ticket)
+            }
+            Err(e) => Submission::Rejected(e),
+        }
+    }
+
+    /// Cancel a parked request. Returns whether it was present.
+    pub fn cancel(&mut self, ticket: QueueTicket) -> bool {
+        let before = self.pending.len();
+        self.pending.retain(|p| p.ticket != ticket);
+        self.pending.len() != before
+    }
+
+    /// Waiting time of a parked request.
+    pub fn waiting_since(&self, ticket: QueueTicket) -> Option<SimTime> {
+        self.pending.iter().find(|p| p.ticket == ticket).map(|p| p.queued_at)
+    }
+
+    /// Try to admit parked requests (call after capacity frees). Returns
+    /// the admissions made, in admission order.
+    pub fn retry(
+        &mut self,
+        master: &mut SodaMaster,
+        daemons: &mut [SodaDaemon],
+        now: SimTime,
+    ) -> Vec<(QueueTicket, CreationReply)> {
+        let mut admitted = Vec::new();
+        match self.policy {
+            QueuePolicy::Fifo => {
+                // Admit from the head; stop at the first that still
+                // doesn't fit.
+                while let Some(head) = self.pending.front() {
+                    match master.create_service_now(
+                        head.spec.clone(),
+                        &head.asp,
+                        daemons,
+                        now,
+                    ) {
+                        Ok(reply) => {
+                            let p = self.pending.pop_front().expect("head exists");
+                            admitted.push((p.ticket, reply));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }
+            QueuePolicy::SmallestFirst => {
+                // Repeatedly admit the smallest-demand request that fits.
+                loop {
+                    let mut order: Vec<usize> = (0..self.pending.len()).collect();
+                    order.sort_by_key(|&i| {
+                        let d = self.pending[i].spec.total_demand();
+                        (d.cpu_mhz, self.pending[i].ticket.0)
+                    });
+                    let mut progressed = false;
+                    for i in order {
+                        let (spec, asp) =
+                            (self.pending[i].spec.clone(), self.pending[i].asp.clone());
+                        if let Ok(reply) =
+                            master.create_service_now(spec, &asp, daemons, now)
+                        {
+                            let p = self.pending.remove(i).expect("index valid");
+                            admitted.push((p.ticket, reply));
+                            progressed = true;
+                            break;
+                        }
+                    }
+                    if !progressed {
+                        break;
+                    }
+                }
+            }
+        }
+        admitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soda_hostos::resources::ResourceVector;
+    use soda_hup::host::{HostId, HupHost};
+    use soda_net::pool::IpPool;
+    use soda_vmm::rootfs::RootFsCatalog;
+    use soda_vmm::sysservices::StartupClass;
+
+    fn setup() -> (SodaMaster, Vec<SodaDaemon>) {
+        let master = SodaMaster::new();
+        let daemons = vec![SodaDaemon::new(HupHost::seattle(
+            HostId(1),
+            IpPool::new("10.0.0.0".parse().unwrap(), 16),
+        ))];
+        (master, daemons)
+    }
+
+    fn spec(n: u32, name: &str) -> ServiceSpec {
+        ServiceSpec {
+            name: name.into(),
+            image: RootFsCatalog::new().base_1_0(),
+            required_services: vec!["network"],
+            app_class: StartupClass::Light,
+            instances: n,
+            machine: ResourceVector::TABLE1_EXAMPLE,
+            port: 8080,
+        }
+    }
+
+    #[test]
+    fn admits_when_capacity_exists() {
+        let (mut master, mut daemons) = setup();
+        let mut q = AdmissionQueue::new(QueuePolicy::Fifo, 8);
+        match q.submit(&mut master, &mut daemons, spec(1, "a"), "asp", SimTime::ZERO) {
+            Submission::Admitted(_) => {}
+            other => panic!("expected admission, got {other:?}"),
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn queues_then_drains_fifo_after_teardown() {
+        let (mut master, mut daemons) = setup();
+        let mut q = AdmissionQueue::new(QueuePolicy::Fifo, 8);
+        // Fill the host (seattle fits 3 inflated instances).
+        let first = match q.submit(&mut master, &mut daemons, spec(3, "big"), "asp", SimTime::ZERO)
+        {
+            Submission::Admitted(r) => r.service,
+            other => panic!("{other:?}"),
+        };
+        // These two park.
+        let t1 = match q.submit(&mut master, &mut daemons, spec(2, "b"), "asp", SimTime::from_secs(1)) {
+            Submission::Queued(t) => t,
+            other => panic!("{other:?}"),
+        };
+        let t2 = match q.submit(&mut master, &mut daemons, spec(1, "c"), "asp", SimTime::from_secs(2)) {
+            Submission::Queued(t) => t,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.waiting_since(t1), Some(SimTime::from_secs(1)));
+        // Nothing drains while full.
+        assert!(q.retry(&mut master, &mut daemons, SimTime::from_secs(3)).is_empty());
+        // Free the capacity: both drain, FIFO order.
+        master.teardown(first, &mut daemons).unwrap();
+        let admitted = q.retry(&mut master, &mut daemons, SimTime::from_secs(4));
+        assert_eq!(admitted.len(), 2);
+        assert_eq!(admitted[0].0, t1);
+        assert_eq!(admitted[1].0, t2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fifo_head_blocks_but_smallest_first_leapfrogs() {
+        // Fill the host completely; queue a 3-instance then a 1-instance
+        // request; then shrink the filler to free exactly one instance.
+        let build = |policy| {
+            let (mut master, mut daemons) = setup();
+            let mut q = AdmissionQueue::new(policy, 8);
+            let filler = match q.submit(&mut master, &mut daemons, spec(3, "filler"), "asp", SimTime::ZERO)
+            {
+                Submission::Admitted(r) => r.service,
+                other => panic!("{other:?}"),
+            };
+            let Submission::Queued(big) =
+                q.submit(&mut master, &mut daemons, spec(3, "big"), "asp", SimTime::ZERO)
+            else {
+                panic!("big must queue")
+            };
+            let Submission::Queued(small) =
+                q.submit(&mut master, &mut daemons, spec(1, "small"), "asp", SimTime::ZERO)
+            else {
+                panic!("small must queue")
+            };
+            master.resize(filler, 2, &mut daemons, SimTime::from_secs(1)).unwrap();
+            let admitted = q.retry(&mut master, &mut daemons, SimTime::from_secs(1));
+            (admitted, big, small, q.len())
+        };
+        // FIFO: the 3-instance head cannot fit (only 1 free) → nothing
+        // admits, even though the small one would fit.
+        let (fifo_admits, _, _, fifo_left) = build(QueuePolicy::Fifo);
+        assert!(fifo_admits.is_empty());
+        assert_eq!(fifo_left, 2);
+        // SmallestFirst: the 1-instance request leapfrogs.
+        let (sf_admits, _big, small, sf_left) = build(QueuePolicy::SmallestFirst);
+        assert_eq!(sf_admits.len(), 1);
+        assert_eq!(sf_admits[0].0, small);
+        assert_eq!(sf_left, 1);
+    }
+
+    #[test]
+    fn backlog_bound_and_cancel() {
+        let (mut master, mut daemons) = setup();
+        let mut q = AdmissionQueue::new(QueuePolicy::Fifo, 1);
+        q.submit(&mut master, &mut daemons, spec(3, "fill"), "asp", SimTime::ZERO);
+        let Submission::Queued(t) =
+            q.submit(&mut master, &mut daemons, spec(1, "a"), "asp", SimTime::ZERO)
+        else {
+            panic!("must queue")
+        };
+        match q.submit(&mut master, &mut daemons, spec(1, "b"), "asp", SimTime::ZERO) {
+            Submission::Rejected(SodaError::BadRequest(msg)) => {
+                assert!(msg.contains("backlog full"))
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(q.cancel(t));
+        assert!(!q.cancel(t));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn malformed_requests_reject_immediately() {
+        let (mut master, mut daemons) = setup();
+        let mut q = AdmissionQueue::new(QueuePolicy::Fifo, 8);
+        match q.submit(&mut master, &mut daemons, spec(0, "zero"), "asp", SimTime::ZERO) {
+            Submission::Rejected(SodaError::BadRequest(_)) => {}
+            other => panic!("{other:?}"),
+        }
+        assert!(q.is_empty());
+    }
+}

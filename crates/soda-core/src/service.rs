@@ -1,0 +1,148 @@
+//! Service specifications and records.
+//!
+//! To host a service the ASP prepares "(1) the image of service S …
+//! stored in a machine owned by the ASP; (2) the resource requirement of
+//! S … specified as a tuple `<n, M>`" (§3). The spec below carries both,
+//! plus what our bootstrap model needs (the system services the app
+//! requires and the app's startup weight).
+
+use std::fmt;
+
+use soda_hostos::resources::ResourceVector;
+use soda_hup::host::HostId;
+use soda_vmm::rootfs::RootFsImage;
+use soda_vmm::sysservices::StartupClass;
+use soda_vmm::vsn::VsnId;
+
+/// Identifier of a hosted service.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ServiceId(pub u64);
+
+impl fmt::Display for ServiceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "svc-{}", self.0)
+    }
+}
+
+/// What the ASP submits with a creation request.
+#[derive(Clone, Debug)]
+pub struct ServiceSpec {
+    /// Service name (also used as guest hostname).
+    pub name: String,
+    /// The packaged image at the ASP's repository.
+    pub image: RootFsImage,
+    /// Guest system services the application requires (tailoring input).
+    pub required_services: Vec<&'static str>,
+    /// Startup weight of the application itself.
+    pub app_class: StartupClass,
+    /// Number of machine instances `n` of `<n, M>`.
+    pub instances: u32,
+    /// The machine configuration `M`.
+    pub machine: ResourceVector,
+    /// TCP port the service listens on in every node.
+    pub port: u16,
+}
+
+impl ServiceSpec {
+    /// Total nominal demand `n × M` (before slow-down inflation).
+    pub fn total_demand(&self) -> ResourceVector {
+        self.machine * self.instances
+    }
+}
+
+/// Lifecycle of a hosted service.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServiceState {
+    /// Admitted; nodes are priming.
+    Creating,
+    /// All nodes primed; switch up; serving.
+    Running,
+    /// A resize is in flight.
+    Resizing,
+    /// Torn down; terminal.
+    TornDown,
+}
+
+/// One placed node of a service.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlacedNode {
+    /// The HUP host the node lives on.
+    pub host: HostId,
+    /// The node.
+    pub vsn: VsnId,
+    /// Machine instances mapped to this node (Table 3's capacity).
+    pub capacity: u32,
+}
+
+/// The Master's record of a hosted service.
+#[derive(Clone, Debug)]
+pub struct ServiceRecord {
+    /// Service id.
+    pub id: ServiceId,
+    /// The submitted spec.
+    pub spec: ServiceSpec,
+    /// Owning ASP.
+    pub asp: String,
+    /// Current state.
+    pub state: ServiceState,
+    /// Placed nodes.
+    pub nodes: Vec<PlacedNode>,
+    /// Nodes that have finished priming (creation completes when this
+    /// reaches `nodes.len()`).
+    pub nodes_ready: usize,
+}
+
+impl ServiceRecord {
+    /// Find a placed node by VSN id.
+    pub fn node(&self, vsn: VsnId) -> Option<&PlacedNode> {
+        self.nodes.iter().find(|n| n.vsn == vsn)
+    }
+
+    /// Total placed capacity in machine instances.
+    pub fn placed_capacity(&self) -> u32 {
+        self.nodes.iter().map(|n| n.capacity).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soda_vmm::rootfs::RootFsCatalog;
+
+    fn spec() -> ServiceSpec {
+        ServiceSpec {
+            name: "web".into(),
+            image: RootFsCatalog::new().base_1_0(),
+            required_services: vec!["network", "syslogd"],
+            app_class: StartupClass::Light,
+            instances: 3,
+            machine: ResourceVector::TABLE1_EXAMPLE,
+            port: 8080,
+        }
+    }
+
+    #[test]
+    fn total_demand_is_n_times_m() {
+        let s = spec();
+        assert_eq!(s.total_demand(), ResourceVector::TABLE1_EXAMPLE * 3);
+    }
+
+    #[test]
+    fn record_accessors() {
+        let rec = ServiceRecord {
+            id: ServiceId(1),
+            spec: spec(),
+            asp: "biolab".into(),
+            state: ServiceState::Creating,
+            nodes: vec![
+                PlacedNode { host: HostId(1), vsn: VsnId(10), capacity: 2 },
+                PlacedNode { host: HostId(2), vsn: VsnId(11), capacity: 1 },
+            ],
+            nodes_ready: 0,
+        };
+        assert_eq!(rec.placed_capacity(), 3);
+        assert_eq!(rec.node(VsnId(11)).unwrap().host, HostId(2));
+        assert!(rec.node(VsnId(99)).is_none());
+        assert_eq!(ServiceId(1).to_string(), "svc-1");
+    }
+}

@@ -1,0 +1,349 @@
+//! The service switch.
+//!
+//! "Co-located in one of the virtual service nodes of S, the service
+//! switch will accept and direct each client request to one of the
+//! virtual service nodes." (§3.4) The switch owns the service
+//! configuration file, the (replaceable) switching policy, and the
+//! per-backend runtime the experiments measure: requests served per node
+//! and per-node mean response time — exactly Figure 4's two panels.
+
+use soda_net::addr::Ipv4Addr;
+use soda_sim::{SimDuration, Summary};
+use soda_vmm::vsn::VsnId;
+
+use crate::config::ServiceConfigFile;
+use crate::policy::{BackendView, SwitchPolicy, WeightedRoundRobin};
+use crate::service::ServiceId;
+
+/// Per-backend runtime state inside the switch.
+#[derive(Debug)]
+pub struct BackendRuntime {
+    /// The node this backend is.
+    pub vsn: VsnId,
+    /// Backend address.
+    pub ip: Ipv4Addr,
+    /// Backend port.
+    pub port: u16,
+    /// Relative capacity (machine instances).
+    pub capacity: u32,
+    /// Healthy (node running)?
+    pub healthy: bool,
+    /// Requests in flight.
+    pub outstanding: u32,
+    /// Requests completed.
+    pub served: u64,
+    /// EWMA of response time, seconds.
+    pub ewma_response: f64,
+    /// Full response-time summary.
+    pub response_stats: Summary,
+}
+
+impl BackendRuntime {
+    fn view(&self) -> BackendView {
+        BackendView {
+            capacity: self.capacity,
+            healthy: self.healthy,
+            outstanding: self.outstanding,
+            ewma_response: self.ewma_response,
+        }
+    }
+}
+
+/// The per-service request switch.
+pub struct ServiceSwitch {
+    /// The service this switch fronts.
+    pub service: ServiceId,
+    /// The VSN the switch is colocated in (it shares that node's fate —
+    /// the DDoS extension experiment exploits this).
+    pub colocated_on: VsnId,
+    config: ServiceConfigFile,
+    policy: Box<dyn SwitchPolicy>,
+    backends: Vec<BackendRuntime>,
+    dropped: u64,
+    ewma_alpha: f64,
+}
+
+impl ServiceSwitch {
+    /// A switch with the default weighted-round-robin policy.
+    pub fn new(service: ServiceId, colocated_on: VsnId) -> Self {
+        ServiceSwitch {
+            service,
+            colocated_on,
+            config: ServiceConfigFile::new(),
+            policy: Box::new(WeightedRoundRobin::new()),
+            backends: Vec::new(),
+            dropped: 0,
+            ewma_alpha: 0.2,
+        }
+    }
+
+    /// Replace the switching policy with a service-specific one (§3.4).
+    pub fn replace_policy(&mut self, policy: Box<dyn SwitchPolicy>) {
+        self.policy = policy;
+    }
+
+    /// The current policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// The configuration file (as the Master maintains it).
+    pub fn config(&self) -> &ServiceConfigFile {
+        &self.config
+    }
+
+    /// Add a backend node (Master, at creation or growth-resize).
+    pub fn add_backend(&mut self, vsn: VsnId, ip: Ipv4Addr, port: u16, capacity: u32) {
+        self.config.add_backend(ip, port, capacity);
+        self.backends.push(BackendRuntime {
+            vsn,
+            ip,
+            port,
+            capacity,
+            healthy: true,
+            outstanding: 0,
+            served: 0,
+            ewma_response: 0.0,
+            response_stats: Summary::new(),
+        });
+    }
+
+    /// Remove a backend node (shrink-resize / teardown). Returns whether
+    /// it existed.
+    pub fn remove_backend(&mut self, vsn: VsnId) -> bool {
+        let Some(pos) = self.backends.iter().position(|b| b.vsn == vsn) else {
+            return false;
+        };
+        let ip = self.backends[pos].ip;
+        self.backends.remove(pos);
+        self.config.remove_backend(ip);
+        true
+    }
+
+    /// Change a backend's relative capacity (in-place resize); the
+    /// config file is updated to match (§3.4: "in either case, the
+    /// service configuration file will be updated by the SODA Master").
+    pub fn set_capacity(&mut self, vsn: VsnId, capacity: u32) -> bool {
+        let Some(b) = self.backends.iter_mut().find(|b| b.vsn == vsn) else {
+            return false;
+        };
+        b.capacity = capacity;
+        let ip = b.ip;
+        self.config.set_capacity(ip, capacity);
+        true
+    }
+
+    /// Mark a backend up/down (node crash / revival).
+    pub fn set_health(&mut self, vsn: VsnId, healthy: bool) -> bool {
+        match self.backends.iter_mut().find(|b| b.vsn == vsn) {
+            Some(b) => {
+                b.healthy = healthy;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Route one request: the policy picks a backend, the switch counts
+    /// it in flight. Returns the backend index, or `None` (counted as a
+    /// drop) when the policy yields nothing.
+    pub fn route(&mut self) -> Option<usize> {
+        let views: Vec<BackendView> = self.backends.iter().map(|b| b.view()).collect();
+        match self.policy.pick(&views) {
+            Some(i) if i < self.backends.len() => {
+                self.backends[i].outstanding += 1;
+                Some(i)
+            }
+            _ => {
+                self.dropped += 1;
+                None
+            }
+        }
+    }
+
+    /// Record a completed request on backend `idx` with the observed
+    /// response time.
+    pub fn complete(&mut self, idx: usize, response_time: SimDuration) {
+        let Some(b) = self.backends.get_mut(idx) else {
+            return;
+        };
+        b.outstanding = b.outstanding.saturating_sub(1);
+        b.served += 1;
+        let rt = response_time.as_secs_f64();
+        b.ewma_response = if b.served == 1 {
+            rt
+        } else {
+            (1.0 - self.ewma_alpha) * b.ewma_response + self.ewma_alpha * rt
+        };
+        b.response_stats.record(rt);
+    }
+
+    /// A failed request (backend crashed mid-flight): decrement
+    /// in-flight without recording a completion.
+    pub fn abort(&mut self, idx: usize) {
+        if let Some(b) = self.backends.get_mut(idx) {
+            b.outstanding = b.outstanding.saturating_sub(1);
+        }
+    }
+
+    /// Backend runtime states.
+    pub fn backends(&self) -> &[BackendRuntime] {
+        &self.backends
+    }
+
+    /// Backend index by VSN.
+    pub fn index_of(&self, vsn: VsnId) -> Option<usize> {
+        self.backends.iter().position(|b| b.vsn == vsn)
+    }
+
+    /// Requests dropped (no backend available).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Requests served per backend.
+    pub fn served_counts(&self) -> Vec<u64> {
+        self.backends.iter().map(|b| b.served).collect()
+    }
+
+    /// Mean response time per backend, seconds.
+    pub fn mean_responses(&self) -> Vec<f64> {
+        self.backends.iter().map(|b| b.response_stats.mean()).collect()
+    }
+}
+
+impl std::fmt::Debug for ServiceSwitch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceSwitch")
+            .field("service", &self.service)
+            .field("policy", &self.policy.name())
+            .field("backends", &self.backends.len())
+            .field("dropped", &self.dropped)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{IllBehaved, LeastConnections};
+
+    fn switch_2_1() -> ServiceSwitch {
+        let mut s = ServiceSwitch::new(ServiceId(1), VsnId(10));
+        s.add_backend(VsnId(10), "128.10.9.125".parse().unwrap(), 8080, 2);
+        s.add_backend(VsnId(11), "128.10.9.126".parse().unwrap(), 8080, 1);
+        s
+    }
+
+    #[test]
+    fn default_policy_is_wrr_and_config_matches_table3() {
+        let s = switch_2_1();
+        assert_eq!(s.policy_name(), "weighted-round-robin");
+        assert_eq!(
+            s.config().to_string(),
+            "BackEnd 128.10.9.125 8080 2\nBackEnd 128.10.9.126 8080 1\n"
+        );
+    }
+
+    #[test]
+    fn routing_respects_2_to_1() {
+        let mut s = switch_2_1();
+        for _ in 0..300 {
+            let i = s.route().unwrap();
+            s.complete(i, SimDuration::from_millis(10));
+        }
+        assert_eq!(s.served_counts(), vec![200, 100]);
+        assert_eq!(s.dropped(), 0);
+    }
+
+    #[test]
+    fn outstanding_and_completion_accounting() {
+        let mut s = switch_2_1();
+        let a = s.route().unwrap();
+        let b = s.route().unwrap();
+        assert_eq!(
+            s.backends().iter().map(|x| x.outstanding).sum::<u32>(),
+            2
+        );
+        s.complete(a, SimDuration::from_millis(100));
+        s.abort(b);
+        assert_eq!(s.backends().iter().map(|x| x.outstanding).sum::<u32>(), 0);
+        let total_served: u64 = s.served_counts().iter().sum();
+        assert_eq!(total_served, 1, "aborts are not completions");
+    }
+
+    #[test]
+    fn response_stats_accumulate() {
+        let mut s = switch_2_1();
+        for ms in [10u64, 20, 30] {
+            let i = s.index_of(VsnId(10)).unwrap();
+            s.backends()[i].view(); // no-op, exercise view
+            s.route();
+            s.complete(0, SimDuration::from_millis(ms));
+        }
+        let means = s.mean_responses();
+        assert!((means[0] - 0.020).abs() < 1e-9);
+        assert!(s.backends()[0].ewma_response > 0.0);
+    }
+
+    #[test]
+    fn health_routing() {
+        let mut s = switch_2_1();
+        s.set_health(VsnId(10), false);
+        for _ in 0..10 {
+            let i = s.route().unwrap();
+            assert_eq!(i, s.index_of(VsnId(11)).unwrap());
+            s.complete(i, SimDuration::from_millis(1));
+        }
+        s.set_health(VsnId(11), false);
+        assert_eq!(s.route(), None);
+        assert_eq!(s.dropped(), 1);
+        assert!(!s.set_health(VsnId(99), true));
+    }
+
+    #[test]
+    fn resize_updates_config_and_routing() {
+        let mut s = switch_2_1();
+        assert!(s.set_capacity(VsnId(11), 2));
+        assert!(s.config().to_string().contains("128.10.9.126 8080 2"));
+        for _ in 0..100 {
+            let i = s.route().unwrap();
+            s.complete(i, SimDuration::from_millis(1));
+        }
+        assert_eq!(s.served_counts(), vec![50, 50]);
+        // Remove a node entirely.
+        assert!(s.remove_backend(VsnId(10)));
+        assert!(!s.remove_backend(VsnId(10)));
+        assert_eq!(s.config().len(), 1);
+        assert_eq!(s.route(), Some(0));
+    }
+
+    #[test]
+    fn policy_replacement() {
+        let mut s = switch_2_1();
+        s.replace_policy(Box::new(LeastConnections::new()));
+        assert_eq!(s.policy_name(), "least-connections");
+        // An ill-behaved replacement still routes (to backend 0 always).
+        s.replace_policy(Box::new(IllBehaved::new()));
+        s.set_health(VsnId(10), false);
+        let i = s.route().unwrap();
+        assert_eq!(i, 0, "ill-behaved policy dumps on the dead node");
+    }
+
+    #[test]
+    fn out_of_range_policy_pick_counts_as_drop() {
+        struct Broken;
+        impl crate::policy::SwitchPolicy for Broken {
+            fn pick(&mut self, _b: &[BackendView]) -> Option<usize> {
+                Some(999)
+            }
+            fn name(&self) -> &'static str {
+                "broken"
+            }
+        }
+        let mut s = switch_2_1();
+        s.replace_policy(Box::new(Broken));
+        assert_eq!(s.route(), None);
+        assert_eq!(s.dropped(), 1);
+    }
+}

@@ -1,0 +1,901 @@
+//! The composed simulation world.
+//!
+//! `SodaWorld` wires every substrate into one event-driven system: the
+//! SODA Agent and Master, one SODA Daemon per HUP host, a
+//! processor-sharing NIC per host, the per-VSN traffic shapers, and the
+//! request pipeline the paper's client experiments exercise:
+//!
+//! ```text
+//! client ──lan──▶ service switch ──▶ backend VSN
+//!                                     │ CPU stage (FIFO, slice-rate,
+//!                                     │            guest slowdown)
+//!                                     │ traffic shaper (token bucket)
+//!                                     ▼
+//!                               host NIC (processor sharing) ──▶ client
+//! ```
+//!
+//! Figures 4 and 6 are measurements of this pipeline; the DDoS and
+//! attack-isolation experiments perturb it.
+
+use std::collections::HashMap;
+
+use soda_hup::daemon::SodaDaemon;
+use soda_hup::host::HostId;
+use soda_net::http::HttpModel;
+use soda_net::link::{FlowId, LinkSpec, ProcessorSharingLink};
+use soda_sim::{Ctx, Engine, SimDuration, SimTime};
+use soda_vmm::intercept::{InterceptCostModel, SlowdownFactors};
+use soda_vmm::isolation::{Blast, ExecutionMode, FaultKind};
+use soda_vmm::vsn::VsnId;
+
+use crate::agent::SodaAgent;
+use crate::api::CreationReply;
+use crate::error::SodaError;
+use crate::master::SodaMaster;
+use crate::service::{ServiceId, ServiceSpec};
+
+/// Per-request CPU work: fixed parsing/handling plus per-byte content
+/// work (checksums, copies), in cycles.
+const REQUEST_BASE_CYCLES: u64 = 2_500_000;
+const REQUEST_CYCLES_PER_BYTE: f64 = 2.0;
+
+/// Switch forwarding work per request, cycles (runs inside the switch's
+/// own VSN, so it pays the guest slowdown too).
+const SWITCH_FORWARD_CYCLES: u64 = 600_000;
+
+/// How a node executes — VSN (SODA) or directly on the host OS (the
+/// Figure 6 baselines).
+#[derive(Clone, Copy, Debug)]
+struct NodeRuntime {
+    host: HostId,
+    ip: soda_net::addr::Ipv4Addr,
+    /// Effective host CPU rate in Hz (clock × micro-architectural
+    /// efficiency). The CPU scheduler is work-conserving, so a node
+    /// whose co-tenants are idle serves requests at full host speed —
+    /// the condition of the Figure 4/6 experiments.
+    host_hz: f64,
+    mode: ExecutionMode,
+    slowdown: SlowdownFactors,
+    cpu_busy_until: SimTime,
+}
+
+/// Identifier of one client request within a world.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub u64);
+
+/// Callback fired when a request finishes. `None` means the request was
+/// dropped (no healthy backend / node crashed mid-flight) — closed-loop
+/// clients use it to avoid deadlocking on a lost request.
+pub type RequestCallback =
+    Box<dyn FnOnce(&mut SodaWorld, &mut Ctx<SodaWorld>, Option<&RequestRecord>)>;
+
+/// Why a flow is on a NIC.
+enum FlowPurpose {
+    /// A response travelling back to a client.
+    Response {
+        service: ServiceId,
+        vsn: VsnId,
+        backend_idx: Option<usize>,
+        issued: SimTime,
+        dataset: u64,
+        request: RequestId,
+    },
+    /// A service image arriving at a daemon; bootstrap follows.
+    Download { service: ServiceId, vsn: VsnId, bootstrap: SimDuration, started: SimTime },
+    /// DDoS garbage (no completion action).
+    Flood,
+}
+
+/// One finished client request — the raw material of Figures 4 and 6.
+#[derive(Clone, Copy, Debug)]
+pub struct RequestRecord {
+    /// The service.
+    pub service: ServiceId,
+    /// The backend node that served it.
+    pub vsn: VsnId,
+    /// Client issue time.
+    pub issued: SimTime,
+    /// Response fully delivered.
+    pub completed: SimTime,
+    /// Dataset (response body) size.
+    pub dataset: u64,
+}
+
+impl RequestRecord {
+    /// The measured response time.
+    pub fn response_time(&self) -> SimDuration {
+        self.completed.saturating_since(self.issued)
+    }
+}
+
+/// A service creation completed (recorded for the driver to inspect).
+#[derive(Clone, Debug)]
+pub struct CreationRecord {
+    /// The reply the Agent would send to the ASP.
+    pub reply: CreationReply,
+    /// When the service went Running.
+    pub at: SimTime,
+}
+
+/// The composed world. All SODA entities plus the network fabric.
+pub struct SodaWorld {
+    /// The ASP-facing agent.
+    pub agent: SodaAgent,
+    /// The coordinator.
+    pub master: SodaMaster,
+    /// One daemon per HUP host.
+    pub daemons: Vec<SodaDaemon>,
+    /// Per-host NIC links (100 Mbps LAN ports).
+    pub nics: HashMap<HostId, ProcessorSharingLink>,
+    /// HTTP sizing model.
+    pub http: HttpModel,
+    /// Syscall interception model (drives the measured slowdown).
+    pub intercept: InterceptCostModel,
+    /// Completed client requests.
+    pub completed: Vec<RequestRecord>,
+    /// Completed service creations.
+    pub creations: Vec<CreationRecord>,
+    /// Requests that were dropped (no healthy backend).
+    pub dropped: u64,
+    /// Whether the outbound traffic shaper gates responses. The 2003
+    /// prototype's shaper was still being implemented (§4.2), so the §5
+    /// client experiments ran without it; set this to `false` to
+    /// replicate that condition. Defaults to `true` (full SODA).
+    pub shaping_enforced: bool,
+    node_runtimes: HashMap<VsnId, NodeRuntime>,
+    inflight: HashMap<(HostId, FlowId), FlowPurpose>,
+    ready_nodes: HashMap<ServiceId, usize>,
+    next_request: u64,
+    callbacks: HashMap<RequestId, RequestCallback>,
+}
+
+impl SodaWorld {
+    /// A world over the given hosts' daemons, with a 100 Mbps NIC each.
+    pub fn new(daemons: Vec<SodaDaemon>) -> Self {
+        let nics = daemons
+            .iter()
+            .map(|d| (d.host.id, ProcessorSharingLink::new(LinkSpec::lan_100mbps())))
+            .collect();
+        SodaWorld {
+            agent: SodaAgent::new(1.0),
+            master: SodaMaster::new(),
+            daemons,
+            nics,
+            http: HttpModel::new(),
+            intercept: InterceptCostModel::new(),
+            completed: Vec::new(),
+            creations: Vec::new(),
+            dropped: 0,
+            shaping_enforced: true,
+            node_runtimes: HashMap::new(),
+            inflight: HashMap::new(),
+            ready_nodes: HashMap::new(),
+            next_request: 1,
+            callbacks: HashMap::new(),
+        }
+    }
+
+    /// The paper's testbed: *seattle* and *tacoma* on one LAN.
+    pub fn testbed() -> Self {
+        use soda_hup::host::HupHost;
+        use soda_net::pool::IpPool;
+        let daemons = vec![
+            SodaDaemon::new(HupHost::seattle(
+                HostId(1),
+                IpPool::new("128.10.9.120".parse().expect("valid"), 8),
+            )),
+            SodaDaemon::new(HupHost::tacoma(
+                HostId(2),
+                IpPool::new("128.10.9.128".parse().expect("valid"), 8),
+            )),
+        ];
+        SodaWorld::new(daemons)
+    }
+
+    fn daemon_mut(&mut self, host: HostId) -> &mut SodaDaemon {
+        self.daemons.iter_mut().find(|d| d.host.id == host).expect("host exists")
+    }
+
+    fn daemon(&self, host: HostId) -> &SodaDaemon {
+        self.daemons.iter().find(|d| d.host.id == host).expect("host exists")
+    }
+
+    /// Register runtime state for a node once it is running. `mode`
+    /// selects VSN execution (measured slowdown from the interception
+    /// model) or host-direct (no slowdown).
+    fn install_runtime(&mut self, service: ServiceId, vsn: VsnId, mode: ExecutionMode) {
+        let rec = self.master.service(service).expect("service exists");
+        let placed = *rec.node(vsn).expect("node exists");
+        let d = self.daemon(placed.host);
+        let ip = d.vsn(vsn).and_then(|v| v.ip).expect("running node has an IP");
+        let host_hz = d.host.profile.cpu.freq_hz() as f64 * d.host.profile.cpu_efficiency;
+        let slowdown = match mode {
+            ExecutionMode::GuestIsolated => SlowdownFactors::measured_web(&self.intercept),
+            ExecutionMode::HostDirect => SlowdownFactors::NONE,
+        };
+        self.node_runtimes.insert(
+            vsn,
+            NodeRuntime {
+                host: placed.host,
+                ip,
+                host_hz,
+                mode,
+                slowdown,
+                cpu_busy_until: SimTime::ZERO,
+            },
+        );
+    }
+
+    /// Force a node to host-direct execution (the Figure 6 baselines).
+    pub fn set_execution_mode(&mut self, service: ServiceId, vsn: VsnId, mode: ExecutionMode) {
+        self.install_runtime(service, vsn, mode);
+    }
+
+    /// CPU service time for one request of `dataset` bytes on `vsn`.
+    /// Work-conserving: with co-tenants idle (the measured condition),
+    /// the node runs at full host speed; the reserved slice is a floor,
+    /// not a ceiling.
+    fn cpu_time(&self, vsn: VsnId, dataset: u64) -> SimDuration {
+        let rt = &self.node_runtimes[&vsn];
+        let cycles = REQUEST_BASE_CYCLES + (dataset as f64 * REQUEST_CYCLES_PER_BYTE) as u64;
+        let base = SimDuration::from_secs_f64(cycles as f64 / rt.host_hz);
+        rt.slowdown.inflate_cpu(base)
+    }
+
+    /// Response-time records for one backend, after a warm-up cutoff.
+    pub fn records_for(&self, vsn: VsnId, after: SimTime) -> Vec<&RequestRecord> {
+        self.completed.iter().filter(|r| r.vsn == vsn && r.issued >= after).collect()
+    }
+
+    /// Mean response time (seconds) for one backend after `after`.
+    pub fn mean_response(&self, vsn: VsnId, after: SimTime) -> f64 {
+        let recs = self.records_for(vsn, after);
+        if recs.is_empty() {
+            return 0.0;
+        }
+        recs.iter().map(|r| r.response_time().as_secs_f64()).sum::<f64>() / recs.len() as f64
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine-driven operations. These are free functions over the engine so
+// event closures can re-enter them.
+// ---------------------------------------------------------------------
+
+/// Kick the NIC of `host`: advance the fluid state, finalise any flows
+/// that completed, and re-arm a wakeup for the next completion.
+fn pump_nic(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, host: HostId) {
+    let now = ctx.now();
+    let latency = {
+        let nic = world.nics.get_mut(&host).expect("nic exists");
+        nic.advance(now);
+        nic.spec().latency
+    };
+    let completed = world.nics.get_mut(&host).expect("nic exists").take_completed();
+    for (flow, finish) in completed {
+        let Some(purpose) = world.inflight.remove(&(host, flow)) else {
+            continue;
+        };
+        match purpose {
+            FlowPurpose::Response { service, vsn, backend_idx, issued, dataset, request } => {
+                let delivered = finish + latency;
+                let record = RequestRecord {
+                    service,
+                    vsn,
+                    issued,
+                    completed: delivered,
+                    dataset,
+                };
+                world.completed.push(record);
+                if let (Some(idx), Some(sw)) = (backend_idx, world.master.switch_mut(service)) {
+                    sw.complete(idx, delivered.saturating_since(issued));
+                }
+                if let Some(cb) = world.callbacks.remove(&request) {
+                    cb(world, ctx, Some(&record));
+                }
+            }
+            FlowPurpose::Download { service, vsn, bootstrap, started } => {
+                // Image is on local disk; bootstrap now runs.
+                ctx.schedule_in(bootstrap, move |w: &mut SodaWorld, ctx| {
+                    finish_node_boot(w, ctx, service, vsn, started);
+                });
+            }
+            FlowPurpose::Flood => {}
+        }
+    }
+    // Re-arm.
+    if let Some(t) = world.nics[&host].next_completion() {
+        ctx.schedule_at(t, move |w: &mut SodaWorld, ctx| pump_nic(w, ctx, host));
+    }
+}
+
+/// Put a flow on a host NIC and arm the pump.
+fn start_flow(
+    world: &mut SodaWorld,
+    ctx: &mut Ctx<SodaWorld>,
+    host: HostId,
+    bytes: u64,
+    purpose: FlowPurpose,
+) {
+    let now = ctx.now();
+    let flow = world.nics.get_mut(&host).expect("nic exists").add_flow(bytes, now);
+    world.inflight.insert((host, flow), purpose);
+    // Zero-byte flows complete instantly; pump right away. Otherwise arm
+    // at the (possibly moved) next completion.
+    pump_nic(world, ctx, host);
+}
+
+fn finish_node_boot(
+    world: &mut SodaWorld,
+    ctx: &mut Ctx<SodaWorld>,
+    service: ServiceId,
+    vsn: VsnId,
+    started: SimTime,
+) {
+    let now = ctx.now();
+    let elapsed = now.saturating_since(started);
+    // A node booting for a service that already has a switch is a
+    // resize-growth or failover replacement: it joins the running
+    // service instead of completing a creation.
+    if world.master.switch(service).is_some() {
+        let mut daemons = std::mem::take(&mut world.daemons);
+        let r = world.master.resize_node_ready(service, vsn, &mut daemons, now);
+        world.daemons = daemons;
+        match r {
+            Ok(()) => world.install_runtime(service, vsn, ExecutionMode::GuestIsolated),
+            Err(e) => ctx.trace().emit(now, "master", format!("late node join failed: {e}")),
+        }
+        return;
+    }
+    // Split borrows: pull daemons out, call master, put back.
+    let mut daemons = std::mem::take(&mut world.daemons);
+    let reply = world.master.node_ready(service, vsn, &mut daemons, now, elapsed);
+    world.daemons = daemons;
+    match reply {
+        Ok(Some(reply)) => {
+            // All nodes up: install runtimes and record the creation.
+            let nodes: Vec<VsnId> = world
+                .master
+                .service(service)
+                .expect("exists")
+                .nodes
+                .iter()
+                .map(|n| n.vsn)
+                .collect();
+            for n in nodes {
+                world.install_runtime(service, n, ExecutionMode::GuestIsolated);
+            }
+            let asp = world.master.service(service).expect("exists").asp.clone();
+            let capacity = world.master.service(service).expect("exists").placed_capacity();
+            world.agent.billing_start(service, &asp, capacity, now);
+            world.creations.push(CreationRecord { reply, at: now });
+        }
+        Ok(None) => {
+            world.ready_nodes.entry(service).and_modify(|n| *n += 1).or_insert(1);
+        }
+        Err(e) => {
+            ctx.trace().emit(now, "master", format!("node_ready failed: {e}"));
+        }
+    }
+}
+
+/// Begin an engine-driven service creation: admission now, then per-node
+/// image download (a flow on the node's host NIC) followed by the
+/// bootstrap stages. Completion is visible in `world.creations`.
+pub fn create_service_driven(
+    engine: &mut Engine<SodaWorld>,
+    spec: ServiceSpec,
+    asp: &str,
+) -> Result<ServiceId, SodaError> {
+    let now = engine.now();
+    let world = engine.state_mut();
+    let mut daemons = std::mem::take(&mut world.daemons);
+    let outcome = world.master.admit(spec, asp, &mut daemons, now);
+    world.daemons = daemons;
+    let outcome = outcome?;
+    let service = outcome.service;
+    let downloads: Vec<(HostId, VsnId, SimDuration, u64)> = outcome
+        .tickets
+        .iter()
+        .map(|(host, t)| {
+            (*host, t.vsn, t.timing.total(), world.http.download_bytes(t.download_bytes))
+        })
+        .collect();
+    for (host, vsn, bootstrap, bytes) in downloads {
+        engine.schedule_at(now, move |w: &mut SodaWorld, ctx| {
+            start_flow(
+                w,
+                ctx,
+                host,
+                bytes,
+                FlowPurpose::Download { service, vsn, bootstrap, started: ctx.now() },
+            );
+        });
+    }
+    Ok(service)
+}
+
+/// Submit one client request to a service through its switch. The
+/// response is recorded in `world.completed` when fully delivered.
+pub fn submit_request(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, service: ServiceId, dataset: u64) {
+    submit_request_with_callback(world, ctx, service, dataset, None);
+}
+
+/// Like [`submit_request`], but fires `callback` when the response is
+/// delivered (`Some(record)`) or the request is lost (`None`). This is
+/// the hook closed-loop (siege-style) clients use.
+pub fn submit_request_with_callback(
+    world: &mut SodaWorld,
+    ctx: &mut Ctx<SodaWorld>,
+    service: ServiceId,
+    dataset: u64,
+    callback: Option<RequestCallback>,
+) {
+    let issued = ctx.now();
+    let request = RequestId(world.next_request);
+    world.next_request += 1;
+    if let Some(cb) = callback {
+        world.callbacks.insert(request, cb);
+    }
+    // Client → switch hop.
+    let lan_latency = SimDuration::from_micros(200);
+    // Switch routes.
+    let Some(sw) = world.master.switch_mut(service) else {
+        drop_request(world, ctx, request);
+        return;
+    };
+    let Some(idx) = sw.route() else {
+        drop_request(world, ctx, request);
+        return;
+    };
+    let vsn = sw.backends()[idx].vsn;
+    let colocated = sw.colocated_on;
+    // Switch forwarding cost (runs in the switch's VSN: pays slowdown).
+    let switch_rt = world.node_runtimes.get(&colocated);
+    let switch_cycles_time = match switch_rt {
+        Some(rt) => {
+            let base = SimDuration::from_secs_f64(SWITCH_FORWARD_CYCLES as f64 / rt.host_hz);
+            rt.slowdown.inflate_cpu(base)
+        }
+        None => SimDuration::from_micros(100),
+    };
+    let forward = lan_latency + switch_cycles_time + lan_latency;
+    dispatch_to_backend(world, ctx, service, vsn, Some(idx), issued, forward, dataset, request);
+}
+
+/// Submit one request directly to a node, bypassing the switch (the
+/// Figure 6 scenario (3) baseline).
+pub fn submit_request_direct(
+    world: &mut SodaWorld,
+    ctx: &mut Ctx<SodaWorld>,
+    service: ServiceId,
+    vsn: VsnId,
+    dataset: u64,
+) {
+    let issued = ctx.now();
+    let request = RequestId(world.next_request);
+    world.next_request += 1;
+    let forward = SimDuration::from_micros(200); // client → server, one hop
+    dispatch_to_backend(world, ctx, service, vsn, None, issued, forward, dataset, request);
+}
+
+/// Count a drop and fire the request's callback with `None`.
+fn drop_request(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, request: RequestId) {
+    world.dropped += 1;
+    if let Some(cb) = world.callbacks.remove(&request) {
+        cb(world, ctx, None);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dispatch_to_backend(
+    world: &mut SodaWorld,
+    ctx: &mut Ctx<SodaWorld>,
+    service: ServiceId,
+    vsn: VsnId,
+    backend_idx: Option<usize>,
+    issued: SimTime,
+    forward: SimDuration,
+    dataset: u64,
+    request: RequestId,
+) {
+    let now = ctx.now();
+    if !world.node_runtimes.contains_key(&vsn) {
+        // Node crashed or not installed: request lost.
+        if let (Some(idx), Some(sw)) = (backend_idx, world.master.switch_mut(service)) {
+            sw.abort(idx);
+        }
+        drop_request(world, ctx, request);
+        return;
+    }
+    let cpu_time = world.cpu_time(vsn, dataset);
+    let rt = world.node_runtimes.get_mut(&vsn).expect("checked");
+    let arrive = now + forward;
+    let start = arrive.max(rt.cpu_busy_until);
+    let done_cpu = start + cpu_time;
+    rt.cpu_busy_until = done_cpu;
+    let host = rt.host;
+    let ip = rt.ip;
+    let net_slow = rt.slowdown.network;
+    let wire_bytes =
+        (world.http.response_bytes(dataset) as f64 * net_slow) as u64;
+    ctx.schedule_at(done_cpu, move |w: &mut SodaWorld, ctx| {
+        // Shaper gates the response's entry onto the NIC (unless the
+        // world replicates the pre-shaper 2003 prototype).
+        let depart = if w.shaping_enforced {
+            w.daemon_mut(host).host.shaper.admit(ip.as_u32(), wire_bytes, ctx.now())
+        } else {
+            ctx.now()
+        };
+        if depart == SimTime::MAX {
+            // Zero-rate shaping: response never leaves.
+            if let (Some(idx), Some(sw)) = (backend_idx, w.master.switch_mut(service)) {
+                sw.abort(idx);
+            }
+            drop_request(w, ctx, request);
+            return;
+        }
+        ctx.schedule_at(depart, move |w: &mut SodaWorld, ctx| {
+            start_flow(
+                w,
+                ctx,
+                host,
+                wire_bytes,
+                FlowPurpose::Response { service, vsn, backend_idx, issued, dataset, request },
+            );
+        });
+    });
+}
+
+/// Launch a remote attack against a node of `service`. The blast radius
+/// follows the node's execution mode (§2.1's ghttpd scenario).
+pub fn attack_node(
+    world: &mut SodaWorld,
+    ctx: &mut Ctx<SodaWorld>,
+    service: ServiceId,
+    vsn: VsnId,
+    fault: FaultKind,
+) -> Blast {
+    let now = ctx.now();
+    let Some(rt) = world.node_runtimes.get(&vsn) else {
+        return Blast::of(ExecutionMode::GuestIsolated, fault);
+    };
+    let mode = rt.mode;
+    let host = rt.host;
+    let blast = Blast::of(mode, fault);
+    if blast.service_down {
+        crash_one(world, service, vsn, now);
+    }
+    if blast.cohosted_down {
+        // Host-level compromise: every node on the host falls.
+        let victims: Vec<(ServiceId, VsnId)> = world
+            .master
+            .services()
+            .flat_map(|rec| {
+                rec.nodes
+                    .iter()
+                    .filter(|n| n.host == host && n.vsn != vsn)
+                    .map(move |n| (rec.id, n.vsn))
+            })
+            .collect();
+        for (svc, victim) in victims {
+            crash_one(world, svc, victim, now);
+        }
+    }
+    ctx.trace().emit(now, "attack", format!("{fault:?} on {vsn} (mode {mode:?})"));
+    blast
+}
+
+fn crash_one(world: &mut SodaWorld, service: ServiceId, vsn: VsnId, _now: SimTime) {
+    let Some(rec) = world.master.service(service) else {
+        return;
+    };
+    let Some(host) = rec.node(vsn).map(|n| n.host) else {
+        return;
+    };
+    let _ = world.daemon_mut(host).crash_vsn(vsn);
+    world.master.node_crashed(service, vsn);
+    world.node_runtimes.remove(&vsn);
+}
+
+/// Revive a crashed node: re-prime from the daemon's blueprint, then
+/// bring it back into the switch rotation.
+pub fn revive_node(
+    world: &mut SodaWorld,
+    ctx: &mut Ctx<SodaWorld>,
+    service: ServiceId,
+    vsn: VsnId,
+) -> Result<(), SodaError> {
+    let rec = world.master.service(service).ok_or(SodaError::UnknownService(service))?;
+    let host = rec.node(vsn).ok_or(SodaError::UnknownVsn(vsn))?.host;
+    let timing = world.daemon_mut(host).begin_repriming(vsn)?;
+    ctx.schedule_in(timing.total(), move |w: &mut SodaWorld, ctx| {
+        let now = ctx.now();
+        if w.daemon_mut(host).complete_priming(vsn, now).is_ok() {
+            w.master.node_recovered(service, vsn);
+            w.install_runtime(service, vsn, ExecutionMode::GuestIsolated);
+        }
+    });
+    Ok(())
+}
+
+/// Fail a whole HUP host (power loss): every VSN on it crashes, its
+/// capacity disappears, affected backends leave rotation. Returns the
+/// affected `(service, vsn, capacity)` triples.
+pub fn fail_host(
+    world: &mut SodaWorld,
+    ctx: &mut Ctx<SodaWorld>,
+    host: HostId,
+) -> Vec<(ServiceId, VsnId, u32)> {
+    let now = ctx.now();
+    if let Some(d) = world.daemons.iter_mut().find(|d| d.host.id == host) {
+        d.fail_host();
+    }
+    let affected = world.master.host_failed(host);
+    for (_, vsn, _) in &affected {
+        world.node_runtimes.remove(vsn);
+    }
+    ctx.trace().emit(now, "hup", format!("host {host} failed, {} nodes down", affected.len()));
+    affected
+}
+
+/// Fail over one dead node onto a surviving host: re-place, bootstrap
+/// (the image must be re-fetched from the repository — a NIC flow on the
+/// target), and rejoin the switch. Returns the chosen target host.
+pub fn failover_node(
+    world: &mut SodaWorld,
+    ctx: &mut Ctx<SodaWorld>,
+    service: ServiceId,
+    vsn: VsnId,
+) -> Result<HostId, SodaError> {
+    let now = ctx.now();
+    let mut daemons = std::mem::take(&mut world.daemons);
+    let result = world.master.replace_node(service, vsn, &mut daemons, now);
+    world.daemons = daemons;
+    let (target, ticket) = result?;
+    let new_vsn = ticket.vsn;
+    let bootstrap = ticket.timing.total();
+    let bytes = world.http.download_bytes(ticket.download_bytes);
+    start_flow(
+        world,
+        ctx,
+        target,
+        bytes,
+        FlowPurpose::Download { service, vsn: new_vsn, bootstrap, started: now },
+    );
+    Ok(target)
+}
+
+/// Start a DDoS flood against the host carrying `service`'s switch:
+/// `flows` concurrent elephant flows of `bytes_each`. They share the
+/// victim host's NIC with every co-hosted node — the §3.5 isolation
+/// violation.
+pub fn ddos_switch_host(
+    world: &mut SodaWorld,
+    ctx: &mut Ctx<SodaWorld>,
+    service: ServiceId,
+    flows: u32,
+    bytes_each: u64,
+) -> Option<HostId> {
+    let sw = world.master.switch(service)?;
+    let colo = sw.colocated_on;
+    let host = world.master.service(service)?.node(colo)?.host;
+    for _ in 0..flows {
+        start_flow(world, ctx, host, bytes_each, FlowPurpose::Flood);
+    }
+    Some(host)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soda_hostos::resources::ResourceVector;
+    use soda_vmm::rootfs::RootFsCatalog;
+    use soda_vmm::sysservices::StartupClass;
+
+    fn web_spec(n: u32) -> ServiceSpec {
+        ServiceSpec {
+            name: "web".into(),
+            image: RootFsCatalog::new().base_1_0(),
+            required_services: vec!["network", "syslogd"],
+            app_class: StartupClass::Light,
+            instances: n,
+            machine: ResourceVector::TABLE1_EXAMPLE,
+            port: 8080,
+        }
+    }
+
+    fn engine_with_web(n: u32) -> (Engine<SodaWorld>, ServiceId) {
+        let mut engine = Engine::new(SodaWorld::testbed());
+        let svc = create_service_driven(&mut engine, web_spec(n), "webco").unwrap();
+        engine.run_until(SimTime::from_secs(120));
+        assert_eq!(engine.state().creations.len(), 1, "creation must complete");
+        (engine, svc)
+    }
+
+    #[test]
+    fn driven_creation_downloads_then_boots() {
+        let (engine, svc) = engine_with_web(3);
+        let w = engine.state();
+        let created = &w.creations[0];
+        assert_eq!(created.reply.service, svc);
+        assert_eq!(created.reply.nodes.len(), 2);
+        // Download of 29.3 MB at ~100 Mbps ≈ 2.4 s, plus bootstrap
+        // seconds: creation lands in a plausible band.
+        let t = created.at.as_secs_f64();
+        assert!((3.0..30.0).contains(&t), "created at {t}s");
+        // Billing started at the capacity.
+        assert!(w.agent.usage(svc, SimTime::from_secs(120)) > 0.0);
+    }
+
+    #[test]
+    fn requests_flow_end_to_end() {
+        let (mut engine, svc) = engine_with_web(3);
+        let t0 = engine.now();
+        for i in 0..30u64 {
+            engine.schedule_at(t0 + SimDuration::from_millis(100 * i), move |w: &mut SodaWorld, ctx| {
+                submit_request(w, ctx, svc, 50_000);
+            });
+        }
+        engine.run_until(SimTime::from_secs(300));
+        let w = engine.state();
+        assert_eq!(w.completed.len(), 30, "dropped {}", w.dropped);
+        for r in &w.completed {
+            let rt = r.response_time().as_secs_f64();
+            assert!(rt > 0.0 && rt < 5.0, "response time {rt}");
+        }
+        // WRR 2:1 split.
+        let sw = w.master.switch(svc).unwrap();
+        let counts = sw.served_counts();
+        assert_eq!(counts.iter().sum::<u64>(), 30);
+        assert_eq!(counts[0], 20);
+        assert_eq!(counts[1], 10);
+    }
+
+    #[test]
+    fn guest_mode_is_slower_than_host_direct() {
+        let (mut engine, svc) = engine_with_web(1);
+        let vsn = engine.state().master.service(svc).unwrap().nodes[0].vsn;
+        // One request in guest mode.
+        engine.schedule_in(SimDuration::from_secs(1), move |w: &mut SodaWorld, ctx| {
+            submit_request_direct(w, ctx, svc, vsn, 100_000);
+        });
+        engine.run_until(engine.now() + SimDuration::from_secs(60));
+        let guest_rt = engine.state().completed[0].response_time();
+        // Same request in host-direct mode.
+        engine.state_mut().set_execution_mode(svc, vsn, ExecutionMode::HostDirect);
+        engine.schedule_in(SimDuration::from_secs(1), move |w: &mut SodaWorld, ctx| {
+            submit_request_direct(w, ctx, svc, vsn, 100_000);
+        });
+        engine.run_until(engine.now() + SimDuration::from_secs(60));
+        let host_rt = engine.state().completed[1].response_time();
+        assert!(guest_rt > host_rt, "guest {guest_rt} !> host {host_rt}");
+        // But modest: well under 2× (Figure 6's claim).
+        let factor = guest_rt.as_secs_f64() / host_rt.as_secs_f64();
+        assert!(factor < 2.0, "slowdown factor {factor}");
+    }
+
+    #[test]
+    fn attack_on_guest_isolated_node_spares_cohosted() {
+        let mut engine = Engine::new(SodaWorld::testbed());
+        let web = create_service_driven(&mut engine, web_spec(3), "webco").unwrap();
+        let hp_spec = ServiceSpec {
+            name: "honeypot".into(),
+            image: RootFsCatalog::new().tomsrtbt(),
+            required_services: vec!["network"],
+            app_class: StartupClass::Light,
+            instances: 1,
+            machine: ResourceVector::TABLE1_EXAMPLE,
+            port: 80,
+        };
+        let hp = create_service_driven(&mut engine, hp_spec, "seclab").unwrap();
+        engine.run_until(SimTime::from_secs(120));
+        assert_eq!(engine.state().creations.len(), 2);
+        let hp_vsn = engine.state().master.service(hp).unwrap().nodes[0].vsn;
+        // Attack the honeypot.
+        engine.schedule_in(SimDuration::from_secs(1), move |w: &mut SodaWorld, ctx| {
+            let blast = attack_node(w, ctx, hp, hp_vsn, FaultKind::RootCompromise);
+            assert!(blast.service_down);
+            assert!(!blast.cohosted_down);
+        });
+        // Web requests still succeed afterwards.
+        let t = engine.now() + SimDuration::from_secs(2);
+        for i in 0..10u64 {
+            engine.schedule_at(t + SimDuration::from_millis(200 * i), move |w: &mut SodaWorld, ctx| {
+                submit_request(w, ctx, web, 10_000);
+            });
+        }
+        engine.run_until(engine.now() + SimDuration::from_secs(120));
+        let w = engine.state();
+        assert_eq!(w.completed.len(), 10, "web unaffected; dropped {}", w.dropped);
+        // The honeypot node is crashed.
+        let hp_rec = w.master.service(hp).unwrap();
+        let d = w.daemon(hp_rec.nodes[0].host);
+        assert_eq!(d.vsn(hp_vsn).unwrap().crash_count, 1);
+    }
+
+    #[test]
+    fn host_direct_attack_takes_down_cohosted() {
+        let mut engine = Engine::new(SodaWorld::testbed());
+        let web = create_service_driven(&mut engine, web_spec(3), "webco").unwrap();
+        let hp_spec = ServiceSpec {
+            name: "honeypot".into(),
+            image: RootFsCatalog::new().tomsrtbt(),
+            required_services: vec!["network"],
+            app_class: StartupClass::Light,
+            instances: 1,
+            machine: ResourceVector::TABLE1_EXAMPLE,
+            port: 80,
+        };
+        let hp = create_service_driven(&mut engine, hp_spec, "seclab").unwrap();
+        engine.run_until(SimTime::from_secs(120));
+        let hp_vsn = engine.state_mut().master.service(hp).unwrap().nodes[0].vsn;
+        // The counterfactual: honeypot runs directly on the host OS.
+        engine.state_mut().set_execution_mode(hp, hp_vsn, ExecutionMode::HostDirect);
+        engine.schedule_in(SimDuration::from_secs(1), move |w: &mut SodaWorld, ctx| {
+            let blast = attack_node(w, ctx, hp, hp_vsn, FaultKind::RootCompromise);
+            assert!(blast.cohosted_down);
+        });
+        engine.run_until(engine.now() + SimDuration::from_secs(5));
+        // The web node sharing seattle crashed with it.
+        let w = engine.state();
+        let web_rec = w.master.service(web).unwrap();
+        let seattle_node = web_rec.nodes.iter().find(|n| n.host == HostId(1)).unwrap();
+        let d = w.daemon(HostId(1));
+        assert_eq!(d.vsn(seattle_node.vsn).unwrap().crash_count, 1);
+    }
+
+    #[test]
+    fn revive_restores_service() {
+        let (mut engine, svc) = engine_with_web(1);
+        let vsn = engine.state().master.service(svc).unwrap().nodes[0].vsn;
+        engine.schedule_in(SimDuration::from_secs(1), move |w: &mut SodaWorld, ctx| {
+            attack_node(w, ctx, svc, vsn, FaultKind::Crash);
+            revive_node(w, ctx, svc, vsn).unwrap();
+        });
+        engine.run_until(engine.now() + SimDuration::from_secs(60));
+        let t = engine.now();
+        engine.schedule_in(SimDuration::from_secs(1), move |w: &mut SodaWorld, ctx| {
+            submit_request(w, ctx, svc, 10_000);
+        });
+        engine.run_until(t + SimDuration::from_secs(60));
+        assert_eq!(engine.state().completed.len(), 1, "revived node serves again");
+    }
+
+    #[test]
+    fn ddos_degrades_cohosted_service() {
+        // Two services on seattle; flood the web switch's host and watch
+        // the *other* service's response times degrade. First-fit
+        // placement packs both onto seattle.
+        let mut engine = Engine::new(SodaWorld::testbed());
+        engine.state_mut().master.set_placement(Box::new(crate::placement::FirstFit));
+        let web = create_service_driven(&mut engine, web_spec(2), "webco").unwrap();
+        let other = create_service_driven(
+            &mut engine,
+            ServiceSpec { name: "other".into(), ..web_spec(1) },
+            "otherco",
+        )
+        .unwrap();
+        engine.run_until(SimTime::from_secs(120));
+        assert_eq!(engine.state().creations.len(), 2);
+        // Baseline response time for `other`.
+        let t0 = engine.now();
+        engine.schedule_at(t0, move |w: &mut SodaWorld, ctx| {
+            submit_request(w, ctx, other, 200_000);
+        });
+        engine.run_until(t0 + SimDuration::from_secs(60));
+        let baseline = engine.state().completed.last().unwrap().response_time();
+        // Flood, then repeat the request.
+        let t1 = engine.now();
+        engine.schedule_at(t1, move |w: &mut SodaWorld, ctx| {
+            ddos_switch_host(w, ctx, web, 20, 50_000_000).unwrap();
+            submit_request(w, ctx, other, 200_000);
+        });
+        engine.run_until(t1 + SimDuration::from_secs(600));
+        let under_attack = engine.state().completed.last().unwrap().response_time();
+        assert!(
+            under_attack > baseline * 2,
+            "DDoS must violate isolation: {under_attack} vs {baseline}"
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! Per-uid CPU usage accounting.
+//!
+//! The scheduler decides who runs; this ledger remembers who *ran*. Two
+//! consumers: the Figure 5 experiment (shares over time are just this
+//! ledger windowed) and the usage-based billing extension — the Agent
+//! can bill actual consumption instead of reservations, which is the
+//! natural refinement of the paper's utility vision.
+
+use std::collections::HashMap;
+
+use soda_sim::{SimDuration, SimTime};
+
+use crate::process::Uid;
+use crate::sched::ProcDesc;
+
+/// Accumulates CPU time per uid from scheduler tick grants.
+#[derive(Clone, Debug, Default)]
+pub struct CpuAccounting {
+    used: HashMap<Uid, f64>,
+    total_capacity_secs: f64,
+    last_tick_at: Option<SimTime>,
+}
+
+impl CpuAccounting {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one scheduler tick: `grants[i]` of `tick` went to
+    /// `procs[i]`. The slices must be parallel (as returned by
+    /// [`crate::sched::CpuScheduler::allocate`]).
+    pub fn record_tick(
+        &mut self,
+        now: SimTime,
+        tick: SimDuration,
+        procs: &[ProcDesc],
+        grants: &[f64],
+    ) {
+        debug_assert_eq!(procs.len(), grants.len());
+        let tick_secs = tick.as_secs_f64();
+        for (p, &g) in procs.iter().zip(grants) {
+            *self.used.entry(p.uid).or_insert(0.0) += g * tick_secs;
+        }
+        self.total_capacity_secs += tick_secs;
+        self.last_tick_at = Some(now);
+    }
+
+    /// CPU-seconds consumed by a uid so far.
+    pub fn used_secs(&self, uid: Uid) -> f64 {
+        self.used.get(&uid).copied().unwrap_or(0.0)
+    }
+
+    /// Total CPU-seconds of capacity that have elapsed.
+    pub fn capacity_secs(&self) -> f64 {
+        self.total_capacity_secs
+    }
+
+    /// A uid's share of all elapsed capacity, in `[0, 1]`.
+    pub fn share_of(&self, uid: Uid) -> f64 {
+        if self.total_capacity_secs == 0.0 {
+            0.0
+        } else {
+            self.used_secs(uid) / self.total_capacity_secs
+        }
+    }
+
+    /// Host CPU utilisation so far, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.total_capacity_secs == 0.0 {
+            0.0
+        } else {
+            self.used.values().sum::<f64>() / self.total_capacity_secs
+        }
+    }
+
+    /// When the last tick was recorded.
+    pub fn last_tick_at(&self) -> Option<SimTime> {
+        self.last_tick_at
+    }
+
+    /// Forget a uid (VSN teardown). Returns its accumulated seconds.
+    pub fn remove(&mut self, uid: Uid) -> f64 {
+        self.used.remove(&uid).unwrap_or(0.0)
+    }
+
+    /// Usage-based bill for a uid at `rate_per_cpu_hour`.
+    pub fn bill(&self, uid: Uid, rate_per_cpu_hour: f64) -> f64 {
+        self.used_secs(uid) / 3600.0 * rate_per_cpu_hour
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::Pid;
+    use crate::sched::{CpuScheduler, ProportionalShareScheduler};
+
+    fn p(pid: u32, uid: u32, demand: f64) -> ProcDesc {
+        ProcDesc { pid: Pid(pid), uid: Uid(uid), demand }
+    }
+
+    const TICK: SimDuration = SimDuration::from_millis(10);
+
+    #[test]
+    fn accumulates_grants() {
+        let mut acc = CpuAccounting::new();
+        let procs = vec![p(1, 1, 1.0), p(2, 2, 1.0)];
+        let grants = vec![0.75, 0.25];
+        for i in 0..100u64 {
+            acc.record_tick(SimTime::from_millis(10 * i), TICK, &procs, &grants);
+        }
+        // 1 second of capacity elapsed; uid1 used 0.75 s of it.
+        assert!((acc.capacity_secs() - 1.0).abs() < 1e-9);
+        assert!((acc.used_secs(Uid(1)) - 0.75).abs() < 1e-9);
+        assert!((acc.share_of(Uid(1)) - 0.75).abs() < 1e-9);
+        assert!((acc.share_of(Uid(2)) - 0.25).abs() < 1e-9);
+        assert!((acc.utilization() - 1.0).abs() < 1e-9);
+        assert_eq!(acc.last_tick_at(), Some(SimTime::from_millis(990)));
+    }
+
+    #[test]
+    fn empty_ledger() {
+        let acc = CpuAccounting::new();
+        assert_eq!(acc.used_secs(Uid(1)), 0.0);
+        assert_eq!(acc.share_of(Uid(1)), 0.0);
+        assert_eq!(acc.utilization(), 0.0);
+        assert_eq!(acc.last_tick_at(), None);
+    }
+
+    #[test]
+    fn integrates_with_a_real_scheduler() {
+        let mut sched = ProportionalShareScheduler::new(1);
+        sched.set_share(Uid(1), 300);
+        sched.set_share(Uid(2), 100);
+        let mut acc = CpuAccounting::new();
+        let procs = vec![p(1, 1, 1.0), p(2, 2, 1.0)];
+        for i in 0..1000u64 {
+            let grants = sched.allocate(&procs);
+            acc.record_tick(SimTime::from_millis(10 * i), TICK, &procs, &grants);
+        }
+        assert!((acc.share_of(Uid(1)) - 0.75).abs() < 1e-9);
+        assert!((acc.share_of(Uid(2)) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn usage_based_billing() {
+        let mut acc = CpuAccounting::new();
+        let procs = vec![p(1, 1, 1.0)];
+        // 7200 ticks of 10 ms at half demand = 36 CPU-seconds.
+        for i in 0..7200u64 {
+            acc.record_tick(SimTime::from_millis(10 * i), TICK, &procs, &[0.5]);
+        }
+        let bill = acc.bill(Uid(1), 100.0); // 100 units per CPU-hour
+        assert!((bill - 1.0).abs() < 1e-9, "{bill}");
+        assert_eq!(acc.bill(Uid(9), 100.0), 0.0);
+    }
+
+    #[test]
+    fn remove_returns_and_clears() {
+        let mut acc = CpuAccounting::new();
+        acc.record_tick(SimTime::ZERO, TICK, &[p(1, 1, 1.0)], &[1.0]);
+        let secs = acc.remove(Uid(1));
+        assert!((secs - 0.01).abs() < 1e-12);
+        assert_eq!(acc.used_secs(Uid(1)), 0.0);
+        assert_eq!(acc.remove(Uid(1)), 0.0);
+    }
+
+    #[test]
+    fn idle_capacity_lowers_utilization() {
+        let mut acc = CpuAccounting::new();
+        let procs = vec![p(1, 1, 0.2)];
+        for i in 0..100u64 {
+            acc.record_tick(SimTime::from_millis(10 * i), TICK, &procs, &[0.2]);
+        }
+        assert!((acc.utilization() - 0.2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,116 @@
+//! CPU specifications and cycle/time conversion.
+//!
+//! The testbed hosts differ in clock rate (*seattle*: 2.6 GHz Xeon,
+//! *tacoma*: 1.8 GHz Pentium 4); Tables 2 and 4 and Figures 4–6 all hinge
+//! on that ratio, so the conversion between CPU cycles and simulated time
+//! lives here.
+
+use soda_sim::SimDuration;
+
+/// A host CPU: marketing name, clock rate, core count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CpuSpec {
+    /// Human-readable model, e.g. `"Intel Xeon"`.
+    pub model: &'static str,
+    /// Clock rate in MHz.
+    pub freq_mhz: u32,
+    /// Number of cores (both 2003 testbed hosts are single-core).
+    pub cores: u32,
+}
+
+impl CpuSpec {
+    /// Construct a spec. Panics on a zero frequency or zero cores.
+    pub fn new(model: &'static str, freq_mhz: u32, cores: u32) -> Self {
+        assert!(freq_mhz > 0, "CPU frequency must be positive");
+        assert!(cores > 0, "core count must be positive");
+        CpuSpec { model, freq_mhz, cores }
+    }
+
+    /// *seattle*'s CPU: 2.6 GHz Intel Xeon.
+    pub fn seattle() -> Self {
+        CpuSpec::new("Intel Xeon", 2600, 1)
+    }
+
+    /// *tacoma*'s CPU: 1.8 GHz Intel Pentium 4.
+    pub fn tacoma() -> Self {
+        CpuSpec::new("Intel Pentium 4", 1800, 1)
+    }
+
+    /// Clock rate in Hz.
+    pub fn freq_hz(&self) -> u64 {
+        self.freq_mhz as u64 * 1_000_000
+    }
+
+    /// Simulated wall time to execute `cycles` on one core.
+    pub fn cycles_to_time(&self, cycles: u64) -> SimDuration {
+        // ns = cycles / freq_GHz = cycles * 1000 / freq_MHz.
+        // Multiply first in u128 to avoid both overflow and precision loss.
+        let ns = (cycles as u128 * 1_000) / self.freq_mhz as u128;
+        SimDuration::from_nanos(ns.min(u64::MAX as u128) as u64)
+    }
+
+    /// Number of cycles executed in `dur` on one core (truncating).
+    pub fn time_to_cycles(&self, dur: SimDuration) -> u64 {
+        let c = dur.as_nanos() as u128 * self.freq_mhz as u128 / 1_000;
+        c.min(u64::MAX as u128) as u64
+    }
+
+    /// Relative speed of this CPU versus `other` (> 1 means faster).
+    pub fn speed_ratio(&self, other: &CpuSpec) -> f64 {
+        self.freq_hz() as f64 / other.freq_hz() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_specs() {
+        let s = CpuSpec::seattle();
+        let t = CpuSpec::tacoma();
+        assert_eq!(s.freq_mhz, 2600);
+        assert_eq!(t.freq_mhz, 1800);
+        assert!((s.speed_ratio(&t) - 2600.0 / 1800.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_round_trip() {
+        let s = CpuSpec::seattle();
+        // 2.6e9 cycles = 1 second.
+        assert_eq!(s.cycles_to_time(2_600_000_000).as_millis(), 1_000);
+        let d = SimDuration::from_millis(10);
+        let c = s.time_to_cycles(d);
+        assert_eq!(c, 26_000_000);
+        assert_eq!(s.cycles_to_time(c), d);
+    }
+
+    #[test]
+    fn small_cycle_counts_resolve() {
+        // Table 4's native syscall (~1.2k cycles) must not round to zero.
+        let s = CpuSpec::seattle();
+        let d = s.cycles_to_time(1_208);
+        assert!(d.as_nanos() > 0, "sub-microsecond costs must be representable");
+        assert_eq!(d.as_nanos(), 1_208 * 1_000 / 2_600);
+    }
+
+    #[test]
+    fn same_cycles_slower_on_tacoma() {
+        let s = CpuSpec::seattle();
+        let t = CpuSpec::tacoma();
+        let cycles = 1_000_000;
+        assert!(t.cycles_to_time(cycles) > s.cycles_to_time(cycles));
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency")]
+    fn zero_freq_panics() {
+        CpuSpec::new("bogus", 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "core count")]
+    fn zero_cores_panics() {
+        CpuSpec::new("bogus", 1000, 0);
+    }
+}

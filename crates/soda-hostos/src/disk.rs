@@ -1,0 +1,133 @@
+//! Disk model.
+//!
+//! Two experiments are disk-sensitive: VSN bootstrapping (Table 2 — the
+//! 400 MB LFS image boots in 4 s on *seattle* but 16 s on *tacoma*,
+//! because the desktop's IDE disk is far slower than the server's SCSI
+//! array) and the `log` workload of Figure 5 (continuous disk writes).
+//!
+//! The model is a single-spindle disk characterised by sequential
+//! bandwidth and a per-operation seek overhead, with a FIFO queue: a
+//! request issued while the disk is busy starts when the disk frees up.
+
+use soda_sim::{SimDuration, SimTime};
+
+/// A host disk.
+#[derive(Clone, Debug)]
+pub struct DiskModel {
+    /// Sustained sequential bandwidth, bytes/s.
+    pub seq_bandwidth_bytes: f64,
+    /// Average positioning (seek + rotational) overhead per operation.
+    pub seek_overhead: SimDuration,
+    /// Time at which the disk next becomes idle.
+    busy_until: SimTime,
+}
+
+impl DiskModel {
+    /// Construct from MB/s and per-op seek time.
+    pub fn new(seq_mb_per_sec: f64, seek_overhead: SimDuration) -> Self {
+        assert!(seq_mb_per_sec > 0.0, "disk bandwidth must be positive");
+        DiskModel {
+            seq_bandwidth_bytes: seq_mb_per_sec * 1e6,
+            seek_overhead,
+            busy_until: SimTime::ZERO,
+        }
+    }
+
+    /// *seattle*'s disk: server-class SCSI (PowerEdge), ~60 MB/s
+    /// sequential, 4 ms positioning.
+    pub fn seattle() -> Self {
+        DiskModel::new(60.0, SimDuration::from_millis(4))
+    }
+
+    /// *tacoma*'s disk: desktop IDE, ~15 MB/s sequential, 9 ms
+    /// positioning.
+    pub fn tacoma() -> Self {
+        DiskModel::new(15.0, SimDuration::from_millis(9))
+    }
+
+    /// Pure service time for one sequential transfer of `bytes`
+    /// (no queueing).
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        self.seek_overhead + SimDuration::from_secs_f64(bytes as f64 / self.seq_bandwidth_bytes)
+    }
+
+    /// Issue a sequential operation of `bytes` at `now`; returns the
+    /// completion time accounting for the FIFO queue.
+    pub fn submit(&mut self, bytes: u64, now: SimTime) -> SimTime {
+        let start = now.max(self.busy_until);
+        let done = start + self.transfer_time(bytes);
+        self.busy_until = done;
+        done
+    }
+
+    /// When the disk next becomes idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Utilisation helper: is the disk busy at `now`?
+    pub fn is_busy(&self, now: SimTime) -> bool {
+        self.busy_until > now
+    }
+
+    /// Reset queue state (new simulation run).
+    pub fn reset(&mut self) {
+        self.busy_until = SimTime::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_is_seek_plus_stream() {
+        let d = DiskModel::new(100.0, SimDuration::from_millis(5));
+        // 100 MB at 100 MB/s = 1 s + 5 ms seek.
+        let t = d.transfer_time(100_000_000);
+        assert_eq!(t.as_millis(), 1_005);
+    }
+
+    #[test]
+    fn queueing_serialises_requests() {
+        let mut d = DiskModel::new(100.0, SimDuration::from_millis(0));
+        let t0 = SimTime::ZERO;
+        let c1 = d.submit(100_000_000, t0); // 1 s
+        let c2 = d.submit(100_000_000, t0); // queued behind
+        assert_eq!(c1.as_millis(), 1_000);
+        assert_eq!(c2.as_millis(), 2_000);
+        assert!(d.is_busy(t0));
+        assert!(!d.is_busy(SimTime::from_secs(3)));
+    }
+
+    #[test]
+    fn idle_gap_is_not_charged() {
+        let mut d = DiskModel::new(100.0, SimDuration::ZERO);
+        d.submit(100_000_000, SimTime::ZERO); // busy until 1 s
+        let c = d.submit(100_000_000, SimTime::from_secs(5));
+        assert_eq!(c.as_secs_f64(), 6.0);
+    }
+
+    #[test]
+    fn tacoma_slower_than_seattle() {
+        let s = DiskModel::seattle();
+        let t = DiskModel::tacoma();
+        let bytes = 400_000_000; // the LFS image
+        assert!(t.transfer_time(bytes) > s.transfer_time(bytes) * 3);
+    }
+
+    #[test]
+    fn reset_clears_queue() {
+        let mut d = DiskModel::seattle();
+        d.submit(1_000_000_000, SimTime::ZERO);
+        assert!(d.busy_until() > SimTime::ZERO);
+        d.reset();
+        assert_eq!(d.busy_until(), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_panics() {
+        DiskModel::new(0.0, SimDuration::ZERO);
+    }
+}

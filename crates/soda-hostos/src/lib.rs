@@ -1,0 +1,49 @@
+//! # soda-hostos
+//!
+//! Host-OS model for the SODA reproduction.
+//!
+//! SODA (HPDC'03) runs each virtual service node on a Linux *host OS* that
+//! the authors enhanced in two ways: a **coarse-grain proportional-share
+//! CPU scheduler** keyed by userid (every process of a virtual service
+//! node bears the service's uid), and a **traffic shaper** enforcing
+//! per-IP outbound bandwidth. This crate models the host OS at the level
+//! those mechanisms and the paper's measurements require:
+//!
+//! * [`resources`] — Table 1's machine configuration `M`, resource
+//!   vectors and the per-host reservation ledger the SODA Daemon uses.
+//! * [`cpu`] — CPU specs (clock rate ↔ cycles ↔ simulated time).
+//! * [`sched`] — two pluggable CPU schedulers driven in fixed ticks:
+//!   [`sched::TimeShareScheduler`] reproduces stock Linux's *per-process*
+//!   fairness (the reason Figure 5(a) shows skewed shares) and
+//!   [`sched::ProportionalShareScheduler`] reproduces the paper's
+//!   per-userid proportional sharing (Figure 5(b)).
+//! * [`syscall`] — the syscall catalog with a cycle-level native cost
+//!   model (the "in host OS" column of Table 4).
+//! * [`shaper`] — token-bucket outbound traffic shaping per VSN IP.
+//! * [`memory`] — per-account memory limits (UML's `mem=` cap).
+//! * [`disk`] — disk bandwidth/seek model (bootstrapping and the `log`
+//!   workload of Figure 5 are disk-bound).
+//! * [`process`] — pid/uid table; supports the guest/host `ps -ef`
+//!   isolation demonstration of Figure 3.
+
+pub mod accounting;
+pub mod cpu;
+pub mod disk;
+pub mod memory;
+pub mod process;
+pub mod resources;
+pub mod sched;
+pub mod shaper;
+pub mod syscall;
+
+pub use accounting::CpuAccounting;
+pub use cpu::CpuSpec;
+pub use disk::DiskModel;
+pub use memory::MemoryManager;
+pub use process::{Pid, ProcessTable, Uid};
+pub use resources::{MachineConfig, ResourceError, ResourceLedger, ResourceVector};
+pub use sched::{
+    CpuScheduler, LotteryScheduler, ProcDesc, ProportionalShareScheduler, TimeShareScheduler,
+};
+pub use shaper::TrafficShaper;
+pub use syscall::{Syscall, SyscallCostModel};

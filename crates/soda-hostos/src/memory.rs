@@ -1,0 +1,222 @@
+//! Per-account memory accounting.
+//!
+//! The original UML "provides limited support for resource isolation: for
+//! memory, a memory usage limit can be specified as a parameter when a
+//! UML is started" (§4.2). The SODA Daemon passes each VSN's memory
+//! reservation as that limit. This module tracks host memory and enforces
+//! per-account (per-VSN) caps: an allocation beyond the cap fails inside
+//! the guest without affecting other accounts — memory isolation.
+
+use std::collections::HashMap;
+
+use crate::process::Uid;
+
+/// Memory accounting failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemError {
+    /// The account would exceed its configured cap.
+    OverCap {
+        /// The account.
+        uid: Uid,
+        /// Cap in MB.
+        cap_mb: u32,
+        /// Usage after the rejected allocation would have applied.
+        attempted_mb: u32,
+    },
+    /// Host physical memory exhausted.
+    HostExhausted {
+        /// MB requested.
+        requested_mb: u32,
+        /// MB free.
+        free_mb: u32,
+    },
+    /// Account has no cap configured (VSN not registered).
+    UnknownAccount(Uid),
+    /// Freeing more than the account holds.
+    Underflow(Uid),
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::OverCap { uid, cap_mb, attempted_mb } => {
+                write!(f, "uid {uid} over memory cap: {attempted_mb}MB > {cap_mb}MB")
+            }
+            MemError::HostExhausted { requested_mb, free_mb } => {
+                write!(f, "host memory exhausted: requested {requested_mb}MB, free {free_mb}MB")
+            }
+            MemError::UnknownAccount(uid) => write!(f, "no memory cap registered for uid {uid}"),
+            MemError::Underflow(uid) => write!(f, "uid {uid} freed more memory than allocated"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Account {
+    cap_mb: u32,
+    used_mb: u32,
+}
+
+/// Host memory manager with per-uid caps.
+#[derive(Clone, Debug)]
+pub struct MemoryManager {
+    total_mb: u32,
+    used_mb: u32,
+    accounts: HashMap<Uid, Account>,
+}
+
+impl MemoryManager {
+    /// A manager for a host with `total_mb` of RAM.
+    pub fn new(total_mb: u32) -> Self {
+        MemoryManager { total_mb, used_mb: 0, accounts: HashMap::new() }
+    }
+
+    /// Register an account with a cap — the `mem=` limit passed when the
+    /// UML starts. Re-registering updates the cap but keeps usage.
+    pub fn register(&mut self, uid: Uid, cap_mb: u32) {
+        self.accounts.entry(uid).or_default().cap_mb = cap_mb;
+    }
+
+    /// Drop an account, returning its memory to the host (VSN teardown).
+    pub fn unregister(&mut self, uid: Uid) {
+        if let Some(acc) = self.accounts.remove(&uid) {
+            self.used_mb = self.used_mb.saturating_sub(acc.used_mb);
+        }
+    }
+
+    /// Allocate `mb` for `uid`. Fails if the account cap or host RAM
+    /// would be exceeded; a failed allocation changes nothing.
+    pub fn allocate(&mut self, uid: Uid, mb: u32) -> Result<(), MemError> {
+        let acc = self.accounts.get(&uid).copied().ok_or(MemError::UnknownAccount(uid))?;
+        let attempted = acc.used_mb.saturating_add(mb);
+        if attempted > acc.cap_mb {
+            return Err(MemError::OverCap { uid, cap_mb: acc.cap_mb, attempted_mb: attempted });
+        }
+        let free = self.total_mb.saturating_sub(self.used_mb);
+        if mb > free {
+            return Err(MemError::HostExhausted { requested_mb: mb, free_mb: free });
+        }
+        self.accounts.get_mut(&uid).expect("checked").used_mb = attempted;
+        self.used_mb += mb;
+        Ok(())
+    }
+
+    /// Free `mb` previously allocated by `uid`.
+    pub fn free(&mut self, uid: Uid, mb: u32) -> Result<(), MemError> {
+        let acc = self.accounts.get_mut(&uid).ok_or(MemError::UnknownAccount(uid))?;
+        if mb > acc.used_mb {
+            return Err(MemError::Underflow(uid));
+        }
+        acc.used_mb -= mb;
+        self.used_mb -= mb;
+        Ok(())
+    }
+
+    /// Current usage for `uid` in MB.
+    pub fn used_by(&self, uid: Uid) -> u32 {
+        self.accounts.get(&uid).map_or(0, |a| a.used_mb)
+    }
+
+    /// The cap configured for `uid`.
+    pub fn cap_of(&self, uid: Uid) -> Option<u32> {
+        self.accounts.get(&uid).map(|a| a.cap_mb)
+    }
+
+    /// Host-wide usage in MB.
+    pub fn used_total(&self) -> u32 {
+        self.used_mb
+    }
+
+    /// Host-wide free memory in MB.
+    pub fn free_total(&self) -> u32 {
+        self.total_mb.saturating_sub(self.used_mb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_is_enforced_per_account() {
+        let mut m = MemoryManager::new(2048);
+        m.register(Uid(1), 256);
+        m.register(Uid(2), 256);
+        m.allocate(Uid(1), 200).unwrap();
+        let err = m.allocate(Uid(1), 100).unwrap_err();
+        assert!(matches!(err, MemError::OverCap { uid: Uid(1), cap_mb: 256, attempted_mb: 300 }));
+        // uid 2 unaffected: isolation.
+        m.allocate(Uid(2), 256).unwrap();
+        assert_eq!(m.used_by(Uid(1)), 200);
+        assert_eq!(m.used_by(Uid(2)), 256);
+        assert_eq!(m.used_total(), 456);
+    }
+
+    #[test]
+    fn host_exhaustion() {
+        let mut m = MemoryManager::new(300);
+        m.register(Uid(1), 256);
+        m.register(Uid(2), 256);
+        m.allocate(Uid(1), 256).unwrap();
+        let err = m.allocate(Uid(2), 100).unwrap_err();
+        assert!(matches!(err, MemError::HostExhausted { requested_mb: 100, free_mb: 44 }));
+    }
+
+    #[test]
+    fn unknown_account_rejected() {
+        let mut m = MemoryManager::new(100);
+        assert!(matches!(m.allocate(Uid(9), 1), Err(MemError::UnknownAccount(Uid(9)))));
+        assert!(matches!(m.free(Uid(9), 1), Err(MemError::UnknownAccount(Uid(9)))));
+        assert_eq!(m.cap_of(Uid(9)), None);
+    }
+
+    #[test]
+    fn free_and_underflow() {
+        let mut m = MemoryManager::new(1000);
+        m.register(Uid(1), 500);
+        m.allocate(Uid(1), 300).unwrap();
+        m.free(Uid(1), 100).unwrap();
+        assert_eq!(m.used_by(Uid(1)), 200);
+        assert!(matches!(m.free(Uid(1), 300), Err(MemError::Underflow(Uid(1)))));
+        assert_eq!(m.used_by(Uid(1)), 200);
+    }
+
+    #[test]
+    fn unregister_releases_memory() {
+        let mut m = MemoryManager::new(1000);
+        m.register(Uid(1), 500);
+        m.allocate(Uid(1), 400).unwrap();
+        assert_eq!(m.free_total(), 600);
+        m.unregister(Uid(1));
+        assert_eq!(m.free_total(), 1000);
+        assert_eq!(m.used_by(Uid(1)), 0);
+    }
+
+    #[test]
+    fn reregister_updates_cap_keeps_usage() {
+        let mut m = MemoryManager::new(1000);
+        m.register(Uid(1), 100);
+        m.allocate(Uid(1), 80).unwrap();
+        m.register(Uid(1), 200); // resize up
+        m.allocate(Uid(1), 100).unwrap();
+        assert_eq!(m.used_by(Uid(1)), 180);
+    }
+
+    #[test]
+    fn failed_allocation_is_atomic() {
+        let mut m = MemoryManager::new(1000);
+        m.register(Uid(1), 100);
+        let before = (m.used_by(Uid(1)), m.used_total());
+        let _ = m.allocate(Uid(1), 101);
+        assert_eq!((m.used_by(Uid(1)), m.used_total()), before);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = MemError::OverCap { uid: Uid(3), cap_mb: 10, attempted_mb: 12 };
+        assert!(e.to_string().contains("over memory cap"));
+        assert!(MemError::Underflow(Uid(1)).to_string().contains("freed more"));
+    }
+}

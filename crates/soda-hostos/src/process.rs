@@ -1,0 +1,157 @@
+//! Process and user-id table.
+//!
+//! SODA's proportional CPU scheduler is keyed by userid: "within one
+//! virtual service node, all processes bear the same user (service) id".
+//! The process table also backs the Figure 3 demonstration — each guest
+//! OS's `ps -ef` lists only its own processes, while the host sees all.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A process id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(pub u32);
+
+/// A user (service) id. Each virtual service node runs all of its
+/// processes under one uid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Uid(pub u32);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Uid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One process table entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProcessEntry {
+    /// Process id (unique within the table).
+    pub pid: Pid,
+    /// Owning user/service id.
+    pub uid: Uid,
+    /// Command name, e.g. `"httpd_19_5"` or `"ghttpd-1.4"`.
+    pub command: String,
+}
+
+/// A host-wide process table with per-uid views.
+#[derive(Clone, Debug, Default)]
+pub struct ProcessTable {
+    procs: BTreeMap<Pid, ProcessEntry>,
+    next_pid: u32,
+}
+
+impl ProcessTable {
+    /// An empty table; pids start at 1 (pid 0 is the idle task, as on
+    /// Linux).
+    pub fn new() -> Self {
+        ProcessTable { procs: BTreeMap::new(), next_pid: 1 }
+    }
+
+    /// Spawn a process under `uid`; returns its pid.
+    pub fn spawn(&mut self, uid: Uid, command: impl Into<String>) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        self.procs.insert(pid, ProcessEntry { pid, uid, command: command.into() });
+        pid
+    }
+
+    /// Kill one process. Returns the entry if it existed.
+    pub fn kill(&mut self, pid: Pid) -> Option<ProcessEntry> {
+        self.procs.remove(&pid)
+    }
+
+    /// Kill every process owned by `uid` (VSN teardown / guest crash).
+    /// Returns how many were killed.
+    pub fn kill_uid(&mut self, uid: Uid) -> usize {
+        let doomed: Vec<Pid> =
+            self.procs.values().filter(|p| p.uid == uid).map(|p| p.pid).collect();
+        for pid in &doomed {
+            self.procs.remove(pid);
+        }
+        doomed.len()
+    }
+
+    /// Look up a process.
+    pub fn get(&self, pid: Pid) -> Option<&ProcessEntry> {
+        self.procs.get(&pid)
+    }
+
+    /// All processes, ordered by pid — the host's `ps -ef`.
+    pub fn ps_all(&self) -> impl Iterator<Item = &ProcessEntry> {
+        self.procs.values()
+    }
+
+    /// Processes owned by one uid, ordered by pid — a guest's `ps -ef`
+    /// (the guest can only see its own processes: administration
+    /// isolation).
+    pub fn ps_uid(&self, uid: Uid) -> impl Iterator<Item = &ProcessEntry> + '_ {
+        self.procs.values().filter(move |p| p.uid == uid)
+    }
+
+    /// Number of live processes.
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// True iff no processes are live.
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+
+    /// Number of live processes for one uid.
+    pub fn count_uid(&self, uid: Uid) -> usize {
+        self.ps_uid(uid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_assigns_increasing_pids() {
+        let mut t = ProcessTable::new();
+        let a = t.spawn(Uid(100), "httpd");
+        let b = t.spawn(Uid(100), "httpd");
+        assert!(b > a);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(a).unwrap().command, "httpd");
+    }
+
+    #[test]
+    fn uid_view_is_isolated() {
+        let mut t = ProcessTable::new();
+        t.spawn(Uid(1), "init");
+        t.spawn(Uid(1), "httpd_19_5");
+        t.spawn(Uid(2), "init");
+        t.spawn(Uid(2), "ghttpd-1.4");
+        // The web-service guest sees only its two processes; the honeypot
+        // guest sees only its own (Figure 3).
+        assert_eq!(t.count_uid(Uid(1)), 2);
+        assert_eq!(t.count_uid(Uid(2)), 2);
+        assert!(t.ps_uid(Uid(1)).all(|p| p.uid == Uid(1)));
+        // The host sees all four.
+        assert_eq!(t.ps_all().count(), 4);
+    }
+
+    #[test]
+    fn kill_single_and_by_uid() {
+        let mut t = ProcessTable::new();
+        let a = t.spawn(Uid(1), "x");
+        t.spawn(Uid(2), "y");
+        t.spawn(Uid(2), "z");
+        assert_eq!(t.kill(a).unwrap().pid, a);
+        assert!(t.kill(a).is_none());
+        // Crashing the honeypot guest kills all of uid 2, leaves others.
+        assert_eq!(t.kill_uid(Uid(2)), 2);
+        assert_eq!(t.kill_uid(Uid(2)), 0);
+        assert!(t.is_empty());
+    }
+}

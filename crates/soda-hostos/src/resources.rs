@@ -1,0 +1,430 @@
+//! Resource vectors and the per-host reservation ledger.
+//!
+//! The paper specifies a service's resource requirement as a tuple
+//! `<n, M>`: `n` machine instances of configuration `M`, where `M` lists
+//! the types and amounts of resources (Table 1: CPU 512 MHz, memory
+//! 256 MB, disk 1 GB, bandwidth 10 Mbps). The SODA Daemon "contacts the
+//! underlying host OS and makes resource reservations for the virtual
+//! service node" — that reservation bookkeeping is [`ResourceLedger`].
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// A machine configuration `M` — the unit of resource allocation
+/// (Table 1 of the paper).
+///
+/// All four dimensions are modelled because placement (SODA Master) packs
+/// on all of them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct ResourceVector {
+    /// CPU capacity in MHz.
+    pub cpu_mhz: u32,
+    /// Memory in MB.
+    pub mem_mb: u32,
+    /// Disk space in MB (Table 1 lists GB; MB keeps integer arithmetic).
+    pub disk_mb: u32,
+    /// Network bandwidth in Mbps.
+    pub bw_mbps: u32,
+}
+
+/// Alias matching the paper's name for the tuple `M`.
+pub type MachineConfig = ResourceVector;
+
+impl ResourceVector {
+    /// The zero vector.
+    pub const ZERO: ResourceVector =
+        ResourceVector { cpu_mhz: 0, mem_mb: 0, disk_mb: 0, bw_mbps: 0 };
+
+    /// Table 1's example configuration: CPU 512 MHz, memory 256 MB,
+    /// disk 1 GB, bandwidth 10 Mbps.
+    pub const TABLE1_EXAMPLE: ResourceVector =
+        ResourceVector { cpu_mhz: 512, mem_mb: 256, disk_mb: 1024, bw_mbps: 10 };
+
+    /// Construct a vector.
+    pub const fn new(cpu_mhz: u32, mem_mb: u32, disk_mb: u32, bw_mbps: u32) -> Self {
+        ResourceVector { cpu_mhz, mem_mb, disk_mb, bw_mbps }
+    }
+
+    /// True iff every dimension of `self` is at least `other` —
+    /// i.e. `other` fits within `self`.
+    pub fn covers(&self, other: &ResourceVector) -> bool {
+        self.cpu_mhz >= other.cpu_mhz
+            && self.mem_mb >= other.mem_mb
+            && self.disk_mb >= other.disk_mb
+            && self.bw_mbps >= other.bw_mbps
+    }
+
+    /// Component-wise saturating subtraction.
+    pub fn saturating_sub(&self, other: &ResourceVector) -> ResourceVector {
+        ResourceVector {
+            cpu_mhz: self.cpu_mhz.saturating_sub(other.cpu_mhz),
+            mem_mb: self.mem_mb.saturating_sub(other.mem_mb),
+            disk_mb: self.disk_mb.saturating_sub(other.disk_mb),
+            bw_mbps: self.bw_mbps.saturating_sub(other.bw_mbps),
+        }
+    }
+
+    /// Scale the CPU and bandwidth dimensions by the paper's slow-down
+    /// inflation factor (footnote 2: "we set the slow-down factor to be
+    /// 1.5"): the guest-OS/host-OS structure wastes cycles and packet
+    /// processing, so the Master reserves `factor ×` the nominal CPU and
+    /// bandwidth. Memory and disk are not inflated (UML memory is capped
+    /// directly; disk blocks are not consumed by virtualisation).
+    pub fn inflate_for_slowdown(&self, factor: f64) -> ResourceVector {
+        let f = factor.max(1.0);
+        ResourceVector {
+            cpu_mhz: (self.cpu_mhz as f64 * f).ceil() as u32,
+            mem_mb: self.mem_mb,
+            disk_mb: self.disk_mb,
+            bw_mbps: (self.bw_mbps as f64 * f).ceil() as u32,
+        }
+    }
+
+    /// The largest integer `k` such that `k × other` fits in `self`
+    /// (how many machine instances `M` this vector can hold).
+    pub fn instances_of(&self, unit: &ResourceVector) -> u32 {
+        fn ratio(avail: u32, need: u32) -> u32 {
+            avail.checked_div(need).unwrap_or(u32::MAX)
+        }
+        ratio(self.cpu_mhz, unit.cpu_mhz)
+            .min(ratio(self.mem_mb, unit.mem_mb))
+            .min(ratio(self.disk_mb, unit.disk_mb))
+            .min(ratio(self.bw_mbps, unit.bw_mbps))
+    }
+
+    /// A scalar "size" used by packing heuristics: the maximum utilisation
+    /// fraction across dimensions relative to `capacity` (each dimension
+    /// normalised so heterogeneous units compare).
+    pub fn dominant_share(&self, capacity: &ResourceVector) -> f64 {
+        fn frac(x: u32, cap: u32) -> f64 {
+            if cap == 0 {
+                if x == 0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                x as f64 / cap as f64
+            }
+        }
+        frac(self.cpu_mhz, capacity.cpu_mhz)
+            .max(frac(self.mem_mb, capacity.mem_mb))
+            .max(frac(self.disk_mb, capacity.disk_mb))
+            .max(frac(self.bw_mbps, capacity.bw_mbps))
+    }
+}
+
+impl Add for ResourceVector {
+    type Output = ResourceVector;
+    fn add(self, o: ResourceVector) -> ResourceVector {
+        ResourceVector {
+            cpu_mhz: self.cpu_mhz + o.cpu_mhz,
+            mem_mb: self.mem_mb + o.mem_mb,
+            disk_mb: self.disk_mb + o.disk_mb,
+            bw_mbps: self.bw_mbps + o.bw_mbps,
+        }
+    }
+}
+
+impl AddAssign for ResourceVector {
+    fn add_assign(&mut self, o: ResourceVector) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for ResourceVector {
+    type Output = ResourceVector;
+    fn sub(self, o: ResourceVector) -> ResourceVector {
+        self.saturating_sub(&o)
+    }
+}
+
+impl SubAssign for ResourceVector {
+    fn sub_assign(&mut self, o: ResourceVector) {
+        *self = *self - o;
+    }
+}
+
+impl Mul<u32> for ResourceVector {
+    type Output = ResourceVector;
+    fn mul(self, k: u32) -> ResourceVector {
+        ResourceVector {
+            cpu_mhz: self.cpu_mhz * k,
+            mem_mb: self.mem_mb * k,
+            disk_mb: self.disk_mb * k,
+            bw_mbps: self.bw_mbps * k,
+        }
+    }
+}
+
+impl fmt::Display for ResourceVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CPU {}MHz, Mem {}MB, Disk {}MB, BW {}Mbps",
+            self.cpu_mhz, self.mem_mb, self.disk_mb, self.bw_mbps
+        )
+    }
+}
+
+/// Reservation failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResourceError {
+    /// The request exceeds the currently available resources.
+    Insufficient {
+        /// What was requested.
+        requested: ResourceVector,
+        /// What remained available.
+        available: ResourceVector,
+    },
+    /// An unknown reservation id was released or queried.
+    UnknownReservation(u64),
+}
+
+impl fmt::Display for ResourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceError::Insufficient { requested, available } => {
+                write!(f, "insufficient resources: requested [{requested}], available [{available}]")
+            }
+            ResourceError::UnknownReservation(id) => write!(f, "unknown reservation id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ResourceError {}
+
+/// Per-host reservation ledger: total capacity, outstanding reservations,
+/// and remaining availability. This is the state a SODA Daemon reports to
+/// the SODA Master and charges slices against.
+#[derive(Clone, Debug)]
+pub struct ResourceLedger {
+    capacity: ResourceVector,
+    reserved: ResourceVector,
+    next_id: u64,
+    live: Vec<(u64, ResourceVector)>,
+}
+
+impl ResourceLedger {
+    /// A ledger for a host with the given total capacity.
+    pub fn new(capacity: ResourceVector) -> Self {
+        ResourceLedger { capacity, reserved: ResourceVector::ZERO, next_id: 1, live: Vec::new() }
+    }
+
+    /// Total host capacity.
+    pub fn capacity(&self) -> ResourceVector {
+        self.capacity
+    }
+
+    /// Currently reserved resources.
+    pub fn reserved(&self) -> ResourceVector {
+        self.reserved
+    }
+
+    /// Currently available resources.
+    pub fn available(&self) -> ResourceVector {
+        self.capacity.saturating_sub(&self.reserved)
+    }
+
+    /// Number of live reservations.
+    pub fn reservation_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Reserve a slice; returns a reservation id to release later.
+    pub fn reserve(&mut self, slice: ResourceVector) -> Result<u64, ResourceError> {
+        let avail = self.available();
+        if !avail.covers(&slice) {
+            return Err(ResourceError::Insufficient { requested: slice, available: avail });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.reserved += slice;
+        self.live.push((id, slice));
+        Ok(id)
+    }
+
+    /// Release a reservation by id.
+    pub fn release(&mut self, id: u64) -> Result<ResourceVector, ResourceError> {
+        match self.live.iter().position(|&(rid, _)| rid == id) {
+            Some(pos) => {
+                let (_, slice) = self.live.swap_remove(pos);
+                self.reserved -= slice;
+                Ok(slice)
+            }
+            None => Err(ResourceError::UnknownReservation(id)),
+        }
+    }
+
+    /// Grow or shrink a live reservation in place (service resizing).
+    /// Shrinking always succeeds; growing requires headroom.
+    pub fn resize(&mut self, id: u64, new_slice: ResourceVector) -> Result<(), ResourceError> {
+        let pos = self
+            .live
+            .iter()
+            .position(|&(rid, _)| rid == id)
+            .ok_or(ResourceError::UnknownReservation(id))?;
+        let old = self.live[pos].1;
+        // Headroom check: available + old must cover new.
+        let avail_plus_old = self.available() + old;
+        if !avail_plus_old.covers(&new_slice) {
+            return Err(ResourceError::Insufficient {
+                requested: new_slice,
+                available: avail_plus_old,
+            });
+        }
+        self.reserved -= old;
+        self.reserved += new_slice;
+        self.live[pos].1 = new_slice;
+        Ok(())
+    }
+
+    /// Look up a live reservation.
+    pub fn get(&self, id: u64) -> Option<ResourceVector> {
+        self.live.iter().find(|&&(rid, _)| rid == id).map(|&(_, s)| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn m() -> ResourceVector {
+        ResourceVector::TABLE1_EXAMPLE
+    }
+
+    #[test]
+    fn table1_example_values() {
+        let m = m();
+        assert_eq!(m.cpu_mhz, 512);
+        assert_eq!(m.mem_mb, 256);
+        assert_eq!(m.disk_mb, 1024);
+        assert_eq!(m.bw_mbps, 10);
+        assert_eq!(m.to_string(), "CPU 512MHz, Mem 256MB, Disk 1024MB, BW 10Mbps");
+    }
+
+    #[test]
+    fn covers_is_componentwise() {
+        let big = ResourceVector::new(1000, 1000, 1000, 1000);
+        let small = ResourceVector::new(999, 1000, 1, 0);
+        assert!(big.covers(&small));
+        assert!(!small.covers(&big));
+        let mixed = ResourceVector::new(1001, 1, 1, 1);
+        assert!(!big.covers(&mixed)); // one dimension exceeds
+        assert!(big.covers(&big)); // reflexive
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = ResourceVector::new(10, 20, 30, 40);
+        let b = ResourceVector::new(1, 2, 3, 4);
+        assert_eq!(a + b, ResourceVector::new(11, 22, 33, 44));
+        assert_eq!(a - b, ResourceVector::new(9, 18, 27, 36));
+        assert_eq!(b - a, ResourceVector::ZERO); // saturating
+        assert_eq!(b * 3, ResourceVector::new(3, 6, 9, 12));
+    }
+
+    #[test]
+    fn inflation_hits_cpu_and_bw_only() {
+        let infl = m().inflate_for_slowdown(1.5);
+        assert_eq!(infl.cpu_mhz, 768);
+        assert_eq!(infl.bw_mbps, 15);
+        assert_eq!(infl.mem_mb, 256);
+        assert_eq!(infl.disk_mb, 1024);
+        // Factors below 1 clamp to no inflation.
+        assert_eq!(m().inflate_for_slowdown(0.5), m());
+    }
+
+    #[test]
+    fn instances_of_takes_min_dimension() {
+        let host = ResourceVector::new(2600, 2048, 60_000, 100);
+        // CPU allows 5, mem 8, disk 58, bw 10 → 5.
+        assert_eq!(host.instances_of(&m()), 5);
+        // A zero-demand dimension never constrains.
+        let free_disk = ResourceVector::new(512, 256, 0, 10);
+        assert_eq!(host.instances_of(&free_disk), 5);
+    }
+
+    #[test]
+    fn dominant_share() {
+        let cap = ResourceVector::new(1000, 1000, 1000, 100);
+        let use_ = ResourceVector::new(100, 500, 250, 10);
+        assert!((use_.dominant_share(&cap) - 0.5).abs() < 1e-12);
+        let zero_cap = ResourceVector::new(0, 1000, 1000, 100);
+        assert_eq!(ResourceVector::new(1, 0, 0, 0).dominant_share(&zero_cap), f64::INFINITY);
+        assert_eq!(ResourceVector::ZERO.dominant_share(&zero_cap), 0.0);
+    }
+
+    #[test]
+    fn ledger_reserve_release_cycle() {
+        let mut l = ResourceLedger::new(ResourceVector::new(2600, 2048, 60_000, 100));
+        let id1 = l.reserve(m()).unwrap();
+        let id2 = l.reserve(m()).unwrap();
+        assert_eq!(l.reservation_count(), 2);
+        assert_eq!(l.reserved(), m() * 2);
+        assert_eq!(l.available(), l.capacity() - m() * 2);
+        assert_eq!(l.get(id1), Some(m()));
+        assert_eq!(l.release(id1).unwrap(), m());
+        assert_eq!(l.reservation_count(), 1);
+        assert_eq!(l.reserved(), m());
+        assert!(matches!(l.release(id1), Err(ResourceError::UnknownReservation(_))));
+        l.release(id2).unwrap();
+        assert_eq!(l.reserved(), ResourceVector::ZERO);
+    }
+
+    #[test]
+    fn ledger_rejects_oversubscription() {
+        let mut l = ResourceLedger::new(m() * 2);
+        l.reserve(m()).unwrap();
+        l.reserve(m()).unwrap();
+        let err = l.reserve(m()).unwrap_err();
+        match err {
+            ResourceError::Insufficient { requested, available } => {
+                assert_eq!(requested, m());
+                assert_eq!(available, ResourceVector::ZERO);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ledger_resize_up_and_down() {
+        let mut l = ResourceLedger::new(m() * 4);
+        let id = l.reserve(m()).unwrap();
+        // Grow to 3M: fits (4M total, 1M reserved).
+        l.resize(id, m() * 3).unwrap();
+        assert_eq!(l.get(id), Some(m() * 3));
+        assert_eq!(l.available(), m());
+        // Grow to 5M: fails, reservation unchanged.
+        assert!(l.resize(id, m() * 5).is_err());
+        assert_eq!(l.get(id), Some(m() * 3));
+        // Shrink to 1M.
+        l.resize(id, m()).unwrap();
+        assert_eq!(l.available(), m() * 3);
+        assert!(matches!(l.resize(999, m()), Err(ResourceError::UnknownReservation(999))));
+    }
+
+    proptest! {
+        /// reserved + available == capacity at all times, and release
+        /// restores exactly what reserve took.
+        #[test]
+        fn prop_ledger_conservation(ops in proptest::collection::vec((1u32..8, 1u32..8, 1u32..8, 1u32..8), 1..50)) {
+            let cap = ResourceVector::new(100, 100, 100, 100);
+            let mut l = ResourceLedger::new(cap);
+            let mut ids = Vec::new();
+            for (i, &(c, me, d, b)) in ops.iter().enumerate() {
+                let v = ResourceVector::new(c, me, d, b);
+                if i % 3 == 2 && !ids.is_empty() {
+                    let id = ids.remove(0);
+                    l.release(id).unwrap();
+                } else if let Ok(id) = l.reserve(v) {
+                    ids.push(id);
+                }
+                let sum = l.reserved() + l.available();
+                prop_assert_eq!(sum, cap);
+                prop_assert!(cap.covers(&l.reserved()));
+            }
+        }
+    }
+}

@@ -1,0 +1,663 @@
+//! CPU schedulers — the heart of Figure 5.
+//!
+//! The experiment: three virtual service nodes (*web*, *comp*, *log*) on
+//! one host, each entitled to an equal CPU share, all demanding more than
+//! their share. Under **unmodified Linux** the observed shares are skewed,
+//! because Linux's time-share scheduler is fair *per process* — a node
+//! running more runnable processes harvests more CPU, and interactivity
+//! boosts add noise. SODA's enhancement is a **coarse-grain proportional
+//! share scheduler keyed by userid**: first divide the tick among uids in
+//! proportion to their configured shares, then divide each uid's grant
+//! among its own processes.
+//!
+//! Both schedulers are driven in fixed ticks. For each tick the caller
+//! passes the runnable process set with per-process *demand* (the fraction
+//! of the tick the process would consume if unconstrained, in `[0, 1]`);
+//! the scheduler returns the granted fraction per process. Both schedulers
+//! are work-conserving: CPU a process cannot use is redistributed.
+
+use std::collections::HashMap;
+
+use crate::process::{Pid, Uid};
+
+/// A runnable process presented to the scheduler for one tick.
+#[derive(Clone, Copy, Debug)]
+pub struct ProcDesc {
+    /// Process id.
+    pub pid: Pid,
+    /// Owning user/service id.
+    pub uid: Uid,
+    /// Fraction of the tick the process would consume if unconstrained,
+    /// clamped to `[0, 1]` on use. A disk-bound logger that sleeps 30% of
+    /// the time has demand 0.7; a spinner has demand 1.0.
+    pub demand: f64,
+}
+
+/// A tick-driven CPU scheduler.
+pub trait CpuScheduler {
+    /// Distribute one tick of a single CPU among `procs`. Returns the
+    /// granted fraction of the tick per process, in input order. The
+    /// grants satisfy `0 <= grant[i] <= demand[i]` and `Σ grant <= 1`,
+    /// with equality when `Σ demand >= 1` (work conservation).
+    fn allocate(&mut self, procs: &[ProcDesc]) -> Vec<f64>;
+
+    /// Human-readable name for experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// Weighted max-min fair allocation ("water-filling"): distribute
+/// `capacity` among items in proportion to `weights`, capping each item at
+/// its `demand` and redistributing the surplus. Runs in O(n²) worst case,
+/// which is irrelevant at per-host process counts.
+///
+/// Exposed for testing and reuse by the network fair-share model.
+///
+/// ```
+/// use soda_hostos::sched::water_fill;
+/// // Two equal-weight items; the first only wants 10% of the CPU, so
+/// // the second soaks the surplus.
+/// let alloc = water_fill(1.0, &[1.0, 1.0], &[0.1, 1.0]);
+/// assert!((alloc[0] - 0.1).abs() < 1e-12);
+/// assert!((alloc[1] - 0.9).abs() < 1e-12);
+/// ```
+pub fn water_fill(capacity: f64, weights: &[f64], demands: &[f64]) -> Vec<f64> {
+    assert_eq!(weights.len(), demands.len());
+    let n = weights.len();
+    let mut alloc = vec![0.0f64; n];
+    if n == 0 || capacity <= 0.0 {
+        return alloc;
+    }
+    let demands: Vec<f64> = demands.iter().map(|d| d.clamp(0.0, f64::MAX)).collect();
+    let mut saturated = vec![false; n];
+    let mut remaining = capacity;
+    loop {
+        let active_weight: f64 = (0..n)
+            .filter(|&i| !saturated[i] && weights[i] > 0.0)
+            .map(|i| weights[i])
+            .sum();
+        if active_weight <= 0.0 || remaining <= 1e-15 {
+            break;
+        }
+        let mut newly_saturated = false;
+        // Tentative proportional grant for this round.
+        let per_weight = remaining / active_weight;
+        let mut granted_this_round = 0.0;
+        for i in 0..n {
+            if saturated[i] || weights[i] <= 0.0 {
+                continue;
+            }
+            let want = demands[i] - alloc[i];
+            let offer = per_weight * weights[i];
+            if want <= offer {
+                alloc[i] += want;
+                granted_this_round += want;
+                saturated[i] = true;
+                newly_saturated = true;
+            }
+        }
+        if newly_saturated {
+            remaining -= granted_this_round;
+            continue;
+        }
+        // No one saturates: hand out the full proportional grant and stop.
+        for i in 0..n {
+            if saturated[i] || weights[i] <= 0.0 {
+                continue;
+            }
+            alloc[i] += per_weight * weights[i];
+        }
+        break;
+    }
+    alloc
+}
+
+/// Stock Linux 2.4-style time-share scheduler: fair **per process**, with
+/// an interactivity bonus for processes that recently slept (low observed
+/// usage). This is the Figure 5(a) baseline — it does not know about
+/// uids, so a service with more runnable processes receives more CPU.
+#[derive(Debug, Default)]
+pub struct TimeShareScheduler {
+    /// EWMA of each process's recent CPU usage, used for the
+    /// interactivity bonus (sleepers gain priority, hogs lose it).
+    usage_ewma: HashMap<Pid, f64>,
+}
+
+impl TimeShareScheduler {
+    /// Base weight of a nice-0 process.
+    const BASE_WEIGHT: f64 = 100.0;
+    /// Maximum interactivity bonus (Linux 2.4 keeps half of the remaining
+    /// counter across epochs; this models the resulting priority spread).
+    const MAX_BONUS: f64 = 80.0;
+    /// EWMA smoothing factor per tick.
+    const ALPHA: f64 = 0.25;
+
+    /// A fresh scheduler with no usage history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CpuScheduler for TimeShareScheduler {
+    fn allocate(&mut self, procs: &[ProcDesc]) -> Vec<f64> {
+        let weights: Vec<f64> = procs
+            .iter()
+            .map(|p| {
+                let ewma = self.usage_ewma.get(&p.pid).copied().unwrap_or(0.0);
+                Self::BASE_WEIGHT + Self::MAX_BONUS * (1.0 - ewma)
+            })
+            .collect();
+        let demands: Vec<f64> = procs.iter().map(|p| p.demand.clamp(0.0, 1.0)).collect();
+        let grants = water_fill(1.0, &weights, &demands);
+        for (p, &g) in procs.iter().zip(grants.iter()) {
+            let e = self.usage_ewma.entry(p.pid).or_insert(0.0);
+            *e = (1.0 - Self::ALPHA) * *e + Self::ALPHA * g;
+        }
+        grants
+    }
+
+    fn name(&self) -> &'static str {
+        "unmodified-linux-timeshare"
+    }
+}
+
+/// SODA's coarse-grain proportional-share scheduler: the tick is first
+/// divided among **userids** in proportion to their configured shares
+/// (set by the SODA Master at service admission), then each uid's grant
+/// is divided equally among that uid's runnable processes. Surplus at
+/// either level is redistributed (work-conserving). This is Figure 5(b).
+#[derive(Debug, Default)]
+pub struct ProportionalShareScheduler {
+    shares: HashMap<Uid, u32>,
+    default_share: u32,
+}
+
+impl ProportionalShareScheduler {
+    /// A scheduler where unknown uids get `default_share` tickets.
+    pub fn new(default_share: u32) -> Self {
+        ProportionalShareScheduler { shares: HashMap::new(), default_share }
+    }
+
+    /// Set the share (ticket count) for a uid. The SODA Master calls this
+    /// when a virtual service node is admitted, with the share derived
+    /// from the node's CPU reservation.
+    pub fn set_share(&mut self, uid: Uid, share: u32) {
+        self.shares.insert(uid, share);
+    }
+
+    /// Remove a uid's share (VSN teardown).
+    pub fn clear_share(&mut self, uid: Uid) {
+        self.shares.remove(&uid);
+    }
+
+    /// The share currently assigned to `uid`.
+    pub fn share(&self, uid: Uid) -> u32 {
+        self.shares.get(&uid).copied().unwrap_or(self.default_share)
+    }
+}
+
+impl CpuScheduler for ProportionalShareScheduler {
+    fn allocate(&mut self, procs: &[ProcDesc]) -> Vec<f64> {
+        if procs.is_empty() {
+            return Vec::new();
+        }
+        // Group process indices by uid, preserving first-seen uid order
+        // for determinism.
+        let mut uid_order: Vec<Uid> = Vec::new();
+        let mut groups: HashMap<Uid, Vec<usize>> = HashMap::new();
+        for (i, p) in procs.iter().enumerate() {
+            groups.entry(p.uid).or_insert_with(|| {
+                uid_order.push(p.uid);
+                Vec::new()
+            });
+            groups.get_mut(&p.uid).expect("just inserted").push(i);
+        }
+        // Level 1: divide the tick among uids by share, capped by the
+        // uid's aggregate demand.
+        let uid_weights: Vec<f64> =
+            uid_order.iter().map(|u| self.share(*u) as f64).collect();
+        let uid_demands: Vec<f64> = uid_order
+            .iter()
+            .map(|u| {
+                groups[u]
+                    .iter()
+                    .map(|&i| procs[i].demand.clamp(0.0, 1.0))
+                    .sum::<f64>()
+                    .min(1.0)
+            })
+            .collect();
+        let uid_grants = water_fill(1.0, &uid_weights, &uid_demands);
+        // Level 2: divide each uid's grant equally among its processes.
+        let mut out = vec![0.0f64; procs.len()];
+        for (gi, u) in uid_order.iter().enumerate() {
+            let idxs = &groups[u];
+            let weights = vec![1.0; idxs.len()];
+            let demands: Vec<f64> =
+                idxs.iter().map(|&i| procs[i].demand.clamp(0.0, 1.0)).collect();
+            let grants = water_fill(uid_grants[gi], &weights, &demands);
+            for (&i, g) in idxs.iter().zip(grants) {
+                out[i] = g;
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "soda-proportional-share"
+    }
+}
+
+/// Lottery scheduling (Waldspurger & Weihl) at tick granularity: each
+/// tick is divided into `quanta` draws; each draw hands a quantum to a
+/// uid chosen with probability proportional to its tickets (among uids
+/// that can still use one). Probabilistically fair where the stride-like
+/// [`ProportionalShareScheduler`] is deterministically fair — provided as
+/// the ablation point for Figure 5(b): same mean shares, more variance.
+#[derive(Debug)]
+pub struct LotteryScheduler {
+    shares: HashMap<Uid, u32>,
+    default_share: u32,
+    rng: soda_sim::SimRng,
+    /// Quanta drawn per tick (Linux 2.4's 10 ms tick with 1 ms quanta).
+    pub quanta: u32,
+}
+
+impl LotteryScheduler {
+    /// A lottery scheduler with its own deterministic RNG.
+    pub fn new(default_share: u32, seed: u64) -> Self {
+        LotteryScheduler {
+            shares: HashMap::new(),
+            default_share,
+            rng: soda_sim::SimRng::new(seed),
+            quanta: 10,
+        }
+    }
+
+    /// Set a uid's ticket count.
+    pub fn set_share(&mut self, uid: Uid, share: u32) {
+        self.shares.insert(uid, share);
+    }
+
+    fn share(&self, uid: Uid) -> u32 {
+        self.shares.get(&uid).copied().unwrap_or(self.default_share)
+    }
+}
+
+impl CpuScheduler for LotteryScheduler {
+    fn allocate(&mut self, procs: &[ProcDesc]) -> Vec<f64> {
+        if procs.is_empty() {
+            return Vec::new();
+        }
+        let quantum = 1.0 / self.quanta as f64;
+        let mut granted = vec![0.0f64; procs.len()];
+        let demands: Vec<f64> = procs.iter().map(|p| p.demand.clamp(0.0, 1.0)).collect();
+        for _ in 0..self.quanta {
+            // Draw a *uid* (tickets are per service, not per process),
+            // then hand the quantum to that uid's least-served runnable
+            // process.
+            let mut uid_order: Vec<Uid> = Vec::new();
+            for p in procs {
+                if !uid_order.contains(&p.uid) {
+                    uid_order.push(p.uid);
+                }
+            }
+            let runnable_uid = |uid: Uid, granted: &[f64]| {
+                (0..procs.len())
+                    .filter(|&i| procs[i].uid == uid && granted[i] + 1e-12 < demands[i])
+                    .min_by(|&a, &b| {
+                        granted[a].partial_cmp(&granted[b]).expect("grants are finite")
+                    })
+            };
+            let candidates: Vec<Uid> = uid_order
+                .iter()
+                .copied()
+                .filter(|&u| runnable_uid(u, &granted).is_some())
+                .collect();
+            if candidates.is_empty() {
+                break;
+            }
+            let total_tickets: f64 =
+                candidates.iter().map(|&u| self.share(u) as f64).sum();
+            if total_tickets <= 0.0 {
+                break;
+            }
+            let mut draw = self.rng.f64() * total_tickets;
+            let mut winner_uid = candidates[candidates.len() - 1];
+            for &u in &candidates {
+                draw -= self.share(u) as f64;
+                if draw <= 0.0 {
+                    winner_uid = u;
+                    break;
+                }
+            }
+            let i = runnable_uid(winner_uid, &granted).expect("candidate has a runnable proc");
+            granted[i] += quantum.min(demands[i] - granted[i]);
+        }
+        granted
+    }
+
+    fn name(&self) -> &'static str {
+        "lottery"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p(pid: u32, uid: u32, demand: f64) -> ProcDesc {
+        ProcDesc { pid: Pid(pid), uid: Uid(uid), demand }
+    }
+
+    fn total(xs: &[f64]) -> f64 {
+        xs.iter().sum()
+    }
+
+    // ---- water_fill ----
+
+    #[test]
+    fn water_fill_unconstrained_is_proportional() {
+        let a = water_fill(1.0, &[2.0, 1.0, 1.0], &[10.0, 10.0, 10.0]);
+        assert!((a[0] - 0.5).abs() < 1e-12);
+        assert!((a[1] - 0.25).abs() < 1e-12);
+        assert!((a[2] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn water_fill_redistributes_surplus() {
+        // Item 0 only wants 0.1 of its 0.5 entitlement; the rest flows to
+        // the others.
+        let a = water_fill(1.0, &[1.0, 1.0], &[0.1, 10.0]);
+        assert!((a[0] - 0.1).abs() < 1e-12);
+        assert!((a[1] - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn water_fill_underloaded_leaves_capacity() {
+        let a = water_fill(1.0, &[1.0, 1.0], &[0.2, 0.3]);
+        assert!((a[0] - 0.2).abs() < 1e-12);
+        assert!((a[1] - 0.3).abs() < 1e-12);
+        assert!(total(&a) < 1.0);
+    }
+
+    #[test]
+    fn water_fill_edge_cases() {
+        assert!(water_fill(1.0, &[], &[]).is_empty());
+        let a = water_fill(0.0, &[1.0], &[1.0]);
+        assert_eq!(a, vec![0.0]);
+        // Zero-weight items get nothing.
+        let a = water_fill(1.0, &[0.0, 1.0], &[1.0, 1.0]);
+        assert_eq!(a[0], 0.0);
+        assert!((a[1] - 1.0).abs() < 1e-12);
+        // Negative demand treated as zero.
+        let a = water_fill(1.0, &[1.0, 1.0], &[-5.0, 1.0]);
+        assert_eq!(a[0], 0.0);
+        assert!((a[1] - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// Water-fill never exceeds demand or capacity, and is
+        /// work-conserving when the system is overloaded.
+        #[test]
+        fn prop_water_fill_invariants(
+            cap in 0.0f64..4.0,
+            items in proptest::collection::vec((0.01f64..10.0, 0.0f64..2.0), 1..20)
+        ) {
+            let weights: Vec<f64> = items.iter().map(|x| x.0).collect();
+            let demands: Vec<f64> = items.iter().map(|x| x.1).collect();
+            let a = water_fill(cap, &weights, &demands);
+            let sum: f64 = a.iter().sum();
+            prop_assert!(sum <= cap + 1e-9);
+            for (g, d) in a.iter().zip(demands.iter()) {
+                prop_assert!(*g <= d + 1e-9);
+                prop_assert!(*g >= -1e-12);
+            }
+            let total_demand: f64 = demands.iter().sum();
+            if total_demand >= cap {
+                prop_assert!((sum - cap).abs() < 1e-6,
+                    "not work conserving: {} vs {}", sum, cap);
+            } else {
+                prop_assert!((sum - total_demand).abs() < 1e-6);
+            }
+        }
+    }
+
+    // ---- TimeShareScheduler ----
+
+    #[test]
+    fn timeshare_is_fair_per_process_not_per_uid() {
+        // comp runs 3 spinners under uid 2; web runs 1 process under uid 1.
+        // Stock Linux gives comp ~3/4 — the Figure 5(a) pathology.
+        let mut s = TimeShareScheduler::new();
+        let procs = vec![
+            p(1, 1, 1.0),
+            p(2, 2, 1.0),
+            p(3, 2, 1.0),
+            p(4, 2, 1.0),
+        ];
+        // Warm up the EWMA so bonuses settle.
+        let mut grants = Vec::new();
+        for _ in 0..50 {
+            grants = s.allocate(&procs);
+        }
+        let web: f64 = grants[0];
+        let comp: f64 = grants[1] + grants[2] + grants[3];
+        assert!((total(&grants) - 1.0).abs() < 1e-9, "work conserving");
+        assert!(comp > 2.5 * web, "comp {comp} vs web {web}: per-process fairness");
+    }
+
+    #[test]
+    fn timeshare_sleepers_gain_priority() {
+        let mut s = TimeShareScheduler::new();
+        // Process 2 sleeps a lot (demand 0.2): its EWMA stays low, so when
+        // it does run it out-prioritises the hog — but it can never use
+        // more than its demand.
+        for _ in 0..50 {
+            s.allocate(&[p(1, 1, 1.0), p(2, 2, 0.2)]);
+        }
+        let g = s.allocate(&[p(1, 1, 1.0), p(2, 2, 0.2)]);
+        assert!((g[1] - 0.2).abs() < 1e-9, "sleeper gets all it asks");
+        assert!((g[0] - 0.8).abs() < 1e-9, "hog gets the rest");
+    }
+
+    #[test]
+    fn timeshare_empty() {
+        let mut s = TimeShareScheduler::new();
+        assert!(s.allocate(&[]).is_empty());
+        assert_eq!(s.name(), "unmodified-linux-timeshare");
+    }
+
+    // ---- ProportionalShareScheduler ----
+
+    #[test]
+    fn propshare_enforces_uid_shares_despite_process_counts() {
+        // Same pathological workload as above: equal shares must yield
+        // equal halves even though uid 2 runs three processes —
+        // Figure 5(b)'s fix.
+        let mut s = ProportionalShareScheduler::new(1);
+        s.set_share(Uid(1), 100);
+        s.set_share(Uid(2), 100);
+        let procs = vec![
+            p(1, 1, 1.0),
+            p(2, 2, 1.0),
+            p(3, 2, 1.0),
+            p(4, 2, 1.0),
+        ];
+        let g = s.allocate(&procs);
+        let web = g[0];
+        let comp = g[1] + g[2] + g[3];
+        assert!((web - 0.5).abs() < 1e-9, "web {web}");
+        assert!((comp - 0.5).abs() < 1e-9, "comp {comp}");
+        // Within uid 2, the grant splits equally.
+        assert!((g[1] - g[2]).abs() < 1e-12 && (g[2] - g[3]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn propshare_weighted_shares() {
+        // seattle's web node has twice tacoma's capacity (2:1 weighting in
+        // the paper's Figure 2 setup).
+        let mut s = ProportionalShareScheduler::new(1);
+        s.set_share(Uid(1), 200);
+        s.set_share(Uid(2), 100);
+        let g = s.allocate(&[p(1, 1, 1.0), p(2, 2, 1.0)]);
+        assert!((g[0] - 2.0 / 3.0).abs() < 1e-9);
+        assert!((g[1] - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn propshare_redistributes_idle_uid_surplus() {
+        let mut s = ProportionalShareScheduler::new(1);
+        s.set_share(Uid(1), 100);
+        s.set_share(Uid(2), 100);
+        // uid 1 only demands 0.2 in total; uid 2 soaks the surplus.
+        let g = s.allocate(&[p(1, 1, 0.2), p(2, 2, 1.0)]);
+        assert!((g[0] - 0.2).abs() < 1e-9);
+        assert!((g[1] - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn propshare_unknown_uid_gets_default() {
+        let mut s = ProportionalShareScheduler::new(50);
+        s.set_share(Uid(1), 100);
+        assert_eq!(s.share(Uid(1)), 100);
+        assert_eq!(s.share(Uid(9)), 50);
+        s.clear_share(Uid(1));
+        assert_eq!(s.share(Uid(1)), 50);
+        let g = s.allocate(&[p(1, 1, 1.0), p(2, 9, 1.0)]);
+        assert!((g[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn propshare_empty() {
+        let mut s = ProportionalShareScheduler::new(1);
+        assert!(s.allocate(&[]).is_empty());
+        assert_eq!(s.name(), "soda-proportional-share");
+    }
+
+    #[test]
+    fn propshare_three_equal_uids_hold_thirds_under_overload() {
+        // The exact Figure 5 scenario: web, comp, log each share 1/3 and
+        // all demand more than 1/3.
+        let mut s = ProportionalShareScheduler::new(1);
+        for u in 1..=3 {
+            s.set_share(Uid(u), 100);
+        }
+        let procs = vec![
+            p(1, 1, 0.9),              // web: serving requests
+            p(2, 2, 1.0),
+            p(3, 2, 1.0),              // comp: two spinners
+            p(4, 3, 0.7),              // log: disk-bound
+        ];
+        let g = s.allocate(&procs);
+        let web = g[0];
+        let comp = g[1] + g[2];
+        let log = g[3];
+        assert!((web - 1.0 / 3.0).abs() < 1e-9, "web {web}");
+        assert!((comp - 1.0 / 3.0).abs() < 1e-9, "comp {comp}");
+        assert!((log - 1.0 / 3.0).abs() < 1e-9, "log {log}");
+    }
+
+    // ---- LotteryScheduler ----
+
+    #[test]
+    fn lottery_converges_to_ticket_ratios() {
+        let mut s = LotteryScheduler::new(100, 7);
+        s.set_share(Uid(1), 200);
+        s.set_share(Uid(2), 100);
+        let procs = vec![p(1, 1, 1.0), p(2, 2, 1.0)];
+        let mut totals = [0.0f64; 2];
+        let ticks = 3000;
+        for _ in 0..ticks {
+            let g = s.allocate(&procs);
+            totals[0] += g[0];
+            totals[1] += g[1];
+        }
+        let frac = totals[0] / (totals[0] + totals[1]);
+        assert!((frac - 2.0 / 3.0).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn lottery_is_per_uid_not_per_process() {
+        // comp's three spinners must NOT triple its odds.
+        let mut s = LotteryScheduler::new(100, 11);
+        let procs = vec![p(1, 1, 1.0), p(2, 2, 1.0), p(3, 2, 1.0), p(4, 2, 1.0)];
+        let mut web = 0.0;
+        let mut comp = 0.0;
+        for _ in 0..3000 {
+            let g = s.allocate(&procs);
+            web += g[0];
+            comp += g[1] + g[2] + g[3];
+        }
+        let frac = web / (web + comp);
+        assert!((frac - 0.5).abs() < 0.02, "web frac {frac}");
+    }
+
+    #[test]
+    fn lottery_respects_demands_and_capacity() {
+        let mut s = LotteryScheduler::new(100, 3);
+        let procs = vec![p(1, 1, 0.2), p(2, 2, 1.0)];
+        for _ in 0..100 {
+            let g = s.allocate(&procs);
+            assert!(g[0] <= 0.2 + 1e-9);
+            let total: f64 = g.iter().sum();
+            assert!(total <= 1.0 + 1e-9);
+            // Overloaded system: work conserving within quantum rounding.
+            assert!(total >= 1.0 - 1e-9, "total {total}");
+        }
+        assert!(s.allocate(&[]).is_empty());
+        assert_eq!(s.name(), "lottery");
+    }
+
+    #[test]
+    fn lottery_noisier_than_stride_same_mean() {
+        // The ablation claim: same mean share as the deterministic
+        // proportional scheduler, higher per-tick variance.
+        let procs = vec![p(1, 1, 1.0), p(2, 2, 1.0)];
+        let mut lot = LotteryScheduler::new(100, 5);
+        let mut stride = ProportionalShareScheduler::new(100);
+        let mut lot_shares = Vec::new();
+        let mut stride_shares = Vec::new();
+        for _ in 0..2000 {
+            lot_shares.push(lot.allocate(&procs)[0]);
+            stride_shares.push(stride.allocate(&procs)[0]);
+        }
+        let var = |xs: &[f64]| {
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64
+        };
+        assert!(var(&lot_shares) > var(&stride_shares) + 1e-6);
+        let lm = lot_shares.iter().sum::<f64>() / lot_shares.len() as f64;
+        assert!((lm - 0.5).abs() < 0.02, "lottery mean {lm}");
+    }
+
+    proptest! {
+        /// Both schedulers respect demand caps and capacity, and are
+        /// work-conserving under overload.
+        #[test]
+        fn prop_scheduler_invariants(
+            procs in proptest::collection::vec((1u32..5, 0.0f64..1.0), 1..12),
+            seed in 0u32..2
+        ) {
+            let descs: Vec<ProcDesc> = procs
+                .iter()
+                .enumerate()
+                .map(|(i, &(uid, d))| p(i as u32 + 1, uid, d))
+                .collect();
+            let grants = if seed == 0 {
+                TimeShareScheduler::new().allocate(&descs)
+            } else {
+                let mut s = ProportionalShareScheduler::new(1);
+                s.allocate(&descs)
+            };
+            let sum: f64 = grants.iter().sum();
+            prop_assert!(sum <= 1.0 + 1e-9);
+            let demand_sum: f64 = descs.iter().map(|d| d.demand).sum();
+            if demand_sum >= 1.0 {
+                prop_assert!((sum - 1.0).abs() < 1e-6, "work conservation");
+            }
+            for (g, d) in grants.iter().zip(descs.iter()) {
+                prop_assert!(*g <= d.demand + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Outbound traffic shaper.
+//!
+//! Section 4.2: "We are implementing a traffic shaper inside the Linux
+//! host OS, which enforces the outbound bandwidth share allocated to each
+//! virtual service node … based on the IP addresses of outgoing packets."
+//!
+//! Modelled as one token bucket per shaped address: tokens refill at the
+//! allocated rate up to a burst ceiling; a packet departs as soon as
+//! enough tokens have accumulated. The shaper answers *when* a given
+//! packet may leave, which is all the flow-level network model needs.
+
+use std::collections::HashMap;
+
+use soda_sim::{SimDuration, SimTime};
+
+/// Key identifying a shaped entity. The SODA implementation keys on the
+/// VSN's IP address; we keep the key generic as a `u32` (an IPv4 address
+/// in host byte order) to avoid a dependency on the network crate.
+pub type ShaperKey = u32;
+
+#[derive(Clone, Debug)]
+struct Bucket {
+    rate_bytes_per_sec: f64,
+    burst_bytes: f64,
+    tokens: f64,
+    last_refill: SimTime,
+}
+
+impl Bucket {
+    fn refill(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_refill).as_secs_f64();
+        self.tokens = (self.tokens + dt * self.rate_bytes_per_sec).min(self.burst_bytes);
+        self.last_refill = now;
+    }
+}
+
+/// Per-address token-bucket shaper.
+///
+/// ```
+/// use soda_hostos::shaper::TrafficShaper;
+/// use soda_sim::{SimDuration, SimTime};
+/// let mut shaper = TrafficShaper::new();
+/// let t0 = SimTime::ZERO;
+/// // A VSN reserved 8 Mbps (1 MB/s) with a 100 ms burst allowance.
+/// shaper.configure(1, 8.0, SimDuration::from_millis(100), t0);
+/// // The 100 kB burst passes immediately; the next 100 kB waits 100 ms.
+/// assert_eq!(shaper.admit(1, 100_000, t0), t0);
+/// let dep = shaper.admit(1, 100_000, t0);
+/// assert_eq!(dep.saturating_since(t0).as_millis(), 100);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TrafficShaper {
+    buckets: HashMap<ShaperKey, Bucket>,
+}
+
+impl TrafficShaper {
+    /// A shaper with no configured addresses. Unconfigured addresses are
+    /// unshaped (packets depart immediately) — matching a host OS where
+    /// only VSN IPs are shaped.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Configure (or reconfigure) the allocated outbound rate for an
+    /// address. `rate_mbps` is megabits/s as in the paper's `M`;
+    /// the burst allowance is one `burst` window's worth of bytes.
+    pub fn configure(&mut self, key: ShaperKey, rate_mbps: f64, burst: SimDuration, now: SimTime) {
+        let rate_bytes = rate_mbps.max(0.0) * 1e6 / 8.0;
+        let burst_bytes = (rate_bytes * burst.as_secs_f64()).max(1500.0); // at least one MTU
+        let bucket = Bucket {
+            rate_bytes_per_sec: rate_bytes,
+            burst_bytes,
+            // A fresh bucket starts full so the first burst is not delayed.
+            tokens: burst_bytes,
+            last_refill: now,
+        };
+        self.buckets.insert(key, bucket);
+    }
+
+    /// Remove shaping for an address (VSN teardown).
+    pub fn remove(&mut self, key: ShaperKey) {
+        self.buckets.remove(&key);
+    }
+
+    /// True if the address is shaped.
+    pub fn is_shaped(&self, key: ShaperKey) -> bool {
+        self.buckets.contains_key(&key)
+    }
+
+    /// Admit `bytes` of outbound traffic from `key` at time `now`;
+    /// returns the earliest departure time. Unshaped addresses depart
+    /// immediately. Tokens go negative to model a queue: subsequent
+    /// packets are delayed behind earlier ones.
+    pub fn admit(&mut self, key: ShaperKey, bytes: u64, now: SimTime) -> SimTime {
+        let Some(b) = self.buckets.get_mut(&key) else {
+            return now;
+        };
+        b.refill(now);
+        b.tokens -= bytes as f64;
+        if b.tokens >= 0.0 {
+            now
+        } else if b.rate_bytes_per_sec <= 0.0 {
+            // Zero rate: traffic never departs within any horizon we
+            // simulate. Report a far-future time instead of dividing by 0.
+            SimTime::MAX
+        } else {
+            let wait = -b.tokens / b.rate_bytes_per_sec;
+            now + SimDuration::from_secs_f64(wait)
+        }
+    }
+
+    /// The sustainable rate configured for `key`, bytes/s.
+    pub fn rate_bytes_per_sec(&self, key: ShaperKey) -> Option<f64> {
+        self.buckets.get(&key).map(|b| b.rate_bytes_per_sec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS100: SimDuration = SimDuration::from_millis(100);
+
+    #[test]
+    fn unshaped_departs_immediately() {
+        let mut s = TrafficShaper::new();
+        let now = SimTime::from_secs(1);
+        assert_eq!(s.admit(1, 1_000_000, now), now);
+        assert!(!s.is_shaped(1));
+    }
+
+    #[test]
+    fn burst_passes_then_rate_limits() {
+        let mut s = TrafficShaper::new();
+        let t0 = SimTime::ZERO;
+        // 8 Mbps → 1 MB/s, burst window 100 ms → 100 kB of tokens.
+        s.configure(7, 8.0, MS100, t0);
+        assert_eq!(s.rate_bytes_per_sec(7), Some(1e6));
+        // First 100 kB goes immediately.
+        assert_eq!(s.admit(7, 100_000, t0), t0);
+        // The next 100 kB must wait ~100 ms.
+        let dep = s.admit(7, 100_000, t0);
+        let wait = dep.saturating_since(t0);
+        assert!((wait.as_secs_f64() - 0.1).abs() < 1e-6, "wait {wait}");
+    }
+
+    #[test]
+    fn sustained_rate_is_enforced() {
+        let mut s = TrafficShaper::new();
+        let t0 = SimTime::ZERO;
+        s.configure(1, 10.0, MS100, t0); // 10 Mbps = 1.25 MB/s
+        // Send 5 MB in one go at t0 after the burst: total time ≈ 4 s.
+        s.admit(1, 125_000, t0); // drain the burst
+        let dep = s.admit(1, 5_000_000, t0);
+        let secs = dep.saturating_since(t0).as_secs_f64();
+        assert!((secs - 4.0).abs() < 0.01, "took {secs}s");
+    }
+
+    #[test]
+    fn tokens_refill_over_time() {
+        let mut s = TrafficShaper::new();
+        let t0 = SimTime::ZERO;
+        s.configure(1, 8.0, MS100, t0); // 1 MB/s, 100 kB burst
+        s.admit(1, 100_000, t0); // empty the bucket
+        // After 50 ms, 50 kB of tokens are back.
+        let t1 = t0 + SimDuration::from_millis(50);
+        let dep = s.admit(1, 50_000, t1);
+        assert_eq!(dep, t1);
+        // But 1 byte more waits.
+        let dep2 = s.admit(1, 1_000, t1);
+        assert!(dep2 > t1);
+    }
+
+    #[test]
+    fn buckets_are_independent_per_address() {
+        let mut s = TrafficShaper::new();
+        let t0 = SimTime::ZERO;
+        s.configure(1, 8.0, MS100, t0);
+        s.configure(2, 8.0, MS100, t0);
+        s.admit(1, 10_000_000, t0); // saturate address 1
+        // Address 2 is unaffected — bandwidth isolation between VSNs.
+        assert_eq!(s.admit(2, 50_000, t0), t0);
+    }
+
+    #[test]
+    fn zero_rate_never_departs() {
+        let mut s = TrafficShaper::new();
+        let t0 = SimTime::ZERO;
+        s.configure(1, 0.0, MS100, t0);
+        // Burst floor (one MTU) lets a tiny packet out...
+        assert_eq!(s.admit(1, 100, t0), t0);
+        // ...but anything beyond the floor waits forever.
+        assert_eq!(s.admit(1, 10_000, t0), SimTime::MAX);
+    }
+
+    #[test]
+    fn remove_unshapes() {
+        let mut s = TrafficShaper::new();
+        let t0 = SimTime::ZERO;
+        s.configure(1, 1.0, MS100, t0);
+        assert!(s.is_shaped(1));
+        s.remove(1);
+        assert!(!s.is_shaped(1));
+        assert_eq!(s.admit(1, 10_000_000, t0), t0);
+    }
+
+    #[test]
+    fn reconfigure_resets_rate() {
+        let mut s = TrafficShaper::new();
+        let t0 = SimTime::ZERO;
+        s.configure(1, 1.0, MS100, t0);
+        s.configure(1, 100.0, MS100, t0);
+        assert_eq!(s.rate_bytes_per_sec(1), Some(100.0 * 1e6 / 8.0));
+    }
+}

@@ -1,0 +1,185 @@
+//! Syscall catalog and native cost model — the "in host OS" column of
+//! Table 4.
+//!
+//! Table 4 measures the cycles to complete a system call natively versus
+//! inside a UML guest. The native cost decomposes into a fixed
+//! user→kernel trap (plus return) and per-call kernel work; the UML cost
+//! model built on top of this lives in `soda-vmm::intercept`, because the
+//! interception machinery (a tracing thread redirecting the call) belongs
+//! to the virtual-machine layer.
+
+use crate::cpu::CpuSpec;
+use soda_sim::SimDuration;
+
+/// System calls measured by Table 4, plus the calls the web-service and
+/// bootstrap models issue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Syscall {
+    /// `dup2` — duplicate a file descriptor.
+    Dup2,
+    /// `getpid` — near-trivial kernel work; a pure trap benchmark.
+    Getpid,
+    /// `geteuid` — credential read.
+    Geteuid,
+    /// `mmap` — map a page.
+    Mmap,
+    /// `mmap` + `munmap` pair (Table 4 rows it as one measurement).
+    MmapMunmap,
+    /// `gettimeofday` — clock read (UML virtualises time, making this its
+    /// worst case).
+    Gettimeofday,
+    /// `read` from a file descriptor (per call, excluding disk time).
+    Read,
+    /// `write` to a file descriptor (per call, excluding disk time).
+    Write,
+    /// `open` a path.
+    Open,
+    /// `close` a descriptor.
+    Close,
+    /// `fork` a process (used by service startup).
+    Fork,
+    /// `execve` (used by service startup).
+    Execve,
+    /// `socket`/`accept`-class network call (per request handling).
+    SocketOp,
+}
+
+impl Syscall {
+    /// The six calls Table 4 reports, in the paper's row order.
+    pub const TABLE4: [Syscall; 6] = [
+        Syscall::Dup2,
+        Syscall::Getpid,
+        Syscall::Geteuid,
+        Syscall::Mmap,
+        Syscall::MmapMunmap,
+        Syscall::Gettimeofday,
+    ];
+
+    /// The paper's row label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Syscall::Dup2 => "dup2",
+            Syscall::Getpid => "getpid",
+            Syscall::Geteuid => "geteuid",
+            Syscall::Mmap => "mmap",
+            Syscall::MmapMunmap => "mmap_munmap",
+            Syscall::Gettimeofday => "gettimeofday",
+            Syscall::Read => "read",
+            Syscall::Write => "write",
+            Syscall::Open => "open",
+            Syscall::Close => "close",
+            Syscall::Fork => "fork",
+            Syscall::Execve => "execve",
+            Syscall::SocketOp => "socket_op",
+        }
+    }
+}
+
+/// Cycle-level cost model for native syscalls.
+///
+/// Native cost = `trap_cycles` (mode switch in and out) + per-call kernel
+/// work. Defaults are calibrated so the Table 4 "in host OS" column is
+/// reproduced on a 2.6 GHz Xeon: measured values there run 1064–1368
+/// cycles, i.e. a ~800-cycle trap plus a few hundred cycles of work.
+#[derive(Clone, Debug)]
+pub struct SyscallCostModel {
+    /// Fixed user↔kernel mode-switch cost (entry + exit).
+    pub trap_cycles: u64,
+}
+
+impl Default for SyscallCostModel {
+    fn default() -> Self {
+        SyscallCostModel { trap_cycles: 800 }
+    }
+}
+
+impl SyscallCostModel {
+    /// The default calibration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Kernel work (cycles) for one call, excluding the trap.
+    pub fn kernel_work_cycles(&self, call: Syscall) -> u64 {
+        match call {
+            // Calibrated against Table 4's host-OS column (2.6 GHz Xeon):
+            // dup2 1208, getpid 1064, geteuid 1084, mmap 1208,
+            // mmap_munmap 1200, gettimeofday 1368.
+            Syscall::Dup2 => 408,
+            Syscall::Getpid => 264,
+            Syscall::Geteuid => 284,
+            Syscall::Mmap => 408,
+            Syscall::MmapMunmap => 400,
+            Syscall::Gettimeofday => 568,
+            // The rest are plausible relative magnitudes for the workload
+            // models (not measured by the paper).
+            Syscall::Read => 600,
+            Syscall::Write => 650,
+            Syscall::Open => 1_500,
+            Syscall::Close => 350,
+            Syscall::Fork => 60_000,
+            Syscall::Execve => 180_000,
+            Syscall::SocketOp => 2_200,
+        }
+    }
+
+    /// Total native cycles for one call.
+    pub fn native_cycles(&self, call: Syscall) -> u64 {
+        self.trap_cycles + self.kernel_work_cycles(call)
+    }
+
+    /// Native wall time for one call on `cpu`.
+    pub fn native_time(&self, call: Syscall, cpu: &CpuSpec) -> SimDuration {
+        cpu.cycles_to_time(self.native_cycles(call))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_costs_match_table4_magnitudes() {
+        let m = SyscallCostModel::new();
+        assert_eq!(m.native_cycles(Syscall::Dup2), 1_208);
+        assert_eq!(m.native_cycles(Syscall::Getpid), 1_064);
+        assert_eq!(m.native_cycles(Syscall::Geteuid), 1_084);
+        assert_eq!(m.native_cycles(Syscall::Mmap), 1_208);
+        assert_eq!(m.native_cycles(Syscall::MmapMunmap), 1_200);
+        assert_eq!(m.native_cycles(Syscall::Gettimeofday), 1_368);
+    }
+
+    #[test]
+    fn getpid_is_cheapest_table4_call() {
+        let m = SyscallCostModel::new();
+        let getpid = m.native_cycles(Syscall::Getpid);
+        for call in Syscall::TABLE4 {
+            assert!(m.native_cycles(call) >= getpid, "{call:?}");
+        }
+    }
+
+    #[test]
+    fn native_time_scales_with_clock() {
+        let m = SyscallCostModel::new();
+        let fast = m.native_time(Syscall::Dup2, &CpuSpec::seattle());
+        let slow = m.native_time(Syscall::Dup2, &CpuSpec::tacoma());
+        assert!(slow > fast);
+        // 1208 cycles at 2.6 GHz ≈ 464 ns.
+        assert_eq!(fast.as_nanos(), 1_208 * 1_000 / 2_600);
+    }
+
+    #[test]
+    fn table4_rows_and_labels() {
+        assert_eq!(Syscall::TABLE4.len(), 6);
+        assert_eq!(Syscall::TABLE4[0].label(), "dup2");
+        assert_eq!(Syscall::TABLE4[5].label(), "gettimeofday");
+        assert_eq!(Syscall::Fork.label(), "fork");
+    }
+
+    #[test]
+    fn heavyweight_calls_cost_more() {
+        let m = SyscallCostModel::new();
+        assert!(m.native_cycles(Syscall::Fork) > 10 * m.native_cycles(Syscall::Open));
+        assert!(m.native_cycles(Syscall::Execve) > m.native_cycles(Syscall::Fork));
+    }
+}

@@ -1,0 +1,204 @@
+//! A HUP host.
+//!
+//! Bundles every host-OS mechanism a virtual service node touches: the
+//! resource ledger the Daemon reserves slices in, the memory manager
+//! (UML `mem=` caps), the traffic shaper, the bridging module, the IP
+//! pool, the process table and the CPU scheduler. The paper's two
+//! testbed machines are provided as presets.
+
+use soda_hostos::memory::MemoryManager;
+use soda_hostos::process::ProcessTable;
+use soda_hostos::resources::{ResourceLedger, ResourceVector};
+use soda_hostos::sched::{CpuScheduler, ProportionalShareScheduler};
+use soda_hostos::shaper::TrafficShaper;
+use soda_net::bridge::Bridge;
+use soda_net::pool::IpPool;
+use soda_vmm::bootstrap::BootstrapHostProfile;
+
+/// Identifier of a HUP host.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HostId(pub u32);
+
+impl std::fmt::Display for HostId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "host-{}", self.0)
+    }
+}
+
+/// One physical machine of the HUP.
+pub struct HupHost {
+    /// Host id (unique across the HUP).
+    pub id: HostId,
+    /// Code name, e.g. `"seattle"`.
+    pub name: String,
+    /// Hardware profile used by the bootstrap and syscall models.
+    pub profile: BootstrapHostProfile,
+    /// Reservation ledger over the host's allocatable capacity.
+    pub ledger: ResourceLedger,
+    /// Host memory manager (per-VSN caps).
+    pub mem: MemoryManager,
+    /// Outbound traffic shaper (per-VSN IP).
+    pub shaper: TrafficShaper,
+    /// Bridging module (UML↔IP map).
+    pub bridge: Bridge,
+    /// The Daemon's pool of assignable addresses.
+    pub ip_pool: IpPool,
+    /// Host-wide process table.
+    pub processes: ProcessTable,
+    /// The CPU scheduler in force. SODA installs its proportional-share
+    /// scheduler; the Figure 5 baseline swaps in the stock time-share
+    /// one.
+    pub scheduler: Box<dyn CpuScheduler + Send>,
+    /// Whole-host failure flag (power loss, kernel panic): a failed host
+    /// reports no capacity and runs no processes.
+    pub failed: bool,
+}
+
+impl HupHost {
+    /// Build a host from its parts.
+    pub fn new(
+        id: HostId,
+        name: impl Into<String>,
+        profile: BootstrapHostProfile,
+        capacity: ResourceVector,
+        ip_pool: IpPool,
+    ) -> Self {
+        let mem_total = capacity.mem_mb;
+        HupHost {
+            id,
+            name: name.into(),
+            profile,
+            ledger: ResourceLedger::new(capacity),
+            mem: MemoryManager::new(mem_total),
+            shaper: TrafficShaper::new(),
+            bridge: Bridge::new(),
+            ip_pool,
+            processes: ProcessTable::new(),
+            scheduler: Box::new(ProportionalShareScheduler::new(100)),
+            failed: false,
+        }
+    }
+
+    /// *seattle*: Dell PowerEdge, 2.6 GHz Xeon, 2 GB RAM, 100 Mbps NIC.
+    /// Allocatable capacity keeps ~10% of CPU and memory for the host OS
+    /// and the SODA Daemon itself.
+    pub fn seattle(id: HostId, ip_pool: IpPool) -> Self {
+        HupHost::new(
+            id,
+            "seattle",
+            BootstrapHostProfile::seattle(),
+            ResourceVector::new(2340, 1843, 60_000, 100),
+            ip_pool,
+        )
+    }
+
+    /// *tacoma*: Dell desktop, 1.8 GHz Pentium 4, 768 MB RAM,
+    /// 100 Mbps NIC.
+    pub fn tacoma(id: HostId, ip_pool: IpPool) -> Self {
+        HupHost::new(
+            id,
+            "tacoma",
+            BootstrapHostProfile::tacoma(),
+            ResourceVector::new(1620, 691, 40_000, 100),
+            ip_pool,
+        )
+    }
+
+    /// Resources currently available for new slices (none once failed).
+    pub fn available(&self) -> ResourceVector {
+        if self.failed {
+            ResourceVector::ZERO
+        } else {
+            self.ledger.available()
+        }
+    }
+
+    /// Fail the host outright: every process dies, no capacity remains
+    /// until the host is repaired.
+    pub fn fail(&mut self) {
+        self.failed = true;
+        let pids: Vec<_> = self.processes.ps_all().map(|p| p.pid).collect();
+        for pid in pids {
+            self.processes.kill(pid);
+        }
+    }
+
+    /// Total allocatable capacity.
+    pub fn capacity(&self) -> ResourceVector {
+        self.ledger.capacity()
+    }
+
+    /// Swap the CPU scheduler (the Figure 5 ablation).
+    pub fn set_scheduler(&mut self, s: Box<dyn CpuScheduler + Send>) {
+        self.scheduler = s;
+    }
+}
+
+impl std::fmt::Debug for HupHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HupHost")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("capacity", &self.capacity())
+            .field("available", &self.available())
+            .field("scheduler", &self.scheduler.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soda_hostos::sched::TimeShareScheduler;
+
+    fn pool(base: &str) -> IpPool {
+        IpPool::new(base.parse().unwrap(), 8)
+    }
+
+    #[test]
+    fn presets_match_testbed() {
+        let s = HupHost::seattle(HostId(1), pool("128.10.9.120"));
+        let t = HupHost::tacoma(HostId(2), pool("128.10.9.128"));
+        assert_eq!(s.name, "seattle");
+        assert_eq!(s.profile.cpu.freq_mhz, 2600);
+        assert_eq!(t.profile.cpu.freq_mhz, 1800);
+        assert!(s.capacity().cpu_mhz > t.capacity().cpu_mhz);
+        assert!(s.capacity().mem_mb > t.capacity().mem_mb);
+        // Both can hold at least one Table 1 machine instance, inflated.
+        let m = ResourceVector::TABLE1_EXAMPLE.inflate_for_slowdown(1.5);
+        assert!(s.available().covers(&m));
+        assert!(t.available().covers(&m));
+    }
+
+    #[test]
+    fn seattle_holds_twice_tacomas_instances() {
+        // The Figure 2 setup gives seattle's web node twice the capacity
+        // of tacoma's; the hardware must support that.
+        let s = HupHost::seattle(HostId(1), pool("128.10.9.120"));
+        let t = HupHost::tacoma(HostId(2), pool("128.10.9.128"));
+        let m = ResourceVector::TABLE1_EXAMPLE.inflate_for_slowdown(1.5);
+        assert!(s.capacity().instances_of(&m) >= 2);
+        assert!(t.capacity().instances_of(&m) >= 1);
+    }
+
+    #[test]
+    fn default_scheduler_is_proportional() {
+        let s = HupHost::seattle(HostId(1), pool("10.0.0.0"));
+        assert_eq!(s.scheduler.name(), "soda-proportional-share");
+    }
+
+    #[test]
+    fn scheduler_can_be_swapped() {
+        let mut s = HupHost::seattle(HostId(1), pool("10.0.0.0"));
+        s.set_scheduler(Box::new(TimeShareScheduler::new()));
+        assert_eq!(s.scheduler.name(), "unmodified-linux-timeshare");
+    }
+
+    #[test]
+    fn debug_renders() {
+        let s = HupHost::seattle(HostId(1), pool("10.0.0.0"));
+        let d = format!("{s:?}");
+        assert!(d.contains("seattle"));
+        assert!(d.contains("soda-proportional-share"));
+    }
+}

@@ -1,0 +1,166 @@
+//! The SODA Master's resource inventory.
+//!
+//! "The SODA Master collects resource information from SODA Daemons
+//! running in each HUP host." (§3.2) — an eventually fresh view of
+//! per-host availability, with staleness tracking so a wide-area
+//! federation can discount old reports.
+
+use std::collections::BTreeMap;
+
+use soda_hostos::resources::ResourceVector;
+use soda_sim::{SimDuration, SimTime};
+
+use crate::host::HostId;
+
+/// One host's last report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HostReport {
+    /// Resources available on the host at report time.
+    pub available: ResourceVector,
+    /// When the report was received.
+    pub reported_at: SimTime,
+}
+
+/// The Master-side inventory of HUP host availability.
+#[derive(Clone, Debug, Default)]
+pub struct ResourceInventory {
+    reports: BTreeMap<HostId, HostReport>,
+}
+
+impl ResourceInventory {
+    /// An empty inventory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a Daemon's report.
+    pub fn update(&mut self, host: HostId, available: ResourceVector, now: SimTime) {
+        self.reports.insert(host, HostReport { available, reported_at: now });
+    }
+
+    /// Remove a host (decommissioned or federated away).
+    pub fn remove(&mut self, host: HostId) -> Option<HostReport> {
+        self.reports.remove(&host)
+    }
+
+    /// The last report for one host.
+    pub fn get(&self, host: HostId) -> Option<&HostReport> {
+        self.reports.get(&host)
+    }
+
+    /// All hosts with reports, in id order (deterministic placement).
+    pub fn hosts(&self) -> impl Iterator<Item = (HostId, &HostReport)> {
+        self.reports.iter().map(|(&id, r)| (id, r))
+    }
+
+    /// Number of known hosts.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// True iff no host has reported.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// Aggregate availability across hosts no staler than `max_age`.
+    pub fn total_available(&self, now: SimTime, max_age: SimDuration) -> ResourceVector {
+        let mut total = ResourceVector::ZERO;
+        for r in self.reports.values() {
+            if now.saturating_since(r.reported_at) <= max_age {
+                total += r.available;
+            }
+        }
+        total
+    }
+
+    /// Hosts whose report can satisfy `slice`, freshest first then by id
+    /// (the Master's candidate list).
+    pub fn candidates(
+        &self,
+        slice: &ResourceVector,
+        now: SimTime,
+        max_age: SimDuration,
+    ) -> Vec<HostId> {
+        let mut out: Vec<(HostId, SimTime)> = self
+            .reports
+            .iter()
+            .filter(|(_, r)| {
+                now.saturating_since(r.reported_at) <= max_age && r.available.covers(slice)
+            })
+            .map(|(&id, r)| (id, r.reported_at))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out.into_iter().map(|(id, _)| id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(cpu: u32) -> ResourceVector {
+        ResourceVector::new(cpu, 512, 1024, 10)
+    }
+
+    #[test]
+    fn update_and_get() {
+        let mut inv = ResourceInventory::new();
+        assert!(inv.is_empty());
+        inv.update(HostId(1), v(1000), SimTime::from_secs(1));
+        inv.update(HostId(2), v(2000), SimTime::from_secs(2));
+        assert_eq!(inv.len(), 2);
+        assert_eq!(inv.get(HostId(1)).unwrap().available, v(1000));
+        // Updates replace.
+        inv.update(HostId(1), v(500), SimTime::from_secs(3));
+        assert_eq!(inv.get(HostId(1)).unwrap().available, v(500));
+        assert_eq!(inv.get(HostId(1)).unwrap().reported_at, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn total_respects_staleness() {
+        let mut inv = ResourceInventory::new();
+        inv.update(HostId(1), v(1000), SimTime::from_secs(0));
+        inv.update(HostId(2), v(2000), SimTime::from_secs(90));
+        let now = SimTime::from_secs(100);
+        let fresh_only = inv.total_available(now, SimDuration::from_secs(30));
+        assert_eq!(fresh_only.cpu_mhz, 2000);
+        let all = inv.total_available(now, SimDuration::from_secs(1000));
+        assert_eq!(all.cpu_mhz, 3000);
+    }
+
+    #[test]
+    fn candidates_filter_and_order() {
+        let mut inv = ResourceInventory::new();
+        inv.update(HostId(1), v(1000), SimTime::from_secs(10));
+        inv.update(HostId(2), v(300), SimTime::from_secs(20));
+        inv.update(HostId(3), v(1000), SimTime::from_secs(20));
+        let now = SimTime::from_secs(21);
+        let c = inv.candidates(&v(500), now, SimDuration::from_secs(60));
+        // Host 2 cannot fit; 3 is fresher than 1.
+        assert_eq!(c, vec![HostId(3), HostId(1)]);
+        // At the age boundary both still qualify (age <= max_age).
+        let c2 = inv.candidates(&v(500), SimTime::from_secs(70), SimDuration::from_secs(60));
+        assert_eq!(c2, vec![HostId(3), HostId(1)]);
+        let c3 = inv.candidates(&v(500), SimTime::from_secs(300), SimDuration::from_secs(60));
+        assert!(c3.is_empty());
+    }
+
+    #[test]
+    fn remove_host() {
+        let mut inv = ResourceInventory::new();
+        inv.update(HostId(1), v(1000), SimTime::ZERO);
+        assert!(inv.remove(HostId(1)).is_some());
+        assert!(inv.remove(HostId(1)).is_none());
+        assert!(inv.is_empty());
+    }
+
+    #[test]
+    fn hosts_iterates_in_id_order() {
+        let mut inv = ResourceInventory::new();
+        inv.update(HostId(3), v(1), SimTime::ZERO);
+        inv.update(HostId(1), v(2), SimTime::ZERO);
+        let ids: Vec<HostId> = inv.hosts().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![HostId(1), HostId(3)]);
+    }
+}

@@ -1,0 +1,229 @@
+//! IPv4 addresses and subnets.
+//!
+//! The paper assigns each virtual service node a routable IPv4 address
+//! (Table 3 shows `128.10.9.125` and `.126` — Purdue address space). We
+//! model addresses as plain `u32`s with dotted-quad formatting; no
+//! dependency on `std::net` types keeps the address usable as a dense map
+//! key throughout the simulator.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4 address (host byte order).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ipv4Addr(pub u32);
+
+impl Ipv4Addr {
+    /// Construct from four octets.
+    pub const fn from_octets(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4Addr(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32)
+    }
+
+    /// The four octets, most significant first.
+    pub const fn octets(self) -> [u8; 4] {
+        [
+            (self.0 >> 24) as u8,
+            (self.0 >> 16) as u8,
+            (self.0 >> 8) as u8,
+            self.0 as u8,
+        ]
+    }
+
+    /// The next address numerically (wrapping).
+    pub const fn next(self) -> Ipv4Addr {
+        Ipv4Addr(self.0.wrapping_add(1))
+    }
+
+    /// Raw value (useful as a map/shaper key).
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.octets();
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+
+impl fmt::Debug for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Address parse failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AddrParseError(String);
+
+impl fmt::Display for AddrParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid IPv4 address: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for AddrParseError {}
+
+impl FromStr for Ipv4Addr {
+    type Err = AddrParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut octets = [0u8; 4];
+        let mut parts = s.split('.');
+        for slot in &mut octets {
+            let part = parts.next().ok_or_else(|| AddrParseError(s.into()))?;
+            if part.is_empty() || part.len() > 3 || !part.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(AddrParseError(s.into()));
+            }
+            *slot = part.parse().map_err(|_| AddrParseError(s.into()))?;
+        }
+        if parts.next().is_some() {
+            return Err(AddrParseError(s.into()));
+        }
+        Ok(Ipv4Addr::from_octets(octets[0], octets[1], octets[2], octets[3]))
+    }
+}
+
+/// A CIDR subnet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Subnet {
+    /// Network base address (host bits zeroed on construction).
+    pub base: Ipv4Addr,
+    /// Prefix length, 0–32.
+    pub prefix: u8,
+}
+
+impl Subnet {
+    /// Construct, zeroing host bits of `base`. Panics if `prefix > 32`.
+    pub fn new(base: Ipv4Addr, prefix: u8) -> Self {
+        assert!(prefix <= 32, "prefix {prefix} out of range");
+        let mask = Self::mask_of(prefix);
+        Subnet { base: Ipv4Addr(base.0 & mask), prefix }
+    }
+
+    fn mask_of(prefix: u8) -> u32 {
+        if prefix == 0 {
+            0
+        } else {
+            u32::MAX << (32 - prefix as u32)
+        }
+    }
+
+    /// The netmask.
+    pub fn mask(&self) -> u32 {
+        Self::mask_of(self.prefix)
+    }
+
+    /// True iff `addr` falls inside this subnet.
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        (addr.0 & self.mask()) == self.base.0
+    }
+
+    /// Number of addresses in the subnet (including network/broadcast).
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.prefix as u32)
+    }
+
+    /// True iff two subnets share any address.
+    pub fn overlaps(&self, other: &Subnet) -> bool {
+        let p = self.prefix.min(other.prefix);
+        let mask = Self::mask_of(p);
+        (self.base.0 & mask) == (other.base.0 & mask)
+    }
+}
+
+impl fmt::Display for Subnet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.base, self.prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn display_and_octets() {
+        let a = Ipv4Addr::from_octets(128, 10, 9, 125);
+        assert_eq!(a.to_string(), "128.10.9.125");
+        assert_eq!(a.octets(), [128, 10, 9, 125]);
+        assert_eq!(a.next().to_string(), "128.10.9.126");
+    }
+
+    #[test]
+    fn parse_valid() {
+        let a: Ipv4Addr = "128.10.9.125".parse().unwrap();
+        assert_eq!(a, Ipv4Addr::from_octets(128, 10, 9, 125));
+        let z: Ipv4Addr = "0.0.0.0".parse().unwrap();
+        assert_eq!(z.as_u32(), 0);
+        let m: Ipv4Addr = "255.255.255.255".parse().unwrap();
+        assert_eq!(m.as_u32(), u32::MAX);
+    }
+
+    #[test]
+    fn parse_invalid() {
+        for s in ["", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "1..2.3", "01x.2.3.4", "1.2.3.-4"] {
+            assert!(s.parse::<Ipv4Addr>().is_err(), "{s} should fail");
+        }
+    }
+
+    #[test]
+    fn subnet_contains() {
+        let s = Subnet::new("128.10.9.0".parse().unwrap(), 24);
+        assert!(s.contains("128.10.9.125".parse().unwrap()));
+        assert!(!s.contains("128.10.8.125".parse().unwrap()));
+        assert_eq!(s.size(), 256);
+        assert_eq!(s.to_string(), "128.10.9.0/24");
+    }
+
+    #[test]
+    fn subnet_zeroes_host_bits() {
+        let s = Subnet::new("128.10.9.77".parse().unwrap(), 24);
+        assert_eq!(s.base.to_string(), "128.10.9.0");
+    }
+
+    #[test]
+    fn subnet_overlap() {
+        let a = Subnet::new("10.0.0.0".parse().unwrap(), 8);
+        let b = Subnet::new("10.1.0.0".parse().unwrap(), 16);
+        let c = Subnet::new("11.0.0.0".parse().unwrap(), 8);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert!(a.overlaps(&a));
+    }
+
+    #[test]
+    fn prefix_zero_contains_everything() {
+        let s = Subnet::new(Ipv4Addr(0), 0);
+        assert!(s.contains(Ipv4Addr(u32::MAX)));
+        assert_eq!(s.size(), 1u64 << 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn prefix_33_panics() {
+        Subnet::new(Ipv4Addr(0), 33);
+    }
+
+    proptest! {
+        /// Display/parse round-trips for any address.
+        #[test]
+        fn prop_roundtrip(raw in any::<u32>()) {
+            let a = Ipv4Addr(raw);
+            let parsed: Ipv4Addr = a.to_string().parse().unwrap();
+            prop_assert_eq!(parsed, a);
+        }
+
+        /// An address is contained in a subnet iff masking maps it to the
+        /// base.
+        #[test]
+        fn prop_contains(raw in any::<u32>(), base in any::<u32>(), prefix in 0u8..=32) {
+            let s = Subnet::new(Ipv4Addr(base), prefix);
+            let a = Ipv4Addr(raw);
+            prop_assert_eq!(s.contains(a), (raw & s.mask()) == s.base.0);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! The host's bridging module.
+//!
+//! §3.3: "a *bridging module* running in the host OS … acts as a
+//! transparent bridge connecting all virtual service nodes in the HUP
+//! host. … the SODA Daemon will notify the bridging module … of the new
+//! 'UML-IP' mapping, so that the bridging module will correctly forward
+//! packets from/to the new virtual service node."
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::addr::Ipv4Addr;
+
+/// Opaque tag identifying a virtual service node attached to the bridge
+/// (assigned by the VMM layer; the bridge does not interpret it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PortTag(pub u64);
+
+/// Where the bridge sends a frame for a given destination address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Forwarding {
+    /// Destination is a VSN on this host.
+    Local(PortTag),
+    /// Destination unknown locally — forward out the physical uplink.
+    Uplink,
+}
+
+/// A transparent bridge with a UML↔IP mapping table.
+#[derive(Clone, Debug, Default)]
+pub struct Bridge {
+    table: HashMap<Ipv4Addr, PortTag>,
+    forwarded_local: u64,
+    forwarded_uplink: u64,
+}
+
+/// Mapping-table errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BridgeError {
+    /// The address is already mapped to a (different) VSN.
+    AddressInUse(Ipv4Addr),
+    /// Unmapping an address that is not in the table.
+    NotMapped(Ipv4Addr),
+}
+
+impl fmt::Display for BridgeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BridgeError::AddressInUse(a) => write!(f, "address {a} already bridged"),
+            BridgeError::NotMapped(a) => write!(f, "address {a} not bridged"),
+        }
+    }
+}
+
+impl std::error::Error for BridgeError {}
+
+impl Bridge {
+    /// An empty bridge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a UML-IP mapping (SODA Daemon notification after a VSN is
+    /// assigned its address).
+    pub fn map(&mut self, ip: Ipv4Addr, port: PortTag) -> Result<(), BridgeError> {
+        match self.table.get(&ip) {
+            Some(&existing) if existing != port => Err(BridgeError::AddressInUse(ip)),
+            _ => {
+                self.table.insert(ip, port);
+                Ok(())
+            }
+        }
+    }
+
+    /// Remove a mapping (VSN teardown).
+    pub fn unmap(&mut self, ip: Ipv4Addr) -> Result<PortTag, BridgeError> {
+        self.table.remove(&ip).ok_or(BridgeError::NotMapped(ip))
+    }
+
+    /// Forward a frame addressed to `dst`, updating counters.
+    pub fn forward(&mut self, dst: Ipv4Addr) -> Forwarding {
+        match self.table.get(&dst) {
+            Some(&port) => {
+                self.forwarded_local += 1;
+                Forwarding::Local(port)
+            }
+            None => {
+                self.forwarded_uplink += 1;
+                Forwarding::Uplink
+            }
+        }
+    }
+
+    /// Look up without counting (control-plane queries).
+    pub fn lookup(&self, ip: Ipv4Addr) -> Option<PortTag> {
+        self.table.get(&ip).copied()
+    }
+
+    /// Number of installed mappings.
+    pub fn mappings(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Frames delivered to local VSNs.
+    pub fn local_count(&self) -> u64 {
+        self.forwarded_local
+    }
+
+    /// Frames sent out the uplink.
+    pub fn uplink_count(&self) -> u64 {
+        self.forwarded_uplink
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn map_lookup_forward() {
+        let mut b = Bridge::new();
+        b.map(ip("128.10.9.125"), PortTag(1)).unwrap();
+        b.map(ip("128.10.9.126"), PortTag(2)).unwrap();
+        assert_eq!(b.mappings(), 2);
+        assert_eq!(b.forward(ip("128.10.9.125")), Forwarding::Local(PortTag(1)));
+        assert_eq!(b.forward(ip("128.10.9.200")), Forwarding::Uplink);
+        assert_eq!(b.local_count(), 1);
+        assert_eq!(b.uplink_count(), 1);
+        assert_eq!(b.lookup(ip("128.10.9.126")), Some(PortTag(2)));
+    }
+
+    #[test]
+    fn remap_same_port_is_idempotent() {
+        let mut b = Bridge::new();
+        b.map(ip("10.0.0.1"), PortTag(7)).unwrap();
+        b.map(ip("10.0.0.1"), PortTag(7)).unwrap();
+        assert_eq!(b.mappings(), 1);
+    }
+
+    #[test]
+    fn conflicting_map_rejected() {
+        let mut b = Bridge::new();
+        b.map(ip("10.0.0.1"), PortTag(1)).unwrap();
+        assert_eq!(
+            b.map(ip("10.0.0.1"), PortTag(2)),
+            Err(BridgeError::AddressInUse(ip("10.0.0.1")))
+        );
+        assert_eq!(b.lookup(ip("10.0.0.1")), Some(PortTag(1)));
+    }
+
+    #[test]
+    fn unmap() {
+        let mut b = Bridge::new();
+        b.map(ip("10.0.0.1"), PortTag(1)).unwrap();
+        assert_eq!(b.unmap(ip("10.0.0.1")), Ok(PortTag(1)));
+        assert_eq!(b.unmap(ip("10.0.0.1")), Err(BridgeError::NotMapped(ip("10.0.0.1"))));
+        assert_eq!(b.forward(ip("10.0.0.1")), Forwarding::Uplink);
+    }
+}

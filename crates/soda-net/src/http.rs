@@ -1,0 +1,108 @@
+//! HTTP/1.1 sizing model.
+//!
+//! Two uses in the paper: the SODA Daemon downloads service images "using
+//! HTTP/1.1" (§4.3), and the web-content service serves datasets to
+//! `siege` clients (Figures 4 and 6). At flow level, HTTP reduces to byte
+//! counts: request size, response = headers + body, and a small per-image
+//! framing overhead for chunked downloads.
+
+use crate::link::LinkSpec;
+use soda_sim::SimDuration;
+
+/// Byte-level constants for an HTTP/1.1 exchange.
+#[derive(Clone, Copy, Debug)]
+pub struct HttpModel {
+    /// A typical GET request line + headers.
+    pub request_bytes: u64,
+    /// Response status line + headers.
+    pub response_header_bytes: u64,
+    /// Fractional framing overhead on large transfers (chunked encoding,
+    /// TCP/IP headers amortised at flow level).
+    pub framing_overhead: f64,
+}
+
+impl Default for HttpModel {
+    fn default() -> Self {
+        HttpModel { request_bytes: 350, response_header_bytes: 250, framing_overhead: 0.03 }
+    }
+}
+
+impl HttpModel {
+    /// The default calibration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes on the wire for a response carrying `body` bytes.
+    pub fn response_bytes(&self, body: u64) -> u64 {
+        self.response_header_bytes + body + (body as f64 * self.framing_overhead) as u64
+    }
+
+    /// Total bytes on the wire to download a service image of
+    /// `image_bytes` (one GET, one long response).
+    pub fn download_bytes(&self, image_bytes: u64) -> u64 {
+        self.request_bytes + self.response_bytes(image_bytes)
+    }
+
+    /// Uncontended download time for an image over `link` — the §4.3
+    /// measurement ("grows linearly with the size of the service image").
+    pub fn download_time(&self, image_bytes: u64, link: &LinkSpec) -> SimDuration {
+        // Request travels one way, response the other: two latencies.
+        link.latency + link.latency + link.serialization_time(self.download_bytes(image_bytes))
+    }
+}
+
+/// One request/response exchange, sized and ready to place on links.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HttpExchange {
+    /// Bytes client → server.
+    pub request_wire_bytes: u64,
+    /// Bytes server → client.
+    pub response_wire_bytes: u64,
+}
+
+impl HttpExchange {
+    /// Build an exchange for a GET returning `body` bytes.
+    pub fn get(model: &HttpModel, body: u64) -> Self {
+        HttpExchange {
+            request_wire_bytes: model.request_bytes,
+            response_wire_bytes: model.response_bytes(body),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_includes_headers_and_framing() {
+        let m = HttpModel::new();
+        let r = m.response_bytes(100_000);
+        assert_eq!(r, 250 + 100_000 + 3_000);
+        assert_eq!(m.response_bytes(0), 250);
+    }
+
+    #[test]
+    fn download_time_linear_in_image_size() {
+        let m = HttpModel::new();
+        let lan = LinkSpec::lan_100mbps();
+        let t15 = m.download_time(15_000_000, &lan).as_secs_f64();
+        let t30 = m.download_time(30_000_000, &lan).as_secs_f64();
+        let t60 = m.download_time(60_000_000, &lan).as_secs_f64();
+        // Differences double: linear growth.
+        let d1 = t30 - t15;
+        let d2 = t60 - t30;
+        assert!((d2 / d1 - 2.0).abs() < 0.01, "d1={d1} d2={d2}");
+        // Magnitude: ~15 MB at 100 Mbps ≈ 1.2 s + 3% overhead.
+        assert!((1.2..1.35).contains(&t15), "t15={t15}");
+    }
+
+    #[test]
+    fn exchange_sizes() {
+        let m = HttpModel::new();
+        let e = HttpExchange::get(&m, 50_000);
+        assert_eq!(e.request_wire_bytes, 350);
+        assert_eq!(e.response_wire_bytes, m.response_bytes(50_000));
+    }
+}

@@ -1,0 +1,371 @@
+//! Flow-level link models.
+//!
+//! [`ProcessorSharingLink`] models the shared 100 Mbps LAN: every active
+//! transfer receives an equal share of the link bandwidth, recomputed
+//! whenever a flow starts or finishes (the standard fluid approximation
+//! of TCP fair sharing on a LAN). [`LinkSpec`] also serves as a simple
+//! uncontended calculator — the §4.3 observation that "downloading time
+//! grows linearly with the size of the service image" falls straight out
+//! of it.
+
+use soda_sim::{SimDuration, SimTime};
+
+/// Static link characteristics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkSpec {
+    /// Capacity in bits per second.
+    pub bandwidth_bps: f64,
+    /// One-way propagation latency.
+    pub latency: SimDuration,
+}
+
+impl LinkSpec {
+    /// Construct; panics on a non-positive bandwidth.
+    pub fn new(bandwidth_bps: f64, latency: SimDuration) -> Self {
+        assert!(bandwidth_bps > 0.0, "bandwidth must be positive");
+        LinkSpec { bandwidth_bps, latency }
+    }
+
+    /// The testbed's 100 Mbps departmental LAN (~0.2 ms latency).
+    pub fn lan_100mbps() -> Self {
+        LinkSpec::new(100e6, SimDuration::from_micros(200))
+    }
+
+    /// A wide-area link for the federation extension (default 10 Mbps,
+    /// 40 ms one-way).
+    pub fn wan(bandwidth_mbps: f64, latency: SimDuration) -> Self {
+        LinkSpec::new(bandwidth_mbps * 1e6, latency)
+    }
+
+    /// Serialisation time for `bytes` at full link rate.
+    pub fn serialization_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.bandwidth_bps)
+    }
+
+    /// Uncontended one-way transfer time: latency + serialisation.
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        self.latency + self.serialization_time(bytes)
+    }
+}
+
+/// Identifier of an active flow on a [`ProcessorSharingLink`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u64);
+
+#[derive(Clone, Debug)]
+struct Flow {
+    id: FlowId,
+    remaining_bytes: f64,
+}
+
+/// A link whose capacity is shared equally among active flows
+/// (processor-sharing fluid model).
+///
+/// ```
+/// use soda_net::link::{LinkSpec, ProcessorSharingLink};
+/// use soda_sim::{SimDuration, SimTime};
+/// // 8 Mbps = 1 MB/s. Two simultaneous 1 MB flows share the link and
+/// // both finish at t = 2 s.
+/// let mut link = ProcessorSharingLink::new(LinkSpec::new(8e6, SimDuration::ZERO));
+/// link.add_flow(1_000_000, SimTime::ZERO);
+/// link.add_flow(1_000_000, SimTime::ZERO);
+/// link.advance(SimTime::from_secs(10));
+/// let done = link.take_completed();
+/// assert_eq!(done.len(), 2);
+/// assert!(done.iter().all(|&(_, t)| t == SimTime::from_secs(2)));
+/// ```
+///
+/// Driving pattern: the owner calls [`add_flow`](Self::add_flow) when a
+/// transfer starts, schedules an engine event at
+/// [`next_completion`](Self::next_completion), and in that event calls
+/// [`advance`](Self::advance) then drains
+/// [`take_completed`](Self::take_completed). Adding a flow changes every
+/// flow's rate, so the owner re-schedules after each add; stale wake-ups
+/// are harmless (they find nothing completed and re-arm).
+#[derive(Clone, Debug)]
+pub struct ProcessorSharingLink {
+    spec: LinkSpec,
+    flows: Vec<Flow>,
+    completed: Vec<(FlowId, SimTime)>,
+    last_update: SimTime,
+    next_id: u64,
+}
+
+impl ProcessorSharingLink {
+    /// An idle link.
+    pub fn new(spec: LinkSpec) -> Self {
+        ProcessorSharingLink {
+            spec,
+            flows: Vec::new(),
+            completed: Vec::new(),
+            last_update: SimTime::ZERO,
+            next_id: 1,
+        }
+    }
+
+    /// The link's static characteristics.
+    pub fn spec(&self) -> LinkSpec {
+        self.spec
+    }
+
+    /// Bytes/s each active flow currently receives.
+    fn per_flow_rate(&self) -> f64 {
+        debug_assert!(!self.flows.is_empty());
+        self.spec.bandwidth_bps / 8.0 / self.flows.len() as f64
+    }
+
+    /// Residual time of the earliest-finishing flow, rounded **up** to a
+    /// whole nanosecond (and at least 1 ns). Rounding up is load-bearing:
+    /// rounding down would let [`next_completion`](Self::next_completion)
+    /// return the current instant while the flow still has a sliver of
+    /// bytes left, and an event-driven caller would re-arm at the same
+    /// timestamp forever.
+    fn first_finish_delta(&self) -> SimDuration {
+        let rate = self.per_flow_rate();
+        let min_rem = self
+            .flows
+            .iter()
+            .map(|f| f.remaining_bytes)
+            .fold(f64::INFINITY, f64::min);
+        let ns = (min_rem / rate * 1e9).ceil();
+        SimDuration::from_nanos((ns.max(1.0)).min(u64::MAX as f64) as u64)
+    }
+
+    /// Advance the fluid state to `now`, moving any flows that finish on
+    /// the way into the completed list (with their finish times, rounded
+    /// up to the nanosecond grid).
+    pub fn advance(&mut self, now: SimTime) {
+        while !self.flows.is_empty() && self.last_update < now {
+            let rate = self.per_flow_rate();
+            let min_rem = self
+                .flows
+                .iter()
+                .map(|f| f.remaining_bytes)
+                .fold(f64::INFINITY, f64::min);
+            let finish = self.last_update + self.first_finish_delta();
+            if finish <= now {
+                let dt = finish.saturating_since(self.last_update).as_secs_f64();
+                // The ceil guarantees rate·dt ≥ min_rem, so the earliest
+                // flow always completes and the loop strictly progresses.
+                let drained = (rate * dt).max(min_rem);
+                for f in &mut self.flows {
+                    f.remaining_bytes -= drained;
+                }
+                let completed = &mut self.completed;
+                self.flows.retain(|f| {
+                    if f.remaining_bytes <= 1e-6 {
+                        completed.push((f.id, finish));
+                        false
+                    } else {
+                        true
+                    }
+                });
+                self.last_update = finish;
+            } else {
+                let horizon = now.saturating_since(self.last_update).as_secs_f64();
+                let drained = rate * horizon;
+                for f in &mut self.flows {
+                    f.remaining_bytes = (f.remaining_bytes - drained).max(0.0);
+                }
+                self.last_update = now;
+            }
+        }
+        if self.last_update < now {
+            self.last_update = now;
+        }
+    }
+
+    /// Start a transfer of `bytes` at `now`. Zero-byte flows complete
+    /// immediately.
+    pub fn add_flow(&mut self, bytes: u64, now: SimTime) -> FlowId {
+        self.advance(now);
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        if bytes == 0 {
+            self.completed.push((id, now));
+        } else {
+            self.flows.push(Flow { id, remaining_bytes: bytes as f64 });
+        }
+        id
+    }
+
+    /// Abort an active flow (e.g. the requester crashed). Returns true if
+    /// the flow was active.
+    pub fn cancel(&mut self, id: FlowId, now: SimTime) -> bool {
+        self.advance(now);
+        let before = self.flows.len();
+        self.flows.retain(|f| f.id != id);
+        self.flows.len() != before
+    }
+
+    /// The absolute time the earliest active flow will finish if no new
+    /// flows arrive. `None` when idle.
+    pub fn next_completion(&self) -> Option<SimTime> {
+        if self.flows.is_empty() {
+            return None;
+        }
+        Some(self.last_update + self.first_finish_delta())
+    }
+
+    /// Drain flows that have finished (exact finish times attached).
+    /// The *delivery* time at the receiver is finish + `spec.latency`.
+    pub fn take_completed(&mut self) -> Vec<(FlowId, SimTime)> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Number of active flows.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mbps(m: f64) -> LinkSpec {
+        LinkSpec::new(m * 1e6, SimDuration::ZERO)
+    }
+
+    #[test]
+    fn uncontended_transfer_is_linear_in_size() {
+        let lan = LinkSpec::lan_100mbps();
+        // 100 Mbps = 12.5 MB/s: 125 MB takes 10 s + latency.
+        let t = lan.transfer_time(125_000_000);
+        assert!((t.as_secs_f64() - 10.0002).abs() < 1e-6, "{t}");
+        // Linearity: doubling size doubles serialisation exactly.
+        let a = lan.serialization_time(10_000_000).as_nanos();
+        let b = lan.serialization_time(20_000_000).as_nanos();
+        assert_eq!(b, 2 * a);
+    }
+
+    #[test]
+    fn single_flow_runs_at_full_rate() {
+        let mut l = ProcessorSharingLink::new(mbps(8.0)); // 1 MB/s
+        let id = l.add_flow(1_000_000, SimTime::ZERO);
+        assert_eq!(l.next_completion(), Some(SimTime::from_secs(1)));
+        l.advance(SimTime::from_secs(2));
+        let done = l.take_completed();
+        assert_eq!(done, vec![(id, SimTime::from_secs(1))]);
+        assert_eq!(l.active_flows(), 0);
+    }
+
+    #[test]
+    fn two_flows_share_evenly() {
+        let mut l = ProcessorSharingLink::new(mbps(8.0)); // 1 MB/s
+        let a = l.add_flow(1_000_000, SimTime::ZERO);
+        let b = l.add_flow(1_000_000, SimTime::ZERO);
+        // Equal flows at half rate each: both finish at t=2 s.
+        l.advance(SimTime::from_secs(3));
+        let done = l.take_completed();
+        assert_eq!(done.len(), 2);
+        for (id, t) in done {
+            assert!(id == a || id == b);
+            assert_eq!(t, SimTime::from_secs(2));
+        }
+    }
+
+    #[test]
+    fn late_flow_slows_earlier_flow() {
+        let mut l = ProcessorSharingLink::new(mbps(8.0)); // 1 MB/s
+        let a = l.add_flow(1_000_000, SimTime::ZERO);
+        // At t=0.5 s flow a has 0.5 MB left; a second flow arrives.
+        let b = l.add_flow(1_000_000, SimTime::from_millis(500));
+        // Now each runs at 0.5 MB/s: a needs 1 more second (t=1.5),
+        // then b runs alone with 0.5 MB left at 1 MB/s → t=2.0.
+        l.advance(SimTime::from_secs(3));
+        let done = l.take_completed();
+        assert_eq!(done[0], (a, SimTime::from_millis(1_500)));
+        assert_eq!(done[1], (b, SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_instantly() {
+        let mut l = ProcessorSharingLink::new(mbps(1.0));
+        let id = l.add_flow(0, SimTime::from_secs(5));
+        let done = l.take_completed();
+        assert_eq!(done, vec![(id, SimTime::from_secs(5))]);
+    }
+
+    #[test]
+    fn cancel_removes_flow_and_speeds_up_rest() {
+        let mut l = ProcessorSharingLink::new(mbps(8.0)); // 1 MB/s
+        let a = l.add_flow(1_000_000, SimTime::ZERO);
+        let b = l.add_flow(1_000_000, SimTime::ZERO);
+        assert!(l.cancel(a, SimTime::from_millis(500)));
+        assert!(!l.cancel(a, SimTime::from_millis(500)));
+        // b had 750 kB left at 0.5 s, now alone at 1 MB/s → 1.25 s.
+        l.advance(SimTime::from_secs(2));
+        let done = l.take_completed();
+        assert_eq!(done, vec![(b, SimTime::from_millis(1_250))]);
+    }
+
+    #[test]
+    fn advance_is_idempotent_at_same_time() {
+        let mut l = ProcessorSharingLink::new(mbps(8.0));
+        l.add_flow(1_000_000, SimTime::ZERO);
+        l.advance(SimTime::from_millis(400));
+        l.advance(SimTime::from_millis(400));
+        assert_eq!(l.active_flows(), 1);
+        assert_eq!(l.next_completion(), Some(SimTime::from_secs(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_panics() {
+        LinkSpec::new(0.0, SimDuration::ZERO);
+    }
+
+    proptest! {
+        /// Conservation: total bytes delivered over any schedule of adds
+        /// equals total bytes offered, and finish times are ordered by
+        /// the fluid model's invariant (no flow finishes before an
+        /// earlier-finishing smaller flow).
+        #[test]
+        fn prop_all_flows_complete(
+            flows in proptest::collection::vec((1u64..5_000_000, 0u64..3_000), 1..20)
+        ) {
+            let mut l = ProcessorSharingLink::new(mbps(100.0));
+            let mut expected = Vec::new();
+            for &(bytes, start_ms) in &flows {
+                let id = l.add_flow(bytes, SimTime::from_nanos(start_ms * 1_000_000));
+                expected.push(id);
+            }
+            // Run far past any possible completion.
+            l.advance(SimTime::from_secs(100_000));
+            let mut done = l.take_completed();
+            prop_assert_eq!(done.len(), expected.len());
+            done.sort_by_key(|&(id, _)| id);
+            let mut ids: Vec<FlowId> = done.iter().map(|&(id, _)| id).collect();
+            ids.sort();
+            let mut exp = expected.clone();
+            exp.sort();
+            prop_assert_eq!(ids, exp);
+            prop_assert_eq!(l.active_flows(), 0);
+        }
+
+        /// With simultaneous arrivals, completion order matches size
+        /// order (processor sharing preserves it).
+        #[test]
+        fn prop_completion_order_matches_size(
+            sizes in proptest::collection::vec(1u64..10_000_000, 2..10)
+        ) {
+            let mut l = ProcessorSharingLink::new(mbps(100.0));
+            let ids: Vec<FlowId> =
+                sizes.iter().map(|&b| l.add_flow(b, SimTime::ZERO)).collect();
+            l.advance(SimTime::from_secs(100_000));
+            let done = l.take_completed();
+            // Map id -> finish time.
+            for i in 0..sizes.len() {
+                for j in 0..sizes.len() {
+                    if sizes[i] < sizes[j] {
+                        let ti = done.iter().find(|&&(id, _)| id == ids[i]).unwrap().1;
+                        let tj = done.iter().find(|&&(id, _)| id == ids[j]).unwrap().1;
+                        prop_assert!(ti <= tj);
+                    }
+                }
+            }
+        }
+    }
+}

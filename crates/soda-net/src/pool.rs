@@ -1,0 +1,203 @@
+//! Per-host IP address pools.
+//!
+//! "Each SODA Daemon maintains a pool of IP addresses to be assigned to
+//! the virtual service nodes running in this HUP host. For different HUP
+//! hosts, their pools of IP addresses must be disjoint." (§4.3)
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::addr::Ipv4Addr;
+
+/// Pool allocation failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolError {
+    /// No free addresses remain — the "scarcity of IP addresses" case
+    /// where the paper would switch from bridging to proxying.
+    Exhausted,
+    /// The released address does not belong to this pool.
+    NotInPool(Ipv4Addr),
+    /// The released address was not allocated.
+    NotAllocated(Ipv4Addr),
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::Exhausted => write!(f, "IP pool exhausted"),
+            PoolError::NotInPool(a) => write!(f, "address {a} not in pool"),
+            PoolError::NotAllocated(a) => write!(f, "address {a} not currently allocated"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// A contiguous pool of IPv4 addresses with allocation tracking.
+/// Allocation is lowest-address-first for determinism (and so Table 3's
+/// `.125`/`.126` layout reproduces).
+#[derive(Clone, Debug)]
+pub struct IpPool {
+    first: Ipv4Addr,
+    count: u32,
+    allocated: BTreeSet<u32>,
+}
+
+impl IpPool {
+    /// A pool of `count` consecutive addresses starting at `first`.
+    /// Panics if the range would wrap past `255.255.255.255`.
+    pub fn new(first: Ipv4Addr, count: u32) -> Self {
+        assert!(count > 0, "empty pool");
+        assert!(
+            first.as_u32().checked_add(count - 1).is_some(),
+            "pool wraps the address space"
+        );
+        IpPool { first, count, allocated: BTreeSet::new() }
+    }
+
+    /// Allocate the lowest free address.
+    pub fn allocate(&mut self) -> Result<Ipv4Addr, PoolError> {
+        for off in 0..self.count {
+            let raw = self.first.as_u32() + off;
+            if !self.allocated.contains(&raw) {
+                self.allocated.insert(raw);
+                return Ok(Ipv4Addr(raw));
+            }
+        }
+        Err(PoolError::Exhausted)
+    }
+
+    /// Release a previously allocated address.
+    pub fn release(&mut self, addr: Ipv4Addr) -> Result<(), PoolError> {
+        if !self.contains(addr) {
+            return Err(PoolError::NotInPool(addr));
+        }
+        if !self.allocated.remove(&addr.as_u32()) {
+            return Err(PoolError::NotAllocated(addr));
+        }
+        Ok(())
+    }
+
+    /// True iff `addr` belongs to the pool's range.
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        let raw = addr.as_u32();
+        raw >= self.first.as_u32() && raw < self.first.as_u32() + self.count
+    }
+
+    /// Number of free addresses.
+    pub fn free(&self) -> u32 {
+        self.count - self.allocated.len() as u32
+    }
+
+    /// Number of allocated addresses.
+    pub fn in_use(&self) -> u32 {
+        self.allocated.len() as u32
+    }
+
+    /// Total pool size.
+    pub fn size(&self) -> u32 {
+        self.count
+    }
+
+    /// True iff this pool shares any address with `other` — HUP
+    /// configuration must keep per-host pools disjoint.
+    pub fn overlaps(&self, other: &IpPool) -> bool {
+        let a0 = self.first.as_u32();
+        let a1 = a0 + self.count - 1;
+        let b0 = other.first.as_u32();
+        let b1 = b0 + other.count - 1;
+        a0 <= b1 && b0 <= a1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pool() -> IpPool {
+        IpPool::new("128.10.9.125".parse().unwrap(), 4)
+    }
+
+    #[test]
+    fn allocates_lowest_first() {
+        let mut p = pool();
+        assert_eq!(p.allocate().unwrap().to_string(), "128.10.9.125");
+        assert_eq!(p.allocate().unwrap().to_string(), "128.10.9.126");
+        assert_eq!(p.free(), 2);
+        assert_eq!(p.in_use(), 2);
+    }
+
+    #[test]
+    fn exhaustion() {
+        let mut p = pool();
+        for _ in 0..4 {
+            p.allocate().unwrap();
+        }
+        assert_eq!(p.allocate(), Err(PoolError::Exhausted));
+    }
+
+    #[test]
+    fn release_and_reuse() {
+        let mut p = pool();
+        let a = p.allocate().unwrap();
+        let _b = p.allocate().unwrap();
+        p.release(a).unwrap();
+        // Lowest-first reallocates the released address.
+        assert_eq!(p.allocate().unwrap(), a);
+    }
+
+    #[test]
+    fn release_errors() {
+        let mut p = pool();
+        let outside: Ipv4Addr = "10.0.0.1".parse().unwrap();
+        assert_eq!(p.release(outside), Err(PoolError::NotInPool(outside)));
+        let inside: Ipv4Addr = "128.10.9.126".parse().unwrap();
+        assert_eq!(p.release(inside), Err(PoolError::NotAllocated(inside)));
+    }
+
+    #[test]
+    fn disjointness_check() {
+        let a = IpPool::new("128.10.9.0".parse().unwrap(), 64);
+        let b = IpPool::new("128.10.9.64".parse().unwrap(), 64);
+        let c = IpPool::new("128.10.9.32".parse().unwrap(), 64);
+        assert!(!a.overlaps(&b));
+        assert!(a.overlaps(&c));
+        assert!(b.overlaps(&c));
+        assert!(a.overlaps(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "wraps")]
+    fn wrapping_pool_panics() {
+        IpPool::new(Ipv4Addr(u32::MAX), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_pool_panics() {
+        IpPool::new(Ipv4Addr(0), 0);
+    }
+
+    proptest! {
+        /// free + in_use == size under arbitrary alloc/release traffic,
+        /// and no address is handed out twice while allocated.
+        #[test]
+        fn prop_pool_conservation(ops in proptest::collection::vec(any::<bool>(), 1..100)) {
+            let mut p = IpPool::new("10.0.0.0".parse().unwrap(), 16);
+            let mut live: Vec<Ipv4Addr> = Vec::new();
+            for alloc in ops {
+                if alloc {
+                    if let Ok(a) = p.allocate() {
+                        prop_assert!(!live.contains(&a), "double allocation of {a}");
+                        live.push(a);
+                    }
+                } else if let Some(a) = live.pop() {
+                    p.release(a).unwrap();
+                }
+                prop_assert_eq!(p.free() + p.in_use(), p.size());
+                prop_assert_eq!(p.in_use() as usize, live.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! NAT-style proxying — the bridging alternative.
+//!
+//! Footnote 3 of the paper: "if the scarcity of IP addresses becomes a
+//! problem, we will adopt the technique of *proxying* instead of
+//! bridging, so that a virtual service node can still communicate with a
+//! reserved IP address." The proxy owns one public address and multiplexes
+//! VSNs behind it on distinct public ports.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::addr::Ipv4Addr;
+
+/// A private (VSN-side) endpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PrivateEndpoint {
+    /// VSN-internal address (may overlap across hosts — that is the
+    /// point of proxying).
+    pub ip: Ipv4Addr,
+    /// VSN-internal port.
+    pub port: u16,
+}
+
+/// Proxy errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProxyError {
+    /// All public ports in the configured range are bound.
+    PortsExhausted,
+    /// Releasing/looking up a public port with no binding.
+    NoBinding(u16),
+    /// The private endpoint is already bound to a public port.
+    AlreadyBound(PrivateEndpoint),
+}
+
+impl fmt::Display for ProxyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProxyError::PortsExhausted => write!(f, "proxy public ports exhausted"),
+            ProxyError::NoBinding(p) => write!(f, "no binding on public port {p}"),
+            ProxyError::AlreadyBound(e) => {
+                write!(f, "private endpoint {}:{} already bound", e.ip, e.port)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProxyError {}
+
+/// A NAT proxy fronting the VSNs of one host with a single public
+/// address.
+#[derive(Clone, Debug)]
+pub struct NatProxy {
+    public_ip: Ipv4Addr,
+    port_lo: u16,
+    port_hi: u16,
+    next_port: u16,
+    inbound: HashMap<u16, PrivateEndpoint>,
+    outbound: HashMap<PrivateEndpoint, u16>,
+    translated: u64,
+}
+
+impl NatProxy {
+    /// A proxy on `public_ip` handing out public ports in
+    /// `[port_lo, port_hi]`. Panics on an empty range.
+    pub fn new(public_ip: Ipv4Addr, port_lo: u16, port_hi: u16) -> Self {
+        assert!(port_lo <= port_hi, "empty port range");
+        NatProxy {
+            public_ip,
+            port_lo,
+            port_hi,
+            next_port: port_lo,
+            inbound: HashMap::new(),
+            outbound: HashMap::new(),
+            translated: 0,
+        }
+    }
+
+    /// The proxy's public address.
+    pub fn public_ip(&self) -> Ipv4Addr {
+        self.public_ip
+    }
+
+    /// Bind a private endpoint to a fresh public port; returns
+    /// `(public_ip, public_port)` — what goes into the service
+    /// configuration file in proxy mode.
+    pub fn bind(&mut self, private: PrivateEndpoint) -> Result<(Ipv4Addr, u16), ProxyError> {
+        if self.outbound.contains_key(&private) {
+            return Err(ProxyError::AlreadyBound(private));
+        }
+        let span = (self.port_hi - self.port_lo) as u32 + 1;
+        for _ in 0..span {
+            let candidate = self.next_port;
+            self.next_port =
+                if self.next_port == self.port_hi { self.port_lo } else { self.next_port + 1 };
+            if let std::collections::hash_map::Entry::Vacant(e) = self.inbound.entry(candidate) {
+                e.insert(private);
+                self.outbound.insert(private, candidate);
+                return Ok((self.public_ip, candidate));
+            }
+        }
+        Err(ProxyError::PortsExhausted)
+    }
+
+    /// Remove the binding on a public port.
+    pub fn unbind(&mut self, public_port: u16) -> Result<PrivateEndpoint, ProxyError> {
+        let private =
+            self.inbound.remove(&public_port).ok_or(ProxyError::NoBinding(public_port))?;
+        self.outbound.remove(&private);
+        Ok(private)
+    }
+
+    /// Translate an inbound packet addressed to a public port to its
+    /// private endpoint.
+    pub fn translate_in(&mut self, public_port: u16) -> Result<PrivateEndpoint, ProxyError> {
+        let ep = *self.inbound.get(&public_port).ok_or(ProxyError::NoBinding(public_port))?;
+        self.translated += 1;
+        Ok(ep)
+    }
+
+    /// Translate an outbound packet from a private endpoint to its public
+    /// `(ip, port)` pair.
+    pub fn translate_out(&mut self, private: PrivateEndpoint) -> Result<(Ipv4Addr, u16), ProxyError> {
+        let port = *self.outbound.get(&private).ok_or(ProxyError::NoBinding(private.port))?;
+        self.translated += 1;
+        Ok((self.public_ip, port))
+    }
+
+    /// Number of live bindings.
+    pub fn bindings(&self) -> usize {
+        self.inbound.len()
+    }
+
+    /// Packets translated in either direction.
+    pub fn translated(&self) -> u64 {
+        self.translated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(ip: &str, port: u16) -> PrivateEndpoint {
+        PrivateEndpoint { ip: ip.parse().unwrap(), port }
+    }
+
+    fn proxy() -> NatProxy {
+        NatProxy::new("128.10.9.100".parse().unwrap(), 20_000, 20_003)
+    }
+
+    #[test]
+    fn bind_and_translate_round_trip() {
+        let mut p = proxy();
+        let private = ep("192.168.0.2", 8080);
+        let (pub_ip, pub_port) = p.bind(private).unwrap();
+        assert_eq!(pub_ip.to_string(), "128.10.9.100");
+        assert_eq!(p.translate_in(pub_port).unwrap(), private);
+        assert_eq!(p.translate_out(private).unwrap(), (pub_ip, pub_port));
+        assert_eq!(p.translated(), 2);
+        assert_eq!(p.bindings(), 1);
+    }
+
+    #[test]
+    fn overlapping_private_addresses_coexist() {
+        // Two VSNs may use the same private address space — proxying
+        // resolves the scarcity that motivated footnote 3.
+        let mut p = proxy();
+        let a = ep("192.168.0.2", 8080);
+        let b = ep("192.168.0.2", 9090);
+        let (_, pa) = p.bind(a).unwrap();
+        let (_, pb) = p.bind(b).unwrap();
+        assert_ne!(pa, pb);
+        assert_eq!(p.translate_in(pa).unwrap(), a);
+        assert_eq!(p.translate_in(pb).unwrap(), b);
+    }
+
+    #[test]
+    fn double_bind_rejected() {
+        let mut p = proxy();
+        let a = ep("192.168.0.2", 8080);
+        p.bind(a).unwrap();
+        assert_eq!(p.bind(a), Err(ProxyError::AlreadyBound(a)));
+    }
+
+    #[test]
+    fn port_exhaustion_and_reuse() {
+        let mut p = proxy(); // 4 ports
+        let mut ports = Vec::new();
+        for i in 0..4 {
+            let (_, port) = p.bind(ep("192.168.0.2", 1000 + i)).unwrap();
+            ports.push(port);
+        }
+        assert_eq!(p.bind(ep("192.168.0.2", 2000)), Err(ProxyError::PortsExhausted));
+        p.unbind(ports[1]).unwrap();
+        let (_, reused) = p.bind(ep("192.168.0.2", 2000)).unwrap();
+        assert_eq!(reused, ports[1]);
+    }
+
+    #[test]
+    fn unbind_errors() {
+        let mut p = proxy();
+        assert_eq!(p.unbind(20_000), Err(ProxyError::NoBinding(20_000)));
+        assert!(p.translate_in(20_000).is_err());
+        assert!(p.translate_out(ep("1.2.3.4", 5)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty port range")]
+    fn empty_range_panics() {
+        NatProxy::new("1.2.3.4".parse().unwrap(), 100, 99);
+    }
+}

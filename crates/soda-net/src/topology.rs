@@ -1,0 +1,240 @@
+//! Multi-segment network topology.
+//!
+//! The paper's testbed is one LAN; its §3.5 federation direction needs
+//! more: sites joined by heterogeneous WAN links, where a transfer's
+//! time is governed by the bottleneck link and the path's summed
+//! latency. This module is that substrate: named nodes, weighted
+//! bidirectional links, Dijkstra shortest paths by latency, and path
+//! transfer-time computation.
+
+use std::collections::{BinaryHeap, HashMap};
+
+use soda_sim::SimDuration;
+
+use crate::link::LinkSpec;
+
+/// Identifier of a topology node (a site, a router).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// A path through the topology.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Path {
+    /// The node sequence, source first.
+    pub nodes: Vec<NodeId>,
+    /// Sum of one-way latencies along the path.
+    pub latency: SimDuration,
+    /// The bottleneck bandwidth along the path, bits/s.
+    pub bottleneck_bps: f64,
+}
+
+impl Path {
+    /// One-way transfer time for `bytes` along this path (store-and-
+    /// forward effects ignored at flow level: bottleneck + latency).
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        self.latency + SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.bottleneck_bps)
+    }
+
+    /// Number of hops (links) on the path.
+    pub fn hops(&self) -> usize {
+        self.nodes.len().saturating_sub(1)
+    }
+}
+
+/// A topology of nodes and bidirectional links.
+#[derive(Clone, Debug, Default)]
+pub struct Topology {
+    names: HashMap<NodeId, String>,
+    adj: HashMap<NodeId, Vec<(NodeId, LinkSpec)>>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a named node.
+    pub fn add_node(&mut self, id: NodeId, name: impl Into<String>) {
+        self.names.insert(id, name.into());
+        self.adj.entry(id).or_default();
+    }
+
+    /// Connect two existing nodes bidirectionally. Panics on unknown
+    /// nodes.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, link: LinkSpec) {
+        assert!(self.names.contains_key(&a), "unknown node {a:?}");
+        assert!(self.names.contains_key(&b), "unknown node {b:?}");
+        self.adj.get_mut(&a).expect("checked").push((b, link));
+        self.adj.get_mut(&b).expect("checked").push((a, link));
+    }
+
+    /// Node name.
+    pub fn name(&self, id: NodeId) -> Option<&str> {
+        self.names.get(&id).map(|s| s.as_str())
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True iff no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Lowest-latency path from `src` to `dst` (Dijkstra). `None` if
+    /// disconnected or either node is unknown.
+    pub fn shortest_path(&self, src: NodeId, dst: NodeId) -> Option<Path> {
+        if !self.names.contains_key(&src) || !self.names.contains_key(&dst) {
+            return None;
+        }
+        // Max-heap on Reverse(latency_ns).
+        let mut dist: HashMap<NodeId, u64> = HashMap::new();
+        let mut prev: HashMap<NodeId, NodeId> = HashMap::new();
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u64, NodeId)>> = BinaryHeap::new();
+        dist.insert(src, 0);
+        heap.push(std::cmp::Reverse((0, src)));
+        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+            if u == dst {
+                break;
+            }
+            if dist.get(&u).copied().unwrap_or(u64::MAX) < d {
+                continue;
+            }
+            for &(v, link) in self.adj.get(&u).into_iter().flatten() {
+                let nd = d.saturating_add(link.latency.as_nanos());
+                if nd < dist.get(&v).copied().unwrap_or(u64::MAX) {
+                    dist.insert(v, nd);
+                    prev.insert(v, u);
+                    heap.push(std::cmp::Reverse((nd, v)));
+                }
+            }
+        }
+        if src != dst && !prev.contains_key(&dst) {
+            return None;
+        }
+        // Reconstruct.
+        let mut nodes = vec![dst];
+        let mut cur = dst;
+        while cur != src {
+            cur = prev[&cur];
+            nodes.push(cur);
+        }
+        nodes.reverse();
+        // Compute path metrics.
+        let mut latency = SimDuration::ZERO;
+        let mut bottleneck = f64::INFINITY;
+        for w in nodes.windows(2) {
+            let link = self
+                .adj[&w[0]]
+                .iter()
+                .filter(|&&(n, _)| n == w[1])
+                .map(|&(_, l)| l)
+                .min_by(|a, b| a.latency.cmp(&b.latency))
+                .expect("path edges exist");
+            latency += link.latency;
+            bottleneck = bottleneck.min(link.bandwidth_bps);
+        }
+        if nodes.len() == 1 {
+            bottleneck = f64::INFINITY;
+        }
+        Some(Path { nodes, latency, bottleneck_bps: bottleneck })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn wan(mbps: f64, ms: u64) -> LinkSpec {
+        LinkSpec::wan(mbps, SimDuration::from_millis(ms))
+    }
+
+    /// purdue —20ms— wisconsin —15ms— berkeley, plus a slow direct
+    /// purdue—berkeley link at 60 ms.
+    fn triangle() -> Topology {
+        let mut t = Topology::new();
+        t.add_node(n(1), "purdue");
+        t.add_node(n(2), "wisconsin");
+        t.add_node(n(3), "berkeley");
+        t.connect(n(1), n(2), wan(45.0, 20));
+        t.connect(n(2), n(3), wan(45.0, 15));
+        t.connect(n(1), n(3), wan(10.0, 60));
+        t
+    }
+
+    #[test]
+    fn dijkstra_prefers_low_latency_multihop() {
+        let t = triangle();
+        let p = t.shortest_path(n(1), n(3)).unwrap();
+        // 20+15=35 ms via wisconsin beats 60 ms direct.
+        assert_eq!(p.nodes, vec![n(1), n(2), n(3)]);
+        assert_eq!(p.latency, SimDuration::from_millis(35));
+        assert_eq!(p.hops(), 2);
+        assert_eq!(p.bottleneck_bps, 45e6);
+    }
+
+    #[test]
+    fn transfer_time_uses_bottleneck() {
+        let t = triangle();
+        let p = t.shortest_path(n(1), n(3)).unwrap();
+        // 45 Mbps bottleneck: 29.3 MB ≈ 5.2 s + 35 ms.
+        let secs = p.transfer_time(29_300_000).as_secs_f64();
+        assert!((5.0..5.5).contains(&secs), "{secs}");
+    }
+
+    #[test]
+    fn self_path_is_free() {
+        let t = triangle();
+        let p = t.shortest_path(n(1), n(1)).unwrap();
+        assert_eq!(p.nodes, vec![n(1)]);
+        assert_eq!(p.latency, SimDuration::ZERO);
+        assert_eq!(p.hops(), 0);
+        assert_eq!(p.transfer_time(1_000_000_000), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn disconnected_and_unknown() {
+        let mut t = triangle();
+        t.add_node(n(9), "island");
+        assert!(t.shortest_path(n(1), n(9)).is_none());
+        assert!(t.shortest_path(n(1), n(42)).is_none());
+        assert!(t.shortest_path(n(42), n(1)).is_none());
+    }
+
+    #[test]
+    fn symmetric_paths() {
+        let t = triangle();
+        let ab = t.shortest_path(n(1), n(3)).unwrap();
+        let ba = t.shortest_path(n(3), n(1)).unwrap();
+        assert_eq!(ab.latency, ba.latency);
+        assert_eq!(ab.bottleneck_bps, ba.bottleneck_bps);
+        let mut rev = ba.nodes.clone();
+        rev.reverse();
+        assert_eq!(ab.nodes, rev);
+    }
+
+    #[test]
+    fn names_and_size() {
+        let t = triangle();
+        assert_eq!(t.name(n(1)), Some("purdue"));
+        assert_eq!(t.name(n(9)), None);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert!(Topology::new().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn connect_unknown_panics() {
+        let mut t = Topology::new();
+        t.add_node(n(1), "a");
+        t.connect(n(1), n(2), wan(10.0, 10));
+    }
+}

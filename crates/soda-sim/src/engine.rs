@@ -1,0 +1,421 @@
+//! The discrete-event engine.
+//!
+//! [`Engine<S>`] owns the simulated world `S`, the virtual clock, the event
+//! queue and a deterministic RNG. Events are boxed `FnOnce(&mut S, &mut
+//! Ctx)` closures; from inside a handler, new events are scheduled through
+//! the [`Ctx`] (the queue itself cannot be borrowed while the handler runs,
+//! so `Ctx` buffers the new events and the engine drains the buffer after
+//! each handler returns — preserving FIFO order at equal timestamps).
+
+use crate::queue::EventQueue;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::Trace;
+
+/// The type of a scheduled event handler.
+pub type EventFn<S> = Box<dyn FnOnce(&mut S, &mut Ctx<S>)>;
+
+/// Handler-side view of the engine: the current time, the RNG, the trace,
+/// and a buffer for newly scheduled events.
+pub struct Ctx<'a, S> {
+    now: SimTime,
+    rng: &'a mut SimRng,
+    trace: &'a mut Trace,
+    pending: Vec<(SimTime, EventFn<S>)>,
+    stop_requested: bool,
+}
+
+impl<'a, S> Ctx<'a, S> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The engine's deterministic RNG.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// The engine's trace buffer.
+    pub fn trace(&mut self) -> &mut Trace {
+        self.trace
+    }
+
+    /// Schedule `f` to run at absolute time `at`. Times in the past clamp
+    /// to "now" (they run after all other events already queued for now).
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F)
+    where
+        F: FnOnce(&mut S, &mut Ctx<S>) + 'static,
+    {
+        let at = at.max(self.now);
+        self.pending.push((at, Box::new(f)));
+    }
+
+    /// Schedule `f` to run `delay` after now.
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, f: F)
+    where
+        F: FnOnce(&mut S, &mut Ctx<S>) + 'static,
+    {
+        self.schedule_at(self.now + delay, f);
+    }
+
+    /// Ask the engine to stop after the current handler returns. Pending
+    /// events stay queued (useful for "measure for T seconds then stop"
+    /// experiment drivers).
+    pub fn request_stop(&mut self) {
+        self.stop_requested = true;
+    }
+}
+
+/// A deterministic discrete-event simulation engine over world state `S`.
+pub struct Engine<S> {
+    state: S,
+    now: SimTime,
+    queue: EventQueue<EventFn<S>>,
+    rng: SimRng,
+    trace: Trace,
+    executed: u64,
+    stopped: bool,
+}
+
+impl<S> Engine<S> {
+    /// A new engine at t=0 with a fixed default seed. Use
+    /// [`Engine::with_seed`] for experiments that sweep seeds.
+    pub fn new(state: S) -> Self {
+        Self::with_seed(state, 0x5eed_50da)
+    }
+
+    /// A new engine at t=0 whose RNG is seeded with `seed`.
+    pub fn with_seed(state: S, seed: u64) -> Self {
+        Engine {
+            state,
+            now: SimTime::ZERO,
+            queue: EventQueue::with_capacity(1024),
+            rng: SimRng::new(seed),
+            trace: Trace::disabled(),
+            executed: 0,
+            stopped: false,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Shared access to the world.
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// Exclusive access to the world (for setup and for reading metrics
+    /// out between runs).
+    pub fn state_mut(&mut self) -> &mut S {
+        &mut self.state
+    }
+
+    /// Consume the engine, returning the world.
+    pub fn into_state(self) -> S {
+        self.state
+    }
+
+    /// The engine RNG (e.g. to derive workload seeds during setup).
+    pub fn rng_mut(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Enable event tracing with the given capacity.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Trace::enabled(capacity);
+    }
+
+    /// The trace buffer.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still queued.
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if a handler called [`Ctx::request_stop`].
+    pub fn is_stopped(&self) -> bool {
+        self.stopped
+    }
+
+    /// Clear a previous stop request so the engine can be driven further.
+    pub fn clear_stop(&mut self) {
+        self.stopped = false;
+    }
+
+    /// Schedule `f` at absolute time `at` (clamped to now if in the past).
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F)
+    where
+        F: FnOnce(&mut S, &mut Ctx<S>) + 'static,
+    {
+        let at = at.max(self.now);
+        self.queue.push(at, Box::new(f));
+    }
+
+    /// Schedule `f` to run `delay` after the current time.
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, f: F)
+    where
+        F: FnOnce(&mut S, &mut Ctx<S>) + 'static,
+    {
+        self.schedule_at(self.now + delay, f);
+    }
+
+    /// Schedule `f` to run every `period` starting at `start`, until it
+    /// returns `false` or the clock reaches `end`. Periods must be
+    /// positive. This is the sampling-loop helper the "versus time"
+    /// experiments use.
+    pub fn schedule_periodic<F>(&mut self, start: SimTime, period: SimDuration, end: SimTime, f: F)
+    where
+        F: FnMut(&mut S, &mut Ctx<S>) -> bool + 'static,
+    {
+        assert!(!period.is_zero(), "periodic events need a positive period");
+        fn arm<S, F>(period: SimDuration, end: SimTime, mut f: F) -> EventFn<S>
+        where
+            F: FnMut(&mut S, &mut Ctx<S>) -> bool + 'static,
+        {
+            Box::new(move |s: &mut S, ctx: &mut Ctx<S>| {
+                if ctx.now() >= end {
+                    return;
+                }
+                if f(s, ctx) {
+                    let next = ctx.now() + period;
+                    if next < end {
+                        let ev = arm(period, end, f);
+                        ctx.pending.push((next, ev));
+                    }
+                }
+            })
+        }
+        let at = start.max(self.now);
+        self.queue.push(at, arm(period, end, f));
+    }
+
+    /// Execute the single earliest event. Returns `false` if the queue was
+    /// empty or a stop was requested.
+    pub fn step(&mut self) -> bool {
+        if self.stopped {
+            return false;
+        }
+        let Some((time, event)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(time >= self.now, "event queue went back in time");
+        self.now = time;
+        let mut ctx = Ctx {
+            now: time,
+            rng: &mut self.rng,
+            trace: &mut self.trace,
+            pending: Vec::new(),
+            stop_requested: false,
+        };
+        event(&mut self.state, &mut ctx);
+        let Ctx { pending, stop_requested, .. } = ctx;
+        for (at, f) in pending {
+            self.queue.push(at, f);
+        }
+        self.stopped = stop_requested;
+        self.executed += 1;
+        true
+    }
+
+    /// Run until the queue drains or a stop is requested.
+    pub fn run_to_completion(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run every event with timestamp `<= until`, then set the clock to
+    /// `until` (even if the queue drained earlier). Events strictly after
+    /// `until` remain queued.
+    pub fn run_until(&mut self, until: SimTime) {
+        loop {
+            match self.queue.peek_time() {
+                Some(t) if t <= until => {
+                    if !self.step() {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        if !self.stopped && self.now < until {
+            self.now = until;
+        }
+    }
+
+    /// Run for `dur` of simulated time from the current clock.
+    pub fn run_for(&mut self, dur: SimDuration) {
+        let until = self.now + dur;
+        self.run_until(until);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct W {
+        log: Vec<u32>,
+    }
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut e = Engine::new(W::default());
+        e.schedule_in(SimDuration::from_millis(20), |w: &mut W, _| w.log.push(2));
+        e.schedule_in(SimDuration::from_millis(10), |w: &mut W, _| w.log.push(1));
+        e.schedule_in(SimDuration::from_millis(30), |w: &mut W, _| w.log.push(3));
+        e.run_to_completion();
+        assert_eq!(e.state().log, vec![1, 2, 3]);
+        assert_eq!(e.events_executed(), 3);
+        assert_eq!(e.now().as_millis(), 30);
+    }
+
+    #[test]
+    fn handlers_can_schedule_followups() {
+        let mut e = Engine::new(W::default());
+        e.schedule_in(SimDuration::from_secs(1), |w: &mut W, ctx| {
+            w.log.push(1);
+            ctx.schedule_in(SimDuration::from_secs(1), |w: &mut W, ctx| {
+                w.log.push(2);
+                ctx.schedule_in(SimDuration::from_secs(1), |w: &mut W, _| {
+                    w.log.push(3);
+                });
+            });
+        });
+        e.run_to_completion();
+        assert_eq!(e.state().log, vec![1, 2, 3]);
+        assert_eq!(e.now().as_millis(), 3000);
+    }
+
+    #[test]
+    fn run_until_stops_at_boundary_and_advances_clock() {
+        let mut e = Engine::new(W::default());
+        for i in 1..=10u64 {
+            e.schedule_at(SimTime::from_secs(i), move |w: &mut W, _| {
+                w.log.push(i as u32);
+            });
+        }
+        e.run_until(SimTime::from_secs(4));
+        assert_eq!(e.state().log, vec![1, 2, 3, 4]);
+        assert_eq!(e.now(), SimTime::from_secs(4));
+        assert_eq!(e.events_pending(), 6);
+        // The clock still advances to the horizon when nothing fires.
+        e.run_until(SimTime::from_secs(4));
+        assert_eq!(e.now(), SimTime::from_secs(4));
+        e.run_to_completion();
+        assert_eq!(e.state().log.len(), 10);
+    }
+
+    #[test]
+    fn request_stop_halts_engine_but_keeps_queue() {
+        let mut e = Engine::new(W::default());
+        e.schedule_in(SimDuration::from_secs(1), |w: &mut W, ctx| {
+            w.log.push(1);
+            ctx.request_stop();
+        });
+        e.schedule_in(SimDuration::from_secs(2), |w: &mut W, _| w.log.push(2));
+        e.run_to_completion();
+        assert_eq!(e.state().log, vec![1]);
+        assert!(e.is_stopped());
+        assert_eq!(e.events_pending(), 1);
+        e.clear_stop();
+        e.run_to_completion();
+        assert_eq!(e.state().log, vec![1, 2]);
+    }
+
+    #[test]
+    fn past_schedules_clamp_to_now() {
+        let mut e = Engine::new(W::default());
+        e.schedule_in(SimDuration::from_secs(5), |w: &mut W, ctx| {
+            w.log.push(1);
+            // Deliberately "in the past": clamps to now.
+            ctx.schedule_at(SimTime::ZERO, |w: &mut W, _| w.log.push(2));
+        });
+        e.run_to_completion();
+        assert_eq!(e.state().log, vec![1, 2]);
+        assert_eq!(e.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn same_time_followups_run_after_earlier_same_time_events() {
+        let mut e = Engine::new(W::default());
+        e.schedule_at(SimTime::from_secs(1), |w: &mut W, ctx| {
+            w.log.push(1);
+            ctx.schedule_at(ctx.now(), |w: &mut W, _| w.log.push(3));
+        });
+        e.schedule_at(SimTime::from_secs(1), |w: &mut W, _| w.log.push(2));
+        e.run_to_completion();
+        assert_eq!(e.state().log, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn periodic_fires_until_end() {
+        let mut e = Engine::new(W::default());
+        e.schedule_periodic(
+            SimTime::from_secs(1),
+            SimDuration::from_secs(2),
+            SimTime::from_secs(10),
+            |w: &mut W, _| {
+                w.log.push(1);
+                true
+            },
+        );
+        e.run_to_completion();
+        // Fires at t = 1, 3, 5, 7, 9.
+        assert_eq!(e.state().log.len(), 5);
+        assert_eq!(e.now(), SimTime::from_secs(9));
+    }
+
+    #[test]
+    fn periodic_stops_when_callback_returns_false() {
+        let mut e = Engine::new(W::default());
+        e.schedule_periodic(
+            SimTime::ZERO,
+            SimDuration::from_secs(1),
+            SimTime::from_secs(100),
+            |w: &mut W, _| {
+                w.log.push(1);
+                w.log.len() < 3
+            },
+        );
+        e.run_to_completion();
+        assert_eq!(e.state().log.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive period")]
+    fn periodic_zero_period_panics() {
+        let mut e = Engine::new(W::default());
+        e.schedule_periodic(SimTime::ZERO, SimDuration::ZERO, SimTime::from_secs(1), |_: &mut W, _| true);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trajectory() {
+        fn run(seed: u64) -> Vec<u32> {
+            let mut e = Engine::with_seed(W::default(), seed);
+            for _ in 0..50 {
+                e.schedule_in(SimDuration::from_millis(1), |w: &mut W, ctx| {
+                    let v = ctx.rng().range_u64(0..1000) as u32;
+                    w.log.push(v);
+                    let d = SimDuration::from_micros(ctx.rng().range_u64(1..500));
+                    ctx.schedule_in(d, move |w: &mut W, _| w.log.push(v + 1));
+                });
+            }
+            e.run_to_completion();
+            e.into_state().log
+        }
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

@@ -1,0 +1,59 @@
+//! # soda-sim
+//!
+//! Deterministic discrete-event simulation (DES) engine underpinning the
+//! SODA reproduction.
+//!
+//! The HPDC'03 SODA paper evaluates its architecture on two physical Linux
+//! hosts connected by a 100 Mbps LAN. This crate provides the substrate
+//! that replaces that testbed: a virtual clock with nanosecond resolution,
+//! a stable event queue, a seeded random-number generator with the
+//! distributions the workload generators need, and metric recorders
+//! (histograms, time series, availability trackers) used by every
+//! experiment harness.
+//!
+//! Design goals:
+//!
+//! * **Determinism** — identical seeds and inputs produce identical event
+//!   orderings and metrics, so every table and figure of the paper can be
+//!   regenerated bit-for-bit.
+//! * **Zero unsafe** — the engine is plain safe Rust.
+//! * **Engine/state separation** — [`Engine<S>`] is generic over the
+//!   simulated world `S`; events are boxed closures over `(&mut S, &mut
+//!   Ctx)`. Substrate crates (host OS, network, VMM) expose *time models*
+//!   and *advance* methods; the world crate wires them into events.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use soda_sim::{Engine, SimDuration};
+//!
+//! #[derive(Default)]
+//! struct World { ticks: u32 }
+//!
+//! let mut engine = Engine::new(World::default());
+//! engine.schedule_in(SimDuration::from_millis(10), |w: &mut World, ctx| {
+//!     w.ticks += 1;
+//!     ctx.schedule_in(SimDuration::from_millis(10), |w: &mut World, _| {
+//!         w.ticks += 1;
+//!     });
+//! });
+//! engine.run_to_completion();
+//! assert_eq!(engine.state().ticks, 2);
+//! assert_eq!(engine.now().as_millis(), 20);
+//! ```
+
+pub mod engine;
+pub mod metrics;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use engine::{Ctx, Engine, EventFn};
+pub use metrics::{Availability, Counter, Histogram, Summary, TimeSeries, WindowedMean};
+pub use queue::EventQueue;
+pub use rng::{SimRng, Zipf};
+pub use stats::{linear_fit, mean_ci95, LinearFit, MeanCi};
+pub use time::{SimDuration, SimTime};
+pub use trace::{Trace, TraceEvent};

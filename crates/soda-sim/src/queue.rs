@@ -1,0 +1,184 @@
+//! Stable priority event queue.
+//!
+//! A thin wrapper over [`std::collections::BinaryHeap`] that orders events
+//! by `(time, sequence-number)`, so that two events scheduled for the same
+//! instant fire in the order they were scheduled. FIFO tie-breaking is what
+//! keeps the simulation deterministic: `BinaryHeap` alone makes no ordering
+//! promise for equal keys.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of events with stable FIFO ordering at equal
+/// timestamps.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// An empty queue with pre-allocated capacity (avoids re-allocation in
+    /// hot scheduling loops; see the perf-book guidance on `Vec` growth).
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue { heap: BinaryHeap::with_capacity(cap), next_seq: 0 }
+    }
+
+    /// Push an event to fire at `time`. Events pushed for the same instant
+    /// pop in push order.
+    pub fn push(&mut self, time: SimTime, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.payload))
+    }
+
+    /// The timestamp of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True iff no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drop every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+    use proptest::prelude::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), "c");
+        q.push(t(10), "a");
+        q.push(t(20), "b");
+        assert_eq!(q.pop(), Some((t(10), "a")));
+        assert_eq!(q.pop(), Some((t(20), "b")));
+        assert_eq!(q.pop(), Some((t(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(5), i)));
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(t(7), ());
+        assert_eq!(q.peek_time(), Some(t(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    proptest! {
+        /// Popping yields a non-decreasing time sequence, and FIFO order
+        /// among entries with equal timestamps.
+        #[test]
+        fn prop_pop_order(times in proptest::collection::vec(0u64..50, 0..200)) {
+            let mut q = EventQueue::new();
+            for (i, &ns) in times.iter().enumerate() {
+                q.push(t(ns), i);
+            }
+            let mut last: Option<(SimTime, usize)> = None;
+            while let Some((time, idx)) = q.pop() {
+                if let Some((lt, lidx)) = last {
+                    prop_assert!(time >= lt);
+                    if time == lt {
+                        prop_assert!(idx > lidx, "FIFO violated at equal time");
+                    }
+                }
+                last = Some((time, idx));
+            }
+        }
+
+        /// len tracks pushes and pops exactly.
+        #[test]
+        fn prop_len(times in proptest::collection::vec(0u64..1000, 0..100)) {
+            let mut q = EventQueue::new();
+            for &ns in &times {
+                q.push(t(ns), ());
+            }
+            prop_assert_eq!(q.len(), times.len());
+            let mut popped = 0usize;
+            while q.pop().is_some() {
+                popped += 1;
+            }
+            prop_assert_eq!(popped, times.len());
+        }
+    }
+}

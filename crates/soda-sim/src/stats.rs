@@ -1,0 +1,161 @@
+//! Small statistics toolkit for experiment analysis: simple linear
+//! regression (the download-linearity check), normal-approximation
+//! confidence intervals, and comparison helpers used by the shape
+//! assertions.
+
+/// Result of an ordinary least-squares fit `y = slope·x + intercept`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearFit {
+    /// Slope.
+    pub slope: f64,
+    /// Intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]`.
+    pub r2: f64,
+}
+
+/// Least-squares fit over paired samples. Returns `None` with fewer than
+/// two points or zero variance in `x`.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let syy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    Some(LinearFit { slope, intercept, r2 })
+}
+
+/// A mean with a normal-approximation confidence half-width.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MeanCi {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the interval (± this).
+    pub half_width: f64,
+}
+
+impl MeanCi {
+    /// True iff `other`'s interval overlaps this one — the "approximately
+    /// the same response time" test of Figure 4.
+    pub fn overlaps(&self, other: &MeanCi) -> bool {
+        (self.mean - other.mean).abs() <= self.half_width + other.half_width
+    }
+}
+
+/// 95% confidence interval of the mean (z = 1.96; fine for the sample
+/// sizes the experiments produce). Returns `None` for empty input.
+pub fn mean_ci95(xs: &[f64]) -> Option<MeanCi> {
+    if xs.is_empty() {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    if xs.len() == 1 {
+        return Some(MeanCi { mean, half_width: 0.0 });
+    }
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    Some(MeanCi { mean, half_width: 1.96 * (var / n).sqrt() })
+}
+
+/// Relative difference `|a - b| / max(|a|, |b|)`; 0 for two zeros.
+pub fn rel_diff(a: f64, b: f64) -> f64 {
+    let m = a.abs().max(b.abs());
+    if m == 0.0 {
+        0.0
+    } else {
+        (a - b).abs() / m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fits_exact_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [3.0, 5.0, 7.0, 9.0]; // y = 2x + 1
+        let f = linear_fit(&xs, &ys).unwrap();
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 1.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_degrades_with_noise() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let clean: Vec<f64> = xs.iter().map(|x| 3.0 * x).collect();
+        let noisy: Vec<f64> =
+            xs.iter().enumerate().map(|(i, x)| 3.0 * x + if i % 2 == 0 { 20.0 } else { -20.0 }).collect();
+        let fc = linear_fit(&xs, &clean).unwrap();
+        let fnz = linear_fit(&xs, &noisy).unwrap();
+        assert!(fc.r2 > fnz.r2);
+        assert!(fnz.r2 > 0.5);
+    }
+
+    #[test]
+    fn degenerate_fits() {
+        assert!(linear_fit(&[1.0], &[2.0]).is_none());
+        assert!(linear_fit(&[1.0, 1.0], &[2.0, 3.0]).is_none(), "zero x variance");
+        assert!(linear_fit(&[1.0, 2.0], &[1.0, 2.0, 3.0]).is_none(), "length mismatch");
+        // Constant y: perfect fit with slope 0.
+        let f = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.r2, 1.0);
+    }
+
+    #[test]
+    fn ci_behaviour() {
+        assert!(mean_ci95(&[]).is_none());
+        let one = mean_ci95(&[4.2]).unwrap();
+        assert_eq!(one.mean, 4.2);
+        assert_eq!(one.half_width, 0.0);
+        let xs: Vec<f64> = (0..100).map(|i| 10.0 + (i % 5) as f64).collect();
+        let ci = mean_ci95(&xs).unwrap();
+        assert!((ci.mean - 12.0).abs() < 1e-9);
+        assert!(ci.half_width > 0.0 && ci.half_width < 1.0);
+    }
+
+    #[test]
+    fn overlap_semantics() {
+        let a = MeanCi { mean: 10.0, half_width: 1.0 };
+        let b = MeanCi { mean: 11.5, half_width: 1.0 };
+        let c = MeanCi { mean: 20.0, half_width: 1.0 };
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn rel_diff_cases() {
+        assert_eq!(rel_diff(0.0, 0.0), 0.0);
+        assert!((rel_diff(10.0, 11.0) - 1.0 / 11.0).abs() < 1e-12);
+        assert_eq!(rel_diff(-5.0, 5.0), 2.0);
+    }
+
+    proptest! {
+        /// The fitted line minimises residuals at least as well as the
+        /// flat line through the mean (r2 >= 0 by construction).
+        #[test]
+        fn prop_r2_in_unit_interval(
+            pts in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 2..50)
+        ) {
+            let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
+            if let Some(f) = linear_fit(&xs, &ys) {
+                prop_assert!((-1e-9..=1.0 + 1e-9).contains(&f.r2));
+            }
+        }
+    }
+}

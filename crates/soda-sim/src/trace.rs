@@ -1,0 +1,157 @@
+//! Bounded event trace.
+//!
+//! A ring buffer of `(time, category, message)` records that experiment
+//! drivers and the SODA entities write to when tracing is enabled. The
+//! buffer is bounded so long simulations cannot exhaust memory, and
+//! recording is a no-op when disabled so hot paths pay only a branch.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// One trace record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When the record was written.
+    pub time: SimTime,
+    /// Free-form category tag, e.g. `"master"`, `"daemon"`, `"switch"`.
+    pub category: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.time, self.category, self.message)
+    }
+}
+
+/// A bounded in-memory trace.
+#[derive(Debug)]
+pub struct Trace {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A trace that records nothing.
+    pub fn disabled() -> Self {
+        Trace { buf: VecDeque::new(), capacity: 0, enabled: false, dropped: 0 }
+    }
+
+    /// A trace that keeps the most recent `capacity` records.
+    pub fn enabled(capacity: usize) -> Self {
+        Trace {
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            capacity: capacity.max(1),
+            enabled: true,
+            dropped: 0,
+        }
+    }
+
+    /// True if records are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Write a record (no-op when disabled). Oldest records are evicted
+    /// once `capacity` is reached.
+    pub fn emit(&mut self, time: SimTime, category: &'static str, message: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(TraceEvent { time, category, message: message.into() });
+    }
+
+    /// All retained records, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Retained records in a given category.
+    pub fn in_category<'a>(
+        &'a self,
+        category: &'a str,
+    ) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.buf.iter().filter(move |e| e.category == category)
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True iff nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Number of records evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Trace::disabled();
+        t.emit(SimTime::ZERO, "x", "hello");
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_keeps_records_in_order() {
+        let mut t = Trace::enabled(10);
+        t.emit(SimTime::from_secs(1), "a", "one");
+        t.emit(SimTime::from_secs(2), "b", "two");
+        let msgs: Vec<&str> = t.events().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, vec!["one", "two"]);
+        assert_eq!(t.len(), 2);
+        assert!(t.is_enabled());
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut t = Trace::enabled(3);
+        for i in 0..5 {
+            t.emit(SimTime::from_secs(i), "c", format!("m{i}"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let msgs: Vec<&str> = t.events().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, vec!["m2", "m3", "m4"]);
+    }
+
+    #[test]
+    fn category_filter() {
+        let mut t = Trace::enabled(10);
+        t.emit(SimTime::ZERO, "master", "admit");
+        t.emit(SimTime::ZERO, "daemon", "boot");
+        t.emit(SimTime::ZERO, "master", "switch");
+        assert_eq!(t.in_category("master").count(), 2);
+        assert_eq!(t.in_category("daemon").count(), 1);
+        assert_eq!(t.in_category("agent").count(), 0);
+    }
+
+    #[test]
+    fn display_format() {
+        let e = TraceEvent {
+            time: SimTime::from_secs(1),
+            category: "switch",
+            message: "forward".into(),
+        };
+        assert_eq!(e.to_string(), "[1.000s] switch: forward");
+    }
+}

@@ -1,0 +1,169 @@
+//! The guest OS instance.
+//!
+//! A running UML presents a complete Linux to the ASP: its own kernel
+//! banner, its own root account, its own process table view (Figure 3's
+//! side-by-side `ps -ef`), its own service list. The ASP has full
+//! administrator privilege *inside* the guest — administration isolation
+//! (§2.1): "the root that runs ghttpd is the root of the guest OS, not
+//! the host OS".
+
+use std::collections::BTreeSet;
+
+use soda_hostos::process::{Pid, ProcessTable, Uid};
+
+use crate::sysservices::{ServiceCatalog, SystemServiceId};
+
+/// A booted guest operating system.
+#[derive(Clone, Debug)]
+pub struct GuestOs {
+    /// Guest hostname (e.g. `"Web"` or `"Honeypot"` in Figure 3).
+    pub hostname: String,
+    /// Kernel version string — the testbed ran UML kernel 2.4.19.
+    pub kernel_version: &'static str,
+    /// Host-side uid all of this guest's processes bear.
+    pub uid: Uid,
+    /// System services running inside the guest.
+    running_services: BTreeSet<SystemServiceId>,
+}
+
+impl GuestOs {
+    /// Boot banner components matching the paper's screenshot.
+    pub const BANNER: &'static str = "Welcome to SODA";
+    /// The guest kernel the prototype used.
+    pub const KERNEL: &'static str = "2.4.19";
+
+    /// A freshly booted guest with the given retained services.
+    pub fn boot(
+        hostname: impl Into<String>,
+        uid: Uid,
+        services: BTreeSet<SystemServiceId>,
+    ) -> Self {
+        GuestOs {
+            hostname: hostname.into(),
+            kernel_version: Self::KERNEL,
+            uid,
+            running_services: services,
+        }
+    }
+
+    /// The login banner as the console would print it (Figure 3).
+    pub fn login_banner(&self) -> String {
+        format!("{}\nKernel {} on a i686\n{} login:", Self::BANNER, self.kernel_version, self.hostname)
+    }
+
+    /// Spawn the init-time processes of this guest into the host process
+    /// table (kernel threads + one process per running service), naming
+    /// them by their catalog entries. Returns the spawned pids.
+    pub fn spawn_initial_processes(
+        &self,
+        table: &mut ProcessTable,
+        catalog: &ServiceCatalog,
+    ) -> Vec<Pid> {
+        let mut pids = Vec::new();
+        // UML kernel threads, as visible in the Figure 3 screenshot.
+        for kthread in ["init", "[kswapd]", "[bdflush]", "[kupdated]"] {
+            pids.push(table.spawn(self.uid, kthread));
+        }
+        for id in &self.running_services {
+            if let Some(svc) = catalog.get(*id) {
+                // init is already present as the guest's pid-1 thread.
+                if svc.name != "init" {
+                    pids.push(table.spawn(self.uid, svc.name));
+                }
+            }
+        }
+        pids
+    }
+
+    /// The guest's own `ps -ef`: only processes bearing its uid.
+    pub fn ps<'a>(&self, table: &'a ProcessTable) -> Vec<&'a str> {
+        table.ps_uid(self.uid).map(|p| p.command.as_str()).collect()
+    }
+
+    /// Is a given system service running in this guest?
+    pub fn is_running(&self, id: SystemServiceId) -> bool {
+        self.running_services.contains(&id)
+    }
+
+    /// Number of running system services.
+    pub fn service_count(&self) -> usize {
+        self.running_services.len()
+    }
+
+    /// Stop a service inside the guest (ASP administration: the ASP has
+    /// root here). Returns whether it was running.
+    pub fn stop_service(&mut self, id: SystemServiceId) -> bool {
+        self.running_services.remove(&id)
+    }
+
+    /// Start a service inside the guest.
+    pub fn start_service(&mut self, id: SystemServiceId) {
+        self.running_services.insert(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> ServiceCatalog {
+        ServiceCatalog::standard()
+    }
+
+    fn guest(name: &str, uid: u32, req: &[&str]) -> GuestOs {
+        let c = catalog();
+        GuestOs::boot(name, Uid(uid), c.closure(req))
+    }
+
+    #[test]
+    fn banner_matches_screenshot() {
+        let g = guest("Web", 100, &["httpd"]);
+        let banner = g.login_banner();
+        assert!(banner.contains("Welcome to SODA"));
+        assert!(banner.contains("Kernel 2.4.19 on a i686"));
+        assert!(banner.contains("Web login:"));
+    }
+
+    #[test]
+    fn two_guests_have_isolated_process_views() {
+        // The Figure 3 demonstration: web and honeypot guests coexist,
+        // each sees only its own processes.
+        let c = catalog();
+        let web = guest("Web", 100, &["httpd"]);
+        let honeypot = guest("Honeypot", 101, &["ghttpd"]);
+        let mut table = ProcessTable::new();
+        web.spawn_initial_processes(&mut table, &c);
+        honeypot.spawn_initial_processes(&mut table, &c);
+        let web_ps = web.ps(&table);
+        let hp_ps = honeypot.ps(&table);
+        assert!(web_ps.contains(&"httpd"));
+        assert!(!web_ps.contains(&"ghttpd"), "web guest must not see honeypot procs");
+        assert!(hp_ps.contains(&"ghttpd"));
+        assert!(!hp_ps.contains(&"httpd"));
+        // Both show UML kernel threads.
+        assert!(web_ps.contains(&"[kswapd]"));
+        assert!(hp_ps.contains(&"[kswapd]"));
+        // The host sees everything.
+        assert_eq!(table.ps_all().count(), web_ps.len() + hp_ps.len());
+    }
+
+    #[test]
+    fn service_lifecycle_inside_guest() {
+        let c = catalog();
+        let mut g = guest("Web", 100, &["httpd"]);
+        let httpd = c.by_name("httpd").unwrap().id;
+        assert!(g.is_running(httpd));
+        assert!(g.stop_service(httpd));
+        assert!(!g.is_running(httpd));
+        assert!(!g.stop_service(httpd), "stopping twice is false");
+        g.start_service(httpd);
+        assert!(g.is_running(httpd));
+    }
+
+    #[test]
+    fn service_count_reflects_closure() {
+        let g = guest("Web", 100, &["httpd"]);
+        // httpd + network + syslogd + init.
+        assert_eq!(g.service_count(), 4);
+    }
+}

@@ -1,0 +1,322 @@
+//! UML syscall interception cost model — Table 4's "in UML" column —
+//! and the derived application-level slowdown (Figure 6).
+//!
+//! §4.2: "A special thread is created to intercept the system calls made
+//! by all process threads of the UML, and redirect them into the host OS
+//! kernel." Mechanically (UML's "tt" mode, the 2003 implementation):
+//!
+//! 1. the guest process traps; the host stops it (`ptrace`),
+//! 2. the host context-switches to the tracing thread,
+//! 3. the tracer reads the registers, nullifies the original call and
+//!    redirects control into the guest kernel (several `ptrace`
+//!    operations, each itself a native syscall),
+//! 4. the guest kernel runs the call's work in user space and issues the
+//!    real host syscall,
+//! 5. the tracer restores and resumes the guest process (another context
+//!    switch pair).
+//!
+//! So one guest syscall costs ~4 context switches + ~4 ptrace calls +
+//! guest-kernel work + the native call — which is why Table 4 shows a
+//! 20–27× penalty. `gettimeofday` pays extra: UML virtualises time, so
+//! the guest kernel does additional bookkeeping.
+
+use soda_hostos::cpu::CpuSpec;
+use soda_hostos::syscall::{Syscall, SyscallCostModel};
+use soda_sim::SimDuration;
+
+/// UML execution mode. The 2003 prototype ran "tt" (tracing-thread)
+/// mode; UML later grew "skas" (separate kernel address space), which
+/// halves the context switching per intercepted call. Modelled as the
+/// paper's natural future-work ablation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UmlMode {
+    /// Tracing-thread mode: every guest syscall bounces through the
+    /// tracer — 4 context switches + 4 ptrace operations.
+    Tt,
+    /// Separate-kernel-address-space mode: the guest kernel runs in its
+    /// own host process; a syscall costs 2 context switches + 2 ptrace
+    /// operations.
+    Skas,
+}
+
+/// Calibrated costs of the interception path.
+///
+/// ```
+/// use soda_hostos::syscall::Syscall;
+/// use soda_vmm::intercept::InterceptCostModel;
+/// let model = InterceptCostModel::new();
+/// // Table 4's getpid row: ~26.6k cycles in UML vs ~1.1k natively.
+/// let penalty = model.penalty(Syscall::Getpid);
+/// assert!(penalty > 20.0 && penalty < 30.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct InterceptCostModel {
+    /// The native model underneath (the redirected call still executes).
+    pub native: SyscallCostModel,
+    /// One host context switch (save/restore + scheduler pass + cache
+    /// disturbance).
+    pub context_switch_cycles: u64,
+    /// Context switches per intercepted call (stop→tracer, tracer→guest
+    /// kernel, and back).
+    pub context_switches: u64,
+    /// `ptrace` operations the tracer issues per call (PEEKUSER ×2,
+    /// POKEUSER, CONT), each costing about a native trap.
+    pub ptrace_ops: u64,
+    /// Cycles of each ptrace operation.
+    pub ptrace_op_cycles: u64,
+    /// Guest-kernel work in user space per call (entry bookkeeping,
+    /// dispatch, signal checks).
+    pub guest_kernel_cycles: u64,
+    /// Extra guest-kernel work for time virtualisation on
+    /// `gettimeofday`.
+    pub time_virtualization_cycles: u64,
+}
+
+impl Default for InterceptCostModel {
+    fn default() -> Self {
+        InterceptCostModel {
+            native: SyscallCostModel::default(),
+            context_switch_cycles: 4_700,
+            context_switches: 4,
+            ptrace_ops: 4,
+            ptrace_op_cycles: 1_100,
+            guest_kernel_cycles: 2_100,
+            time_virtualization_cycles: 9_200,
+        }
+    }
+}
+
+impl InterceptCostModel {
+    /// The default calibration (reproduces Table 4's magnitudes on the
+    /// 2.6 GHz Xeon) — tt mode, as in the paper.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The model for a given UML mode. `Tt` matches [`Self::new`]; `Skas`
+    /// halves the context switches and ptrace traffic.
+    pub fn for_mode(mode: UmlMode) -> Self {
+        let mut m = Self::default();
+        if mode == UmlMode::Skas {
+            m.context_switches = 2;
+            m.ptrace_ops = 2;
+        }
+        m
+    }
+
+    /// Total cycles for one syscall issued *inside* the UML guest.
+    pub fn uml_cycles(&self, call: Syscall) -> u64 {
+        let base = self.context_switches * self.context_switch_cycles
+            + self.ptrace_ops * self.ptrace_op_cycles
+            + self.guest_kernel_cycles
+            + self.native.native_cycles(call);
+        match call {
+            Syscall::Gettimeofday => base + self.time_virtualization_cycles,
+            _ => base,
+        }
+    }
+
+    /// Wall time of one in-guest syscall on `cpu`.
+    pub fn uml_time(&self, call: Syscall, cpu: &CpuSpec) -> SimDuration {
+        cpu.cycles_to_time(self.uml_cycles(call))
+    }
+
+    /// The per-call penalty factor (UML / native) for one syscall.
+    pub fn penalty(&self, call: Syscall) -> f64 {
+        self.uml_cycles(call) as f64 / self.native.native_cycles(call) as f64
+    }
+
+    /// Application-level slowdown factors for a workload characterised by
+    /// its syscall density.
+    ///
+    /// Figure 6's point: although a single syscall is 20–27× slower in
+    /// UML, a real service spends most of its cycles in user-space work
+    /// and I/O wait, so the end-to-end slowdown is modest and roughly
+    /// constant across dataset sizes. Given a workload that performs
+    /// `user_cycles` of computation and `syscalls` kernel crossings per
+    /// request, the CPU slowdown is:
+    ///
+    /// `(user + Σ uml) / (user + Σ native)`
+    pub fn workload_slowdown(&self, user_cycles: u64, calls: &[(Syscall, u64)]) -> f64 {
+        let native: u64 =
+            calls.iter().map(|&(c, n)| n * self.native.native_cycles(c)).sum();
+        let uml: u64 = calls.iter().map(|&(c, n)| n * self.uml_cycles(c)).sum();
+        let base = user_cycles + native;
+        if base == 0 {
+            return 1.0;
+        }
+        (user_cycles + uml) as f64 / base as f64
+    }
+}
+
+/// Slow-down factors applied to a virtual service node's execution,
+/// relative to running directly on the host OS.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SlowdownFactors {
+    /// CPU-path slowdown (service-time inflation).
+    pub cpu: f64,
+    /// Network-path slowdown (the guest's packets traverse the bridge
+    /// and the tracer).
+    pub network: f64,
+}
+
+impl SlowdownFactors {
+    /// The paper's conservative engineering estimate (footnote 2: "we
+    /// set the slow-down factor to be 1.5"), used by the SODA Master for
+    /// resource inflation during admission.
+    pub const CONSERVATIVE: SlowdownFactors = SlowdownFactors { cpu: 1.5, network: 1.5 };
+
+    /// No slowdown — a service running directly on the host OS.
+    pub const NONE: SlowdownFactors = SlowdownFactors { cpu: 1.0, network: 1.0 };
+
+    /// Derive measured factors for a typical request-serving workload
+    /// from the interception model: a web-style request does parsing and
+    /// content handling in user space plus a handful of syscalls
+    /// (accept/read/write/close and a stat-like open).
+    pub fn measured_web(model: &InterceptCostModel) -> SlowdownFactors {
+        // Per request: ~2.5 M user cycles; syscalls: socket ops, reads,
+        // writes, open/close, time.
+        let calls = [
+            (Syscall::SocketOp, 3u64),
+            (Syscall::Read, 4),
+            (Syscall::Write, 6),
+            (Syscall::Open, 1),
+            (Syscall::Close, 2),
+            (Syscall::Gettimeofday, 2),
+        ];
+        let cpu = model.workload_slowdown(2_500_000, &calls);
+        // Network path: one extra copy + tracer crossing per packet,
+        // amortised — empirically close to the CPU-path factor.
+        SlowdownFactors { cpu, network: 1.0 + (cpu - 1.0) * 0.8 }
+    }
+
+    /// Inflate a service time by the CPU factor.
+    pub fn inflate_cpu(&self, d: SimDuration) -> SimDuration {
+        d.mul_f64(self.cpu)
+    }
+
+    /// Inflate a transmission time by the network factor.
+    pub fn inflate_network(&self, d: SimDuration) -> SimDuration {
+        d.mul_f64(self.network)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_uml_magnitudes() {
+        let m = InterceptCostModel::new();
+        // Paper (cycles): dup2 27276, getpid 26648, geteuid 26904,
+        // mmap 27864, mmap_munmap 27044, gettimeofday 37004.
+        let within = |got: u64, paper: u64| {
+            let rel = (got as f64 - paper as f64).abs() / paper as f64;
+            assert!(rel < 0.15, "got {got}, paper {paper} ({:.1}% off)", rel * 100.0);
+        };
+        within(m.uml_cycles(Syscall::Dup2), 27_276);
+        within(m.uml_cycles(Syscall::Getpid), 26_648);
+        within(m.uml_cycles(Syscall::Geteuid), 26_904);
+        within(m.uml_cycles(Syscall::Mmap), 27_864);
+        within(m.uml_cycles(Syscall::MmapMunmap), 27_044);
+        within(m.uml_cycles(Syscall::Gettimeofday), 37_004);
+    }
+
+    #[test]
+    fn penalty_factor_in_paper_band() {
+        // Paper penalties run ~20×–27× for the Table 4 calls.
+        let m = InterceptCostModel::new();
+        for call in Syscall::TABLE4 {
+            let p = m.penalty(call);
+            assert!((15.0..35.0).contains(&p), "{call:?} penalty {p}");
+        }
+    }
+
+    #[test]
+    fn gettimeofday_is_worst_in_uml() {
+        let m = InterceptCostModel::new();
+        let g = m.uml_cycles(Syscall::Gettimeofday);
+        for call in Syscall::TABLE4 {
+            assert!(m.uml_cycles(call) <= g, "{call:?}");
+        }
+    }
+
+    #[test]
+    fn uml_time_scales_with_clock() {
+        let m = InterceptCostModel::new();
+        let fast = m.uml_time(Syscall::Getpid, &CpuSpec::seattle());
+        let slow = m.uml_time(Syscall::Getpid, &CpuSpec::tacoma());
+        assert!(slow > fast);
+        // ~26 k cycles at 2.6 GHz ≈ 10 µs.
+        assert!((8..14).contains(&fast.as_micros()), "{fast}");
+    }
+
+    #[test]
+    fn workload_slowdown_is_modest() {
+        // Figure 6: app-level slowdown ≪ the syscall-level 20×.
+        let m = InterceptCostModel::new();
+        let f = SlowdownFactors::measured_web(&m);
+        assert!(f.cpu > 1.05, "must show some slowdown: {}", f.cpu);
+        assert!(f.cpu < 1.6, "must be far below 20×: {}", f.cpu);
+        assert!(f.network >= 1.0 && f.network <= f.cpu);
+    }
+
+    #[test]
+    fn workload_slowdown_edge_cases() {
+        let m = InterceptCostModel::new();
+        // Pure user-space work: no slowdown.
+        assert_eq!(m.workload_slowdown(1_000_000, &[]), 1.0);
+        // Empty workload: defined as 1.0.
+        assert_eq!(m.workload_slowdown(0, &[]), 1.0);
+        // Pure syscall workload: approaches the per-call penalty.
+        let f = m.workload_slowdown(0, &[(Syscall::Getpid, 100)]);
+        assert!((f - m.penalty(Syscall::Getpid)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conservative_constant_matches_footnote2() {
+        assert_eq!(SlowdownFactors::CONSERVATIVE.cpu, 1.5);
+        assert_eq!(SlowdownFactors::CONSERVATIVE.network, 1.5);
+        assert_eq!(SlowdownFactors::NONE.cpu, 1.0);
+    }
+
+    #[test]
+    fn inflation_applies_factor() {
+        let f = SlowdownFactors { cpu: 1.5, network: 1.2 };
+        assert_eq!(f.inflate_cpu(SimDuration::from_millis(100)).as_millis(), 150);
+        assert_eq!(f.inflate_network(SimDuration::from_millis(100)).as_millis(), 120);
+        let none = SlowdownFactors::NONE;
+        assert_eq!(none.inflate_cpu(SimDuration::from_millis(100)).as_millis(), 100);
+    }
+
+    #[test]
+    fn skas_mode_roughly_halves_the_penalty() {
+        let tt = InterceptCostModel::for_mode(UmlMode::Tt);
+        let skas = InterceptCostModel::for_mode(UmlMode::Skas);
+        for call in Syscall::TABLE4 {
+            let pt = tt.penalty(call);
+            let ps = skas.penalty(call);
+            // gettimeofday keeps its time-virtualisation cost, so the
+            // reduction is bounded by ~0.7 there and ~0.56 elsewhere.
+            assert!(ps < pt * 0.7, "{call:?}: skas {ps} vs tt {pt}");
+            assert!(ps > 5.0, "{call:?}: skas still pays interception: {ps}");
+        }
+        // And the app-level slowdown shrinks accordingly.
+        let ft = SlowdownFactors::measured_web(&tt).cpu;
+        let fs = SlowdownFactors::measured_web(&skas).cpu;
+        assert!(fs < ft);
+        assert!(fs > 1.0);
+    }
+
+    #[test]
+    fn measured_slowdown_flat_across_work_scale() {
+        // Scaling the per-request dataset (more user cycles AND more
+        // write syscalls proportionally) keeps the factor roughly
+        // constant — Figure 6's "remains approximately the same under
+        // different dataset sizes".
+        let m = InterceptCostModel::new();
+        let small = m.workload_slowdown(2_000_000, &[(Syscall::Write, 5), (Syscall::Read, 3)]);
+        let large = m.workload_slowdown(20_000_000, &[(Syscall::Write, 50), (Syscall::Read, 30)]);
+        assert!((small - large).abs() < 0.05, "small {small} vs large {large}");
+    }
+}

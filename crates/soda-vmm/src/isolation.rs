@@ -1,0 +1,129 @@
+//! Fault/attack isolation — blast-radius model.
+//!
+//! §2.1's ghttpd example: a buffer-overflow in the honeypot's web server
+//! gives the attacker a root shell. "With SODA, since the root that runs
+//! ghttpd is the root of the *guest OS*, not the host OS, the attack
+//! will *not* affect the host OS as well as other services." The
+//! counterfactual — all services running directly at host-OS level — is
+//! what SODA avoids: there, the same exploit owns the host and every
+//! co-hosted service.
+//!
+//! This module computes the blast radius of a fault or compromise given
+//! how a service executes. The attack-isolation experiment (§5) and the
+//! non-isolated baseline both drive it.
+
+/// How a service instance executes on a HUP host.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// Inside a virtual service node (a UML guest) — SODA's way.
+    GuestIsolated,
+    /// Directly on the host OS, as an ordinary root-owned daemon — the
+    /// baseline active-service way (§2.2 justification (2)).
+    HostDirect,
+}
+
+/// What went wrong.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The service process crashed (bug, resource exhaustion).
+    Crash,
+    /// A remote exploit granted the attacker the privileges of the
+    /// service's root (the ghttpd buffer overflow).
+    RootCompromise,
+}
+
+/// The computed blast radius.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Blast {
+    /// The faulting service instance itself is down.
+    pub service_down: bool,
+    /// The host OS is compromised or crashed.
+    pub host_down: bool,
+    /// Every other service on the same host is affected.
+    pub cohosted_down: bool,
+    /// The attacker holds a root that matters beyond the service.
+    pub attacker_has_host_root: bool,
+}
+
+impl Blast {
+    /// Blast radius of `fault` on a service running in `mode`.
+    pub fn of(mode: ExecutionMode, fault: FaultKind) -> Blast {
+        match (mode, fault) {
+            // SODA: the guest "jails" the impact (§3.5: it only helps to
+            // jail the impact of fault or attack within one service,
+            // not to save the service).
+            (ExecutionMode::GuestIsolated, FaultKind::Crash)
+            | (ExecutionMode::GuestIsolated, FaultKind::RootCompromise) => Blast {
+                service_down: true,
+                host_down: false,
+                cohosted_down: false,
+                attacker_has_host_root: false,
+            },
+            // Host-direct crash of a root daemon: the service dies; in
+            // the benign-crash case the host survives but shared fate is
+            // already worse (no admin isolation, shared root).
+            (ExecutionMode::HostDirect, FaultKind::Crash) => Blast {
+                service_down: true,
+                host_down: false,
+                cohosted_down: false,
+                attacker_has_host_root: false,
+            },
+            // Host-direct root compromise: the attacker owns the host —
+            // every co-hosted service falls with it.
+            (ExecutionMode::HostDirect, FaultKind::RootCompromise) => Blast {
+                service_down: true,
+                host_down: true,
+                cohosted_down: true,
+                attacker_has_host_root: true,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guest_isolation_jails_compromise() {
+        let b = Blast::of(ExecutionMode::GuestIsolated, FaultKind::RootCompromise);
+        assert!(b.service_down, "the honeypot itself does crash");
+        assert!(!b.host_down);
+        assert!(!b.cohosted_down, "the web content service is NOT affected");
+        assert!(!b.attacker_has_host_root, "attacker only owns the guest root");
+    }
+
+    #[test]
+    fn guest_isolation_jails_crash() {
+        let b = Blast::of(ExecutionMode::GuestIsolated, FaultKind::Crash);
+        assert!(b.service_down);
+        assert!(!b.cohosted_down && !b.host_down);
+    }
+
+    #[test]
+    fn host_direct_compromise_owns_everything() {
+        let b = Blast::of(ExecutionMode::HostDirect, FaultKind::RootCompromise);
+        assert!(b.service_down && b.host_down && b.cohosted_down);
+        assert!(b.attacker_has_host_root);
+    }
+
+    #[test]
+    fn host_direct_benign_crash_is_contained() {
+        let b = Blast::of(ExecutionMode::HostDirect, FaultKind::Crash);
+        assert!(b.service_down);
+        assert!(!b.host_down);
+    }
+
+    #[test]
+    fn isolation_strictly_dominates() {
+        // For every fault kind, guest isolation's blast radius is a
+        // subset of host-direct's.
+        for fault in [FaultKind::Crash, FaultKind::RootCompromise] {
+            let g = Blast::of(ExecutionMode::GuestIsolated, fault);
+            let h = Blast::of(ExecutionMode::HostDirect, fault);
+            assert!(g.host_down <= h.host_down);
+            assert!(g.cohosted_down <= h.cohosted_down);
+            assert!(g.attacker_has_host_root <= h.attacker_has_host_root);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! UML virtual device cost models.
+//!
+//! A UML guest reaches disk and network through user-space devices:
+//! `ubd` (the user-mode block device backed by the rootfs file) and the
+//! TUN/TAP ethernet device the host bridge attaches to (§3.3). Both
+//! paths multiply host syscalls: every guest block request becomes
+//! host-side `read`/`write` calls plus interception overhead, and every
+//! guest packet crosses the tracer, a TAP `read`/`write` and the bridge.
+//!
+//! These models ground the *network* half of
+//! [`crate::intercept::SlowdownFactors`]: the per-byte overhead of the
+//! virtual NIC path relative to a host-native socket.
+
+use soda_hostos::cpu::CpuSpec;
+use soda_hostos::syscall::Syscall;
+use soda_sim::SimDuration;
+
+use crate::intercept::InterceptCostModel;
+
+/// The `ubd` block-device path.
+#[derive(Clone, Debug)]
+pub struct UbdModel {
+    /// Interception model (each guest block request is a guest syscall).
+    pub intercept: InterceptCostModel,
+    /// Bytes the guest kernel batches per `ubd` request.
+    pub request_bytes: u64,
+    /// Extra copy cost per byte (guest buffer ↔ host page cache),
+    /// cycles/byte.
+    pub copy_cycles_per_byte: f64,
+}
+
+impl Default for UbdModel {
+    fn default() -> Self {
+        UbdModel {
+            intercept: InterceptCostModel::default(),
+            request_bytes: 32 * 1024,
+            copy_cycles_per_byte: 0.6,
+        }
+    }
+}
+
+impl UbdModel {
+    /// The default calibration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// CPU cycles of virtualisation overhead to move `bytes` through
+    /// `ubd` (excludes the physical disk time, which the host disk model
+    /// accounts).
+    pub fn overhead_cycles(&self, bytes: u64) -> u64 {
+        let requests = bytes.div_ceil(self.request_bytes).max(1);
+        // Per request: one intercepted syscall + the host-side I/O call.
+        let per_request = self.intercept.uml_cycles(Syscall::Read)
+            + self.intercept.native.native_cycles(Syscall::Read);
+        requests * per_request + (bytes as f64 * self.copy_cycles_per_byte) as u64
+    }
+
+    /// Wall-clock CPU overhead on `cpu`.
+    pub fn overhead_time(&self, bytes: u64, cpu: &CpuSpec) -> SimDuration {
+        cpu.cycles_to_time(self.overhead_cycles(bytes))
+    }
+}
+
+/// The TUN/TAP virtual NIC path.
+#[derive(Clone, Debug)]
+pub struct NetDevModel {
+    /// Interception model.
+    pub intercept: InterceptCostModel,
+    /// MTU — bytes per packet on the virtual wire.
+    pub mtu: u64,
+    /// Bridge forwarding cycles per packet (table lookup + queueing).
+    pub bridge_cycles: u64,
+    /// Copy cost per byte (guest buffer → TAP → bridge), cycles/byte.
+    pub copy_cycles_per_byte: f64,
+}
+
+impl Default for NetDevModel {
+    fn default() -> Self {
+        NetDevModel {
+            intercept: InterceptCostModel::default(),
+            mtu: 1500,
+            bridge_cycles: 900,
+            copy_cycles_per_byte: 0.9,
+        }
+    }
+}
+
+impl NetDevModel {
+    /// The default calibration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Virtualisation overhead cycles to transmit `bytes` from the guest
+    /// (on top of what a host-native sender pays).
+    pub fn tx_overhead_cycles(&self, bytes: u64) -> u64 {
+        let packets = bytes.div_ceil(self.mtu).max(1);
+        // Per packet: the guest's write is intercepted; the host then
+        // writes to TAP (native) and the bridge forwards.
+        let per_packet = self.intercept.uml_cycles(Syscall::Write)
+            - self.intercept.native.native_cycles(Syscall::Write) // host write is paid natively anyway
+            + self.bridge_cycles;
+        packets * per_packet + (bytes as f64 * self.copy_cycles_per_byte) as u64
+    }
+
+    /// Cycles a *host-native* sender pays for the same bytes (syscall per
+    /// packet + single copy).
+    pub fn native_tx_cycles(&self, bytes: u64) -> u64 {
+        let packets = bytes.div_ceil(self.mtu).max(1);
+        packets * self.intercept.native.native_cycles(Syscall::Write)
+            + (bytes as f64 * 0.5) as u64
+    }
+
+    /// The network slow-down factor for bulk transmission: total guest
+    /// cycles over total native cycles. This is what
+    /// [`crate::intercept::SlowdownFactors`]'s network component models.
+    pub fn tx_slowdown(&self, bytes: u64) -> f64 {
+        let native = self.native_tx_cycles(bytes);
+        if native == 0 {
+            return 1.0;
+        }
+        (native + self.tx_overhead_cycles(bytes)) as f64 / native as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ubd_overhead_scales_with_requests() {
+        let m = UbdModel::new();
+        let one = m.overhead_cycles(10_000); // 1 request
+        let many = m.overhead_cycles(320_000); // 10 requests
+        assert!(many > 8 * one && many < 16 * one, "one {one} many {many}");
+        // Even 1 byte pays a full request.
+        assert!(m.overhead_cycles(1) >= m.intercept.uml_cycles(Syscall::Read));
+    }
+
+    #[test]
+    fn ubd_time_scales_with_clock() {
+        let m = UbdModel::new();
+        let fast = m.overhead_time(1_000_000, &CpuSpec::seattle());
+        let slow = m.overhead_time(1_000_000, &CpuSpec::tacoma());
+        assert!(slow > fast);
+        // ~31 requests × ~28 k cycles + copies ≈ well under 1 ms at 2.6 GHz.
+        assert!(fast < SimDuration::from_millis(2), "{fast}");
+    }
+
+    #[test]
+    fn netdev_slowdown_is_bounded_and_flat() {
+        // The TX slow-down factor must be meaningfully above 1 but far
+        // below the syscall penalty, and roughly constant across
+        // transfer sizes (Figure 6's flatness comes from this).
+        let m = NetDevModel::new();
+        let small = m.tx_slowdown(10_000);
+        let large = m.tx_slowdown(1_000_000);
+        for f in [small, large] {
+            assert!(f > 1.5 && f < 40.0, "factor {f}");
+        }
+        assert!((small / large - 1.0).abs() < 0.35, "small {small} large {large}");
+    }
+
+    #[test]
+    fn netdev_per_packet_costs_dominate_small_packets() {
+        let m = NetDevModel::new();
+        // One MTU vs one byte: same packet count, nearly same overhead.
+        let one_byte = m.tx_overhead_cycles(1);
+        let one_mtu = m.tx_overhead_cycles(1_500);
+        assert!(one_mtu < one_byte * 2, "{one_byte} vs {one_mtu}");
+    }
+}

@@ -1,0 +1,85 @@
+//! Dataset sizes and arrival-rate schedule.
+//!
+//! Figure 4 measures mean response time "under six different dataset
+//! sizes" and "we reduce the request arrival rate with the increase in
+//! dataset size". The exact sizes are not printed in the paper; we use a
+//! geometric-ish sweep from 10 kB to 1 MB, with rates chosen to keep the
+//! service moderately loaded at every size (per-node utilisation well
+//! below saturation, so the equal-response-time property is visible).
+
+/// One sweep point: dataset size and the offered request rate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DatasetPoint {
+    /// Response body size, bytes.
+    pub dataset_bytes: u64,
+    /// Offered load, requests per second (across the whole service).
+    pub rate_rps: f64,
+}
+
+/// The Figure 4 sweep: six sizes, rate decreasing with size.
+pub const FIG4_SWEEP: [DatasetPoint; 6] = [
+    DatasetPoint { dataset_bytes: 10_000, rate_rps: 60.0 },
+    DatasetPoint { dataset_bytes: 50_000, rate_rps: 40.0 },
+    DatasetPoint { dataset_bytes: 100_000, rate_rps: 24.0 },
+    DatasetPoint { dataset_bytes: 200_000, rate_rps: 12.0 },
+    DatasetPoint { dataset_bytes: 500_000, rate_rps: 5.0 },
+    DatasetPoint { dataset_bytes: 1_000_000, rate_rps: 2.5 },
+];
+
+/// The Figure 6 sweep: same sizes, lighter load ("the service load in
+/// this experiment is lighter than in the previous experiments",
+/// footnote 6).
+pub const FIG6_SWEEP: [DatasetPoint; 6] = [
+    DatasetPoint { dataset_bytes: 10_000, rate_rps: 20.0 },
+    DatasetPoint { dataset_bytes: 50_000, rate_rps: 14.0 },
+    DatasetPoint { dataset_bytes: 100_000, rate_rps: 8.0 },
+    DatasetPoint { dataset_bytes: 200_000, rate_rps: 4.0 },
+    DatasetPoint { dataset_bytes: 500_000, rate_rps: 1.6 },
+    DatasetPoint { dataset_bytes: 1_000_000, rate_rps: 0.8 },
+];
+
+/// Offered bandwidth of a sweep point, bits per second — used to check
+/// the schedule keeps load sane.
+pub fn offered_bps(p: &DatasetPoint) -> f64 {
+    p.rate_rps * p.dataset_bytes as f64 * 8.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_points_rate_decreasing_size_increasing() {
+        for sweep in [&FIG4_SWEEP, &FIG6_SWEEP] {
+            assert_eq!(sweep.len(), 6);
+            for w in sweep.windows(2) {
+                assert!(w[1].dataset_bytes > w[0].dataset_bytes);
+                assert!(w[1].rate_rps < w[0].rate_rps, "rate must fall as size grows");
+            }
+        }
+    }
+
+    #[test]
+    fn offered_load_stays_under_service_bandwidth() {
+        // The web service has 3 M of capacity → 30 Mbps nominal. Every
+        // Figure 4 point must offer less than that (the switch spreads
+        // 2:1, so each node also stays under its own share).
+        for p in &FIG4_SWEEP {
+            assert!(
+                offered_bps(p) < 30e6 * 0.9,
+                "{}B @ {}rps offers {:.1} Mbps",
+                p.dataset_bytes,
+                p.rate_rps,
+                offered_bps(p) / 1e6
+            );
+        }
+    }
+
+    #[test]
+    fn fig6_is_lighter_than_fig4() {
+        for (a, b) in FIG4_SWEEP.iter().zip(FIG6_SWEEP.iter()) {
+            assert_eq!(a.dataset_bytes, b.dataset_bytes);
+            assert!(b.rate_rps < a.rate_rps);
+        }
+    }
+}

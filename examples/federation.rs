@@ -1,0 +1,81 @@
+//! Wide-area HUP federation (§3.5's future-work direction): several
+//! local HUPs, each with its own SODA Agent and Master, joined by WAN
+//! links. Creation requests prefer the local site and fail over to the
+//! nearest peer with capacity, paying the WAN image-shipping cost.
+//!
+//! Run with: `cargo run --example federation`
+
+use soda::core::federation::{Federation, Site, SiteId};
+use soda::core::master::SodaMaster;
+use soda::core::service::ServiceSpec;
+use soda::hostos::resources::ResourceVector;
+use soda::hup::daemon::SodaDaemon;
+use soda::hup::host::{HostId, HupHost};
+use soda::net::link::LinkSpec;
+use soda::net::pool::IpPool;
+use soda::sim::{SimDuration, SimTime};
+use soda::vmm::rootfs::RootFsCatalog;
+use soda::vmm::sysservices::StartupClass;
+
+fn site(id: u32, name: &str, hosts: u32) -> Site {
+    let daemons: Vec<SodaDaemon> = (0..hosts)
+        .map(|i| {
+            SodaDaemon::new(HupHost::seattle(
+                HostId(id * 100 + i),
+                IpPool::new(format!("10.{id}.{i}.0").parse().unwrap(), 16),
+            ))
+        })
+        .collect();
+    Site { id: SiteId(id), name: name.into(), master: SodaMaster::new(), daemons }
+}
+
+fn main() {
+    // Three university HUPs.
+    let mut federation = Federation::new(vec![
+        site(1, "purdue", 1),
+        site(2, "wisconsin", 2),
+        site(3, "berkeley", 3),
+    ]);
+    federation.connect(SiteId(1), SiteId(2), LinkSpec::wan(10.0, SimDuration::from_millis(20)));
+    federation.connect(SiteId(1), SiteId(3), LinkSpec::wan(10.0, SimDuration::from_millis(60)));
+    federation.connect(SiteId(2), SiteId(3), LinkSpec::wan(45.0, SimDuration::from_millis(45)));
+
+    let spec = |n: u32| ServiceSpec {
+        name: "e-lab".into(),
+        image: RootFsCatalog::new().base_1_0(),
+        required_services: vec!["network", "syslogd"],
+        app_class: StartupClass::Light,
+        instances: n,
+        machine: ResourceVector::TABLE1_EXAMPLE,
+        port: 8080,
+    };
+
+    println!("candidate order from purdue: {:?}", federation.candidate_sites(SiteId(1)));
+
+    // Small request: fits at the preferred site.
+    let r1 = federation.create_service(spec(2), "asp-a", SiteId(1), SimTime::ZERO).unwrap();
+    println!(
+        "<2, M> from purdue → hosted at site {:?} (wan transfer {})",
+        r1.site, r1.wan_transfer
+    );
+
+    // Larger request: purdue is now nearly full, fails over to the
+    // nearest connected peer, paying the image-shipping time.
+    let r2 = federation.create_service(spec(4), "asp-b", SiteId(1), SimTime::ZERO).unwrap();
+    println!(
+        "<4, M> from purdue → hosted at site {:?} named {:?} (wan transfer {})",
+        r2.site,
+        federation.site(r2.site).unwrap().name,
+        r2.wan_transfer
+    );
+
+    // Huge request: nothing fits anywhere.
+    match federation.create_service(spec(60), "asp-c", SiteId(1), SimTime::ZERO) {
+        Err(e) => println!("<60, M> rejected federation-wide: {e}"),
+        Ok(_) => unreachable!("no site has 60 instances"),
+    }
+
+    // Teardown at the owning site.
+    federation.teardown(r2.site, r2.reply.service).unwrap();
+    println!("service {} torn down at its owning site", r2.reply.service);
+}

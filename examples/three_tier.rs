@@ -1,0 +1,106 @@
+//! Partitionable services (§3.5 limitation 3, resolved as an extension):
+//! a three-tier shop — web frontend, application tier, database — where
+//! *different images* are mapped to different virtual service nodes,
+//! each tier with its own `<n, M>`, switch and configuration file.
+//!
+//! Run with: `cargo run --example three_tier`
+
+use soda::core::master::SodaMaster;
+use soda::core::partition::{create_partitioned_now, teardown_partitioned, route_component, PartitionId, PartitionedSpec};
+use soda::core::service::ServiceSpec;
+use soda::hostos::resources::ResourceVector;
+use soda::hup::daemon::SodaDaemon;
+use soda::hup::host::{HostId, HupHost};
+use soda::net::pool::IpPool;
+use soda::sim::{SimDuration, SimTime};
+use soda::vmm::rootfs::RootFsCatalog;
+use soda::vmm::sysservices::StartupClass;
+
+fn main() {
+    let mut master = SodaMaster::new();
+    let mut daemons = vec![
+        SodaDaemon::new(HupHost::seattle(HostId(1), IpPool::new("10.0.0.0".parse().unwrap(), 8))),
+        SodaDaemon::new(HupHost::tacoma(HostId(2), IpPool::new("10.0.1.0".parse().unwrap(), 8))),
+    ];
+    let c = RootFsCatalog::new();
+    let m = ResourceVector::TABLE1_EXAMPLE;
+    let spec = PartitionedSpec {
+        name: "shop".into(),
+        components: vec![
+            ServiceSpec {
+                name: "web".into(),
+                image: c.base_1_0(),
+                required_services: vec!["network", "syslogd"],
+                app_class: StartupClass::Light,
+                instances: 2,
+                machine: m,
+                port: 80,
+            },
+            ServiceSpec {
+                name: "app".into(),
+                image: c.custom("shop_app_fs", 25_000_000, 10_000_000, &["network", "syslogd"], false),
+                required_services: vec!["network", "syslogd"],
+                app_class: StartupClass::Heavy,
+                instances: 1,
+                machine: m,
+                port: 9000,
+            },
+            ServiceSpec {
+                name: "db".into(),
+                image: c.custom(
+                    "shop_db_fs",
+                    40_000_000,
+                    200_000_000,
+                    &["network", "syslogd", "mysqld"],
+                    false,
+                ),
+                required_services: vec!["network", "syslogd", "mysqld"],
+                app_class: StartupClass::Heavy,
+                instances: 1,
+                machine: m,
+                port: 3306,
+            },
+        ],
+    };
+
+    let part = create_partitioned_now(
+        &mut master,
+        &spec,
+        "shopco",
+        &mut daemons,
+        SimTime::ZERO,
+        PartitionId(1),
+    )
+    .expect("partition admitted");
+
+    println!("partitioned service '{}' ({}):", part.name, part.id);
+    for (name, svc) in &part.components {
+        let rec = master.service(*svc).unwrap();
+        println!(
+            "  tier {name:>4}: image {:<12} <{}, M>  config:",
+            rec.spec.image.name, rec.spec.instances
+        );
+        for line in master.switch(*svc).unwrap().config().to_string().lines() {
+            println!("      {line}");
+        }
+    }
+
+    // A user request walks web → app → db, each hop through its tier's
+    // own switch.
+    for _ in 0..6 {
+        for tier in ["web", "app", "db"] {
+            let (svc, idx) = route_component(&mut master, &part, tier).expect("healthy tier");
+            master.switch_mut(svc).unwrap().complete(idx, SimDuration::from_millis(3));
+        }
+    }
+    println!("\nafter 6 user requests (each touching all three tiers):");
+    for (name, svc) in &part.components {
+        println!(
+            "  tier {name:>4}: served per node {:?}",
+            master.switch(*svc).unwrap().served_counts()
+        );
+    }
+
+    teardown_partitioned(&mut master, &part, &mut daemons).expect("teardown");
+    println!("\npartition torn down; all slices released");
+}

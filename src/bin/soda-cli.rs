@@ -1,0 +1,233 @@
+//! `soda-cli` — drive a simulated HUP from the command line.
+//!
+//! ```text
+//! soda-cli demo
+//! soda-cli simulate [--instances N] [--dataset BYTES] [--rate RPS]
+//!                   [--secs S] [--policy wrr|rr|random|least-conn]
+//!                   [--seed SEED] [--no-shaping]
+//! soda-cli status   (creates a service, prints a monitoring snapshot)
+//! soda-cli experiments
+//! ```
+
+use std::process::ExitCode;
+
+use soda::core::monitoring;
+use soda::core::policy::{LeastConnections, RandomPolicy, RoundRobin, SwitchPolicy};
+use soda::core::service::ServiceSpec;
+use soda::core::world::{create_service_driven, SodaWorld};
+use soda::hostos::resources::ResourceVector;
+use soda::sim::{Engine, SimDuration, SimTime};
+use soda::vmm::rootfs::RootFsCatalog;
+use soda::vmm::sysservices::StartupClass;
+use soda::workload::httpgen::PoissonGenerator;
+
+struct SimulateArgs {
+    instances: u32,
+    dataset: u64,
+    rate: f64,
+    secs: u64,
+    policy: Option<String>,
+    seed: u64,
+    shaping: bool,
+}
+
+impl Default for SimulateArgs {
+    fn default() -> Self {
+        SimulateArgs {
+            instances: 3,
+            dataset: 50_000,
+            rate: 20.0,
+            secs: 60,
+            policy: None,
+            seed: 1,
+            shaping: true,
+        }
+    }
+}
+
+fn parse_simulate(args: &[String]) -> Result<SimulateArgs, String> {
+    let mut out = SimulateArgs::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--instances" => {
+                out.instances =
+                    value("--instances")?.parse().map_err(|e| format!("--instances: {e}"))?
+            }
+            "--dataset" => {
+                out.dataset = value("--dataset")?.parse().map_err(|e| format!("--dataset: {e}"))?
+            }
+            "--rate" => out.rate = value("--rate")?.parse().map_err(|e| format!("--rate: {e}"))?,
+            "--secs" => out.secs = value("--secs")?.parse().map_err(|e| format!("--secs: {e}"))?,
+            "--policy" => out.policy = Some(value("--policy")?),
+            "--seed" => out.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--no-shaping" => out.shaping = false,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+fn make_policy(name: &str, seed: u64) -> Result<Box<dyn SwitchPolicy>, String> {
+    match name {
+        "rr" => Ok(Box::new(RoundRobin::new())),
+        "random" => Ok(Box::new(RandomPolicy::new(seed))),
+        "least-conn" => Ok(Box::new(LeastConnections::new())),
+        "wrr" => Err("wrr is the default; omit --policy".into()),
+        other => Err(format!("unknown policy {other:?} (rr|random|least-conn)")),
+    }
+}
+
+fn web_spec(instances: u32) -> ServiceSpec {
+    ServiceSpec {
+        name: "web".into(),
+        image: RootFsCatalog::new().base_1_0(),
+        required_services: vec!["network", "syslogd"],
+        app_class: StartupClass::Light,
+        instances,
+        machine: ResourceVector::TABLE1_EXAMPLE,
+        port: 8080,
+    }
+}
+
+fn cmd_simulate(a: SimulateArgs) -> Result<(), String> {
+    let mut engine = Engine::with_seed(SodaWorld::testbed(), a.seed);
+    engine.state_mut().shaping_enforced = a.shaping;
+    let svc = create_service_driven(&mut engine, web_spec(a.instances), "cli")
+        .map_err(|e| format!("creation failed: {e}"))?;
+    engine.run_until(SimTime::from_secs(180));
+    if engine.state().creations.is_empty() {
+        return Err("creation did not complete within 180 s".into());
+    }
+    let created = engine.state().creations[0].clone();
+    println!(
+        "created {} node(s) in {} (download + bootstrap)",
+        created.reply.nodes.len(),
+        created.reply.creation_time
+    );
+    if let Some(name) = &a.policy {
+        let p = make_policy(name, a.seed)?;
+        engine
+            .state_mut()
+            .master
+            .switch_mut(svc)
+            .ok_or("no switch")?
+            .replace_policy(p);
+    }
+    let t0 = engine.now();
+    PoissonGenerator {
+        service: svc,
+        dataset_bytes: a.dataset,
+        rate_rps: a.rate,
+        start: t0,
+        end: t0 + SimDuration::from_secs(a.secs),
+    }
+    .start(&mut engine);
+    engine.run_until(t0 + SimDuration::from_secs(a.secs + 300));
+    let w = engine.state();
+    let sw = w.master.switch(svc).ok_or("no switch")?;
+    println!(
+        "policy {} served {:?} requests (dropped {})",
+        sw.policy_name(),
+        sw.served_counts(),
+        w.dropped
+    );
+    println!(
+        "mean response per node: {:?} s",
+        sw.mean_responses().iter().map(|m| format!("{m:.4}")).collect::<Vec<_>>()
+    );
+    println!("invoice: {:.4} units", w.agent.invoice("cli", engine.now()));
+    Ok(())
+}
+
+fn cmd_status() -> Result<(), String> {
+    let mut engine = Engine::with_seed(SodaWorld::testbed(), 1);
+    let svc = create_service_driven(&mut engine, web_spec(3), "cli")
+        .map_err(|e| format!("creation failed: {e}"))?;
+    engine.run_until(SimTime::from_secs(120));
+    let w = engine.state();
+    let status = monitoring::snapshot(&w.master, &w.daemons, svc, engine.now())
+        .ok_or("snapshot failed")?;
+    println!("service {} at t={}", status.service, status.taken_at);
+    println!("healthy: {:.0}%", status.healthy_fraction * 100.0);
+    for n in &status.nodes {
+        println!(
+            "  {} on {} ip {} cap {}M state {:?} procs {}",
+            n.vsn,
+            n.host,
+            n.ip.map(|i| i.to_string()).unwrap_or_else(|| "-".into()),
+            n.capacity,
+            n.state,
+            n.process_count
+        );
+    }
+    Ok(())
+}
+
+fn cmd_demo() -> Result<(), String> {
+    println!("== SODA demo: create → serve → snapshot ==");
+    cmd_simulate(SimulateArgs::default())?;
+    println!();
+    cmd_status()
+}
+
+fn cmd_experiments() {
+    println!("experiment binaries (run with `cargo run --release -p soda-bench --bin <name>`):");
+    for (bin, what) in [
+        ("exp_table2_bootstrap", "Table 2 — bootstrap times"),
+        ("exp_table3_config", "Table 3 — service configuration file"),
+        ("exp_table4_syscalls", "Table 4 — syscall slow-down (+ skas ablation)"),
+        ("exp_fig3_consoles", "Figure 3 — co-existing guest consoles"),
+        ("exp_fig4_loadbalance", "Figure 4 — WRR 2:1 load balancing"),
+        ("exp_fig5_cpu_isolation", "Figure 5 — CPU isolation (+ lottery ablation)"),
+        ("exp_fig6_slowdown", "Figure 6 — application-level slow-down"),
+        ("exp_download", "§4.3 — download linearity"),
+        ("exp_attack_isolation", "§5 — attack isolation"),
+        ("exp_ddos", "X-DDOS — switch flood isolation violation"),
+        ("exp_resizing", "X-RSZ — service resizing"),
+        ("exp_placement", "X-PLC — placement ablation"),
+        ("exp_inflation", "X-INFL — slow-down inflation sweep"),
+        ("exp_federation", "X-FED — wide-area federation"),
+        ("exp_migration", "X-MIG — node migration"),
+        ("exp_host_failure", "X-HOST — host failure + failover"),
+        ("exp_usage_billing", "X-BILL — reservation vs usage billing"),
+    ] {
+        println!("  {bin:<24} {what}");
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => ("demo", &args[..]),
+    };
+    let result = match cmd {
+        "demo" => cmd_demo(),
+        "simulate" => parse_simulate(rest).and_then(cmd_simulate),
+        "status" => cmd_status(),
+        "experiments" => {
+            cmd_experiments();
+            Ok(())
+        }
+        "--help" | "-h" | "help" => {
+            println!(
+                "usage: soda-cli [demo|simulate|status|experiments]\n\
+                 simulate flags: --instances N --dataset BYTES --rate RPS --secs S\n\
+                 \t--policy rr|random|least-conn --seed SEED --no-shaping"
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?} (try --help)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("soda-cli: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! # soda
+//!
+//! Facade crate for the SODA reproduction (Jiang & Xu, *SODA: a
+//! Service-On-Demand Architecture for Application Service Hosting
+//! Utility Platforms*, HPDC 2003).
+//!
+//! Re-exports every workspace crate under one roof:
+//!
+//! * [`sim`] — deterministic discrete-event engine, RNG, metrics.
+//! * [`hostos`] — host-OS model: schedulers, syscalls, shaper, ledger.
+//! * [`net`] — IP pools, bridge, proxy, flow-level links, HTTP sizing.
+//! * [`vmm`] — UML guest model: rootfs tailoring, bootstrap, syscall
+//!   interception, VSN state machine, isolation.
+//! * [`hup`] — HUP hosts and the per-host SODA Daemon.
+//! * [`core`] — the SODA Agent, Master, service switch, policies,
+//!   placement, billing, federation, and the composed [`core::world`].
+//! * [`workload`] — siege-like generators, Figure 5 loads, attacks.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use soda::core::service::ServiceSpec;
+//! use soda::core::world::{create_service_driven, SodaWorld};
+//! use soda::hostos::resources::ResourceVector;
+//! use soda::sim::{Engine, SimTime};
+//! use soda::vmm::rootfs::RootFsCatalog;
+//! use soda::vmm::sysservices::StartupClass;
+//!
+//! // The paper's two-host testbed on a 100 Mbps LAN.
+//! let mut engine = Engine::new(SodaWorld::testbed());
+//!
+//! // An ASP asks for <3, M>: three machine instances of Table 1's M.
+//! let spec = ServiceSpec {
+//!     name: "web".into(),
+//!     image: RootFsCatalog::new().base_1_0(),
+//!     required_services: vec!["network", "syslogd"],
+//!     app_class: StartupClass::Light,
+//!     instances: 3,
+//!     machine: ResourceVector::TABLE1_EXAMPLE,
+//!     port: 8080,
+//! };
+//! let service = create_service_driven(&mut engine, spec, "webco").unwrap();
+//!
+//! // Let the image download and the nodes bootstrap.
+//! engine.run_until(SimTime::from_secs(120));
+//! let world = engine.state();
+//! assert_eq!(world.creations.len(), 1);
+//! // Figure 2's layout: 2 M on seattle, 1 M on tacoma.
+//! let nodes = &world.creations[0].reply.nodes;
+//! assert_eq!(nodes.len(), 2);
+//! assert_eq!(nodes[0].capacity, 2);
+//! assert_eq!(nodes[1].capacity, 1);
+//! let _ = service;
+//! ```
+
+pub use soda_core as core;
+pub use soda_hostos as hostos;
+pub use soda_hup as hup;
+pub use soda_net as net;
+pub use soda_sim as sim;
+pub use soda_vmm as vmm;
+pub use soda_workload as workload;

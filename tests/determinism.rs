@@ -1,0 +1,78 @@
+//! Whole-system determinism: identical seeds reproduce the entire
+//! trajectory bit-for-bit (the property that makes every regenerated
+//! table and figure reproducible), and different seeds genuinely
+//! diverge.
+
+use soda::core::service::ServiceSpec;
+use soda::core::world::SodaWorld;
+use soda::hostos::resources::ResourceVector;
+use soda::sim::{Engine, SimDuration, SimTime};
+use soda::vmm::rootfs::RootFsCatalog;
+use soda::vmm::sysservices::StartupClass;
+use soda::workload::httpgen::PoissonGenerator;
+
+fn trajectory(seed: u64) -> Vec<(u64, u64)> {
+    let mut engine = Engine::with_seed(SodaWorld::testbed(), seed);
+    let spec = ServiceSpec {
+        name: "web".into(),
+        image: RootFsCatalog::new().base_1_0(),
+        required_services: vec!["network", "syslogd"],
+        app_class: StartupClass::Light,
+        instances: 3,
+        machine: ResourceVector::TABLE1_EXAMPLE,
+        port: 8080,
+    };
+    let svc = soda::core::world::create_service_driven(&mut engine, spec, "webco").unwrap();
+    engine.run_until(SimTime::from_secs(60));
+    let t0 = engine.now();
+    PoissonGenerator {
+        service: svc,
+        dataset_bytes: 30_000,
+        rate_rps: 25.0,
+        start: t0,
+        end: t0 + SimDuration::from_secs(30),
+    }
+    .start(&mut engine);
+    engine.run_until(t0 + SimDuration::from_secs(90));
+    engine
+        .state()
+        .completed
+        .iter()
+        .map(|r| (r.issued.as_nanos(), r.completed.as_nanos()))
+        .collect()
+}
+
+#[test]
+fn same_seed_same_world() {
+    let a = trajectory(42);
+    let b = trajectory(42);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "identical seeds must replay identically");
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let a = trajectory(42);
+    let c = trajectory(43);
+    assert_ne!(a, c, "different seeds must differ");
+}
+
+#[test]
+fn engine_event_count_is_reproducible() {
+    let count = |seed| {
+        let mut engine = Engine::with_seed(SodaWorld::testbed(), seed);
+        let spec = ServiceSpec {
+            name: "web".into(),
+            image: RootFsCatalog::new().tomsrtbt(),
+            required_services: vec!["network"],
+            app_class: StartupClass::Light,
+            instances: 1,
+            machine: ResourceVector::TABLE1_EXAMPLE,
+            port: 80,
+        };
+        soda::core::world::create_service_driven(&mut engine, spec, "a").unwrap();
+        engine.run_until(SimTime::from_secs(60));
+        engine.events_executed()
+    };
+    assert_eq!(count(7), count(7));
+}

@@ -1,0 +1,147 @@
+//! Property test: arbitrary interleavings of the SODA API (create,
+//! resize, teardown, crash, revive-prime) never violate the platform
+//! invariants — ledger conservation, config-file/capacity agreement,
+//! no leaked IPs/processes/bridge entries after everything is torn down.
+
+use proptest::prelude::*;
+use soda::core::master::SodaMaster;
+use soda::core::service::{ServiceId, ServiceSpec, ServiceState};
+use soda::hostos::resources::ResourceVector;
+use soda::hup::daemon::SodaDaemon;
+use soda::hup::host::{HostId, HupHost};
+use soda::net::pool::IpPool;
+use soda::sim::SimTime;
+use soda::vmm::rootfs::RootFsCatalog;
+use soda::vmm::sysservices::StartupClass;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Create { instances: u32 },
+    Resize { which: usize, new_instances: u32 },
+    Teardown { which: usize },
+    CrashNode { which: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u32..5).prop_map(|instances| Op::Create { instances }),
+        (0usize..8, 1u32..6).prop_map(|(which, new_instances)| Op::Resize { which, new_instances }),
+        (0usize..8).prop_map(|which| Op::Teardown { which }),
+        (0usize..8).prop_map(|which| Op::CrashNode { which }),
+    ]
+}
+
+fn testbed() -> Vec<SodaDaemon> {
+    vec![
+        SodaDaemon::new(HupHost::seattle(HostId(1), IpPool::new("10.0.0.0".parse().unwrap(), 16))),
+        SodaDaemon::new(HupHost::tacoma(HostId(2), IpPool::new("10.0.1.0".parse().unwrap(), 16))),
+        SodaDaemon::new(HupHost::seattle(HostId(3), IpPool::new("10.0.2.0".parse().unwrap(), 16))),
+    ]
+}
+
+fn spec(n: u32, i: usize) -> ServiceSpec {
+    ServiceSpec {
+        name: format!("svc{i}"),
+        image: RootFsCatalog::new().base_1_0(),
+        required_services: vec!["network", "syslogd"],
+        app_class: StartupClass::Light,
+        instances: n,
+        machine: ResourceVector::TABLE1_EXAMPLE,
+        port: 8080,
+    }
+}
+
+fn check_invariants(master: &SodaMaster, daemons: &[SodaDaemon], live: &[ServiceId]) {
+    // Ledger conservation per host.
+    for d in daemons {
+        let cap = d.host.ledger.capacity();
+        assert_eq!(d.host.ledger.available() + d.host.ledger.reserved(), cap);
+    }
+    // Config files agree with records for every live service.
+    for &svc in live {
+        let rec = master.service(svc).expect("live service exists");
+        if rec.state == ServiceState::Running {
+            if let Some(sw) = master.switch(svc) {
+                assert_eq!(
+                    sw.config().total_capacity(),
+                    rec.placed_capacity(),
+                    "{svc}: config/capacity drift"
+                );
+                assert_eq!(sw.config().len(), rec.nodes.len());
+            }
+        }
+    }
+    // IP pool accounting: in-use addresses equal bridge mappings.
+    for d in daemons {
+        assert_eq!(
+            d.host.ip_pool.in_use() as usize,
+            d.host.bridge.mappings(),
+            "{}: pool/bridge drift",
+            d.host.name
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn master_survives_arbitrary_op_sequences(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let mut master = SodaMaster::new();
+        let mut daemons = testbed();
+        let baseline: Vec<ResourceVector> =
+            daemons.iter().map(|d| d.report_resources()).collect();
+        let mut live: Vec<ServiceId> = Vec::new();
+        let now = SimTime::ZERO;
+        for (i, op) in ops.into_iter().enumerate() {
+            match op {
+                Op::Create { instances } => {
+                    if let Ok(reply) =
+                        master.create_service_now(spec(instances, i), "asp", &mut daemons, now)
+                    {
+                        live.push(reply.service);
+                    }
+                }
+                Op::Resize { which, new_instances } => {
+                    if let Some(&svc) = live.get(which % live.len().max(1)) {
+                        let _ = master.resize(svc, new_instances, &mut daemons, now);
+                    }
+                }
+                Op::Teardown { which } => {
+                    if !live.is_empty() {
+                        let svc = live.remove(which % live.len());
+                        master.teardown(svc, &mut daemons).expect("live teardown succeeds");
+                    }
+                }
+                Op::CrashNode { which } => {
+                    if let Some(&svc) = live.get(which % live.len().max(1)) {
+                        let node = master.service(svc).and_then(|r| r.nodes.first().copied());
+                        if let Some(node) = node {
+                            if let Some(d) =
+                                daemons.iter_mut().find(|d| d.host.id == node.host)
+                            {
+                                if d.vsn(node.vsn).is_some_and(|v| v.is_running()) {
+                                    d.crash_vsn(node.vsn).expect("running node crashes");
+                                    master.node_crashed(svc, node.vsn);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            check_invariants(&master, &daemons, &live);
+        }
+        // Drain: tear everything down; the HUP returns to pristine.
+        for svc in live {
+            master.teardown(svc, &mut daemons).expect("final teardown");
+        }
+        let after: Vec<ResourceVector> =
+            daemons.iter().map(|d| d.report_resources()).collect();
+        prop_assert_eq!(after, baseline);
+        for d in &daemons {
+            prop_assert_eq!(d.vsn_count(), 0);
+            prop_assert!(d.host.processes.is_empty());
+            prop_assert_eq!(d.host.bridge.mappings(), 0);
+            prop_assert_eq!(d.host.ip_pool.in_use(), 0);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! One integration test per paper artifact, asserting the *shape* the
+//! reproduction must preserve (DESIGN.md §5's calibration targets).
+//! These run the same entry points as the `exp_*` binaries, at reduced
+//! measurement lengths.
+
+use soda_bench::experiments::{attack, ddos, download, fig4, fig5, fig6, inflation, table2, table4};
+use soda_workload::datasets::{FIG4_SWEEP, FIG6_SWEEP};
+
+#[test]
+fn t2_bootstrap_ordering_and_host_gap() {
+    let rows = table2::run();
+    // S_II < S_I < S_III ≪ S_IV, tacoma slower everywhere.
+    assert!(rows[1].seattle_secs < rows[0].seattle_secs);
+    assert!(rows[0].seattle_secs < rows[2].seattle_secs);
+    assert!(rows[3].seattle_secs > 2.0 * rows[2].seattle_secs);
+    for r in &rows {
+        assert!(r.tacoma_secs > r.seattle_secs);
+    }
+    // Size is not destiny: the 400 MB image boots faster than the 253 MB
+    // full server.
+    assert!(rows[2].image_bytes > rows[3].image_bytes);
+    assert!(rows[2].seattle_secs < rows[3].seattle_secs);
+}
+
+#[test]
+fn t4_syscall_penalty_band() {
+    let rows = table4::run();
+    for r in &rows {
+        assert!(r.penalty > 15.0 && r.penalty < 35.0, "{}: {}", r.call, r.penalty);
+    }
+    assert_eq!(
+        rows.iter().max_by_key(|r| r.uml_cycles).unwrap().call,
+        "gettimeofday"
+    );
+}
+
+#[test]
+fn f4_two_to_one_split_equal_latency() {
+    // One representative sweep point suffices for the integration test;
+    // the unit tests in soda-bench cover more.
+    let r = fig4::run_point(&FIG4_SWEEP[1], 60, 2);
+    assert!((1.7..2.3).contains(&r.served_ratio()), "{}", r.served_ratio());
+    assert!((0.65..1.55).contains(&r.response_ratio()), "{}", r.response_ratio());
+}
+
+#[test]
+fn f5_proportional_beats_stock() {
+    let stock = fig5::run_stock(20, 9);
+    let prop = fig5::run_proportional(20, 9);
+    assert!(prop.max_mean_deviation() < 0.02);
+    assert!(stock.max_mean_deviation() > 0.10);
+}
+
+#[test]
+fn f6_ordering_and_modest_factor() {
+    let p = &FIG6_SWEEP[1];
+    let c1 = fig6::run_cell(fig6::Scenario::VsnWithSwitch, p, 30, 4);
+    let c2 = fig6::run_cell(fig6::Scenario::HostWithSwitch, p, 30, 4);
+    let c3 = fig6::run_cell(fig6::Scenario::HostDirect, p, 30, 4);
+    assert!(c1.mean_secs > c2.mean_secs);
+    assert!(c2.mean_secs > c3.mean_secs);
+    let factor = c1.mean_secs / c3.mean_secs;
+    assert!(factor > 1.0 && factor < 2.0, "factor {factor}");
+}
+
+#[test]
+fn download_linear() {
+    let rows = download::run();
+    assert!(download::linearity_r2(&rows) > 0.9999);
+}
+
+#[test]
+fn attack_isolated_vs_counterfactual() {
+    let soda = attack::run(true, 90, 5);
+    assert!(soda.honeypot_crashes >= 2);
+    assert!(!soda.web_cohosted_crashed);
+    assert_eq!(soda.web_completed, soda.web_offered);
+    let direct = attack::run(false, 90, 5);
+    assert!(direct.web_cohosted_crashed);
+}
+
+#[test]
+fn ddos_violates_isolation() {
+    let r = ddos::run(40, 40, 8);
+    assert!(r.degradation() > 2.0, "degradation {}", r.degradation());
+}
+
+#[test]
+fn inflation_tradeoff() {
+    let rows = inflation::run();
+    for w in rows.windows(2) {
+        assert!(w[1].admitted <= w[0].admitted);
+    }
+    assert!(rows.iter().find(|r| r.factor == 1.5).unwrap().covers_measured);
+}

@@ -1,0 +1,126 @@
+//! Property tests on the service switch: for arbitrary capacity vectors
+//! and request counts, smooth WRR splits traffic in exact proportion
+//! over whole rounds, accounting never drifts, and health changes only
+//! redirect traffic (never lose it while a healthy backend exists).
+
+use proptest::prelude::*;
+use soda::core::service::ServiceId;
+use soda::core::switch::ServiceSwitch;
+use soda::net::addr::Ipv4Addr;
+use soda::sim::SimDuration;
+use soda::vmm::vsn::VsnId;
+
+fn build_switch(caps: &[u32]) -> ServiceSwitch {
+    let mut sw = ServiceSwitch::new(ServiceId(1), VsnId(1));
+    for (i, &c) in caps.iter().enumerate() {
+        sw.add_backend(VsnId(i as u64 + 1), Ipv4Addr(0x0a000001 + i as u32), 80, c);
+    }
+    sw
+}
+
+proptest! {
+    /// Over `k` full rounds (k × Σcap requests), each backend serves
+    /// exactly `k × cap` — WRR proportionality is exact, not just
+    /// approximate.
+    #[test]
+    fn wrr_exact_over_full_rounds(
+        caps in proptest::collection::vec(1u32..6, 1..6),
+        rounds in 1u32..20
+    ) {
+        let mut sw = build_switch(&caps);
+        let total: u32 = caps.iter().sum();
+        for _ in 0..(total * rounds) {
+            let i = sw.route().expect("healthy backends exist");
+            sw.complete(i, SimDuration::from_millis(1));
+        }
+        let served = sw.served_counts();
+        for (i, &c) in caps.iter().enumerate() {
+            prop_assert_eq!(served[i], (c * rounds) as u64,
+                "backend {} caps {:?}", i, caps);
+        }
+        prop_assert_eq!(sw.dropped(), 0);
+    }
+
+    /// Routing with interleaved completions never corrupts the
+    /// outstanding counters, and everything drains to zero.
+    #[test]
+    fn outstanding_accounting_never_drifts(
+        caps in proptest::collection::vec(1u32..4, 1..5),
+        script in proptest::collection::vec(any::<bool>(), 1..200)
+    ) {
+        let mut sw = build_switch(&caps);
+        let mut inflight: Vec<usize> = Vec::new();
+        for issue in script {
+            if issue || inflight.is_empty() {
+                if let Some(i) = sw.route() {
+                    inflight.push(i);
+                }
+            } else {
+                let i = inflight.remove(0);
+                sw.complete(i, SimDuration::from_millis(1));
+            }
+            let total_outstanding: u32 =
+                sw.backends().iter().map(|b| b.outstanding).sum();
+            prop_assert_eq!(total_outstanding as usize, inflight.len());
+        }
+        for i in inflight.drain(..) {
+            sw.complete(i, SimDuration::from_millis(1));
+        }
+        prop_assert!(sw.backends().iter().all(|b| b.outstanding == 0));
+    }
+
+    /// With at least one healthy backend, no request is ever dropped,
+    /// regardless of which subset is marked down.
+    #[test]
+    fn no_drops_while_any_backend_healthy(
+        caps in proptest::collection::vec(1u32..4, 2..6),
+        down_mask in proptest::collection::vec(any::<bool>(), 2..6),
+        n in 1u32..100
+    ) {
+        let mut sw = build_switch(&caps);
+        let k = caps.len().min(down_mask.len());
+        let mut any_up = false;
+        for i in 0..k {
+            if down_mask[i] {
+                sw.set_health(VsnId(i as u64 + 1), false);
+            } else {
+                any_up = true;
+            }
+        }
+        // Ensure at least one stays healthy.
+        if !any_up {
+            sw.set_health(VsnId(k as u64), true);
+        }
+        for _ in 0..n {
+            let i = sw.route().expect("a healthy backend exists");
+            // Routed to a healthy one.
+            prop_assert!(sw.backends()[i].healthy);
+            sw.complete(i, SimDuration::from_millis(1));
+        }
+        prop_assert_eq!(sw.dropped(), 0);
+    }
+
+    /// Capacity changes keep the config file and backend list in
+    /// lock-step.
+    #[test]
+    fn config_file_tracks_mutations(
+        caps in proptest::collection::vec(1u32..5, 1..5),
+        new_caps in proptest::collection::vec(1u32..9, 1..5)
+    ) {
+        let mut sw = build_switch(&caps);
+        for (i, &nc) in new_caps.iter().enumerate().take(caps.len()) {
+            sw.set_capacity(VsnId(i as u64 + 1), nc);
+        }
+        let expect: u32 = caps
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| new_caps.get(i).copied().unwrap_or(c))
+            .sum();
+        prop_assert_eq!(sw.config().total_capacity(), expect);
+        prop_assert_eq!(sw.config().len(), caps.len());
+        // Round-trip through text still parses to the same file.
+        let parsed: soda::core::config::ServiceConfigFile =
+            sw.config().to_string().parse().expect("rendered config parses");
+        prop_assert_eq!(&parsed, sw.config());
+    }
+}
