@@ -11,9 +11,11 @@ use std::hint::black_box;
 
 use soda_bench::experiments::{download, fig4, fig5, fig6, placement, table2, table4};
 use soda_core::policy::{SwitchPolicy, WeightedRoundRobin};
-use soda_core::switch::ServiceSwitch;
 use soda_core::service::ServiceId;
-use soda_hostos::sched::{water_fill, CpuScheduler, ProportionalShareScheduler, TimeShareScheduler};
+use soda_core::switch::ServiceSwitch;
+use soda_hostos::sched::{
+    water_fill, CpuScheduler, ProportionalShareScheduler, TimeShareScheduler,
+};
 use soda_net::link::{LinkSpec, ProcessorSharingLink};
 use soda_sim::{SimDuration, SimTime};
 use soda_vmm::intercept::InterceptCostModel;
@@ -77,7 +79,9 @@ fn bench_fig6_cell(c: &mut Criterion) {
 }
 
 fn bench_download(c: &mut Criterion) {
-    c.bench_function("download/six_image_sweep", |b| b.iter(|| black_box(download::run())));
+    c.bench_function("download/six_image_sweep", |b| {
+        b.iter(|| black_box(download::run()))
+    });
 }
 
 fn bench_placement(c: &mut Criterion) {
@@ -93,8 +97,8 @@ fn bench_substrate(c: &mut Criterion) {
         sw.add_backend(VsnId(1), "10.0.0.1".parse().expect("valid"), 80, 2);
         sw.add_backend(VsnId(2), "10.0.0.2".parse().expect("valid"), 80, 1);
         b.iter(|| {
-            let i = sw.route().expect("healthy");
-            sw.complete(i, SimDuration::from_millis(5));
+            let i = sw.route(SimTime::ZERO).expect("healthy");
+            sw.complete(i, SimDuration::from_millis(5), SimTime::ZERO);
         })
     });
     // Smooth WRR pick alone.

@@ -36,4 +36,5 @@ fn main() {
     }
     t.print();
     println!("paper: with SODA the web content service is NOT affected by the attacks");
+    soda_bench::emit_json("exp_attack_isolation", &[&soda, &direct]);
 }

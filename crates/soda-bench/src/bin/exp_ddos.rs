@@ -7,10 +7,14 @@ use soda_bench::experiments::ddos;
 fn main() {
     let r = ddos::run(60, 60, 21);
     println!("== X-DDOS — flood at the victim's switch host ==");
-    println!("bystander mean response, quiet   : {:.4} s", r.baseline_secs);
+    println!(
+        "bystander mean response, quiet   : {:.4} s",
+        r.baseline_secs
+    );
     println!("bystander mean response, flooded : {:.4} s", r.flooded_secs);
     println!("degradation                      : {:.1}x", r.degradation());
     println!("paper (§3.5): the switch \"will be inundated with requests, affecting other");
     println!("virtual service nodes in the same HUP host and therefore violating the");
     println!("service isolation\" — reproduced.");
+    soda_bench::emit_json("exp_ddos", &r);
 }

@@ -20,4 +20,5 @@ fn main() {
     }
     t.print();
     println!("linearity R² = {:.6}", download::linearity_r2(&rows));
+    soda_bench::emit_json("exp_download", &rows);
 }

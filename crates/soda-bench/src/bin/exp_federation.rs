@@ -9,5 +9,9 @@ fn main() {
     println!("placed at home site   : {}", r.placed_home);
     println!("placed at remote sites: {}", r.placed_remote);
     println!("rejected              : {}", r.rejected);
-    println!("mean WAN shipping time: {:.1} s per remote placement", r.mean_wan_secs);
+    println!(
+        "mean WAN shipping time: {:.1} s per remote placement",
+        r.mean_wan_secs
+    );
+    soda_bench::emit_json("exp_federation", &r);
 }

@@ -54,14 +54,24 @@ fn main() {
         .find(|n| n.host == hp_node.host)
         .copied()
         .expect("co-hosted on seattle");
-    let daemon = world.daemons.iter().find(|d| d.host.id == hp_node.host).expect("host");
+    let daemon = world
+        .daemons
+        .iter()
+        .find(|d| d.host.id == hp_node.host)
+        .expect("host");
 
     // Build both consoles, then print them side by side like the
     // screenshot.
     let console = |vsn| -> Vec<String> {
-        let guest = daemon.vsn(vsn).and_then(|v| v.guest()).expect("running guest");
-        let mut lines: Vec<String> =
-            guest.login_banner().lines().map(|s| s.to_string()).collect();
+        let guest = daemon
+            .vsn(vsn)
+            .and_then(|v| v.guest())
+            .expect("running guest");
+        let mut lines: Vec<String> = guest
+            .login_banner()
+            .lines()
+            .map(|s| s.to_string())
+            .collect();
         lines.push("# ps -ef".into());
         let procs: Vec<_> = daemon.host.processes.ps_uid(guest.uid).collect();
         for p in procs {
@@ -85,4 +95,19 @@ fn main() {
         daemon.host.processes.len()
     );
     println!("each guest sees only its own uid's processes — administration isolation");
+
+    #[derive(serde::Serialize)]
+    struct ConsoleReport {
+        web_console: Vec<String>,
+        honeypot_console: Vec<String>,
+        host_process_count: usize,
+    }
+    soda_bench::emit_json(
+        "exp_fig3_consoles",
+        &ConsoleReport {
+            web_console: left,
+            honeypot_console: right,
+            host_process_count: daemon.host.processes.len(),
+        },
+    );
 }

@@ -51,5 +51,5 @@ fn main() {
         c.served_ratio(),
         c.response_ratio()
     );
-    println!("{}", serde_json::to_string_pretty(&rows).expect("rows serialize"));
+    soda_bench::emit_json("exp_fig4_loadbalance", &rows);
 }

@@ -20,7 +20,10 @@ fn print_run(run: &fig5::SchedulerRun, label: &str) {
         ]);
     }
     t.print();
-    let mut s = Table::new("summary", &["node", "mean share", "std dev", "|mean - 1/3|"]);
+    let mut s = Table::new(
+        "summary",
+        &["node", "mean share", "std dev", "|mean - 1/3|"],
+    );
     for node in &run.nodes {
         s.row(cells![
             node.label,
@@ -35,7 +38,10 @@ fn print_run(run: &fig5::SchedulerRun, label: &str) {
 fn main() {
     let secs = 60;
     let stock = fig5::run_stock(secs, 2003);
-    let prop = fig5::run_proportional(secs, 2003);
+    // Observe the proportional run: per-tick scheduler share samples
+    // land in the metrics registry as `sched.uid_share` gauges.
+    let obs = soda_sim::Obs::enabled(4096);
+    let prop = fig5::run_proportional_observed(secs, 2003, &obs);
     print_run(&stock, "a");
     println!();
     print_run(&prop, "b");
@@ -53,12 +59,26 @@ fn main() {
         &["node", "mean share", "std dev"],
     );
     for node in &lot.nodes {
-        t.row(cells![node.label, format!("{:.4}", node.mean), format!("{:.4}", node.std_dev)]);
+        t.row(cells![
+            node.label,
+            format!("{:.4}", node.mean),
+            format!("{:.4}", node.std_dev)
+        ]);
     }
     println!();
     t.print();
     println!(
         "lottery holds the means (max dev {:.4}) with higher variance than stride",
         lot.max_mean_deviation()
+    );
+    let snapshot = obs.snapshot().expect("obs is enabled");
+    soda_bench::emit_json(
+        "exp_fig5_cpu_isolation",
+        &serde_json::Value::Object(vec![
+            ("stock".into(), serde_json::to_value(&stock)),
+            ("proportional".into(), serde_json::to_value(&prop)),
+            ("lottery".into(), serde_json::to_value(&lot)),
+            ("metrics".into(), serde_json::to_value(&snapshot)),
+        ]),
     );
 }

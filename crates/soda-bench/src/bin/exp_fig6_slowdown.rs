@@ -20,7 +20,13 @@ fn main() {
         .collect();
     let mut t = Table::new(
         "Figure 6 — application-level slow-down (mean response time, s)",
-        &["dataset", "(1) vsn+switch", "(2) host+switch", "(3) host-direct", "slowdown (1)/(3)"],
+        &[
+            "dataset",
+            "(1) vsn+switch",
+            "(2) host+switch",
+            "(3) host-direct",
+            "slowdown (1)/(3)",
+        ],
     );
     for p in &FIG6_SWEEP {
         let get = |sc: Scenario| {
@@ -42,4 +48,5 @@ fn main() {
     }
     t.print();
     println!("paper: (1) > (2) > (3); the factor is far below Table 4's ~22x and ~flat in size");
+    soda_bench::emit_json("exp_fig6_slowdown", &cells_out);
 }

@@ -7,11 +7,21 @@ fn main() {
     let r = host_failure::run(17);
     println!("== X-HOST — host failure and failover ==");
     println!("nodes downed by the failure : {}", r.nodes_downed);
-    println!("recovery time               : {:.1} s (image re-fetch + bootstrap)", r.recovery_secs);
-    println!("requests completed / dropped: {} / {}", r.completed, r.dropped);
-    println!("final capacity              : {} instances (restored)", r.final_capacity);
+    println!(
+        "recovery time               : {:.1} s (image re-fetch + bootstrap)",
+        r.recovery_secs
+    );
+    println!(
+        "requests completed / dropped: {} / {}",
+        r.completed, r.dropped
+    );
+    println!(
+        "final capacity              : {} instances (restored)",
+        r.final_capacity
+    );
     println!("mean response before        : {:.4} s", r.mean_before);
     println!("mean response degraded      : {:.4} s", r.mean_degraded);
     println!("the switch health-outs the dead backend instantly; the Master re-places");
     println!("the lost capacity via the same placement + priming path as creation");
+    soda_bench::emit_json("exp_host_failure", &r);
 }

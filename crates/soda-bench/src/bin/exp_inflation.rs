@@ -16,4 +16,5 @@ fn main() {
     }
     t.print();
     println!("the paper's conservative 1.5 covers the measured ~1.2x at some yield cost");
+    soda_bench::emit_json("exp_inflation", &rows);
 }

@@ -9,7 +9,13 @@ fn main() {
     let rows = migration::run(&[64, 128, 256, 512]);
     let mut t = Table::new(
         "X-MIG — node migration time vs guest memory size",
-        &["guest mem", "checkpoint transfer (s)", "replacement bootstrap (s)", "total (s)", "zero downtime"],
+        &[
+            "guest mem",
+            "checkpoint transfer (s)",
+            "replacement bootstrap (s)",
+            "total (s)",
+            "zero downtime",
+        ],
     );
     for r in &rows {
         t.row(cells![
@@ -22,4 +28,5 @@ fn main() {
     }
     t.print();
     println!("the old node serves until cut-over; migration cost is time, not downtime");
+    soda_bench::emit_json("exp_migration", &rows);
 }

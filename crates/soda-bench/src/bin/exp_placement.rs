@@ -7,11 +7,23 @@ use soda_bench::experiments::placement;
 use soda_bench::Table;
 
 fn main() {
-    for (label, requests) in [("partial fill, 6 requests", 6u32), ("saturating, 40 requests", 40)] {
+    let mut report: Vec<(String, serde_json::Value)> = Vec::new();
+    for (label, requests) in [
+        ("partial fill, 6 requests", 6u32),
+        ("saturating, 40 requests", 40),
+    ] {
         let results = placement::run(8, requests, 7);
+        report.push((label.to_string(), serde_json::to_value(&results)));
         let mut t = Table::new(
             format!("X-PLC — placement ablation (8 hosts, {label}, n ∈ 1..=4)"),
-            &["policy", "admitted", "rejected", "instances", "nodes", "cpu-util std"],
+            &[
+                "policy",
+                "admitted",
+                "rejected",
+                "instances",
+                "nodes",
+                "cpu-util std",
+            ],
         );
         for r in &results {
             t.row(cells![
@@ -30,4 +42,5 @@ fn main() {
     println!("for balance; at partial fill its utilisation spread is the lowest, and");
     println!("first-fit leaves whole hosts idle. Admission yield converges at saturation");
     println!("because SODA services may span hosts (§3.2's one-node-per-host granularity).");
+    soda_bench::emit_json("exp_placement", &serde_json::Value::Object(report));
 }

@@ -9,7 +9,15 @@ fn main() {
     let steps = resize::run(&[1, 2, 3, 5, 3, 1], 1);
     let mut t = Table::new(
         "X-RSZ — resize schedule 1 → 2 → 3 → 5 → 3 → 1 instances",
-        &["target n", "placed", "nodes", "in-place", "removed", "added", "added bootstrap (s)"],
+        &[
+            "target n",
+            "placed",
+            "nodes",
+            "in-place",
+            "removed",
+            "added",
+            "added bootstrap (s)",
+        ],
     );
     for s in &steps {
         t.row(cells![
@@ -24,4 +32,5 @@ fn main() {
     }
     t.print();
     println!("in-place resizes are instant; only freshly placed nodes pay a bootstrap");
+    soda_bench::emit_json("exp_resizing", &steps);
 }

@@ -48,8 +48,5 @@ fn main() {
         ]);
     }
     stages.print();
-    println!(
-        "{}",
-        serde_json::to_string_pretty(&rows).expect("rows serialize")
-    );
+    soda_bench::emit_json("exp_table2_bootstrap", &rows);
 }

@@ -37,9 +37,30 @@ fn main() {
         .create_service_now(spec, "webco", &mut daemons, SimTime::ZERO)
         .expect("admitted");
     println!("== Table 3 — service configuration file (<3, M> over two nodes) ==");
-    print!("{}", master.switch(reply.service).expect("switch").config());
+    let config = master
+        .switch(reply.service)
+        .expect("switch")
+        .config()
+        .to_string();
+    print!("{config}");
     println!();
     println!("paper:");
     println!("BackEnd 128.10.9.125 8080 2");
     println!("BackEnd 128.10.9.126 8080 1");
+
+    #[derive(serde::Serialize)]
+    struct ConfigReport {
+        config_lines: Vec<String>,
+        paper_lines: Vec<String>,
+    }
+    soda_bench::emit_json(
+        "exp_table3_config",
+        &ConfigReport {
+            config_lines: config.lines().map(|s| s.to_string()).collect(),
+            paper_lines: vec![
+                "BackEnd 128.10.9.125 8080 2".into(),
+                "BackEnd 128.10.9.126 8080 1".into(),
+            ],
+        },
+    );
 }

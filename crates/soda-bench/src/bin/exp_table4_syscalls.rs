@@ -9,7 +9,14 @@ fn main() {
     let rows = table4::run();
     let mut t = Table::new(
         "Table 4 — syscall slow-down (clock cycles)",
-        &["System call", "in UML", "in host OS", "penalty", "paper UML", "paper host"],
+        &[
+            "System call",
+            "in UML",
+            "in host OS",
+            "penalty",
+            "paper UML",
+            "paper host",
+        ],
     );
     for (row, (_, pu, ph)) in rows.iter().zip(table4::PAPER_CYCLES) {
         t.row(cells![
@@ -30,8 +37,18 @@ fn main() {
         &["System call", "in UML (skas)", "penalty"],
     );
     for row in &skas {
-        t2.row(cells![row.call, row.uml_cycles, format!("{:.1}x", row.penalty)]);
+        t2.row(cells![
+            row.call,
+            row.uml_cycles,
+            format!("{:.1}x", row.penalty)
+        ]);
     }
     t2.print();
-    println!("{}", serde_json::to_string_pretty(&rows).expect("rows serialize"));
+    soda_bench::emit_json(
+        "exp_table4_syscalls",
+        &serde_json::Value::Object(vec![
+            ("tt_mode".into(), serde_json::to_value(&rows)),
+            ("skas_mode".into(), serde_json::to_value(&skas)),
+        ]),
+    );
 }

@@ -23,4 +23,5 @@ fn main() {
     println!("under full overload the work-conserving proportional scheduler keeps usage");
     println!("near the equal shares, so the two models nearly agree; the gap opens when a");
     println!("tenant idles — its reserved bill stays flat while its usage bill drops");
+    soda_bench::emit_json("exp_usage_billing", &rows);
 }

@@ -70,9 +70,17 @@ pub fn run(guest_isolated: bool, secs: u64, seed: u64) -> IsolationResult {
     engine.run_until(SimTime::from_secs(120));
     assert_eq!(engine.state().creations.len(), 2);
 
-    let hp_vsn = engine.state().master.service(honeypot).expect("exists").nodes[0].vsn;
+    let hp_vsn = engine
+        .state()
+        .master
+        .service(honeypot)
+        .expect("exists")
+        .nodes[0]
+        .vsn;
     if !guest_isolated {
-        engine.state_mut().set_execution_mode(honeypot, hp_vsn, ExecutionMode::HostDirect);
+        engine
+            .state_mut()
+            .set_execution_mode(honeypot, hp_vsn, ExecutionMode::HostDirect);
     }
 
     let t0 = engine.now();
@@ -96,7 +104,13 @@ pub fn run(guest_isolated: bool, secs: u64, seed: u64) -> IsolationResult {
 
     // Drive the campaign in 1 s steps, sampling both nodes' liveness
     // into availability trackers.
-    let hp_host0 = engine.state().master.service(honeypot).expect("exists").nodes[0].host;
+    let hp_host0 = engine
+        .state()
+        .master
+        .service(honeypot)
+        .expect("exists")
+        .nodes[0]
+        .host;
     let web_cohosted_vsn = engine
         .state()
         .master
@@ -115,9 +129,18 @@ pub fn run(guest_isolated: bool, secs: u64, seed: u64) -> IsolationResult {
         t += SimDuration::from_secs(1);
         engine.run_until(t);
         let w = engine.state();
-        let d = w.daemons.iter().find(|d| d.host.id == hp_host0).expect("host");
+        let d = w
+            .daemons
+            .iter()
+            .find(|d| d.host.id == hp_host0)
+            .expect("host");
         hp_avail.set(t, d.vsn(hp_vsn).map(|v| v.is_running()).unwrap_or(false));
-        web_avail.set(t, d.vsn(web_cohosted_vsn).map(|v| v.is_running()).unwrap_or(false));
+        web_avail.set(
+            t,
+            d.vsn(web_cohosted_vsn)
+                .map(|v| v.is_running())
+                .unwrap_or(false),
+        );
     }
     let honeypot_availability = hp_avail.uptime_fraction(end);
     let web_cohosted_availability = web_avail.uptime_fraction(end);
@@ -126,12 +149,26 @@ pub fn run(guest_isolated: bool, secs: u64, seed: u64) -> IsolationResult {
     let world = engine.state();
     let hp_rec = world.master.service(honeypot).expect("exists");
     let hp_host = hp_rec.nodes[0].host;
-    let hp_daemon = world.daemons.iter().find(|d| d.host.id == hp_host).expect("host");
+    let hp_daemon = world
+        .daemons
+        .iter()
+        .find(|d| d.host.id == hp_host)
+        .expect("host");
     let web_rec = world.master.service(web).expect("exists");
-    let web_cohosted = web_rec.nodes.iter().find(|n| n.host == hp_host).expect("co-hosted");
-    let web_daemon = world.daemons.iter().find(|d| d.host.id == hp_host).expect("host");
-    let web_crashed =
-        web_daemon.vsn(web_cohosted.vsn).map(|v| v.crash_count > 0).unwrap_or(true);
+    let web_cohosted = web_rec
+        .nodes
+        .iter()
+        .find(|n| n.host == hp_host)
+        .expect("co-hosted");
+    let web_daemon = world
+        .daemons
+        .iter()
+        .find(|d| d.host.id == hp_host)
+        .expect("host");
+    let web_crashed = web_daemon
+        .vsn(web_cohosted.vsn)
+        .map(|v| v.crash_count > 0)
+        .unwrap_or(true);
 
     let sw = world.master.switch(web).expect("switch");
     let completed: u64 = sw.served_counts().iter().sum();
@@ -146,7 +183,11 @@ pub fn run(guest_isolated: bool, secs: u64, seed: u64) -> IsolationResult {
         }
     };
     IsolationResult {
-        honeypot_mode: if guest_isolated { "guest-isolated (SODA)" } else { "host-direct" },
+        honeypot_mode: if guest_isolated {
+            "guest-isolated (SODA)"
+        } else {
+            "host-direct"
+        },
         honeypot_crashes: hp_daemon.vsn(hp_vsn).map(|v| v.crash_count).unwrap_or(0),
         web_completed: completed,
         web_offered: completed + world.dropped,
@@ -164,27 +205,46 @@ mod tests {
     #[test]
     fn soda_isolates_the_attack() {
         let r = run(true, 120, 3);
-        assert!(r.honeypot_crashes >= 3, "attacked repeatedly: {}", r.honeypot_crashes);
+        assert!(
+            r.honeypot_crashes >= 3,
+            "attacked repeatedly: {}",
+            r.honeypot_crashes
+        );
         assert!(!r.web_cohosted_crashed, "web node must survive");
         // No web request is lost to the attacks.
         assert_eq!(r.web_completed, r.web_offered, "no drops");
         assert!(r.web_mean_secs > 0.0 && r.web_mean_secs < 1.0);
         // The honeypot spends real time down (crash → re-prime cycles);
         // the co-hosted web node never does.
-        assert!(r.honeypot_availability < 0.95, "{}", r.honeypot_availability);
+        assert!(
+            r.honeypot_availability < 0.95,
+            "{}",
+            r.honeypot_availability
+        );
         assert!(r.honeypot_availability > 0.5, "re-priming brings it back");
-        assert!(r.web_cohosted_availability > 0.999, "{}", r.web_cohosted_availability);
+        assert!(
+            r.web_cohosted_availability > 0.999,
+            "{}",
+            r.web_cohosted_availability
+        );
     }
 
     #[test]
     fn host_direct_counterfactual_takes_web_down() {
         let r = run(false, 120, 3);
-        assert!(r.web_cohosted_crashed, "host compromise kills co-hosted web node");
+        assert!(
+            r.web_cohosted_crashed,
+            "host compromise kills co-hosted web node"
+        );
         // Offered exceeds completed: requests routed to the dead node
         // after the first crash are lost until WRR health-outs it —
         // and the service runs degraded on tacoma alone.
         assert!(r.honeypot_crashes >= 1);
         // The co-hosted web node is down for most of the campaign.
-        assert!(r.web_cohosted_availability < 0.1, "{}", r.web_cohosted_availability);
+        assert!(
+            r.web_cohosted_availability < 0.1,
+            "{}",
+            r.web_cohosted_availability
+        );
     }
 }

@@ -99,7 +99,10 @@ pub fn run(quiet_secs: u64, flood_secs: u64, seed: u64) -> DdosResult {
         let vsn = w.master.service(bystander).expect("exists").nodes[0].vsn;
         w.mean_response(vsn, flood_start)
     };
-    DdosResult { baseline_secs: baseline, flooded_secs: flooded }
+    DdosResult {
+        baseline_secs: baseline,
+        flooded_secs: flooded,
+    }
 }
 
 #[cfg(test)]

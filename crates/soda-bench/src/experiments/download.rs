@@ -22,8 +22,14 @@ pub struct Row {
 }
 
 /// Image sizes swept (covers the Table 2 images and beyond).
-pub const SIZES: [u64; 6] =
-    [15_000_000, 29_300_000, 60_000_000, 120_000_000, 253_000_000, 400_000_000];
+pub const SIZES: [u64; 6] = [
+    15_000_000,
+    29_300_000,
+    60_000_000,
+    120_000_000,
+    253_000_000,
+    400_000_000,
+];
 
 /// Reproduce the measurement.
 pub fn run() -> Vec<Row> {
@@ -39,7 +45,11 @@ pub fn run() -> Vec<Row> {
             link.advance(SimTime::from_secs(3_600));
             let (_, finish) = link.take_completed()[0];
             let simulated = (finish + lan.latency).as_secs_f64();
-            Row { image_bytes: bytes, analytic_secs: analytic, simulated_secs: simulated }
+            Row {
+                image_bytes: bytes,
+                analytic_secs: analytic,
+                simulated_secs: simulated,
+            }
         })
         .collect()
 }
@@ -48,7 +58,9 @@ pub fn run() -> Vec<Row> {
 pub fn linearity_r2(rows: &[Row]) -> f64 {
     let xs: Vec<f64> = rows.iter().map(|r| r.image_bytes as f64).collect();
     let ys: Vec<f64> = rows.iter().map(|r| r.simulated_secs).collect();
-    soda_sim::stats::linear_fit(&xs, &ys).map(|f| f.r2).unwrap_or(1.0)
+    soda_sim::stats::linear_fit(&xs, &ys)
+        .map(|f| f.r2)
+        .unwrap_or(1.0)
 }
 
 #[cfg(test)]
@@ -71,7 +83,13 @@ mod tests {
     fn simulated_matches_analytic() {
         for r in run() {
             let rel = (r.simulated_secs - r.analytic_secs).abs() / r.analytic_secs;
-            assert!(rel < 0.01, "{} bytes: sim {} vs analytic {}", r.image_bytes, r.simulated_secs, r.analytic_secs);
+            assert!(
+                rel < 0.01,
+                "{} bytes: sim {} vs analytic {}",
+                r.image_bytes,
+                r.simulated_secs,
+                r.analytic_secs
+            );
         }
     }
 
@@ -80,6 +98,10 @@ mod tests {
         // 400 MB at ~100 Mbps with 3% framing ≈ 33 s.
         let rows = run();
         let last = rows.last().unwrap();
-        assert!((30.0..40.0).contains(&last.simulated_secs), "{}", last.simulated_secs);
+        assert!(
+            (30.0..40.0).contains(&last.simulated_secs),
+            "{}",
+            last.simulated_secs
+        );
     }
 }

@@ -38,15 +38,28 @@ fn site(id: u32, hosts: u32) -> Site {
             ))
         })
         .collect();
-    Site { id: SiteId(id), name: format!("site{id}"), master: SodaMaster::new(), daemons }
+    Site {
+        id: SiteId(id),
+        name: format!("site{id}"),
+        master: SodaMaster::new(),
+        daemons,
+    }
 }
 
 /// Offer `requests` single-instance services to a small home site
 /// federated with two larger peers.
 pub fn run(requests: u32) -> FederationResult {
     let mut fed = Federation::new(vec![site(1, 1), site(2, 2), site(3, 3)]);
-    fed.connect(SiteId(1), SiteId(2), LinkSpec::wan(20.0, SimDuration::from_millis(25)));
-    fed.connect(SiteId(1), SiteId(3), LinkSpec::wan(20.0, SimDuration::from_millis(70)));
+    fed.connect(
+        SiteId(1),
+        SiteId(2),
+        LinkSpec::wan(20.0, SimDuration::from_millis(25)),
+    );
+    fed.connect(
+        SiteId(1),
+        SiteId(3),
+        LinkSpec::wan(20.0, SimDuration::from_millis(70)),
+    );
     let image = RootFsCatalog::new().base_1_0();
     let mut placed_home = 0;
     let mut placed_remote = 0;
@@ -75,7 +88,11 @@ pub fn run(requests: u32) -> FederationResult {
         placed_home,
         placed_remote,
         rejected,
-        mean_wan_secs: if placed_remote > 0 { wan_total / placed_remote as f64 } else { 0.0 },
+        mean_wan_secs: if placed_remote > 0 {
+            wan_total / placed_remote as f64
+        } else {
+            0.0
+        },
     }
 }
 
@@ -87,10 +104,17 @@ mod tests {
     fn overflow_spills_to_peers_then_rejects() {
         let r = run(30);
         assert!(r.placed_home >= 1, "home site takes some");
-        assert!(r.placed_remote > r.placed_home, "most overflow to the bigger peers");
+        assert!(
+            r.placed_remote > r.placed_home,
+            "most overflow to the bigger peers"
+        );
         assert!(r.rejected > 0, "eventually the federation fills");
         assert_eq!(r.placed_home + r.placed_remote + r.rejected, 30);
         // 29.3 MB at 20 Mbps ≈ 12 s of WAN shipping.
-        assert!((8.0..20.0).contains(&r.mean_wan_secs), "wan {}", r.mean_wan_secs);
+        assert!(
+            (8.0..20.0).contains(&r.mean_wan_secs),
+            "wan {}",
+            r.mean_wan_secs
+        );
     }
 }

@@ -101,7 +101,10 @@ pub fn run_point(point: &DatasetPoint, measure_secs: u64, seed: u64) -> Row {
 
 /// Run the full sweep.
 pub fn run(sweep: &[DatasetPoint], measure_secs: u64, seed: u64) -> Vec<Row> {
-    sweep.iter().map(|p| run_point(p, measure_secs, seed)).collect()
+    sweep
+        .iter()
+        .map(|p| run_point(p, measure_secs, seed))
+        .collect()
 }
 
 /// The same measurement under *closed-loop* (siege-faithful) clients:
@@ -153,10 +156,18 @@ mod tests {
         for r in &rows {
             // ≈2× served.
             let ratio = r.served_ratio();
-            assert!((1.7..2.3).contains(&ratio), "{}B served ratio {ratio}", r.dataset_bytes);
+            assert!(
+                (1.7..2.3).contains(&ratio),
+                "{}B served ratio {ratio}",
+                r.dataset_bytes
+            );
             // ≈ equal response times (within 35%).
             let rr = r.response_ratio();
-            assert!((0.65..1.55).contains(&rr), "{}B response ratio {rr}", r.dataset_bytes);
+            assert!(
+                (0.65..1.55).contains(&rr),
+                "{}B response ratio {rr}",
+                r.dataset_bytes
+            );
             assert!(r.seattle_mean_secs > 0.0);
         }
         // Response time grows with dataset size.
@@ -176,8 +187,16 @@ mod tests {
         // siege-style clients: same 2:1 split and near-equal response
         // times as the open-loop measurement.
         let r = run_point_closed(&FIG4_SWEEP[1], 12, 60, 2);
-        assert!((1.7..2.3).contains(&r.served_ratio()), "{}", r.served_ratio());
-        assert!((0.6..1.6).contains(&r.response_ratio()), "{}", r.response_ratio());
+        assert!(
+            (1.7..2.3).contains(&r.served_ratio()),
+            "{}",
+            r.served_ratio()
+        );
+        assert!(
+            (0.6..1.6).contains(&r.response_ratio()),
+            "{}",
+            r.response_ratio()
+        );
         assert!(r.seattle_served + r.tacoma_served > 500, "enough samples");
     }
 }

@@ -10,9 +10,10 @@
 use serde::Serialize;
 use soda_hostos::process::Uid;
 use soda_hostos::sched::{
-    CpuScheduler, LotteryScheduler, ProportionalShareScheduler, TimeShareScheduler,
+    record_share_samples, CpuScheduler, LotteryScheduler, ProportionalShareScheduler,
+    TimeShareScheduler,
 };
-use soda_sim::{SimDuration, SimTime, WindowedMean};
+use soda_sim::{Obs, SimDuration, SimTime, WindowedMean};
 use soda_workload::loads::Fig5Workload;
 
 /// Scheduler tick (Linux 2.4's 10 ms jiffy scale).
@@ -43,21 +44,47 @@ pub struct SchedulerRun {
 impl SchedulerRun {
     /// Maximum deviation of any node's mean share from the fair 1/3.
     pub fn max_mean_deviation(&self) -> f64 {
-        self.nodes.iter().map(|n| (n.mean - 1.0 / 3.0).abs()).fold(0.0, f64::max)
+        self.nodes
+            .iter()
+            .map(|n| (n.mean - 1.0 / 3.0).abs())
+            .fold(0.0, f64::max)
     }
 }
 
-fn run_one(mut sched: Box<dyn CpuScheduler>, name: &'static str, secs: u64, seed: u64) -> SchedulerRun {
+fn run_one(
+    mut sched: Box<dyn CpuScheduler>,
+    name: &'static str,
+    secs: u64,
+    seed: u64,
+) -> SchedulerRun {
+    run_one_observed(sched.as_mut(), name, secs, seed, &Obs::disabled())
+}
+
+/// [`run_one`] with an observability handle: every scheduler tick emits
+/// one [`soda_sim::Event::SchedulerShareSample`] per uid plus the
+/// `sched.uid_share` gauge (the tacoma host carries the Figure 5 mix).
+fn run_one_observed(
+    sched: &mut dyn CpuScheduler,
+    name: &'static str,
+    secs: u64,
+    seed: u64,
+    obs: &Obs,
+) -> SchedulerRun {
     let mut workload = Fig5Workload::standard(seed);
     let uids = workload.uids();
     let labels = ["web", "comp", "log"];
-    let mut windows: Vec<WindowedMean> =
-        (0..3).map(|_| WindowedMean::new(SimDuration::from_secs(1))).collect();
+    let mut windows: Vec<WindowedMean> = (0..3)
+        .map(|_| WindowedMean::new(SimDuration::from_secs(1)))
+        .collect();
     let ticks = secs * 1_000 / TICK.as_millis();
     let mut now = SimTime::ZERO;
+    // Host 2 is tacoma — the host carrying the web/comp/log mix in the
+    // paper's testbed.
+    const HOST_TACOMA: u64 = 2;
     for _ in 0..ticks {
         let procs = workload.tick();
         let grants = sched.allocate(&procs);
+        record_share_samples(obs, now, HOST_TACOMA, &procs, &grants);
         for (i, uid) in uids.iter().enumerate() {
             let share: f64 = procs
                 .iter()
@@ -81,17 +108,30 @@ fn run_one(mut sched: Box<dyn CpuScheduler>, name: &'static str, secs: u64, seed
                 .map(|(_, v)| v)
                 .collect();
             let mean = shares.iter().sum::<f64>() / shares.len().max(1) as f64;
-            let var = shares.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
-                / shares.len().max(1) as f64;
-            NodeSeries { label: labels[i], shares, mean, std_dev: var.sqrt() }
+            let var =
+                shares.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / shares.len().max(1) as f64;
+            NodeSeries {
+                label: labels[i],
+                shares,
+                mean,
+                std_dev: var.sqrt(),
+            }
         })
         .collect();
-    SchedulerRun { scheduler: name, nodes }
+    SchedulerRun {
+        scheduler: name,
+        nodes,
+    }
 }
 
 /// Figure 5(a): the stock time-share scheduler.
 pub fn run_stock(secs: u64, seed: u64) -> SchedulerRun {
-    run_one(Box::new(TimeShareScheduler::new()), "unmodified-linux", secs, seed)
+    run_one(
+        Box::new(TimeShareScheduler::new()),
+        "unmodified-linux",
+        secs,
+        seed,
+    )
 }
 
 /// Figure 5(b): SODA's proportional-share scheduler with equal shares.
@@ -101,6 +141,17 @@ pub fn run_proportional(secs: u64, seed: u64) -> SchedulerRun {
         s.set_share(uid, 100);
     }
     run_one(Box::new(s), "soda-proportional", secs, seed)
+}
+
+/// [`run_proportional`] with scheduler share sampling recorded into
+/// `obs`: one `SchedulerShareSample` event and `sched.uid_share` gauge
+/// update per uid per 10 ms tick.
+pub fn run_proportional_observed(secs: u64, seed: u64, obs: &Obs) -> SchedulerRun {
+    let mut s = ProportionalShareScheduler::new(100);
+    for uid in [Uid(1), Uid(2), Uid(3)] {
+        s.set_share(uid, 100);
+    }
+    run_one_observed(&mut s, "soda-proportional", secs, seed, obs)
 }
 
 /// Ablation: lottery scheduling with equal tickets — same mean shares as
@@ -122,11 +173,19 @@ mod tests {
         let stock = run_stock(30, 42);
         let prop = run_proportional(30, 42);
         // (b): every node's mean within 2% of 1/3.
-        assert!(prop.max_mean_deviation() < 0.02, "prop dev {}", prop.max_mean_deviation());
+        assert!(
+            prop.max_mean_deviation() < 0.02,
+            "prop dev {}",
+            prop.max_mean_deviation()
+        );
         // (a): visibly unequal — comp (3 spinners) hogs well over 1/3.
         let comp = &stock.nodes[1];
         assert!(comp.mean > 0.45, "stock comp mean {}", comp.mean);
-        assert!(stock.max_mean_deviation() > 0.10, "stock dev {}", stock.max_mean_deviation());
+        assert!(
+            stock.max_mean_deviation() > 0.10,
+            "stock dev {}",
+            stock.max_mean_deviation()
+        );
         // Same workload, so the contrast is the scheduler's doing.
         assert_eq!(stock.nodes.len(), 3);
         assert_eq!(prop.nodes.len(), 3);
@@ -140,7 +199,11 @@ mod tests {
             let n = run.nodes[0].shares.len();
             for t in 0..n {
                 let total: f64 = run.nodes.iter().map(|s| s.shares[t]).sum();
-                assert!((total - 1.0).abs() < 1e-6, "{} t={t} total {total}", run.scheduler);
+                assert!(
+                    (total - 1.0).abs() < 1e-6,
+                    "{} t={t} total {total}",
+                    run.scheduler
+                );
             }
         }
     }
@@ -163,11 +226,53 @@ mod tests {
     }
 
     #[test]
+    fn observed_run_matches_plain_run_and_records_shares() {
+        let plain = run_proportional(5, 11);
+        let obs = Obs::enabled(2048);
+        let observed = run_proportional_observed(5, 11, &obs);
+        // Observation must not perturb the trajectory.
+        for (a, b) in plain.nodes.iter().zip(observed.nodes.iter()) {
+            assert_eq!(a.shares, b.shares);
+        }
+        // Every uid's share gauge lands in the registry under tacoma.
+        let snap = obs.snapshot().expect("enabled");
+        for uid in 1..=3u64 {
+            let sample = snap
+                .find("sched.uid_share", &[("host", 2), ("uid", uid)])
+                .unwrap_or_else(|| panic!("missing uid_share gauge for uid {uid}"));
+            match sample.value {
+                soda_sim::MetricValue::Gauge(v) => {
+                    assert!(v > 0.0, "uid {uid} share {v}")
+                }
+                ref other => panic!("uid_share should be a gauge, got {other:?}"),
+            }
+        }
+        // And the event stream carries per-tick samples: 5 s at 10 ms
+        // ticks × 3 uids = 1500 samples (ring-capped at 2048).
+        let drained = obs.drain_events().expect("enabled");
+        let samples = drained
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.event,
+                    soda_sim::Event::SchedulerShareSample { host: 2, .. }
+                )
+            })
+            .count();
+        assert_eq!(samples as u64 + drained.dropped, 1500);
+    }
+
+    #[test]
     fn lottery_matches_proportional_mean_with_more_noise() {
         let lot = run_lottery(30, 5);
         let prop = run_proportional(30, 5);
         // Same target: near-equal thirds.
-        assert!(lot.max_mean_deviation() < 0.05, "lottery dev {}", lot.max_mean_deviation());
+        assert!(
+            lot.max_mean_deviation() < 0.05,
+            "lottery dev {}",
+            lot.max_mean_deviation()
+        );
         // But the per-second series is noisier than stride's.
         let noise = |r: &SchedulerRun| {
             r.nodes.iter().map(|n| n.std_dev).sum::<f64>() / r.nodes.len() as f64

@@ -33,8 +33,11 @@ pub enum Scenario {
 
 impl Scenario {
     /// All three in the paper's order.
-    pub const ALL: [Scenario; 3] =
-        [Scenario::VsnWithSwitch, Scenario::HostWithSwitch, Scenario::HostDirect];
+    pub const ALL: [Scenario; 3] = [
+        Scenario::VsnWithSwitch,
+        Scenario::HostWithSwitch,
+        Scenario::HostDirect,
+    ];
 
     /// Display label.
     pub fn label(self) -> &'static str {
@@ -85,7 +88,9 @@ pub fn run_cell(scenario: Scenario, point: &DatasetPoint, n_requests: u64, seed:
     match scenario {
         Scenario::VsnWithSwitch => {}
         Scenario::HostWithSwitch | Scenario::HostDirect => {
-            engine.state_mut().set_execution_mode(svc, vsn, ExecutionMode::HostDirect);
+            engine
+                .state_mut()
+                .set_execution_mode(svc, vsn, ExecutionMode::HostDirect);
         }
     }
     let t0 = engine.now() + SimDuration::from_secs(1);
@@ -108,9 +113,18 @@ pub fn run_cell(scenario: Scenario, point: &DatasetPoint, n_requests: u64, seed:
     }
     engine.run_until(t0 + gap * n_requests + SimDuration::from_secs(120));
     let world = engine.state();
-    assert_eq!(world.completed.len() as u64, n_requests, "dropped {}", world.dropped);
+    assert_eq!(
+        world.completed.len() as u64,
+        n_requests,
+        "dropped {}",
+        world.dropped
+    );
     let mean = world.mean_response(vsn, SimTime::ZERO);
-    Cell { scenario, dataset_bytes: point.dataset_bytes, mean_secs: mean }
+    Cell {
+        scenario,
+        dataset_bytes: point.dataset_bytes,
+        mean_secs: mean,
+    }
 }
 
 /// Run the full grid.

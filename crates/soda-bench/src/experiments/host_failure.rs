@@ -102,7 +102,11 @@ pub fn run(seed: u64) -> FailoverResult {
     // Recovery completes when the replacement's creation record…
     // replacements don't create CreationRecords; detect via the
     // replacement node's running_since.
-    let replacement = rec.nodes.iter().find(|n| n.host != victim_host).expect("nodes left");
+    let replacement = rec
+        .nodes
+        .iter()
+        .find(|n| n.host != victim_host)
+        .expect("nodes left");
     let recovery_done = rec
         .nodes
         .iter()
@@ -151,7 +155,11 @@ mod tests {
         let r = run(17);
         assert_eq!(r.final_capacity, 3, "capacity restored");
         // Recovery = image download (~2.4 s) + bootstrap (~2.5 s).
-        assert!((2.0..30.0).contains(&r.recovery_secs), "{}", r.recovery_secs);
+        assert!(
+            (2.0..30.0).contains(&r.recovery_secs),
+            "{}",
+            r.recovery_secs
+        );
         // The surviving node absorbs the load: no drops at this rate.
         assert_eq!(r.dropped, 0);
         assert!(r.completed > 1000);

@@ -62,7 +62,10 @@ pub fn run() -> Vec<Row> {
                     machine: ResourceVector::TABLE1_EXAMPLE,
                     port: 8080,
                 };
-                if master.create_service_now(spec, "asp", &mut daemons, SimTime::ZERO).is_err() {
+                if master
+                    .create_service_now(spec, "asp", &mut daemons, SimTime::ZERO)
+                    .is_err()
+                {
                     break;
                 }
                 admitted += 1;
@@ -70,7 +73,11 @@ pub fn run() -> Vec<Row> {
                     unreachable!("HUP capacity is finite");
                 }
             }
-            Row { factor, admitted, covers_measured: factor >= measured }
+            Row {
+                factor,
+                admitted,
+                covers_measured: factor >= measured,
+            }
         })
         .collect()
 }
@@ -94,7 +101,10 @@ mod tests {
     fn paper_factor_covers_measured_slowdown() {
         let rows = run();
         let at_1_5 = rows.iter().find(|r| r.factor == 1.5).unwrap();
-        assert!(at_1_5.covers_measured, "1.5 must cover the ~1.19 measured factor");
+        assert!(
+            at_1_5.covers_measured,
+            "1.5 must cover the ~1.19 measured factor"
+        );
         let at_1_0 = rows.iter().find(|r| r.factor == 1.0).unwrap();
         assert!(!at_1_0.covers_measured, "no inflation under-reserves");
     }

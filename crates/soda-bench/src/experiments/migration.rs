@@ -65,20 +65,23 @@ pub fn run(mem_sizes_mb: &[u32]) -> Vec<Row> {
             let svc = reply.service;
             let vsn = master.service(svc).expect("exists").nodes[0].vsn;
             let src = master.service(svc).expect("exists").nodes[0].host;
-            let target = if src == HostId(1) { HostId(2) } else { HostId(1) };
+            let target = if src == HostId(1) {
+                HostId(2)
+            } else {
+                HostId(1)
+            };
             let out = master
                 .migrate(svc, vsn, target, &mut daemons, SimTime::ZERO)
                 .expect("migration admitted");
             // During transfer+bootstrap the old node still routes.
             let old_serves = {
                 let sw = master.switch_mut(svc).expect("switch");
-                let i = sw.route().expect("old node healthy");
+                let i = sw.route(SimTime::ZERO).expect("old node healthy");
                 let ok = sw.backends()[i].vsn == vsn;
-                sw.complete(i, soda_sim::SimDuration::from_millis(1));
+                sw.complete(i, soda_sim::SimDuration::from_millis(1), SimTime::ZERO);
                 ok
             };
-            let transfer_secs =
-                http.download_time(out.checkpoint_bytes, &lan).as_secs_f64();
+            let transfer_secs = http.download_time(out.checkpoint_bytes, &lan).as_secs_f64();
             let bootstrap_secs = out.ticket.timing.total().as_secs_f64();
             master
                 .complete_migration(&out, &mut daemons, SimTime::from_secs(60))
@@ -86,9 +89,9 @@ pub fn run(mem_sizes_mb: &[u32]) -> Vec<Row> {
             // After cut-over the new node routes.
             let new_serves = {
                 let sw = master.switch_mut(svc).expect("switch");
-                let i = sw.route().expect("new node healthy");
+                let i = sw.route(SimTime::ZERO).expect("new node healthy");
                 let ok = sw.backends()[i].vsn == out.new_vsn;
-                sw.complete(i, soda_sim::SimDuration::from_millis(1));
+                sw.complete(i, soda_sim::SimDuration::from_millis(1), SimTime::ZERO);
                 ok
             };
             Row {

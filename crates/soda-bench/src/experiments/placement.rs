@@ -35,7 +35,11 @@ pub struct PolicyResult {
 fn fresh_hup(hosts: u32) -> Vec<SodaDaemon> {
     (0..hosts)
         .map(|i| {
-            let mk = if i % 2 == 0 { HupHost::seattle } else { HupHost::tacoma };
+            let mk = if i % 2 == 0 {
+                HupHost::seattle
+            } else {
+                HupHost::tacoma
+            };
             SodaDaemon::new(mk(
                 HostId(i),
                 IpPool::new(format!("10.9.{i}.0").parse().expect("valid"), 32),

@@ -54,7 +54,10 @@ pub fn run(schedule: &[u32], seed: u64) -> Vec<ResizeStep> {
         let now = SimTime::from_secs(60 * i as u64);
         let world = engine.state_mut();
         let mut daemons = std::mem::take(&mut world.daemons);
-        let outcome = world.master.resize(svc, target, &mut daemons, now).expect("resize ok");
+        let outcome = world
+            .master
+            .resize(svc, target, &mut daemons, now)
+            .expect("resize ok");
         // Finish any freshly placed nodes immediately (image cached).
         let mut bootstrap_secs = 0.0f64;
         for (_, ticket) in &outcome.tickets {
@@ -76,7 +79,12 @@ pub fn run(schedule: &[u32], seed: u64) -> Vec<ResizeStep> {
             added_bootstrap_secs: bootstrap_secs,
         });
         // Invariant: the switch's config file always matches.
-        let total = world.master.switch(svc).expect("switch").config().total_capacity();
+        let total = world
+            .master
+            .switch(svc)
+            .expect("switch")
+            .config()
+            .total_capacity();
         assert_eq!(total, rec.placed_capacity(), "config file tracks capacity");
     }
     out

@@ -7,8 +7,12 @@ use soda_vmm::rootfs::RootFsImage;
 use soda_vmm::sysservices::StartupClass;
 
 /// Paper-reported seconds (seattle, tacoma) per row, for comparison.
-pub const PAPER_SECONDS: [(&str, f64, f64); 4] =
-    [("S_I", 3.0, 4.0), ("S_II", 2.0, 3.0), ("S_III", 4.0, 16.0), ("S_IV", 22.0, 42.0)];
+pub const PAPER_SECONDS: [(&str, f64, f64); 4] = [
+    ("S_I", 3.0, 4.0),
+    ("S_II", 2.0, 3.0),
+    ("S_III", 4.0, 16.0),
+    ("S_IV", 22.0, 42.0),
+];
 
 /// One reproduced row of Table 2.
 #[derive(Clone, Debug, Serialize)]
@@ -29,13 +33,30 @@ pub struct Row {
 }
 
 /// The four (label, image, required-services, app-class) rows.
-pub fn rows(model: &BootstrapModel) -> Vec<(&'static str, RootFsImage, Vec<&'static str>, StartupClass)> {
+pub fn rows(
+    model: &BootstrapModel,
+) -> Vec<(&'static str, RootFsImage, Vec<&'static str>, StartupClass)> {
     let c = model.catalog();
     vec![
-        ("S_I", c.base_1_0(), vec!["network", "syslogd"], StartupClass::Light),
+        (
+            "S_I",
+            c.base_1_0(),
+            vec!["network", "syslogd"],
+            StartupClass::Light,
+        ),
         ("S_II", c.tomsrtbt(), vec!["network"], StartupClass::Light),
-        ("S_III", c.lfs_4_0(), vec!["network", "syslogd", "sshd"], StartupClass::Light),
-        ("S_IV", c.rh72_server_pristine(), vec!["httpd"], StartupClass::Light),
+        (
+            "S_III",
+            c.lfs_4_0(),
+            vec!["network", "syslogd", "sshd"],
+            StartupClass::Light,
+        ),
+        (
+            "S_IV",
+            c.rh72_server_pristine(),
+            vec!["httpd"],
+            StartupClass::Light,
+        ),
     ]
 }
 
@@ -96,10 +117,16 @@ mod tests {
         let rows = run();
         for (r, (label, ps, pt)) in rows.iter().zip(PAPER_SECONDS) {
             assert_eq!(r.service, label);
-            assert!(r.seattle_secs > ps / 2.0 && r.seattle_secs < ps * 2.0,
-                "{label} seattle {} vs paper {ps}", r.seattle_secs);
-            assert!(r.tacoma_secs > pt / 2.0 && r.tacoma_secs < pt * 2.0,
-                "{label} tacoma {} vs paper {pt}", r.tacoma_secs);
+            assert!(
+                r.seattle_secs > ps / 2.0 && r.seattle_secs < ps * 2.0,
+                "{label} seattle {} vs paper {ps}",
+                r.seattle_secs
+            );
+            assert!(
+                r.tacoma_secs > pt / 2.0 && r.tacoma_secs < pt * 2.0,
+                "{label} tacoma {} vs paper {pt}",
+                r.tacoma_secs
+            );
         }
     }
 }

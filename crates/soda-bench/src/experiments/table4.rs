@@ -60,7 +60,11 @@ mod tests {
             let uml_err = (row.uml_cycles as f64 - uml as f64).abs() / uml as f64;
             let host_err = (row.host_cycles as f64 - host as f64).abs() / host as f64;
             assert!(uml_err < 0.15, "{label} uml {} vs {uml}", row.uml_cycles);
-            assert!(host_err < 0.05, "{label} host {} vs {host}", row.host_cycles);
+            assert!(
+                host_err < 0.05,
+                "{label} host {} vs {host}",
+                row.host_cycles
+            );
             assert!(row.penalty > 15.0 && row.penalty < 35.0);
         }
         // gettimeofday is the worst in UML.

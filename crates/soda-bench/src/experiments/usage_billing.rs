@@ -38,7 +38,11 @@ pub fn run(secs: u64, rate_per_cpu_hour: f64, seed: u64) -> Vec<Row> {
     }
     let mut workload = Fig5Workload::custom(
         seed,
-        &[(Uid(1), LoadKind::Web), (Uid(2), LoadKind::Comp), (Uid(3), LoadKind::Log)],
+        &[
+            (Uid(1), LoadKind::Web),
+            (Uid(2), LoadKind::Comp),
+            (Uid(3), LoadKind::Log),
+        ],
     );
     let mut acc = CpuAccounting::new();
     let ticks = secs * 1_000 / TICK.as_millis();
@@ -80,8 +84,10 @@ mod tests {
         // total capacity × rate (work conservation).
         let total_usage: f64 = rows.iter().map(|r| r.usage_bill).sum();
         let capacity_bill = 600.0 / 3600.0 * 60.0;
-        assert!((total_usage - capacity_bill).abs() < 0.01 * capacity_bill,
-            "{total_usage} vs {capacity_bill}");
+        assert!(
+            (total_usage - capacity_bill).abs() < 0.01 * capacity_bill,
+            "{total_usage} vs {capacity_bill}"
+        );
         // And usage == share × capacity in seconds.
         for r in &rows {
             assert!(r.used_cpu_secs > 0.0 && r.used_cpu_secs < 600.0);

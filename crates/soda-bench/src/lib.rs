@@ -9,4 +9,4 @@
 pub mod experiments;
 pub mod report;
 
-pub use report::Table;
+pub use report::{emit_json, write_json, Table};

@@ -1,6 +1,11 @@
-//! Plain-text table rendering for experiment output.
+//! Plain-text table rendering and JSON report emission for experiment
+//! output.
 
 use std::fmt::Write as _;
+use std::io;
+use std::path::PathBuf;
+
+use serde::Serialize;
 
 /// A simple aligned-column table, rendered like the paper's tables.
 #[derive(Clone, Debug)]
@@ -71,6 +76,40 @@ impl Table {
     }
 }
 
+/// Directory where experiment JSON reports land. Defaults to
+/// `results/` under the current working directory; override with the
+/// `SODA_RESULTS_DIR` environment variable.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("SODA_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Serialize `data` as pretty JSON into `results/<exp>.json` (see
+/// [`results_dir`]), creating the directory if needed. Returns the path
+/// written. Every `exp_*` binary funnels its rows — and, when
+/// observability is enabled, its metrics snapshot — through here so
+/// downstream tooling finds one file per experiment.
+pub fn write_json<T: Serialize + ?Sized>(exp: &str, data: &T) -> io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{exp}.json"));
+    let body = serde_json::to_string_pretty(data)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
+
+/// [`write_json`] plus a one-line confirmation on stdout; errors are
+/// reported on stderr rather than unwinding, so a read-only working
+/// directory never kills an experiment run.
+pub fn emit_json<T: Serialize + ?Sized>(exp: &str, data: &T) {
+    match write_json(exp, data) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {exp}.json: {e}"),
+    }
+}
+
 /// Shorthand for building a row of strings.
 #[macro_export]
 macro_rules! cells {
@@ -100,5 +139,29 @@ mod tests {
     fn arity_checked() {
         let mut t = Table::new("x", &["a", "b"]);
         t.row(cells!["only-one"]);
+    }
+
+    #[test]
+    fn write_json_emits_rows() {
+        #[derive(Serialize)]
+        struct Row {
+            name: String,
+            value: u64,
+        }
+        let dir = std::env::temp_dir().join("soda-report-test");
+        std::env::set_var("SODA_RESULTS_DIR", &dir);
+        let path = write_json(
+            "unit_test",
+            &[Row {
+                name: "a".into(),
+                value: 7,
+            }],
+        )
+        .unwrap();
+        std::env::remove_var("SODA_RESULTS_DIR");
+        assert_eq!(path, dir.join("unit_test.json"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"value\": 7"), "{body}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -68,7 +68,9 @@ impl SodaAgent {
             Ok(())
         } else {
             self.rejected_calls += 1;
-            Err(SodaError::AuthenticationFailed { asp: cred.asp.clone() })
+            Err(SodaError::AuthenticationFailed {
+                asp: cred.asp.clone(),
+            })
         }
     }
 
@@ -108,7 +110,10 @@ mod tests {
     use super::*;
 
     fn cred(asp: &str, key: &str) -> Credential {
-        Credential { asp: asp.into(), key: key.into() }
+        Credential {
+            asp: asp.into(),
+            key: key.into(),
+        }
     }
 
     #[test]
@@ -127,7 +132,10 @@ mod tests {
             a.authenticate(&cred("biolab", "wrong")),
             Err(SodaError::AuthenticationFailed { .. })
         ));
-        assert!(a.authenticate(&cred("biolab", "s3cret0")).is_err(), "prefix key");
+        assert!(
+            a.authenticate(&cred("biolab", "s3cret0")).is_err(),
+            "prefix key"
+        );
         assert!(a.authenticate(&cred("biolab", "")).is_err());
         assert!(a.authenticate(&cred("ghost", "s3cret")).is_err());
         assert_eq!(a.call_stats(), (0, 4));

@@ -86,7 +86,10 @@ mod tests {
     #[test]
     fn request_types_carry_the_paper_fields() {
         let req = CreationRequest {
-            credential: Credential { asp: "biolab".into(), key: "k".into() },
+            credential: Credential {
+                asp: "biolab".into(),
+                key: "k".into(),
+            },
             spec: ServiceSpec {
                 name: "genome-match".into(),
                 image: RootFsCatalog::new().base_1_0(),

@@ -44,14 +44,23 @@ pub struct BillingLedger {
 impl BillingLedger {
     /// A ledger with the given hourly rate.
     pub fn new(rate_per_instance_hour: f64) -> Self {
-        BillingLedger { rate_per_instance_hour, meters: BTreeMap::new() }
+        BillingLedger {
+            rate_per_instance_hour,
+            meters: BTreeMap::new(),
+        }
     }
 
     /// Start metering a service at `instances × M` from `now`.
     pub fn start(&mut self, service: ServiceId, asp: &str, instances: u32, now: SimTime) {
         self.meters.insert(
             service,
-            Meter { asp: asp.to_string(), instances, since: now, accrued: 0.0, closed: false },
+            Meter {
+                asp: asp.to_string(),
+                instances,
+                since: now,
+                accrued: 0.0,
+                closed: false,
+            },
         );
     }
 
@@ -131,7 +140,9 @@ mod tests {
         assert!((used - 50.0).abs() < 1e-9);
         // Resize after stop is ignored.
         b.set_instances(ServiceId(1), 100, SimTime::from_secs(600));
-        assert!((b.usage_instance_seconds(ServiceId(1), SimTime::from_secs(700)) - 50.0).abs() < 1e-9);
+        assert!(
+            (b.usage_instance_seconds(ServiceId(1), SimTime::from_secs(700)) - 50.0).abs() < 1e-9
+        );
     }
 
     #[test]
@@ -149,6 +160,9 @@ mod tests {
     #[test]
     fn unknown_service_has_zero_usage() {
         let b = BillingLedger::new(1.0);
-        assert_eq!(b.usage_instance_seconds(ServiceId(9), SimTime::from_secs(10)), 0.0);
+        assert_eq!(
+            b.usage_instance_seconds(ServiceId(9), SimTime::from_secs(10)),
+            0.0
+        );
     }
 }

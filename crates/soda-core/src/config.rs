@@ -137,14 +137,26 @@ impl FromStr for ServiceConfigFile {
             }
             let ip: Ipv4Addr = parts
                 .next()
-                .ok_or_else(|| ConfigParseError { line: line_no, reason: "missing IP".into() })?
+                .ok_or_else(|| ConfigParseError {
+                    line: line_no,
+                    reason: "missing IP".into(),
+                })?
                 .parse()
-                .map_err(|e| ConfigParseError { line: line_no, reason: format!("{e}") })?;
+                .map_err(|e| ConfigParseError {
+                    line: line_no,
+                    reason: format!("{e}"),
+                })?;
             let port: u16 = parts
                 .next()
-                .ok_or_else(|| ConfigParseError { line: line_no, reason: "missing port".into() })?
+                .ok_or_else(|| ConfigParseError {
+                    line: line_no,
+                    reason: "missing port".into(),
+                })?
                 .parse()
-                .map_err(|_| ConfigParseError { line: line_no, reason: "bad port".into() })?;
+                .map_err(|_| ConfigParseError {
+                    line: line_no,
+                    reason: "bad port".into(),
+                })?;
             let capacity: u32 = parts
                 .next()
                 .ok_or_else(|| ConfigParseError {
@@ -152,7 +164,10 @@ impl FromStr for ServiceConfigFile {
                     reason: "missing capacity".into(),
                 })?
                 .parse()
-                .map_err(|_| ConfigParseError { line: line_no, reason: "bad capacity".into() })?;
+                .map_err(|_| ConfigParseError {
+                    line: line_no,
+                    reason: "bad capacity".into(),
+                })?;
             if parts.next().is_some() {
                 return Err(ConfigParseError {
                     line: line_no,
@@ -206,7 +221,8 @@ mod tests {
 
     #[test]
     fn parse_tolerates_comments_and_blanks() {
-        let text = "\n# switch config, maintained by the SODA Master\n\nBackEnd 10.0.0.1 80 1\n  \n";
+        let text =
+            "\n# switch config, maintained by the SODA Master\n\nBackEnd 10.0.0.1 80 1\n  \n";
         let f: ServiceConfigFile = text.parse().unwrap();
         assert_eq!(f.len(), 1);
         assert_eq!(f.backends()[0].port, 80);
@@ -214,16 +230,26 @@ mod tests {
 
     #[test]
     fn parse_errors_carry_line_numbers() {
-        let err = "BackEnd 10.0.0.1 80 1\nFrontEnd x".parse::<ServiceConfigFile>().unwrap_err();
+        let err = "BackEnd 10.0.0.1 80 1\nFrontEnd x"
+            .parse::<ServiceConfigFile>()
+            .unwrap_err();
         assert_eq!(err.line, 2);
         assert!(err.reason.contains("FrontEnd"));
-        let err = "BackEnd 999.0.0.1 80 1".parse::<ServiceConfigFile>().unwrap_err();
+        let err = "BackEnd 999.0.0.1 80 1"
+            .parse::<ServiceConfigFile>()
+            .unwrap_err();
         assert_eq!(err.line, 1);
-        let err = "BackEnd 10.0.0.1 80".parse::<ServiceConfigFile>().unwrap_err();
+        let err = "BackEnd 10.0.0.1 80"
+            .parse::<ServiceConfigFile>()
+            .unwrap_err();
         assert!(err.reason.contains("capacity"));
-        let err = "BackEnd 10.0.0.1 80 1 extra".parse::<ServiceConfigFile>().unwrap_err();
+        let err = "BackEnd 10.0.0.1 80 1 extra"
+            .parse::<ServiceConfigFile>()
+            .unwrap_err();
         assert!(err.reason.contains("trailing"));
-        let err = "BackEnd 10.0.0.1 99999 1".parse::<ServiceConfigFile>().unwrap_err();
+        let err = "BackEnd 10.0.0.1 99999 1"
+            .parse::<ServiceConfigFile>()
+            .unwrap_err();
         assert!(err.reason.contains("port"));
     }
 

@@ -47,7 +47,10 @@ impl fmt::Display for SodaError {
             SodaError::AuthenticationFailed { asp } => {
                 write!(f, "authentication failed for ASP {asp:?}")
             }
-            SodaError::AdmissionRejected { requested, available } => write!(
+            SodaError::AdmissionRejected {
+                requested,
+                available,
+            } => write!(
                 f,
                 "admission rejected: requested [{requested}] exceeds available [{available}]"
             ),
@@ -76,7 +79,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = SodaError::AuthenticationFailed { asp: "biolab".into() };
+        let e = SodaError::AuthenticationFailed {
+            asp: "biolab".into(),
+        };
         assert!(e.to_string().contains("biolab"));
         let e = SodaError::AdmissionRejected {
             requested: ResourceVector::new(1, 2, 3, 4),

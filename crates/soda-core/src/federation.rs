@@ -57,7 +57,10 @@ impl Federation {
     /// A federation over the given sites, initially with no WAN links.
     pub fn new(sites: Vec<Site>) -> Self {
         let n = sites.len();
-        Federation { sites, wan: vec![vec![None; n]; n] }
+        Federation {
+            sites,
+            wan: vec![vec![None; n]; n],
+        }
     }
 
     /// Connect two sites with a symmetric WAN link.
@@ -100,8 +103,7 @@ impl Federation {
         let Some(pi) = self.index_of(preferred) else {
             return Vec::new();
         };
-        let mut peers: Vec<(SimDuration, SiteId)> = self
-            .wan[pi]
+        let mut peers: Vec<(SimDuration, SiteId)> = self.wan[pi]
             .iter()
             .enumerate()
             .filter_map(|(j, link)| link.map(|l| (l.latency, self.sites[j].id)))
@@ -135,13 +137,22 @@ impl Federation {
             let wan_transfer = if si == pi {
                 SimDuration::ZERO
             } else {
-                self.wan[pi][si].expect("candidates are connected").transfer_time(image_bytes)
+                self.wan[pi][si]
+                    .expect("candidates are connected")
+                    .transfer_time(image_bytes)
             };
             let site = &mut self.sites[si];
-            match site.master.create_service_now(spec.clone(), asp, &mut site.daemons, now) {
+            match site
+                .master
+                .create_service_now(spec.clone(), asp, &mut site.daemons, now)
+            {
                 Ok(mut reply) => {
                     reply.creation_time += wan_transfer;
-                    return Ok(FederatedReply { site: site_id, reply, wan_transfer });
+                    return Ok(FederatedReply {
+                        site: site_id,
+                        reply,
+                        wan_transfer,
+                    });
                 }
                 Err(e @ SodaError::AdmissionRejected { .. }) => {
                     last_err = Some(e);
@@ -184,7 +195,12 @@ mod tests {
                 ))
             })
             .collect();
-        Site { id: SiteId(id), name: name.into(), master: SodaMaster::new(), daemons }
+        Site {
+            id: SiteId(id),
+            name: name.into(),
+            master: SodaMaster::new(),
+            daemons,
+        }
     }
 
     fn spec(n: u32) -> ServiceSpec {
@@ -205,15 +221,25 @@ mod tests {
             site(2, "wisconsin", 2),
             site(3, "berkeley", 2),
         ]);
-        f.connect(SiteId(1), SiteId(2), LinkSpec::wan(10.0, soda_sim::SimDuration::from_millis(20)));
-        f.connect(SiteId(1), SiteId(3), LinkSpec::wan(10.0, soda_sim::SimDuration::from_millis(60)));
+        f.connect(
+            SiteId(1),
+            SiteId(2),
+            LinkSpec::wan(10.0, soda_sim::SimDuration::from_millis(20)),
+        );
+        f.connect(
+            SiteId(1),
+            SiteId(3),
+            LinkSpec::wan(10.0, soda_sim::SimDuration::from_millis(60)),
+        );
         f
     }
 
     #[test]
     fn preferred_site_wins_when_it_fits() {
         let mut f = federation();
-        let r = f.create_service(spec(2), "asp", SiteId(1), SimTime::ZERO).unwrap();
+        let r = f
+            .create_service(spec(2), "asp", SiteId(1), SimTime::ZERO)
+            .unwrap();
         assert_eq!(r.site, SiteId(1));
         assert_eq!(r.wan_transfer, SimDuration::ZERO);
     }
@@ -222,7 +248,9 @@ mod tests {
     fn failover_prefers_nearest_peer() {
         let mut f = federation();
         // Site 1 has one seattle host: 3 inflated instances fit, 4 don't.
-        let r = f.create_service(spec(4), "asp", SiteId(1), SimTime::ZERO).unwrap();
+        let r = f
+            .create_service(spec(4), "asp", SiteId(1), SimTime::ZERO)
+            .unwrap();
         assert_eq!(r.site, SiteId(2), "wisconsin is 20 ms away, berkeley 60 ms");
         // The WAN shipping time for 29.3 MB at 10 Mbps ≈ 24 s.
         let secs = r.wan_transfer.as_secs_f64();
@@ -234,21 +262,27 @@ mod tests {
         let mut f = Federation::new(vec![site(1, "a", 1), site(2, "b", 2)]);
         // No WAN links: only the preferred site is tried.
         assert_eq!(f.candidate_sites(SiteId(1)), vec![SiteId(1)]);
-        let err = f.create_service(spec(4), "asp", SiteId(1), SimTime::ZERO).unwrap_err();
+        let err = f
+            .create_service(spec(4), "asp", SiteId(1), SimTime::ZERO)
+            .unwrap_err();
         assert!(matches!(err, SodaError::AdmissionRejected { .. }));
     }
 
     #[test]
     fn federation_wide_rejection_when_nothing_fits() {
         let mut f = federation();
-        let err = f.create_service(spec(60), "asp", SiteId(1), SimTime::ZERO).unwrap_err();
+        let err = f
+            .create_service(spec(60), "asp", SiteId(1), SimTime::ZERO)
+            .unwrap_err();
         assert!(matches!(err, SodaError::AdmissionRejected { .. }));
     }
 
     #[test]
     fn teardown_routes_to_owning_site() {
         let mut f = federation();
-        let r = f.create_service(spec(4), "asp", SiteId(1), SimTime::ZERO).unwrap();
+        let r = f
+            .create_service(spec(4), "asp", SiteId(1), SimTime::ZERO)
+            .unwrap();
         f.teardown(r.site, r.reply.service).unwrap();
         // Torn down: capacity back, a second teardown errors.
         assert!(f.teardown(r.site, r.reply.service).is_err());
@@ -258,7 +292,10 @@ mod tests {
     #[test]
     fn candidate_order_by_latency() {
         let f = federation();
-        assert_eq!(f.candidate_sites(SiteId(1)), vec![SiteId(1), SiteId(2), SiteId(3)]);
+        assert_eq!(
+            f.candidate_sites(SiteId(1)),
+            vec![SiteId(1), SiteId(2), SiteId(3)]
+        );
         assert_eq!(f.candidate_sites(SiteId(2)), vec![SiteId(2), SiteId(1)]);
         assert!(f.candidate_sites(SiteId(99)).is_empty());
         assert_eq!(f.len(), 3);

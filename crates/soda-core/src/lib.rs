@@ -33,8 +33,8 @@ pub mod master;
 pub mod monitoring;
 pub mod partition;
 pub mod placement;
-pub mod queue;
 pub mod policy;
+pub mod queue;
 pub mod service;
 pub mod switch;
 pub mod world;

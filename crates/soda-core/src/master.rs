@@ -18,7 +18,7 @@ use soda_hostos::resources::ResourceVector;
 use soda_hup::daemon::{PrimingTicket, SodaDaemon};
 use soda_hup::host::HostId;
 use soda_hup::inventory::ResourceInventory;
-use soda_sim::{SimDuration, SimTime};
+use soda_sim::{Event, Labels, Obs, SimDuration, SimTime};
 use soda_vmm::intercept::SlowdownFactors;
 use soda_vmm::vsn::VsnId;
 
@@ -79,6 +79,7 @@ pub struct SodaMaster {
     switches: BTreeMap<ServiceId, ServiceSwitch>,
     next_service: u64,
     next_vsn: u64,
+    obs: Obs,
 }
 
 impl Default for SodaMaster {
@@ -99,7 +100,23 @@ impl SodaMaster {
             switches: BTreeMap::new(),
             next_service: 1,
             next_vsn: 1,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attach an observability handle. Existing switches pick it up too,
+    /// so `set_obs` can be called after services are already running.
+    pub fn set_obs(&mut self, obs: Obs) {
+        for sw in self.switches.values_mut() {
+            sw.set_obs(obs.clone());
+        }
+        self.obs = obs;
+    }
+
+    /// The Master's observability handle (disabled unless
+    /// [`SodaMaster::set_obs`] was given an enabled one).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Replace the placement policy (the placement ablation experiment).
@@ -134,7 +151,19 @@ impl SodaMaster {
         now: SimTime,
     ) -> Result<AdmissionOutcome, SodaError> {
         if spec.instances == 0 {
-            return Err(SodaError::BadRequest("instance count n must be positive".into()));
+            self.obs.record(
+                now,
+                Event::AdmissionDecision {
+                    service: 0,
+                    accepted: false,
+                    instances: 0,
+                },
+            );
+            self.obs
+                .counter_add("master", "admission_rejected", Labels::none(), 1);
+            return Err(SodaError::BadRequest(
+                "instance count n must be positive".into(),
+            ));
         }
         self.collect_resources(daemons, now);
         let m_infl = self.inflated_machine(&spec.machine);
@@ -144,7 +173,19 @@ impl SodaMaster {
             .map(|(id, r)| (id, r.available))
             .collect();
         let Some(plan) = self.placement.place(spec.instances, &m_infl, &hosts) else {
-            let available = hosts.iter().fold(ResourceVector::ZERO, |acc, &(_, a)| acc + a);
+            let available = hosts
+                .iter()
+                .fold(ResourceVector::ZERO, |acc, &(_, a)| acc + a);
+            self.obs.record(
+                now,
+                Event::AdmissionDecision {
+                    service: 0,
+                    accepted: false,
+                    instances: spec.instances,
+                },
+            );
+            self.obs
+                .counter_add("master", "admission_rejected", Labels::none(), 1);
             return Err(SodaError::AdmissionRejected {
                 requested: m_infl * spec.instances,
                 available,
@@ -152,6 +193,35 @@ impl SodaMaster {
         };
         let service = ServiceId(self.next_service);
         self.next_service += 1;
+        if self.obs.is_enabled() {
+            self.obs.record(
+                now,
+                Event::AdmissionDecision {
+                    service: service.0,
+                    accepted: true,
+                    instances: spec.instances,
+                },
+            );
+            self.obs.record(
+                now,
+                Event::PlacementDecision {
+                    service: service.0,
+                    nodes: plan.len() as u32,
+                },
+            );
+            self.obs
+                .counter_add("master", "admission_accepted", Labels::none(), 1);
+            // Admission + placement happen atomically in virtual time; a
+            // zero-width span still counts the operation in the
+            // `master.admission` histogram.
+            self.obs.span_record(
+                "master",
+                "admission",
+                Labels::one("service", service.0),
+                now,
+                now,
+            );
+        }
         let mut tickets = Vec::with_capacity(plan.len());
         let mut nodes = Vec::with_capacity(plan.len());
         for node_plan in &plan {
@@ -172,7 +242,12 @@ impl SodaMaster {
                 &spec.name,
                 now,
             )?;
-            nodes.push(PlacedNode { host: node_plan.host, vsn, capacity: node_plan.instances });
+            self.obs.span_enter("master", "priming", vsn.0, now);
+            nodes.push(PlacedNode {
+                host: node_plan.host,
+                vsn,
+                capacity: node_plan.instances,
+            });
             tickets.push((node_plan.host, ticket));
         }
         self.services.insert(
@@ -201,13 +276,17 @@ impl SodaMaster {
         now: SimTime,
         creation_time: SimDuration,
     ) -> Result<Option<CreationReply>, SodaError> {
-        let rec = self.services.get_mut(&service).ok_or(SodaError::UnknownService(service))?;
+        let rec = self
+            .services
+            .get_mut(&service)
+            .ok_or(SodaError::UnknownService(service))?;
         let placed = *rec.node(vsn).ok_or(SodaError::UnknownVsn(vsn))?;
         let daemon = daemons
             .iter_mut()
             .find(|d| d.host.id == placed.host)
             .ok_or(SodaError::UnknownVsn(vsn))?;
         daemon.complete_priming(vsn, now)?;
+        self.obs.span_exit("master", "priming", vsn.0, now);
         rec.nodes_ready += 1;
         if rec.nodes_ready < rec.nodes.len() {
             return Ok(None);
@@ -217,14 +296,43 @@ impl SodaMaster {
         let port = rec.spec.port;
         let first = rec.nodes[0].vsn;
         let mut switch = ServiceSwitch::new(service, first);
+        switch.set_obs(self.obs.clone());
         let mut infos = Vec::with_capacity(rec.nodes.len());
         for n in &rec.nodes {
-            let d = daemons.iter().find(|d| d.host.id == n.host).expect("host exists");
-            let ip = d.vsn(n.vsn).and_then(|v| v.ip).expect("booted node has an IP");
+            let d = daemons
+                .iter()
+                .find(|d| d.host.id == n.host)
+                .expect("host exists");
+            let ip = d
+                .vsn(n.vsn)
+                .and_then(|v| v.ip)
+                .expect("booted node has an IP");
             switch.add_backend(n.vsn, ip, port, n.capacity);
-            infos.push(NodeInfo { ip, port, capacity: n.capacity });
+            infos.push(NodeInfo {
+                ip,
+                port,
+                capacity: n.capacity,
+            });
         }
         let switch_endpoint = infos[0];
+        if self.obs.is_enabled() {
+            self.obs.record(
+                now,
+                Event::SwitchCreated {
+                    service: service.0,
+                    backends: rec.nodes.len() as u32,
+                },
+            );
+            // The switch materializes as soon as the last node reports —
+            // a zero-width `master.switch_creation` span counts it.
+            self.obs.span_record(
+                "master",
+                "switch_creation",
+                Labels::one("service", service.0),
+                now,
+                now,
+            );
+        }
         self.switches.insert(service, switch);
         Ok(Some(CreationReply {
             service,
@@ -265,9 +373,15 @@ impl SodaMaster {
         service: ServiceId,
         daemons: &mut [SodaDaemon],
     ) -> Result<(), SodaError> {
-        let rec = self.services.get_mut(&service).ok_or(SodaError::UnknownService(service))?;
+        let rec = self
+            .services
+            .get_mut(&service)
+            .ok_or(SodaError::UnknownService(service))?;
         if rec.state == ServiceState::TornDown {
-            return Err(SodaError::InvalidState { service, attempted: "teardown" });
+            return Err(SodaError::InvalidState {
+                service,
+                attempted: "teardown",
+            });
         }
         for n in rec.nodes.clone() {
             if let Some(d) = daemons.iter_mut().find(|d| d.host.id == n.host) {
@@ -298,14 +412,23 @@ impl SodaMaster {
         if new_instances == 0 {
             return Err(SodaError::BadRequest("n_new must be positive".into()));
         }
-        let rec = self.services.get(&service).ok_or(SodaError::UnknownService(service))?;
+        let rec = self
+            .services
+            .get(&service)
+            .ok_or(SodaError::UnknownService(service))?;
         if rec.state != ServiceState::Running {
-            return Err(SodaError::InvalidState { service, attempted: "resize" });
+            return Err(SodaError::InvalidState {
+                service,
+                attempted: "resize",
+            });
         }
         let current = rec.placed_capacity();
         let m_infl = self.inflated_machine(&rec.spec.machine);
-        let mut outcome =
-            ResizeOutcome { resized: Vec::new(), removed: Vec::new(), tickets: Vec::new() };
+        let mut outcome = ResizeOutcome {
+            resized: Vec::new(),
+            removed: Vec::new(),
+            tickets: Vec::new(),
+        };
         if new_instances == current {
             return Ok(outcome);
         }
@@ -345,6 +468,28 @@ impl SodaMaster {
                 }
                 for &(vsn, cap) in &outcome.resized {
                     sw.set_capacity(vsn, cap);
+                }
+            }
+            if self.obs.is_enabled() {
+                for &vsn in &outcome.removed {
+                    self.obs.record(
+                        now,
+                        Event::ResizeStep {
+                            service: service.0,
+                            vsn: vsn.0,
+                            action: "shrink",
+                        },
+                    );
+                }
+                for &(vsn, _) in &outcome.resized {
+                    self.obs.record(
+                        now,
+                        Event::ResizeStep {
+                            service: service.0,
+                            vsn: vsn.0,
+                            action: "deflate",
+                        },
+                    );
                 }
             }
             return Ok(outcome);
@@ -388,8 +533,9 @@ impl SodaMaster {
                         let _ = d.resize_vsn(vsn, n.capacity, m_infl * n.capacity, now);
                     }
                 }
-                let available =
-                    hosts.iter().fold(ResourceVector::ZERO, |acc, &(_, a)| acc + a);
+                let available = hosts
+                    .iter()
+                    .fold(ResourceVector::ZERO, |acc, &(_, a)| acc + a);
                 return Err(SodaError::AdmissionRejected {
                     requested: m_infl * to_add,
                     available,
@@ -418,6 +564,15 @@ impl SodaMaster {
                     vsn,
                     capacity: node_plan.instances,
                 });
+                self.obs.record(
+                    now,
+                    Event::ResizeStep {
+                        service: service.0,
+                        vsn: vsn.0,
+                        action: "grow",
+                    },
+                );
+                self.obs.span_enter("master", "priming", vsn.0, now);
                 outcome.tickets.push((node_plan.host, ticket));
             }
             rec.state = ServiceState::Resizing;
@@ -434,6 +589,18 @@ impl SodaMaster {
                 sw.set_capacity(vsn, cap);
             }
         }
+        if self.obs.is_enabled() {
+            for &(vsn, _) in &outcome.resized {
+                self.obs.record(
+                    now,
+                    Event::ResizeStep {
+                        service: service.0,
+                        vsn: vsn.0,
+                        action: "inflate",
+                    },
+                );
+            }
+        }
         Ok(outcome)
     }
 
@@ -445,13 +612,17 @@ impl SodaMaster {
         daemons: &mut [SodaDaemon],
         now: SimTime,
     ) -> Result<(), SodaError> {
-        let rec = self.services.get_mut(&service).ok_or(SodaError::UnknownService(service))?;
+        let rec = self
+            .services
+            .get_mut(&service)
+            .ok_or(SodaError::UnknownService(service))?;
         let placed = *rec.node(vsn).ok_or(SodaError::UnknownVsn(vsn))?;
         let daemon = daemons
             .iter_mut()
             .find(|d| d.host.id == placed.host)
             .ok_or(SodaError::UnknownVsn(vsn))?;
         let ip = daemon.complete_priming(vsn, now)?;
+        self.obs.span_exit("master", "priming", vsn.0, now);
         rec.state = ServiceState::Running;
         let port = rec.spec.port;
         if let Some(sw) = self.switches.get_mut(&service) {
@@ -477,9 +648,15 @@ impl SodaMaster {
         daemons: &mut [SodaDaemon],
         now: SimTime,
     ) -> Result<MigrationOutcome, SodaError> {
-        let rec = self.services.get(&service).ok_or(SodaError::UnknownService(service))?;
+        let rec = self
+            .services
+            .get(&service)
+            .ok_or(SodaError::UnknownService(service))?;
         if rec.state != ServiceState::Running {
-            return Err(SodaError::InvalidState { service, attempted: "migrate" });
+            return Err(SodaError::InvalidState {
+                service,
+                attempted: "migrate",
+            });
         }
         let placed = *rec.node(vsn).ok_or(SodaError::UnknownVsn(vsn))?;
         if placed.host == target {
@@ -509,9 +686,17 @@ impl SodaMaster {
             &spec.name,
             now,
         )?;
+        self.obs.span_enter("master", "priming", new_vsn.0, now);
         // The checkpoint is the guest's memory image (its `mem=` cap).
         let checkpoint_bytes = u64::from(slice.mem_mb) * 1_000_000;
-        Ok(MigrationOutcome { service, old_vsn: vsn, new_vsn, target, ticket, checkpoint_bytes })
+        Ok(MigrationOutcome {
+            service,
+            old_vsn: vsn,
+            new_vsn,
+            target,
+            ticket,
+            checkpoint_bytes,
+        })
     }
 
     /// Finish a migration: bring the replacement up, cut the switch
@@ -523,13 +708,20 @@ impl SodaMaster {
         now: SimTime,
     ) -> Result<(), SodaError> {
         let service = outcome.service;
-        let rec = self.services.get_mut(&service).ok_or(SodaError::UnknownService(service))?;
-        let old = *rec.node(outcome.old_vsn).ok_or(SodaError::UnknownVsn(outcome.old_vsn))?;
+        let rec = self
+            .services
+            .get_mut(&service)
+            .ok_or(SodaError::UnknownService(service))?;
+        let old = *rec
+            .node(outcome.old_vsn)
+            .ok_or(SodaError::UnknownVsn(outcome.old_vsn))?;
         let target_daemon = daemons
             .iter_mut()
             .find(|d| d.host.id == outcome.target)
             .ok_or(SodaError::UnknownVsn(outcome.new_vsn))?;
         let new_ip = target_daemon.complete_priming(outcome.new_vsn, now)?;
+        self.obs
+            .span_exit("master", "priming", outcome.new_vsn.0, now);
         // Switch cut-over.
         let port = rec.spec.port;
         if let Some(sw) = self.switches.get_mut(&service) {
@@ -585,7 +777,10 @@ impl SodaMaster {
         daemons: &mut [SodaDaemon],
         now: SimTime,
     ) -> Result<(HostId, PrimingTicket), SodaError> {
-        let rec = self.services.get(&service).ok_or(SodaError::UnknownService(service))?;
+        let rec = self
+            .services
+            .get(&service)
+            .ok_or(SodaError::UnknownService(service))?;
         let dead = *rec.node(vsn).ok_or(SodaError::UnknownVsn(vsn))?;
         let m_infl = self.inflated_machine(&rec.spec.machine);
         let spec = rec.spec.clone();
@@ -602,9 +797,13 @@ impl SodaMaster {
             .place(dead.capacity, &m_infl, &hosts)
             .filter(|p| p.len() == 1)
             .ok_or_else(|| {
-                let available =
-                    hosts.iter().fold(ResourceVector::ZERO, |acc, &(_, a)| acc + a);
-                SodaError::AdmissionRejected { requested: m_infl * dead.capacity, available }
+                let available = hosts
+                    .iter()
+                    .fold(ResourceVector::ZERO, |acc, &(_, a)| acc + a);
+                SodaError::AdmissionRejected {
+                    requested: m_infl * dead.capacity,
+                    available,
+                }
             })?;
         let target = plan[0].host;
         let new_vsn = VsnId(self.next_vsn);
@@ -639,6 +838,15 @@ impl SodaMaster {
             n.host = target;
         }
         rec.state = ServiceState::Resizing; // back to Running at node_ready
+        self.obs.record(
+            now,
+            Event::ResizeStep {
+                service: service.0,
+                vsn: new_vsn.0,
+                action: "grow",
+            },
+        );
+        self.obs.span_enter("master", "priming", new_vsn.0, now);
         Ok((target, ticket))
     }
 
@@ -781,7 +989,10 @@ mod tests {
         let after: Vec<_> = daemons.iter().map(|d| d.report_resources()).collect();
         assert_eq!(before, after);
         assert!(master.switch(reply.service).is_none());
-        assert_eq!(master.service(reply.service).unwrap().state, ServiceState::TornDown);
+        assert_eq!(
+            master.service(reply.service).unwrap().state,
+            ServiceState::TornDown
+        );
         // Double teardown rejected.
         assert!(matches!(
             master.teardown(reply.service, &mut daemons),
@@ -798,23 +1009,31 @@ mod tests {
             .unwrap();
         // 3 → 2: drops the tacoma node entirely (capacity 1, shed from
         // the end).
-        let out = master.resize(reply.service, 2, &mut daemons, SimTime::from_secs(10)).unwrap();
+        let out = master
+            .resize(reply.service, 2, &mut daemons, SimTime::from_secs(10))
+            .unwrap();
         assert_eq!(out.removed.len(), 1);
         assert!(out.tickets.is_empty());
         let rec = master.service(reply.service).unwrap();
         assert_eq!(rec.placed_capacity(), 2);
         assert_eq!(rec.nodes.len(), 1);
         let seattle_vsn = rec.nodes[0].vsn;
-        assert_eq!(master.switch(reply.service).unwrap().config().total_capacity(), 2);
+        assert_eq!(
+            master
+                .switch(reply.service)
+                .unwrap()
+                .config()
+                .total_capacity(),
+            2
+        );
         assert_eq!(daemons[1].vsn_count(), 0, "tacoma node torn down");
         // 2 → 1: in-place shrink of the seattle node.
-        let out = master.resize(reply.service, 1, &mut daemons, SimTime::from_secs(20)).unwrap();
+        let out = master
+            .resize(reply.service, 1, &mut daemons, SimTime::from_secs(20))
+            .unwrap();
         assert_eq!(out.removed.len(), 0);
         assert_eq!(out.resized, vec![(seattle_vsn, 1)]);
-        assert_eq!(
-            master.service(reply.service).unwrap().placed_capacity(),
-            1
-        );
+        assert_eq!(master.service(reply.service).unwrap().placed_capacity(), 1);
     }
 
     #[test]
@@ -825,12 +1044,21 @@ mod tests {
             .create_service_now(web_spec(2), "webco", &mut daemons, SimTime::ZERO)
             .unwrap();
         let rec_nodes = master.service(reply.service).unwrap().nodes.clone();
-        let out = master.resize(reply.service, 3, &mut daemons, SimTime::from_secs(5)).unwrap();
+        let out = master
+            .resize(reply.service, 3, &mut daemons, SimTime::from_secs(5))
+            .unwrap();
         // Growth fits in place (seattle has headroom): no new tickets.
         assert!(out.tickets.is_empty());
         assert!(!out.resized.is_empty());
         assert_eq!(master.service(reply.service).unwrap().placed_capacity(), 3);
-        assert_eq!(master.switch(reply.service).unwrap().config().total_capacity(), 3);
+        assert_eq!(
+            master
+                .switch(reply.service)
+                .unwrap()
+                .config()
+                .total_capacity(),
+            3
+        );
         // The original node ids survive.
         for n in &master.service(reply.service).unwrap().nodes {
             assert!(rec_nodes.iter().any(|o| o.vsn == n.vsn));
@@ -844,7 +1072,9 @@ mod tests {
         let reply = master
             .create_service_now(web_spec(2), "webco", &mut daemons, SimTime::ZERO)
             .unwrap();
-        let out = master.resize(reply.service, 2, &mut daemons, SimTime::ZERO).unwrap();
+        let out = master
+            .resize(reply.service, 2, &mut daemons, SimTime::ZERO)
+            .unwrap();
         assert!(out.resized.is_empty() && out.removed.is_empty() && out.tickets.is_empty());
         assert!(matches!(
             master.resize(reply.service, 0, &mut daemons, SimTime::ZERO),
@@ -856,8 +1086,13 @@ mod tests {
         ));
         // Oversized growth is rejected and rolls back.
         let before = master.service(reply.service).unwrap().placed_capacity();
-        assert!(master.resize(reply.service, 60, &mut daemons, SimTime::ZERO).is_err());
-        assert_eq!(master.service(reply.service).unwrap().placed_capacity(), before);
+        assert!(master
+            .resize(reply.service, 60, &mut daemons, SimTime::ZERO)
+            .is_err());
+        assert_eq!(
+            master.service(reply.service).unwrap().placed_capacity(),
+            before
+        );
     }
 
     #[test]
@@ -872,20 +1107,20 @@ mod tests {
         let sw = master.switch_mut(reply.service).unwrap();
         // All traffic now flows to the healthy tacoma node.
         for _ in 0..10 {
-            let i = sw.route().unwrap();
+            let i = sw.route(SimTime::ZERO).unwrap();
             let b = &sw.backends()[i];
             assert_ne!(b.vsn, vsn);
-            sw.complete(i, SimDuration::from_millis(1));
+            sw.complete(i, SimDuration::from_millis(1), SimTime::ZERO);
         }
         master.node_recovered(reply.service, vsn);
         let sw = master.switch_mut(reply.service).unwrap();
         let mut saw_recovered = false;
         for _ in 0..10 {
-            let i = sw.route().unwrap();
+            let i = sw.route(SimTime::ZERO).unwrap();
             if sw.backends()[i].vsn == vsn {
                 saw_recovered = true;
             }
-            sw.complete(i, SimDuration::from_millis(1));
+            sw.complete(i, SimDuration::from_millis(1), SimTime::ZERO);
         }
         assert!(saw_recovered);
     }
@@ -904,7 +1139,9 @@ mod tests {
         assert_eq!(src, HostId(1));
         let src_before = daemons[0].report_resources();
         // Migrate to tacoma.
-        let out = master.migrate(svc, old_vsn, HostId(2), &mut daemons, SimTime::ZERO).unwrap();
+        let out = master
+            .migrate(svc, old_vsn, HostId(2), &mut daemons, SimTime::ZERO)
+            .unwrap();
         assert_eq!(out.checkpoint_bytes, 256_000_000);
         // Old node still serving while the replacement primes
         // (make-before-break).
@@ -918,14 +1155,17 @@ mod tests {
         assert_eq!(rec.nodes[0].vsn, out.new_vsn);
         assert_eq!(rec.placed_capacity(), 1);
         // Source slice released; destination charged.
-        assert_eq!(daemons[0].report_resources(), src_before + master.inflated_machine(&rec.spec.machine));
+        assert_eq!(
+            daemons[0].report_resources(),
+            src_before + master.inflated_machine(&rec.spec.machine)
+        );
         assert_eq!(daemons[0].vsn_count(), 0);
         assert_eq!(daemons[1].vsn_count(), 1);
         // The switch routes to the new node.
         let sw = master.switch_mut(svc).unwrap();
-        let i = sw.route().unwrap();
+        let i = sw.route(SimTime::ZERO).unwrap();
         assert_eq!(sw.backends()[i].vsn, out.new_vsn);
-        sw.complete(i, SimDuration::from_millis(1));
+        sw.complete(i, SimDuration::from_millis(1), SimTime::ZERO);
     }
 
     #[test]
@@ -948,7 +1188,9 @@ mod tests {
             Err(SodaError::BadRequest(_))
         ));
         // Unknown service / node.
-        assert!(master.migrate(ServiceId(99), vsn, HostId(2), &mut daemons, SimTime::ZERO).is_err());
+        assert!(master
+            .migrate(ServiceId(99), vsn, HostId(2), &mut daemons, SimTime::ZERO)
+            .is_err());
         assert!(master
             .migrate(svc, VsnId(999), HostId(2), &mut daemons, SimTime::ZERO)
             .is_err());

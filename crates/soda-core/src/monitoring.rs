@@ -10,7 +10,7 @@
 use soda_hup::daemon::SodaDaemon;
 use soda_hup::host::HostId;
 use soda_net::addr::Ipv4Addr;
-use soda_sim::SimTime;
+use soda_sim::{Labels, SimTime};
 use soda_vmm::vsn::{VsnId, VsnState};
 
 use crate::master::SodaMaster;
@@ -83,14 +83,37 @@ pub fn snapshot(
     for placed in &rec.nodes {
         let daemon = daemons.iter().find(|d| d.host.id == placed.host)?;
         let vsn = daemon.vsn(placed.vsn)?;
-        let (served, outstanding, mean) = switch
-            .and_then(|sw| {
-                sw.index_of(placed.vsn).map(|i| {
-                    let b = &sw.backends()[i];
-                    (b.served, b.outstanding, b.response_stats.mean())
+        // Traffic figures come from the metrics registry when
+        // observability is on (the switch feeds `switch.*` under
+        // `{service, vsn}` labels); otherwise straight from the switch's
+        // backend runtime. Both views are kept in sync by the switch, so
+        // the snapshot is identical either way.
+        let labels = Labels::two("service", service.0, "vsn", placed.vsn.0);
+        let from_registry = master.obs().with(|inner| {
+            (
+                inner.registry.counter("switch", "served", labels),
+                inner.registry.gauge("switch", "outstanding", labels),
+                inner
+                    .registry
+                    .histogram("switch", "response_time", labels)
+                    .map(|h| h.mean() / 1e9),
+            )
+        });
+        let (served, outstanding, mean) = match from_registry {
+            Some((Some(served), outstanding, mean)) => (
+                served,
+                outstanding.unwrap_or(0.0) as u32,
+                mean.unwrap_or(0.0),
+            ),
+            _ => switch
+                .and_then(|sw| {
+                    sw.index_of(placed.vsn).map(|i| {
+                        let b = &sw.backends()[i];
+                        (b.served, b.outstanding, b.response_stats.mean())
+                    })
                 })
-            })
-            .unwrap_or((0, 0, 0.0));
+                .unwrap_or((0, 0, 0.0)),
+        };
         if vsn.is_running() {
             running += 1;
         }
@@ -109,8 +132,11 @@ pub fn snapshot(
             process_count: daemon.host.processes.count_uid(vsn.uid),
         });
     }
-    let healthy_fraction =
-        if nodes.is_empty() { 0.0 } else { running as f64 / nodes.len() as f64 };
+    let healthy_fraction = if nodes.is_empty() {
+        0.0
+    } else {
+        running as f64 / nodes.len() as f64
+    };
     Some(ServiceStatus {
         service,
         taken_at: now,
@@ -184,12 +210,12 @@ mod tests {
         // Serve a few requests through the switch.
         for _ in 0..6 {
             let sw = master.switch_mut(svc).unwrap();
-            let i = sw.route().unwrap();
-            sw.complete(i, SimDuration::from_millis(10));
+            let i = sw.route(SimTime::ZERO).unwrap();
+            sw.complete(i, SimDuration::from_millis(10), SimTime::ZERO);
         }
         // Crash the tacoma node.
         let tacoma_vsn = master.service(svc).unwrap().nodes[1].vsn;
-        daemons[1].crash_vsn(tacoma_vsn).unwrap();
+        daemons[1].crash_vsn(tacoma_vsn, SimTime::ZERO).unwrap();
         master.node_crashed(svc, tacoma_vsn);
         let s = snapshot(&master, &daemons, svc, SimTime::from_secs(20)).unwrap();
         assert_eq!(s.total_served, 6);
@@ -202,6 +228,38 @@ mod tests {
         assert!(t.running_since.is_none());
         let seattle = &s.nodes[0];
         assert!(seattle.mean_response_secs > 0.0);
+    }
+
+    #[test]
+    fn registry_backed_snapshot_matches_switch_backed() {
+        // The same traffic, observed twice: one master with obs enabled
+        // (snapshot reads the metrics registry) and one without (reads
+        // the switch). The ASP-visible numbers must be identical.
+        fn drive(master: &mut SodaMaster, svc: ServiceId) {
+            for _ in 0..9 {
+                let sw = master.switch_mut(svc).unwrap();
+                let i = sw.route(SimTime::ZERO).unwrap();
+                sw.complete(i, SimDuration::from_millis(25), SimTime::ZERO);
+            }
+        }
+        let (mut with_obs, d1, svc1) = setup();
+        with_obs.set_obs(soda_sim::Obs::enabled(64));
+        let (mut without, d2, svc2) = setup();
+        drive(&mut with_obs, svc1);
+        drive(&mut without, svc2);
+        let a = snapshot(&with_obs, &d1, svc1, SimTime::from_secs(1)).unwrap();
+        let b = snapshot(&without, &d2, svc2, SimTime::from_secs(1)).unwrap();
+        assert_eq!(a.total_served, b.total_served);
+        for (na, nb) in a.nodes.iter().zip(b.nodes.iter()) {
+            assert_eq!(na.served, nb.served);
+            assert_eq!(na.outstanding, nb.outstanding);
+            assert!(
+                (na.mean_response_secs - nb.mean_response_secs).abs() < 1e-3,
+                "{} vs {}",
+                na.mean_response_secs,
+                nb.mean_response_secs
+            );
+        }
     }
 
     #[test]

@@ -56,7 +56,10 @@ pub struct PartitionedService {
 impl PartitionedService {
     /// The underlying service of a component.
     pub fn component(&self, name: &str) -> Option<ServiceId> {
-        self.components.iter().find(|(n, _)| n == name).map(|&(_, id)| id)
+        self.components
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, id)| id)
     }
 }
 
@@ -71,7 +74,9 @@ pub fn create_partitioned_now(
     id: PartitionId,
 ) -> Result<PartitionedService, SodaError> {
     if spec.components.is_empty() {
-        return Err(SodaError::BadRequest("partition needs at least one component".into()));
+        return Err(SodaError::BadRequest(
+            "partition needs at least one component".into(),
+        ));
     }
     let mut created: Vec<(String, ServiceId)> = Vec::with_capacity(spec.components.len());
     for comp in &spec.components {
@@ -86,7 +91,11 @@ pub fn create_partitioned_now(
             }
         }
     }
-    Ok(PartitionedService { id, name: spec.name.clone(), components: created })
+    Ok(PartitionedService {
+        id,
+        name: spec.name.clone(),
+        components: created,
+    })
 }
 
 /// Tear the whole partition down.
@@ -107,9 +116,10 @@ pub fn route_component(
     master: &mut SodaMaster,
     partition: &PartitionedService,
     component: &str,
+    now: SimTime,
 ) -> Option<(ServiceId, usize)> {
     let svc = partition.component(component)?;
-    let idx = master.switch_mut(svc)?.route()?;
+    let idx = master.switch_mut(svc)?.route(now)?;
     Some((svc, idx))
 }
 
@@ -153,7 +163,13 @@ mod tests {
                 },
                 ServiceSpec {
                     name: "app".into(),
-                    image: c.custom("app_fs", 25_000_000, 10_000_000, &["network", "syslogd"], false),
+                    image: c.custom(
+                        "app_fs",
+                        25_000_000,
+                        10_000_000,
+                        &["network", "syslogd"],
+                        false,
+                    ),
                     required_services: vec!["network", "syslogd"],
                     app_class: StartupClass::Heavy,
                     instances: 1,
@@ -162,7 +178,13 @@ mod tests {
                 },
                 ServiceSpec {
                     name: "db".into(),
-                    image: c.custom("db_fs", 40_000_000, 200_000_000, &["network", "syslogd", "mysqld"], false),
+                    image: c.custom(
+                        "db_fs",
+                        40_000_000,
+                        200_000_000,
+                        &["network", "syslogd", "mysqld"],
+                        false,
+                    ),
                     required_services: vec!["network", "syslogd", "mysqld"],
                     app_class: StartupClass::Heavy,
                     instances: 1,
@@ -193,7 +215,10 @@ mod tests {
         let db = part.component("db").unwrap();
         assert_ne!(web, db);
         assert!(part.component("cache").is_none());
-        assert_eq!(master.service(web).unwrap().spec.image.name, "rootfs_base_1.0");
+        assert_eq!(
+            master.service(web).unwrap().spec.image.name,
+            "rootfs_base_1.0"
+        );
         assert_eq!(master.service(db).unwrap().spec.image.name, "db_fs");
         assert_eq!(master.switch(web).unwrap().config().total_capacity(), 2);
         assert_eq!(master.switch(db).unwrap().config().total_capacity(), 1);
@@ -218,16 +243,19 @@ mod tests {
         // A request path: web → app → db, each hop through its own
         // switch.
         for tier in ["web", "app", "db"] {
-            let (svc, idx) = route_component(&mut master, &part, tier).unwrap();
-            master.switch_mut(svc).unwrap().complete(idx, SimDuration::from_millis(2));
+            let (svc, idx) = route_component(&mut master, &part, tier, SimTime::ZERO).unwrap();
+            master.switch_mut(svc).unwrap().complete(
+                idx,
+                SimDuration::from_millis(2),
+                SimTime::ZERO,
+            );
         }
         for tier in ["web", "app", "db"] {
             let svc = part.component(tier).unwrap();
-            let served: u64 =
-                master.switch(svc).unwrap().served_counts().iter().sum();
+            let served: u64 = master.switch(svc).unwrap().served_counts().iter().sum();
             assert_eq!(served, 1, "{tier}");
         }
-        assert!(route_component(&mut master, &part, "nope").is_none());
+        assert!(route_component(&mut master, &part, "nope", SimTime::ZERO).is_none());
     }
 
     #[test]
@@ -278,9 +306,19 @@ mod tests {
     fn empty_partition_rejected() {
         let mut master = SodaMaster::new();
         let mut ds = daemons();
-        let spec = PartitionedSpec { name: "x".into(), components: vec![] };
+        let spec = PartitionedSpec {
+            name: "x".into(),
+            components: vec![],
+        };
         assert!(matches!(
-            create_partitioned_now(&mut master, &spec, "a", &mut ds, SimTime::ZERO, PartitionId(1)),
+            create_partitioned_now(
+                &mut master,
+                &spec,
+                "a",
+                &mut ds,
+                SimTime::ZERO,
+                PartitionId(1)
+            ),
             Err(SodaError::BadRequest(_))
         ));
     }

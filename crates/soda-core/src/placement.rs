@@ -44,7 +44,10 @@ pub trait PlacementPolicy: Send {
 
 fn finish(mut counts: Vec<(HostId, u32)>) -> Vec<NodePlan> {
     counts.retain(|&(_, k)| k > 0);
-    counts.into_iter().map(|(host, instances)| NodePlan { host, instances }).collect()
+    counts
+        .into_iter()
+        .map(|(host, instances)| NodePlan { host, instances })
+        .collect()
 }
 
 /// First-fit: walk hosts in id order, packing as many instances as fit
@@ -182,8 +185,14 @@ mod tests {
         assert_eq!(
             plan,
             vec![
-                NodePlan { host: HostId(1), instances: 2 },
-                NodePlan { host: HostId(2), instances: 1 },
+                NodePlan {
+                    host: HostId(1),
+                    instances: 2
+                },
+                NodePlan {
+                    host: HostId(2),
+                    instances: 1
+                },
             ]
         );
     }
@@ -191,13 +200,25 @@ mod tests {
     #[test]
     fn first_fit_packs_lowest_host() {
         let plan = FirstFit.place(3, &m(), &testbed()).unwrap();
-        assert_eq!(plan, vec![NodePlan { host: HostId(1), instances: 3 }]);
+        assert_eq!(
+            plan,
+            vec![NodePlan {
+                host: HostId(1),
+                instances: 3
+            }]
+        );
         let plan4 = FirstFit.place(4, &m(), &testbed()).unwrap();
         assert_eq!(
             plan4,
             vec![
-                NodePlan { host: HostId(1), instances: 3 },
-                NodePlan { host: HostId(2), instances: 1 },
+                NodePlan {
+                    host: HostId(1),
+                    instances: 3
+                },
+                NodePlan {
+                    host: HostId(2),
+                    instances: 1
+                },
             ]
         );
     }
@@ -205,13 +226,23 @@ mod tests {
     #[test]
     fn best_fit_fills_tightest_host_first() {
         let plan = BestFit.place(2, &m(), &testbed()).unwrap();
-        assert_eq!(plan, vec![NodePlan { host: HostId(2), instances: 2 }]);
+        assert_eq!(
+            plan,
+            vec![NodePlan {
+                host: HostId(2),
+                instances: 2
+            }]
+        );
     }
 
     #[test]
     fn all_policies_fail_cleanly_when_demand_exceeds_capacity() {
         for policy in [&FirstFit as &dyn PlacementPolicy, &BestFit, &WorstFit] {
-            assert!(policy.place(6, &m(), &testbed()).is_none(), "{}", policy.name());
+            assert!(
+                policy.place(6, &m(), &testbed()).is_none(),
+                "{}",
+                policy.name()
+            );
             assert!(policy.place(1, &m(), &[]).is_none(), "{}", policy.name());
         }
     }

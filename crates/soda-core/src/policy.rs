@@ -140,7 +140,9 @@ pub struct RandomPolicy {
 impl RandomPolicy {
     /// A seeded random policy (deterministic per seed).
     pub fn new(seed: u64) -> Self {
-        RandomPolicy { rng: SimRng::new(seed) }
+        RandomPolicy {
+            rng: SimRng::new(seed),
+        }
     }
 }
 
@@ -260,7 +262,12 @@ mod tests {
 
     fn views(caps: &[u32]) -> Vec<BackendView> {
         caps.iter()
-            .map(|&c| BackendView { capacity: c, healthy: true, outstanding: 0, ewma_response: 0.0 })
+            .map(|&c| BackendView {
+                capacity: c,
+                healthy: true,
+                outstanding: 0,
+                ewma_response: 0.0,
+            })
             .collect()
     }
 

@@ -69,7 +69,12 @@ pub struct AdmissionQueue {
 impl AdmissionQueue {
     /// A queue with the given drain policy and capacity bound.
     pub fn new(policy: QueuePolicy, max_len: usize) -> Self {
-        AdmissionQueue { pending: VecDeque::new(), policy, max_len, next_ticket: 1 }
+        AdmissionQueue {
+            pending: VecDeque::new(),
+            policy,
+            max_len,
+            next_ticket: 1,
+        }
     }
 
     /// Number of parked requests.
@@ -122,7 +127,10 @@ impl AdmissionQueue {
 
     /// Waiting time of a parked request.
     pub fn waiting_since(&self, ticket: QueueTicket) -> Option<SimTime> {
-        self.pending.iter().find(|p| p.ticket == ticket).map(|p| p.queued_at)
+        self.pending
+            .iter()
+            .find(|p| p.ticket == ticket)
+            .map(|p| p.queued_at)
     }
 
     /// Try to admit parked requests (call after capacity frees). Returns
@@ -139,12 +147,7 @@ impl AdmissionQueue {
                 // Admit from the head; stop at the first that still
                 // doesn't fit.
                 while let Some(head) = self.pending.front() {
-                    match master.create_service_now(
-                        head.spec.clone(),
-                        &head.asp,
-                        daemons,
-                        now,
-                    ) {
+                    match master.create_service_now(head.spec.clone(), &head.asp, daemons, now) {
                         Ok(reply) => {
                             let p = self.pending.pop_front().expect("head exists");
                             admitted.push((p.ticket, reply));
@@ -165,9 +168,7 @@ impl AdmissionQueue {
                     for i in order {
                         let (spec, asp) =
                             (self.pending[i].spec.clone(), self.pending[i].asp.clone());
-                        if let Ok(reply) =
-                            master.create_service_now(spec, &asp, daemons, now)
-                        {
+                        if let Ok(reply) = master.create_service_now(spec, &asp, daemons, now) {
                             let p = self.pending.remove(i).expect("index valid");
                             admitted.push((p.ticket, reply));
                             progressed = true;
@@ -218,7 +219,13 @@ mod tests {
     fn admits_when_capacity_exists() {
         let (mut master, mut daemons) = setup();
         let mut q = AdmissionQueue::new(QueuePolicy::Fifo, 8);
-        match q.submit(&mut master, &mut daemons, spec(1, "a"), "asp", SimTime::ZERO) {
+        match q.submit(
+            &mut master,
+            &mut daemons,
+            spec(1, "a"),
+            "asp",
+            SimTime::ZERO,
+        ) {
             Submission::Admitted(_) => {}
             other => panic!("expected admission, got {other:?}"),
         }
@@ -230,24 +237,43 @@ mod tests {
         let (mut master, mut daemons) = setup();
         let mut q = AdmissionQueue::new(QueuePolicy::Fifo, 8);
         // Fill the host (seattle fits 3 inflated instances).
-        let first = match q.submit(&mut master, &mut daemons, spec(3, "big"), "asp", SimTime::ZERO)
-        {
+        let first = match q.submit(
+            &mut master,
+            &mut daemons,
+            spec(3, "big"),
+            "asp",
+            SimTime::ZERO,
+        ) {
             Submission::Admitted(r) => r.service,
             other => panic!("{other:?}"),
         };
         // These two park.
-        let t1 = match q.submit(&mut master, &mut daemons, spec(2, "b"), "asp", SimTime::from_secs(1)) {
+        let t1 = match q.submit(
+            &mut master,
+            &mut daemons,
+            spec(2, "b"),
+            "asp",
+            SimTime::from_secs(1),
+        ) {
             Submission::Queued(t) => t,
             other => panic!("{other:?}"),
         };
-        let t2 = match q.submit(&mut master, &mut daemons, spec(1, "c"), "asp", SimTime::from_secs(2)) {
+        let t2 = match q.submit(
+            &mut master,
+            &mut daemons,
+            spec(1, "c"),
+            "asp",
+            SimTime::from_secs(2),
+        ) {
             Submission::Queued(t) => t,
             other => panic!("{other:?}"),
         };
         assert_eq!(q.len(), 2);
         assert_eq!(q.waiting_since(t1), Some(SimTime::from_secs(1)));
         // Nothing drains while full.
-        assert!(q.retry(&mut master, &mut daemons, SimTime::from_secs(3)).is_empty());
+        assert!(q
+            .retry(&mut master, &mut daemons, SimTime::from_secs(3))
+            .is_empty());
         // Free the capacity: both drain, FIFO order.
         master.teardown(first, &mut daemons).unwrap();
         let admitted = q.retry(&mut master, &mut daemons, SimTime::from_secs(4));
@@ -264,22 +290,37 @@ mod tests {
         let build = |policy| {
             let (mut master, mut daemons) = setup();
             let mut q = AdmissionQueue::new(policy, 8);
-            let filler = match q.submit(&mut master, &mut daemons, spec(3, "filler"), "asp", SimTime::ZERO)
-            {
+            let filler = match q.submit(
+                &mut master,
+                &mut daemons,
+                spec(3, "filler"),
+                "asp",
+                SimTime::ZERO,
+            ) {
                 Submission::Admitted(r) => r.service,
                 other => panic!("{other:?}"),
             };
-            let Submission::Queued(big) =
-                q.submit(&mut master, &mut daemons, spec(3, "big"), "asp", SimTime::ZERO)
-            else {
+            let Submission::Queued(big) = q.submit(
+                &mut master,
+                &mut daemons,
+                spec(3, "big"),
+                "asp",
+                SimTime::ZERO,
+            ) else {
                 panic!("big must queue")
             };
-            let Submission::Queued(small) =
-                q.submit(&mut master, &mut daemons, spec(1, "small"), "asp", SimTime::ZERO)
-            else {
+            let Submission::Queued(small) = q.submit(
+                &mut master,
+                &mut daemons,
+                spec(1, "small"),
+                "asp",
+                SimTime::ZERO,
+            ) else {
                 panic!("small must queue")
             };
-            master.resize(filler, 2, &mut daemons, SimTime::from_secs(1)).unwrap();
+            master
+                .resize(filler, 2, &mut daemons, SimTime::from_secs(1))
+                .unwrap();
             let admitted = q.retry(&mut master, &mut daemons, SimTime::from_secs(1));
             (admitted, big, small, q.len())
         };
@@ -299,13 +340,29 @@ mod tests {
     fn backlog_bound_and_cancel() {
         let (mut master, mut daemons) = setup();
         let mut q = AdmissionQueue::new(QueuePolicy::Fifo, 1);
-        q.submit(&mut master, &mut daemons, spec(3, "fill"), "asp", SimTime::ZERO);
-        let Submission::Queued(t) =
-            q.submit(&mut master, &mut daemons, spec(1, "a"), "asp", SimTime::ZERO)
-        else {
+        q.submit(
+            &mut master,
+            &mut daemons,
+            spec(3, "fill"),
+            "asp",
+            SimTime::ZERO,
+        );
+        let Submission::Queued(t) = q.submit(
+            &mut master,
+            &mut daemons,
+            spec(1, "a"),
+            "asp",
+            SimTime::ZERO,
+        ) else {
             panic!("must queue")
         };
-        match q.submit(&mut master, &mut daemons, spec(1, "b"), "asp", SimTime::ZERO) {
+        match q.submit(
+            &mut master,
+            &mut daemons,
+            spec(1, "b"),
+            "asp",
+            SimTime::ZERO,
+        ) {
             Submission::Rejected(SodaError::BadRequest(msg)) => {
                 assert!(msg.contains("backlog full"))
             }
@@ -320,7 +377,13 @@ mod tests {
     fn malformed_requests_reject_immediately() {
         let (mut master, mut daemons) = setup();
         let mut q = AdmissionQueue::new(QueuePolicy::Fifo, 8);
-        match q.submit(&mut master, &mut daemons, spec(0, "zero"), "asp", SimTime::ZERO) {
+        match q.submit(
+            &mut master,
+            &mut daemons,
+            spec(0, "zero"),
+            "asp",
+            SimTime::ZERO,
+        ) {
             Submission::Rejected(SodaError::BadRequest(_)) => {}
             other => panic!("{other:?}"),
         }

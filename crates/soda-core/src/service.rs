@@ -135,8 +135,16 @@ mod tests {
             asp: "biolab".into(),
             state: ServiceState::Creating,
             nodes: vec![
-                PlacedNode { host: HostId(1), vsn: VsnId(10), capacity: 2 },
-                PlacedNode { host: HostId(2), vsn: VsnId(11), capacity: 1 },
+                PlacedNode {
+                    host: HostId(1),
+                    vsn: VsnId(10),
+                    capacity: 2,
+                },
+                PlacedNode {
+                    host: HostId(2),
+                    vsn: VsnId(11),
+                    capacity: 1,
+                },
             ],
             nodes_ready: 0,
         };

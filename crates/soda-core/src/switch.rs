@@ -8,7 +8,7 @@
 //! and per-node mean response time — exactly Figure 4's two panels.
 
 use soda_net::addr::Ipv4Addr;
-use soda_sim::{SimDuration, Summary};
+use soda_sim::{Event, Labels, Obs, SimDuration, SimTime, Summary};
 use soda_vmm::vsn::VsnId;
 
 use crate::config::ServiceConfigFile;
@@ -61,6 +61,7 @@ pub struct ServiceSwitch {
     backends: Vec<BackendRuntime>,
     dropped: u64,
     ewma_alpha: f64,
+    obs: Obs,
 }
 
 impl ServiceSwitch {
@@ -74,7 +75,19 @@ impl ServiceSwitch {
             backends: Vec::new(),
             dropped: 0,
             ewma_alpha: 0.2,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attach an observability handle; request lifecycle events and
+    /// `switch.*` metrics are recorded through it.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// `{service, vsn}` metric labels for backend `idx`.
+    fn labels(&self, idx: usize) -> Labels {
+        Labels::two("service", self.service.0, "vsn", self.backends[idx].vsn.0)
     }
 
     /// Replace the switching policy with a service-specific one (§3.4).
@@ -147,15 +160,47 @@ impl ServiceSwitch {
     /// Route one request: the policy picks a backend, the switch counts
     /// it in flight. Returns the backend index, or `None` (counted as a
     /// drop) when the policy yields nothing.
-    pub fn route(&mut self) -> Option<usize> {
+    pub fn route(&mut self, now: SimTime) -> Option<usize> {
         let views: Vec<BackendView> = self.backends.iter().map(|b| b.view()).collect();
         match self.policy.pick(&views) {
             Some(i) if i < self.backends.len() => {
                 self.backends[i].outstanding += 1;
+                if self.obs.is_enabled() {
+                    let labels = self.labels(i);
+                    self.obs.record(
+                        now,
+                        Event::RequestDispatched {
+                            service: self.service.0,
+                            vsn: self.backends[i].vsn.0,
+                        },
+                    );
+                    self.obs.counter_add("switch", "dispatched", labels, 1);
+                    self.obs.gauge_set(
+                        "switch",
+                        "outstanding",
+                        labels,
+                        f64::from(self.backends[i].outstanding),
+                    );
+                }
                 Some(i)
             }
             _ => {
                 self.dropped += 1;
+                if self.obs.is_enabled() {
+                    self.obs.record(
+                        now,
+                        Event::RequestFailed {
+                            service: self.service.0,
+                            vsn: 0,
+                        },
+                    );
+                    self.obs.counter_add(
+                        "switch",
+                        "dropped",
+                        Labels::one("service", self.service.0),
+                        1,
+                    );
+                }
                 None
             }
         }
@@ -163,7 +208,7 @@ impl ServiceSwitch {
 
     /// Record a completed request on backend `idx` with the observed
     /// response time.
-    pub fn complete(&mut self, idx: usize, response_time: SimDuration) {
+    pub fn complete(&mut self, idx: usize, response_time: SimDuration, now: SimTime) {
         let Some(b) = self.backends.get_mut(idx) else {
             return;
         };
@@ -176,13 +221,48 @@ impl ServiceSwitch {
             (1.0 - self.ewma_alpha) * b.ewma_response + self.ewma_alpha * rt
         };
         b.response_stats.record(rt);
+        if self.obs.is_enabled() {
+            let labels = self.labels(idx);
+            let b = &self.backends[idx];
+            self.obs.record(
+                now,
+                Event::RequestCompleted {
+                    service: self.service.0,
+                    vsn: b.vsn.0,
+                },
+            );
+            self.obs.counter_add("switch", "served", labels, 1);
+            self.obs
+                .gauge_set("switch", "outstanding", labels, f64::from(b.outstanding));
+            self.obs
+                .histogram_record("switch", "response_time", labels, response_time.as_nanos());
+        }
     }
 
     /// A failed request (backend crashed mid-flight): decrement
     /// in-flight without recording a completion.
-    pub fn abort(&mut self, idx: usize) {
+    pub fn abort(&mut self, idx: usize, now: SimTime) {
         if let Some(b) = self.backends.get_mut(idx) {
             b.outstanding = b.outstanding.saturating_sub(1);
+        }
+        if self.obs.is_enabled() {
+            if let Some(b) = self.backends.get(idx) {
+                self.obs.record(
+                    now,
+                    Event::RequestFailed {
+                        service: self.service.0,
+                        vsn: b.vsn.0,
+                    },
+                );
+                self.obs
+                    .counter_add("switch", "aborted", self.labels(idx), 1);
+                self.obs.gauge_set(
+                    "switch",
+                    "outstanding",
+                    self.labels(idx),
+                    f64::from(b.outstanding),
+                );
+            }
         }
     }
 
@@ -208,7 +288,10 @@ impl ServiceSwitch {
 
     /// Mean response time per backend, seconds.
     pub fn mean_responses(&self) -> Vec<f64> {
-        self.backends.iter().map(|b| b.response_stats.mean()).collect()
+        self.backends
+            .iter()
+            .map(|b| b.response_stats.mean())
+            .collect()
     }
 }
 
@@ -249,8 +332,8 @@ mod tests {
     fn routing_respects_2_to_1() {
         let mut s = switch_2_1();
         for _ in 0..300 {
-            let i = s.route().unwrap();
-            s.complete(i, SimDuration::from_millis(10));
+            let i = s.route(SimTime::ZERO).unwrap();
+            s.complete(i, SimDuration::from_millis(10), SimTime::ZERO);
         }
         assert_eq!(s.served_counts(), vec![200, 100]);
         assert_eq!(s.dropped(), 0);
@@ -259,14 +342,11 @@ mod tests {
     #[test]
     fn outstanding_and_completion_accounting() {
         let mut s = switch_2_1();
-        let a = s.route().unwrap();
-        let b = s.route().unwrap();
-        assert_eq!(
-            s.backends().iter().map(|x| x.outstanding).sum::<u32>(),
-            2
-        );
-        s.complete(a, SimDuration::from_millis(100));
-        s.abort(b);
+        let a = s.route(SimTime::ZERO).unwrap();
+        let b = s.route(SimTime::ZERO).unwrap();
+        assert_eq!(s.backends().iter().map(|x| x.outstanding).sum::<u32>(), 2);
+        s.complete(a, SimDuration::from_millis(100), SimTime::ZERO);
+        s.abort(b, SimTime::ZERO);
         assert_eq!(s.backends().iter().map(|x| x.outstanding).sum::<u32>(), 0);
         let total_served: u64 = s.served_counts().iter().sum();
         assert_eq!(total_served, 1, "aborts are not completions");
@@ -278,8 +358,8 @@ mod tests {
         for ms in [10u64, 20, 30] {
             let i = s.index_of(VsnId(10)).unwrap();
             s.backends()[i].view(); // no-op, exercise view
-            s.route();
-            s.complete(0, SimDuration::from_millis(ms));
+            s.route(SimTime::ZERO);
+            s.complete(0, SimDuration::from_millis(ms), SimTime::ZERO);
         }
         let means = s.mean_responses();
         assert!((means[0] - 0.020).abs() < 1e-9);
@@ -291,12 +371,12 @@ mod tests {
         let mut s = switch_2_1();
         s.set_health(VsnId(10), false);
         for _ in 0..10 {
-            let i = s.route().unwrap();
+            let i = s.route(SimTime::ZERO).unwrap();
             assert_eq!(i, s.index_of(VsnId(11)).unwrap());
-            s.complete(i, SimDuration::from_millis(1));
+            s.complete(i, SimDuration::from_millis(1), SimTime::ZERO);
         }
         s.set_health(VsnId(11), false);
-        assert_eq!(s.route(), None);
+        assert_eq!(s.route(SimTime::ZERO), None);
         assert_eq!(s.dropped(), 1);
         assert!(!s.set_health(VsnId(99), true));
     }
@@ -307,15 +387,15 @@ mod tests {
         assert!(s.set_capacity(VsnId(11), 2));
         assert!(s.config().to_string().contains("128.10.9.126 8080 2"));
         for _ in 0..100 {
-            let i = s.route().unwrap();
-            s.complete(i, SimDuration::from_millis(1));
+            let i = s.route(SimTime::ZERO).unwrap();
+            s.complete(i, SimDuration::from_millis(1), SimTime::ZERO);
         }
         assert_eq!(s.served_counts(), vec![50, 50]);
         // Remove a node entirely.
         assert!(s.remove_backend(VsnId(10)));
         assert!(!s.remove_backend(VsnId(10)));
         assert_eq!(s.config().len(), 1);
-        assert_eq!(s.route(), Some(0));
+        assert_eq!(s.route(SimTime::ZERO), Some(0));
     }
 
     #[test]
@@ -326,7 +406,7 @@ mod tests {
         // An ill-behaved replacement still routes (to backend 0 always).
         s.replace_policy(Box::new(IllBehaved::new()));
         s.set_health(VsnId(10), false);
-        let i = s.route().unwrap();
+        let i = s.route(SimTime::ZERO).unwrap();
         assert_eq!(i, 0, "ill-behaved policy dumps on the dead node");
     }
 
@@ -343,7 +423,7 @@ mod tests {
         }
         let mut s = switch_2_1();
         s.replace_policy(Box::new(Broken));
-        assert_eq!(s.route(), None);
+        assert_eq!(s.route(SimTime::ZERO), None);
         assert_eq!(s.dropped(), 1);
     }
 }

@@ -23,7 +23,7 @@ use soda_hup::daemon::SodaDaemon;
 use soda_hup::host::HostId;
 use soda_net::http::HttpModel;
 use soda_net::link::{FlowId, LinkSpec, ProcessorSharingLink};
-use soda_sim::{Ctx, Engine, SimDuration, SimTime};
+use soda_sim::{Ctx, Engine, Event, Labels, Obs, SimDuration, SimTime};
 use soda_vmm::intercept::{InterceptCostModel, SlowdownFactors};
 use soda_vmm::isolation::{Blast, ExecutionMode, FaultKind};
 use soda_vmm::vsn::VsnId;
@@ -77,11 +77,19 @@ enum FlowPurpose {
         vsn: VsnId,
         backend_idx: Option<usize>,
         issued: SimTime,
+        /// When the backend's CPU stage finished (the response span —
+        /// shaper wait + NIC transfer — starts here).
+        cpu_done: SimTime,
         dataset: u64,
         request: RequestId,
     },
     /// A service image arriving at a daemon; bootstrap follows.
-    Download { service: ServiceId, vsn: VsnId, bootstrap: SimDuration, started: SimTime },
+    Download {
+        service: ServiceId,
+        vsn: VsnId,
+        bootstrap: SimDuration,
+        started: SimTime,
+    },
     /// DDoS garbage (no completion action).
     Flood,
 }
@@ -142,6 +150,9 @@ pub struct SodaWorld {
     /// client experiments ran without it; set this to `false` to
     /// replicate that condition. Defaults to `true` (full SODA).
     pub shaping_enforced: bool,
+    /// Observability handle shared by every entity in the world
+    /// (disabled unless [`SodaWorld::enable_obs`] is called).
+    pub obs: Obs,
     node_runtimes: HashMap<VsnId, NodeRuntime>,
     inflight: HashMap<(HostId, FlowId), FlowPurpose>,
     ready_nodes: HashMap<ServiceId, usize>,
@@ -154,7 +165,12 @@ impl SodaWorld {
     pub fn new(daemons: Vec<SodaDaemon>) -> Self {
         let nics = daemons
             .iter()
-            .map(|d| (d.host.id, ProcessorSharingLink::new(LinkSpec::lan_100mbps())))
+            .map(|d| {
+                (
+                    d.host.id,
+                    ProcessorSharingLink::new(LinkSpec::lan_100mbps()),
+                )
+            })
             .collect();
         SodaWorld {
             agent: SodaAgent::new(1.0),
@@ -167,6 +183,7 @@ impl SodaWorld {
             creations: Vec::new(),
             dropped: 0,
             shaping_enforced: true,
+            obs: Obs::disabled(),
             node_runtimes: HashMap::new(),
             inflight: HashMap::new(),
             ready_nodes: HashMap::new(),
@@ -192,12 +209,35 @@ impl SodaWorld {
         SodaWorld::new(daemons)
     }
 
+    /// Switch on structured observability for the whole world: one
+    /// shared handle (ring buffer of `capacity` events, spans, metrics
+    /// registry) is propagated to the Master, every switch, every daemon
+    /// and every traffic shaper. Call any time; entities created later
+    /// (new switches) inherit it. Recording never schedules engine
+    /// events or draws randomness, so enabling it cannot perturb a
+    /// simulation's trajectory.
+    pub fn enable_obs(&mut self, capacity: usize) -> Obs {
+        let obs = Obs::enabled(capacity);
+        self.master.set_obs(obs.clone());
+        for d in &mut self.daemons {
+            d.set_obs(obs.clone());
+        }
+        self.obs = obs.clone();
+        obs
+    }
+
     fn daemon_mut(&mut self, host: HostId) -> &mut SodaDaemon {
-        self.daemons.iter_mut().find(|d| d.host.id == host).expect("host exists")
+        self.daemons
+            .iter_mut()
+            .find(|d| d.host.id == host)
+            .expect("host exists")
     }
 
     fn daemon(&self, host: HostId) -> &SodaDaemon {
-        self.daemons.iter().find(|d| d.host.id == host).expect("host exists")
+        self.daemons
+            .iter()
+            .find(|d| d.host.id == host)
+            .expect("host exists")
     }
 
     /// Register runtime state for a node once it is running. `mode`
@@ -207,7 +247,10 @@ impl SodaWorld {
         let rec = self.master.service(service).expect("service exists");
         let placed = *rec.node(vsn).expect("node exists");
         let d = self.daemon(placed.host);
-        let ip = d.vsn(vsn).and_then(|v| v.ip).expect("running node has an IP");
+        let ip = d
+            .vsn(vsn)
+            .and_then(|v| v.ip)
+            .expect("running node has an IP");
         let host_hz = d.host.profile.cpu.freq_hz() as f64 * d.host.profile.cpu_efficiency;
         let slowdown = match mode {
             ExecutionMode::GuestIsolated => SlowdownFactors::measured_web(&self.intercept),
@@ -244,7 +287,10 @@ impl SodaWorld {
 
     /// Response-time records for one backend, after a warm-up cutoff.
     pub fn records_for(&self, vsn: VsnId, after: SimTime) -> Vec<&RequestRecord> {
-        self.completed.iter().filter(|r| r.vsn == vsn && r.issued >= after).collect()
+        self.completed
+            .iter()
+            .filter(|r| r.vsn == vsn && r.issued >= after)
+            .collect()
     }
 
     /// Mean response time (seconds) for one backend after `after`.
@@ -253,7 +299,10 @@ impl SodaWorld {
         if recs.is_empty() {
             return 0.0;
         }
-        recs.iter().map(|r| r.response_time().as_secs_f64()).sum::<f64>() / recs.len() as f64
+        recs.iter()
+            .map(|r| r.response_time().as_secs_f64())
+            .sum::<f64>()
+            / recs.len() as f64
     }
 }
 
@@ -271,13 +320,25 @@ fn pump_nic(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, host: HostId) {
         nic.advance(now);
         nic.spec().latency
     };
-    let completed = world.nics.get_mut(&host).expect("nic exists").take_completed();
+    let completed = world
+        .nics
+        .get_mut(&host)
+        .expect("nic exists")
+        .take_completed();
     for (flow, finish) in completed {
         let Some(purpose) = world.inflight.remove(&(host, flow)) else {
             continue;
         };
         match purpose {
-            FlowPurpose::Response { service, vsn, backend_idx, issued, dataset, request } => {
+            FlowPurpose::Response {
+                service,
+                vsn,
+                backend_idx,
+                issued,
+                cpu_done,
+                dataset,
+                request,
+            } => {
                 let delivered = finish + latency;
                 let record = RequestRecord {
                     service,
@@ -287,14 +348,26 @@ fn pump_nic(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, host: HostId) {
                     dataset,
                 };
                 world.completed.push(record);
+                world.obs.span_record(
+                    "request",
+                    "response",
+                    Labels::two("service", service.0, "vsn", vsn.0),
+                    cpu_done,
+                    delivered,
+                );
                 if let (Some(idx), Some(sw)) = (backend_idx, world.master.switch_mut(service)) {
-                    sw.complete(idx, delivered.saturating_since(issued));
+                    sw.complete(idx, delivered.saturating_since(issued), delivered);
                 }
                 if let Some(cb) = world.callbacks.remove(&request) {
                     cb(world, ctx, Some(&record));
                 }
             }
-            FlowPurpose::Download { service, vsn, bootstrap, started } => {
+            FlowPurpose::Download {
+                service,
+                vsn,
+                bootstrap,
+                started,
+            } => {
                 // Image is on local disk; bootstrap now runs.
                 ctx.schedule_in(bootstrap, move |w: &mut SodaWorld, ctx| {
                     finish_node_boot(w, ctx, service, vsn, started);
@@ -318,7 +391,11 @@ fn start_flow(
     purpose: FlowPurpose,
 ) {
     let now = ctx.now();
-    let flow = world.nics.get_mut(&host).expect("nic exists").add_flow(bytes, now);
+    let flow = world
+        .nics
+        .get_mut(&host)
+        .expect("nic exists")
+        .add_flow(bytes, now);
     world.inflight.insert((host, flow), purpose);
     // Zero-byte flows complete instantly; pump right away. Otherwise arm
     // at the (possibly moved) next completion.
@@ -339,17 +416,28 @@ fn finish_node_boot(
     // service instead of completing a creation.
     if world.master.switch(service).is_some() {
         let mut daemons = std::mem::take(&mut world.daemons);
-        let r = world.master.resize_node_ready(service, vsn, &mut daemons, now);
+        let r = world
+            .master
+            .resize_node_ready(service, vsn, &mut daemons, now);
         world.daemons = daemons;
         match r {
             Ok(()) => world.install_runtime(service, vsn, ExecutionMode::GuestIsolated),
-            Err(e) => ctx.trace().emit(now, "master", format!("late node join failed: {e}")),
+            Err(_) => world.obs.record(
+                now,
+                Event::MasterOpFailed {
+                    service: service.0,
+                    vsn: vsn.0,
+                    op: "resize_node_ready",
+                },
+            ),
         }
         return;
     }
     // Split borrows: pull daemons out, call master, put back.
     let mut daemons = std::mem::take(&mut world.daemons);
-    let reply = world.master.node_ready(service, vsn, &mut daemons, now, elapsed);
+    let reply = world
+        .master
+        .node_ready(service, vsn, &mut daemons, now, elapsed);
     world.daemons = daemons;
     match reply {
         Ok(Some(reply)) => {
@@ -366,15 +454,30 @@ fn finish_node_boot(
                 world.install_runtime(service, n, ExecutionMode::GuestIsolated);
             }
             let asp = world.master.service(service).expect("exists").asp.clone();
-            let capacity = world.master.service(service).expect("exists").placed_capacity();
+            let capacity = world
+                .master
+                .service(service)
+                .expect("exists")
+                .placed_capacity();
             world.agent.billing_start(service, &asp, capacity, now);
             world.creations.push(CreationRecord { reply, at: now });
         }
         Ok(None) => {
-            world.ready_nodes.entry(service).and_modify(|n| *n += 1).or_insert(1);
+            world
+                .ready_nodes
+                .entry(service)
+                .and_modify(|n| *n += 1)
+                .or_insert(1);
         }
-        Err(e) => {
-            ctx.trace().emit(now, "master", format!("node_ready failed: {e}"));
+        Err(_) => {
+            world.obs.record(
+                now,
+                Event::MasterOpFailed {
+                    service: service.0,
+                    vsn: vsn.0,
+                    op: "node_ready",
+                },
+            );
         }
     }
 }
@@ -398,7 +501,12 @@ pub fn create_service_driven(
         .tickets
         .iter()
         .map(|(host, t)| {
-            (*host, t.vsn, t.timing.total(), world.http.download_bytes(t.download_bytes))
+            (
+                *host,
+                t.vsn,
+                t.timing.total(),
+                world.http.download_bytes(t.download_bytes),
+            )
         })
         .collect();
     for (host, vsn, bootstrap, bytes) in downloads {
@@ -408,7 +516,12 @@ pub fn create_service_driven(
                 ctx,
                 host,
                 bytes,
-                FlowPurpose::Download { service, vsn, bootstrap, started: ctx.now() },
+                FlowPurpose::Download {
+                    service,
+                    vsn,
+                    bootstrap,
+                    started: ctx.now(),
+                },
             );
         });
     }
@@ -417,7 +530,12 @@ pub fn create_service_driven(
 
 /// Submit one client request to a service through its switch. The
 /// response is recorded in `world.completed` when fully delivered.
-pub fn submit_request(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, service: ServiceId, dataset: u64) {
+pub fn submit_request(
+    world: &mut SodaWorld,
+    ctx: &mut Ctx<SodaWorld>,
+    service: ServiceId,
+    dataset: u64,
+) {
     submit_request_with_callback(world, ctx, service, dataset, None);
 }
 
@@ -444,7 +562,7 @@ pub fn submit_request_with_callback(
         drop_request(world, ctx, request);
         return;
     };
-    let Some(idx) = sw.route() else {
+    let Some(idx) = sw.route(issued) else {
         drop_request(world, ctx, request);
         return;
     };
@@ -460,7 +578,17 @@ pub fn submit_request_with_callback(
         None => SimDuration::from_micros(100),
     };
     let forward = lan_latency + switch_cycles_time + lan_latency;
-    dispatch_to_backend(world, ctx, service, vsn, Some(idx), issued, forward, dataset, request);
+    dispatch_to_backend(
+        world,
+        ctx,
+        service,
+        vsn,
+        Some(idx),
+        issued,
+        forward,
+        dataset,
+        request,
+    );
 }
 
 /// Submit one request directly to a node, bypassing the switch (the
@@ -476,7 +604,9 @@ pub fn submit_request_direct(
     let request = RequestId(world.next_request);
     world.next_request += 1;
     let forward = SimDuration::from_micros(200); // client → server, one hop
-    dispatch_to_backend(world, ctx, service, vsn, None, issued, forward, dataset, request);
+    dispatch_to_backend(
+        world, ctx, service, vsn, None, issued, forward, dataset, request,
+    );
 }
 
 /// Count a drop and fire the request's callback with `None`.
@@ -503,7 +633,7 @@ fn dispatch_to_backend(
     if !world.node_runtimes.contains_key(&vsn) {
         // Node crashed or not installed: request lost.
         if let (Some(idx), Some(sw)) = (backend_idx, world.master.switch_mut(service)) {
-            sw.abort(idx);
+            sw.abort(idx, now);
         }
         drop_request(world, ctx, request);
         return;
@@ -517,20 +647,34 @@ fn dispatch_to_backend(
     let host = rt.host;
     let ip = rt.ip;
     let net_slow = rt.slowdown.network;
-    let wire_bytes =
-        (world.http.response_bytes(dataset) as f64 * net_slow) as u64;
+    if world.obs.is_enabled() {
+        // The per-request lifecycle is fully determined here (the CPU
+        // stage is FIFO), so the queue and service spans are recorded up
+        // front rather than via extra engine events.
+        let labels = Labels::two("service", service.0, "vsn", vsn.0);
+        world
+            .obs
+            .span_record("request", "queue", labels, arrive, start);
+        world
+            .obs
+            .span_record("request", "guest_service", labels, start, done_cpu);
+    }
+    let wire_bytes = (world.http.response_bytes(dataset) as f64 * net_slow) as u64;
     ctx.schedule_at(done_cpu, move |w: &mut SodaWorld, ctx| {
         // Shaper gates the response's entry onto the NIC (unless the
         // world replicates the pre-shaper 2003 prototype).
         let depart = if w.shaping_enforced {
-            w.daemon_mut(host).host.shaper.admit(ip.as_u32(), wire_bytes, ctx.now())
+            w.daemon_mut(host)
+                .host
+                .shaper
+                .admit(ip.as_u32(), wire_bytes, ctx.now())
         } else {
             ctx.now()
         };
         if depart == SimTime::MAX {
             // Zero-rate shaping: response never leaves.
             if let (Some(idx), Some(sw)) = (backend_idx, w.master.switch_mut(service)) {
-                sw.abort(idx);
+                sw.abort(idx, ctx.now());
             }
             drop_request(w, ctx, request);
             return;
@@ -541,7 +685,15 @@ fn dispatch_to_backend(
                 ctx,
                 host,
                 wire_bytes,
-                FlowPurpose::Response { service, vsn, backend_idx, issued, dataset, request },
+                FlowPurpose::Response {
+                    service,
+                    vsn,
+                    backend_idx,
+                    issued,
+                    cpu_done: done_cpu,
+                    dataset,
+                    request,
+                },
             );
         });
     });
@@ -582,18 +734,17 @@ pub fn attack_node(
             crash_one(world, svc, victim, now);
         }
     }
-    ctx.trace().emit(now, "attack", format!("{fault:?} on {vsn} (mode {mode:?})"));
     blast
 }
 
-fn crash_one(world: &mut SodaWorld, service: ServiceId, vsn: VsnId, _now: SimTime) {
+fn crash_one(world: &mut SodaWorld, service: ServiceId, vsn: VsnId, now: SimTime) {
     let Some(rec) = world.master.service(service) else {
         return;
     };
     let Some(host) = rec.node(vsn).map(|n| n.host) else {
         return;
     };
-    let _ = world.daemon_mut(host).crash_vsn(vsn);
+    let _ = world.daemon_mut(host).crash_vsn(vsn, now);
     world.master.node_crashed(service, vsn);
     world.node_runtimes.remove(&vsn);
 }
@@ -606,7 +757,10 @@ pub fn revive_node(
     service: ServiceId,
     vsn: VsnId,
 ) -> Result<(), SodaError> {
-    let rec = world.master.service(service).ok_or(SodaError::UnknownService(service))?;
+    let rec = world
+        .master
+        .service(service)
+        .ok_or(SodaError::UnknownService(service))?;
     let host = rec.node(vsn).ok_or(SodaError::UnknownVsn(vsn))?.host;
     let timing = world.daemon_mut(host).begin_repriming(vsn)?;
     ctx.schedule_in(timing.total(), move |w: &mut SodaWorld, ctx| {
@@ -629,13 +783,12 @@ pub fn fail_host(
 ) -> Vec<(ServiceId, VsnId, u32)> {
     let now = ctx.now();
     if let Some(d) = world.daemons.iter_mut().find(|d| d.host.id == host) {
-        d.fail_host();
+        d.fail_host(now);
     }
     let affected = world.master.host_failed(host);
     for (_, vsn, _) in &affected {
         world.node_runtimes.remove(vsn);
     }
-    ctx.trace().emit(now, "hup", format!("host {host} failed, {} nodes down", affected.len()));
     affected
 }
 
@@ -661,7 +814,12 @@ pub fn failover_node(
         ctx,
         target,
         bytes,
-        FlowPurpose::Download { service, vsn: new_vsn, bootstrap, started: now },
+        FlowPurpose::Download {
+            service,
+            vsn: new_vsn,
+            bootstrap,
+            started: now,
+        },
     );
     Ok(target)
 }
@@ -733,9 +891,12 @@ mod tests {
         let (mut engine, svc) = engine_with_web(3);
         let t0 = engine.now();
         for i in 0..30u64 {
-            engine.schedule_at(t0 + SimDuration::from_millis(100 * i), move |w: &mut SodaWorld, ctx| {
-                submit_request(w, ctx, svc, 50_000);
-            });
+            engine.schedule_at(
+                t0 + SimDuration::from_millis(100 * i),
+                move |w: &mut SodaWorld, ctx| {
+                    submit_request(w, ctx, svc, 50_000);
+                },
+            );
         }
         engine.run_until(SimTime::from_secs(300));
         let w = engine.state();
@@ -763,7 +924,9 @@ mod tests {
         engine.run_until(engine.now() + SimDuration::from_secs(60));
         let guest_rt = engine.state().completed[0].response_time();
         // Same request in host-direct mode.
-        engine.state_mut().set_execution_mode(svc, vsn, ExecutionMode::HostDirect);
+        engine
+            .state_mut()
+            .set_execution_mode(svc, vsn, ExecutionMode::HostDirect);
         engine.schedule_in(SimDuration::from_secs(1), move |w: &mut SodaWorld, ctx| {
             submit_request_direct(w, ctx, svc, vsn, 100_000);
         });
@@ -801,13 +964,21 @@ mod tests {
         // Web requests still succeed afterwards.
         let t = engine.now() + SimDuration::from_secs(2);
         for i in 0..10u64 {
-            engine.schedule_at(t + SimDuration::from_millis(200 * i), move |w: &mut SodaWorld, ctx| {
-                submit_request(w, ctx, web, 10_000);
-            });
+            engine.schedule_at(
+                t + SimDuration::from_millis(200 * i),
+                move |w: &mut SodaWorld, ctx| {
+                    submit_request(w, ctx, web, 10_000);
+                },
+            );
         }
         engine.run_until(engine.now() + SimDuration::from_secs(120));
         let w = engine.state();
-        assert_eq!(w.completed.len(), 10, "web unaffected; dropped {}", w.dropped);
+        assert_eq!(
+            w.completed.len(),
+            10,
+            "web unaffected; dropped {}",
+            w.dropped
+        );
         // The honeypot node is crashed.
         let hp_rec = w.master.service(hp).unwrap();
         let d = w.daemon(hp_rec.nodes[0].host);
@@ -831,7 +1002,9 @@ mod tests {
         engine.run_until(SimTime::from_secs(120));
         let hp_vsn = engine.state_mut().master.service(hp).unwrap().nodes[0].vsn;
         // The counterfactual: honeypot runs directly on the host OS.
-        engine.state_mut().set_execution_mode(hp, hp_vsn, ExecutionMode::HostDirect);
+        engine
+            .state_mut()
+            .set_execution_mode(hp, hp_vsn, ExecutionMode::HostDirect);
         engine.schedule_in(SimDuration::from_secs(1), move |w: &mut SodaWorld, ctx| {
             let blast = attack_node(w, ctx, hp, hp_vsn, FaultKind::RootCompromise);
             assert!(blast.cohosted_down);
@@ -859,7 +1032,11 @@ mod tests {
             submit_request(w, ctx, svc, 10_000);
         });
         engine.run_until(t + SimDuration::from_secs(60));
-        assert_eq!(engine.state().completed.len(), 1, "revived node serves again");
+        assert_eq!(
+            engine.state().completed.len(),
+            1,
+            "revived node serves again"
+        );
     }
 
     #[test]
@@ -868,11 +1045,17 @@ mod tests {
         // the *other* service's response times degrade. First-fit
         // placement packs both onto seattle.
         let mut engine = Engine::new(SodaWorld::testbed());
-        engine.state_mut().master.set_placement(Box::new(crate::placement::FirstFit));
+        engine
+            .state_mut()
+            .master
+            .set_placement(Box::new(crate::placement::FirstFit));
         let web = create_service_driven(&mut engine, web_spec(2), "webco").unwrap();
         let other = create_service_driven(
             &mut engine,
-            ServiceSpec { name: "other".into(), ..web_spec(1) },
+            ServiceSpec {
+                name: "other".into(),
+                ..web_spec(1)
+            },
             "otherco",
         )
         .unwrap();

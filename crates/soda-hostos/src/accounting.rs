@@ -97,7 +97,11 @@ mod tests {
     use crate::sched::{CpuScheduler, ProportionalShareScheduler};
 
     fn p(pid: u32, uid: u32, demand: f64) -> ProcDesc {
-        ProcDesc { pid: Pid(pid), uid: Uid(uid), demand }
+        ProcDesc {
+            pid: Pid(pid),
+            uid: Uid(uid),
+            demand,
+        }
     }
 
     const TICK: SimDuration = SimDuration::from_millis(10);

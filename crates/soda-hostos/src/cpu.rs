@@ -23,7 +23,11 @@ impl CpuSpec {
     pub fn new(model: &'static str, freq_mhz: u32, cores: u32) -> Self {
         assert!(freq_mhz > 0, "CPU frequency must be positive");
         assert!(cores > 0, "core count must be positive");
-        CpuSpec { model, freq_mhz, cores }
+        CpuSpec {
+            model,
+            freq_mhz,
+            cores,
+        }
     }
 
     /// *seattle*'s CPU: 2.6 GHz Intel Xeon.
@@ -90,7 +94,10 @@ mod tests {
         // Table 4's native syscall (~1.2k cycles) must not round to zero.
         let s = CpuSpec::seattle();
         let d = s.cycles_to_time(1_208);
-        assert!(d.as_nanos() > 0, "sub-microsecond costs must be representable");
+        assert!(
+            d.as_nanos() > 0,
+            "sub-microsecond costs must be representable"
+        );
         assert_eq!(d.as_nanos(), 1_208 * 1_000 / 2_600);
     }
 

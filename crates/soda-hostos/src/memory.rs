@@ -39,11 +39,24 @@ pub enum MemError {
 impl std::fmt::Display for MemError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MemError::OverCap { uid, cap_mb, attempted_mb } => {
-                write!(f, "uid {uid} over memory cap: {attempted_mb}MB > {cap_mb}MB")
+            MemError::OverCap {
+                uid,
+                cap_mb,
+                attempted_mb,
+            } => {
+                write!(
+                    f,
+                    "uid {uid} over memory cap: {attempted_mb}MB > {cap_mb}MB"
+                )
             }
-            MemError::HostExhausted { requested_mb, free_mb } => {
-                write!(f, "host memory exhausted: requested {requested_mb}MB, free {free_mb}MB")
+            MemError::HostExhausted {
+                requested_mb,
+                free_mb,
+            } => {
+                write!(
+                    f,
+                    "host memory exhausted: requested {requested_mb}MB, free {free_mb}MB"
+                )
             }
             MemError::UnknownAccount(uid) => write!(f, "no memory cap registered for uid {uid}"),
             MemError::Underflow(uid) => write!(f, "uid {uid} freed more memory than allocated"),
@@ -70,7 +83,11 @@ pub struct MemoryManager {
 impl MemoryManager {
     /// A manager for a host with `total_mb` of RAM.
     pub fn new(total_mb: u32) -> Self {
-        MemoryManager { total_mb, used_mb: 0, accounts: HashMap::new() }
+        MemoryManager {
+            total_mb,
+            used_mb: 0,
+            accounts: HashMap::new(),
+        }
     }
 
     /// Register an account with a cap — the `mem=` limit passed when the
@@ -89,14 +106,25 @@ impl MemoryManager {
     /// Allocate `mb` for `uid`. Fails if the account cap or host RAM
     /// would be exceeded; a failed allocation changes nothing.
     pub fn allocate(&mut self, uid: Uid, mb: u32) -> Result<(), MemError> {
-        let acc = self.accounts.get(&uid).copied().ok_or(MemError::UnknownAccount(uid))?;
+        let acc = self
+            .accounts
+            .get(&uid)
+            .copied()
+            .ok_or(MemError::UnknownAccount(uid))?;
         let attempted = acc.used_mb.saturating_add(mb);
         if attempted > acc.cap_mb {
-            return Err(MemError::OverCap { uid, cap_mb: acc.cap_mb, attempted_mb: attempted });
+            return Err(MemError::OverCap {
+                uid,
+                cap_mb: acc.cap_mb,
+                attempted_mb: attempted,
+            });
         }
         let free = self.total_mb.saturating_sub(self.used_mb);
         if mb > free {
-            return Err(MemError::HostExhausted { requested_mb: mb, free_mb: free });
+            return Err(MemError::HostExhausted {
+                requested_mb: mb,
+                free_mb: free,
+            });
         }
         self.accounts.get_mut(&uid).expect("checked").used_mb = attempted;
         self.used_mb += mb;
@@ -105,7 +133,10 @@ impl MemoryManager {
 
     /// Free `mb` previously allocated by `uid`.
     pub fn free(&mut self, uid: Uid, mb: u32) -> Result<(), MemError> {
-        let acc = self.accounts.get_mut(&uid).ok_or(MemError::UnknownAccount(uid))?;
+        let acc = self
+            .accounts
+            .get_mut(&uid)
+            .ok_or(MemError::UnknownAccount(uid))?;
         if mb > acc.used_mb {
             return Err(MemError::Underflow(uid));
         }
@@ -146,7 +177,14 @@ mod tests {
         m.register(Uid(2), 256);
         m.allocate(Uid(1), 200).unwrap();
         let err = m.allocate(Uid(1), 100).unwrap_err();
-        assert!(matches!(err, MemError::OverCap { uid: Uid(1), cap_mb: 256, attempted_mb: 300 }));
+        assert!(matches!(
+            err,
+            MemError::OverCap {
+                uid: Uid(1),
+                cap_mb: 256,
+                attempted_mb: 300
+            }
+        ));
         // uid 2 unaffected: isolation.
         m.allocate(Uid(2), 256).unwrap();
         assert_eq!(m.used_by(Uid(1)), 200);
@@ -161,14 +199,26 @@ mod tests {
         m.register(Uid(2), 256);
         m.allocate(Uid(1), 256).unwrap();
         let err = m.allocate(Uid(2), 100).unwrap_err();
-        assert!(matches!(err, MemError::HostExhausted { requested_mb: 100, free_mb: 44 }));
+        assert!(matches!(
+            err,
+            MemError::HostExhausted {
+                requested_mb: 100,
+                free_mb: 44
+            }
+        ));
     }
 
     #[test]
     fn unknown_account_rejected() {
         let mut m = MemoryManager::new(100);
-        assert!(matches!(m.allocate(Uid(9), 1), Err(MemError::UnknownAccount(Uid(9)))));
-        assert!(matches!(m.free(Uid(9), 1), Err(MemError::UnknownAccount(Uid(9)))));
+        assert!(matches!(
+            m.allocate(Uid(9), 1),
+            Err(MemError::UnknownAccount(Uid(9)))
+        ));
+        assert!(matches!(
+            m.free(Uid(9), 1),
+            Err(MemError::UnknownAccount(Uid(9)))
+        ));
         assert_eq!(m.cap_of(Uid(9)), None);
     }
 
@@ -179,7 +229,10 @@ mod tests {
         m.allocate(Uid(1), 300).unwrap();
         m.free(Uid(1), 100).unwrap();
         assert_eq!(m.used_by(Uid(1)), 200);
-        assert!(matches!(m.free(Uid(1), 300), Err(MemError::Underflow(Uid(1)))));
+        assert!(matches!(
+            m.free(Uid(1), 300),
+            Err(MemError::Underflow(Uid(1)))
+        ));
         assert_eq!(m.used_by(Uid(1)), 200);
     }
 
@@ -215,8 +268,14 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = MemError::OverCap { uid: Uid(3), cap_mb: 10, attempted_mb: 12 };
+        let e = MemError::OverCap {
+            uid: Uid(3),
+            cap_mb: 10,
+            attempted_mb: 12,
+        };
         assert!(e.to_string().contains("over memory cap"));
-        assert!(MemError::Underflow(Uid(1)).to_string().contains("freed more"));
+        assert!(MemError::Underflow(Uid(1))
+            .to_string()
+            .contains("freed more"));
     }
 }

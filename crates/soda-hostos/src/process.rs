@@ -51,14 +51,24 @@ impl ProcessTable {
     /// An empty table; pids start at 1 (pid 0 is the idle task, as on
     /// Linux).
     pub fn new() -> Self {
-        ProcessTable { procs: BTreeMap::new(), next_pid: 1 }
+        ProcessTable {
+            procs: BTreeMap::new(),
+            next_pid: 1,
+        }
     }
 
     /// Spawn a process under `uid`; returns its pid.
     pub fn spawn(&mut self, uid: Uid, command: impl Into<String>) -> Pid {
         let pid = Pid(self.next_pid);
         self.next_pid += 1;
-        self.procs.insert(pid, ProcessEntry { pid, uid, command: command.into() });
+        self.procs.insert(
+            pid,
+            ProcessEntry {
+                pid,
+                uid,
+                command: command.into(),
+            },
+        );
         pid
     }
 
@@ -70,8 +80,12 @@ impl ProcessTable {
     /// Kill every process owned by `uid` (VSN teardown / guest crash).
     /// Returns how many were killed.
     pub fn kill_uid(&mut self, uid: Uid) -> usize {
-        let doomed: Vec<Pid> =
-            self.procs.values().filter(|p| p.uid == uid).map(|p| p.pid).collect();
+        let doomed: Vec<Pid> = self
+            .procs
+            .values()
+            .filter(|p| p.uid == uid)
+            .map(|p| p.pid)
+            .collect();
         for pid in &doomed {
             self.procs.remove(pid);
         }

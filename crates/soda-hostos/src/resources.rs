@@ -32,17 +32,30 @@ pub type MachineConfig = ResourceVector;
 
 impl ResourceVector {
     /// The zero vector.
-    pub const ZERO: ResourceVector =
-        ResourceVector { cpu_mhz: 0, mem_mb: 0, disk_mb: 0, bw_mbps: 0 };
+    pub const ZERO: ResourceVector = ResourceVector {
+        cpu_mhz: 0,
+        mem_mb: 0,
+        disk_mb: 0,
+        bw_mbps: 0,
+    };
 
     /// Table 1's example configuration: CPU 512 MHz, memory 256 MB,
     /// disk 1 GB, bandwidth 10 Mbps.
-    pub const TABLE1_EXAMPLE: ResourceVector =
-        ResourceVector { cpu_mhz: 512, mem_mb: 256, disk_mb: 1024, bw_mbps: 10 };
+    pub const TABLE1_EXAMPLE: ResourceVector = ResourceVector {
+        cpu_mhz: 512,
+        mem_mb: 256,
+        disk_mb: 1024,
+        bw_mbps: 10,
+    };
 
     /// Construct a vector.
     pub const fn new(cpu_mhz: u32, mem_mb: u32, disk_mb: u32, bw_mbps: u32) -> Self {
-        ResourceVector { cpu_mhz, mem_mb, disk_mb, bw_mbps }
+        ResourceVector {
+            cpu_mhz,
+            mem_mb,
+            disk_mb,
+            bw_mbps,
+        }
     }
 
     /// True iff every dimension of `self` is at least `other` —
@@ -184,8 +197,14 @@ pub enum ResourceError {
 impl fmt::Display for ResourceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ResourceError::Insufficient { requested, available } => {
-                write!(f, "insufficient resources: requested [{requested}], available [{available}]")
+            ResourceError::Insufficient {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "insufficient resources: requested [{requested}], available [{available}]"
+                )
             }
             ResourceError::UnknownReservation(id) => write!(f, "unknown reservation id {id}"),
         }
@@ -208,7 +227,12 @@ pub struct ResourceLedger {
 impl ResourceLedger {
     /// A ledger for a host with the given total capacity.
     pub fn new(capacity: ResourceVector) -> Self {
-        ResourceLedger { capacity, reserved: ResourceVector::ZERO, next_id: 1, live: Vec::new() }
+        ResourceLedger {
+            capacity,
+            reserved: ResourceVector::ZERO,
+            next_id: 1,
+            live: Vec::new(),
+        }
     }
 
     /// Total host capacity.
@@ -235,7 +259,10 @@ impl ResourceLedger {
     pub fn reserve(&mut self, slice: ResourceVector) -> Result<u64, ResourceError> {
         let avail = self.available();
         if !avail.covers(&slice) {
-            return Err(ResourceError::Insufficient { requested: slice, available: avail });
+            return Err(ResourceError::Insufficient {
+                requested: slice,
+                available: avail,
+            });
         }
         let id = self.next_id;
         self.next_id += 1;
@@ -281,7 +308,10 @@ impl ResourceLedger {
 
     /// Look up a live reservation.
     pub fn get(&self, id: u64) -> Option<ResourceVector> {
-        self.live.iter().find(|&&(rid, _)| rid == id).map(|&(_, s)| s)
+        self.live
+            .iter()
+            .find(|&&(rid, _)| rid == id)
+            .map(|&(_, s)| s)
     }
 }
 
@@ -301,7 +331,10 @@ mod tests {
         assert_eq!(m.mem_mb, 256);
         assert_eq!(m.disk_mb, 1024);
         assert_eq!(m.bw_mbps, 10);
-        assert_eq!(m.to_string(), "CPU 512MHz, Mem 256MB, Disk 1024MB, BW 10Mbps");
+        assert_eq!(
+            m.to_string(),
+            "CPU 512MHz, Mem 256MB, Disk 1024MB, BW 10Mbps"
+        );
     }
 
     #[test]
@@ -352,7 +385,10 @@ mod tests {
         let use_ = ResourceVector::new(100, 500, 250, 10);
         assert!((use_.dominant_share(&cap) - 0.5).abs() < 1e-12);
         let zero_cap = ResourceVector::new(0, 1000, 1000, 100);
-        assert_eq!(ResourceVector::new(1, 0, 0, 0).dominant_share(&zero_cap), f64::INFINITY);
+        assert_eq!(
+            ResourceVector::new(1, 0, 0, 0).dominant_share(&zero_cap),
+            f64::INFINITY
+        );
         assert_eq!(ResourceVector::ZERO.dominant_share(&zero_cap), 0.0);
     }
 
@@ -368,7 +404,10 @@ mod tests {
         assert_eq!(l.release(id1).unwrap(), m());
         assert_eq!(l.reservation_count(), 1);
         assert_eq!(l.reserved(), m());
-        assert!(matches!(l.release(id1), Err(ResourceError::UnknownReservation(_))));
+        assert!(matches!(
+            l.release(id1),
+            Err(ResourceError::UnknownReservation(_))
+        ));
         l.release(id2).unwrap();
         assert_eq!(l.reserved(), ResourceVector::ZERO);
     }
@@ -380,7 +419,10 @@ mod tests {
         l.reserve(m()).unwrap();
         let err = l.reserve(m()).unwrap_err();
         match err {
-            ResourceError::Insufficient { requested, available } => {
+            ResourceError::Insufficient {
+                requested,
+                available,
+            } => {
                 assert_eq!(requested, m());
                 assert_eq!(available, ResourceVector::ZERO);
             }
@@ -402,7 +444,10 @@ mod tests {
         // Shrink to 1M.
         l.resize(id, m()).unwrap();
         assert_eq!(l.available(), m() * 3);
-        assert!(matches!(l.resize(999, m()), Err(ResourceError::UnknownReservation(999))));
+        assert!(matches!(
+            l.resize(999, m()),
+            Err(ResourceError::UnknownReservation(999))
+        ));
     }
 
     proptest! {

@@ -18,6 +18,8 @@
 
 use std::collections::HashMap;
 
+use soda_sim::{Event, Labels, Obs, SimTime};
+
 use crate::process::{Pid, Uid};
 
 /// A runnable process presented to the scheduler for one tick.
@@ -31,6 +33,50 @@ pub struct ProcDesc {
     /// clamped to `[0, 1]` on use. A disk-bound logger that sleeps 30% of
     /// the time has demand 0.7; a spinner has demand 1.0.
     pub demand: f64,
+}
+
+/// Record one tick's scheduler allocation into the observability layer:
+/// a [`Event::SchedulerShareSample`] per uid plus a `sched.uid_share`
+/// gauge labeled `{host, uid}`. Schedulers have no clock of their own,
+/// so the experiment driver calls this with the tick's grants (the
+/// Figure 5 harness samples every tick). Branch-only no-op when `obs`
+/// is disabled.
+pub fn record_share_samples(
+    obs: &Obs,
+    now: SimTime,
+    host: u64,
+    procs: &[ProcDesc],
+    grants: &[f64],
+) {
+    if !obs.is_enabled() {
+        return;
+    }
+    // Aggregate per uid in first-seen order (matches scheduler grouping).
+    let mut uid_order: Vec<Uid> = Vec::new();
+    let mut shares: HashMap<Uid, f64> = HashMap::new();
+    for (p, &g) in procs.iter().zip(grants.iter()) {
+        if !shares.contains_key(&p.uid) {
+            uid_order.push(p.uid);
+        }
+        *shares.entry(p.uid).or_insert(0.0) += g;
+    }
+    for uid in uid_order {
+        let share = shares[&uid];
+        obs.record(
+            now,
+            Event::SchedulerShareSample {
+                host,
+                uid: uid.0,
+                share,
+            },
+        );
+        obs.gauge_set(
+            "sched",
+            "uid_share",
+            Labels::two("host", host, "uid", u64::from(uid.0)),
+            share,
+        );
+    }
 }
 
 /// A tick-driven CPU scheduler.
@@ -174,7 +220,10 @@ pub struct ProportionalShareScheduler {
 impl ProportionalShareScheduler {
     /// A scheduler where unknown uids get `default_share` tickets.
     pub fn new(default_share: u32) -> Self {
-        ProportionalShareScheduler { shares: HashMap::new(), default_share }
+        ProportionalShareScheduler {
+            shares: HashMap::new(),
+            default_share,
+        }
     }
 
     /// Set the share (ticket count) for a uid. The SODA Master calls this
@@ -213,8 +262,7 @@ impl CpuScheduler for ProportionalShareScheduler {
         }
         // Level 1: divide the tick among uids by share, capped by the
         // uid's aggregate demand.
-        let uid_weights: Vec<f64> =
-            uid_order.iter().map(|u| self.share(*u) as f64).collect();
+        let uid_weights: Vec<f64> = uid_order.iter().map(|u| self.share(*u) as f64).collect();
         let uid_demands: Vec<f64> = uid_order
             .iter()
             .map(|u| {
@@ -231,8 +279,10 @@ impl CpuScheduler for ProportionalShareScheduler {
         for (gi, u) in uid_order.iter().enumerate() {
             let idxs = &groups[u];
             let weights = vec![1.0; idxs.len()];
-            let demands: Vec<f64> =
-                idxs.iter().map(|&i| procs[i].demand.clamp(0.0, 1.0)).collect();
+            let demands: Vec<f64> = idxs
+                .iter()
+                .map(|&i| procs[i].demand.clamp(0.0, 1.0))
+                .collect();
             let grants = water_fill(uid_grants[gi], &weights, &demands);
             for (&i, g) in idxs.iter().zip(grants) {
                 out[i] = g;
@@ -304,7 +354,9 @@ impl CpuScheduler for LotteryScheduler {
                 (0..procs.len())
                     .filter(|&i| procs[i].uid == uid && granted[i] + 1e-12 < demands[i])
                     .min_by(|&a, &b| {
-                        granted[a].partial_cmp(&granted[b]).expect("grants are finite")
+                        granted[a]
+                            .partial_cmp(&granted[b])
+                            .expect("grants are finite")
                     })
             };
             let candidates: Vec<Uid> = uid_order
@@ -315,8 +367,7 @@ impl CpuScheduler for LotteryScheduler {
             if candidates.is_empty() {
                 break;
             }
-            let total_tickets: f64 =
-                candidates.iter().map(|&u| self.share(u) as f64).sum();
+            let total_tickets: f64 = candidates.iter().map(|&u| self.share(u) as f64).sum();
             if total_tickets <= 0.0 {
                 break;
             }
@@ -346,7 +397,11 @@ mod tests {
     use proptest::prelude::*;
 
     fn p(pid: u32, uid: u32, demand: f64) -> ProcDesc {
-        ProcDesc { pid: Pid(pid), uid: Uid(uid), demand }
+        ProcDesc {
+            pid: Pid(pid),
+            uid: Uid(uid),
+            demand,
+        }
     }
 
     fn total(xs: &[f64]) -> f64 {
@@ -422,6 +477,31 @@ mod tests {
         }
     }
 
+    #[test]
+    fn share_samples_aggregate_per_uid() {
+        let obs = Obs::enabled(16);
+        let procs = vec![p(1, 1, 1.0), p(2, 2, 1.0), p(3, 2, 1.0)];
+        let grants = vec![0.5, 0.25, 0.25];
+        record_share_samples(&obs, SimTime::from_secs(3), 9, &procs, &grants);
+        let drained = obs.drain_events().unwrap();
+        assert_eq!(drained.events.len(), 2, "one sample per uid");
+        assert_eq!(
+            drained.events[0].event,
+            Event::SchedulerShareSample {
+                host: 9,
+                uid: 1,
+                share: 0.5
+            }
+        );
+        let g = obs.with(|i| {
+            i.registry
+                .gauge("sched", "uid_share", Labels::two("host", 9, "uid", 2))
+        });
+        assert_eq!(g, Some(Some(0.5)));
+        // Disabled handle records nothing and allocates nothing visible.
+        record_share_samples(&Obs::disabled(), SimTime::ZERO, 9, &procs, &grants);
+    }
+
     // ---- TimeShareScheduler ----
 
     #[test]
@@ -429,12 +509,7 @@ mod tests {
         // comp runs 3 spinners under uid 2; web runs 1 process under uid 1.
         // Stock Linux gives comp ~3/4 — the Figure 5(a) pathology.
         let mut s = TimeShareScheduler::new();
-        let procs = vec![
-            p(1, 1, 1.0),
-            p(2, 2, 1.0),
-            p(3, 2, 1.0),
-            p(4, 2, 1.0),
-        ];
+        let procs = vec![p(1, 1, 1.0), p(2, 2, 1.0), p(3, 2, 1.0), p(4, 2, 1.0)];
         // Warm up the EWMA so bonuses settle.
         let mut grants = Vec::new();
         for _ in 0..50 {
@@ -443,7 +518,10 @@ mod tests {
         let web: f64 = grants[0];
         let comp: f64 = grants[1] + grants[2] + grants[3];
         assert!((total(&grants) - 1.0).abs() < 1e-9, "work conserving");
-        assert!(comp > 2.5 * web, "comp {comp} vs web {web}: per-process fairness");
+        assert!(
+            comp > 2.5 * web,
+            "comp {comp} vs web {web}: per-process fairness"
+        );
     }
 
     #[test]
@@ -477,12 +555,7 @@ mod tests {
         let mut s = ProportionalShareScheduler::new(1);
         s.set_share(Uid(1), 100);
         s.set_share(Uid(2), 100);
-        let procs = vec![
-            p(1, 1, 1.0),
-            p(2, 2, 1.0),
-            p(3, 2, 1.0),
-            p(4, 2, 1.0),
-        ];
+        let procs = vec![p(1, 1, 1.0), p(2, 2, 1.0), p(3, 2, 1.0), p(4, 2, 1.0)];
         let g = s.allocate(&procs);
         let web = g[0];
         let comp = g[1] + g[2] + g[3];
@@ -543,10 +616,10 @@ mod tests {
             s.set_share(Uid(u), 100);
         }
         let procs = vec![
-            p(1, 1, 0.9),              // web: serving requests
+            p(1, 1, 0.9), // web: serving requests
             p(2, 2, 1.0),
-            p(3, 2, 1.0),              // comp: two spinners
-            p(4, 3, 0.7),              // log: disk-bound
+            p(3, 2, 1.0), // comp: two spinners
+            p(4, 3, 0.7), // log: disk-bound
         ];
         let g = s.allocate(&procs);
         let web = g[0];

@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use soda_sim::{SimDuration, SimTime};
+use soda_sim::{Event, Labels, Obs, SimDuration, SimTime};
 
 /// Key identifying a shaped entity. The SODA implementation keys on the
 /// VSN's IP address; we keep the key generic as a `u32` (an IPv4 address
@@ -51,6 +51,8 @@ impl Bucket {
 #[derive(Clone, Debug, Default)]
 pub struct TrafficShaper {
     buckets: HashMap<ShaperKey, Bucket>,
+    obs: Obs,
+    host_label: u64,
 }
 
 impl TrafficShaper {
@@ -59,6 +61,13 @@ impl TrafficShaper {
     /// only VSN IPs are shaped.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attach an observability handle; `host_label` identifies the host
+    /// in [`Event::ShaperDrop`] events and `shaper.*` metrics.
+    pub fn set_obs(&mut self, obs: Obs, host_label: u64) {
+        self.obs = obs;
+        self.host_label = host_label;
     }
 
     /// Configure (or reconfigure) the allocated outbound rate for an
@@ -102,6 +111,19 @@ impl TrafficShaper {
         } else if b.rate_bytes_per_sec <= 0.0 {
             // Zero rate: traffic never departs within any horizon we
             // simulate. Report a far-future time instead of dividing by 0.
+            self.obs.record(
+                now,
+                Event::ShaperDrop {
+                    host: self.host_label,
+                    ip: key,
+                },
+            );
+            self.obs.counter_add(
+                "shaper",
+                "drops",
+                Labels::two("host", self.host_label, "ip", u64::from(key)),
+                1,
+            );
             SimTime::MAX
         } else {
             let wait = -b.tokens / b.rate_bytes_per_sec;
@@ -149,7 +171,7 @@ mod tests {
         let mut s = TrafficShaper::new();
         let t0 = SimTime::ZERO;
         s.configure(1, 10.0, MS100, t0); // 10 Mbps = 1.25 MB/s
-        // Send 5 MB in one go at t0 after the burst: total time ≈ 4 s.
+                                         // Send 5 MB in one go at t0 after the burst: total time ≈ 4 s.
         s.admit(1, 125_000, t0); // drain the burst
         let dep = s.admit(1, 5_000_000, t0);
         let secs = dep.saturating_since(t0).as_secs_f64();
@@ -162,7 +184,7 @@ mod tests {
         let t0 = SimTime::ZERO;
         s.configure(1, 8.0, MS100, t0); // 1 MB/s, 100 kB burst
         s.admit(1, 100_000, t0); // empty the bucket
-        // After 50 ms, 50 kB of tokens are back.
+                                 // After 50 ms, 50 kB of tokens are back.
         let t1 = t0 + SimDuration::from_millis(50);
         let dep = s.admit(1, 50_000, t1);
         assert_eq!(dep, t1);
@@ -178,7 +200,7 @@ mod tests {
         s.configure(1, 8.0, MS100, t0);
         s.configure(2, 8.0, MS100, t0);
         s.admit(1, 10_000_000, t0); // saturate address 1
-        // Address 2 is unaffected — bandwidth isolation between VSNs.
+                                    // Address 2 is unaffected — bandwidth isolation between VSNs.
         assert_eq!(s.admit(2, 50_000, t0), t0);
     }
 
@@ -191,6 +213,27 @@ mod tests {
         assert_eq!(s.admit(1, 100, t0), t0);
         // ...but anything beyond the floor waits forever.
         assert_eq!(s.admit(1, 10_000, t0), SimTime::MAX);
+    }
+
+    #[test]
+    fn zero_rate_drop_is_observable() {
+        let mut s = TrafficShaper::new();
+        let obs = Obs::enabled(16);
+        s.set_obs(obs.clone(), 7);
+        let t0 = SimTime::ZERO;
+        s.configure(42, 0.0, MS100, t0);
+        assert_eq!(s.admit(42, 10_000, t0), SimTime::MAX);
+        let drained = obs.drain_events().unwrap();
+        assert_eq!(drained.events.len(), 1);
+        assert_eq!(
+            drained.events[0].event,
+            Event::ShaperDrop { host: 7, ip: 42 }
+        );
+        let counted = obs.with(|i| {
+            i.registry
+                .counter("shaper", "drops", Labels::two("host", 7, "ip", 42))
+        });
+        assert_eq!(counted, Some(Some(1)));
     }
 
     #[test]

@@ -27,14 +27,14 @@ use soda_hostos::resources::{ResourceError, ResourceVector};
 use soda_net::addr::Ipv4Addr;
 use soda_net::bridge::PortTag;
 use soda_net::pool::PoolError;
-use soda_sim::{SimDuration, SimTime};
+use soda_sim::{Event, Labels, Obs, SimDuration, SimTime};
 use soda_vmm::bootstrap::{BootstrapModel, BootstrapTiming};
 use soda_vmm::guest::GuestOs;
 use soda_vmm::rootfs::RootFsImage;
 use soda_vmm::sysservices::{StartupClass, SystemServiceId};
-use soda_vmm::vsn::{VirtualServiceNode, VsnError, VsnId};
 #[cfg(test)]
 use soda_vmm::vsn::VsnState;
+use soda_vmm::vsn::{VirtualServiceNode, VsnError, VsnId};
 
 use crate::host::HupHost;
 
@@ -117,6 +117,7 @@ pub struct SodaDaemon {
     model: BootstrapModel,
     vsns: BTreeMap<VsnId, VirtualServiceNode>,
     blueprints: BTreeMap<VsnId, Blueprint>,
+    obs: Obs,
 }
 
 impl SodaDaemon {
@@ -127,7 +128,22 @@ impl SodaDaemon {
             model: BootstrapModel::new(),
             vsns: BTreeMap::new(),
             blueprints: BTreeMap::new(),
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attach an observability handle. Propagates to the host's traffic
+    /// shaper so its drop events carry this host's id.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.host
+            .shaper
+            .set_obs(obs.clone(), u64::from(self.host.id.0));
+        self.obs = obs;
+    }
+
+    /// This host's id as an event/metric label.
+    fn host_label(&self) -> u64 {
+        u64::from(self.host.id.0)
     }
 
     /// Resource availability, as reported to the SODA Master.
@@ -137,7 +153,7 @@ impl SodaDaemon {
 
     /// Whole-host failure: the host loses power; every VSN on it crashes
     /// at once. Returns the ids of the nodes that went down.
-    pub fn fail_host(&mut self) -> Vec<VsnId> {
+    pub fn fail_host(&mut self, now: SimTime) -> Vec<VsnId> {
         self.host.fail();
         let mut downed = Vec::new();
         for vsn in self.vsns.values_mut() {
@@ -145,6 +161,13 @@ impl SodaDaemon {
                 downed.push(vsn.id);
             }
         }
+        let host = u64::from(self.host.id.0);
+        self.obs.record(now, Event::HostFailure { host });
+        for vsn in &downed {
+            self.obs.record(now, Event::VsnCrash { vsn: vsn.0, host });
+        }
+        self.obs
+            .counter_add("daemon", "host_failures", Labels::one("host", host), 1);
         downed
     }
 
@@ -203,14 +226,18 @@ impl SodaDaemon {
             .expect("pool-allocated address cannot already be bridged");
         let uid = Self::uid_of(vsn_id);
         self.host.mem.register(uid, slice.mem_mb);
-        self.host.shaper.configure(ip.as_u32(), slice.bw_mbps as f64, SHAPER_BURST, now);
+        self.host
+            .shaper
+            .configure(ip.as_u32(), slice.bw_mbps as f64, SHAPER_BURST, now);
 
         let (tailored, timing) =
-            self.model.timing(&self.host.profile, image, required_services, app_class);
+            self.model
+                .timing(&self.host.profile, image, required_services, app_class);
 
         let mut vsn = VirtualServiceNode::allocated(vsn_id, uid, capacity_m, reservation);
         vsn.ip = Some(ip);
-        vsn.start_priming().expect("allocated -> priming is always legal");
+        vsn.start_priming()
+            .expect("allocated -> priming is always legal");
         self.vsns.insert(vsn_id, vsn);
         self.blueprints.insert(
             vsn_id,
@@ -221,32 +248,103 @@ impl SodaDaemon {
                 timing,
             },
         );
-        Ok(PrimingTicket { vsn: vsn_id, ip, download_bytes: image.total_bytes(), timing })
+        Ok(PrimingTicket {
+            vsn: vsn_id,
+            ip,
+            download_bytes: image.total_bytes(),
+            timing,
+        })
     }
 
     /// Finish priming: boot the guest, spawn its processes, mark the
     /// node Running. Returns the node's IP (what the Daemon reports back
     /// to the Master).
-    pub fn complete_priming(&mut self, vsn_id: VsnId, now: SimTime) -> Result<Ipv4Addr, PrimingError> {
-        let vsn = self.vsns.get_mut(&vsn_id).ok_or(PrimingError::UnknownVsn(vsn_id))?;
-        let bp = self.blueprints.get(&vsn_id).ok_or(PrimingError::UnknownVsn(vsn_id))?;
+    ///
+    /// The Table 2 bootstrap stages are replayed into the observability
+    /// layer retroactively — reconstructed backwards from `now` using the
+    /// blueprint's timing — so instrumentation adds no engine events and
+    /// the deterministic event order is untouched.
+    pub fn complete_priming(
+        &mut self,
+        vsn_id: VsnId,
+        now: SimTime,
+    ) -> Result<Ipv4Addr, PrimingError> {
+        let vsn = self
+            .vsns
+            .get_mut(&vsn_id)
+            .ok_or(PrimingError::UnknownVsn(vsn_id))?;
+        let bp = self
+            .blueprints
+            .get(&vsn_id)
+            .ok_or(PrimingError::UnknownVsn(vsn_id))?;
         let uid = vsn.uid;
         let ip = vsn.ip.expect("priming VSN always has an IP");
         let guest = GuestOs::boot(bp.hostname.clone(), uid, bp.kept_services.clone());
         guest.spawn_initial_processes(&mut self.host.processes, self.model.catalog().services());
         self.host.processes.spawn(uid, bp.app_command.clone());
+        let timing = bp.timing;
         vsn.booted(guest, ip, now)?;
+        self.replay_boot_phases(vsn_id, timing, now);
         Ok(ip)
+    }
+
+    /// Record the five bootstrap phases as timed events and
+    /// `daemon.<phase>` spans, ending at `now` (when the boot finished).
+    fn replay_boot_phases(&self, vsn_id: VsnId, timing: BootstrapTiming, now: SimTime) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        let host = self.host_label();
+        // Walk the phase windows forward from when the boot began so the
+        // events appear in execution order.
+        let mut t = now - timing.total();
+        for (phase, dur) in timing.phases() {
+            let end = t + dur;
+            self.obs.record(
+                t,
+                Event::BootPhaseEntered {
+                    vsn: vsn_id.0,
+                    host,
+                    phase,
+                },
+            );
+            self.obs.record(
+                end,
+                Event::BootPhaseCompleted {
+                    vsn: vsn_id.0,
+                    host,
+                    phase,
+                },
+            );
+            self.obs
+                .span_record("daemon", phase, Labels::one("host", host), t, end);
+            t = end;
+        }
+        self.obs
+            .counter_add("daemon", "boots", Labels::one("host", host), 1);
     }
 
     /// Crash a running VSN (fault or successful attack): its processes
     /// die, its state flips to Crashed. The host OS, the other VSNs,
     /// their reservations and their traffic are untouched — this method
     /// deliberately has no access to anything but the one node.
-    pub fn crash_vsn(&mut self, vsn_id: VsnId) -> Result<(), PrimingError> {
-        let vsn = self.vsns.get_mut(&vsn_id).ok_or(PrimingError::UnknownVsn(vsn_id))?;
+    pub fn crash_vsn(&mut self, vsn_id: VsnId, now: SimTime) -> Result<(), PrimingError> {
+        let vsn = self
+            .vsns
+            .get_mut(&vsn_id)
+            .ok_or(PrimingError::UnknownVsn(vsn_id))?;
         vsn.crash()?;
         self.host.processes.kill_uid(vsn.uid);
+        let host = u64::from(self.host.id.0);
+        self.obs.record(
+            now,
+            Event::VsnCrash {
+                vsn: vsn_id.0,
+                host,
+            },
+        );
+        self.obs
+            .counter_add("daemon", "vsn_crashes", Labels::one("host", host), 1);
         Ok(())
     }
 
@@ -254,16 +352,25 @@ impl SodaDaemon {
     /// already on local disk, so there is no download). Returns the
     /// bootstrap timing to schedule.
     pub fn begin_repriming(&mut self, vsn_id: VsnId) -> Result<BootstrapTiming, PrimingError> {
-        let vsn = self.vsns.get_mut(&vsn_id).ok_or(PrimingError::UnknownVsn(vsn_id))?;
+        let vsn = self
+            .vsns
+            .get_mut(&vsn_id)
+            .ok_or(PrimingError::UnknownVsn(vsn_id))?;
         vsn.start_priming()?;
-        let bp = self.blueprints.get(&vsn_id).ok_or(PrimingError::UnknownVsn(vsn_id))?;
+        let bp = self
+            .blueprints
+            .get(&vsn_id)
+            .ok_or(PrimingError::UnknownVsn(vsn_id))?;
         Ok(bp.timing)
     }
 
     /// Tear a VSN down: kill its processes and release every resource
     /// the Daemon acquired for it.
     pub fn teardown_vsn(&mut self, vsn_id: VsnId) -> Result<(), PrimingError> {
-        let vsn = self.vsns.get_mut(&vsn_id).ok_or(PrimingError::UnknownVsn(vsn_id))?;
+        let vsn = self
+            .vsns
+            .get_mut(&vsn_id)
+            .ok_or(PrimingError::UnknownVsn(vsn_id))?;
         vsn.teardown()?;
         let uid = vsn.uid;
         let reservation = vsn.reservation;
@@ -291,12 +398,17 @@ impl SodaDaemon {
         new_slice: ResourceVector,
         now: SimTime,
     ) -> Result<(), PrimingError> {
-        let vsn = self.vsns.get_mut(&vsn_id).ok_or(PrimingError::UnknownVsn(vsn_id))?;
+        let vsn = self
+            .vsns
+            .get_mut(&vsn_id)
+            .ok_or(PrimingError::UnknownVsn(vsn_id))?;
         self.host.ledger.resize(vsn.reservation, new_slice)?;
         vsn.capacity = new_capacity_m.max(1);
         self.host.mem.register(vsn.uid, new_slice.mem_mb);
         if let Some(ip) = vsn.ip {
-            self.host.shaper.configure(ip.as_u32(), new_slice.bw_mbps as f64, SHAPER_BURST, now);
+            self.host
+                .shaper
+                .configure(ip.as_u32(), new_slice.bw_mbps as f64, SHAPER_BURST, now);
         }
         Ok(())
     }
@@ -375,7 +487,10 @@ mod tests {
         assert_eq!(d.report_resources(), before - slice());
         assert!(d.host.bridge.lookup(ticket.ip).is_some());
         assert!(d.host.shaper.is_shaped(ticket.ip.as_u32()));
-        assert_eq!(d.host.mem.cap_of(SodaDaemon::uid_of(VsnId(1))), Some(slice().mem_mb));
+        assert_eq!(
+            d.host.mem.cap_of(SodaDaemon::uid_of(VsnId(1))),
+            Some(slice().mem_mb)
+        );
         assert_eq!(d.vsn(VsnId(1)).unwrap().state(), &VsnState::Priming);
     }
 
@@ -486,7 +601,7 @@ mod tests {
         let uid1 = SodaDaemon::uid_of(VsnId(1));
         let uid2 = SodaDaemon::uid_of(VsnId(2));
         let n2_before = d.host.processes.count_uid(uid2);
-        d.crash_vsn(VsnId(1)).unwrap();
+        d.crash_vsn(VsnId(1), SimTime::ZERO).unwrap();
         // VSN 1 dead, VSN 2 untouched: attack isolation.
         assert_eq!(d.host.processes.count_uid(uid1), 0);
         assert_eq!(d.host.processes.count_uid(uid2), n2_before);
@@ -501,10 +616,11 @@ mod tests {
         let mut d = daemon();
         prime(&mut d, 1);
         d.complete_priming(VsnId(1), SimTime::ZERO).unwrap();
-        d.crash_vsn(VsnId(1)).unwrap();
+        d.crash_vsn(VsnId(1), SimTime::ZERO).unwrap();
         let timing = d.begin_repriming(VsnId(1)).unwrap();
         assert!(timing.total() > SimDuration::ZERO);
-        d.complete_priming(VsnId(1), SimTime::from_secs(60)).unwrap();
+        d.complete_priming(VsnId(1), SimTime::from_secs(60))
+            .unwrap();
         assert!(d.vsn(VsnId(1)).unwrap().is_running());
         assert_eq!(d.vsn(VsnId(1)).unwrap().crash_count, 1);
     }
@@ -524,7 +640,10 @@ mod tests {
         assert_eq!(d.host.processes.count_uid(SodaDaemon::uid_of(VsnId(1))), 0);
         assert_eq!(d.vsn_count(), 0);
         // Tearing down again is an error.
-        assert!(matches!(d.teardown_vsn(VsnId(1)), Err(PrimingError::UnknownVsn(_))));
+        assert!(matches!(
+            d.teardown_vsn(VsnId(1)),
+            Err(PrimingError::UnknownVsn(_))
+        ));
     }
 
     #[test]
@@ -533,13 +652,19 @@ mod tests {
         prime(&mut d, 1);
         d.complete_priming(VsnId(1), SimTime::ZERO).unwrap();
         let doubled = slice() * 2;
-        d.resize_vsn(VsnId(1), 2, doubled, SimTime::from_secs(1)).unwrap();
+        d.resize_vsn(VsnId(1), 2, doubled, SimTime::from_secs(1))
+            .unwrap();
         assert_eq!(d.vsn(VsnId(1)).unwrap().capacity, 2);
-        assert_eq!(d.host.mem.cap_of(SodaDaemon::uid_of(VsnId(1))), Some(doubled.mem_mb));
+        assert_eq!(
+            d.host.mem.cap_of(SodaDaemon::uid_of(VsnId(1))),
+            Some(doubled.mem_mb)
+        );
         assert_eq!(d.host.ledger.reserved(), doubled);
         // Oversized resize fails atomically.
         let huge = slice() * 100;
-        assert!(d.resize_vsn(VsnId(1), 100, huge, SimTime::from_secs(2)).is_err());
+        assert!(d
+            .resize_vsn(VsnId(1), 100, huge, SimTime::from_secs(2))
+            .is_err());
         assert_eq!(d.vsn(VsnId(1)).unwrap().capacity, 2);
         assert_eq!(d.host.ledger.reserved(), doubled);
     }
@@ -547,9 +672,18 @@ mod tests {
     #[test]
     fn unknown_vsn_operations_fail() {
         let mut d = daemon();
-        assert!(matches!(d.crash_vsn(VsnId(9)), Err(PrimingError::UnknownVsn(_))));
-        assert!(matches!(d.complete_priming(VsnId(9), SimTime::ZERO), Err(PrimingError::UnknownVsn(_))));
-        assert!(matches!(d.begin_repriming(VsnId(9)), Err(PrimingError::UnknownVsn(_))));
+        assert!(matches!(
+            d.crash_vsn(VsnId(9), SimTime::ZERO),
+            Err(PrimingError::UnknownVsn(_))
+        ));
+        assert!(matches!(
+            d.complete_priming(VsnId(9), SimTime::ZERO),
+            Err(PrimingError::UnknownVsn(_))
+        ));
+        assert!(matches!(
+            d.begin_repriming(VsnId(9)),
+            Err(PrimingError::UnknownVsn(_))
+        ));
         assert!(d.vsn(VsnId(9)).is_none());
     }
 }

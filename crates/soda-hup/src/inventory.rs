@@ -35,7 +35,13 @@ impl ResourceInventory {
 
     /// Record a Daemon's report.
     pub fn update(&mut self, host: HostId, available: ResourceVector, now: SimTime) {
-        self.reports.insert(host, HostReport { available, reported_at: now });
+        self.reports.insert(
+            host,
+            HostReport {
+                available,
+                reported_at: now,
+            },
+        );
     }
 
     /// Remove a host (decommissioned or federated away).
@@ -114,7 +120,10 @@ mod tests {
         // Updates replace.
         inv.update(HostId(1), v(500), SimTime::from_secs(3));
         assert_eq!(inv.get(HostId(1)).unwrap().available, v(500));
-        assert_eq!(inv.get(HostId(1)).unwrap().reported_at, SimTime::from_secs(3));
+        assert_eq!(
+            inv.get(HostId(1)).unwrap().reported_at,
+            SimTime::from_secs(3)
+        );
     }
 
     #[test]

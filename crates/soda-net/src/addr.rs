@@ -81,7 +81,9 @@ impl FromStr for Ipv4Addr {
         if parts.next().is_some() {
             return Err(AddrParseError(s.into()));
         }
-        Ok(Ipv4Addr::from_octets(octets[0], octets[1], octets[2], octets[3]))
+        Ok(Ipv4Addr::from_octets(
+            octets[0], octets[1], octets[2], octets[3],
+        ))
     }
 }
 
@@ -99,7 +101,10 @@ impl Subnet {
     pub fn new(base: Ipv4Addr, prefix: u8) -> Self {
         assert!(prefix <= 32, "prefix {prefix} out of range");
         let mask = Self::mask_of(prefix);
-        Subnet { base: Ipv4Addr(base.0 & mask), prefix }
+        Subnet {
+            base: Ipv4Addr(base.0 & mask),
+            prefix,
+        }
     }
 
     fn mask_of(prefix: u8) -> u32 {
@@ -164,7 +169,16 @@ mod tests {
 
     #[test]
     fn parse_invalid() {
-        for s in ["", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "1..2.3", "01x.2.3.4", "1.2.3.-4"] {
+        for s in [
+            "",
+            "1.2.3",
+            "1.2.3.4.5",
+            "256.1.1.1",
+            "a.b.c.d",
+            "1..2.3",
+            "01x.2.3.4",
+            "1.2.3.-4",
+        ] {
             assert!(s.parse::<Ipv4Addr>().is_err(), "{s} should fail");
         }
     }

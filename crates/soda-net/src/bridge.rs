@@ -156,7 +156,10 @@ mod tests {
         let mut b = Bridge::new();
         b.map(ip("10.0.0.1"), PortTag(1)).unwrap();
         assert_eq!(b.unmap(ip("10.0.0.1")), Ok(PortTag(1)));
-        assert_eq!(b.unmap(ip("10.0.0.1")), Err(BridgeError::NotMapped(ip("10.0.0.1"))));
+        assert_eq!(
+            b.unmap(ip("10.0.0.1")),
+            Err(BridgeError::NotMapped(ip("10.0.0.1")))
+        );
         assert_eq!(b.forward(ip("10.0.0.1")), Forwarding::Uplink);
     }
 }

@@ -23,7 +23,11 @@ pub struct HttpModel {
 
 impl Default for HttpModel {
     fn default() -> Self {
-        HttpModel { request_bytes: 350, response_header_bytes: 250, framing_overhead: 0.03 }
+        HttpModel {
+            request_bytes: 350,
+            response_header_bytes: 250,
+            framing_overhead: 0.03,
+        }
     }
 }
 

@@ -23,7 +23,10 @@ impl LinkSpec {
     /// Construct; panics on a non-positive bandwidth.
     pub fn new(bandwidth_bps: f64, latency: SimDuration) -> Self {
         assert!(bandwidth_bps > 0.0, "bandwidth must be positive");
-        LinkSpec { bandwidth_bps, latency }
+        LinkSpec {
+            bandwidth_bps,
+            latency,
+        }
     }
 
     /// The testbed's 100 Mbps departmental LAN (~0.2 ms latency).
@@ -184,7 +187,10 @@ impl ProcessorSharingLink {
         if bytes == 0 {
             self.completed.push((id, now));
         } else {
-            self.flows.push(Flow { id, remaining_bytes: bytes as f64 });
+            self.flows.push(Flow {
+                id,
+                remaining_bytes: bytes as f64,
+            });
         }
         id
     }

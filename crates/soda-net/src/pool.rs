@@ -52,7 +52,11 @@ impl IpPool {
             first.as_u32().checked_add(count - 1).is_some(),
             "pool wraps the address space"
         );
-        IpPool { first, count, allocated: BTreeSet::new() }
+        IpPool {
+            first,
+            count,
+            allocated: BTreeSet::new(),
+        }
     }
 
     /// Allocate the lowest free address.

@@ -90,8 +90,11 @@ impl NatProxy {
         let span = (self.port_hi - self.port_lo) as u32 + 1;
         for _ in 0..span {
             let candidate = self.next_port;
-            self.next_port =
-                if self.next_port == self.port_hi { self.port_lo } else { self.next_port + 1 };
+            self.next_port = if self.next_port == self.port_hi {
+                self.port_lo
+            } else {
+                self.next_port + 1
+            };
             if let std::collections::hash_map::Entry::Vacant(e) = self.inbound.entry(candidate) {
                 e.insert(private);
                 self.outbound.insert(private, candidate);
@@ -103,8 +106,10 @@ impl NatProxy {
 
     /// Remove the binding on a public port.
     pub fn unbind(&mut self, public_port: u16) -> Result<PrivateEndpoint, ProxyError> {
-        let private =
-            self.inbound.remove(&public_port).ok_or(ProxyError::NoBinding(public_port))?;
+        let private = self
+            .inbound
+            .remove(&public_port)
+            .ok_or(ProxyError::NoBinding(public_port))?;
         self.outbound.remove(&private);
         Ok(private)
     }
@@ -112,15 +117,24 @@ impl NatProxy {
     /// Translate an inbound packet addressed to a public port to its
     /// private endpoint.
     pub fn translate_in(&mut self, public_port: u16) -> Result<PrivateEndpoint, ProxyError> {
-        let ep = *self.inbound.get(&public_port).ok_or(ProxyError::NoBinding(public_port))?;
+        let ep = *self
+            .inbound
+            .get(&public_port)
+            .ok_or(ProxyError::NoBinding(public_port))?;
         self.translated += 1;
         Ok(ep)
     }
 
     /// Translate an outbound packet from a private endpoint to its public
     /// `(ip, port)` pair.
-    pub fn translate_out(&mut self, private: PrivateEndpoint) -> Result<(Ipv4Addr, u16), ProxyError> {
-        let port = *self.outbound.get(&private).ok_or(ProxyError::NoBinding(private.port))?;
+    pub fn translate_out(
+        &mut self,
+        private: PrivateEndpoint,
+    ) -> Result<(Ipv4Addr, u16), ProxyError> {
+        let port = *self
+            .outbound
+            .get(&private)
+            .ok_or(ProxyError::NoBinding(private.port))?;
         self.translated += 1;
         Ok((self.public_ip, port))
     }
@@ -141,7 +155,10 @@ mod tests {
     use super::*;
 
     fn ep(ip: &str, port: u16) -> PrivateEndpoint {
-        PrivateEndpoint { ip: ip.parse().unwrap(), port }
+        PrivateEndpoint {
+            ip: ip.parse().unwrap(),
+            port,
+        }
     }
 
     fn proxy() -> NatProxy {
@@ -190,7 +207,10 @@ mod tests {
             let (_, port) = p.bind(ep("192.168.0.2", 1000 + i)).unwrap();
             ports.push(port);
         }
-        assert_eq!(p.bind(ep("192.168.0.2", 2000)), Err(ProxyError::PortsExhausted));
+        assert_eq!(
+            p.bind(ep("192.168.0.2", 2000)),
+            Err(ProxyError::PortsExhausted)
+        );
         p.unbind(ports[1]).unwrap();
         let (_, reused) = p.bind(ep("192.168.0.2", 2000)).unwrap();
         assert_eq!(reused, ports[1]);

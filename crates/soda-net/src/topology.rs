@@ -127,8 +127,7 @@ impl Topology {
         let mut latency = SimDuration::ZERO;
         let mut bottleneck = f64::INFINITY;
         for w in nodes.windows(2) {
-            let link = self
-                .adj[&w[0]]
+            let link = self.adj[&w[0]]
                 .iter()
                 .filter(|&&(n, _)| n == w[1])
                 .map(|&(_, l)| l)
@@ -140,7 +139,11 @@ impl Topology {
         if nodes.len() == 1 {
             bottleneck = f64::INFINITY;
         }
-        Some(Path { nodes, latency, bottleneck_bps: bottleneck })
+        Some(Path {
+            nodes,
+            latency,
+            bottleneck_bps: bottleneck,
+        })
     }
 }
 

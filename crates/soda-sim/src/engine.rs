@@ -220,7 +220,11 @@ impl<S> Engine<S> {
             stop_requested: false,
         };
         event(&mut self.state, &mut ctx);
-        let Ctx { pending, stop_requested, .. } = ctx;
+        let Ctx {
+            pending,
+            stop_requested,
+            ..
+        } = ctx;
         for (at, f) in pending {
             self.queue.push(at, f);
         }
@@ -397,7 +401,12 @@ mod tests {
     #[should_panic(expected = "positive period")]
     fn periodic_zero_period_panics() {
         let mut e = Engine::new(W::default());
-        e.schedule_periodic(SimTime::ZERO, SimDuration::ZERO, SimTime::from_secs(1), |_: &mut W, _| true);
+        e.schedule_periodic(
+            SimTime::ZERO,
+            SimDuration::ZERO,
+            SimTime::from_secs(1),
+            |_: &mut W, _| true,
+        );
     }
 
     #[test]

@@ -7,9 +7,10 @@
 //! hosts connected by a 100 Mbps LAN. This crate provides the substrate
 //! that replaces that testbed: a virtual clock with nanosecond resolution,
 //! a stable event queue, a seeded random-number generator with the
-//! distributions the workload generators need, and metric recorders
+//! distributions the workload generators need, metric recorders
 //! (histograms, time series, availability trackers) used by every
-//! experiment harness.
+//! experiment harness, and a structured observability layer ([`obs`]:
+//! typed events, virtual-time spans, labeled metrics registry).
 //!
 //! Design goals:
 //!
@@ -44,6 +45,7 @@
 
 pub mod engine;
 pub mod metrics;
+pub mod obs;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -52,8 +54,12 @@ pub mod trace;
 
 pub use engine::{Ctx, Engine, EventFn};
 pub use metrics::{Availability, Counter, Histogram, Summary, TimeSeries, WindowedMean};
+pub use obs::{
+    DrainedEvents, Event, Labels, MetricValue, MetricsRegistry, Obs, RegistrySnapshot, Severity,
+    SpanGuard, TimedEvent,
+};
 pub use queue::EventQueue;
 pub use rng::{SimRng, Zipf};
 pub use stats::{linear_fit, mean_ci95, LinearFit, MeanCi};
 pub use time::{SimDuration, SimTime};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{DrainedTrace, Trace, TraceEvent};

@@ -58,7 +58,14 @@ pub struct Summary {
 impl Summary {
     /// An empty summary.
     pub fn new() -> Self {
-        Summary { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, sum: 0.0 }
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
     }
 
     /// Record one observation.
@@ -133,8 +140,7 @@ impl Summary {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 =
-            self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -168,7 +174,11 @@ impl Histogram {
 
     /// An empty histogram covering the full `u64` range.
     pub fn new() -> Self {
-        Histogram { counts: vec![[0; Self::SUBBUCKETS]; 65], total: 0, sum: 0 }
+        Histogram {
+            counts: vec![[0; Self::SUBBUCKETS]; 65],
+            total: 0,
+            sum: 0,
+        }
     }
 
     fn bucket(value: u64) -> (usize, usize) {
@@ -348,7 +358,13 @@ impl WindowedMean {
     /// Windows of the given width starting at t=0. Panics on a zero width.
     pub fn new(width: SimDuration) -> Self {
         assert!(!width.is_zero(), "window width must be positive");
-        WindowedMean { width, current_window: 0, acc: 0.0, n: 0, finished: Vec::new() }
+        WindowedMean {
+            width,
+            current_window: 0,
+            acc: 0.0,
+            n: 0,
+            finished: Vec::new(),
+        }
     }
 
     fn window_of(&self, t: SimTime) -> u64 {
@@ -368,7 +384,11 @@ impl WindowedMean {
 
     fn flush_current(&mut self) {
         let end = SimTime::from_nanos((self.current_window + 1) * self.width.as_nanos());
-        let mean = if self.n == 0 { 0.0 } else { self.acc / self.n as f64 };
+        let mean = if self.n == 0 {
+            0.0
+        } else {
+            self.acc / self.n as f64
+        };
         self.finished.push((end, mean));
         self.current_window += 1;
         self.acc = 0.0;

@@ -1,0 +1,257 @@
+//! Structured observability: typed events, virtual-time spans, and a
+//! labeled metrics registry.
+//!
+//! The free-form [`crate::trace::Trace`] ring buffer records strings
+//! that nothing can query or aggregate. This module replaces it with a
+//! machine-readable signal layer shared by every SODA entity:
+//!
+//! * [`event`] — a typed [`Event`] enum (admission/placement decisions,
+//!   boot phases, request lifecycle, resizes, crashes, host failures,
+//!   shaper drops, scheduler share samples), each carrying entity ids
+//!   and a [`Severity`], kept in a bounded [`EventLog`] that surfaces
+//!   its `dropped` count when drained.
+//! * [`span`] — virtual-time spans keyed by `(entity, operation)`.
+//!   Enter/exit pairs (or RAII [`SpanGuard`]s) feed per-operation
+//!   latency [`crate::Histogram`]s in the registry.
+//! * [`registry`] — a central [`MetricsRegistry`] of named counters,
+//!   gauges and histograms with small label sets (service, vsn, host),
+//!   snapshotable and serializable for `results/<exp>.json` reports.
+//!
+//! ## The observer effect — and why there isn't one
+//!
+//! All entities record through a shared cheaply-clonable [`Obs`] handle.
+//! When observability is disabled (the default), every recording call
+//! is a **branch-only no-op**: the handle holds no buffer, performs no
+//! allocation, draws no randomness, and schedules no engine events, so
+//! the Fig 4/5/6 hot paths and the deterministic event order are
+//! bit-for-bit unaffected. `tests/observability.rs` locks this in by
+//! comparing full run trajectories and final RNG state with
+//! observability on versus off, and counts heap allocations on the
+//! disabled path.
+
+pub mod event;
+pub mod registry;
+pub mod span;
+
+pub use event::{DrainedEvents, Event, EventLog, Severity, TimedEvent};
+pub use registry::{Labels, MetricId, MetricValue, MetricsRegistry, RegistrySnapshot, Sample};
+pub use span::{SpanGuard, SpanStats, SpanTracker};
+
+use crate::time::SimTime;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Everything one observability domain records: its event log, span
+/// tracker and metrics registry. Obtain through [`Obs::with`].
+#[derive(Debug, Default)]
+pub struct ObsInner {
+    pub events: EventLog,
+    pub spans: SpanTracker,
+    pub registry: MetricsRegistry,
+}
+
+/// Shared handle to an observability domain.
+///
+/// Entities store a clone; all clones point at the same [`ObsInner`].
+/// The disabled handle (via [`Obs::disabled`] or `Default`) holds
+/// nothing at all — recording through it is one branch and a return.
+#[derive(Clone, Debug, Default)]
+pub struct Obs {
+    shared: Option<Rc<RefCell<ObsInner>>>,
+}
+
+impl Obs {
+    /// A handle that records nothing (one branch per call).
+    pub fn disabled() -> Self {
+        Obs { shared: None }
+    }
+
+    /// A recording handle whose event log keeps the most recent
+    /// `event_capacity` events.
+    pub fn enabled(event_capacity: usize) -> Self {
+        Obs {
+            shared: Some(Rc::new(RefCell::new(ObsInner {
+                events: EventLog::new(event_capacity),
+                spans: SpanTracker::default(),
+                registry: MetricsRegistry::default(),
+            }))),
+        }
+    }
+
+    /// True if this handle records.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Records a typed event (no-op when disabled).
+    #[inline]
+    pub fn record(&self, now: SimTime, event: Event) {
+        let Some(shared) = &self.shared else { return };
+        shared.borrow_mut().events.push(now, event);
+    }
+
+    /// Runs `f` against the inner state; `None` when disabled.
+    pub fn with<R>(&self, f: impl FnOnce(&mut ObsInner) -> R) -> Option<R> {
+        self.shared.as_ref().map(|s| f(&mut s.borrow_mut()))
+    }
+
+    /// Adds to a counter (no-op when disabled).
+    #[inline]
+    pub fn counter_add(&self, scope: &'static str, name: &'static str, labels: Labels, n: u64) {
+        let Some(shared) = &self.shared else { return };
+        shared
+            .borrow_mut()
+            .registry
+            .counter_add(scope, name, labels, n);
+    }
+
+    /// Sets a gauge (no-op when disabled).
+    #[inline]
+    pub fn gauge_set(&self, scope: &'static str, name: &'static str, labels: Labels, v: f64) {
+        let Some(shared) = &self.shared else { return };
+        shared
+            .borrow_mut()
+            .registry
+            .gauge_set(scope, name, labels, v);
+    }
+
+    /// Records a histogram observation (no-op when disabled).
+    #[inline]
+    pub fn histogram_record(
+        &self,
+        scope: &'static str,
+        name: &'static str,
+        labels: Labels,
+        value: u64,
+    ) {
+        let Some(shared) = &self.shared else { return };
+        shared
+            .borrow_mut()
+            .registry
+            .histogram_record(scope, name, labels, value);
+    }
+
+    /// Opens a span keyed by `(entity, op, id)` (no-op when disabled).
+    #[inline]
+    pub fn span_enter(&self, entity: &'static str, op: &'static str, id: u64, now: SimTime) {
+        let Some(shared) = &self.shared else { return };
+        shared.borrow_mut().spans.enter(entity, op, id, now);
+    }
+
+    /// Closes a span and feeds `span.<entity>.<op>`'s latency histogram
+    /// (no-op when disabled; unmatched exits are counted, not fed).
+    #[inline]
+    pub fn span_exit(&self, entity: &'static str, op: &'static str, id: u64, now: SimTime) {
+        let Some(shared) = &self.shared else { return };
+        let inner = &mut *shared.borrow_mut();
+        if let Some(dur) = inner.spans.exit(entity, op, id, now) {
+            inner
+                .registry
+                .histogram_record(entity, op, Labels::none(), dur.as_nanos());
+        }
+    }
+
+    /// Records an already-measured span retroactively. This is how
+    /// phases that must not schedule extra engine events (the Daemon's
+    /// Table 2 bootstrap) are turned into spans after the fact.
+    #[inline]
+    pub fn span_record(
+        &self,
+        entity: &'static str,
+        op: &'static str,
+        labels: Labels,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        let Some(shared) = &self.shared else { return };
+        let inner = &mut *shared.borrow_mut();
+        inner.spans.note_recorded(entity, op);
+        inner
+            .registry
+            .histogram_record(entity, op, labels, end.saturating_since(start).as_nanos());
+    }
+
+    /// RAII span: exits at drop with the time given to
+    /// [`SpanGuard::close_at`], or `now` if never adjusted.
+    pub fn span_guard(
+        &self,
+        entity: &'static str,
+        op: &'static str,
+        id: u64,
+        now: SimTime,
+    ) -> SpanGuard {
+        self.span_enter(entity, op, id, now);
+        SpanGuard::new(self.clone(), entity, op, id, now)
+    }
+
+    /// Snapshot of every metric; `None` when disabled.
+    pub fn snapshot(&self) -> Option<RegistrySnapshot> {
+        self.with(|inner| inner.registry.snapshot())
+    }
+
+    /// Drains and returns the retained events plus the count of events
+    /// evicted by the capacity bound; `None` when disabled.
+    pub fn drain_events(&self) -> Option<DrainedEvents> {
+        self.with(|inner| inner.events.drain())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let obs = Obs::disabled();
+        obs.record(SimTime::ZERO, Event::HostFailure { host: 1 });
+        obs.counter_add("x", "y", Labels::none(), 1);
+        obs.span_enter("m", "op", 1, SimTime::ZERO);
+        obs.span_exit("m", "op", 1, SimTime::from_secs(1));
+        assert!(!obs.is_enabled());
+        assert!(obs.snapshot().is_none());
+        assert!(obs.drain_events().is_none());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let obs = Obs::enabled(16);
+        let clone = obs.clone();
+        clone.record(SimTime::from_secs(1), Event::HostFailure { host: 7 });
+        let drained = obs.drain_events().unwrap();
+        assert_eq!(drained.events.len(), 1);
+        assert_eq!(drained.dropped, 0);
+    }
+
+    #[test]
+    fn span_exit_feeds_latency_histogram() {
+        let obs = Obs::enabled(16);
+        obs.span_enter("master", "admission", 3, SimTime::from_secs(1));
+        obs.span_exit("master", "admission", 3, SimTime::from_secs(4));
+        let snap = obs.snapshot().unwrap();
+        let s = snap
+            .samples
+            .iter()
+            .find(|s| s.name == "master.admission")
+            .expect("span histogram present");
+        match &s.value {
+            MetricValue::Histogram { count, mean, .. } => {
+                assert_eq!(*count, 1);
+                assert!((mean - 3e9).abs() < 3e9 * 0.05, "mean {mean} ~ 3e9");
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn guard_closes_on_drop() {
+        let obs = Obs::enabled(16);
+        {
+            let mut g = obs.span_guard("switch", "request", 9, SimTime::from_secs(1));
+            g.close_at(SimTime::from_secs(2));
+        }
+        let (entered, exited) = obs.with(|i| i.spans.balance("switch", "request")).unwrap();
+        assert_eq!((entered, exited), (1, 1));
+        assert_eq!(obs.with(|i| i.spans.open_count()).unwrap(), 0);
+    }
+}

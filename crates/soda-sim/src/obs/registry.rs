@@ -1,0 +1,492 @@
+//! Central metrics registry: named counters, gauges and histograms
+//! with small label sets.
+//!
+//! ## Naming convention
+//!
+//! A metric is identified by `(scope, name, labels)`:
+//!
+//! * `scope` — the owning entity: `"master"`, `"daemon"`, `"switch"`,
+//!   `"agent"`, `"shaper"`, `"sched"`, `"world"`.
+//! * `name` — a snake_case measure within the scope. Span latency
+//!   histograms use the operation name (e.g. `master`/`priming`).
+//! * `labels` — up to [`Labels::MAX`] `(&'static str, u64)` pairs with
+//!   well-known keys `service`, `vsn`, `host`, `uid`, `ip`. Keys are
+//!   static and values numeric, so building labels never allocates.
+//!
+//! Snapshots render names as `scope.name` and are serializable through
+//! the (vendored) serde path for `results/<exp>.json` reports.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::metrics::Histogram;
+
+/// A small, allocation-free, ordered label set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct Labels {
+    pairs: [(&'static str, u64); Labels::MAX],
+    len: u8,
+}
+
+impl Labels {
+    /// Maximum number of label pairs a metric can carry.
+    pub const MAX: usize = 3;
+
+    /// The empty label set.
+    pub const fn none() -> Self {
+        Labels {
+            pairs: [("", 0); Labels::MAX],
+            len: 0,
+        }
+    }
+
+    /// A single-label set.
+    pub const fn one(key: &'static str, value: u64) -> Self {
+        Labels {
+            pairs: [(key, value), ("", 0), ("", 0)],
+            len: 1,
+        }
+    }
+
+    /// A two-label set.
+    pub const fn two(k1: &'static str, v1: u64, k2: &'static str, v2: u64) -> Self {
+        Labels {
+            pairs: [(k1, v1), (k2, v2), ("", 0)],
+            len: 2,
+        }
+    }
+
+    /// A three-label set.
+    pub const fn three(
+        k1: &'static str,
+        v1: u64,
+        k2: &'static str,
+        v2: u64,
+        k3: &'static str,
+        v3: u64,
+    ) -> Self {
+        Labels {
+            pairs: [(k1, v1), (k2, v2), (k3, v3)],
+            len: 3,
+        }
+    }
+
+    /// Returns a copy with `key=value` appended.
+    ///
+    /// # Panics
+    /// If the set already holds [`Labels::MAX`] pairs.
+    pub fn with(mut self, key: &'static str, value: u64) -> Self {
+        assert!(
+            (self.len as usize) < Labels::MAX,
+            "more than {} labels",
+            Labels::MAX
+        );
+        self.pairs[self.len as usize] = (key, value);
+        self.len += 1;
+        self
+    }
+
+    /// The live pairs.
+    pub fn pairs(&self) -> &[(&'static str, u64)] {
+        &self.pairs[..self.len as usize]
+    }
+
+    /// Value of `key`, if present.
+    pub fn get(&self, key: &str) -> Option<u64> {
+        self.pairs()
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|&(_, v)| v)
+    }
+
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl fmt::Display for Labels {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.pairs().iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Full identity of a metric in the registry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricId {
+    pub scope: &'static str,
+    pub name: &'static str,
+    pub labels: Labels,
+}
+
+impl fmt::Display for MetricId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}{}", self.scope, self.name, self.labels)
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// The central registry. Entities write through [`crate::obs::Obs`];
+/// experiment harnesses read via accessors or [`MetricsRegistry::snapshot`].
+///
+/// A `(scope, name, labels)` key must keep one metric kind for the whole
+/// run — re-registering it as a different kind panics, since silently
+/// resetting would corrupt longitudinal data.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<MetricId, Metric>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot(&mut self, scope: &'static str, name: &'static str, labels: Labels) -> &mut Metric {
+        self.metrics
+            .entry(MetricId {
+                scope,
+                name,
+                labels,
+            })
+            .or_insert_with(|| Metric::Counter(0))
+    }
+
+    /// Adds `n` to a counter, creating it at zero first.
+    pub fn counter_add(&mut self, scope: &'static str, name: &'static str, labels: Labels, n: u64) {
+        match self.slot(scope, name, labels) {
+            Metric::Counter(v) => *v += n,
+            other => panic!("{scope}.{name} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Sets a gauge to `v`, creating it if absent.
+    pub fn gauge_set(&mut self, scope: &'static str, name: &'static str, labels: Labels, v: f64) {
+        let id = MetricId {
+            scope,
+            name,
+            labels,
+        };
+        match self.metrics.entry(id).or_insert(Metric::Gauge(0.0)) {
+            Metric::Gauge(g) => *g = v,
+            other => panic!("{scope}.{name} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Records `value` into a histogram, creating it if absent.
+    pub fn histogram_record(
+        &mut self,
+        scope: &'static str,
+        name: &'static str,
+        labels: Labels,
+        value: u64,
+    ) {
+        let id = MetricId {
+            scope,
+            name,
+            labels,
+        };
+        match self
+            .metrics
+            .entry(id)
+            .or_insert_with(|| Metric::Histogram(Histogram::new()))
+        {
+            Metric::Histogram(h) => h.record(value),
+            other => panic!("{scope}.{name} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Counter value (`None` if absent or a different kind).
+    pub fn counter(&self, scope: &str, name: &str, labels: Labels) -> Option<u64> {
+        match self.get(scope, name, labels)? {
+            Metric::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge value (`None` if absent or a different kind).
+    pub fn gauge(&self, scope: &str, name: &str, labels: Labels) -> Option<f64> {
+        match self.get(scope, name, labels)? {
+            Metric::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram (`None` if absent or a different kind).
+    pub fn histogram(&self, scope: &str, name: &str, labels: Labels) -> Option<&Histogram> {
+        match self.get(scope, name, labels)? {
+            Metric::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Sums a counter across every label set it was recorded under.
+    pub fn counter_total(&self, scope: &str, name: &str) -> u64 {
+        self.metrics
+            .iter()
+            .filter(|(id, _)| id.scope == scope && id.name == name)
+            .filter_map(|(_, m)| match m {
+                Metric::Counter(v) => Some(*v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    fn get(&self, scope: &str, name: &str, labels: Labels) -> Option<&Metric> {
+        // Linear probe so lookups work with non-'static keys; reads
+        // happen at snapshot/report time, never on the simulation path.
+        self.metrics
+            .iter()
+            .find(|(id, _)| id.scope == scope && id.name == name && id.labels == labels)
+            .map(|(_, m)| m)
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// A point-in-time, serializable copy of every metric, in stable
+    /// (scope, name, labels) order.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let samples = self
+            .metrics
+            .iter()
+            .map(|(id, m)| Sample {
+                name: format!("{}.{}", id.scope, id.name),
+                labels: id
+                    .labels
+                    .pairs()
+                    .iter()
+                    .map(|&(k, v)| (k.to_string(), v))
+                    .collect(),
+                value: match m {
+                    Metric::Counter(v) => MetricValue::Counter(*v),
+                    Metric::Gauge(v) => MetricValue::Gauge(*v),
+                    Metric::Histogram(h) => MetricValue::Histogram {
+                        count: h.count(),
+                        mean: h.mean(),
+                        p50: h.median(),
+                        p99: h.p99(),
+                        max: h.quantile(1.0),
+                    },
+                },
+            })
+            .collect();
+        RegistrySnapshot { samples }
+    }
+}
+
+/// One serialized metric.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// `scope.name`.
+    pub name: String,
+    pub labels: Vec<(String, u64)>,
+    pub value: MetricValue,
+}
+
+/// A serialized metric value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(f64),
+    /// Histogram digest; `mean`/`p50`/`p99`/`max` are in the recorded
+    /// unit (nanoseconds for span latencies).
+    Histogram {
+        count: u64,
+        mean: f64,
+        p50: u64,
+        p99: u64,
+        max: u64,
+    },
+}
+
+/// Serializable registry snapshot ([`MetricsRegistry::snapshot`]).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct RegistrySnapshot {
+    pub samples: Vec<Sample>,
+}
+
+impl RegistrySnapshot {
+    /// Finds a sample by rendered name and exact label values.
+    pub fn find(&self, name: &str, labels: &[(&str, u64)]) -> Option<&Sample> {
+        self.samples.iter().find(|s| {
+            s.name == name
+                && s.labels.len() == labels.len()
+                && s.labels
+                    .iter()
+                    .zip(labels)
+                    .all(|((k1, v1), (k2, v2))| k1 == k2 && v1 == v2)
+        })
+    }
+}
+
+impl serde::Serialize for RegistrySnapshot {
+    fn to_json_value(&self) -> serde::Value {
+        serde::Value::Array(self.samples.iter().map(|s| s.to_json_value()).collect())
+    }
+}
+
+impl serde::Serialize for Sample {
+    fn to_json_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("name".to_string(), serde::Value::String(self.name.clone())),
+            (
+                "labels".to_string(),
+                serde::Value::Object(
+                    self.labels
+                        .iter()
+                        .map(|(k, v)| (k.clone(), serde::Value::U64(*v)))
+                        .collect(),
+                ),
+            ),
+        ];
+        let (kind, value) = match &self.value {
+            MetricValue::Counter(v) => ("counter", serde::Value::U64(*v)),
+            MetricValue::Gauge(v) => ("gauge", serde::Value::F64(*v)),
+            MetricValue::Histogram {
+                count,
+                mean,
+                p50,
+                p99,
+                max,
+            } => (
+                "histogram",
+                serde::Value::Object(vec![
+                    ("count".to_string(), serde::Value::U64(*count)),
+                    ("mean".to_string(), serde::Value::F64(*mean)),
+                    ("p50".to_string(), serde::Value::U64(*p50)),
+                    ("p99".to_string(), serde::Value::U64(*p99)),
+                    ("max".to_string(), serde::Value::U64(*max)),
+                ]),
+            ),
+        };
+        fields.push((kind.to_string(), value));
+        serde::Value::Object(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_order_and_lookup() {
+        let a = Labels::two("service", 1, "vsn", 2);
+        let b = Labels::two("service", 1, "vsn", 3);
+        assert!(a < b);
+        assert_eq!(a.get("vsn"), Some(2));
+        assert_eq!(a.get("host"), None);
+        assert_eq!(a.len(), 2);
+        assert_eq!(Labels::none().with("host", 9).get("host"), Some(9));
+        assert_eq!(a.to_string(), "{service=1,vsn=2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "more than 3 labels")]
+    fn labels_overflow_panics() {
+        let _ = Labels::three("a", 1, "b", 2, "c", 3).with("d", 4);
+    }
+
+    #[test]
+    fn same_name_different_labels_are_distinct() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("switch", "served", Labels::one("vsn", 1), 2);
+        r.counter_add("switch", "served", Labels::one("vsn", 2), 5);
+        assert_eq!(
+            r.counter("switch", "served", Labels::one("vsn", 1)),
+            Some(2)
+        );
+        assert_eq!(
+            r.counter("switch", "served", Labels::one("vsn", 2)),
+            Some(5)
+        );
+        assert_eq!(r.counter_total("switch", "served"), 7);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_conflict_panics() {
+        let mut r = MetricsRegistry::new();
+        r.gauge_set("x", "y", Labels::none(), 1.0);
+        r.counter_add("x", "y", Labels::none(), 1);
+    }
+
+    #[test]
+    fn snapshot_orders_and_digests() {
+        let mut r = MetricsRegistry::new();
+        r.histogram_record("master", "admission", Labels::none(), 1000);
+        r.histogram_record("master", "admission", Labels::none(), 3000);
+        r.counter_add("agent", "authenticated", Labels::none(), 1);
+        let snap = r.snapshot();
+        // BTreeMap order: agent before master.
+        assert_eq!(snap.samples[0].name, "agent.authenticated");
+        let s = snap.find("master.admission", &[]).unwrap();
+        match &s.value {
+            MetricValue::Histogram { count, .. } => assert_eq!(*count, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("switch", "served", Labels::two("service", 1, "vsn", 2), 42);
+        r.gauge_set("switch", "outstanding", Labels::one("vsn", 2), 1.5);
+        r.histogram_record("daemon", "mount", Labels::one("host", 1), 2_500_000);
+        let snap = r.snapshot();
+        let text = serde_json::to_string_pretty(&snap).unwrap();
+        let parsed = serde_json::from_str(&text).unwrap();
+        assert_eq!(
+            parsed,
+            serde_json::to_value(&snap),
+            "round trip via:\n{text}"
+        );
+        // Spot-check the rendered shape.
+        let served = parsed.index(2).unwrap();
+        assert_eq!(
+            served.get("name").and_then(|v| v.as_str()),
+            Some("switch.served")
+        );
+        assert_eq!(
+            served
+                .get("labels")
+                .and_then(|l| l.get("service"))
+                .and_then(|v| v.as_u64()),
+            Some(1)
+        );
+        assert_eq!(served.get("counter").and_then(|v| v.as_u64()), Some(42));
+    }
+}

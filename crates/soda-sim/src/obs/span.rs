@@ -1,0 +1,237 @@
+//! Virtual-time spans keyed by `(entity, operation)`.
+//!
+//! A span measures how much *virtual* time an operation took — from
+//! `enter` at one engine event to `exit` at a later one (the Master's
+//! priming of a VSN), or zero-width for operations that complete within
+//! a single event (admission). Closing a span feeds the
+//! `(entity, operation)` latency histogram in the metrics registry.
+//!
+//! The tracker counts enters and exits per key so tests can assert
+//! balance: every operation that opened a span must eventually close
+//! it, and nothing may exit a span it never entered.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::obs::Obs;
+use crate::time::{SimDuration, SimTime};
+
+/// `(entity, operation)` — the identity of a span kind.
+pub type SpanKey = (&'static str, &'static str);
+
+/// Enter/exit bookkeeping for one span kind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Spans opened via `enter` (or recorded retroactively).
+    pub entered: u64,
+    /// Spans closed via `exit` (or recorded retroactively).
+    pub exited: u64,
+    /// Exits that found no matching open span.
+    pub unmatched_exits: u64,
+}
+
+/// Tracks open spans and per-kind balance counts.
+#[derive(Debug, Default)]
+pub struct SpanTracker {
+    open: BTreeMap<(SpanKey, u64), SimTime>,
+    stats: BTreeMap<SpanKey, SpanStats>,
+}
+
+impl SpanTracker {
+    /// Opens span `id` of kind `(entity, op)` at `now`. Re-entering an
+    /// id that is already open restarts it (the old start is replaced
+    /// and the duplicate counted as an unmatched exit would be — the
+    /// balance numbers stay honest).
+    pub fn enter(&mut self, entity: &'static str, op: &'static str, id: u64, now: SimTime) {
+        let stats = self.stats.entry((entity, op)).or_default();
+        stats.entered += 1;
+        if self.open.insert(((entity, op), id), now).is_some() {
+            // The prior open span can never be exited now.
+            stats.unmatched_exits += 1;
+        }
+    }
+
+    /// Closes span `id`, returning its virtual duration, or `None` (and
+    /// an unmatched-exit count) if it was never opened.
+    pub fn exit(
+        &mut self,
+        entity: &'static str,
+        op: &'static str,
+        id: u64,
+        now: SimTime,
+    ) -> Option<SimDuration> {
+        let stats = self.stats.entry((entity, op)).or_default();
+        match self.open.remove(&((entity, op), id)) {
+            Some(start) => {
+                stats.exited += 1;
+                Some(now.saturating_since(start))
+            }
+            None => {
+                stats.unmatched_exits += 1;
+                None
+            }
+        }
+    }
+
+    /// Books a retroactively-measured span as one enter + one exit.
+    pub fn note_recorded(&mut self, entity: &'static str, op: &'static str) {
+        let stats = self.stats.entry((entity, op)).or_default();
+        stats.entered += 1;
+        stats.exited += 1;
+    }
+
+    /// Number of spans currently open (all kinds).
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+
+    /// `(entered, exited)` for one span kind.
+    pub fn balance(&self, entity: &str, op: &str) -> (u64, u64) {
+        self.stats
+            .iter()
+            .find(|((e, o), _)| *e == entity && *o == op)
+            .map(|(_, s)| (s.entered, s.exited))
+            .unwrap_or((0, 0))
+    }
+
+    /// Full stats for one span kind.
+    pub fn stats(&self, entity: &str, op: &str) -> SpanStats {
+        self.stats
+            .iter()
+            .find(|((e, o), _)| *e == entity && *o == op)
+            .map(|(_, s)| *s)
+            .unwrap_or_default()
+    }
+
+    /// Every span kind seen, with its stats, in stable order.
+    pub fn all_stats(&self) -> impl Iterator<Item = (SpanKey, SpanStats)> + '_ {
+        self.stats.iter().map(|(k, s)| (*k, *s))
+    }
+
+    /// True when every entered span has exited, with no unmatched exits
+    /// anywhere — the property the Master proptest asserts.
+    pub fn is_balanced(&self) -> bool {
+        self.open.is_empty()
+            && self
+                .stats
+                .values()
+                .all(|s| s.entered == s.exited && s.unmatched_exits == 0)
+    }
+}
+
+impl fmt::Display for SpanTracker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for ((entity, op), s) in &self.stats {
+            writeln!(
+                f,
+                "{entity}.{op}: entered={} exited={} unmatched={} open={}",
+                s.entered,
+                s.exited,
+                s.unmatched_exits,
+                self.open
+                    .keys()
+                    .filter(|((e, o), _)| e == entity && o == op)
+                    .count(),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// RAII span handle from [`Obs::span_guard`]: closes its span on drop.
+///
+/// Virtual time does not advance inside a single engine event, so a
+/// guard dropped in the scope it was created in records a zero-width
+/// span (a count). For operations whose completion time is known before
+/// the guard drops, [`SpanGuard::close_at`] sets the exit timestamp.
+pub struct SpanGuard {
+    obs: Obs,
+    entity: &'static str,
+    op: &'static str,
+    id: u64,
+    end: SimTime,
+}
+
+impl SpanGuard {
+    pub(crate) fn new(
+        obs: Obs,
+        entity: &'static str,
+        op: &'static str,
+        id: u64,
+        now: SimTime,
+    ) -> Self {
+        SpanGuard {
+            obs,
+            entity,
+            op,
+            id,
+            end: now,
+        }
+    }
+
+    /// Sets the virtual timestamp the span will close with.
+    pub fn close_at(&mut self, end: SimTime) {
+        self.end = end;
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.obs.span_exit(self.entity, self.op, self.id, self.end);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enter_exit_measures_virtual_time() {
+        let mut t = SpanTracker::default();
+        t.enter("master", "priming", 5, SimTime::from_secs(10));
+        assert_eq!(t.open_count(), 1);
+        let d = t
+            .exit("master", "priming", 5, SimTime::from_secs(70))
+            .unwrap();
+        assert_eq!(d, SimDuration::from_secs(60));
+        assert!(t.is_balanced());
+        assert_eq!(t.balance("master", "priming"), (1, 1));
+    }
+
+    #[test]
+    fn unmatched_exit_is_counted_not_fed() {
+        let mut t = SpanTracker::default();
+        assert!(t.exit("master", "priming", 1, SimTime::ZERO).is_none());
+        assert_eq!(t.stats("master", "priming").unmatched_exits, 1);
+        assert!(!t.is_balanced());
+    }
+
+    #[test]
+    fn concurrent_ids_are_independent() {
+        let mut t = SpanTracker::default();
+        t.enter("daemon", "boot", 1, SimTime::from_secs(1));
+        t.enter("daemon", "boot", 2, SimTime::from_secs(2));
+        let d1 = t.exit("daemon", "boot", 1, SimTime::from_secs(5)).unwrap();
+        let d2 = t.exit("daemon", "boot", 2, SimTime::from_secs(5)).unwrap();
+        assert_eq!(d1, SimDuration::from_secs(4));
+        assert_eq!(d2, SimDuration::from_secs(3));
+        assert!(t.is_balanced());
+    }
+
+    #[test]
+    fn reenter_same_id_keeps_balance_honest() {
+        let mut t = SpanTracker::default();
+        t.enter("m", "op", 1, SimTime::from_secs(1));
+        t.enter("m", "op", 1, SimTime::from_secs(2));
+        t.exit("m", "op", 1, SimTime::from_secs(3));
+        assert!(!t.is_balanced());
+        assert_eq!(
+            t.stats("m", "op"),
+            SpanStats {
+                entered: 2,
+                exited: 1,
+                unmatched_exits: 1
+            }
+        );
+    }
+}

@@ -31,8 +31,16 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
     let syy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
-    Some(LinearFit { slope, intercept, r2 })
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r2,
+    })
 }
 
 /// A mean with a normal-approximation confidence half-width.
@@ -61,10 +69,16 @@ pub fn mean_ci95(xs: &[f64]) -> Option<MeanCi> {
     let n = xs.len() as f64;
     let mean = xs.iter().sum::<f64>() / n;
     if xs.len() == 1 {
-        return Some(MeanCi { mean, half_width: 0.0 });
+        return Some(MeanCi {
+            mean,
+            half_width: 0.0,
+        });
     }
     let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
-    Some(MeanCi { mean, half_width: 1.96 * (var / n).sqrt() })
+    Some(MeanCi {
+        mean,
+        half_width: 1.96 * (var / n).sqrt(),
+    })
 }
 
 /// Relative difference `|a - b| / max(|a|, |b|)`; 0 for two zeros.
@@ -96,8 +110,11 @@ mod tests {
     fn r2_degrades_with_noise() {
         let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
         let clean: Vec<f64> = xs.iter().map(|x| 3.0 * x).collect();
-        let noisy: Vec<f64> =
-            xs.iter().enumerate().map(|(i, x)| 3.0 * x + if i % 2 == 0 { 20.0 } else { -20.0 }).collect();
+        let noisy: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 3.0 * x + if i % 2 == 0 { 20.0 } else { -20.0 })
+            .collect();
         let fc = linear_fit(&xs, &clean).unwrap();
         let fnz = linear_fit(&xs, &noisy).unwrap();
         assert!(fc.r2 > fnz.r2);
@@ -107,8 +124,14 @@ mod tests {
     #[test]
     fn degenerate_fits() {
         assert!(linear_fit(&[1.0], &[2.0]).is_none());
-        assert!(linear_fit(&[1.0, 1.0], &[2.0, 3.0]).is_none(), "zero x variance");
-        assert!(linear_fit(&[1.0, 2.0], &[1.0, 2.0, 3.0]).is_none(), "length mismatch");
+        assert!(
+            linear_fit(&[1.0, 1.0], &[2.0, 3.0]).is_none(),
+            "zero x variance"
+        );
+        assert!(
+            linear_fit(&[1.0, 2.0], &[1.0, 2.0, 3.0]).is_none(),
+            "length mismatch"
+        );
         // Constant y: perfect fit with slope 0.
         let f = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
         assert_eq!(f.slope, 0.0);
@@ -129,9 +152,18 @@ mod tests {
 
     #[test]
     fn overlap_semantics() {
-        let a = MeanCi { mean: 10.0, half_width: 1.0 };
-        let b = MeanCi { mean: 11.5, half_width: 1.0 };
-        let c = MeanCi { mean: 20.0, half_width: 1.0 };
+        let a = MeanCi {
+            mean: 10.0,
+            half_width: 1.0,
+        };
+        let b = MeanCi {
+            mean: 11.5,
+            half_width: 1.0,
+        };
+        let c = MeanCi {
+            mean: 20.0,
+            half_width: 1.0,
+        };
         assert!(a.overlaps(&b));
         assert!(b.overlaps(&a));
         assert!(!a.overlaps(&c));

@@ -289,7 +289,10 @@ mod tests {
         assert_eq!(t + SimDuration::from_secs(1), SimTime::MAX);
         let d = SimDuration::from_nanos(5) - SimDuration::from_nanos(9);
         assert_eq!(d, SimDuration::ZERO);
-        assert_eq!(SimDuration::MAX + SimDuration::from_nanos(1), SimDuration::MAX);
+        assert_eq!(
+            SimDuration::MAX + SimDuration::from_nanos(1),
+            SimDuration::MAX
+        );
     }
 
     #[test]

@@ -4,6 +4,13 @@
 //! drivers and the SODA entities write to when tracing is enabled. The
 //! buffer is bounded so long simulations cannot exhaust memory, and
 //! recording is a no-op when disabled so hot paths pay only a branch.
+//!
+//! Free-form string records cannot be queried, aggregated or serialized;
+//! the typed [`crate::obs`] layer supersedes them. [`Trace::emit`] is
+//! deprecated in favor of [`crate::Obs::record`] with a typed
+//! [`crate::Event`]; the buffer itself remains for drivers that want a
+//! human-readable scratch log, and [`Trace::drain`] surfaces how many
+//! records the capacity bound silently evicted.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -39,7 +46,12 @@ pub struct Trace {
 impl Trace {
     /// A trace that records nothing.
     pub fn disabled() -> Self {
-        Trace { buf: VecDeque::new(), capacity: 0, enabled: false, dropped: 0 }
+        Trace {
+            buf: VecDeque::new(),
+            capacity: 0,
+            enabled: false,
+            dropped: 0,
+        }
     }
 
     /// A trace that keeps the most recent `capacity` records.
@@ -59,6 +71,11 @@ impl Trace {
 
     /// Write a record (no-op when disabled). Oldest records are evicted
     /// once `capacity` is reached.
+    #[deprecated(
+        since = "0.2.0",
+        note = "record a typed `soda_sim::Event` through `soda_sim::Obs` instead; \
+                string traces cannot be queried or aggregated"
+    )]
     pub fn emit(&mut self, time: SimTime, category: &'static str, message: impl Into<String>) {
         if !self.enabled {
             return;
@@ -67,7 +84,11 @@ impl Trace {
             self.buf.pop_front();
             self.dropped += 1;
         }
-        self.buf.push_back(TraceEvent { time, category, message: message.into() });
+        self.buf.push_back(TraceEvent {
+            time,
+            category,
+            message: message.into(),
+        });
     }
 
     /// All retained records, oldest first.
@@ -97,9 +118,44 @@ impl Trace {
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
+
+    /// Takes all retained records together with the evicted count, so a
+    /// lossy window is visible to whoever formats the log. Resets the
+    /// dropped counter.
+    pub fn drain(&mut self) -> DrainedTrace {
+        let events: Vec<TraceEvent> = self.buf.drain(..).collect();
+        let dropped = self.dropped;
+        self.dropped = 0;
+        DrainedTrace { events, dropped }
+    }
+}
+
+/// The result of [`Trace::drain`]: the retained records plus how many
+/// older records the capacity bound evicted before the drain.
+#[derive(Clone, Debug, Default)]
+pub struct DrainedTrace {
+    pub events: Vec<TraceEvent>,
+    pub dropped: u64,
+}
+
+impl fmt::Display for DrainedTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.dropped > 0 {
+            writeln!(
+                f,
+                "... {} earlier record(s) dropped by capacity bound ...",
+                self.dropped
+            )?;
+        }
+        for e in &self.events {
+            writeln!(f, "{e}")?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the tests exercise the deprecated emit path itself
 mod tests {
     use super::*;
 
@@ -143,6 +199,21 @@ mod tests {
         assert_eq!(t.in_category("master").count(), 2);
         assert_eq!(t.in_category("daemon").count(), 1);
         assert_eq!(t.in_category("agent").count(), 0);
+    }
+
+    #[test]
+    fn drain_surfaces_dropped_count() {
+        let mut t = Trace::enabled(2);
+        for i in 0..5 {
+            t.emit(SimTime::from_secs(i), "c", format!("m{i}"));
+        }
+        let drained = t.drain();
+        assert_eq!(drained.events.len(), 2);
+        assert_eq!(drained.dropped, 3);
+        assert!(drained.to_string().contains("3 earlier record(s) dropped"));
+        // Drain resets both buffer and counter.
+        assert!(t.is_empty());
+        assert_eq!(t.drain().dropped, 0);
     }
 
     #[test]

@@ -65,7 +65,9 @@ impl BootstrapHostProfile {
 
     /// Wall time for `cycles` of work on this host, accounting for IPC.
     pub fn cpu_time(&self, cycles: u64) -> SimDuration {
-        self.cpu.cycles_to_time(cycles).mul_f64(1.0 / self.cpu_efficiency.max(0.01))
+        self.cpu
+            .cycles_to_time(cycles)
+            .mul_f64(1.0 / self.cpu_efficiency.max(0.01))
     }
 
     /// Wall time to read `bytes` sequentially from this host's disk
@@ -94,6 +96,19 @@ impl BootstrapTiming {
     /// Total bootstrap time.
     pub fn total(&self) -> SimDuration {
         self.customize + self.mount + self.kernel_boot + self.services_start + self.app_start
+    }
+
+    /// The five Table 2 stages in execution order, named for the
+    /// observability layer (boot-phase events and `daemon.<phase>`
+    /// span histograms).
+    pub fn phases(&self) -> [(&'static str, SimDuration); 5] {
+        [
+            ("customize", self.customize),
+            ("mount", self.mount),
+            ("kernel_boot", self.kernel_boot),
+            ("services_start", self.services_start),
+            ("app_start", self.app_start),
+        ]
     }
 }
 
@@ -171,9 +186,7 @@ impl BootstrapModel {
         let customize = if tailored.pristine {
             SimDuration::ZERO
         } else {
-            profile.cpu_time(
-                self.customize_cycles_per_service * image.installed_count() as u64,
-            )
+            profile.cpu_time(self.customize_cycles_per_service * image.installed_count() as u64)
         };
 
         // Stage 2: mount.
@@ -203,16 +216,20 @@ impl BootstrapModel {
         let disk_bytes = services.startup_disk_bytes(&tailored.kept);
         let seeks = tailored.kept.len() as u64;
         let services_start = profile.cpu_time(cpu_cycles)
-            + SimDuration::from_secs_f64(
-                disk_bytes as f64 / profile.disk.seq_bandwidth_bytes,
-            )
+            + SimDuration::from_secs_f64(disk_bytes as f64 / profile.disk.seq_bandwidth_bytes)
             + profile.disk.seek_overhead * seeks;
 
         // Stage 5: the application itself.
         let app_start = profile.cpu_time(self.app_start_cycles + app_class.startup_cycles())
             + profile.disk_time(app_class.startup_disk_bytes());
 
-        BootstrapTiming { customize, mount, kernel_boot, services_start, app_start }
+        BootstrapTiming {
+            customize,
+            mount,
+            kernel_boot,
+            services_start,
+            app_start,
+        }
     }
 }
 
@@ -272,7 +289,10 @@ mod tests {
     #[test]
     fn ordering_within_each_host() {
         // S_II < S_I < S_III << S_IV on both hosts.
-        for p in [BootstrapHostProfile::seattle(), BootstrapHostProfile::tacoma()] {
+        for p in [
+            BootstrapHostProfile::seattle(),
+            BootstrapHostProfile::tacoma(),
+        ] {
             let s1 = boot_secs(&p, 0);
             let s2 = boot_secs(&p, 1);
             let s3 = boot_secs(&p, 2);
@@ -310,7 +330,11 @@ mod tests {
         let s = boot_secs(&BootstrapHostProfile::seattle(), 2);
         let t = boot_secs(&BootstrapHostProfile::tacoma(), 2);
         let cpu_ratio = 2600.0 / 1800.0 / 0.80;
-        assert!(t / s > cpu_ratio * 1.3, "ratio {} not ≫ cpu ratio {cpu_ratio}", t / s);
+        assert!(
+            t / s > cpu_ratio * 1.3,
+            "ratio {} not ≫ cpu ratio {cpu_ratio}",
+            t / s
+        );
     }
 
     #[test]
@@ -352,7 +376,12 @@ mod tests {
         let p = BootstrapHostProfile::seattle();
         let img = m.catalog().base_1_0();
         let (_, a) = m.timing(&p, &img, &["inetd"], StartupClass::Light);
-        let (_, b) = m.timing(&p, &img, &["inetd", "httpd", "sshd", "crond"], StartupClass::Light);
+        let (_, b) = m.timing(
+            &p,
+            &img,
+            &["inetd", "httpd", "sshd", "crond"],
+            StartupClass::Light,
+        );
         assert!(b.services_start > a.services_start);
     }
 }

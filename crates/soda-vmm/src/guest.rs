@@ -48,7 +48,12 @@ impl GuestOs {
 
     /// The login banner as the console would print it (Figure 3).
     pub fn login_banner(&self) -> String {
-        format!("{}\nKernel {} on a i686\n{} login:", Self::BANNER, self.kernel_version, self.hostname)
+        format!(
+            "{}\nKernel {} on a i686\n{} login:",
+            Self::BANNER,
+            self.kernel_version,
+            self.hostname
+        )
     }
 
     /// Spawn the init-time processes of this guest into the host process
@@ -137,7 +142,10 @@ mod tests {
         let web_ps = web.ps(&table);
         let hp_ps = honeypot.ps(&table);
         assert!(web_ps.contains(&"httpd"));
-        assert!(!web_ps.contains(&"ghttpd"), "web guest must not see honeypot procs");
+        assert!(
+            !web_ps.contains(&"ghttpd"),
+            "web guest must not see honeypot procs"
+        );
         assert!(hp_ps.contains(&"ghttpd"));
         assert!(!hp_ps.contains(&"httpd"));
         // Both show UML kernel threads.

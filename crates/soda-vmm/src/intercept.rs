@@ -138,8 +138,10 @@ impl InterceptCostModel {
     ///
     /// `(user + Σ uml) / (user + Σ native)`
     pub fn workload_slowdown(&self, user_cycles: u64, calls: &[(Syscall, u64)]) -> f64 {
-        let native: u64 =
-            calls.iter().map(|&(c, n)| n * self.native.native_cycles(c)).sum();
+        let native: u64 = calls
+            .iter()
+            .map(|&(c, n)| n * self.native.native_cycles(c))
+            .sum();
         let uml: u64 = calls.iter().map(|&(c, n)| n * self.uml_cycles(c)).sum();
         let base = user_cycles + native;
         if base == 0 {
@@ -164,10 +166,16 @@ impl SlowdownFactors {
     /// The paper's conservative engineering estimate (footnote 2: "we
     /// set the slow-down factor to be 1.5"), used by the SODA Master for
     /// resource inflation during admission.
-    pub const CONSERVATIVE: SlowdownFactors = SlowdownFactors { cpu: 1.5, network: 1.5 };
+    pub const CONSERVATIVE: SlowdownFactors = SlowdownFactors {
+        cpu: 1.5,
+        network: 1.5,
+    };
 
     /// No slowdown — a service running directly on the host OS.
-    pub const NONE: SlowdownFactors = SlowdownFactors { cpu: 1.0, network: 1.0 };
+    pub const NONE: SlowdownFactors = SlowdownFactors {
+        cpu: 1.0,
+        network: 1.0,
+    };
 
     /// Derive measured factors for a typical request-serving workload
     /// from the interception model: a web-style request does parsing and
@@ -187,7 +195,10 @@ impl SlowdownFactors {
         let cpu = model.workload_slowdown(2_500_000, &calls);
         // Network path: one extra copy + tracer crossing per packet,
         // amortised — empirically close to the CPU-path factor.
-        SlowdownFactors { cpu, network: 1.0 + (cpu - 1.0) * 0.8 }
+        SlowdownFactors {
+            cpu,
+            network: 1.0 + (cpu - 1.0) * 0.8,
+        }
     }
 
     /// Inflate a service time by the CPU factor.
@@ -212,7 +223,11 @@ mod tests {
         // mmap 27864, mmap_munmap 27044, gettimeofday 37004.
         let within = |got: u64, paper: u64| {
             let rel = (got as f64 - paper as f64).abs() / paper as f64;
-            assert!(rel < 0.15, "got {got}, paper {paper} ({:.1}% off)", rel * 100.0);
+            assert!(
+                rel < 0.15,
+                "got {got}, paper {paper} ({:.1}% off)",
+                rel * 100.0
+            );
         };
         within(m.uml_cycles(Syscall::Dup2), 27_276);
         within(m.uml_cycles(Syscall::Getpid), 26_648);
@@ -282,11 +297,23 @@ mod tests {
 
     #[test]
     fn inflation_applies_factor() {
-        let f = SlowdownFactors { cpu: 1.5, network: 1.2 };
-        assert_eq!(f.inflate_cpu(SimDuration::from_millis(100)).as_millis(), 150);
-        assert_eq!(f.inflate_network(SimDuration::from_millis(100)).as_millis(), 120);
+        let f = SlowdownFactors {
+            cpu: 1.5,
+            network: 1.2,
+        };
+        assert_eq!(
+            f.inflate_cpu(SimDuration::from_millis(100)).as_millis(),
+            150
+        );
+        assert_eq!(
+            f.inflate_network(SimDuration::from_millis(100)).as_millis(),
+            120
+        );
         let none = SlowdownFactors::NONE;
-        assert_eq!(none.inflate_cpu(SimDuration::from_millis(100)).as_millis(), 100);
+        assert_eq!(
+            none.inflate_cpu(SimDuration::from_millis(100)).as_millis(),
+            100
+        );
     }
 
     #[test]
@@ -317,6 +344,9 @@ mod tests {
         let m = InterceptCostModel::new();
         let small = m.workload_slowdown(2_000_000, &[(Syscall::Write, 5), (Syscall::Read, 3)]);
         let large = m.workload_slowdown(20_000_000, &[(Syscall::Write, 50), (Syscall::Read, 30)]);
-        assert!((small - large).abs() < 0.05, "small {small} vs large {large}");
+        assert!(
+            (small - large).abs() < 0.05,
+            "small {small} vs large {large}"
+        );
     }
 }

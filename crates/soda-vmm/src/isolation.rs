@@ -90,7 +90,10 @@ mod tests {
         assert!(b.service_down, "the honeypot itself does crash");
         assert!(!b.host_down);
         assert!(!b.cohosted_down, "the web content service is NOT affected");
-        assert!(!b.attacker_has_host_root, "attacker only owns the guest root");
+        assert!(
+            !b.attacker_has_host_root,
+            "attacker only owns the guest root"
+        );
     }
 
     #[test]

@@ -42,4 +42,4 @@ pub use isolation::{Blast, ExecutionMode, FaultKind};
 pub use rootfs::{RootFsCatalog, RootFsImage, TailoredFs};
 pub use sysservices::{ServiceCatalog, SystemServiceId};
 pub use vdev::{NetDevModel, UbdModel};
-pub use vsn::{VsnError, VsnId, VsnState, VirtualServiceNode};
+pub use vsn::{VirtualServiceNode, VsnError, VsnId, VsnState};

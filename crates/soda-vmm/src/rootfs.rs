@@ -79,7 +79,9 @@ pub struct RootFsCatalog {
 impl RootFsCatalog {
     /// A catalog backed by the standard service database.
     pub fn new() -> Self {
-        RootFsCatalog { services: ServiceCatalog::standard() }
+        RootFsCatalog {
+            services: ServiceCatalog::standard(),
+        }
     }
 
     /// The service database in use.
@@ -95,8 +97,8 @@ impl RootFsCatalog {
             system_bytes: 26_000_000,
             data_bytes: 3_300_000,
             installed: self.services.ids_of(&[
-                "init", "keytable", "random", "syslogd", "klogd", "network", "inetd",
-                "httpd", "crond", "sshd",
+                "init", "keytable", "random", "syslogd", "klogd", "network", "inetd", "httpd",
+                "crond", "sshd",
             ]),
             pristine: false,
         }
@@ -124,8 +126,8 @@ impl RootFsCatalog {
             system_bytes: 20_000_000,
             data_bytes: 380_000_000,
             installed: self.services.ids_of(&[
-                "init", "keytable", "random", "syslogd", "klogd", "network", "netfs",
-                "portmap", "inetd", "sshd", "crond", "httpd",
+                "init", "keytable", "random", "syslogd", "klogd", "network", "netfs", "portmap",
+                "inetd", "sshd", "crond", "httpd",
             ]),
             pristine: false,
         }
@@ -139,10 +141,10 @@ impl RootFsCatalog {
             system_bytes: 233_000_000,
             data_bytes: 20_000_000,
             installed: self.services.ids_of(&[
-                "init", "keytable", "random", "syslogd", "klogd", "network", "netfs",
-                "portmap", "inetd", "xinetd", "sshd", "crond", "atd", "sendmail", "httpd",
-                "nfs", "nfslock", "ypbind", "autofs", "apmd", "gpm", "kudzu", "lpd",
-                "identd", "rstatd", "rusersd", "rwhod", "snmpd", "mysqld", "anacron",
+                "init", "keytable", "random", "syslogd", "klogd", "network", "netfs", "portmap",
+                "inetd", "xinetd", "sshd", "crond", "atd", "sendmail", "httpd", "nfs", "nfslock",
+                "ypbind", "autofs", "apmd", "gpm", "kudzu", "lpd", "identd", "rstatd", "rusersd",
+                "rwhod", "snmpd", "mysqld", "anacron",
             ]),
             pristine: true,
         }
@@ -192,9 +194,12 @@ impl RootFsCatalog {
         let closure = self.services.closure(required);
         let kept: BTreeSet<SystemServiceId> =
             closure.intersection(&image.installed).copied().collect();
-        let size_bytes =
-            BASE_FS_BYTES + self.services.footprint_bytes(&kept) + image.data_bytes;
-        TailoredFs { kept, size_bytes, pristine: false }
+        let size_bytes = BASE_FS_BYTES + self.services.footprint_bytes(&kept) + image.data_bytes;
+        TailoredFs {
+            kept,
+            size_bytes,
+            pristine: false,
+        }
     }
 }
 
@@ -231,8 +236,11 @@ mod tests {
         assert!(!t.pristine);
         // Kept: httpd + network + syslogd + init (what the image has of
         // the closure).
-        let names: Vec<&str> =
-            t.kept.iter().map(|id| c.services().get(*id).unwrap().name).collect();
+        let names: Vec<&str> = t
+            .kept
+            .iter()
+            .map(|id| c.services().get(*id).unwrap().name)
+            .collect();
         assert!(names.contains(&"httpd"));
         assert!(names.contains(&"network"));
         assert!(!names.contains(&"sshd"), "sshd must be pruned");
@@ -248,9 +256,15 @@ mod tests {
         let c = RootFsCatalog::new();
         let img = c.tomsrtbt(); // has no httpd
         let t = c.tailor(&img, &["httpd"]);
-        let names: Vec<&str> =
-            t.kept.iter().map(|id| c.services().get(*id).unwrap().name).collect();
-        assert!(!names.contains(&"httpd"), "cannot keep what is not installed");
+        let names: Vec<&str> = t
+            .kept
+            .iter()
+            .map(|id| c.services().get(*id).unwrap().name)
+            .collect();
+        assert!(
+            !names.contains(&"httpd"),
+            "cannot keep what is not installed"
+        );
         assert!(names.contains(&"network"));
     }
 
@@ -272,7 +286,7 @@ mod tests {
         let t = c.tailor(&c.base_1_0(), &["httpd"]);
         assert!(t.ramdisk_eligible(2048)); // seattle
         assert!(t.ramdisk_eligible(768)); // tacoma
-        // The 400 MB LFS image exceeds the 256 MB cap everywhere.
+                                          // The 400 MB LFS image exceeds the 256 MB cap everywhere.
         let t3 = c.tailor(&c.lfs_4_0(), &["httpd", "sshd"]);
         assert!(!t3.ramdisk_eligible(2048));
         assert!(!t3.ramdisk_eligible(768));
@@ -281,12 +295,21 @@ mod tests {
     #[test]
     fn custom_image_builder() {
         let c = RootFsCatalog::new();
-        let img = c.custom("genome_fs", 20_000_000, 500_000_000, &["httpd", "mysqld"], false);
+        let img = c.custom(
+            "genome_fs",
+            20_000_000,
+            500_000_000,
+            &["httpd", "mysqld"],
+            false,
+        );
         assert_eq!(img.total_bytes(), 520_000_000);
         assert_eq!(img.installed_count(), 2);
         let t = c.tailor(&img, &["mysqld"]);
-        let names: Vec<&str> =
-            t.kept.iter().map(|id| c.services().get(*id).unwrap().name).collect();
+        let names: Vec<&str> = t
+            .kept
+            .iter()
+            .map(|id| c.services().get(*id).unwrap().name)
+            .collect();
         assert!(names.contains(&"mysqld"));
         assert!(!names.contains(&"httpd"));
     }
@@ -296,7 +319,10 @@ mod tests {
         let c = RootFsCatalog::new();
         let img = c.rh72_server_pristine();
         // For a non-pristine copy of the same content:
-        let img = RootFsImage { pristine: false, ..img };
+        let img = RootFsImage {
+            pristine: false,
+            ..img
+        };
         let small = c.tailor(&img, &["inetd"]);
         let large = c.tailor(&img, &["inetd", "httpd", "sendmail", "nfs", "mysqld"]);
         assert!(large.size_bytes > small.size_bytes);

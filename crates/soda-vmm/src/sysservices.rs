@@ -107,7 +107,13 @@ impl ServiceCatalog {
             svc!(7, "portmap", Light, 650_000, ["network"]),
             svc!(8, "inetd", Light, 800_000, ["network", "syslogd"]),
             svc!(9, "xinetd", Light, 1_000_000, ["network", "syslogd"]),
-            svc!(10, "sshd", Heavy, 2_800_000, ["network", "random", "syslogd"]),
+            svc!(
+                10,
+                "sshd",
+                Heavy,
+                2_800_000,
+                ["network", "random", "syslogd"]
+            ),
             svc!(11, "crond", Light, 700_000, ["syslogd"]),
             svc!(12, "atd", Light, 400_000, ["syslogd"]),
             svc!(13, "sendmail", Heavy, 3_600_000, ["network", "syslogd"]),
@@ -192,12 +198,19 @@ impl ServiceCatalog {
 
     /// Total installed footprint for a set of services.
     pub fn footprint_bytes(&self, set: &BTreeSet<SystemServiceId>) -> u64 {
-        set.iter().filter_map(|id| self.get(*id)).map(|s| s.footprint_bytes).sum()
+        set.iter()
+            .filter_map(|id| self.get(*id))
+            .map(|s| s.footprint_bytes)
+            .sum()
     }
 
     /// Ids for a list of names (unknown names skipped), without closure.
     pub fn ids_of(&self, names: &[&str]) -> BTreeSet<SystemServiceId> {
-        names.iter().filter_map(|n| self.by_name(n)).map(|s| s.id).collect()
+        names
+            .iter()
+            .filter_map(|n| self.by_name(n))
+            .map(|s| s.id)
+            .collect()
     }
 }
 
@@ -213,7 +226,11 @@ mod tests {
         // Every dependency resolves to a catalog entry.
         for s in &c.services {
             for dep in s.deps {
-                assert!(c.by_name(dep).is_some(), "{} depends on unknown {dep}", s.name);
+                assert!(
+                    c.by_name(dep).is_some(),
+                    "{} depends on unknown {dep}",
+                    s.name
+                );
             }
         }
         // Ids are unique.
@@ -227,8 +244,7 @@ mod tests {
     fn closure_pulls_dependencies() {
         let c = ServiceCatalog::standard();
         let set = c.closure(&["httpd"]);
-        let names: Vec<&str> =
-            set.iter().map(|id| c.get(*id).unwrap().name).collect();
+        let names: Vec<&str> = set.iter().map(|id| c.get(*id).unwrap().name).collect();
         assert!(names.contains(&"httpd"));
         assert!(names.contains(&"network"));
         assert!(names.contains(&"syslogd"));

@@ -108,8 +108,7 @@ impl NetDevModel {
     /// packet + single copy).
     pub fn native_tx_cycles(&self, bytes: u64) -> u64 {
         let packets = bytes.div_ceil(self.mtu).max(1);
-        packets * self.intercept.native.native_cycles(Syscall::Write)
-            + (bytes as f64 * 0.5) as u64
+        packets * self.intercept.native.native_cycles(Syscall::Write) + (bytes as f64 * 0.5) as u64
     }
 
     /// The network slow-down factor for bulk transmission: total guest
@@ -159,7 +158,10 @@ mod tests {
         for f in [small, large] {
             assert!(f > 1.5 && f < 40.0, "factor {f}");
         }
-        assert!((small / large - 1.0).abs() < 0.35, "small {small} large {large}");
+        assert!(
+            (small / large - 1.0).abs() < 0.35,
+            "small {small} large {large}"
+        );
     }
 
     #[test]

@@ -65,7 +65,11 @@ pub struct VsnError {
 
 impl fmt::Display for VsnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: cannot {} from state {:?}", self.vsn, self.attempted, self.state)
+        write!(
+            f,
+            "{}: cannot {} from state {:?}",
+            self.vsn, self.attempted, self.state
+        )
     }
 }
 
@@ -132,7 +136,11 @@ impl VirtualServiceNode {
     }
 
     fn err(&self, attempted: &'static str) -> VsnError {
-        VsnError { vsn: self.id, attempted, state: self.state.clone() }
+        VsnError {
+            vsn: self.id,
+            attempted,
+            state: self.state.clone(),
+        }
     }
 
     /// Begin priming (download + bootstrap). Allowed from Allocated, and

@@ -41,7 +41,13 @@ impl AttackCampaign {
         if ctx.now() >= self.end {
             return;
         }
-        let blast = attack_node(world, ctx, self.service, self.vsn, FaultKind::RootCompromise);
+        let blast = attack_node(
+            world,
+            ctx,
+            self.service,
+            self.vsn,
+            FaultKind::RootCompromise,
+        );
         if blast.service_down && self.revive {
             // SODA re-primes the honeypot so it can be attacked again.
             let _ = revive_node(world, ctx, self.service, self.vsn);
@@ -82,7 +88,13 @@ impl DdosFlood {
         if ctx.now() >= self.end {
             return;
         }
-        let _ = ddos_switch_host(world, ctx, self.service, self.flows_per_wave, self.bytes_each);
+        let _ = ddos_switch_host(
+            world,
+            ctx,
+            self.service,
+            self.flows_per_wave,
+            self.bytes_each,
+        );
         let next = ctx.now() + self.period;
         if next < self.end {
             ctx.schedule_at(next, move |w: &mut SodaWorld, ctx| self.fire(w, ctx));
@@ -137,7 +149,10 @@ mod tests {
         // 5 waves fired (t+1, 61, 121, 181, 241), each crashing once.
         // Bootstrap (~3–5 s) finishes well inside each 60 s period.
         assert_eq!(d.vsn(vsn).unwrap().crash_count, 5);
-        assert!(d.vsn(vsn).unwrap().is_running(), "revived after last attack");
+        assert!(
+            d.vsn(vsn).unwrap().is_running(),
+            "revived after last attack"
+        );
     }
 
     #[test]

@@ -18,24 +18,60 @@ pub struct DatasetPoint {
 
 /// The Figure 4 sweep: six sizes, rate decreasing with size.
 pub const FIG4_SWEEP: [DatasetPoint; 6] = [
-    DatasetPoint { dataset_bytes: 10_000, rate_rps: 60.0 },
-    DatasetPoint { dataset_bytes: 50_000, rate_rps: 40.0 },
-    DatasetPoint { dataset_bytes: 100_000, rate_rps: 24.0 },
-    DatasetPoint { dataset_bytes: 200_000, rate_rps: 12.0 },
-    DatasetPoint { dataset_bytes: 500_000, rate_rps: 5.0 },
-    DatasetPoint { dataset_bytes: 1_000_000, rate_rps: 2.5 },
+    DatasetPoint {
+        dataset_bytes: 10_000,
+        rate_rps: 60.0,
+    },
+    DatasetPoint {
+        dataset_bytes: 50_000,
+        rate_rps: 40.0,
+    },
+    DatasetPoint {
+        dataset_bytes: 100_000,
+        rate_rps: 24.0,
+    },
+    DatasetPoint {
+        dataset_bytes: 200_000,
+        rate_rps: 12.0,
+    },
+    DatasetPoint {
+        dataset_bytes: 500_000,
+        rate_rps: 5.0,
+    },
+    DatasetPoint {
+        dataset_bytes: 1_000_000,
+        rate_rps: 2.5,
+    },
 ];
 
 /// The Figure 6 sweep: same sizes, lighter load ("the service load in
 /// this experiment is lighter than in the previous experiments",
 /// footnote 6).
 pub const FIG6_SWEEP: [DatasetPoint; 6] = [
-    DatasetPoint { dataset_bytes: 10_000, rate_rps: 20.0 },
-    DatasetPoint { dataset_bytes: 50_000, rate_rps: 14.0 },
-    DatasetPoint { dataset_bytes: 100_000, rate_rps: 8.0 },
-    DatasetPoint { dataset_bytes: 200_000, rate_rps: 4.0 },
-    DatasetPoint { dataset_bytes: 500_000, rate_rps: 1.6 },
-    DatasetPoint { dataset_bytes: 1_000_000, rate_rps: 0.8 },
+    DatasetPoint {
+        dataset_bytes: 10_000,
+        rate_rps: 20.0,
+    },
+    DatasetPoint {
+        dataset_bytes: 50_000,
+        rate_rps: 14.0,
+    },
+    DatasetPoint {
+        dataset_bytes: 100_000,
+        rate_rps: 8.0,
+    },
+    DatasetPoint {
+        dataset_bytes: 200_000,
+        rate_rps: 4.0,
+    },
+    DatasetPoint {
+        dataset_bytes: 500_000,
+        rate_rps: 1.6,
+    },
+    DatasetPoint {
+        dataset_bytes: 1_000_000,
+        rate_rps: 0.8,
+    },
 ];
 
 /// Offered bandwidth of a sweep point, bits per second — used to check
@@ -54,7 +90,10 @@ mod tests {
             assert_eq!(sweep.len(), 6);
             for w in sweep.windows(2) {
                 assert!(w[1].dataset_bytes > w[0].dataset_bytes);
-                assert!(w[1].rate_rps < w[0].rate_rps, "rate must fall as size grows");
+                assert!(
+                    w[1].rate_rps < w[0].rate_rps,
+                    "rate must fall as size grows"
+                );
             }
         }
     }

@@ -114,8 +114,7 @@ impl ClosedLoopGenerator {
             // Stagger client start-ups over one mean think time so the
             // first wave is not a synchronized burst.
             let stagger = SimDuration::from_nanos(
-                self.mean_think.as_nanos().saturating_mul(i as u64)
-                    / self.clients as u64,
+                self.mean_think.as_nanos().saturating_mul(i as u64) / self.clients as u64,
             );
             engine.schedule_at(self.start + stagger, move |w: &mut SodaWorld, ctx| {
                 self.fire(w, ctx);
@@ -253,7 +252,10 @@ mod tests {
         // Rough throughput sanity: ≤ clients / (think) requests per
         // second (response time adds on top), and well above zero.
         assert!(n > 200, "completed {n}");
-        assert!(n as f64 <= clients as f64 * 30.0 / 0.2 * 1.2, "completed {n}");
+        assert!(
+            n as f64 <= clients as f64 * 30.0 / 0.2 * 1.2,
+            "completed {n}"
+        );
         // Closed loop: at no instant can more than `clients` requests be
         // outstanding, so the 2:1 split still holds approximately.
         let counts = w.master.switch(svc).unwrap().served_counts();
@@ -300,6 +302,9 @@ mod tests {
         let total = counts.iter().sum::<u64>();
         assert!((300..=301).contains(&total), "total {total}");
         let ratio = counts[0] as f64 / counts[1] as f64;
-        assert!((1.95..2.05).contains(&ratio), "seattle serves 2×: {counts:?}");
+        assert!(
+            (1.95..2.05).contains(&ratio),
+            "seattle serves 2×: {counts:?}"
+        );
     }
 }

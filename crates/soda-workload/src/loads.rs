@@ -71,7 +71,14 @@ pub struct Fig5Workload {
 impl Fig5Workload {
     /// The standard setup: *web*, *comp*, *log* under uids 1, 2, 3.
     pub fn standard(seed: u64) -> Self {
-        Self::custom(seed, &[(Uid(1), LoadKind::Web), (Uid(2), LoadKind::Comp), (Uid(3), LoadKind::Log)])
+        Self::custom(
+            seed,
+            &[
+                (Uid(1), LoadKind::Web),
+                (Uid(2), LoadKind::Comp),
+                (Uid(3), LoadKind::Log),
+            ],
+        )
     }
 
     /// A custom mix.
@@ -90,7 +97,10 @@ impl Fig5Workload {
                 NodeLoad { uid, kind, pids }
             })
             .collect();
-        Fig5Workload { nodes, rng: SimRng::new(seed) }
+        Fig5Workload {
+            nodes,
+            rng: SimRng::new(seed),
+        }
     }
 
     /// Uids in declaration order.
@@ -104,7 +114,11 @@ impl Fig5Workload {
         for node in &self.nodes {
             for &pid in &node.pids {
                 let demand = node.kind.demand(&mut self.rng);
-                out.push(ProcDesc { pid, uid: node.uid, demand });
+                out.push(ProcDesc {
+                    pid,
+                    uid: node.uid,
+                    demand,
+                });
             }
         }
         out
@@ -113,7 +127,11 @@ impl Fig5Workload {
     /// Sum of demand per uid for one produced tick — test helper and
     /// overload check.
     pub fn demand_by_uid(descs: &[ProcDesc], uid: Uid) -> f64 {
-        descs.iter().filter(|p| p.uid == uid).map(|p| p.demand).sum()
+        descs
+            .iter()
+            .filter(|p| p.uid == uid)
+            .map(|p| p.demand)
+            .sum()
     }
 }
 

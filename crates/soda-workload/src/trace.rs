@@ -37,7 +37,10 @@ impl RequestTrace {
             self.entries.last().is_none_or(|e| offset >= e.offset),
             "trace offsets must be non-decreasing"
         );
-        self.entries.push(TraceEntry { offset, dataset_bytes });
+        self.entries.push(TraceEntry {
+            offset,
+            dataset_bytes,
+        });
     }
 
     /// The entries.
@@ -162,7 +165,11 @@ mod tests {
             assert!(e.dataset_bytes >= 1000 && e.dataset_bytes <= 100_000);
         }
         // Zipf: small (hot) documents dominate.
-        let small = t.entries().iter().filter(|e| e.dataset_bytes <= 10_000).count();
+        let small = t
+            .entries()
+            .iter()
+            .filter(|e| e.dataset_bytes <= 10_000)
+            .count();
         assert!(small * 2 > t.len(), "{small}/{}", t.len());
         // Deterministic.
         let t2 = RequestTrace::synth_web(1, 50.0, SimDuration::from_secs(20), 100, 1.0, 1000);
@@ -179,8 +186,7 @@ mod tests {
 
     #[test]
     fn replay_reproduces_served_counts() {
-        let trace =
-            RequestTrace::synth_web(7, 20.0, SimDuration::from_secs(10), 50, 0.8, 2000);
+        let trace = RequestTrace::synth_web(7, 20.0, SimDuration::from_secs(10), 50, 0.8, 2000);
         let run = |seed| {
             let (mut engine, svc) = web_engine(seed);
             let t0 = engine.now();

@@ -62,9 +62,20 @@ fn run_policy(policy: Option<Box<dyn SwitchPolicy>>) -> (String, Vec<u64>, Vec<f
     let svc = create_service_driven(&mut engine, spec, "webco").unwrap();
     engine.run_until(SimTime::from_secs(120));
     if let Some(p) = policy {
-        engine.state_mut().master.switch_mut(svc).unwrap().replace_policy(p);
+        engine
+            .state_mut()
+            .master
+            .switch_mut(svc)
+            .unwrap()
+            .replace_policy(p);
     }
-    let name = engine.state().master.switch(svc).unwrap().policy_name().to_string();
+    let name = engine
+        .state()
+        .master
+        .switch(svc)
+        .unwrap()
+        .policy_name()
+        .to_string();
     let t0 = engine.now();
     PacedGenerator {
         service: svc,
@@ -80,7 +91,10 @@ fn run_policy(policy: Option<Box<dyn SwitchPolicy>>) -> (String, Vec<u64>, Vec<f
 }
 
 fn main() {
-    println!("{:<22} {:>14} {:>24}", "policy", "served (2M,1M)", "mean response (s)");
+    println!(
+        "{:<22} {:>14} {:>24}",
+        "policy", "served (2M,1M)", "mean response (s)"
+    );
     for policy in [
         None,
         Some(Box::new(LeastConnections::new()) as Box<dyn SwitchPolicy>),
@@ -92,7 +106,10 @@ fn main() {
             "{:<22} {:>14} {:>24}",
             name,
             format!("{served:?}"),
-            format!("{:?}", means.iter().map(|m| format!("{m:.4}")).collect::<Vec<_>>())
+            format!(
+                "{:?}",
+                means.iter().map(|m| format!("{m:.4}")).collect::<Vec<_>>()
+            )
         );
     }
 
@@ -133,7 +150,15 @@ fn main() {
     let v = w.master.switch(victim).unwrap();
     let b = w.master.switch(bystander).unwrap();
     println!("\nill-behaved policy on 'victim':");
-    println!("  victim    served {:?} mean {:?}", v.served_counts(), v.mean_responses());
-    println!("  bystander served {:?} mean {:?}", b.served_counts(), b.mean_responses());
+    println!(
+        "  victim    served {:?} mean {:?}",
+        v.served_counts(),
+        v.mean_responses()
+    );
+    println!(
+        "  bystander served {:?} mean {:?}",
+        b.served_counts(),
+        b.mean_responses()
+    );
     println!("  (the bystander's balance and latency are unaffected)");
 }

@@ -26,7 +26,12 @@ fn site(id: u32, name: &str, hosts: u32) -> Site {
             ))
         })
         .collect();
-    Site { id: SiteId(id), name: name.into(), master: SodaMaster::new(), daemons }
+    Site {
+        id: SiteId(id),
+        name: name.into(),
+        master: SodaMaster::new(),
+        daemons,
+    }
 }
 
 fn main() {
@@ -36,9 +41,21 @@ fn main() {
         site(2, "wisconsin", 2),
         site(3, "berkeley", 3),
     ]);
-    federation.connect(SiteId(1), SiteId(2), LinkSpec::wan(10.0, SimDuration::from_millis(20)));
-    federation.connect(SiteId(1), SiteId(3), LinkSpec::wan(10.0, SimDuration::from_millis(60)));
-    federation.connect(SiteId(2), SiteId(3), LinkSpec::wan(45.0, SimDuration::from_millis(45)));
+    federation.connect(
+        SiteId(1),
+        SiteId(2),
+        LinkSpec::wan(10.0, SimDuration::from_millis(20)),
+    );
+    federation.connect(
+        SiteId(1),
+        SiteId(3),
+        LinkSpec::wan(10.0, SimDuration::from_millis(60)),
+    );
+    federation.connect(
+        SiteId(2),
+        SiteId(3),
+        LinkSpec::wan(45.0, SimDuration::from_millis(45)),
+    );
 
     let spec = |n: u32| ServiceSpec {
         name: "e-lab".into(),
@@ -50,10 +67,15 @@ fn main() {
         port: 8080,
     };
 
-    println!("candidate order from purdue: {:?}", federation.candidate_sites(SiteId(1)));
+    println!(
+        "candidate order from purdue: {:?}",
+        federation.candidate_sites(SiteId(1))
+    );
 
     // Small request: fits at the preferred site.
-    let r1 = federation.create_service(spec(2), "asp-a", SiteId(1), SimTime::ZERO).unwrap();
+    let r1 = federation
+        .create_service(spec(2), "asp-a", SiteId(1), SimTime::ZERO)
+        .unwrap();
     println!(
         "<2, M> from purdue → hosted at site {:?} (wan transfer {})",
         r1.site, r1.wan_transfer
@@ -61,7 +83,9 @@ fn main() {
 
     // Larger request: purdue is now nearly full, fails over to the
     // nearest connected peer, paying the image-shipping time.
-    let r2 = federation.create_service(spec(4), "asp-b", SiteId(1), SimTime::ZERO).unwrap();
+    let r2 = federation
+        .create_service(spec(4), "asp-b", SiteId(1), SimTime::ZERO)
+        .unwrap();
     println!(
         "<4, M> from purdue → hosted at site {:?} named {:?} (wan transfer {})",
         r2.site,

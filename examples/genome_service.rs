@@ -23,9 +23,19 @@ fn main() {
     let mut engine = Engine::with_seed(SodaWorld::testbed(), 7);
 
     // Contract setup: the institute registers with the SODA Agent.
-    engine.state_mut().agent.register_asp("biolab", "genome-key");
-    let cred = Credential { asp: "biolab".into(), key: "genome-key".into() };
-    engine.state_mut().agent.authenticate(&cred).expect("registered ASP");
+    engine
+        .state_mut()
+        .agent
+        .register_asp("biolab", "genome-key");
+    let cred = Credential {
+        asp: "biolab".into(),
+        key: "genome-key".into(),
+    };
+    engine
+        .state_mut()
+        .agent
+        .authenticate(&cred)
+        .expect("registered ASP");
     println!("ASP 'biolab' authenticated by the SODA Agent");
 
     // The genome matching service: a custom image bundling the matcher
@@ -69,7 +79,12 @@ fn main() {
     }
     .start(&mut engine);
     engine.run_until(t0 + SimDuration::from_secs(300));
-    let mean_1m = engine.state().master.switch(service).unwrap().mean_responses()[0];
+    let mean_1m = engine
+        .state()
+        .master
+        .switch(service)
+        .unwrap()
+        .mean_responses()[0];
     println!("mean response at <1, M>: {mean_1m:.4}s");
 
     // Demand grows: SODA_service_resizing to <3, M>.
@@ -77,7 +92,10 @@ fn main() {
         let now = engine.now();
         let world = engine.state_mut();
         let mut daemons = std::mem::take(&mut world.daemons);
-        let outcome = world.master.resize(service, 3, &mut daemons, now).expect("resize ok");
+        let outcome = world
+            .master
+            .resize(service, 3, &mut daemons, now)
+            .expect("resize ok");
         world.daemons = daemons;
         world.agent.billing_resize(service, 3, now);
         println!(
@@ -87,11 +105,13 @@ fn main() {
         );
         // Any freshly placed nodes boot instantly in this example (the
         // image is already cached at the HUP after the first download).
-        let pending: Vec<_> =
-            outcome.tickets.iter().map(|(_, t)| t.vsn).collect();
+        let pending: Vec<_> = outcome.tickets.iter().map(|(_, t)| t.vsn).collect();
         let mut daemons = std::mem::take(&mut world.daemons);
         for vsn in pending {
-            world.master.resize_node_ready(service, vsn, &mut daemons, now).expect("node up");
+            world
+                .master
+                .resize_node_ready(service, vsn, &mut daemons, now)
+                .expect("node up");
         }
         world.daemons = daemons;
     }
@@ -109,7 +129,10 @@ fn main() {
     let now = engine.now();
     let world = engine.state_mut();
     let mut daemons = std::mem::take(&mut world.daemons);
-    world.master.teardown(service, &mut daemons).expect("teardown");
+    world
+        .master
+        .teardown(service, &mut daemons)
+        .expect("teardown");
     world.daemons = daemons;
     world.agent.billing_stop(service, now);
     println!(

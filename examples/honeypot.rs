@@ -59,7 +59,11 @@ fn main() {
         let world = engine.state();
         let hp_node = world.master.service(honeypot).unwrap().nodes[0];
         let web_node = world.master.service(web).unwrap().nodes[0];
-        let daemon = world.daemons.iter().find(|d| d.host.id == hp_node.host).unwrap();
+        let daemon = world
+            .daemons
+            .iter()
+            .find(|d| d.host.id == hp_node.host)
+            .unwrap();
         for (label, vsn) in [("web", web_node.vsn), ("honeypot", hp_node.vsn)] {
             if let Some(guest) = daemon.vsn(vsn).and_then(|v| v.guest()) {
                 println!("--- {label} console ---");
@@ -97,8 +101,15 @@ fn main() {
 
     let world = engine.state();
     let hp_rec = world.master.service(honeypot).unwrap();
-    let daemon = world.daemons.iter().find(|d| d.host.id == hp_rec.nodes[0].host).unwrap();
-    println!("\nhoneypot crash count: {}", daemon.vsn(hp_vsn).unwrap().crash_count);
+    let daemon = world
+        .daemons
+        .iter()
+        .find(|d| d.host.id == hp_rec.nodes[0].host)
+        .unwrap();
+    println!(
+        "\nhoneypot crash count: {}",
+        daemon.vsn(hp_vsn).unwrap().crash_count
+    );
     let sw = world.master.switch(web).unwrap();
     println!(
         "web requests served: {:?} (dropped: {})",
@@ -107,6 +118,9 @@ fn main() {
     );
     println!(
         "web mean response times: {:?} s — unaffected by the attacks",
-        sw.mean_responses().iter().map(|r| format!("{r:.4}")).collect::<Vec<_>>()
+        sw.mean_responses()
+            .iter()
+            .map(|r| format!("{r:.4}"))
+            .collect::<Vec<_>>()
     );
 }

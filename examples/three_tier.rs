@@ -6,7 +6,9 @@
 //! Run with: `cargo run --example three_tier`
 
 use soda::core::master::SodaMaster;
-use soda::core::partition::{create_partitioned_now, teardown_partitioned, route_component, PartitionId, PartitionedSpec};
+use soda::core::partition::{
+    create_partitioned_now, route_component, teardown_partitioned, PartitionId, PartitionedSpec,
+};
 use soda::core::service::ServiceSpec;
 use soda::hostos::resources::ResourceVector;
 use soda::hup::daemon::SodaDaemon;
@@ -19,8 +21,14 @@ use soda::vmm::sysservices::StartupClass;
 fn main() {
     let mut master = SodaMaster::new();
     let mut daemons = vec![
-        SodaDaemon::new(HupHost::seattle(HostId(1), IpPool::new("10.0.0.0".parse().unwrap(), 8))),
-        SodaDaemon::new(HupHost::tacoma(HostId(2), IpPool::new("10.0.1.0".parse().unwrap(), 8))),
+        SodaDaemon::new(HupHost::seattle(
+            HostId(1),
+            IpPool::new("10.0.0.0".parse().unwrap(), 8),
+        )),
+        SodaDaemon::new(HupHost::tacoma(
+            HostId(2),
+            IpPool::new("10.0.1.0".parse().unwrap(), 8),
+        )),
     ];
     let c = RootFsCatalog::new();
     let m = ResourceVector::TABLE1_EXAMPLE;
@@ -38,7 +46,13 @@ fn main() {
             },
             ServiceSpec {
                 name: "app".into(),
-                image: c.custom("shop_app_fs", 25_000_000, 10_000_000, &["network", "syslogd"], false),
+                image: c.custom(
+                    "shop_app_fs",
+                    25_000_000,
+                    10_000_000,
+                    &["network", "syslogd"],
+                    false,
+                ),
                 required_services: vec!["network", "syslogd"],
                 app_class: StartupClass::Heavy,
                 instances: 1,
@@ -89,8 +103,13 @@ fn main() {
     // own switch.
     for _ in 0..6 {
         for tier in ["web", "app", "db"] {
-            let (svc, idx) = route_component(&mut master, &part, tier).expect("healthy tier");
-            master.switch_mut(svc).unwrap().complete(idx, SimDuration::from_millis(3));
+            let (svc, idx) =
+                route_component(&mut master, &part, tier, SimTime::ZERO).expect("healthy tier");
+            master.switch_mut(svc).unwrap().complete(
+                idx,
+                SimDuration::from_millis(3),
+                SimTime::ZERO,
+            );
         }
     }
     println!("\nafter 6 user requests (each touching all three tiers):");

@@ -1,0 +1,116 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface `benches/paper_benches.rs` uses —
+//! `Criterion::bench_function`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, and the `criterion_group!`/`criterion_main!` macros —
+//! backed by a simple best-of-N `Instant` timer instead of criterion's
+//! statistical machinery. Good enough to spot regressions by eye;
+//! not a substitute for real criterion when the registry is reachable.
+
+use std::time::Instant;
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { samples: Vec::with_capacity(self.sample_size), per_sample: 0 };
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let best = bencher
+            .samples
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        println!("{id:<44} best {best:>12.1} ns/iter ({} samples)", bencher.samples.len());
+        self
+    }
+}
+
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Bencher {
+    samples: Vec<f64>,
+    per_sample: u32,
+}
+
+impl Bencher {
+    fn iters_per_sample(&mut self) -> u32 {
+        if self.per_sample == 0 {
+            self.per_sample = 16;
+        }
+        self.per_sample
+    }
+
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let n = self.iters_per_sample();
+        let start = Instant::now();
+        for _ in 0..n {
+            std::hint::black_box(routine());
+        }
+        self.samples.push(start.elapsed().as_nanos() as f64 / n as f64);
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let n = self.iters_per_sample();
+        let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            std::hint::black_box(routine(input));
+        }
+        self.samples.push(start.elapsed().as_nanos() as f64 / n as f64);
+    }
+}
+
+/// Declares a bench group runner, mirroring criterion's long form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

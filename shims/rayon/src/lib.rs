@@ -1,0 +1,44 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment cannot reach a crate registry, so this shim
+//! maps the `par_iter`/`into_par_iter` entry points onto ordinary
+//! sequential iterators. Downstream combinators (`map`, `collect`, …)
+//! are then plain `std::iter::Iterator` methods. Results are identical
+//! to rayon's — the experiment sweeps are independent deterministic
+//! simulations — only wall-clock parallelism is lost.
+
+pub mod prelude {
+    /// `into_par_iter()` for owned collections and ranges.
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter()` for anything iterable by reference.
+    pub trait IntoParallelRefIterator<'data> {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: ?Sized> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+        C: 'data,
+    {
+        type Item = <&'data C as IntoIterator>::Item;
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach a crate registry, so the
+//! workspace vendors the minimal serialization surface it uses: a
+//! [`Serialize`] trait that lowers a value into a JSON-like [`Value`]
+//! tree, plus a `derive` feature re-exporting the companion shim macro.
+//! `serde_json` (also vendored) renders and parses that tree.
+//!
+//! This is intentionally NOT wire-compatible with real serde's
+//! visitor-based data model — it trades generality for zero
+//! dependencies. The method is named `to_json_value` (not `serialize`)
+//! to make the divergence obvious at call sites.
+
+use std::collections::BTreeMap;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+/// A JSON value tree: the shim's entire data model.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Unsigned integers keep full u64 precision.
+    U64(u64),
+    /// Negative integers.
+    I64(i64),
+    /// Floating point; non-finite values render as `null`.
+    F64(f64),
+    String(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered object (declaration order for derived structs).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Array element access.
+    pub fn index(&self, i: usize) -> Option<&Value> {
+        match self {
+            Value::Array(items) => items.get(i),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(n) => Some(n),
+            Value::I64(n) if n >= 0 => Some(n as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(f) => Some(f),
+            Value::U64(n) => Some(n as f64),
+            Value::I64(n) => Some(n as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Lowers `self` into a [`Value`] tree.
+pub trait Serialize {
+    fn to_json_value(&self) -> Value;
+}
+
+macro_rules! impl_ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+    )*};
+}
+impl_ser_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+    )*};
+}
+impl_ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value { Value::F64(*self) }
+}
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value { Value::F64(*self as f64) }
+}
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value { Value::Bool(*self) }
+}
+impl Serialize for str {
+    fn to_json_value(&self) -> Value { Value::String(self.to_string()) }
+}
+impl Serialize for String {
+    fn to_json_value(&self) -> Value { Value::String(self.clone()) }
+}
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value { self.clone() }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value { (**self).to_json_value() }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value { self.as_slice().to_json_value() }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value { self.as_slice().to_json_value() }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_json_value()),+])
+            }
+        }
+    )*};
+}
+impl_ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.to_string(), v.to_json_value())).collect())
+    }
+}

@@ -1,0 +1,197 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal `serde` shim (a [`Serialize`] trait producing a
+//! JSON-like `Value` tree) and this companion derive macro. The macro
+//! parses the item's token stream by hand — no `syn`/`quote` — which is
+//! enough for the shapes this workspace actually derives:
+//!
+//! * structs with named fields,
+//! * unit-only enums (serialized as their variant name),
+//! * newtype structs (serialized as the inner value).
+//!
+//! Generics are intentionally unsupported; deriving on a generic type
+//! fails with a clear compile error rather than generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize` (tree-building) trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "fields.push((\"{f}\".to_string(), ::serde::Serialize::to_json_value(&self.{f})));\n",
+                ));
+            }
+            format!(
+                "let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n{pushes}::serde::Value::Object(fields)"
+            )
+        }
+        Shape::NewtypeStruct => {
+            "::serde::Serialize::to_json_value(&self.0)".to_string()
+        }
+        Shape::UnitEnum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&format!(
+                    "{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),\n",
+                    name = item.name,
+                ));
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_json_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n",
+        name = item.name,
+    );
+    out.parse().expect("serde_derive shim generated invalid Rust")
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    NewtypeStruct,
+    UnitEnum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes (`#[...]`, doc comments) and visibility.
+    let kind = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Consume the bracketed attribute body.
+                let _ = iter.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // `pub`, `pub(crate)` etc. — `(crate)` arrives as a group
+                // and is skipped by the catch-all arm below.
+            }
+            Some(_) => {}
+            None => panic!("serde_derive shim: no struct/enum keyword found"),
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic types are not supported (derive on `{name}`)");
+    }
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break Some(g),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                // Tuple struct: only the newtype shape is supported.
+                let inner_commas = top_level_commas(g.stream());
+                if inner_commas != 0 {
+                    panic!("serde_derive shim: only newtype tuple structs are supported (`{name}`)");
+                }
+                return Item { name, shape: Shape::NewtypeStruct };
+            }
+            Some(_) => {}
+            None => break None,
+        }
+    };
+    let body = body
+        .unwrap_or_else(|| panic!("serde_derive shim: `{name}` has no body to serialize"));
+    if kind == "struct" {
+        Item { name: name.clone(), shape: Shape::NamedStruct(named_fields(body.stream())) }
+    } else {
+        Item { name: name.clone(), shape: Shape::UnitEnum(unit_variants(&name, body.stream())) }
+    }
+}
+
+fn top_level_commas(stream: TokenStream) -> usize {
+    stream
+        .into_iter()
+        .filter(|t| matches!(t, TokenTree::Punct(p) if p.as_char() == ','))
+        .count()
+}
+
+/// Collects field names of a named-field struct body: each field is
+/// `[attrs] [vis] name ':' type`, fields separated by top-level commas.
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let name = loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let _ = iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if matches!(iter.peek(), Some(TokenTree::Group(_))) {
+                        let _ = iter.next(); // pub(crate) / pub(super)
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break Some(id.to_string()),
+                Some(other) => panic!("serde_derive shim: unexpected token {other:?} in struct body"),
+                None => break None,
+            }
+        };
+        let Some(name) = name else { break };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected ':' after field `{name}`, got {other:?}"),
+        }
+        fields.push(name);
+        // Skip the type up to the next top-level comma. Track `<...>`
+        // nesting so commas inside generic arguments don't split fields.
+        let mut angle = 0i32;
+        for t in iter.by_ref() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Collects variant names of a unit-only enum body.
+fn unit_variants(enum_name: &str, stream: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        let name = loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let _ = iter.next();
+                }
+                Some(TokenTree::Ident(id)) => break Some(id.to_string()),
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => continue,
+                Some(other) => {
+                    panic!("serde_derive shim: `{enum_name}` must be a unit-only enum, got {other:?}")
+                }
+                None => break None,
+            }
+        };
+        let Some(name) = name else { break };
+        if matches!(iter.peek(), Some(TokenTree::Group(_))) {
+            panic!(
+                "serde_derive shim: variant `{enum_name}::{name}` carries data; only unit variants are supported"
+            );
+        }
+        variants.push(name);
+    }
+    variants
+}

@@ -50,20 +50,37 @@ fn parse_simulate(args: &[String]) -> Result<SimulateArgs, String> {
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
-            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
         };
         match flag.as_str() {
             "--instances" => {
-                out.instances =
-                    value("--instances")?.parse().map_err(|e| format!("--instances: {e}"))?
+                out.instances = value("--instances")?
+                    .parse()
+                    .map_err(|e| format!("--instances: {e}"))?
             }
             "--dataset" => {
-                out.dataset = value("--dataset")?.parse().map_err(|e| format!("--dataset: {e}"))?
+                out.dataset = value("--dataset")?
+                    .parse()
+                    .map_err(|e| format!("--dataset: {e}"))?
             }
-            "--rate" => out.rate = value("--rate")?.parse().map_err(|e| format!("--rate: {e}"))?,
-            "--secs" => out.secs = value("--secs")?.parse().map_err(|e| format!("--secs: {e}"))?,
+            "--rate" => {
+                out.rate = value("--rate")?
+                    .parse()
+                    .map_err(|e| format!("--rate: {e}"))?
+            }
+            "--secs" => {
+                out.secs = value("--secs")?
+                    .parse()
+                    .map_err(|e| format!("--secs: {e}"))?
+            }
             "--policy" => out.policy = Some(value("--policy")?),
-            "--seed" => out.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--seed" => {
+                out.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
             "--no-shaping" => out.shaping = false,
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -137,7 +154,10 @@ fn cmd_simulate(a: SimulateArgs) -> Result<(), String> {
     );
     println!(
         "mean response per node: {:?} s",
-        sw.mean_responses().iter().map(|m| format!("{m:.4}")).collect::<Vec<_>>()
+        sw.mean_responses()
+            .iter()
+            .map(|m| format!("{m:.4}"))
+            .collect::<Vec<_>>()
     );
     println!("invoice: {:.4} units", w.agent.invoice("cli", engine.now()));
     Ok(())
@@ -149,8 +169,8 @@ fn cmd_status() -> Result<(), String> {
         .map_err(|e| format!("creation failed: {e}"))?;
     engine.run_until(SimTime::from_secs(120));
     let w = engine.state();
-    let status = monitoring::snapshot(&w.master, &w.daemons, svc, engine.now())
-        .ok_or("snapshot failed")?;
+    let status =
+        monitoring::snapshot(&w.master, &w.daemons, svc, engine.now()).ok_or("snapshot failed")?;
     println!("service {} at t={}", status.service, status.taken_at);
     println!("healthy: {:.0}%", status.healthy_fraction * 100.0);
     for n in &status.nodes {
@@ -179,11 +199,20 @@ fn cmd_experiments() {
     for (bin, what) in [
         ("exp_table2_bootstrap", "Table 2 — bootstrap times"),
         ("exp_table3_config", "Table 3 — service configuration file"),
-        ("exp_table4_syscalls", "Table 4 — syscall slow-down (+ skas ablation)"),
+        (
+            "exp_table4_syscalls",
+            "Table 4 — syscall slow-down (+ skas ablation)",
+        ),
         ("exp_fig3_consoles", "Figure 3 — co-existing guest consoles"),
         ("exp_fig4_loadbalance", "Figure 4 — WRR 2:1 load balancing"),
-        ("exp_fig5_cpu_isolation", "Figure 5 — CPU isolation (+ lottery ablation)"),
-        ("exp_fig6_slowdown", "Figure 6 — application-level slow-down"),
+        (
+            "exp_fig5_cpu_isolation",
+            "Figure 5 — CPU isolation (+ lottery ablation)",
+        ),
+        (
+            "exp_fig6_slowdown",
+            "Figure 6 — application-level slow-down",
+        ),
         ("exp_download", "§4.3 — download linearity"),
         ("exp_attack_isolation", "§5 — attack isolation"),
         ("exp_ddos", "X-DDOS — switch flood isolation violation"),

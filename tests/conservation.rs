@@ -74,10 +74,13 @@ fn conservation_under_crash_and_flood() {
         }
         // Mid-run: crash the seattle node and flood the switch host.
         let vsn = engine.state().master.service(svc).unwrap().nodes[0].vsn;
-        engine.schedule_at(t0 + SimDuration::from_secs(4), move |w: &mut SodaWorld, ctx| {
-            attack_node(w, ctx, svc, vsn, FaultKind::Crash);
-            ddos_switch_host(w, ctx, svc, 5, 5_000_000);
-        });
+        engine.schedule_at(
+            t0 + SimDuration::from_secs(4),
+            move |w: &mut SodaWorld, ctx| {
+                attack_node(w, ctx, svc, vsn, FaultKind::Crash);
+                ddos_switch_host(w, ctx, svc, 5, 5_000_000);
+            },
+        );
         engine.run_until(t0 + SimDuration::from_secs(900));
         let w = engine.state();
         assert_eq!(
@@ -103,7 +106,12 @@ fn callbacks_fire_exactly_once_per_request() {
     // static-free trick: schedule follow-up submissions from callbacks
     // and verify the chain length.
     const CHAIN: u64 = 25;
-    fn chain(w: &mut SodaWorld, ctx: &mut soda::sim::Ctx<SodaWorld>, svc: soda::core::service::ServiceId, left: u64) {
+    fn chain(
+        w: &mut SodaWorld,
+        ctx: &mut soda::sim::Ctx<SodaWorld>,
+        svc: soda::core::service::ServiceId,
+        left: u64,
+    ) {
         if left == 0 {
             return;
         }
@@ -123,7 +131,9 @@ fn callbacks_fire_exactly_once_per_request() {
     assert_eq!(engine.state().completed.len() as u64, CHAIN);
     // And one plain request still works alongside.
     let t1 = engine.now();
-    engine.schedule_at(t1, move |w: &mut SodaWorld, ctx| submit_request(w, ctx, svc, 1_000));
+    engine.schedule_at(t1, move |w: &mut SodaWorld, ctx| {
+        submit_request(w, ctx, svc, 1_000)
+    });
     engine.run_until(t1 + SimDuration::from_secs(30));
     assert_eq!(engine.state().completed.len() as u64, CHAIN + 1);
 }
@@ -151,6 +161,10 @@ fn dropped_request_callback_gets_none() {
     });
     engine.run_until(t0 + SimDuration::from_secs(30));
     let w = engine.state();
-    assert!(w.dropped >= 101, "callback ran with None: dropped={}", w.dropped);
+    assert!(
+        w.dropped >= 101,
+        "callback ran with None: dropped={}",
+        w.dropped
+    );
     assert!(w.completed.is_empty());
 }

@@ -38,8 +38,12 @@ fn assert_conservation(world: &SodaWorld) {
 #[test]
 fn full_lifecycle() {
     let mut engine = Engine::with_seed(SodaWorld::testbed(), 1);
-    let baseline: Vec<ResourceVector> =
-        engine.state().daemons.iter().map(|d| d.report_resources()).collect();
+    let baseline: Vec<ResourceVector> = engine
+        .state()
+        .daemons
+        .iter()
+        .map(|d| d.report_resources())
+        .collect();
 
     // --- Create <3, M>.
     let svc = create_service_driven(&mut engine, web_spec(3), "webco").unwrap();
@@ -53,19 +57,21 @@ fn full_lifecycle() {
         assert_eq!(rec.placed_capacity(), 3);
         // The inflated reservation: 3 × (768 CPU, 256 mem, 1024 disk, 15 bw).
         let expect = ResourceVector::TABLE1_EXAMPLE.inflate_for_slowdown(1.5) * 3;
-        let reserved: ResourceVector = w
-            .daemons
-            .iter()
-            .fold(ResourceVector::ZERO, |acc, d| acc + d.host.ledger.reserved());
+        let reserved: ResourceVector = w.daemons.iter().fold(ResourceVector::ZERO, |acc, d| {
+            acc + d.host.ledger.reserved()
+        });
         assert_eq!(reserved, expect);
     }
 
     // --- Serve.
     let t0 = engine.now();
     for i in 0..50u64 {
-        engine.schedule_at(t0 + SimDuration::from_millis(50 * i), move |w: &mut SodaWorld, ctx| {
-            submit_request(w, ctx, svc, 20_000);
-        });
+        engine.schedule_at(
+            t0 + SimDuration::from_millis(50 * i),
+            move |w: &mut SodaWorld, ctx| {
+                submit_request(w, ctx, svc, 20_000);
+            },
+        );
     }
     engine.run_until(t0 + SimDuration::from_secs(60));
     assert_eq!(engine.state().completed.len(), 50);
@@ -80,9 +86,23 @@ fn full_lifecycle() {
         w.daemons = daemons;
     }
     assert_conservation(engine.state());
-    assert_eq!(engine.state().master.service(svc).unwrap().placed_capacity(), 1);
     assert_eq!(
-        engine.state().master.switch(svc).unwrap().config().total_capacity(),
+        engine
+            .state()
+            .master
+            .service(svc)
+            .unwrap()
+            .placed_capacity(),
+        1
+    );
+    assert_eq!(
+        engine
+            .state()
+            .master
+            .switch(svc)
+            .unwrap()
+            .config()
+            .total_capacity(),
         1
     );
 
@@ -100,7 +120,11 @@ fn full_lifecycle() {
         submit_request(w, ctx, svc, 20_000);
     });
     engine.run_until(t1 + SimDuration::from_secs(30));
-    assert_eq!(engine.state().completed.len(), before + 1, "revived node serves");
+    assert_eq!(
+        engine.state().completed.len(),
+        before + 1,
+        "revived node serves"
+    );
 
     // --- Teardown restores the baseline exactly.
     {
@@ -109,8 +133,12 @@ fn full_lifecycle() {
         w.master.teardown(svc, &mut daemons).unwrap();
         w.daemons = daemons;
     }
-    let after: Vec<ResourceVector> =
-        engine.state().daemons.iter().map(|d| d.report_resources()).collect();
+    let after: Vec<ResourceVector> = engine
+        .state()
+        .daemons
+        .iter()
+        .map(|d| d.report_resources())
+        .collect();
     assert_eq!(after, baseline, "teardown must release everything");
     assert_conservation(engine.state());
     for d in &engine.state().daemons {
@@ -125,16 +153,28 @@ fn many_services_fill_and_drain() {
     // Admit single-instance services until rejection; tear all down;
     // the HUP must return to its pristine state.
     let mut engine = Engine::with_seed(SodaWorld::testbed(), 2);
-    let baseline: Vec<ResourceVector> =
-        engine.state().daemons.iter().map(|d| d.report_resources()).collect();
+    let baseline: Vec<ResourceVector> = engine
+        .state()
+        .daemons
+        .iter()
+        .map(|d| d.report_resources())
+        .collect();
     let mut created = Vec::new();
     while let Ok(svc) = create_service_driven(&mut engine, web_spec(1), "asp") {
         created.push(svc);
         assert!(created.len() < 64, "admission must eventually reject");
     }
-    assert!(created.len() >= 4, "the testbed holds several instances: {}", created.len());
+    assert!(
+        created.len() >= 4,
+        "the testbed holds several instances: {}",
+        created.len()
+    );
     engine.run_until(SimTime::from_secs(600));
-    assert_eq!(engine.state().creations.len(), created.len(), "all bootstraps finish");
+    assert_eq!(
+        engine.state().creations.len(),
+        created.len(),
+        "all bootstraps finish"
+    );
     assert_conservation(engine.state());
     {
         let w = engine.state_mut();
@@ -144,8 +184,12 @@ fn many_services_fill_and_drain() {
         }
         w.daemons = daemons;
     }
-    let after: Vec<ResourceVector> =
-        engine.state().daemons.iter().map(|d| d.report_resources()).collect();
+    let after: Vec<ResourceVector> = engine
+        .state()
+        .daemons
+        .iter()
+        .map(|d| d.report_resources())
+        .collect();
     assert_eq!(after, baseline);
 }
 

@@ -25,7 +25,10 @@ enum Op {
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (1u32..5).prop_map(|instances| Op::Create { instances }),
-        (0usize..8, 1u32..6).prop_map(|(which, new_instances)| Op::Resize { which, new_instances }),
+        (0usize..8, 1u32..6).prop_map(|(which, new_instances)| Op::Resize {
+            which,
+            new_instances
+        }),
         (0usize..8).prop_map(|which| Op::Teardown { which }),
         (0usize..8).prop_map(|which| Op::CrashNode { which }),
     ]
@@ -33,9 +36,18 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 
 fn testbed() -> Vec<SodaDaemon> {
     vec![
-        SodaDaemon::new(HupHost::seattle(HostId(1), IpPool::new("10.0.0.0".parse().unwrap(), 16))),
-        SodaDaemon::new(HupHost::tacoma(HostId(2), IpPool::new("10.0.1.0".parse().unwrap(), 16))),
-        SodaDaemon::new(HupHost::seattle(HostId(3), IpPool::new("10.0.2.0".parse().unwrap(), 16))),
+        SodaDaemon::new(HupHost::seattle(
+            HostId(1),
+            IpPool::new("10.0.0.0".parse().unwrap(), 16),
+        )),
+        SodaDaemon::new(HupHost::tacoma(
+            HostId(2),
+            IpPool::new("10.0.1.0".parse().unwrap(), 16),
+        )),
+        SodaDaemon::new(HupHost::seattle(
+            HostId(3),
+            IpPool::new("10.0.2.0".parse().unwrap(), 16),
+        )),
     ]
 }
 
@@ -120,7 +132,7 @@ proptest! {
                                 daemons.iter_mut().find(|d| d.host.id == node.host)
                             {
                                 if d.vsn(node.vsn).is_some_and(|v| v.is_running()) {
-                                    d.crash_vsn(node.vsn).expect("running node crashes");
+                                    d.crash_vsn(node.vsn, SimTime::ZERO).expect("running node crashes");
                                     master.node_crashed(svc, node.vsn);
                                 }
                             }

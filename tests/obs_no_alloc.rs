@@ -1,0 +1,103 @@
+//! The disabled observability path must be a branch-only no-op: no
+//! heap allocation, ever. This lives in its own integration-test
+//! binary so the counting allocator sees only this test's activity
+//! (the default harness runs tests in parallel threads, which would
+//! make a shared allocation counter racy).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use soda::sim::{Event, Labels, Obs, SimTime};
+
+/// Serializes the counting windows: the harness still spawns one thread
+/// per test, but only one test at a time may touch the allocator
+/// between its `before`/`after` reads.
+static COUNTER_WINDOW: Mutex<()> = Mutex::new(());
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn disabled_obs_path_never_allocates() {
+    let _guard = COUNTER_WINDOW.lock().unwrap();
+    let obs = Obs::disabled();
+    let now = SimTime::from_secs(1);
+    let labels = Labels::two("service", 1, "vsn", 2);
+    // Warm everything up once (lazy statics, formatting machinery in
+    // the surrounding harness) before counting.
+    obs.record(now, Event::HostFailure { host: 1 });
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..1_000u64 {
+        obs.record(now, Event::RequestDispatched { service: 1, vsn: i });
+        obs.record(
+            now,
+            Event::AdmissionDecision {
+                service: i,
+                accepted: true,
+                instances: 3,
+            },
+        );
+        obs.record(
+            now,
+            Event::BootPhaseEntered {
+                vsn: i,
+                host: 1,
+                phase: "customize",
+            },
+        );
+        obs.counter_add("switch", "served", labels, 1);
+        obs.gauge_set("switch", "outstanding", labels, 4.0);
+        obs.histogram_record("switch", "response_time", labels, 1_000_000);
+        obs.span_enter("master", "priming", i, now);
+        obs.span_exit("master", "priming", i, now);
+        obs.span_record("daemon", "mount", labels, SimTime::ZERO, now);
+        assert!(!obs.is_enabled());
+        assert!(obs.snapshot().is_none());
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled obs must not allocate (got {} allocations over 10k calls)",
+        after - before
+    );
+}
+
+#[test]
+fn enabled_event_recording_reuses_ring_slots_once_warm() {
+    // Sanity check on the enabled path: Event variants are Copy and the
+    // ring buffer reuses its slots, so a warm, at-capacity log records
+    // without fresh allocations either.
+    let _guard = COUNTER_WINDOW.lock().unwrap();
+    let obs = Obs::enabled(64);
+    let now = SimTime::from_secs(2);
+    // Fill past capacity so the ring is warm and evicting.
+    for i in 0..128u64 {
+        obs.record(now, Event::RequestCompleted { service: 1, vsn: i });
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..1_000u64 {
+        obs.record(now, Event::RequestCompleted { service: 1, vsn: i });
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "warm event log must reuse its ring slots"
+    );
+}

@@ -3,7 +3,9 @@
 //! These run the same entry points as the `exp_*` binaries, at reduced
 //! measurement lengths.
 
-use soda_bench::experiments::{attack, ddos, download, fig4, fig5, fig6, inflation, table2, table4};
+use soda_bench::experiments::{
+    attack, ddos, download, fig4, fig5, fig6, inflation, table2, table4,
+};
 use soda_workload::datasets::{FIG4_SWEEP, FIG6_SWEEP};
 
 #[test]
@@ -26,7 +28,12 @@ fn t2_bootstrap_ordering_and_host_gap() {
 fn t4_syscall_penalty_band() {
     let rows = table4::run();
     for r in &rows {
-        assert!(r.penalty > 15.0 && r.penalty < 35.0, "{}: {}", r.call, r.penalty);
+        assert!(
+            r.penalty > 15.0 && r.penalty < 35.0,
+            "{}: {}",
+            r.call,
+            r.penalty
+        );
     }
     assert_eq!(
         rows.iter().max_by_key(|r| r.uml_cycles).unwrap().call,
@@ -39,8 +46,16 @@ fn f4_two_to_one_split_equal_latency() {
     // One representative sweep point suffices for the integration test;
     // the unit tests in soda-bench cover more.
     let r = fig4::run_point(&FIG4_SWEEP[1], 60, 2);
-    assert!((1.7..2.3).contains(&r.served_ratio()), "{}", r.served_ratio());
-    assert!((0.65..1.55).contains(&r.response_ratio()), "{}", r.response_ratio());
+    assert!(
+        (1.7..2.3).contains(&r.served_ratio()),
+        "{}",
+        r.served_ratio()
+    );
+    assert!(
+        (0.65..1.55).contains(&r.response_ratio()),
+        "{}",
+        r.response_ratio()
+    );
 }
 
 #[test]
@@ -91,5 +106,10 @@ fn inflation_tradeoff() {
     for w in rows.windows(2) {
         assert!(w[1].admitted <= w[0].admitted);
     }
-    assert!(rows.iter().find(|r| r.factor == 1.5).unwrap().covers_measured);
+    assert!(
+        rows.iter()
+            .find(|r| r.factor == 1.5)
+            .unwrap()
+            .covers_measured
+    );
 }

@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use soda::core::service::ServiceId;
 use soda::core::switch::ServiceSwitch;
 use soda::net::addr::Ipv4Addr;
-use soda::sim::SimDuration;
+use soda::sim::{SimDuration, SimTime};
 use soda::vmm::vsn::VsnId;
 
 fn build_switch(caps: &[u32]) -> ServiceSwitch {
@@ -30,8 +30,8 @@ proptest! {
         let mut sw = build_switch(&caps);
         let total: u32 = caps.iter().sum();
         for _ in 0..(total * rounds) {
-            let i = sw.route().expect("healthy backends exist");
-            sw.complete(i, SimDuration::from_millis(1));
+            let i = sw.route(SimTime::ZERO).expect("healthy backends exist");
+            sw.complete(i, SimDuration::from_millis(1), SimTime::ZERO);
         }
         let served = sw.served_counts();
         for (i, &c) in caps.iter().enumerate() {
@@ -52,19 +52,19 @@ proptest! {
         let mut inflight: Vec<usize> = Vec::new();
         for issue in script {
             if issue || inflight.is_empty() {
-                if let Some(i) = sw.route() {
+                if let Some(i) = sw.route(SimTime::ZERO) {
                     inflight.push(i);
                 }
             } else {
                 let i = inflight.remove(0);
-                sw.complete(i, SimDuration::from_millis(1));
+                sw.complete(i, SimDuration::from_millis(1), SimTime::ZERO);
             }
             let total_outstanding: u32 =
                 sw.backends().iter().map(|b| b.outstanding).sum();
             prop_assert_eq!(total_outstanding as usize, inflight.len());
         }
         for i in inflight.drain(..) {
-            sw.complete(i, SimDuration::from_millis(1));
+            sw.complete(i, SimDuration::from_millis(1), SimTime::ZERO);
         }
         prop_assert!(sw.backends().iter().all(|b| b.outstanding == 0));
     }
@@ -80,8 +80,8 @@ proptest! {
         let mut sw = build_switch(&caps);
         let k = caps.len().min(down_mask.len());
         let mut any_up = false;
-        for i in 0..k {
-            if down_mask[i] {
+        for (i, &down) in down_mask.iter().enumerate().take(k) {
+            if down {
                 sw.set_health(VsnId(i as u64 + 1), false);
             } else {
                 any_up = true;
@@ -92,10 +92,10 @@ proptest! {
             sw.set_health(VsnId(k as u64), true);
         }
         for _ in 0..n {
-            let i = sw.route().expect("a healthy backend exists");
+            let i = sw.route(SimTime::ZERO).expect("a healthy backend exists");
             // Routed to a healthy one.
             prop_assert!(sw.backends()[i].healthy);
-            sw.complete(i, SimDuration::from_millis(1));
+            sw.complete(i, SimDuration::from_millis(1), SimTime::ZERO);
         }
         prop_assert_eq!(sw.dropped(), 0);
     }
