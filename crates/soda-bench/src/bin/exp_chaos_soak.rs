@@ -1,0 +1,48 @@
+//! Extension X-CHAOS: randomized fault-plan soak with self-healing.
+//!
+//! Usage: `exp_chaos_soak [seed]` (default seed 42). Exits non-zero if
+//! the routing invariant (never route to a known-dead VSN) was ever
+//! violated, so CI can gate on it.
+
+use soda_bench::experiments::chaos_soak;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(42);
+    let r = chaos_soak::run(seed);
+    println!("== X-CHAOS — fault-plan soak (seed {seed}) ==");
+    println!("faults injected             : {}", r.faults_injected);
+    println!(
+        "host-down detections        : {} (mean {:.2} s, max {:.2} s after crash)",
+        r.detections, r.mean_detection_secs, r.max_detection_secs
+    );
+    println!(
+        "recoveries completed        : {} (mean {:.2} s, max {:.2} s after detection)",
+        r.recoveries, r.mean_recovery_secs, r.max_recovery_secs
+    );
+    println!(
+        "requests completed / dropped: {} / {}",
+        r.completed, r.dropped
+    );
+    println!("time at degraded capacity   : {:.1} s", r.degraded_secs);
+    println!(
+        "degradations / sheds        : {} / {}",
+        r.degradations, r.sheds
+    );
+    println!(
+        "false alarms / retries      : {} / {}",
+        r.false_alarms, r.retries
+    );
+    println!("invariant violations        : {}", r.invariant_violations);
+    println!(
+        "event-log fingerprint       : {:#018x}",
+        r.event_fingerprint
+    );
+    soda_bench::emit_json("exp_chaos_soak", &r);
+    if r.invariant_violations > 0 {
+        eprintln!("FAIL: switch routed to a known-dead VSN");
+        std::process::exit(1);
+    }
+}

@@ -1,12 +1,16 @@
-//! Extension X-HOST: whole-host failure and failover on a three-host
-//! HUP.
+//! Extension X-HOST: whole-host failure, heartbeat detection and
+//! self-healing failover on a three-host HUP.
 
 use soda_bench::experiments::host_failure;
 
 fn main() {
     let r = host_failure::run(17);
-    println!("== X-HOST — host failure and failover ==");
+    println!("== X-HOST — host failure and self-healing failover ==");
     println!("nodes downed by the failure : {}", r.nodes_downed);
+    println!(
+        "detection time              : {:.1} s (heartbeat timeout)",
+        r.detection_secs
+    );
     println!(
         "recovery time               : {:.1} s (image re-fetch + bootstrap)",
         r.recovery_secs
@@ -21,7 +25,7 @@ fn main() {
     );
     println!("mean response before        : {:.4} s", r.mean_before);
     println!("mean response degraded      : {:.4} s", r.mean_degraded);
-    println!("the switch health-outs the dead backend instantly; the Master re-places");
-    println!("the lost capacity via the same placement + priming path as creation");
+    println!("the heartbeat monitor drains the dead backends on timeout; the Master");
+    println!("re-places the lost capacity via the same placement + priming path as creation");
     soda_bench::emit_json("exp_host_failure", &r);
 }

@@ -1,18 +1,21 @@
-//! X-HOST — whole-host failure and failover (an extension: the paper
-//! explicitly scopes SODA as *jailing* faults, not surviving them; this
-//! shows what the architecture's pieces — inventory, placement, priming,
-//! switch health — buy when composed into recovery).
+//! X-HOST — whole-host failure and self-healing failover (an
+//! extension: the paper explicitly scopes SODA as *jailing* faults, not
+//! surviving them; this shows what the architecture's pieces —
+//! heartbeats, inventory, placement, priming, switch health — buy when
+//! composed into a recovery loop).
 //!
 //! Scenario: a three-host HUP runs the web service on two nodes. The
-//! host carrying the big node loses power mid-experiment. The switch
-//! health-outs the dead backend immediately (degraded service, no
-//! drops); the Master re-places the lost capacity on the spare host,
+//! host carrying the big node loses power mid-experiment — and nobody
+//! tells the Master. Its heartbeat monitor notices the silence, drains
+//! the dead backends, re-places the lost capacity on the spare host,
 //! re-fetches the image, bootstraps, and the service returns to full
-//! capacity.
+//! capacity. Requests routed to the dead node during the detection
+//! window are honestly counted as dropped.
 
 use serde::Serialize;
+use soda_core::recovery::{self, RecoveryConfig};
 use soda_core::service::ServiceSpec;
-use soda_core::world::{create_service_driven, fail_host, failover_node, SodaWorld};
+use soda_core::world::{crash_host, create_service_driven, SodaWorld};
 use soda_hostos::resources::ResourceVector;
 use soda_hup::daemon::SodaDaemon;
 use soda_hup::host::{HostId, HupHost};
@@ -27,6 +30,9 @@ use soda_workload::httpgen::PoissonGenerator;
 pub struct FailoverResult {
     /// Nodes downed by the host failure.
     pub nodes_downed: usize,
+    /// Seconds from the crash to the heartbeat monitor declaring the
+    /// host down.
+    pub detection_secs: f64,
     /// Seconds from failure to full capacity restored.
     pub recovery_secs: f64,
     /// Requests dropped across the whole run.
@@ -74,9 +80,14 @@ pub fn run(seed: u64) -> FailoverResult {
     engine.run_until(SimTime::from_secs(120));
     assert_eq!(engine.state().creations.len(), 1, "creation finishes");
 
-    // Continuous load for the whole run.
+    // Arm the self-healing loop: detection and recovery from here on
+    // are the Master's own doing, not the experiment script's.
     let t0 = engine.now();
     let total_secs = 240u64;
+    let horizon = t0 + SimDuration::from_secs(total_secs + 120);
+    recovery::start_self_healing(&mut engine, RecoveryConfig::default(), horizon);
+
+    // Continuous load for the whole run.
     PoissonGenerator {
         service: svc,
         dataset_bytes: 30_000,
@@ -86,27 +97,24 @@ pub fn run(seed: u64) -> FailoverResult {
     }
     .start(&mut engine);
 
-    // Let it serve for 60 s, then fail the host with the largest node.
+    // Let it serve for 60 s, then pull the plug on the host with the
+    // largest node. No master notification, no scripted failover.
     let fail_at = t0 + SimDuration::from_secs(60);
     let victim_host = engine.state().master.service(svc).expect("exists").nodes[0].host;
     engine.schedule_at(fail_at, move |w: &mut SodaWorld, ctx| {
-        let affected = fail_host(w, ctx, victim_host);
-        for (s, vsn, _) in affected {
-            failover_node(w, ctx, s, vsn).expect("spare host has capacity");
-        }
+        crash_host(w, ctx, victim_host);
     });
-    engine.run_until(t0 + SimDuration::from_secs(total_secs + 120));
+    engine.run_until(horizon);
 
     let w = engine.state();
     let rec = w.master.service(svc).expect("exists");
-    // Recovery completes when the replacement's creation record…
-    // replacements don't create CreationRecords; detect via the
-    // replacement node's running_since.
-    let replacement = rec
-        .nodes
-        .iter()
-        .find(|n| n.host != victim_host)
-        .expect("nodes left");
+    let stats = &w.recovery.stats;
+    let detection_secs = stats
+        .detections
+        .first()
+        .map(|&(_, at)| at.saturating_since(fail_at).as_secs_f64())
+        .unwrap_or(f64::INFINITY);
+    // Full capacity is restored when the replacement finishes booting.
     let recovery_done = rec
         .nodes
         .iter()
@@ -116,7 +124,6 @@ pub fn run(seed: u64) -> FailoverResult {
         })
         .max()
         .unwrap_or(fail_at);
-    let _ = replacement;
     let mean_before = {
         let recs: Vec<f64> = w
             .completed
@@ -137,6 +144,7 @@ pub fn run(seed: u64) -> FailoverResult {
     };
     FailoverResult {
         nodes_downed: 1,
+        detection_secs,
         recovery_secs: recovery_done.saturating_since(fail_at).as_secs_f64(),
         dropped: w.dropped,
         completed: w.completed.len() as u64,
@@ -154,14 +162,24 @@ mod tests {
     fn failover_restores_full_capacity() {
         let r = run(17);
         assert_eq!(r.final_capacity, 3, "capacity restored");
-        // Recovery = image download (~2.4 s) + bootstrap (~2.5 s).
+        // Detection = heartbeat timeout (3.5 s) rounded up to the next
+        // 1 s heartbeat tick.
         assert!(
-            (2.0..30.0).contains(&r.recovery_secs),
+            (3.0..6.0).contains(&r.detection_secs),
+            "{}",
+            r.detection_secs
+        );
+        // Recovery = detection + image download (~2.4 s) + bootstrap
+        // (~2.5 s).
+        assert!(
+            (4.0..30.0).contains(&r.recovery_secs),
             "{}",
             r.recovery_secs
         );
-        // The surviving node absorbs the load: no drops at this rate.
-        assert_eq!(r.dropped, 0);
+        // Requests routed to the dead node before detection are real
+        // drops now — but the window is a few seconds at 20 rps.
+        assert!(r.dropped > 0, "detection window must cost something");
+        assert!(r.dropped < 500, "{}", r.dropped);
         assert!(r.completed > 1000);
         assert!(r.mean_before > 0.0);
         assert!(r.mean_degraded > 0.0);

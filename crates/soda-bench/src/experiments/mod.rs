@@ -1,6 +1,7 @@
 //! Experiment implementations, one module per paper artifact.
 
 pub mod attack;
+pub mod chaos_soak;
 pub mod ddos;
 pub mod download;
 pub mod federation;

@@ -35,6 +35,7 @@ pub mod partition;
 pub mod placement;
 pub mod policy;
 pub mod queue;
+pub mod recovery;
 pub mod service;
 pub mod switch;
 pub mod world;
@@ -48,10 +49,15 @@ pub use placement::{BestFit, FirstFit, NodePlan, PlacementPolicy, WorstFit};
 pub use policy::{
     BackendView, LeastConnections, RandomPolicy, RoundRobin, SwitchPolicy, WeightedRoundRobin,
 };
+pub use recovery::{
+    check_invariants, heartbeat_tick, start_self_healing, RecoveryConfig, RecoveryManager,
+    RecoveryStats,
+};
 pub use service::{ServiceId, ServiceRecord, ServiceSpec, ServiceState};
 pub use switch::ServiceSwitch;
 pub use world::{
-    attack_node, create_service_driven, ddos_switch_host, fail_host, failover_node, revive_node,
-    submit_request, submit_request_direct, submit_request_with_callback, CreationRecord,
-    RequestCallback, RequestId, RequestRecord, SodaWorld,
+    apply_fault, attack_node, crash_host, create_service_driven, ddos_switch_host, fail_host,
+    failover_node, repair_host, resize_service_driven, revive_node, submit_request,
+    submit_request_direct, submit_request_with_callback, CreationRecord, RequestCallback,
+    RequestId, RequestRecord, SodaWorld,
 };

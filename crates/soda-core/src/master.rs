@@ -20,7 +20,7 @@ use soda_hup::host::HostId;
 use soda_hup::inventory::ResourceInventory;
 use soda_sim::{Event, Labels, Obs, SimDuration, SimTime};
 use soda_vmm::intercept::SlowdownFactors;
-use soda_vmm::vsn::VsnId;
+use soda_vmm::vsn::{VsnId, VsnState};
 
 use crate::api::{CreationReply, NodeInfo};
 use crate::error::SodaError;
@@ -291,36 +291,71 @@ impl SodaMaster {
         if rec.nodes_ready < rec.nodes.len() {
             return Ok(None);
         }
-        // All nodes up: build the switch, colocated in the first node.
-        rec.state = ServiceState::Running;
+        self.finish_creation(service, daemons, now, creation_time)
+            .map(Some)
+    }
+
+    /// All surviving nodes are up: build the switch (colocated in the
+    /// first node) and mark the service Running. Nodes whose daemon or
+    /// IP cannot be resolved (a host died in the creation window) are
+    /// skipped with a `MasterOpFailed` event instead of panicking.
+    fn finish_creation(
+        &mut self,
+        service: ServiceId,
+        daemons: &[SodaDaemon],
+        now: SimTime,
+        creation_time: SimDuration,
+    ) -> Result<CreationReply, SodaError> {
+        let rec = self
+            .services
+            .get_mut(&service)
+            .ok_or(SodaError::UnknownService(service))?;
         let port = rec.spec.port;
-        let first = rec.nodes[0].vsn;
-        let mut switch = ServiceSwitch::new(service, first);
-        switch.set_obs(self.obs.clone());
         let mut infos = Vec::with_capacity(rec.nodes.len());
+        let mut backends = Vec::with_capacity(rec.nodes.len());
         for n in &rec.nodes {
-            let d = daemons
+            let resolved = daemons
                 .iter()
                 .find(|d| d.host.id == n.host)
-                .expect("host exists");
-            let ip = d
-                .vsn(n.vsn)
-                .and_then(|v| v.ip)
-                .expect("booted node has an IP");
-            switch.add_backend(n.vsn, ip, port, n.capacity);
+                .and_then(|d| d.vsn(n.vsn))
+                .and_then(|v| v.ip);
+            let Some(ip) = resolved else {
+                self.obs.record(
+                    now,
+                    Event::MasterOpFailed {
+                        service: service.0,
+                        vsn: n.vsn.0,
+                        op: "switch_backend",
+                    },
+                );
+                continue;
+            };
+            backends.push((n.vsn, ip, n.capacity));
             infos.push(NodeInfo {
                 ip,
                 port,
                 capacity: n.capacity,
             });
         }
-        let switch_endpoint = infos[0];
+        let Some(&switch_endpoint) = infos.first() else {
+            return Err(SodaError::InvalidState {
+                service,
+                attempted: "switch_creation",
+            });
+        };
+        rec.state = ServiceState::Running;
+        let first = backends[0].0;
+        let mut switch = ServiceSwitch::new(service, first);
+        switch.set_obs(self.obs.clone());
+        for (vsn, ip, capacity) in backends {
+            switch.add_backend(vsn, ip, port, capacity);
+        }
         if self.obs.is_enabled() {
             self.obs.record(
                 now,
                 Event::SwitchCreated {
                     service: service.0,
-                    backends: rec.nodes.len() as u32,
+                    backends: switch.backends().len() as u32,
                 },
             );
             // The switch materializes as soon as the last node reports —
@@ -334,12 +369,12 @@ impl SodaMaster {
             );
         }
         self.switches.insert(service, switch);
-        Ok(Some(CreationReply {
+        Ok(CreationReply {
             service,
             nodes: infos,
             switch_endpoint,
             creation_time,
-        }))
+        })
     }
 
     /// Full creation with zero simulated latency — for tests, examples
@@ -863,6 +898,175 @@ impl SodaMaster {
         if let Some(sw) = self.switches.get_mut(&service) {
             sw.set_health(vsn, true);
         }
+    }
+
+    /// Capacity currently healthy in the service's switch (machine
+    /// instances actually in rotation). Zero before the switch exists.
+    pub fn healthy_capacity(&self, service: ServiceId) -> u32 {
+        self.switches.get(&service).map_or(0, |sw| {
+            sw.backends()
+                .iter()
+                .filter(|b| b.healthy)
+                .map(|b| b.capacity)
+                .sum()
+        })
+    }
+
+    /// Place `capacity` replacement instances for `service` on a host
+    /// that does not already carry it, and begin priming there. Unlike
+    /// [`SodaMaster::replace_node`] this does not touch any existing
+    /// node: the dead node stays in the record (and drained in the
+    /// switch) until the caller commits via [`SodaMaster::remove_node`],
+    /// so a false-positive detection can still be rolled back. The new
+    /// node joins the switch via [`SodaMaster::resize_node_ready`].
+    pub fn place_recovery_node(
+        &mut self,
+        service: ServiceId,
+        capacity: u32,
+        avoid: &[HostId],
+        daemons: &mut [SodaDaemon],
+        now: SimTime,
+    ) -> Result<(HostId, PrimingTicket), SodaError> {
+        if capacity == 0 {
+            return Err(SodaError::BadRequest("capacity must be positive".into()));
+        }
+        let rec = self
+            .services
+            .get(&service)
+            .ok_or(SodaError::UnknownService(service))?;
+        if rec.state == ServiceState::TornDown {
+            return Err(SodaError::InvalidState {
+                service,
+                attempted: "recovery_placement",
+            });
+        }
+        let m_infl = self.inflated_machine(&rec.spec.machine);
+        let spec = rec.spec.clone();
+        let was_running = rec.state == ServiceState::Running;
+        let used_hosts: Vec<HostId> = rec.nodes.iter().map(|n| n.host).collect();
+        let alive: Vec<HostId> = daemons
+            .iter()
+            .filter(|d| !d.is_failed() && !avoid.contains(&d.host.id))
+            .map(|d| d.host.id)
+            .collect();
+        self.collect_resources(daemons, now);
+        // Prefer a host not already carrying the service (fault
+        // diversity); when the platform has no such slice, co-locating
+        // on a live carrying host still restores capacity.
+        let spread: Vec<(HostId, ResourceVector)> = self
+            .inventory
+            .hosts()
+            .filter(|(id, _)| alive.contains(id) && !used_hosts.contains(id))
+            .map(|(id, r)| (id, r.available))
+            .collect();
+        let colocated: Vec<(HostId, ResourceVector)> = self
+            .inventory
+            .hosts()
+            .filter(|(id, _)| alive.contains(id))
+            .map(|(id, r)| (id, r.available))
+            .collect();
+        let plan = self
+            .placement
+            .place(capacity, &m_infl, &spread)
+            .filter(|p| p.len() == 1)
+            .or_else(|| {
+                self.placement
+                    .place(capacity, &m_infl, &colocated)
+                    .filter(|p| p.len() == 1)
+            })
+            .ok_or_else(|| {
+                let available = colocated
+                    .iter()
+                    .fold(ResourceVector::ZERO, |acc, &(_, a)| acc + a);
+                SodaError::AdmissionRejected {
+                    requested: m_infl * capacity,
+                    available,
+                }
+            })?;
+        let target = plan[0].host;
+        let new_vsn = VsnId(self.next_vsn);
+        self.next_vsn += 1;
+        let daemon = daemons
+            .iter_mut()
+            .find(|d| d.host.id == target)
+            .expect("placement only chooses reported hosts");
+        let ticket = daemon.begin_priming(
+            new_vsn,
+            capacity,
+            m_infl * capacity,
+            &spec.image,
+            &spec.required_services,
+            spec.app_class,
+            &spec.name,
+            now,
+        )?;
+        let rec = self.services.get_mut(&service).expect("checked");
+        rec.nodes.push(PlacedNode {
+            host: target,
+            vsn: new_vsn,
+            capacity,
+        });
+        if was_running {
+            rec.state = ServiceState::Resizing; // back to Running at node_ready
+        }
+        self.obs.record(
+            now,
+            Event::ResizeStep {
+                service: service.0,
+                vsn: new_vsn.0,
+                action: "grow",
+            },
+        );
+        self.obs.span_enter("master", "priming", new_vsn.0, now);
+        Ok((target, ticket))
+    }
+
+    /// Scrub a node from its service: out of the record, out of the
+    /// switch, torn down on its daemon when the host still lives. If the
+    /// removal leaves a mid-creation service with every remaining node
+    /// already booted, the creation completes with the survivors (the
+    /// reply's `creation_time` is zero — the real duration is unknown to
+    /// the Master on this path). Removing the last node of a Creating
+    /// service tears the service down. Returns the node's capacity and
+    /// the completion reply, or `None` for an unknown service/node.
+    pub fn remove_node(
+        &mut self,
+        service: ServiceId,
+        vsn: VsnId,
+        daemons: &mut [SodaDaemon],
+        now: SimTime,
+    ) -> Option<(u32, Option<CreationReply>)> {
+        let rec = self.services.get_mut(&service)?;
+        let pos = rec.nodes.iter().position(|n| n.vsn == vsn)?;
+        let node = rec.nodes.remove(pos);
+        let creating = rec.state == ServiceState::Creating;
+        let completable = creating && !rec.nodes.is_empty() && rec.nodes_ready >= rec.nodes.len();
+        if creating && rec.nodes.is_empty() {
+            rec.state = ServiceState::TornDown;
+        }
+        if let Some(sw) = self.switches.get_mut(&service) {
+            sw.remove_backend(vsn);
+        }
+        if let Some(d) = daemons.iter_mut().find(|d| d.host.id == node.host) {
+            // Close the priming span if the node never booted; teardown
+            // releases the slice when the host survives.
+            let priming = d
+                .vsn(vsn)
+                .is_some_and(|v| matches!(v.state(), VsnState::Priming));
+            if priming {
+                self.obs.span_exit("master", "priming", vsn.0, now);
+            }
+            if !d.is_failed() {
+                let _ = d.teardown_vsn(vsn);
+            }
+        }
+        let reply = if completable {
+            self.finish_creation(service, daemons, now, SimDuration::ZERO)
+                .ok()
+        } else {
+            None
+        };
+        Some((node.capacity, reply))
     }
 
     /// The service record.

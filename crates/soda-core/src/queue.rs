@@ -12,7 +12,7 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use soda_hup::daemon::SodaDaemon;
-use soda_sim::SimTime;
+use soda_sim::{BackoffPolicy, SimDuration, SimTime};
 
 use crate::api::CreationReply;
 use crate::error::SodaError;
@@ -56,6 +56,19 @@ struct Pending {
     spec: ServiceSpec,
     asp: String,
     queued_at: SimTime,
+    /// Failed admission attempts so far.
+    attempts: u32,
+    /// Not retried before this (exponential backoff with ceiling).
+    next_eligible: SimTime,
+}
+
+/// What one [`AdmissionQueue::retry`] pass did.
+#[derive(Debug, Default)]
+pub struct RetryOutcome {
+    /// Requests admitted this pass, in admission order.
+    pub admitted: Vec<(QueueTicket, CreationReply)>,
+    /// Requests evicted after exhausting their attempt budget.
+    pub rejected: Vec<QueueTicket>,
 }
 
 /// The backlog in front of a Master.
@@ -64,6 +77,7 @@ pub struct AdmissionQueue {
     policy: QueuePolicy,
     max_len: usize,
     next_ticket: u64,
+    backoff: BackoffPolicy,
 }
 
 impl AdmissionQueue {
@@ -74,7 +88,20 @@ impl AdmissionQueue {
             policy,
             max_len,
             next_ticket: 1,
+            // A parked creation retries patiently: 1 s doubling to a
+            // 60 s ceiling, evicted after 6 failed passes.
+            backoff: BackoffPolicy {
+                base: SimDuration::from_secs(1),
+                ceiling: SimDuration::from_secs(60),
+                max_attempts: 6,
+                jitter: 0.0,
+            },
         }
+    }
+
+    /// Replace the retry backoff policy.
+    pub fn set_backoff(&mut self, backoff: BackoffPolicy) {
+        self.backoff = backoff;
     }
 
     /// Number of parked requests.
@@ -111,6 +138,8 @@ impl AdmissionQueue {
                     spec,
                     asp: asp.to_string(),
                     queued_at: now,
+                    attempts: 0,
+                    next_eligible: now,
                 });
                 Submission::Queued(ticket)
             }
@@ -133,55 +162,84 @@ impl AdmissionQueue {
             .map(|p| p.queued_at)
     }
 
-    /// Try to admit parked requests (call after capacity frees). Returns
-    /// the admissions made, in admission order.
+    /// Try to admit parked requests (call after capacity frees, or
+    /// periodically). Each parked request is attempted at most once per
+    /// pass, and only once its backoff window has elapsed; a failed
+    /// attempt doubles the window (up to the policy ceiling), and a
+    /// request that exhausts its attempt budget is evicted into
+    /// [`RetryOutcome::rejected`].
     pub fn retry(
         &mut self,
         master: &mut SodaMaster,
         daemons: &mut [SodaDaemon],
         now: SimTime,
-    ) -> Vec<(QueueTicket, CreationReply)> {
-        let mut admitted = Vec::new();
+    ) -> RetryOutcome {
+        let mut out = RetryOutcome::default();
         match self.policy {
             QueuePolicy::Fifo => {
-                // Admit from the head; stop at the first that still
-                // doesn't fit.
+                // Admit from the head; the first that still doesn't fit
+                // (or isn't yet eligible) blocks the rest.
                 while let Some(head) = self.pending.front() {
+                    if now < head.next_eligible {
+                        break;
+                    }
                     match master.create_service_now(head.spec.clone(), &head.asp, daemons, now) {
                         Ok(reply) => {
                             let p = self.pending.pop_front().expect("head exists");
-                            admitted.push((p.ticket, reply));
+                            out.admitted.push((p.ticket, reply));
                         }
-                        Err(_) => break,
+                        Err(_) => {
+                            self.note_failure(0, now, &mut out);
+                            break;
+                        }
                     }
                 }
             }
             QueuePolicy::SmallestFirst => {
-                // Repeatedly admit the smallest-demand request that fits.
-                loop {
-                    let mut order: Vec<usize> = (0..self.pending.len()).collect();
-                    order.sort_by_key(|&i| {
+                // One pass in smallest-demand order. Capacity only
+                // shrinks within a pass, so an entry that failed cannot
+                // fit later in the same pass — one attempt each is
+                // exact, not an approximation.
+                let mut order: Vec<QueueTicket> = {
+                    let mut idx: Vec<usize> = (0..self.pending.len()).collect();
+                    idx.sort_by_key(|&i| {
                         let d = self.pending[i].spec.total_demand();
                         (d.cpu_mhz, self.pending[i].ticket.0)
                     });
-                    let mut progressed = false;
-                    for i in order {
-                        let (spec, asp) =
-                            (self.pending[i].spec.clone(), self.pending[i].asp.clone());
-                        if let Ok(reply) = master.create_service_now(spec, &asp, daemons, now) {
-                            let p = self.pending.remove(i).expect("index valid");
-                            admitted.push((p.ticket, reply));
-                            progressed = true;
-                            break;
-                        }
+                    idx.into_iter().map(|i| self.pending[i].ticket).collect()
+                };
+                for ticket in order.drain(..) {
+                    let Some(i) = self.pending.iter().position(|p| p.ticket == ticket) else {
+                        continue;
+                    };
+                    if now < self.pending[i].next_eligible {
+                        continue;
                     }
-                    if !progressed {
-                        break;
+                    let (spec, asp) = (self.pending[i].spec.clone(), self.pending[i].asp.clone());
+                    match master.create_service_now(spec, &asp, daemons, now) {
+                        Ok(reply) => {
+                            let p = self.pending.remove(i).expect("index valid");
+                            out.admitted.push((p.ticket, reply));
+                        }
+                        Err(_) => self.note_failure(i, now, &mut out),
                     }
                 }
             }
         }
-        admitted
+        out
+    }
+
+    /// Record a failed attempt on `pending[i]`: back off, or evict when
+    /// the attempt budget is spent.
+    fn note_failure(&mut self, i: usize, now: SimTime, out: &mut RetryOutcome) {
+        let p = &mut self.pending[i];
+        p.attempts += 1;
+        if self.backoff.exhausted(p.attempts) {
+            let p = self.pending.remove(i).expect("index valid");
+            out.rejected.push(p.ticket);
+        } else {
+            p.next_eligible = now + self.backoff.delay(p.attempts);
+        }
     }
 }
 
@@ -271,15 +329,15 @@ mod tests {
         assert_eq!(q.len(), 2);
         assert_eq!(q.waiting_since(t1), Some(SimTime::from_secs(1)));
         // Nothing drains while full.
-        assert!(q
-            .retry(&mut master, &mut daemons, SimTime::from_secs(3))
-            .is_empty());
+        let pass = q.retry(&mut master, &mut daemons, SimTime::from_secs(3));
+        assert!(pass.admitted.is_empty());
+        assert!(pass.rejected.is_empty());
         // Free the capacity: both drain, FIFO order.
         master.teardown(first, &mut daemons).unwrap();
-        let admitted = q.retry(&mut master, &mut daemons, SimTime::from_secs(4));
-        assert_eq!(admitted.len(), 2);
-        assert_eq!(admitted[0].0, t1);
-        assert_eq!(admitted[1].0, t2);
+        let pass = q.retry(&mut master, &mut daemons, SimTime::from_secs(4));
+        assert_eq!(pass.admitted.len(), 2);
+        assert_eq!(pass.admitted[0].0, t1);
+        assert_eq!(pass.admitted[1].0, t2);
         assert!(q.is_empty());
     }
 
@@ -321,8 +379,8 @@ mod tests {
             master
                 .resize(filler, 2, &mut daemons, SimTime::from_secs(1))
                 .unwrap();
-            let admitted = q.retry(&mut master, &mut daemons, SimTime::from_secs(1));
-            (admitted, big, small, q.len())
+            let pass = q.retry(&mut master, &mut daemons, SimTime::from_secs(1));
+            (pass.admitted, big, small, q.len())
         };
         // FIFO: the 3-instance head cannot fit (only 1 free) → nothing
         // admits, even though the small one would fit.
@@ -370,6 +428,52 @@ mod tests {
         }
         assert!(q.cancel(t));
         assert!(!q.cancel(t));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn retry_backs_off_then_rejects_after_max_attempts() {
+        let (mut master, mut daemons) = setup();
+        let mut q = AdmissionQueue::new(QueuePolicy::Fifo, 8);
+        q.set_backoff(BackoffPolicy {
+            base: SimDuration::from_secs(1),
+            ceiling: SimDuration::from_secs(4),
+            max_attempts: 3,
+            jitter: 0.0,
+        });
+        // Fill the host so the parked request can never fit.
+        q.submit(
+            &mut master,
+            &mut daemons,
+            spec(3, "fill"),
+            "asp",
+            SimTime::ZERO,
+        );
+        let Submission::Queued(t) = q.submit(
+            &mut master,
+            &mut daemons,
+            spec(2, "stuck"),
+            "asp",
+            SimTime::ZERO,
+        ) else {
+            panic!("must queue")
+        };
+        // Attempt 1 at t=0 fails → next eligible at t=1 (base delay).
+        let pass = q.retry(&mut master, &mut daemons, SimTime::ZERO);
+        assert!(pass.admitted.is_empty() && pass.rejected.is_empty());
+        // Before the backoff window elapses, the entry is not retried
+        // (its attempt count must not burn down).
+        let pass = q.retry(&mut master, &mut daemons, SimTime::from_millis(500));
+        assert!(pass.admitted.is_empty() && pass.rejected.is_empty());
+        assert_eq!(q.len(), 1);
+        // Attempt 2 at t=1 fails → delay doubles to 2 s.
+        let pass = q.retry(&mut master, &mut daemons, SimTime::from_secs(1));
+        assert!(pass.rejected.is_empty());
+        let pass = q.retry(&mut master, &mut daemons, SimTime::from_secs(2));
+        assert!(pass.rejected.is_empty());
+        // Attempt 3 at t=3 exhausts the budget: evicted, not retried.
+        let pass = q.retry(&mut master, &mut daemons, SimTime::from_secs(3));
+        assert_eq!(pass.rejected, vec![t]);
         assert!(q.is_empty());
     }
 

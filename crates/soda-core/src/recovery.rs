@@ -1,0 +1,866 @@
+//! The Master's self-healing control loop.
+//!
+//! SODA's availability story (§3.6) needs more than an omniscient
+//! script calling `failover_node`: the Master must *notice* that a host
+//! died, and it can only do so through the control plane. This module
+//! closes that loop:
+//!
+//! 1. **Heartbeats** — every daemon reports its running VSNs each
+//!    interval; delivery is gated by the world's [`ControlPlane`], so a
+//!    partitioned or lossy link looks exactly like a dead host.
+//! 2. **Detection** — a host silent past the timeout is declared down:
+//!    its backends are drained from every switch, their runtimes and
+//!    in-flight work dropped (and counted), and one recovery *episode*
+//!    opens per lost node. A heartbeat that names a crashed VSN opens
+//!    an episode for just that node.
+//! 3. **Recovery** — an episode first tries to re-prime the node in
+//!    place (host still up), otherwise places a replacement on a host
+//!    not already carrying the service. Placement failures retry with
+//!    exponential backoff and jitter from a dedicated seeded RNG.
+//! 4. **Graceful degradation** — when the backoff budget is exhausted
+//!    the service is declared degraded; capacity is reclaimed by
+//!    shedding the lowest-priority service (strictly lower than the
+//!    victim of the outage), and as a last resort the episode parks,
+//!    retrying at the backoff ceiling until capacity appears.
+//! 5. **Flap tolerance** — a host that heartbeats again after being
+//!    declared down cancels any episode whose "dead" node turned out
+//!    alive (a false alarm), restoring it to rotation.
+//!
+//! Every decision is recorded as a typed [`Event`], so a chaos run's
+//! whole recovery timeline is reconstructable from the event log, and
+//! all randomness flows from [`RecoveryConfig::seed`] — the loop is
+//! deterministic given `(seed, FaultPlan)`.
+//!
+//! [`ControlPlane`]: soda_net::control::ControlPlane
+
+use std::collections::BTreeMap;
+
+use soda_hup::host::HostId;
+use soda_sim::{BackoffPolicy, Ctx, Engine, Event, SimDuration, SimRng, SimTime};
+use soda_vmm::isolation::ExecutionMode;
+use soda_vmm::vsn::{VsnId, VsnState};
+
+use crate::service::{ServiceId, ServiceState};
+use crate::world::{self, SodaWorld};
+
+/// Tunables of the self-healing loop.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryConfig {
+    /// How often each daemon heartbeats.
+    pub heartbeat_interval: SimDuration,
+    /// Silence past this declares the host down (must exceed the
+    /// interval by enough to ride out one lost heartbeat).
+    pub heartbeat_timeout: SimDuration,
+    /// Retry schedule for failed replacement placements.
+    pub backoff: BackoffPolicy,
+    /// Seed of the loop's own RNG (backoff jitter); independent from
+    /// the engine's seed so enabling recovery never perturbs workload
+    /// randomness.
+    pub seed: u64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            heartbeat_interval: SimDuration::from_secs(1),
+            heartbeat_timeout: SimDuration::from_millis(3500),
+            backoff: BackoffPolicy::default(),
+            seed: 0x5eed_4ea1,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum HostHealth {
+    Up,
+    Down,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct HostState {
+    last_heartbeat: SimTime,
+    health: HostHealth,
+}
+
+/// One open capacity-restoration effort: a lost node being replaced.
+#[derive(Clone, Copy, Debug)]
+struct Episode {
+    id: u64,
+    service: ServiceId,
+    /// Machine instances to restore.
+    capacity: u32,
+    lost_at: SimTime,
+    /// The dead node, still in the service record (drained) until a
+    /// replacement commits — so a false alarm can roll back.
+    dead_vsn: Option<VsnId>,
+    origin_host: Option<HostId>,
+    attempt: u32,
+    /// The replacement currently priming (or the dead node itself when
+    /// re-priming in place).
+    replacement: Option<VsnId>,
+    /// Whether an in-place re-prime is worth trying first.
+    try_reprime: bool,
+    /// A shed has already been performed for this episode.
+    shed_done: bool,
+    /// Parked: retry when the clock passes this.
+    parked_until: Option<SimTime>,
+}
+
+/// Counters and timelines accumulated by the loop.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryStats {
+    /// `(host, when)` — each host-down declaration.
+    pub detections: Vec<(u64, SimTime)>,
+    /// `(service, lost → restored latency)` per completed episode.
+    pub recoveries: Vec<(u64, SimDuration)>,
+    /// Placement retries scheduled.
+    pub retries: u64,
+    /// Episodes that exhausted their backoff budget.
+    pub degradations: u64,
+    /// Lower-priority services shed to reclaim capacity.
+    pub sheds: u64,
+    /// Down declarations rolled back by a later heartbeat.
+    pub false_alarms: u64,
+    /// Routing-invariant violations observed (see [`check_invariants`]).
+    pub invariant_violations: u64,
+}
+
+/// The Master-side state of the self-healing loop.
+#[derive(Debug)]
+pub struct RecoveryManager {
+    enabled: bool,
+    /// The loop's tunables.
+    pub cfg: RecoveryConfig,
+    rng: SimRng,
+    hosts: BTreeMap<HostId, HostState>,
+    episodes: Vec<Episode>,
+    next_episode: u64,
+    degraded_since: BTreeMap<ServiceId, SimTime>,
+    degraded_total: BTreeMap<ServiceId, SimDuration>,
+    priorities: BTreeMap<ServiceId, i32>,
+    /// Accumulated counters and timelines.
+    pub stats: RecoveryStats,
+}
+
+impl Default for RecoveryManager {
+    fn default() -> Self {
+        RecoveryManager::new(RecoveryConfig::default())
+    }
+}
+
+impl RecoveryManager {
+    /// A disabled manager (armed by [`start_self_healing`]).
+    pub fn new(cfg: RecoveryConfig) -> Self {
+        RecoveryManager {
+            enabled: false,
+            cfg,
+            rng: SimRng::new(cfg.seed),
+            hosts: BTreeMap::new(),
+            episodes: Vec::new(),
+            next_episode: 1,
+            degraded_since: BTreeMap::new(),
+            degraded_total: BTreeMap::new(),
+            priorities: BTreeMap::new(),
+            stats: RecoveryStats::default(),
+        }
+    }
+
+    /// Whether the loop is armed.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Set a service's priority (higher = shed last; default 0).
+    /// Degradation only sheds victims with *strictly lower* priority
+    /// than the service being restored.
+    pub fn set_priority(&mut self, service: ServiceId, priority: i32) {
+        self.priorities.insert(service, priority);
+    }
+
+    fn priority(&self, service: ServiceId) -> i32 {
+        self.priorities.get(&service).copied().unwrap_or(0)
+    }
+
+    /// Episodes still open (capacity not yet restored).
+    pub fn open_episodes(&self) -> usize {
+        self.episodes.len()
+    }
+
+    /// Total time any service has spent at degraded capacity up to
+    /// `now`, including still-open windows.
+    pub fn degraded_time(&self, now: SimTime) -> SimDuration {
+        let closed: u64 = self.degraded_total.values().map(|d| d.as_nanos()).sum();
+        let open: u64 = self
+            .degraded_since
+            .values()
+            .map(|s| now.saturating_since(*s).as_nanos())
+            .sum();
+        SimDuration::from_nanos(closed + open)
+    }
+}
+
+/// Arm the self-healing loop: heartbeats every
+/// `cfg.heartbeat_interval`, detection, recovery and degradation run
+/// autonomously until `until`.
+pub fn start_self_healing(engine: &mut Engine<SodaWorld>, cfg: RecoveryConfig, until: SimTime) {
+    let interval = cfg.heartbeat_interval;
+    let now = engine.now();
+    {
+        let world = engine.state_mut();
+        let mut mgr = RecoveryManager::new(cfg);
+        mgr.enabled = true;
+        // Seed the table now so a host that never heartbeats still
+        // times out.
+        for d in &world.daemons {
+            mgr.hosts.insert(
+                d.host.id,
+                HostState {
+                    last_heartbeat: now,
+                    health: HostHealth::Up,
+                },
+            );
+        }
+        world.recovery = mgr;
+    }
+    engine.schedule_periodic(now + interval, interval, until, |w, ctx| {
+        heartbeat_tick(w, ctx);
+        true
+    });
+}
+
+/// One heartbeat round: gather reports, detect silence, drive retries.
+pub fn heartbeat_tick(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>) {
+    if !world.recovery.enabled {
+        return;
+    }
+    let now = ctx.now();
+    // Gather delivered heartbeats (the control plane may eat them).
+    let mut hosts: Vec<HostId> = Vec::new();
+    let mut reports: Vec<(HostId, Vec<VsnId>)> = Vec::new();
+    for i in 0..world.daemons.len() {
+        let host = world.daemons[i].host.id;
+        hosts.push(host);
+        let Some(running) = world.daemons[i].heartbeat() else {
+            continue;
+        };
+        let delivered = world
+            .control
+            .delivers(u64::from(host.0), now, || ctx.rng().f64());
+        if delivered {
+            reports.push((host, running));
+        }
+    }
+    for (host, running) in reports {
+        process_heartbeat(world, ctx, host, running);
+    }
+    // Silence detection.
+    let timeout = world.recovery.cfg.heartbeat_timeout;
+    for host in hosts {
+        let Some(st) = world.recovery.hosts.get(&host).copied() else {
+            world.recovery.hosts.insert(
+                host,
+                HostState {
+                    last_heartbeat: now,
+                    health: HostHealth::Up,
+                },
+            );
+            continue;
+        };
+        if st.health == HostHealth::Up && now.saturating_since(st.last_heartbeat) > timeout {
+            declare_host_down(world, ctx, host);
+        }
+    }
+    // Parked episodes poll for capacity at the backoff ceiling.
+    let due: Vec<u64> = world
+        .recovery
+        .episodes
+        .iter()
+        .filter(|e| e.replacement.is_none() && e.parked_until.is_some_and(|t| now >= t))
+        .map(|e| e.id)
+        .collect();
+    for id in due {
+        attempt_recovery(world, ctx, id);
+    }
+}
+
+fn process_heartbeat(
+    world: &mut SodaWorld,
+    ctx: &mut Ctx<SodaWorld>,
+    host: HostId,
+    running: Vec<VsnId>,
+) {
+    let now = ctx.now();
+    let prev = world.recovery.hosts.insert(
+        host,
+        HostState {
+            last_heartbeat: now,
+            health: HostHealth::Up,
+        },
+    );
+    if prev.is_some_and(|p| p.health == HostHealth::Down) {
+        host_flapped_up(world, ctx, host, &running);
+    }
+    // A heartbeat that omits a recorded node while its daemon marks it
+    // Crashed is a node-level failure report.
+    let recorded: Vec<(ServiceId, VsnId, u32)> = world
+        .master
+        .services()
+        .filter(|r| r.state != ServiceState::TornDown)
+        .flat_map(|r| {
+            r.nodes
+                .iter()
+                .filter(|n| n.host == host)
+                .map(move |n| (r.id, n.vsn, n.capacity))
+        })
+        .collect();
+    for (svc, vsn, cap) in recorded {
+        if running.contains(&vsn) {
+            continue;
+        }
+        let crashed = world
+            .daemons
+            .iter()
+            .find(|d| d.host.id == host)
+            .and_then(|d| d.vsn(vsn))
+            .is_some_and(|v| matches!(v.state(), VsnState::Crashed));
+        if !crashed {
+            continue; // priming or mid-transition: not a failure
+        }
+        if world
+            .recovery
+            .episodes
+            .iter()
+            .any(|e| e.dead_vsn == Some(vsn) || e.replacement == Some(vsn))
+        {
+            continue;
+        }
+        handle_node_down(world, ctx, svc, vsn, cap, Some(host), true);
+    }
+}
+
+/// A host declared down heartbeats again: false alarms roll back, and
+/// leftovers of committed recoveries are torn down to reclaim slices.
+fn host_flapped_up(
+    world: &mut SodaWorld,
+    ctx: &mut Ctx<SodaWorld>,
+    host: HostId,
+    running: &[VsnId],
+) {
+    let now = ctx.now();
+    world.obs.record(
+        now,
+        Event::HostUp {
+            host: u64::from(host.0),
+        },
+    );
+    let cancelable: Vec<(u64, ServiceId, VsnId)> = world
+        .recovery
+        .episodes
+        .iter()
+        .filter(|e| e.origin_host == Some(host) && e.replacement.is_none())
+        .filter_map(|e| e.dead_vsn.map(|v| (e.id, e.service, v)))
+        .filter(|(_, _, v)| running.contains(v))
+        .collect();
+    for (id, svc, vsn) in cancelable {
+        world.master.node_recovered(svc, vsn);
+        let _ = world.install_runtime(svc, vsn, ExecutionMode::GuestIsolated);
+        world.recovery.episodes.retain(|e| e.id != id);
+        world.recovery.stats.false_alarms += 1;
+        clear_degraded_if_recovered(world, svc, now);
+    }
+    // VSNs on the daemon that no service record references any more
+    // (their capacity was re-placed while the host was out) are stale.
+    let referenced: Vec<VsnId> = world
+        .master
+        .services()
+        .flat_map(|r| r.nodes.iter().map(|n| n.vsn))
+        .collect();
+    if let Some(d) = world.daemons.iter_mut().find(|d| d.host.id == host) {
+        let stale: Vec<VsnId> = d
+            .vsns()
+            .filter(|v| !referenced.contains(&v.id) && !matches!(v.state(), VsnState::TornDown))
+            .map(|v| v.id)
+            .collect();
+        for v in stale {
+            let _ = d.teardown_vsn(v);
+        }
+    }
+}
+
+/// The host has been silent past the timeout: drain and open episodes.
+fn declare_host_down(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, host: HostId) {
+    let now = ctx.now();
+    let h = u64::from(host.0);
+    world.obs.record(now, Event::HeartbeatMissed { host: h });
+    world.obs.record(now, Event::HostDown { host: h });
+    if let Some(st) = world.recovery.hosts.get_mut(&host) {
+        st.health = HostHealth::Down;
+    }
+    world.recovery.stats.detections.push((h, now));
+    let affected = world.master.host_failed(host);
+    for (svc, vsn, cap) in affected {
+        // A replacement that was priming on this very host: release it
+        // and send its episode back to placement.
+        if let Some(ep) = world
+            .recovery
+            .episodes
+            .iter_mut()
+            .find(|e| e.replacement == Some(vsn))
+        {
+            ep.replacement = None;
+            ep.try_reprime = false;
+            let id = ep.id;
+            let mut daemons = std::mem::take(&mut world.daemons);
+            let removed = world.master.remove_node(svc, vsn, &mut daemons, now);
+            world.daemons = daemons;
+            if let Some((_, Some(reply))) = removed {
+                world::complete_creation_record(world, now, svc, reply);
+            }
+            world.remove_runtime(vsn);
+            schedule_retry(world, ctx, id);
+            continue;
+        }
+        if world
+            .recovery
+            .episodes
+            .iter()
+            .any(|e| e.dead_vsn == Some(vsn))
+        {
+            continue;
+        }
+        handle_node_down(world, ctx, svc, vsn, cap, Some(host), false);
+    }
+}
+
+/// Drain one dead node and open (and immediately drive) its episode.
+fn handle_node_down(
+    world: &mut SodaWorld,
+    ctx: &mut Ctx<SodaWorld>,
+    service: ServiceId,
+    vsn: VsnId,
+    capacity: u32,
+    origin_host: Option<HostId>,
+    try_reprime: bool,
+) {
+    let now = ctx.now();
+    world.master.node_crashed(service, vsn);
+    world.obs.record(
+        now,
+        Event::BackendDrained {
+            service: service.0,
+            vsn: vsn.0,
+        },
+    );
+    world.remove_runtime(vsn);
+    world::drop_inflight_on_vsn(world, ctx, vsn);
+    world.recovery.degraded_since.entry(service).or_insert(now);
+    let id = world.recovery.next_episode;
+    world.recovery.next_episode += 1;
+    world.recovery.episodes.push(Episode {
+        id,
+        service,
+        capacity,
+        lost_at: now,
+        dead_vsn: Some(vsn),
+        origin_host,
+        attempt: 0,
+        replacement: None,
+        try_reprime,
+        shed_done: false,
+        parked_until: None,
+    });
+    attempt_recovery(world, ctx, id);
+}
+
+/// Drive one episode: re-prime in place if possible, else place a
+/// replacement; on failure, back off / degrade / shed.
+fn attempt_recovery(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, id: u64) {
+    let now = ctx.now();
+    let Some(ep) = world.recovery.episodes.iter_mut().find(|e| e.id == id) else {
+        return;
+    };
+    if ep.replacement.is_some() {
+        return;
+    }
+    ep.parked_until = None;
+    ep.attempt += 1;
+    let (svc, capacity, attempt) = (ep.service, ep.capacity, ep.attempt);
+    let (dead, origin, try_reprime) = (ep.dead_vsn, ep.origin_host, ep.try_reprime);
+    world.obs.record(
+        now,
+        Event::RecoveryAttempt {
+            service: svc.0,
+            attempt,
+        },
+    );
+
+    // In-place re-prime: cheapest path when the host itself survived.
+    if try_reprime {
+        if let (Some(vsn), Some(host)) = (dead, origin) {
+            let host_alive = world
+                .daemons
+                .iter()
+                .find(|d| d.host.id == host)
+                .is_some_and(|d| !d.is_failed());
+            if host_alive {
+                if let Ok(timing) = world.daemon_mut(host).begin_repriming(vsn) {
+                    if let Some(ep) = world.recovery.episodes.iter_mut().find(|e| e.id == id) {
+                        ep.replacement = Some(vsn);
+                    }
+                    world.obs.record(
+                        now,
+                        Event::RecoveryPlaced {
+                            service: svc.0,
+                            vsn: vsn.0,
+                            host: u64::from(host.0),
+                        },
+                    );
+                    ctx.schedule_in(timing.total(), move |w: &mut SodaWorld, ctx| {
+                        finish_reprime(w, ctx, id, svc, vsn, host);
+                    });
+                    return;
+                }
+            }
+            // Host gone or blueprint lost: fall through to placement.
+            if let Some(ep) = world.recovery.episodes.iter_mut().find(|e| e.id == id) {
+                ep.try_reprime = false;
+            }
+        }
+    }
+
+    // Replacement placement, steering clear of every host the monitor
+    // currently believes is down (a partitioned host is not `failed`,
+    // but placing there would strand the replacement).
+    let down: Vec<HostId> = world
+        .recovery
+        .hosts
+        .iter()
+        .filter(|(_, s)| s.health == HostHealth::Down)
+        .map(|(&h, _)| h)
+        .collect();
+    let mut daemons = std::mem::take(&mut world.daemons);
+    let placed = world
+        .master
+        .place_recovery_node(svc, capacity, &down, &mut daemons, now);
+    world.daemons = daemons;
+    match placed {
+        Ok((target, ticket)) => {
+            let new_vsn = ticket.vsn;
+            world.obs.record(
+                now,
+                Event::RecoveryPlaced {
+                    service: svc.0,
+                    vsn: new_vsn.0,
+                    host: u64::from(target.0),
+                },
+            );
+            // Commit: the successor exists, scrub the dead node.
+            if let Some(vsn) = dead {
+                let mut daemons = std::mem::take(&mut world.daemons);
+                let removed = world.master.remove_node(svc, vsn, &mut daemons, now);
+                world.daemons = daemons;
+                if let Some((_, Some(reply))) = removed {
+                    world::complete_creation_record(world, now, svc, reply);
+                }
+            }
+            if let Some(ep) = world.recovery.episodes.iter_mut().find(|e| e.id == id) {
+                ep.dead_vsn = None;
+                ep.replacement = Some(new_vsn);
+            }
+            world::start_download(world, ctx, target, svc, &ticket);
+        }
+        Err(_) => schedule_retry(world, ctx, id),
+    }
+}
+
+/// Back off before the next attempt — or, with the budget exhausted,
+/// degrade (and shed) instead.
+fn schedule_retry(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, id: u64) {
+    let now = ctx.now();
+    let Some(ep) = world.recovery.episodes.iter().find(|e| e.id == id) else {
+        return;
+    };
+    let (svc, attempt) = (ep.service, ep.attempt);
+    let policy = world.recovery.cfg.backoff;
+    world.recovery.stats.retries += 1;
+    if policy.exhausted(attempt) {
+        degrade_or_shed(world, ctx, id);
+        return;
+    }
+    let delay = policy.delay_jittered(attempt.max(1), &mut world.recovery.rng);
+    world.obs.record(
+        now,
+        Event::RecoveryRetry {
+            service: svc.0,
+            attempt,
+            delay_ms: delay.as_millis(),
+        },
+    );
+    ctx.schedule_in(delay, move |w: &mut SodaWorld, ctx| {
+        // Generation guard: only fire if the episode is still waiting
+        // on this very attempt.
+        let live = w
+            .recovery
+            .episodes
+            .iter()
+            .any(|e| e.id == id && e.attempt == attempt && e.replacement.is_none());
+        if live {
+            attempt_recovery(w, ctx, id);
+        }
+    });
+}
+
+/// The backoff budget ran out: declare degradation, shed the lowest
+/// strictly-lower-priority service once, then park at the ceiling.
+fn degrade_or_shed(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, id: u64) {
+    let now = ctx.now();
+    let Some(ep) = world.recovery.episodes.iter().find(|e| e.id == id) else {
+        return;
+    };
+    let (svc, capacity, shed_done) = (ep.service, ep.capacity, ep.shed_done);
+    world.recovery.stats.degradations += 1;
+    world.obs.record(
+        now,
+        Event::ServiceDegraded {
+            service: svc.0,
+            capacity: world.master.healthy_capacity(svc),
+        },
+    );
+    if !shed_done {
+        let my_prio = world.recovery.priority(svc);
+        let victim = world
+            .master
+            .services()
+            .filter(|r| r.id != svc && r.state == ServiceState::Running)
+            .filter(|r| r.placed_capacity() > 0)
+            .filter(|r| world.recovery.priority(r.id) < my_prio)
+            .min_by_key(|r| (world.recovery.priority(r.id), r.id.0))
+            .map(|r| (r.id, r.placed_capacity()));
+        if let Some((victim, vcap)) = victim {
+            if let Some(ep) = world.recovery.episodes.iter_mut().find(|e| e.id == id) {
+                ep.shed_done = true;
+            }
+            let mut daemons = std::mem::take(&mut world.daemons);
+            let res = if vcap > capacity {
+                world
+                    .master
+                    .resize(victim, vcap - capacity, &mut daemons, now)
+                    .map(|_| ())
+            } else {
+                world.master.teardown(victim, &mut daemons).map(|_| ())
+            };
+            world.daemons = daemons;
+            if res.is_ok() {
+                world.recovery.stats.sheds += 1;
+                world.obs.record(
+                    now,
+                    Event::ServiceShed {
+                        service: svc.0,
+                        victim: victim.0,
+                    },
+                );
+                world.prune_runtimes();
+                attempt_recovery(world, ctx, id);
+                return;
+            }
+        }
+    }
+    // Park: poll again once per ceiling (driven by the heartbeat tick).
+    if let Some(ep) = world.recovery.episodes.iter_mut().find(|e| e.id == id) {
+        ep.parked_until = Some(now + world.recovery.cfg.backoff.ceiling);
+    }
+}
+
+/// An in-place re-prime finished (or the host died underneath it).
+fn finish_reprime(
+    world: &mut SodaWorld,
+    ctx: &mut Ctx<SodaWorld>,
+    id: u64,
+    svc: ServiceId,
+    vsn: VsnId,
+    host: HostId,
+) {
+    let now = ctx.now();
+    let live = world
+        .recovery
+        .episodes
+        .iter()
+        .any(|e| e.id == id && e.replacement == Some(vsn));
+    if !live {
+        return;
+    }
+    let ok = world
+        .daemons
+        .iter_mut()
+        .find(|d| d.host.id == host)
+        .is_some_and(|d| d.complete_priming(vsn, now).is_ok());
+    if ok {
+        world.master.node_recovered(svc, vsn);
+        let _ = world.install_runtime(svc, vsn, ExecutionMode::GuestIsolated);
+        complete_episode(world, id, svc, vsn, now);
+    } else {
+        if let Some(ep) = world.recovery.episodes.iter_mut().find(|e| e.id == id) {
+            ep.replacement = None;
+            ep.try_reprime = false;
+        }
+        schedule_retry(world, ctx, id);
+    }
+}
+
+fn complete_episode(world: &mut SodaWorld, id: u64, svc: ServiceId, vsn: VsnId, now: SimTime) {
+    let Some(pos) = world.recovery.episodes.iter().position(|e| e.id == id) else {
+        return;
+    };
+    let ep = world.recovery.episodes.remove(pos);
+    let latency = now.saturating_since(ep.lost_at);
+    world.recovery.stats.recoveries.push((svc.0, latency));
+    world.obs.record(
+        now,
+        Event::RecoveryCompleted {
+            service: svc.0,
+            vsn: vsn.0,
+            latency_ms: latency.as_millis(),
+        },
+    );
+    clear_degraded_if_recovered(world, svc, now);
+}
+
+fn clear_degraded_if_recovered(world: &mut SodaWorld, svc: ServiceId, now: SimTime) {
+    if world.recovery.episodes.iter().any(|e| e.service == svc) {
+        return;
+    }
+    if let Some(since) = world.recovery.degraded_since.remove(&svc) {
+        let window = now.saturating_since(since);
+        let total = world
+            .recovery
+            .degraded_total
+            .entry(svc)
+            .or_insert(SimDuration::ZERO);
+        *total = SimDuration::from_nanos(total.as_nanos() + window.as_nanos());
+    }
+}
+
+/// Hook from the world: a node finished booting. Completes the episode
+/// tracking it as a replacement; a no-op otherwise.
+pub(crate) fn on_node_boot(
+    world: &mut SodaWorld,
+    ctx: &mut Ctx<SodaWorld>,
+    svc: ServiceId,
+    vsn: VsnId,
+) {
+    if !world.recovery.enabled {
+        return;
+    }
+    let now = ctx.now();
+    let Some(id) = world
+        .recovery
+        .episodes
+        .iter()
+        .find(|e| e.replacement == Some(vsn))
+        .map(|e| e.id)
+    else {
+        return;
+    };
+    complete_episode(world, id, svc, vsn, now);
+}
+
+/// Hook from the world: a node's priming failed. Requeues the episode
+/// tracking it, or — for an ordinary creation/growth node — opens a
+/// fresh episode to restore the lost capacity.
+pub(crate) fn on_priming_failed(
+    world: &mut SodaWorld,
+    ctx: &mut Ctx<SodaWorld>,
+    svc: ServiceId,
+    vsn: VsnId,
+    capacity: u32,
+) {
+    if !world.recovery.enabled {
+        return;
+    }
+    let now = ctx.now();
+    if let Some(ep) = world
+        .recovery
+        .episodes
+        .iter_mut()
+        .find(|e| e.replacement == Some(vsn))
+    {
+        ep.replacement = None;
+        ep.try_reprime = false;
+        let id = ep.id;
+        schedule_retry(world, ctx, id);
+        return;
+    }
+    if capacity == 0 {
+        return;
+    }
+    world.recovery.degraded_since.entry(svc).or_insert(now);
+    let id = world.recovery.next_episode;
+    world.recovery.next_episode += 1;
+    world.recovery.episodes.push(Episode {
+        id,
+        service: svc,
+        capacity,
+        lost_at: now,
+        dead_vsn: None,
+        origin_host: None,
+        attempt: 0,
+        replacement: None,
+        try_reprime: false,
+        shed_done: false,
+        parked_until: None,
+    });
+    attempt_recovery(world, ctx, id);
+}
+
+/// The routing invariant: once the control loop *knows* a node is dead
+/// (its host declared down, or an episode is open for it), the switch
+/// must not keep it healthy. Counts (and records) violations; the
+/// pre-detection window, where the switch cannot yet know, is exempt.
+pub fn check_invariants(world: &mut SodaWorld) -> u64 {
+    let services: Vec<ServiceId> = world.master.services().map(|r| r.id).collect();
+    let mut violations = 0u64;
+    for svc in services {
+        let Some(sw) = world.master.switch(svc) else {
+            continue;
+        };
+        let healthy: Vec<VsnId> = sw
+            .backends()
+            .iter()
+            .filter(|b| b.healthy)
+            .map(|b| b.vsn)
+            .collect();
+        for vsn in healthy {
+            let host = world
+                .master
+                .service(svc)
+                .and_then(|r| r.node(vsn))
+                .map(|n| n.host);
+            let alive = host.is_some_and(|h| {
+                world
+                    .daemons
+                    .iter()
+                    .find(|d| d.host.id == h)
+                    .is_some_and(|d| !d.is_failed() && d.vsn(vsn).is_some_and(|v| v.is_running()))
+            });
+            if alive {
+                continue;
+            }
+            let known_down = host.is_some_and(|h| {
+                world
+                    .recovery
+                    .hosts
+                    .get(&h)
+                    .is_some_and(|s| s.health == HostHealth::Down)
+            }) || world
+                .recovery
+                .episodes
+                .iter()
+                .any(|e| e.dead_vsn == Some(vsn));
+            if known_down {
+                violations += 1;
+            }
+        }
+    }
+    world.recovery.stats.invariant_violations += violations;
+    violations
+}

@@ -19,11 +19,12 @@
 
 use std::collections::HashMap;
 
-use soda_hup::daemon::SodaDaemon;
+use soda_hup::daemon::{PrimingTicket, SodaDaemon};
 use soda_hup::host::HostId;
+use soda_net::control::ControlPlane;
 use soda_net::http::HttpModel;
 use soda_net::link::{FlowId, LinkSpec, ProcessorSharingLink};
-use soda_sim::{Ctx, Engine, Event, Labels, Obs, SimDuration, SimTime};
+use soda_sim::{Ctx, Engine, Event, FaultSpec, Labels, Obs, SimDuration, SimTime};
 use soda_vmm::intercept::{InterceptCostModel, SlowdownFactors};
 use soda_vmm::isolation::{Blast, ExecutionMode, FaultKind};
 use soda_vmm::vsn::VsnId;
@@ -32,6 +33,7 @@ use crate::agent::SodaAgent;
 use crate::api::CreationReply;
 use crate::error::SodaError;
 use crate::master::SodaMaster;
+use crate::recovery::{self, RecoveryManager};
 use crate::service::{ServiceId, ServiceSpec};
 
 /// Per-request CPU work: fixed parsing/handling plus per-byte content
@@ -153,11 +155,22 @@ pub struct SodaWorld {
     /// Observability handle shared by every entity in the world
     /// (disabled unless [`SodaWorld::enable_obs`] is called).
     pub obs: Obs,
+    /// Self-healing control loop state (inert until
+    /// [`crate::recovery::start_self_healing`] arms it).
+    pub recovery: RecoveryManager,
+    /// Per-host link impairment windows (partitions, loss) that gate
+    /// heartbeats and sever in-flight responses during chaos runs.
+    pub control: ControlPlane,
     node_runtimes: HashMap<VsnId, NodeRuntime>,
     inflight: HashMap<(HostId, FlowId), FlowPurpose>,
     ready_nodes: HashMap<ServiceId, usize>,
     next_request: u64,
     callbacks: HashMap<RequestId, RequestCallback>,
+    /// Transient CPU slowdown factor per host (the `SlowHost` fault).
+    host_slow: HashMap<HostId, f64>,
+    /// Armed one-shot priming failures per host: the next `n` image
+    /// downloads completing on the host fail instead of booting.
+    armed_priming_failures: HashMap<HostId, u32>,
 }
 
 impl SodaWorld {
@@ -184,11 +197,15 @@ impl SodaWorld {
             dropped: 0,
             shaping_enforced: true,
             obs: Obs::disabled(),
+            recovery: RecoveryManager::default(),
+            control: ControlPlane::new(),
             node_runtimes: HashMap::new(),
             inflight: HashMap::new(),
             ready_nodes: HashMap::new(),
             next_request: 1,
             callbacks: HashMap::new(),
+            host_slow: HashMap::new(),
+            armed_priming_failures: HashMap::new(),
         }
     }
 
@@ -226,13 +243,14 @@ impl SodaWorld {
         obs
     }
 
-    fn daemon_mut(&mut self, host: HostId) -> &mut SodaDaemon {
+    pub(crate) fn daemon_mut(&mut self, host: HostId) -> &mut SodaDaemon {
         self.daemons
             .iter_mut()
             .find(|d| d.host.id == host)
             .expect("host exists")
     }
 
+    #[cfg(test)]
     fn daemon(&self, host: HostId) -> &SodaDaemon {
         self.daemons
             .iter()
@@ -242,15 +260,25 @@ impl SodaWorld {
 
     /// Register runtime state for a node once it is running. `mode`
     /// selects VSN execution (measured slowdown from the interception
-    /// model) or host-direct (no slowdown).
-    fn install_runtime(&mut self, service: ServiceId, vsn: VsnId, mode: ExecutionMode) {
-        let rec = self.master.service(service).expect("service exists");
-        let placed = *rec.node(vsn).expect("node exists");
-        let d = self.daemon(placed.host);
-        let ip = d
-            .vsn(vsn)
-            .and_then(|v| v.ip)
-            .expect("running node has an IP");
+    /// model) or host-direct (no slowdown). Returns `false` (and records
+    /// a failure event) when the service, node, or its address is gone —
+    /// a chaos run can legitimately race a fault into this window.
+    pub(crate) fn install_runtime(
+        &mut self,
+        service: ServiceId,
+        vsn: VsnId,
+        mode: ExecutionMode,
+    ) -> bool {
+        let placed = match self.master.service(service).and_then(|r| r.node(vsn)) {
+            Some(p) => *p,
+            None => return false,
+        };
+        let Some(d) = self.daemons.iter().find(|d| d.host.id == placed.host) else {
+            return false;
+        };
+        let Some(ip) = d.vsn(vsn).and_then(|v| v.ip) else {
+            return false;
+        };
         let host_hz = d.host.profile.cpu.freq_hz() as f64 * d.host.profile.cpu_efficiency;
         let slowdown = match mode {
             ExecutionMode::GuestIsolated => SlowdownFactors::measured_web(&self.intercept),
@@ -267,11 +295,28 @@ impl SodaWorld {
                 cpu_busy_until: SimTime::ZERO,
             },
         );
+        true
     }
 
     /// Force a node to host-direct execution (the Figure 6 baselines).
     pub fn set_execution_mode(&mut self, service: ServiceId, vsn: VsnId, mode: ExecutionMode) {
-        self.install_runtime(service, vsn, mode);
+        let _ = self.install_runtime(service, vsn, mode);
+    }
+
+    /// Forget a node's runtime (it can no longer serve requests).
+    pub(crate) fn remove_runtime(&mut self, vsn: VsnId) {
+        self.node_runtimes.remove(&vsn);
+    }
+
+    /// Drop runtimes whose node no longer appears in any service record
+    /// (e.g. after a shed tears a victim service down).
+    pub(crate) fn prune_runtimes(&mut self) {
+        let keep: std::collections::HashSet<VsnId> = self
+            .master
+            .services()
+            .flat_map(|r| r.nodes.iter().map(|n| n.vsn))
+            .collect();
+        self.node_runtimes.retain(|v, _| keep.contains(v));
     }
 
     /// CPU service time for one request of `dataset` bytes on `vsn`.
@@ -282,7 +327,8 @@ impl SodaWorld {
         let rt = &self.node_runtimes[&vsn];
         let cycles = REQUEST_BASE_CYCLES + (dataset as f64 * REQUEST_CYCLES_PER_BYTE) as u64;
         let base = SimDuration::from_secs_f64(cycles as f64 / rt.host_hz);
-        rt.slowdown.inflate_cpu(base)
+        let slow = self.host_slow.get(&rt.host).copied().unwrap_or(1.0);
+        rt.slowdown.inflate_cpu(base).mul_f64(slow)
     }
 
     /// Response-time records for one backend, after a warm-up cutoff.
@@ -368,10 +414,22 @@ fn pump_nic(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, host: HostId) {
                 bootstrap,
                 started,
             } => {
-                // Image is on local disk; bootstrap now runs.
-                ctx.schedule_in(bootstrap, move |w: &mut SodaWorld, ctx| {
-                    finish_node_boot(w, ctx, service, vsn, started);
-                });
+                // An armed priming fault corrupts the image as it lands:
+                // the boot never starts and the node is scrubbed.
+                let armed = world
+                    .armed_priming_failures
+                    .get(&host)
+                    .copied()
+                    .unwrap_or(0);
+                if armed > 0 {
+                    world.armed_priming_failures.insert(host, armed - 1);
+                    fail_priming(world, ctx, service, vsn, host);
+                } else {
+                    // Image is on local disk; bootstrap now runs.
+                    ctx.schedule_in(bootstrap, move |w: &mut SodaWorld, ctx| {
+                        finish_node_boot(w, ctx, service, vsn, started);
+                    });
+                }
             }
             FlowPurpose::Flood => {}
         }
@@ -421,15 +479,21 @@ fn finish_node_boot(
             .resize_node_ready(service, vsn, &mut daemons, now);
         world.daemons = daemons;
         match r {
-            Ok(()) => world.install_runtime(service, vsn, ExecutionMode::GuestIsolated),
-            Err(_) => world.obs.record(
-                now,
-                Event::MasterOpFailed {
-                    service: service.0,
-                    vsn: vsn.0,
-                    op: "resize_node_ready",
-                },
-            ),
+            Ok(()) => {
+                let _ = world.install_runtime(service, vsn, ExecutionMode::GuestIsolated);
+                recovery::on_node_boot(world, ctx, service, vsn);
+            }
+            Err(_) => {
+                world.obs.record(
+                    now,
+                    Event::MasterOpFailed {
+                        service: service.0,
+                        vsn: vsn.0,
+                        op: "resize_node_ready",
+                    },
+                );
+                recovery::on_priming_failed(world, ctx, service, vsn, 0);
+            }
         }
         return;
     }
@@ -441,26 +505,8 @@ fn finish_node_boot(
     world.daemons = daemons;
     match reply {
         Ok(Some(reply)) => {
-            // All nodes up: install runtimes and record the creation.
-            let nodes: Vec<VsnId> = world
-                .master
-                .service(service)
-                .expect("exists")
-                .nodes
-                .iter()
-                .map(|n| n.vsn)
-                .collect();
-            for n in nodes {
-                world.install_runtime(service, n, ExecutionMode::GuestIsolated);
-            }
-            let asp = world.master.service(service).expect("exists").asp.clone();
-            let capacity = world
-                .master
-                .service(service)
-                .expect("exists")
-                .placed_capacity();
-            world.agent.billing_start(service, &asp, capacity, now);
-            world.creations.push(CreationRecord { reply, at: now });
+            complete_creation_record(world, now, service, reply);
+            recovery::on_node_boot(world, ctx, service, vsn);
         }
         Ok(None) => {
             world
@@ -468,6 +514,7 @@ fn finish_node_boot(
                 .entry(service)
                 .and_modify(|n| *n += 1)
                 .or_insert(1);
+            recovery::on_node_boot(world, ctx, service, vsn);
         }
         Err(_) => {
             world.obs.record(
@@ -478,8 +525,30 @@ fn finish_node_boot(
                     op: "node_ready",
                 },
             );
+            recovery::on_priming_failed(world, ctx, service, vsn, 0);
         }
     }
+}
+
+/// Finalise a completed creation: install every node's runtime, start
+/// billing, and record the reply for the driver.
+pub(crate) fn complete_creation_record(
+    world: &mut SodaWorld,
+    now: SimTime,
+    service: ServiceId,
+    reply: CreationReply,
+) {
+    let Some(rec) = world.master.service(service) else {
+        return;
+    };
+    let nodes: Vec<VsnId> = rec.nodes.iter().map(|n| n.vsn).collect();
+    let asp = rec.asp.clone();
+    let capacity = rec.placed_capacity();
+    for n in nodes {
+        let _ = world.install_runtime(service, n, ExecutionMode::GuestIsolated);
+    }
+    world.agent.billing_start(service, &asp, capacity, now);
+    world.creations.push(CreationRecord { reply, at: now });
 }
 
 /// Begin an engine-driven service creation: admission now, then per-node
@@ -526,6 +595,33 @@ pub fn create_service_driven(
         });
     }
     Ok(service)
+}
+
+/// Drive a resize through the engine. In-place widenings and removals
+/// from [`Master::resize`] take effect immediately; freshly placed
+/// nodes pay their image download and bootstrap exactly like creation,
+/// so a fault can land while the resize is still in flight.
+pub fn resize_service_driven(
+    engine: &mut Engine<SodaWorld>,
+    service: ServiceId,
+    new_instances: u32,
+) -> Result<(), SodaError> {
+    let now = engine.now();
+    let world = engine.state_mut();
+    let mut daemons = std::mem::take(&mut world.daemons);
+    let outcome = world
+        .master
+        .resize(service, new_instances, &mut daemons, now);
+    world.daemons = daemons;
+    let outcome = outcome?;
+    // Shrinks may have removed nodes the data plane still references.
+    world.prune_runtimes();
+    for (host, ticket) in outcome.tickets {
+        engine.schedule_at(now, move |w: &mut SodaWorld, ctx| {
+            start_download(w, ctx, host, service, &ticket);
+        });
+    }
+    Ok(())
 }
 
 /// Submit one client request to a service through its switch. The
@@ -630,11 +726,22 @@ fn dispatch_to_backend(
     request: RequestId,
 ) {
     let now = ctx.now();
-    if !world.node_runtimes.contains_key(&vsn) {
-        // Node crashed or not installed: request lost.
+    let reachable = world
+        .node_runtimes
+        .get(&vsn)
+        .is_some_and(|rt| !world.control.is_partitioned(u64::from(rt.host.0), now));
+    if !reachable {
+        // Node crashed, never installed, or unreachable: request lost.
         if let (Some(idx), Some(sw)) = (backend_idx, world.master.switch_mut(service)) {
             sw.abort(idx, now);
         }
+        world.obs.record(
+            now,
+            Event::RequestFailed {
+                service: service.0,
+                vsn: vsn.0,
+            },
+        );
         drop_request(world, ctx, request);
         return;
     }
@@ -661,6 +768,25 @@ fn dispatch_to_backend(
     }
     let wire_bytes = (world.http.response_bytes(dataset) as f64 * net_slow) as u64;
     ctx.schedule_at(done_cpu, move |w: &mut SodaWorld, ctx| {
+        // The node may have died (or its link partitioned) while the
+        // request was in its CPU stage: the response is lost, and the
+        // drop is counted rather than silently vanishing.
+        if !w.node_runtimes.contains_key(&vsn)
+            || w.control.is_partitioned(u64::from(host.0), ctx.now())
+        {
+            if let (Some(idx), Some(sw)) = (backend_idx, w.master.switch_mut(service)) {
+                sw.abort(idx, ctx.now());
+            }
+            w.obs.record(
+                ctx.now(),
+                Event::RequestFailed {
+                    service: service.0,
+                    vsn: vsn.0,
+                },
+            );
+            drop_request(w, ctx, request);
+            return;
+        }
         // Shaper gates the response's entry onto the NIC (unless the
         // world replicates the pre-shaper 2003 prototype).
         let depart = if w.shaping_enforced {
@@ -708,7 +834,6 @@ pub fn attack_node(
     vsn: VsnId,
     fault: FaultKind,
 ) -> Blast {
-    let now = ctx.now();
     let Some(rt) = world.node_runtimes.get(&vsn) else {
         return Blast::of(ExecutionMode::GuestIsolated, fault);
     };
@@ -716,7 +841,7 @@ pub fn attack_node(
     let host = rt.host;
     let blast = Blast::of(mode, fault);
     if blast.service_down {
-        crash_one(world, service, vsn, now);
+        crash_one(world, ctx, service, vsn);
     }
     if blast.cohosted_down {
         // Host-level compromise: every node on the host falls.
@@ -731,13 +856,14 @@ pub fn attack_node(
             })
             .collect();
         for (svc, victim) in victims {
-            crash_one(world, svc, victim, now);
+            crash_one(world, ctx, svc, victim);
         }
     }
     blast
 }
 
-fn crash_one(world: &mut SodaWorld, service: ServiceId, vsn: VsnId, now: SimTime) {
+fn crash_one(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, service: ServiceId, vsn: VsnId) {
+    let now = ctx.now();
     let Some(rec) = world.master.service(service) else {
         return;
     };
@@ -747,6 +873,241 @@ fn crash_one(world: &mut SodaWorld, service: ServiceId, vsn: VsnId, now: SimTime
     let _ = world.daemon_mut(host).crash_vsn(vsn, now);
     world.master.node_crashed(service, vsn);
     world.node_runtimes.remove(&vsn);
+    drop_inflight_on_vsn(world, ctx, vsn);
+}
+
+/// Cancel a set of in-flight flows, accounting honestly for what they
+/// carried: responses count as dropped requests (callback fired with
+/// `None`, switch slot released, `RequestFailed` recorded); downloads
+/// record a `PrimingFailed` (the stuck node is cleaned up by whoever
+/// detects the underlying fault); floods just vanish.
+fn cancel_flows(
+    world: &mut SodaWorld,
+    ctx: &mut Ctx<SodaWorld>,
+    victims: Vec<((HostId, FlowId), FlowPurpose)>,
+) {
+    let now = ctx.now();
+    for ((host, _), purpose) in victims {
+        match purpose {
+            FlowPurpose::Response {
+                service,
+                vsn,
+                backend_idx,
+                request,
+                ..
+            } => {
+                if let (Some(idx), Some(sw)) = (backend_idx, world.master.switch_mut(service)) {
+                    sw.abort(idx, now);
+                }
+                world.obs.record(
+                    now,
+                    Event::RequestFailed {
+                        service: service.0,
+                        vsn: vsn.0,
+                    },
+                );
+                drop_request(world, ctx, request);
+            }
+            FlowPurpose::Download { service, vsn, .. } => {
+                world.obs.record(
+                    now,
+                    Event::PrimingFailed {
+                        service: service.0,
+                        vsn: vsn.0,
+                        host: u64::from(host.0),
+                    },
+                );
+            }
+            FlowPurpose::Flood => {}
+        }
+    }
+}
+
+/// Sever every in-flight flow on a host (the host crashed or its link
+/// was partitioned). The NIC's fluid state keeps draining the bytes;
+/// only the completion action is cancelled.
+pub(crate) fn drop_inflight_on_host(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, host: HostId) {
+    let keys: Vec<(HostId, FlowId)> = world
+        .inflight
+        .keys()
+        .filter(|(h, _)| *h == host)
+        .copied()
+        .collect();
+    let victims: Vec<((HostId, FlowId), FlowPurpose)> = keys
+        .into_iter()
+        .filter_map(|k| world.inflight.remove(&k).map(|p| (k, p)))
+        .collect();
+    cancel_flows(world, ctx, victims);
+}
+
+/// Sever in-flight responses originating from one VSN.
+pub(crate) fn drop_inflight_on_vsn(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, vsn: VsnId) {
+    let keys: Vec<(HostId, FlowId)> = world
+        .inflight
+        .iter()
+        .filter(|(_, p)| matches!(p, FlowPurpose::Response { vsn: v, .. } if *v == vsn))
+        .map(|(k, _)| *k)
+        .collect();
+    let victims: Vec<((HostId, FlowId), FlowPurpose)> = keys
+        .into_iter()
+        .filter_map(|k| world.inflight.remove(&k).map(|p| (k, p)))
+        .collect();
+    cancel_flows(world, ctx, victims);
+}
+
+/// Begin an image download for a freshly placed node: a flow on the
+/// target host's NIC, bootstrap scheduled when it lands.
+pub(crate) fn start_download(
+    world: &mut SodaWorld,
+    ctx: &mut Ctx<SodaWorld>,
+    target: HostId,
+    service: ServiceId,
+    ticket: &PrimingTicket,
+) {
+    let bootstrap = ticket.timing.total();
+    let bytes = world.http.download_bytes(ticket.download_bytes);
+    let vsn = ticket.vsn;
+    let started = ctx.now();
+    start_flow(
+        world,
+        ctx,
+        target,
+        bytes,
+        FlowPurpose::Download {
+            service,
+            vsn,
+            bootstrap,
+            started,
+        },
+    );
+}
+
+/// A node's priming failed mid-flight (corrupted image, repository
+/// error): scrub it from its service and let the recovery loop restore
+/// the lost capacity.
+fn fail_priming(
+    world: &mut SodaWorld,
+    ctx: &mut Ctx<SodaWorld>,
+    service: ServiceId,
+    vsn: VsnId,
+    host: HostId,
+) {
+    let now = ctx.now();
+    world.obs.record(
+        now,
+        Event::PrimingFailed {
+            service: service.0,
+            vsn: vsn.0,
+            host: u64::from(host.0),
+        },
+    );
+    let mut daemons = std::mem::take(&mut world.daemons);
+    let removed = world.master.remove_node(service, vsn, &mut daemons, now);
+    world.daemons = daemons;
+    if let Some((capacity, reply)) = removed {
+        if let Some(reply) = reply {
+            complete_creation_record(world, now, service, reply);
+        }
+        recovery::on_priming_failed(world, ctx, service, vsn, capacity);
+    }
+}
+
+/// Fail-stop crash of a whole host with honest accounting: the daemon
+/// dies (every VSN on it crashes), in-flight work is dropped and
+/// counted — but the Master is NOT told. Detection is the self-healing
+/// loop's job; without it the switch keeps routing to the dead backends
+/// and those requests count as dropped.
+pub fn crash_host(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, host: HostId) {
+    let now = ctx.now();
+    match world.daemons.iter_mut().find(|d| d.host.id == host) {
+        Some(d) if !d.is_failed() => {
+            let _ = d.fail_host(now);
+        }
+        _ => return,
+    }
+    let dead: Vec<VsnId> = world
+        .node_runtimes
+        .iter()
+        .filter(|(_, rt)| rt.host == host)
+        .map(|(v, _)| *v)
+        .collect();
+    for v in &dead {
+        world.node_runtimes.remove(v);
+    }
+    drop_inflight_on_host(world, ctx, host);
+}
+
+/// Bring a crashed host back (rebooted, empty). Its capacity is
+/// placeable again; VSNs that died with it stay dead until torn down.
+pub fn repair_host(world: &mut SodaWorld, host: HostId) {
+    if let Some(d) = world.daemons.iter_mut().find(|d| d.host.id == host) {
+        d.host.repair();
+    }
+}
+
+/// Apply one injected fault to the world — the bridge a
+/// [`soda_sim::FaultPlan`] is scheduled through:
+/// `plan.schedule(&mut engine, apply_fault)`.
+pub fn apply_fault(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, fault: FaultSpec) {
+    let now = ctx.now();
+    world.obs.record(
+        now,
+        Event::FaultInjected {
+            kind: fault.kind(),
+            host: fault.host().unwrap_or(0),
+            vsn: fault.vsn().unwrap_or(0),
+        },
+    );
+    match fault {
+        FaultSpec::HostCrash { host } => crash_host(world, ctx, HostId(host as u32)),
+        FaultSpec::HostRepair { host } => repair_host(world, HostId(host as u32)),
+        FaultSpec::VsnCrash { vsn } => {
+            let vsn = VsnId(vsn);
+            let owner = world
+                .master
+                .services()
+                .find_map(|rec| rec.node(vsn).map(|n| (rec.id, n.host)));
+            if let Some((_, host)) = owner {
+                // The VSN dies but the Master is not told — the next
+                // heartbeat carries the bad news.
+                let _ = world.daemon_mut(host).crash_vsn(vsn, now);
+                world.node_runtimes.remove(&vsn);
+                drop_inflight_on_vsn(world, ctx, vsn);
+            }
+        }
+        FaultSpec::PrimingFailure { host } => {
+            *world
+                .armed_priming_failures
+                .entry(HostId(host as u32))
+                .or_insert(0) += 1;
+        }
+        FaultSpec::SlowHost {
+            host,
+            factor,
+            duration,
+        } => {
+            let h = HostId(host as u32);
+            world.host_slow.insert(h, factor.max(1.0));
+            ctx.schedule_in(duration, move |w: &mut SodaWorld, _ctx| {
+                w.host_slow.remove(&h);
+            });
+        }
+        FaultSpec::LinkLoss {
+            host,
+            loss,
+            duration,
+        } => {
+            world.control.set_loss(host, loss, now + duration);
+        }
+        FaultSpec::LinkPartition { host, duration } => {
+            world.control.partition(host, now + duration);
+            world.obs.record(now, Event::LinkPartitioned { host });
+            drop_inflight_on_host(world, ctx, HostId(host as u32));
+            ctx.schedule_in(duration, move |w: &mut SodaWorld, ctx| {
+                w.obs.record(ctx.now(), Event::LinkRestored { host });
+            });
+        }
+    }
 }
 
 /// Revive a crashed node: re-prime from the daemon's blueprint, then
@@ -781,15 +1142,8 @@ pub fn fail_host(
     ctx: &mut Ctx<SodaWorld>,
     host: HostId,
 ) -> Vec<(ServiceId, VsnId, u32)> {
-    let now = ctx.now();
-    if let Some(d) = world.daemons.iter_mut().find(|d| d.host.id == host) {
-        d.fail_host(now);
-    }
-    let affected = world.master.host_failed(host);
-    for (_, vsn, _) in &affected {
-        world.node_runtimes.remove(vsn);
-    }
-    affected
+    crash_host(world, ctx, host);
+    world.master.host_failed(host)
 }
 
 /// Fail over one dead node onto a surviving host: re-place, bootstrap
@@ -806,21 +1160,7 @@ pub fn failover_node(
     let result = world.master.replace_node(service, vsn, &mut daemons, now);
     world.daemons = daemons;
     let (target, ticket) = result?;
-    let new_vsn = ticket.vsn;
-    let bootstrap = ticket.timing.total();
-    let bytes = world.http.download_bytes(ticket.download_bytes);
-    start_flow(
-        world,
-        ctx,
-        target,
-        bytes,
-        FlowPurpose::Download {
-            service,
-            vsn: new_vsn,
-            bootstrap,
-            started: now,
-        },
-    );
+    start_download(world, ctx, target, service, &ticket);
     Ok(target)
 }
 

@@ -36,7 +36,7 @@ use soda_vmm::sysservices::{StartupClass, SystemServiceId};
 use soda_vmm::vsn::VsnState;
 use soda_vmm::vsn::{VirtualServiceNode, VsnError, VsnId};
 
-use crate::host::HupHost;
+use crate::host::{HostId, HupHost};
 
 /// Shaper burst window granted to each VSN.
 const SHAPER_BURST: SimDuration = SimDuration::from_millis(100);
@@ -54,6 +54,11 @@ pub enum PrimingError {
     UnknownVsn(VsnId),
     /// A VSN with this id already exists on this host.
     DuplicateVsn(VsnId),
+    /// The host is failed: nothing can prime or boot on it.
+    HostDown(HostId),
+    /// The VSN reached boot with no IP assigned (its priming was
+    /// interrupted before address assignment).
+    NoAddress(VsnId),
 }
 
 impl fmt::Display for PrimingError {
@@ -64,6 +69,8 @@ impl fmt::Display for PrimingError {
             PrimingError::Vsn(e) => write!(f, "VSN transition failed: {e}"),
             PrimingError::UnknownVsn(id) => write!(f, "unknown VSN {id}"),
             PrimingError::DuplicateVsn(id) => write!(f, "duplicate VSN {id}"),
+            PrimingError::HostDown(id) => write!(f, "host {id} is down"),
+            PrimingError::NoAddress(id) => write!(f, "VSN {id} has no IP address"),
         }
     }
 }
@@ -176,6 +183,23 @@ impl SodaDaemon {
         self.host.failed
     }
 
+    /// The daemon's periodic liveness report: `None` when the host is
+    /// down (a dead daemon sends nothing), otherwise the ids of the VSNs
+    /// currently Running, sorted. Whether the report actually reaches
+    /// the Master is the network's business, not the daemon's.
+    pub fn heartbeat(&self) -> Option<Vec<VsnId>> {
+        if self.host.failed {
+            return None;
+        }
+        Some(
+            self.vsns
+                .values()
+                .filter(|v| v.is_running())
+                .map(|v| v.id)
+                .collect(),
+        )
+    }
+
     /// The bootstrap model in use.
     pub fn bootstrap_model(&self) -> &BootstrapModel {
         &self.model
@@ -269,6 +293,9 @@ impl SodaDaemon {
         vsn_id: VsnId,
         now: SimTime,
     ) -> Result<Ipv4Addr, PrimingError> {
+        if self.host.failed {
+            return Err(PrimingError::HostDown(self.host.id));
+        }
         let vsn = self
             .vsns
             .get_mut(&vsn_id)
@@ -278,7 +305,7 @@ impl SodaDaemon {
             .get(&vsn_id)
             .ok_or(PrimingError::UnknownVsn(vsn_id))?;
         let uid = vsn.uid;
-        let ip = vsn.ip.expect("priming VSN always has an IP");
+        let ip = vsn.ip.ok_or(PrimingError::NoAddress(vsn_id))?;
         let guest = GuestOs::boot(bp.hostname.clone(), uid, bp.kept_services.clone());
         guest.spawn_initial_processes(&mut self.host.processes, self.model.catalog().services());
         self.host.processes.spawn(uid, bp.app_command.clone());
@@ -352,6 +379,9 @@ impl SodaDaemon {
     /// already on local disk, so there is no download). Returns the
     /// bootstrap timing to schedule.
     pub fn begin_repriming(&mut self, vsn_id: VsnId) -> Result<BootstrapTiming, PrimingError> {
+        if self.host.failed {
+            return Err(PrimingError::HostDown(self.host.id));
+        }
         let vsn = self
             .vsns
             .get_mut(&vsn_id)

@@ -123,6 +123,13 @@ impl HupHost {
         }
     }
 
+    /// Bring a failed host back (rebooted, empty): capacity is placeable
+    /// again. VSNs that died with the host stay dead until torn down or
+    /// re-primed by whoever owns them.
+    pub fn repair(&mut self) {
+        self.failed = false;
+    }
+
     /// Total allocatable capacity.
     pub fn capacity(&self) -> ResourceVector {
         self.ledger.capacity()

@@ -1,0 +1,141 @@
+//! Control-plane link health: partitions and lossy delivery.
+//!
+//! Heartbeats between the HUP daemons and the Master travel the same
+//! LAN as everything else, and a chaos run can partition a host or make
+//! its links lossy for a window. The [`ControlPlane`] tracks those
+//! windows per host (raw `u64` ids — this crate sits below the crate
+//! that defines `HostId`) and answers the one question the self-healing
+//! loop asks: *does a message to/from this host get through right now?*
+//!
+//! Windows expire by the virtual clock, so no cleanup events are
+//! needed; determinism holds because the only randomness involved (the
+//! per-message loss draw) is supplied by the caller from the
+//! simulation's seeded RNG, and is only requested while a loss window
+//! is actually active.
+
+use soda_sim::SimTime;
+use std::collections::BTreeMap;
+
+/// Impairments on a single host's links.
+#[derive(Clone, Copy, Debug, Default)]
+struct LinkHealth {
+    partitioned_until: Option<SimTime>,
+    loss: f64,
+    loss_until: Option<SimTime>,
+}
+
+/// Per-host link impairment windows.
+#[derive(Clone, Debug, Default)]
+pub struct ControlPlane {
+    links: BTreeMap<u64, LinkHealth>,
+}
+
+impl ControlPlane {
+    /// No impairments anywhere.
+    pub fn new() -> Self {
+        ControlPlane::default()
+    }
+
+    /// Partition the host's links until `until` (extends any shorter
+    /// existing window).
+    pub fn partition(&mut self, host: u64, until: SimTime) {
+        let h = self.links.entry(host).or_default();
+        h.partitioned_until = Some(h.partitioned_until.map_or(until, |u| u.max(until)));
+    }
+
+    /// Make the host's links drop each message with probability `loss`
+    /// until `until`.
+    pub fn set_loss(&mut self, host: u64, loss: f64, until: SimTime) {
+        let h = self.links.entry(host).or_default();
+        h.loss = loss.clamp(0.0, 1.0);
+        h.loss_until = Some(until);
+    }
+
+    /// Clear every impairment on the host immediately.
+    pub fn heal(&mut self, host: u64) {
+        self.links.remove(&host);
+    }
+
+    /// Is the host unreachable at `now`?
+    pub fn is_partitioned(&self, host: u64, now: SimTime) -> bool {
+        self.links
+            .get(&host)
+            .and_then(|h| h.partitioned_until)
+            .is_some_and(|until| now < until)
+    }
+
+    /// The message-loss probability on the host's links at `now`.
+    pub fn loss(&self, host: u64, now: SimTime) -> f64 {
+        match self.links.get(&host) {
+            Some(h) if h.loss_until.is_some_and(|until| now < until) => h.loss,
+            _ => 0.0,
+        }
+    }
+
+    /// Whether one message to/from `host` is delivered at `now`.
+    ///
+    /// `draw` supplies a uniform `[0, 1)` sample from the caller's
+    /// seeded RNG and is invoked only when a loss window is active, so
+    /// unimpaired links never consume randomness.
+    pub fn delivers(&self, host: u64, now: SimTime, draw: impl FnOnce() -> f64) -> bool {
+        if self.is_partitioned(host, now) {
+            return false;
+        }
+        let loss = self.loss(host, now);
+        if loss <= 0.0 {
+            return true;
+        }
+        draw() >= loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_window_expires_on_its_own() {
+        let mut cp = ControlPlane::new();
+        cp.partition(7, SimTime::from_secs(10));
+        assert!(cp.is_partitioned(7, SimTime::from_secs(5)));
+        assert!(!cp.is_partitioned(7, SimTime::from_secs(10)));
+        assert!(!cp.is_partitioned(8, SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn partition_extends_never_shrinks() {
+        let mut cp = ControlPlane::new();
+        cp.partition(1, SimTime::from_secs(20));
+        cp.partition(1, SimTime::from_secs(10));
+        assert!(cp.is_partitioned(1, SimTime::from_secs(15)));
+    }
+
+    #[test]
+    fn loss_window_gates_delivery() {
+        let mut cp = ControlPlane::new();
+        cp.set_loss(3, 0.5, SimTime::from_secs(10));
+        let t = SimTime::from_secs(5);
+        assert!(!cp.delivers(3, t, || 0.2));
+        assert!(cp.delivers(3, t, || 0.8));
+        // After the window, everything gets through with no draw.
+        let after = SimTime::from_secs(11);
+        assert!(cp.delivers(3, after, || unreachable!()));
+    }
+
+    #[test]
+    fn healthy_links_never_draw_randomness() {
+        let cp = ControlPlane::new();
+        assert!(cp.delivers(1, SimTime::from_secs(1), || unreachable!()));
+    }
+
+    #[test]
+    fn partition_beats_loss_and_heal_clears_both() {
+        let mut cp = ControlPlane::new();
+        cp.set_loss(2, 0.1, SimTime::from_secs(100));
+        cp.partition(2, SimTime::from_secs(100));
+        assert!(!cp.delivers(2, SimTime::from_secs(1), || 0.99));
+        cp.heal(2);
+        assert!(cp.delivers(2, SimTime::from_secs(1), || unreachable!()));
+        assert_eq!(cp.loss(2, SimTime::from_secs(1)), 0.0);
+    }
+}

@@ -22,9 +22,12 @@
 //! * [`bridge`] — the host's learning bridge with its UML↔IP map.
 //! * [`proxy`] — NAT-style proxy alternative to bridging.
 //! * [`http`] — HTTP/1.1 request/response and image-download sizing.
+//! * [`control`] — per-host partition/loss windows gating control-plane
+//!   messages (heartbeats) during chaos runs.
 
 pub mod addr;
 pub mod bridge;
+pub mod control;
 pub mod http;
 pub mod link;
 pub mod pool;
@@ -33,6 +36,7 @@ pub mod topology;
 
 pub use addr::{Ipv4Addr, Subnet};
 pub use bridge::Bridge;
+pub use control::ControlPlane;
 pub use http::{HttpExchange, HttpModel};
 pub use link::{FlowId, LinkSpec, ProcessorSharingLink};
 pub use pool::{IpPool, PoolError};

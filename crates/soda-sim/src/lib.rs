@@ -44,21 +44,25 @@
 //! ```
 
 pub mod engine;
+pub mod faults;
 pub mod metrics;
 pub mod obs;
 pub mod queue;
+pub mod retry;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use engine::{Ctx, Engine, EventFn};
+pub use faults::{ChaosProfile, FaultInjection, FaultPlan, FaultSpec};
 pub use metrics::{Availability, Counter, Histogram, Summary, TimeSeries, WindowedMean};
 pub use obs::{
     DrainedEvents, Event, Labels, MetricValue, MetricsRegistry, Obs, RegistrySnapshot, Severity,
     SpanGuard, TimedEvent,
 };
 pub use queue::EventQueue;
+pub use retry::BackoffPolicy;
 pub use rng::{SimRng, Zipf};
 pub use stats::{linear_fit, mean_ci95, LinearFit, MeanCi};
 pub use time::{SimDuration, SimTime};

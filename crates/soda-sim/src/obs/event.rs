@@ -95,6 +95,49 @@ pub enum Event {
         vsn: u64,
         op: &'static str,
     },
+    /// The recovery manager missed a host's heartbeat past the timeout.
+    HeartbeatMissed { host: u64 },
+    /// The recovery manager declared a host down (drain + re-place
+    /// follow).
+    HostDown { host: u64 },
+    /// Heartbeats resumed from a host previously declared down.
+    HostUp { host: u64 },
+    /// A backend was drained (health off) from its service switch.
+    BackendDrained { service: u64, vsn: u64 },
+    /// One recovery placement attempt for a service's lost capacity.
+    RecoveryAttempt { service: u64, attempt: u32 },
+    /// Recovery placed a replacement node; priming begins.
+    RecoveryPlaced { service: u64, vsn: u64, host: u64 },
+    /// A failed recovery attempt scheduled a retry after backoff.
+    RecoveryRetry {
+        service: u64,
+        attempt: u32,
+        delay_ms: u64,
+    },
+    /// A replacement node booted; lost capacity is back in rotation.
+    RecoveryCompleted {
+        service: u64,
+        vsn: u64,
+        latency_ms: u64,
+    },
+    /// Recovery gave up for now: the service runs at reduced capacity.
+    ServiceDegraded { service: u64, capacity: u32 },
+    /// Graceful degradation shed capacity from a lower-priority victim
+    /// service to make room for `service`.
+    ServiceShed { service: u64, victim: u64 },
+    /// An in-flight priming (image download / bootstrap) failed.
+    PrimingFailed { service: u64, vsn: u64, host: u64 },
+    /// The fault engine injected a fault (`kind` from
+    /// `FaultSpec::kind`; `host`/`vsn` are 0 when not applicable).
+    FaultInjected {
+        kind: &'static str,
+        host: u64,
+        vsn: u64,
+    },
+    /// The host's links partitioned: nothing in or out.
+    LinkPartitioned { host: u64 },
+    /// The host's links healed.
+    LinkRestored { host: u64 },
 }
 
 impl Event {
@@ -105,9 +148,17 @@ impl Event {
                 accepted: false, ..
             } => Severity::Warn,
             Event::RequestFailed { .. } | Event::ShaperDrop { .. } => Severity::Warn,
+            Event::HeartbeatMissed { .. }
+            | Event::BackendDrained { .. }
+            | Event::RecoveryRetry { .. }
+            | Event::ServiceDegraded { .. }
+            | Event::ServiceShed { .. }
+            | Event::FaultInjected { .. }
+            | Event::LinkPartitioned { .. } => Severity::Warn,
             Event::VsnCrash { .. } | Event::HostFailure { .. } | Event::MasterOpFailed { .. } => {
                 Severity::Error
             }
+            Event::HostDown { .. } | Event::PrimingFailed { .. } => Severity::Error,
             Event::RequestDispatched { .. }
             | Event::RequestCompleted { .. }
             | Event::SchedulerShareSample { .. } => Severity::Debug,
@@ -132,6 +183,20 @@ impl Event {
             Event::ShaperDrop { .. } => "shaper_drop",
             Event::SchedulerShareSample { .. } => "scheduler_share_sample",
             Event::MasterOpFailed { .. } => "master_op_failed",
+            Event::HeartbeatMissed { .. } => "heartbeat_missed",
+            Event::HostDown { .. } => "host_down",
+            Event::HostUp { .. } => "host_up",
+            Event::BackendDrained { .. } => "backend_drained",
+            Event::RecoveryAttempt { .. } => "recovery_attempt",
+            Event::RecoveryPlaced { .. } => "recovery_placed",
+            Event::RecoveryRetry { .. } => "recovery_retry",
+            Event::RecoveryCompleted { .. } => "recovery_completed",
+            Event::ServiceDegraded { .. } => "service_degraded",
+            Event::ServiceShed { .. } => "service_shed",
+            Event::PrimingFailed { .. } => "priming_failed",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::LinkPartitioned { .. } => "link_partitioned",
+            Event::LinkRestored { .. } => "link_restored",
         }
     }
 }
@@ -185,6 +250,48 @@ impl fmt::Display for Event {
             Event::MasterOpFailed { service, vsn, op } => {
                 write!(f, "master-op-failed op={op} service={service} vsn={vsn}")
             }
+            Event::HeartbeatMissed { host } => write!(f, "heartbeat-missed host={host}"),
+            Event::HostDown { host } => write!(f, "host-down host={host}"),
+            Event::HostUp { host } => write!(f, "host-up host={host}"),
+            Event::BackendDrained { service, vsn } => {
+                write!(f, "backend-drained service={service} vsn={vsn}")
+            }
+            Event::RecoveryAttempt { service, attempt } => {
+                write!(f, "recovery-attempt service={service} attempt={attempt}")
+            }
+            Event::RecoveryPlaced { service, vsn, host } => {
+                write!(f, "recovery-placed service={service} vsn={vsn} host={host}")
+            }
+            Event::RecoveryRetry {
+                service,
+                attempt,
+                delay_ms,
+            } => write!(
+                f,
+                "recovery-retry service={service} attempt={attempt} delay={delay_ms}ms"
+            ),
+            Event::RecoveryCompleted {
+                service,
+                vsn,
+                latency_ms,
+            } => write!(
+                f,
+                "recovery-completed service={service} vsn={vsn} latency={latency_ms}ms"
+            ),
+            Event::ServiceDegraded { service, capacity } => {
+                write!(f, "service-degraded service={service} capacity={capacity}")
+            }
+            Event::ServiceShed { service, victim } => {
+                write!(f, "service-shed service={service} victim={victim}")
+            }
+            Event::PrimingFailed { service, vsn, host } => {
+                write!(f, "priming-failed service={service} vsn={vsn} host={host}")
+            }
+            Event::FaultInjected { kind, host, vsn } => {
+                write!(f, "fault-injected kind={kind} host={host} vsn={vsn}")
+            }
+            Event::LinkPartitioned { host } => write!(f, "link-partitioned host={host}"),
+            Event::LinkRestored { host } => write!(f, "link-restored host={host}"),
         }
     }
 }
@@ -377,6 +484,60 @@ impl serde::Serialize for Event {
                 put("service", Value::U64(service));
                 put("vsn", Value::U64(vsn));
                 put("op", Value::String(op.into()));
+            }
+            Event::HeartbeatMissed { host }
+            | Event::HostDown { host }
+            | Event::HostUp { host }
+            | Event::LinkPartitioned { host }
+            | Event::LinkRestored { host } => put("host", Value::U64(host)),
+            Event::BackendDrained { service, vsn } => {
+                put("service", Value::U64(service));
+                put("vsn", Value::U64(vsn));
+            }
+            Event::RecoveryAttempt { service, attempt } => {
+                put("service", Value::U64(service));
+                put("attempt", Value::U64(u64::from(attempt)));
+            }
+            Event::RecoveryPlaced { service, vsn, host } => {
+                put("service", Value::U64(service));
+                put("vsn", Value::U64(vsn));
+                put("host", Value::U64(host));
+            }
+            Event::RecoveryRetry {
+                service,
+                attempt,
+                delay_ms,
+            } => {
+                put("service", Value::U64(service));
+                put("attempt", Value::U64(u64::from(attempt)));
+                put("delay_ms", Value::U64(delay_ms));
+            }
+            Event::RecoveryCompleted {
+                service,
+                vsn,
+                latency_ms,
+            } => {
+                put("service", Value::U64(service));
+                put("vsn", Value::U64(vsn));
+                put("latency_ms", Value::U64(latency_ms));
+            }
+            Event::ServiceDegraded { service, capacity } => {
+                put("service", Value::U64(service));
+                put("capacity", Value::U64(u64::from(capacity)));
+            }
+            Event::ServiceShed { service, victim } => {
+                put("service", Value::U64(service));
+                put("victim", Value::U64(victim));
+            }
+            Event::PrimingFailed { service, vsn, host } => {
+                put("service", Value::U64(service));
+                put("vsn", Value::U64(vsn));
+                put("host", Value::U64(host));
+            }
+            Event::FaultInjected { kind, host, vsn } => {
+                put("fault", Value::String(kind.into()));
+                put("host", Value::U64(host));
+                put("vsn", Value::U64(vsn));
             }
         }
         Value::Object(fields)

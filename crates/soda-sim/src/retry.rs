@@ -1,0 +1,138 @@
+//! Bounded retry with exponential backoff.
+//!
+//! One policy object shared by every control loop that re-attempts a
+//! failed operation: the Master-side recovery manager (re-placing lost
+//! capacity) and the admission backlog queue (re-trying parked
+//! creations). Delays double per attempt up to a ceiling; an optional
+//! jitter fraction decorrelates concurrent retry loops, drawn from the
+//! caller's [`SimRng`] so a jittered schedule is still reproducible
+//! from the seed.
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// Exponential backoff with a ceiling and an attempt cap.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BackoffPolicy {
+    /// Delay before the second attempt (the first runs immediately).
+    pub base: SimDuration,
+    /// Delays never exceed this.
+    pub ceiling: SimDuration,
+    /// Give up (reject / degrade) after this many failed attempts.
+    pub max_attempts: u32,
+    /// Jitter as a fraction of the delay: the jittered delay is uniform
+    /// in `[d·(1−jitter), d·(1+jitter)]`. `0.0` disables jitter (and
+    /// draws nothing from the RNG).
+    pub jitter: f64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            base: SimDuration::from_secs(2),
+            ceiling: SimDuration::from_secs(30),
+            max_attempts: 5,
+            jitter: 0.2,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// The deterministic (un-jittered) delay after `attempt` failures
+    /// (`attempt` ≥ 1): `base · 2^(attempt−1)`, clamped to the ceiling.
+    pub fn delay(&self, attempt: u32) -> SimDuration {
+        let shift = attempt.saturating_sub(1).min(62);
+        let nanos = self.base.as_nanos().saturating_mul(1u64 << shift);
+        SimDuration::from_nanos(nanos.min(self.ceiling.as_nanos()))
+    }
+
+    /// The jittered delay after `attempt` failures. Draws one uniform
+    /// sample when `jitter > 0`, none otherwise.
+    pub fn delay_jittered(&self, attempt: u32, rng: &mut SimRng) -> SimDuration {
+        let d = self.delay(attempt);
+        if self.jitter <= 0.0 {
+            return d;
+        }
+        let factor = 1.0 - self.jitter + 2.0 * self.jitter * rng.f64();
+        SimDuration::from_secs_f64(d.as_secs_f64() * factor)
+    }
+
+    /// True once `attempt` failures mean no further retry is allowed.
+    pub fn exhausted(&self, attempt: u32) -> bool {
+        attempt >= self.max_attempts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> BackoffPolicy {
+        BackoffPolicy {
+            base: SimDuration::from_secs(1),
+            ceiling: SimDuration::from_secs(10),
+            max_attempts: 4,
+            jitter: 0.0,
+        }
+    }
+
+    #[test]
+    fn delay_doubles_then_hits_ceiling() {
+        let p = policy();
+        assert_eq!(p.delay(1), SimDuration::from_secs(1));
+        assert_eq!(p.delay(2), SimDuration::from_secs(2));
+        assert_eq!(p.delay(3), SimDuration::from_secs(4));
+        assert_eq!(p.delay(4), SimDuration::from_secs(8));
+        assert_eq!(p.delay(5), SimDuration::from_secs(10));
+        assert_eq!(p.delay(60), SimDuration::from_secs(10));
+        // Attempt 0 is treated like attempt 1.
+        assert_eq!(p.delay(0), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn huge_attempt_counts_do_not_overflow() {
+        let p = policy();
+        assert_eq!(p.delay(u32::MAX), SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn exhaustion_at_max_attempts() {
+        let p = policy();
+        assert!(!p.exhausted(3));
+        assert!(p.exhausted(4));
+        assert!(p.exhausted(5));
+    }
+
+    #[test]
+    fn jitter_stays_in_band_and_is_deterministic() {
+        let p = BackoffPolicy {
+            jitter: 0.25,
+            ..policy()
+        };
+        let mut rng = SimRng::new(9);
+        for attempt in 1..=6 {
+            let d = p.delay(attempt).as_secs_f64();
+            let j = p.delay_jittered(attempt, &mut rng).as_secs_f64();
+            assert!(j >= d * 0.75 - 1e-9 && j <= d * 1.25 + 1e-9, "{j} vs {d}");
+        }
+        let a: Vec<_> = {
+            let mut r = SimRng::new(5);
+            (1..8).map(|i| p.delay_jittered(i, &mut r)).collect()
+        };
+        let b: Vec<_> = {
+            let mut r = SimRng::new(5);
+            (1..8).map(|i| p.delay_jittered(i, &mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_jitter_draws_nothing() {
+        let p = policy();
+        let mut rng = SimRng::new(1);
+        let mut probe = rng.clone();
+        let _ = p.delay_jittered(3, &mut rng);
+        // The RNG stream is untouched when jitter is disabled.
+        assert_eq!(rng.next_u64(), probe.next_u64());
+    }
+}

@@ -1,0 +1,282 @@
+//! Chaos integration: the deterministic fault engine and the
+//! self-healing control loop, exercised across crate boundaries.
+//!
+//! Covers the acceptance criterion (same `(seed, FaultPlan)` → an
+//! identical run, event log included) plus the nasty edges: a host
+//! dying while its node is still priming, both replicas failing,
+//! failure landing mid-resize, and a flapping heartbeat that must be
+//! rolled back rather than acted on twice.
+
+use soda::core::recovery::{self, RecoveryConfig};
+use soda::core::service::{ServiceSpec, ServiceState};
+use soda::core::world::{crash_host, create_service_driven, resize_service_driven, SodaWorld};
+use soda::hostos::resources::ResourceVector;
+use soda::hup::daemon::SodaDaemon;
+use soda::hup::host::{HostId, HupHost};
+use soda::net::pool::IpPool;
+use soda::sim::{Engine, SimDuration, SimTime};
+use soda::vmm::rootfs::RootFsCatalog;
+use soda::vmm::sysservices::StartupClass;
+use soda_bench::experiments::chaos_soak;
+
+fn web_spec(n: u32) -> ServiceSpec {
+    ServiceSpec {
+        name: "web".into(),
+        image: RootFsCatalog::new().base_1_0(),
+        required_services: vec!["network", "syslogd"],
+        app_class: StartupClass::Light,
+        instances: n,
+        machine: ResourceVector::TABLE1_EXAMPLE,
+        port: 8080,
+    }
+}
+
+/// `n` seattle-class hosts, optionally followed by a tacoma spare.
+fn hup(seattles: u32, tacoma_spare: bool) -> Vec<SodaDaemon> {
+    let mut daemons: Vec<SodaDaemon> = (1..=seattles)
+        .map(|i| {
+            SodaDaemon::new(HupHost::seattle(
+                HostId(i),
+                IpPool::new(format!("10.0.{i}.0").parse().expect("valid"), 8),
+            ))
+        })
+        .collect();
+    if tacoma_spare {
+        let id = seattles + 1;
+        daemons.push(SodaDaemon::new(HupHost::tacoma(
+            HostId(id),
+            IpPool::new(format!("10.0.{id}.0").parse().expect("valid"), 8),
+        )));
+    }
+    daemons
+}
+
+/// Every placed node is running on a live host, none sits on `dead`.
+fn assert_recovered_off_host(world: &SodaWorld, service: soda::core::ServiceId, dead: HostId) {
+    let rec = world.master.service(service).expect("record exists");
+    for n in &rec.nodes {
+        assert_ne!(n.host, dead, "node still placed on the dead host");
+        let d = world
+            .daemons
+            .iter()
+            .find(|d| d.host.id == n.host)
+            .expect("host exists");
+        assert!(!d.is_failed(), "node placed on a failed host");
+        assert!(
+            d.vsn(n.vsn).is_some_and(|v| v.is_running()),
+            "placed node {:?} not running",
+            n.vsn
+        );
+    }
+}
+
+/// Acceptance: the whole chaos soak — fault plan, workload, heartbeat
+/// loss draws, backoff jitter — replays bit-identically from the seed,
+/// down to the fingerprint of the rendered event log.
+#[test]
+fn chaos_soak_is_deterministic() {
+    let a = chaos_soak::run(11);
+    let b = chaos_soak::run(11);
+    assert_eq!(a, b, "same (seed, plan) must yield an identical run");
+    assert!(a.faults_injected > 0);
+    assert_eq!(a.invariant_violations, 0);
+    // A different seed must actually change the trajectory.
+    let c = chaos_soak::run(12);
+    assert_ne!(
+        a.event_fingerprint, c.event_fingerprint,
+        "different seeds should not collide"
+    );
+}
+
+/// A host dies while its node is still downloading the service image.
+/// The creation must still complete (on replacement capacity) and the
+/// service must end at full strength with nothing on the dead host.
+#[test]
+fn host_death_during_priming_still_converges() {
+    let mut engine = Engine::with_seed(SodaWorld::new(hup(2, true)), 5);
+    engine.state_mut().enable_obs(1 << 14);
+    recovery::start_self_healing(
+        &mut engine,
+        RecoveryConfig::default(),
+        SimTime::from_secs(200),
+    );
+    let svc = create_service_driven(&mut engine, web_spec(3), "webco").expect("admitted");
+    let victim = engine.state().master.service(svc).expect("exists").nodes[0].host;
+    // Mid-download: the image transfer takes a couple of seconds.
+    engine.schedule_at(SimTime::from_millis(1200), move |w: &mut SodaWorld, ctx| {
+        crash_host(w, ctx, victim);
+    });
+    engine.run_until(SimTime::from_secs(200));
+
+    let w = engine.state_mut();
+    assert_eq!(w.creations.len(), 1, "creation completes despite the crash");
+    let rec = w.master.service(svc).expect("exists");
+    assert_eq!(rec.placed_capacity(), 3, "full capacity restored");
+    assert_eq!(rec.state, ServiceState::Running);
+    assert!(!w.recovery.stats.recoveries.is_empty(), "an episode closed");
+    assert_recovered_off_host(w, svc, victim);
+    assert_eq!(recovery::check_invariants(w), 0);
+}
+
+/// Both hosts carrying the service fail a few seconds apart. The
+/// control loop must re-place every lost node on the survivors.
+#[test]
+fn double_failure_of_both_replicas_recovers() {
+    let mut engine = Engine::with_seed(SodaWorld::new(hup(3, true)), 9);
+    engine.state_mut().enable_obs(1 << 14);
+    recovery::start_self_healing(
+        &mut engine,
+        RecoveryConfig::default(),
+        SimTime::from_secs(300),
+    );
+    let svc = create_service_driven(&mut engine, web_spec(3), "webco").expect("admitted");
+    engine.run_until(SimTime::from_secs(30));
+    let nodes = &engine.state().master.service(svc).expect("exists").nodes;
+    let hosts: Vec<HostId> = {
+        let mut hs: Vec<HostId> = nodes.iter().map(|n| n.host).collect();
+        hs.dedup();
+        hs
+    };
+    assert!(hosts.len() >= 2, "service spread over two hosts");
+    let (h1, h2) = (hosts[0], hosts[1]);
+    engine.schedule_at(SimTime::from_secs(40), move |w: &mut SodaWorld, ctx| {
+        crash_host(w, ctx, h1);
+    });
+    // The second failure lands while the first recovery is in flight.
+    engine.schedule_at(SimTime::from_secs(47), move |w: &mut SodaWorld, ctx| {
+        crash_host(w, ctx, h2);
+    });
+    engine.run_until(SimTime::from_secs(300));
+
+    let w = engine.state_mut();
+    let rec = w.master.service(svc).expect("exists");
+    assert_eq!(rec.placed_capacity(), 3, "all lost capacity re-placed");
+    assert_eq!(w.master.healthy_capacity(svc), 3);
+    assert!(
+        w.recovery.stats.recoveries.len() >= 2,
+        "both episodes closed"
+    );
+    assert_recovered_off_host(w, svc, h1);
+    assert_recovered_off_host(w, svc, h2);
+    assert_eq!(recovery::check_invariants(w), 0);
+}
+
+/// A host fails while a resize is still priming its new node. Both the
+/// lost capacity and the resize target must be honoured in the end.
+#[test]
+fn failure_during_resize_in_flight_converges() {
+    let mut engine = Engine::with_seed(SodaWorld::new(hup(3, true)), 3);
+    engine.state_mut().enable_obs(1 << 14);
+    recovery::start_self_healing(
+        &mut engine,
+        RecoveryConfig::default(),
+        SimTime::from_secs(300),
+    );
+    let svc = create_service_driven(&mut engine, web_spec(2), "webco").expect("admitted");
+    engine.run_until(SimTime::from_secs(100));
+    assert_eq!(engine.state().creations.len(), 1);
+
+    // 2 → 8: in-place widening absorbs 4, the remaining 2 go to a
+    // fresh node on a host not yet carrying the service.
+    resize_service_driven(&mut engine, svc, 8).expect("resize admitted");
+    // The new node is the one not yet running; its host is the victim.
+    let victim = {
+        let w = engine.state();
+        w.master
+            .service(svc)
+            .expect("exists")
+            .nodes
+            .iter()
+            .find(|n| {
+                let d = w
+                    .daemons
+                    .iter()
+                    .find(|d| d.host.id == n.host)
+                    .expect("host");
+                !d.vsn(n.vsn).is_some_and(|v| v.is_running())
+            })
+            .map(|n| n.host)
+    };
+    let now = engine.now();
+    if let Some(victim) = victim {
+        // Kill the host while the resize download is in flight.
+        engine.schedule_at(now + SimDuration::from_millis(600), move |w, ctx| {
+            crash_host(w, ctx, victim);
+        });
+        engine.run_until(SimTime::from_secs(300));
+
+        let w = engine.state_mut();
+        let rec = w.master.service(svc).expect("exists");
+        assert_eq!(
+            rec.placed_capacity(),
+            8,
+            "resize target met after the crash"
+        );
+        assert_eq!(rec.state, ServiceState::Running, "resize settles");
+        assert_eq!(w.master.healthy_capacity(svc), 8);
+        assert_recovered_off_host(w, svc, victim);
+        assert_eq!(recovery::check_invariants(w), 0);
+    } else {
+        panic!("resize to 8 should have placed a new node");
+    }
+}
+
+/// A flapping host: partitions long enough to be declared down, then
+/// comes back before a replacement lands. The loop must roll back the
+/// declaration (false alarm), re-admit the backends, and never leak an
+/// episode — twice in a row.
+#[test]
+fn heartbeat_flapping_rolls_back_cleanly() {
+    let mut engine = Engine::with_seed(SodaWorld::testbed(), 21);
+    engine.state_mut().enable_obs(1 << 14);
+    recovery::start_self_healing(
+        &mut engine,
+        RecoveryConfig::default(),
+        SimTime::from_secs(300),
+    );
+    let svc = create_service_driven(&mut engine, web_spec(3), "webco").expect("admitted");
+    engine.run_until(SimTime::from_secs(120));
+    assert_eq!(engine.state().master.healthy_capacity(svc), 3);
+
+    for start in [120u64, 140u64] {
+        // Partition seattle for 8 s: past the 3.5 s heartbeat timeout,
+        // but healed before any replacement can land (the spare tacoma
+        // cannot fit the lost two-instance node, so placement retries).
+        engine
+            .state_mut()
+            .control
+            .partition(1, SimTime::from_secs(start + 8));
+        engine.run_until(SimTime::from_secs(start + 20));
+        let w = engine.state_mut();
+        assert_eq!(
+            w.master.healthy_capacity(svc),
+            3,
+            "capacity restored after the flap at t={start}"
+        );
+        assert_eq!(w.recovery.open_episodes(), 0, "no episode leaked");
+        assert_eq!(recovery::check_invariants(w), 0);
+    }
+    let w = engine.state();
+    assert!(
+        w.recovery.stats.false_alarms >= 2,
+        "each flap is rolled back as a false alarm: {:?}",
+        w.recovery.stats
+    );
+    assert!(w.recovery.stats.detections.len() >= 2);
+    assert_eq!(
+        w.recovery.stats.recoveries.len(),
+        0,
+        "no replacement should have completed"
+    );
+    // The original placement survives intact.
+    let rec = w.master.service(svc).expect("exists");
+    assert_eq!(rec.placed_capacity(), 3);
+    for n in &rec.nodes {
+        let d = w
+            .daemons
+            .iter()
+            .find(|d| d.host.id == n.host)
+            .expect("host");
+        assert!(d.vsn(n.vsn).is_some_and(|v| v.is_running()));
+    }
+}
