@@ -189,7 +189,13 @@ impl AdmissionQueue {
                             out.admitted.push((p.ticket, reply));
                         }
                         Err(_) => {
-                            self.note_failure(0, now, &mut out);
+                            // An evicted head unblocks the next entry,
+                            // which may be eligible and fit right now; a
+                            // head that stays queued (backing off) still
+                            // blocks the rest.
+                            if self.note_failure(0, now, &mut out) {
+                                continue;
+                            }
                             break;
                         }
                     }
@@ -221,7 +227,9 @@ impl AdmissionQueue {
                             let p = self.pending.remove(i).expect("index valid");
                             out.admitted.push((p.ticket, reply));
                         }
-                        Err(_) => self.note_failure(i, now, &mut out),
+                        Err(_) => {
+                            self.note_failure(i, now, &mut out);
+                        }
                     }
                 }
             }
@@ -230,15 +238,18 @@ impl AdmissionQueue {
     }
 
     /// Record a failed attempt on `pending[i]`: back off, or evict when
-    /// the attempt budget is spent.
-    fn note_failure(&mut self, i: usize, now: SimTime, out: &mut RetryOutcome) {
+    /// the attempt budget is spent. Returns whether the entry was
+    /// evicted.
+    fn note_failure(&mut self, i: usize, now: SimTime, out: &mut RetryOutcome) -> bool {
         let p = &mut self.pending[i];
         p.attempts += 1;
         if self.backoff.exhausted(p.attempts) {
             let p = self.pending.remove(i).expect("index valid");
             out.rejected.push(p.ticket);
+            true
         } else {
             p.next_eligible = now + self.backoff.delay(p.attempts);
+            false
         }
     }
 }
@@ -474,6 +485,62 @@ mod tests {
         // Attempt 3 at t=3 exhausts the budget: evicted, not retried.
         let pass = q.retry(&mut master, &mut daemons, SimTime::from_secs(3));
         assert_eq!(pass.rejected, vec![t]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fifo_eviction_unblocks_next_entry_in_same_pass() {
+        let (mut master, mut daemons) = setup();
+        let mut q = AdmissionQueue::new(QueuePolicy::Fifo, 8);
+        q.set_backoff(BackoffPolicy {
+            base: SimDuration::from_secs(1),
+            ceiling: SimDuration::from_secs(4),
+            max_attempts: 2,
+            jitter: 0.0,
+        });
+        // Fill the host (seattle fits 3 inflated instances).
+        let filler = match q.submit(
+            &mut master,
+            &mut daemons,
+            spec(3, "fill"),
+            "asp",
+            SimTime::ZERO,
+        ) {
+            Submission::Admitted(r) => r.service,
+            other => panic!("{other:?}"),
+        };
+        let Submission::Queued(doomed) = q.submit(
+            &mut master,
+            &mut daemons,
+            spec(2, "doomed"),
+            "asp",
+            SimTime::ZERO,
+        ) else {
+            panic!("must queue")
+        };
+        let Submission::Queued(small) = q.submit(
+            &mut master,
+            &mut daemons,
+            spec(1, "small"),
+            "asp",
+            SimTime::ZERO,
+        ) else {
+            panic!("must queue")
+        };
+        // Attempt 1: head fails, backs off, blocks the rest.
+        let pass = q.retry(&mut master, &mut daemons, SimTime::ZERO);
+        assert!(pass.admitted.is_empty() && pass.rejected.is_empty());
+        // Free exactly one instance: the head still cannot fit, but the
+        // entry behind it can.
+        master
+            .resize(filler, 2, &mut daemons, SimTime::from_millis(500))
+            .unwrap();
+        // Attempt 2 exhausts the budget: the head is evicted and the
+        // now-unblocked entry admits in the SAME pass.
+        let pass = q.retry(&mut master, &mut daemons, SimTime::from_secs(1));
+        assert_eq!(pass.rejected, vec![doomed]);
+        assert_eq!(pass.admitted.len(), 1);
+        assert_eq!(pass.admitted[0].0, small);
         assert!(q.is_empty());
     }
 

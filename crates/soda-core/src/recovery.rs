@@ -102,6 +102,9 @@ struct Episode {
     try_reprime: bool,
     /// A shed has already been performed for this episode.
     shed_done: bool,
+    /// The episode has already been counted (and announced) as a
+    /// degradation — park/poll cycles must not re-count it.
+    degraded: bool,
     /// Parked: retry when the clock passes this.
     parked_until: Option<SimTime>,
 }
@@ -467,6 +470,7 @@ fn handle_node_down(
         replacement: None,
         try_reprime,
         shed_done: false,
+        degraded: false,
         parked_until: None,
     });
     attempt_recovery(world, ctx, id);
@@ -582,11 +586,11 @@ fn schedule_retry(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, id: u64) {
     };
     let (svc, attempt) = (ep.service, ep.attempt);
     let policy = world.recovery.cfg.backoff;
-    world.recovery.stats.retries += 1;
     if policy.exhausted(attempt) {
         degrade_or_shed(world, ctx, id);
         return;
     }
+    world.recovery.stats.retries += 1;
     let delay = policy.delay_jittered(attempt.max(1), &mut world.recovery.rng);
     world.obs.record(
         now,
@@ -617,15 +621,20 @@ fn degrade_or_shed(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, id: u64) {
     let Some(ep) = world.recovery.episodes.iter().find(|e| e.id == id) else {
         return;
     };
-    let (svc, capacity, shed_done) = (ep.service, ep.capacity, ep.shed_done);
-    world.recovery.stats.degradations += 1;
-    world.obs.record(
-        now,
-        Event::ServiceDegraded {
-            service: svc.0,
-            capacity: world.master.healthy_capacity(svc),
-        },
-    );
+    let (svc, capacity, shed_done, degraded) = (ep.service, ep.capacity, ep.shed_done, ep.degraded);
+    if !degraded {
+        if let Some(ep) = world.recovery.episodes.iter_mut().find(|e| e.id == id) {
+            ep.degraded = true;
+        }
+        world.recovery.stats.degradations += 1;
+        world.obs.record(
+            now,
+            Event::ServiceDegraded {
+                service: svc.0,
+                capacity: world.master.healthy_capacity(svc),
+            },
+        );
+    }
     if !shed_done {
         let my_prio = world.recovery.priority(svc);
         let victim = world
@@ -807,6 +816,7 @@ pub(crate) fn on_priming_failed(
         replacement: None,
         try_reprime: false,
         shed_done: false,
+        degraded: false,
         parked_until: None,
     });
     attempt_recovery(world, ctx, id);

@@ -17,7 +17,7 @@
 //! Figures 4 and 6 are measurements of this pipeline; the DDoS and
 //! attack-isolation experiments perturb it.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use soda_hup::daemon::{PrimingTicket, SodaDaemon};
 use soda_hup::host::HostId;
@@ -162,12 +162,19 @@ pub struct SodaWorld {
     /// heartbeats and sever in-flight responses during chaos runs.
     pub control: ControlPlane,
     node_runtimes: HashMap<VsnId, NodeRuntime>,
-    inflight: HashMap<(HostId, FlowId), FlowPurpose>,
+    /// In-flight flows, keyed for deterministic iteration: faults that
+    /// sever many flows at once must cancel them in a reproducible
+    /// order or the event log diverges across runs of the same seed.
+    inflight: BTreeMap<(HostId, FlowId), FlowPurpose>,
     ready_nodes: HashMap<ServiceId, usize>,
     next_request: u64,
     callbacks: HashMap<RequestId, RequestCallback>,
-    /// Transient CPU slowdown factor per host (the `SlowHost` fault).
-    host_slow: HashMap<HostId, f64>,
+    /// Transient CPU slowdown per host (the `SlowHost` fault): the
+    /// factor and when it expires. Overlapping windows merge to the
+    /// strongest factor and the latest expiry, and an expiry callback
+    /// only clears the entry once its stored until-time has passed — so
+    /// an earlier window ending cannot cancel a later one's slowdown.
+    host_slow: HashMap<HostId, (f64, SimTime)>,
     /// Armed one-shot priming failures per host: the next `n` image
     /// downloads completing on the host fail instead of booting.
     armed_priming_failures: HashMap<HostId, u32>,
@@ -200,7 +207,7 @@ impl SodaWorld {
             recovery: RecoveryManager::default(),
             control: ControlPlane::new(),
             node_runtimes: HashMap::new(),
-            inflight: HashMap::new(),
+            inflight: BTreeMap::new(),
             ready_nodes: HashMap::new(),
             next_request: 1,
             callbacks: HashMap::new(),
@@ -327,7 +334,7 @@ impl SodaWorld {
         let rt = &self.node_runtimes[&vsn];
         let cycles = REQUEST_BASE_CYCLES + (dataset as f64 * REQUEST_CYCLES_PER_BYTE) as u64;
         let base = SimDuration::from_secs_f64(cycles as f64 / rt.host_hz);
-        let slow = self.host_slow.get(&rt.host).copied().unwrap_or(1.0);
+        let slow = self.host_slow.get(&rt.host).map_or(1.0, |&(f, _)| f);
         rt.slowdown.inflate_cpu(base).mul_f64(slow)
     }
 
@@ -879,8 +886,10 @@ fn crash_one(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, service: ServiceId
 /// Cancel a set of in-flight flows, accounting honestly for what they
 /// carried: responses count as dropped requests (callback fired with
 /// `None`, switch slot released, `RequestFailed` recorded); downloads
-/// record a `PrimingFailed` (the stuck node is cleaned up by whoever
-/// detects the underlying fault); floods just vanish.
+/// fail the node's priming outright — the node is scrubbed and the
+/// recovery loop (when armed) re-places the lost capacity, so a severed
+/// download can never leave a node stuck in `Priming`; floods just
+/// vanish.
 fn cancel_flows(
     world: &mut SodaWorld,
     ctx: &mut Ctx<SodaWorld>,
@@ -909,14 +918,7 @@ fn cancel_flows(
                 drop_request(world, ctx, request);
             }
             FlowPurpose::Download { service, vsn, .. } => {
-                world.obs.record(
-                    now,
-                    Event::PrimingFailed {
-                        service: service.0,
-                        vsn: vsn.0,
-                        host: u64::from(host.0),
-                    },
-                );
+                fail_priming(world, ctx, service, vsn, host);
             }
             FlowPurpose::Flood => {}
         }
@@ -1087,9 +1089,14 @@ pub fn apply_fault(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, fault: Fault
             duration,
         } => {
             let h = HostId(host as u32);
-            world.host_slow.insert(h, factor.max(1.0));
-            ctx.schedule_in(duration, move |w: &mut SodaWorld, _ctx| {
-                w.host_slow.remove(&h);
+            let until = now + duration;
+            let entry = world.host_slow.entry(h).or_insert((1.0, until));
+            entry.0 = entry.0.max(factor.max(1.0));
+            entry.1 = entry.1.max(until);
+            ctx.schedule_in(duration, move |w: &mut SodaWorld, ctx| {
+                if w.host_slow.get(&h).is_some_and(|&(_, t)| ctx.now() >= t) {
+                    w.host_slow.remove(&h);
+                }
             });
         }
         FaultSpec::LinkLoss {

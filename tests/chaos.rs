@@ -9,7 +9,9 @@
 
 use soda::core::recovery::{self, RecoveryConfig};
 use soda::core::service::{ServiceSpec, ServiceState};
-use soda::core::world::{crash_host, create_service_driven, resize_service_driven, SodaWorld};
+use soda::core::world::{
+    apply_fault, crash_host, create_service_driven, resize_service_driven, SodaWorld,
+};
 use soda::hostos::resources::ResourceVector;
 use soda::hup::daemon::SodaDaemon;
 use soda::hup::host::{HostId, HupHost};
@@ -115,6 +117,50 @@ fn host_death_during_priming_still_converges() {
     assert_eq!(rec.state, ServiceState::Running);
     assert!(!w.recovery.stats.recoveries.is_empty(), "an episode closed");
     assert_recovered_off_host(w, svc, victim);
+    assert_eq!(recovery::check_invariants(w), 0);
+}
+
+/// A link partition *shorter than the heartbeat timeout* severs a
+/// node's image download mid-flight. The host is never declared down,
+/// so no host-level detection will ever clean the node up: severing the
+/// download must itself fail the node's priming so the creation still
+/// completes and the lost capacity is re-placed (regression: the node
+/// used to stay stuck in `Priming` forever).
+#[test]
+fn short_partition_during_priming_still_converges() {
+    let mut engine = Engine::with_seed(SodaWorld::new(hup(2, true)), 7);
+    engine.state_mut().enable_obs(1 << 14);
+    recovery::start_self_healing(
+        &mut engine,
+        RecoveryConfig::default(),
+        SimTime::from_secs(200),
+    );
+    let svc = create_service_driven(&mut engine, web_spec(3), "webco").expect("admitted");
+    let victim = engine.state().master.service(svc).expect("exists").nodes[0].host;
+    // Partition for 2 s — below the 3.5 s heartbeat timeout — while the
+    // image transfer (a couple of seconds) is still in flight.
+    engine.schedule_at(SimTime::from_millis(1200), move |w: &mut SodaWorld, ctx| {
+        apply_fault(
+            w,
+            ctx,
+            soda::sim::FaultSpec::LinkPartition {
+                host: u64::from(victim.0),
+                duration: SimDuration::from_secs(2),
+            },
+        );
+    });
+    engine.run_until(SimTime::from_secs(200));
+
+    let w = engine.state_mut();
+    assert_eq!(
+        w.creations.len(),
+        1,
+        "creation completes despite the severed download"
+    );
+    let rec = w.master.service(svc).expect("exists");
+    assert_eq!(rec.placed_capacity(), 3, "full capacity restored");
+    assert_eq!(rec.state, ServiceState::Running);
+    assert_eq!(w.master.healthy_capacity(svc), 3);
     assert_eq!(recovery::check_invariants(w), 0);
 }
 
