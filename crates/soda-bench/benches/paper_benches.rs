@@ -98,7 +98,27 @@ fn bench_substrate(c: &mut Criterion) {
         sw.add_backend(VsnId(2), "10.0.0.2".parse().expect("valid"), 80, 1);
         b.iter(|| {
             let i = sw.route(SimTime::ZERO).expect("healthy");
-            sw.complete(i, SimDuration::from_millis(5), SimTime::ZERO);
+            let vsn = sw.backends()[i].vsn;
+            sw.complete(vsn, SimDuration::from_millis(5), SimTime::ZERO);
+        })
+    });
+    // Same hot path at utility scale: a wide service (64 backends), the
+    // shape the alloc-free view cache exists for.
+    c.bench_function("substrate/switch_route_complete_64_backends", |b| {
+        let mut sw = ServiceSwitch::new(ServiceId(1), VsnId(1));
+        for i in 0..64u32 {
+            let ip = format!("10.0.{}.{}", i / 256, i % 256 + 1);
+            sw.add_backend(
+                VsnId(u64::from(i) + 1),
+                ip.parse().expect("valid"),
+                80,
+                1 + i % 4,
+            );
+        }
+        b.iter(|| {
+            let i = sw.route(SimTime::ZERO).expect("healthy");
+            let vsn = sw.backends()[i].vsn;
+            sw.complete(vsn, SimDuration::from_millis(5), SimTime::ZERO);
         })
     });
     // Smooth WRR pick alone.

@@ -1,0 +1,72 @@
+//! Extension X-SCALE: hot-path throughput sweep.
+//!
+//! Usage:
+//!   `exp_scale`                       — full 3×3 grid
+//!                                       (hosts ∈ {10,100,1000} × requests ∈ {10k,100k,1M})
+//!   `exp_scale HOSTS REQUESTS`        — one grid point
+//!   `exp_scale HOSTS REQUESTS BUDGET` — one grid point with a wall-clock
+//!                                       budget in seconds; exits non-zero
+//!                                       if the point runs over (CI gate).
+//!
+//! All points are written to `results/exp_scale.json`.
+
+use soda_bench::experiments::scale::{self, ScaleConfig, ScaleResult};
+
+fn print_point(r: &ScaleResult) {
+    println!(
+        "{:>5} hosts {:>8} req | {:>6} vsns | {:>9.2} s wall | {:>11.0} ev/s | peak q {:>8} | rss {:>8} kB | traj {:#018x}",
+        r.hosts,
+        r.requests,
+        r.vsns,
+        r.wall_secs,
+        r.events_per_sec,
+        r.peak_queue_depth,
+        r.peak_rss_kb,
+        r.trajectory_fingerprint,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    println!("== X-SCALE — hot-path throughput sweep ==");
+    let mut results: Vec<ScaleResult> = Vec::new();
+    let budget_secs: Option<f64> = args.get(2).and_then(|s| s.parse().ok());
+    match (
+        args.first().and_then(|s| s.parse::<u32>().ok()),
+        args.get(1).and_then(|s| s.parse::<u64>().ok()),
+    ) {
+        (Some(hosts), Some(requests)) => {
+            results.push(scale::run(&ScaleConfig {
+                hosts,
+                requests,
+                seed: 42,
+                obs: false,
+            }));
+        }
+        _ => {
+            for &hosts in &[10u32, 100, 1000] {
+                for &requests in &[10_000u64, 100_000, 1_000_000] {
+                    results.push(scale::run(&ScaleConfig {
+                        hosts,
+                        requests,
+                        seed: 42,
+                        obs: false,
+                    }));
+                    print_point(results.last().expect("just pushed"));
+                }
+            }
+        }
+    }
+    if results.len() == 1 {
+        print_point(&results[0]);
+    }
+    soda_bench::emit_json("exp_scale", &results);
+    if let Some(budget) = budget_secs {
+        let worst = results.iter().map(|r| r.wall_secs).fold(0.0f64, f64::max);
+        if worst > budget {
+            eprintln!("FAIL: slowest point took {worst:.2} s (budget {budget:.2} s)");
+            std::process::exit(1);
+        }
+        println!("within budget: {worst:.2} s <= {budget:.2} s");
+    }
+}

@@ -77,8 +77,9 @@ pub fn run(mem_sizes_mb: &[u32]) -> Vec<Row> {
             let old_serves = {
                 let sw = master.switch_mut(svc).expect("switch");
                 let i = sw.route(SimTime::ZERO).expect("old node healthy");
-                let ok = sw.backends()[i].vsn == vsn;
-                sw.complete(i, soda_sim::SimDuration::from_millis(1), SimTime::ZERO);
+                let picked = sw.backends()[i].vsn;
+                let ok = picked == vsn;
+                sw.complete(picked, soda_sim::SimDuration::from_millis(1), SimTime::ZERO);
                 ok
             };
             let transfer_secs = http.download_time(out.checkpoint_bytes, &lan).as_secs_f64();
@@ -90,8 +91,9 @@ pub fn run(mem_sizes_mb: &[u32]) -> Vec<Row> {
             let new_serves = {
                 let sw = master.switch_mut(svc).expect("switch");
                 let i = sw.route(SimTime::ZERO).expect("new node healthy");
-                let ok = sw.backends()[i].vsn == out.new_vsn;
-                sw.complete(i, soda_sim::SimDuration::from_millis(1), SimTime::ZERO);
+                let picked = sw.backends()[i].vsn;
+                let ok = picked == out.new_vsn;
+                sw.complete(picked, soda_sim::SimDuration::from_millis(1), SimTime::ZERO);
                 ok
             };
             Row {

@@ -13,6 +13,7 @@ pub mod inflation;
 pub mod migration;
 pub mod placement;
 pub mod resize;
+pub mod scale;
 pub mod table2;
 pub mod table4;
 pub mod usage_billing;

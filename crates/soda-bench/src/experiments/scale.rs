@@ -1,0 +1,304 @@
+//! X-SCALE — hot-path throughput sweep over a utility-scale HUP.
+//!
+//! The paper's testbed is two hosts; the ROADMAP's north star is a
+//! utility "serving heavy traffic from millions of users". This
+//! experiment measures the gap: it builds a fleet of N identical hosts,
+//! fills it wall-to-wall with services (20 single-instance machine
+//! slices per host — the worst-fit index places every last instance),
+//! then pushes a fixed request count through the switches, CPU stages,
+//! shapers and NICs, reporting wall-clock, events/second, peak RSS and
+//! the event-queue high-water mark.
+//!
+//! Two fingerprints make the run comparable across processes and
+//! optimisation levels:
+//!
+//! * `trajectory_fingerprint` — FNV-1a over every completed request's
+//!   `(service, vsn, issued, completed, dataset)` plus the drop count.
+//!   Computed whether or not observability is on; the indexed hot paths
+//!   must not move it.
+//! * `event_fingerprint` — FNV-1a over the rendered observability event
+//!   log (0 when `obs` is off), the same scheme X-CHAOS uses.
+
+use serde::Serialize;
+use soda_core::service::{ServiceId, ServiceSpec};
+use soda_core::world::{create_service_driven, submit_request, SodaWorld};
+use soda_hostos::resources::ResourceVector;
+use soda_hup::daemon::SodaDaemon;
+use soda_hup::host::{HostId, HupHost};
+use soda_net::pool::IpPool;
+use soda_sim::{Engine, SimDuration, SimTime};
+use soda_vmm::rootfs::RootFsCatalog;
+use soda_vmm::sysservices::StartupClass;
+use std::rc::Rc;
+
+/// Services created per host. Each service is `<4, M_SCALE>`, so a full
+/// fleet carries `hosts × SERVICES_PER_HOST × 4` virtual service nodes
+/// (20 per host — 1,000 hosts ⇒ 20,000 VSNs).
+pub const SERVICES_PER_HOST: u32 = 5;
+
+/// The scale-run machine instance: sized so exactly 20 inflated
+/// instances fill one *seattle* host's CPU (20 × ceil(75 × 1.5) = 2260
+/// of 2340 MHz), with slack in every other dimension.
+const M_SCALE: ResourceVector = ResourceVector {
+    cpu_mhz: 75,
+    mem_mb: 80,
+    disk_mb: 500,
+    bw_mbps: 2,
+};
+
+/// One grid point of the sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct ScaleConfig {
+    /// Fleet size.
+    pub hosts: u32,
+    /// Client requests to push through the fleet.
+    pub requests: u64,
+    /// Engine seed (workload interleaving is fully deterministic).
+    pub seed: u64,
+    /// Record observability events/metrics during the run.
+    pub obs: bool,
+}
+
+/// Measurements from one scale run.
+#[derive(Clone, Debug, Serialize)]
+pub struct ScaleResult {
+    /// Fleet size.
+    pub hosts: u32,
+    /// Services created (all admitted, or the run panics).
+    pub services: u32,
+    /// Virtual service nodes running after creation.
+    pub vsns: u32,
+    /// Requests submitted.
+    pub requests: u64,
+    /// Requests completed (delivered responses).
+    pub completed: u64,
+    /// Requests dropped.
+    pub dropped: u64,
+    /// Whether observability was enabled.
+    pub obs: bool,
+    /// Engine events executed, creation phase included.
+    pub events: u64,
+    /// Host wall-clock for the whole run, seconds.
+    pub wall_secs: f64,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Event-queue high-water mark.
+    pub peak_queue_depth: usize,
+    /// Process peak RSS in kB (`VmHWM`; 0 where unavailable). Process-
+    /// wide and monotonic, so within one sweep only the largest grid
+    /// point's value is meaningful.
+    pub peak_rss_kb: u64,
+    /// FNV-1a over completed-request tuples + the drop count.
+    pub trajectory_fingerprint: u64,
+    /// FNV-1a over the rendered event log (0 with `obs` off).
+    pub event_fingerprint: u64,
+}
+
+fn spec(name: &str) -> ServiceSpec {
+    ServiceSpec {
+        name: name.into(),
+        image: RootFsCatalog::new().base_1_0(),
+        required_services: vec!["network", "syslogd"],
+        app_class: StartupClass::Light,
+        instances: 4,
+        machine: M_SCALE,
+        port: 8080,
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_bytes(fp: u64, bytes: &[u8]) -> u64 {
+    let mut fp = fp;
+    for &b in bytes {
+        fp ^= u64::from(b);
+        fp = fp.wrapping_mul(FNV_PRIME);
+    }
+    fp
+}
+
+/// Peak resident-set size in kB from `/proc/self/status` (`VmHWM`).
+fn peak_rss_kb() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    if let Some(kb) = rest.split_whitespace().next() {
+                        return kb.parse().unwrap_or(0);
+                    }
+                }
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
+
+/// Run one grid point.
+pub fn run(cfg: &ScaleConfig) -> ScaleResult {
+    let wall_start = std::time::Instant::now();
+    let daemons: Vec<SodaDaemon> = (1..=cfg.hosts)
+        .map(|i| {
+            SodaDaemon::new(HupHost::seattle(
+                HostId(i),
+                IpPool::new(
+                    format!("10.{}.{}.0", i / 250, i % 250)
+                        .parse()
+                        .expect("valid"),
+                    32,
+                ),
+            ))
+        })
+        .collect();
+    let mut engine = Engine::with_seed(SodaWorld::new(daemons), cfg.seed);
+    if cfg.obs {
+        engine.state_mut().enable_obs(1 << 16);
+    }
+
+    // Fill the utility: every admission succeeds because the fleet's
+    // instance capacity equals total demand exactly.
+    let n_services = cfg.hosts * SERVICES_PER_HOST;
+    let services: Vec<ServiceId> = (0..n_services)
+        .map(|s| {
+            create_service_driven(&mut engine, spec(&format!("svc{s}")), "scaleco")
+                .expect("fleet sized to admit every service")
+        })
+        .collect();
+    // Image downloads + bootstraps; ~20 concurrent downloads per NIC.
+    let t_ready = SimTime::from_secs(300);
+    engine.run_until(t_ready);
+    assert_eq!(
+        engine.state().creations.len(),
+        n_services as usize,
+        "every creation completes within the priming horizon"
+    );
+    let vsns = 4 * n_services;
+
+    // Request phase: a deterministic driver issues a fixed batch every
+    // 10 ms, round-robin over services, until the budget is spent.
+    let tick = SimDuration::from_millis(10);
+    let ticks: u64 = 10_000; // 100 s of virtual time
+    let batch = cfg.requests.div_ceil(ticks).max(1);
+    let services = Rc::new(services);
+    struct Driver {
+        services: Rc<Vec<ServiceId>>,
+        next: u64,
+        remaining: u64,
+        batch: u64,
+        tick: SimDuration,
+    }
+    impl Driver {
+        fn fire(mut self, w: &mut SodaWorld, ctx: &mut soda_sim::Ctx<SodaWorld>) {
+            let n = self.batch.min(self.remaining);
+            for _ in 0..n {
+                let svc = self.services[(self.next % self.services.len() as u64) as usize];
+                submit_request(w, ctx, svc, 2_000);
+                self.next += 1;
+            }
+            self.remaining -= n;
+            if self.remaining > 0 {
+                let tick = self.tick;
+                ctx.schedule_in(tick, move |w, ctx| self.fire(w, ctx));
+            }
+        }
+    }
+    let driver = Driver {
+        services: Rc::clone(&services),
+        next: 0,
+        remaining: cfg.requests,
+        batch,
+        tick,
+    };
+    engine.schedule_at(t_ready, move |w, ctx| driver.fire(w, ctx));
+    // Budget ÷ batch ticks of issue plus drain time.
+    engine.run_until(t_ready + SimDuration::from_secs(200));
+
+    let events = engine.events_executed();
+    let peak_queue_depth = engine.peak_events_pending();
+    let w = engine.state_mut();
+    assert_eq!(
+        w.completed.len() as u64 + w.dropped,
+        cfg.requests,
+        "every request completes or is counted dropped"
+    );
+
+    let mut fp = FNV_OFFSET;
+    for r in &w.completed {
+        fp = fnv_bytes(fp, &r.service.0.to_le_bytes());
+        fp = fnv_bytes(fp, &r.vsn.0.to_le_bytes());
+        fp = fnv_bytes(fp, &r.issued.as_nanos().to_le_bytes());
+        fp = fnv_bytes(fp, &r.completed.as_nanos().to_le_bytes());
+        fp = fnv_bytes(fp, &r.dataset.to_le_bytes());
+    }
+    fp = fnv_bytes(fp, &w.dropped.to_le_bytes());
+    let trajectory_fingerprint = fp;
+
+    let mut event_fingerprint = 0;
+    if cfg.obs {
+        let mut fp = FNV_OFFSET;
+        if let Some(drained) = w.obs.drain_events() {
+            for ev in &drained.events {
+                fp = fnv_bytes(fp, ev.to_string().as_bytes());
+            }
+        }
+        event_fingerprint = fp;
+    }
+
+    let wall_secs = wall_start.elapsed().as_secs_f64();
+    ScaleResult {
+        hosts: cfg.hosts,
+        services: n_services,
+        vsns,
+        requests: cfg.requests,
+        completed: w.completed.len() as u64,
+        dropped: w.dropped,
+        obs: cfg.obs,
+        events,
+        wall_secs,
+        events_per_sec: events as f64 / wall_secs.max(1e-9),
+        peak_queue_depth,
+        peak_rss_kb: peak_rss_kb(),
+        trajectory_fingerprint,
+        event_fingerprint,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_grid_point_fills_fleet_and_serves_everything() {
+        let r = run(&ScaleConfig {
+            hosts: 4,
+            requests: 2_000,
+            seed: 42,
+            obs: false,
+        });
+        assert_eq!(r.services, 4 * SERVICES_PER_HOST);
+        assert_eq!(r.vsns, 4 * r.services);
+        assert_eq!(r.completed + r.dropped, 2_000);
+        assert_eq!(r.dropped, 0, "unsaturated fleet drops nothing");
+        assert!(r.peak_queue_depth > 0);
+        assert_eq!(r.event_fingerprint, 0, "obs off");
+    }
+
+    #[test]
+    fn same_seed_same_trajectory() {
+        let cfg = ScaleConfig {
+            hosts: 3,
+            requests: 1_000,
+            seed: 9,
+            obs: false,
+        };
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.trajectory_fingerprint, b.trajectory_fingerprint);
+        assert_eq!(a.events, b.events);
+    }
+}

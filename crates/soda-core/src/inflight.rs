@@ -1,0 +1,190 @@
+//! Indexed in-flight flow table.
+//!
+//! PR 2 keyed the world's in-flight map by `(HostId, FlowId)` so that
+//! mass cancellation (host crash, partition) fires in a deterministic
+//! ascending order. That stays the source of truth here — the primary
+//! map IS the host index, because the host-major key order makes
+//! "every flow on host H" a contiguous key range with zero index
+//! maintenance. What the scale-out run needs on top is the VSN
+//! dimension: node crashes must cancel only that node's response flows
+//! without scanning every in-flight flow in the utility. A secondary
+//! `by_vsn` index provides that; its `BTreeSet<(HostId, FlowId)>`
+//! iterates in exactly the order the old full scan produced, so
+//! cancellation trajectories are bit-identical (see DESIGN.md §8 and
+//! `tests/scale_oracle.rs` for the differential proof).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use soda_hup::host::HostId;
+use soda_net::link::FlowId;
+use soda_vmm::vsn::VsnId;
+
+/// In-flight flows, indexed for O(flows-on-target) cancellation by host
+/// or by VSN. `P` is the per-flow payload (the world's `FlowPurpose`).
+#[derive(Debug, Clone)]
+pub struct InflightTable<P> {
+    /// Source of truth, host-major: a host's flows are one key range.
+    flows: BTreeMap<(HostId, FlowId), (Option<VsnId>, P)>,
+    /// Secondary index: response flows by the VSN serving them.
+    by_vsn: BTreeMap<VsnId, BTreeSet<(HostId, FlowId)>>,
+}
+
+impl<P> Default for InflightTable<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> InflightTable<P> {
+    /// An empty table.
+    pub fn new() -> Self {
+        InflightTable {
+            flows: BTreeMap::new(),
+            by_vsn: BTreeMap::new(),
+        }
+    }
+
+    /// Number of in-flight flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// No flows in flight?
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Track a flow. `vsn` is `Some` only for flows a node crash should
+    /// cancel (response flows); downloads and floods pass `None` and are
+    /// reachable only through their host.
+    pub fn insert(&mut self, host: HostId, flow: FlowId, vsn: Option<VsnId>, payload: P) {
+        if let Some((Some(old), _)) = self.flows.insert((host, flow), (vsn, payload)) {
+            // Overwrite: drop the old tag's index entry before adding
+            // the new one, or a retag would leave the index stale.
+            self.unindex(old, (host, flow));
+        }
+        if let Some(v) = vsn {
+            self.by_vsn.entry(v).or_default().insert((host, flow));
+        }
+    }
+
+    /// Remove one flow (normal completion), returning its payload.
+    pub fn remove(&mut self, host: HostId, flow: FlowId) -> Option<P> {
+        let (vsn, payload) = self.flows.remove(&(host, flow))?;
+        if let Some(v) = vsn {
+            self.unindex(v, (host, flow));
+        }
+        Some(payload)
+    }
+
+    /// Remove and return every flow on `host`, in ascending
+    /// `(HostId, FlowId)` order — the deterministic cancellation order
+    /// PR 2 established. O(flows-on-host · log n).
+    pub fn drain_host(&mut self, host: HostId) -> Vec<((HostId, FlowId), P)> {
+        let keys: Vec<(HostId, FlowId)> = self
+            .flows
+            .range((host, FlowId(0))..=(host, FlowId(u64::MAX)))
+            .map(|(k, _)| *k)
+            .collect();
+        let mut out = Vec::with_capacity(keys.len());
+        for k in keys {
+            let (vsn, payload) = self.flows.remove(&k).expect("key just enumerated");
+            if let Some(v) = vsn {
+                self.unindex(v, k);
+            }
+            out.push((k, payload));
+        }
+        out
+    }
+
+    /// Remove and return every flow tagged with `vsn`, in ascending
+    /// `(HostId, FlowId)` order — identical to what a full scan of the
+    /// primary map would yield. O(flows-on-vsn · log n).
+    pub fn drain_vsn(&mut self, vsn: VsnId) -> Vec<((HostId, FlowId), P)> {
+        let Some(keys) = self.by_vsn.remove(&vsn) else {
+            return Vec::new();
+        };
+        let mut out = Vec::with_capacity(keys.len());
+        for k in keys {
+            let (_, payload) = self.flows.remove(&k).expect("index entry has a flow");
+            out.push((k, payload));
+        }
+        out
+    }
+
+    /// Iterate all flows in ascending `(HostId, FlowId)` order.
+    pub fn iter(&self) -> impl Iterator<Item = (&(HostId, FlowId), &P)> {
+        self.flows.iter().map(|(k, (_, p))| (k, p))
+    }
+
+    fn unindex(&mut self, vsn: VsnId, key: (HostId, FlowId)) {
+        if let Some(set) = self.by_vsn.get_mut(&vsn) {
+            set.remove(&key);
+            if set.is_empty() {
+                self.by_vsn.remove(&vsn);
+            }
+        }
+    }
+
+    /// Verify the secondary index against the primary map and panic on
+    /// any divergence. Driven by the differential oracle tests.
+    #[doc(hidden)]
+    pub fn assert_coherent(&self) {
+        let mut expect: BTreeMap<VsnId, BTreeSet<(HostId, FlowId)>> = BTreeMap::new();
+        for (k, (vsn, _)) in &self.flows {
+            if let Some(v) = vsn {
+                expect.entry(*v).or_default().insert(*k);
+            }
+        }
+        assert_eq!(self.by_vsn, expect, "by_vsn index drift");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(n: u32) -> HostId {
+        HostId(n)
+    }
+
+    #[test]
+    fn drain_host_takes_only_that_host_in_order() {
+        let mut t = InflightTable::new();
+        t.insert(h(2), FlowId(5), None, "b5");
+        t.insert(h(1), FlowId(9), Some(VsnId(1)), "a9");
+        t.insert(h(2), FlowId(1), Some(VsnId(1)), "b1");
+        t.insert(h(1), FlowId(3), None, "a3");
+        let drained = t.drain_host(h(2));
+        let keys: Vec<_> = drained.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![(h(2), FlowId(1)), (h(2), FlowId(5))]);
+        assert_eq!(t.len(), 2);
+        t.assert_coherent();
+    }
+
+    #[test]
+    fn drain_vsn_takes_only_tagged_flows_in_order() {
+        let mut t = InflightTable::new();
+        t.insert(h(2), FlowId(5), Some(VsnId(7)), "b5");
+        t.insert(h(1), FlowId(9), Some(VsnId(7)), "a9");
+        t.insert(h(1), FlowId(3), Some(VsnId(8)), "a3");
+        t.insert(h(1), FlowId(4), None, "a4");
+        let drained = t.drain_vsn(VsnId(7));
+        let keys: Vec<_> = drained.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![(h(1), FlowId(9)), (h(2), FlowId(5))]);
+        assert_eq!(t.drain_vsn(VsnId(7)), Vec::new());
+        assert_eq!(t.len(), 2);
+        t.assert_coherent();
+    }
+
+    #[test]
+    fn remove_unindexes() {
+        let mut t = InflightTable::new();
+        t.insert(h(1), FlowId(1), Some(VsnId(3)), ());
+        assert_eq!(t.remove(h(1), FlowId(1)), Some(()));
+        assert_eq!(t.remove(h(1), FlowId(1)), None);
+        assert!(t.is_empty());
+        assert!(t.drain_vsn(VsnId(3)).is_empty());
+        t.assert_coherent();
+    }
+}

@@ -29,6 +29,7 @@ pub mod billing;
 pub mod config;
 pub mod error;
 pub mod federation;
+pub mod inflight;
 pub mod master;
 pub mod monitoring;
 pub mod partition;

@@ -903,13 +903,9 @@ impl SodaMaster {
     /// Capacity currently healthy in the service's switch (machine
     /// instances actually in rotation). Zero before the switch exists.
     pub fn healthy_capacity(&self, service: ServiceId) -> u32 {
-        self.switches.get(&service).map_or(0, |sw| {
-            sw.backends()
-                .iter()
-                .filter(|b| b.healthy)
-                .map(|b| b.capacity)
-                .sum()
-        })
+        self.switches
+            .get(&service)
+            .map_or(0, |sw| sw.healthy_capacity())
     }
 
     /// Place `capacity` replacement instances for `service` on a host
@@ -1312,19 +1308,20 @@ mod tests {
         // All traffic now flows to the healthy tacoma node.
         for _ in 0..10 {
             let i = sw.route(SimTime::ZERO).unwrap();
-            let b = &sw.backends()[i];
-            assert_ne!(b.vsn, vsn);
-            sw.complete(i, SimDuration::from_millis(1), SimTime::ZERO);
+            let picked = sw.backends()[i].vsn;
+            assert_ne!(picked, vsn);
+            sw.complete(picked, SimDuration::from_millis(1), SimTime::ZERO);
         }
         master.node_recovered(reply.service, vsn);
         let sw = master.switch_mut(reply.service).unwrap();
         let mut saw_recovered = false;
         for _ in 0..10 {
             let i = sw.route(SimTime::ZERO).unwrap();
-            if sw.backends()[i].vsn == vsn {
+            let picked = sw.backends()[i].vsn;
+            if picked == vsn {
                 saw_recovered = true;
             }
-            sw.complete(i, SimDuration::from_millis(1), SimTime::ZERO);
+            sw.complete(picked, SimDuration::from_millis(1), SimTime::ZERO);
         }
         assert!(saw_recovered);
     }
@@ -1369,7 +1366,7 @@ mod tests {
         let sw = master.switch_mut(svc).unwrap();
         let i = sw.route(SimTime::ZERO).unwrap();
         assert_eq!(sw.backends()[i].vsn, out.new_vsn);
-        sw.complete(i, SimDuration::from_millis(1), SimTime::ZERO);
+        sw.complete(out.new_vsn, SimDuration::from_millis(1), SimTime::ZERO);
     }
 
     #[test]

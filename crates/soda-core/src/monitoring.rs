@@ -211,7 +211,8 @@ mod tests {
         for _ in 0..6 {
             let sw = master.switch_mut(svc).unwrap();
             let i = sw.route(SimTime::ZERO).unwrap();
-            sw.complete(i, SimDuration::from_millis(10), SimTime::ZERO);
+            let vsn = sw.backends()[i].vsn;
+            sw.complete(vsn, SimDuration::from_millis(10), SimTime::ZERO);
         }
         // Crash the tacoma node.
         let tacoma_vsn = master.service(svc).unwrap().nodes[1].vsn;
@@ -239,7 +240,8 @@ mod tests {
             for _ in 0..9 {
                 let sw = master.switch_mut(svc).unwrap();
                 let i = sw.route(SimTime::ZERO).unwrap();
-                sw.complete(i, SimDuration::from_millis(25), SimTime::ZERO);
+                let vsn = sw.backends()[i].vsn;
+                sw.complete(vsn, SimDuration::from_millis(25), SimTime::ZERO);
             }
         }
         let (mut with_obs, d1, svc1) = setup();

@@ -17,6 +17,7 @@ use std::fmt;
 
 use soda_hup::daemon::SodaDaemon;
 use soda_sim::SimTime;
+use soda_vmm::vsn::VsnId;
 
 use crate::error::SodaError;
 use crate::master::SodaMaster;
@@ -111,16 +112,18 @@ pub fn teardown_partitioned(
 }
 
 /// Route one request to a named component's switch; returns the backend
-/// index chosen, for completion bookkeeping by the caller.
+/// VSN chosen, for completion bookkeeping by the caller (stable across
+/// concurrent backend removals, unlike an index).
 pub fn route_component(
     master: &mut SodaMaster,
     partition: &PartitionedService,
     component: &str,
     now: SimTime,
-) -> Option<(ServiceId, usize)> {
+) -> Option<(ServiceId, VsnId)> {
     let svc = partition.component(component)?;
-    let idx = master.switch_mut(svc)?.route(now)?;
-    Some((svc, idx))
+    let sw = master.switch_mut(svc)?;
+    let idx = sw.route(now)?;
+    Some((svc, sw.backends()[idx].vsn))
 }
 
 #[cfg(test)]
@@ -243,9 +246,9 @@ mod tests {
         // A request path: web → app → db, each hop through its own
         // switch.
         for tier in ["web", "app", "db"] {
-            let (svc, idx) = route_component(&mut master, &part, tier, SimTime::ZERO).unwrap();
+            let (svc, vsn) = route_component(&mut master, &part, tier, SimTime::ZERO).unwrap();
             master.switch_mut(svc).unwrap().complete(
-                idx,
+                vsn,
                 SimDuration::from_millis(2),
                 SimTime::ZERO,
             );

@@ -94,6 +94,16 @@ pub struct BestFit;
 #[derive(Clone, Copy, Debug, Default)]
 pub struct WorstFit;
 
+/// Best/worst-fit placement over a headroom-ordered index instead of a
+/// per-instance linear scan: O((H + n) log H) where the naive loop is
+/// O(n·H). The index is a `BTreeSet<(headroom, host position)>` holding
+/// only hosts that still fit ≥ 1 instance; placing an instance updates
+/// exactly one entry (only the chosen host's headroom changes).
+///
+/// Tie-breaking matches the naive scan bit-for-bit — the lowest host
+/// *position* among equal-headroom hosts wins, for both directions —
+/// which `oracle::one_at_a_time_naive` and the differential proptests
+/// below pin down.
 fn one_at_a_time(
     n: u32,
     m: &ResourceVector,
@@ -102,33 +112,83 @@ fn one_at_a_time(
 ) -> Option<Vec<NodePlan>> {
     let mut avail: Vec<(HostId, ResourceVector)> = hosts.to_vec();
     let mut counts: Vec<(HostId, u32)> = hosts.iter().map(|&(id, _)| (id, 0)).collect();
-    for _ in 0..n {
-        // Headroom measured in whole instances of m.
-        let mut best: Option<(usize, u32)> = None;
-        for (i, &(_, a)) in avail.iter().enumerate() {
+    // Headroom measured in whole instances of m.
+    let mut index: std::collections::BTreeSet<(u32, usize)> = avail
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &(_, a))| {
             let k = a.instances_of(m);
-            if k == 0 {
-                continue;
-            }
-            let better = match best {
-                None => true,
-                Some((_, bk)) => {
-                    if prefer_most_headroom {
-                        k > bk
-                    } else {
-                        k < bk
-                    }
-                }
-            };
-            if better {
-                best = Some((i, k));
-            }
-        }
-        let (i, _) = best?;
+            (k > 0).then_some((k, i))
+        })
+        .collect();
+    for _ in 0..n {
+        let &(k, i) = if prefer_most_headroom {
+            // Most headroom, lowest position on ties: the max headroom
+            // is at the back of the index, but equal-headroom entries
+            // sort by position, so take the *first* entry at that key.
+            let &(kmax, _) = index.last()?;
+            index
+                .range((kmax, 0)..)
+                .next()
+                .expect("kmax came from the index")
+        } else {
+            // Least headroom, lowest position on ties: simply the front.
+            index.first()?
+        };
+        index.remove(&(k, i));
         avail[i].1 -= *m;
         counts[i].1 += 1;
+        let k_next = avail[i].1.instances_of(m);
+        if k_next > 0 {
+            index.insert((k_next, i));
+        }
     }
     Some(finish(counts))
+}
+
+/// Naive reference implementations, kept as differential-test oracles.
+/// Not part of the API; exercised by `tests/scale_oracle.rs`.
+#[doc(hidden)]
+pub mod oracle {
+    use super::{finish, HostId, NodePlan, ResourceVector};
+
+    /// The original O(n·H) linear-scan best/worst-fit the ordered-index
+    /// implementation must match decision-for-decision.
+    pub fn one_at_a_time_naive(
+        n: u32,
+        m: &ResourceVector,
+        hosts: &[(HostId, ResourceVector)],
+        prefer_most_headroom: bool,
+    ) -> Option<Vec<NodePlan>> {
+        let mut avail: Vec<(HostId, ResourceVector)> = hosts.to_vec();
+        let mut counts: Vec<(HostId, u32)> = hosts.iter().map(|&(id, _)| (id, 0)).collect();
+        for _ in 0..n {
+            let mut best: Option<(usize, u32)> = None;
+            for (i, &(_, a)) in avail.iter().enumerate() {
+                let k = a.instances_of(m);
+                if k == 0 {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some((_, bk)) => {
+                        if prefer_most_headroom {
+                            k > bk
+                        } else {
+                            k < bk
+                        }
+                    }
+                };
+                if better {
+                    best = Some((i, k));
+                }
+            }
+            let (i, _) = best?;
+            avail[i].1 -= *m;
+            counts[i].1 += 1;
+        }
+        Some(finish(counts))
+    }
 }
 
 impl PlacementPolicy for BestFit {
@@ -321,6 +381,32 @@ mod tests {
                 .map(|p| p.place(n, &m, &hosts).is_some())
                 .collect();
             prop_assert!(results.iter().all(|&r| r == (n <= k)));
+        }
+
+        /// Differential oracle: the ordered-index placement and the
+        /// naive linear scan make identical decisions (same hosts, same
+        /// instance counts, same order) for both fit directions —
+        /// including ties, zero-fit hosts, and infeasible demands.
+        #[test]
+        fn prop_indexed_matches_naive_scan(
+            n in 0u32..16,
+            hosts in proptest::collection::vec((0u32..6, 0u32..6, 0u32..6, 0u32..6), 0..8),
+            prefer_most in any::<bool>()
+        ) {
+            let m = ResourceVector::new(512, 256, 1024, 10);
+            let host_list: Vec<(HostId, ResourceVector)> = hosts
+                .iter()
+                .enumerate()
+                .map(|(i, &(a, b, c, d))| {
+                    // Duplicate ids on purpose (i/2): tie-breaking must
+                    // be positional, not id-based.
+                    (HostId((i / 2) as u32),
+                     ResourceVector::new(512 * a, 256 * b, 1024 * c, 10 * d))
+                })
+                .collect();
+            let fast = one_at_a_time(n, &m, &host_list, prefer_most);
+            let naive = oracle::one_at_a_time_naive(n, &m, &host_list, prefer_most);
+            prop_assert_eq!(fast, naive);
         }
     }
 }

@@ -12,7 +12,7 @@
 use soda_sim::SimRng;
 
 /// What a policy sees about each backend at pick time.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BackendView {
     /// Relative capacity (machine instances `M`).
     pub capacity: u32,

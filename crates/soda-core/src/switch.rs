@@ -6,6 +6,23 @@
 //! configuration file, the (replaceable) switching policy, and the
 //! per-backend runtime the experiments measure: requests served per node
 //! and per-node mean response time — exactly Figure 4's two panels.
+//!
+//! ## Hot-path discipline
+//!
+//! [`ServiceSwitch::route`] runs once per client request, so it must not
+//! allocate: the policy is handed a *view cache* (`views`) that mirrors
+//! the backend runtimes and is updated incrementally by every mutating
+//! operation, never rebuilt. Fleet-level aggregates (healthy capacity,
+//! total outstanding/served) are likewise maintained incrementally so
+//! the Master's capacity queries are O(1) instead of a per-call scan.
+//! [`ServiceSwitch::assert_cache_coherent`] recomputes everything from
+//! scratch and is cross-checked by the differential oracle tests.
+//!
+//! Completion accounting is keyed by [`VsnId`], not by backend index:
+//! indices shift when [`ServiceSwitch::remove_backend`] fires while
+//! requests are still in flight, and a stale index would debit the
+//! wrong backend. A completion or abort for a VSN that has already left
+//! the rotation is a no-op.
 
 use soda_net::addr::Ipv4Addr;
 use soda_sim::{Event, Labels, Obs, SimDuration, SimTime, Summary};
@@ -59,6 +76,15 @@ pub struct ServiceSwitch {
     config: ServiceConfigFile,
     policy: Box<dyn SwitchPolicy>,
     backends: Vec<BackendRuntime>,
+    /// Per-request view of `backends`, maintained in lockstep so
+    /// `route()` never rebuilds (or allocates) it.
+    views: Vec<BackendView>,
+    /// Sum of `capacity` over healthy backends, maintained incrementally.
+    healthy_capacity: u32,
+    /// Sum of `outstanding` over all backends, maintained incrementally.
+    total_outstanding: u32,
+    /// Sum of `served` over all backends, maintained incrementally.
+    total_served: u64,
     dropped: u64,
     ewma_alpha: f64,
     obs: Obs,
@@ -73,6 +99,10 @@ impl ServiceSwitch {
             config: ServiceConfigFile::new(),
             policy: Box::new(WeightedRoundRobin::new()),
             backends: Vec::new(),
+            views: Vec::new(),
+            healthy_capacity: 0,
+            total_outstanding: 0,
+            total_served: 0,
             dropped: 0,
             ewma_alpha: 0.2,
             obs: Obs::disabled(),
@@ -108,7 +138,7 @@ impl ServiceSwitch {
     /// Add a backend node (Master, at creation or growth-resize).
     pub fn add_backend(&mut self, vsn: VsnId, ip: Ipv4Addr, port: u16, capacity: u32) {
         self.config.add_backend(ip, port, capacity);
-        self.backends.push(BackendRuntime {
+        let b = BackendRuntime {
             vsn,
             ip,
             port,
@@ -118,18 +148,27 @@ impl ServiceSwitch {
             served: 0,
             ewma_response: 0.0,
             response_stats: Summary::new(),
-        });
+        };
+        self.views.push(b.view());
+        self.healthy_capacity += capacity;
+        self.backends.push(b);
     }
 
     /// Remove a backend node (shrink-resize / teardown). Returns whether
-    /// it existed.
+    /// it existed. In-flight requests on the removed backend leave with
+    /// it; their later completions/aborts become no-ops.
     pub fn remove_backend(&mut self, vsn: VsnId) -> bool {
         let Some(pos) = self.backends.iter().position(|b| b.vsn == vsn) else {
             return false;
         };
-        let ip = self.backends[pos].ip;
-        self.backends.remove(pos);
-        self.config.remove_backend(ip);
+        let b = self.backends.remove(pos);
+        self.views.remove(pos);
+        if b.healthy {
+            self.healthy_capacity -= b.capacity;
+        }
+        self.total_outstanding -= b.outstanding;
+        self.total_served -= b.served;
+        self.config.remove_backend(b.ip);
         true
     }
 
@@ -137,10 +176,15 @@ impl ServiceSwitch {
     /// config file is updated to match (§3.4: "in either case, the
     /// service configuration file will be updated by the SODA Master").
     pub fn set_capacity(&mut self, vsn: VsnId, capacity: u32) -> bool {
-        let Some(b) = self.backends.iter_mut().find(|b| b.vsn == vsn) else {
+        let Some(i) = self.backends.iter().position(|b| b.vsn == vsn) else {
             return false;
         };
+        let b = &mut self.backends[i];
+        if b.healthy {
+            self.healthy_capacity = self.healthy_capacity - b.capacity + capacity;
+        }
         b.capacity = capacity;
+        self.views[i].capacity = capacity;
         let ip = b.ip;
         self.config.set_capacity(ip, capacity);
         true
@@ -148,23 +192,32 @@ impl ServiceSwitch {
 
     /// Mark a backend up/down (node crash / revival).
     pub fn set_health(&mut self, vsn: VsnId, healthy: bool) -> bool {
-        match self.backends.iter_mut().find(|b| b.vsn == vsn) {
-            Some(b) => {
-                b.healthy = healthy;
-                true
+        let Some(i) = self.backends.iter().position(|b| b.vsn == vsn) else {
+            return false;
+        };
+        let b = &mut self.backends[i];
+        if b.healthy != healthy {
+            if healthy {
+                self.healthy_capacity += b.capacity;
+            } else {
+                self.healthy_capacity -= b.capacity;
             }
-            None => false,
         }
+        b.healthy = healthy;
+        self.views[i].healthy = healthy;
+        true
     }
 
     /// Route one request: the policy picks a backend, the switch counts
     /// it in flight. Returns the backend index, or `None` (counted as a
-    /// drop) when the policy yields nothing.
+    /// drop) when the policy yields nothing. Allocation-free: the policy
+    /// reads the incrementally maintained view cache.
     pub fn route(&mut self, now: SimTime) -> Option<usize> {
-        let views: Vec<BackendView> = self.backends.iter().map(|b| b.view()).collect();
-        match self.policy.pick(&views) {
+        match self.policy.pick(&self.views) {
             Some(i) if i < self.backends.len() => {
                 self.backends[i].outstanding += 1;
+                self.views[i].outstanding += 1;
+                self.total_outstanding += 1;
                 if self.obs.is_enabled() {
                     let labels = self.labels(i);
                     self.obs.record(
@@ -206,14 +259,20 @@ impl ServiceSwitch {
         }
     }
 
-    /// Record a completed request on backend `idx` with the observed
-    /// response time.
-    pub fn complete(&mut self, idx: usize, response_time: SimDuration, now: SimTime) {
-        let Some(b) = self.backends.get_mut(idx) else {
+    /// Record a completed request on the backend serving `vsn` with the
+    /// observed response time. A no-op when the backend has since left
+    /// the rotation (`remove_backend` raced the response).
+    pub fn complete(&mut self, vsn: VsnId, response_time: SimDuration, now: SimTime) {
+        let Some(idx) = self.backends.iter().position(|b| b.vsn == vsn) else {
             return;
         };
-        b.outstanding = b.outstanding.saturating_sub(1);
+        let b = &mut self.backends[idx];
+        if b.outstanding > 0 {
+            b.outstanding -= 1;
+            self.total_outstanding -= 1;
+        }
         b.served += 1;
+        self.total_served += 1;
         let rt = response_time.as_secs_f64();
         b.ewma_response = if b.served == 1 {
             rt
@@ -221,6 +280,8 @@ impl ServiceSwitch {
             (1.0 - self.ewma_alpha) * b.ewma_response + self.ewma_alpha * rt
         };
         b.response_stats.record(rt);
+        self.views[idx].outstanding = b.outstanding;
+        self.views[idx].ewma_response = b.ewma_response;
         if self.obs.is_enabled() {
             let labels = self.labels(idx);
             let b = &self.backends[idx];
@@ -240,29 +301,35 @@ impl ServiceSwitch {
     }
 
     /// A failed request (backend crashed mid-flight): decrement
-    /// in-flight without recording a completion.
-    pub fn abort(&mut self, idx: usize, now: SimTime) {
-        if let Some(b) = self.backends.get_mut(idx) {
-            b.outstanding = b.outstanding.saturating_sub(1);
+    /// in-flight without recording a completion. A no-op when the
+    /// backend has since been removed.
+    pub fn abort(&mut self, vsn: VsnId, now: SimTime) {
+        let Some(idx) = self.backends.iter().position(|b| b.vsn == vsn) else {
+            return;
+        };
+        let b = &mut self.backends[idx];
+        if b.outstanding > 0 {
+            b.outstanding -= 1;
+            self.total_outstanding -= 1;
         }
+        self.views[idx].outstanding = b.outstanding;
         if self.obs.is_enabled() {
-            if let Some(b) = self.backends.get(idx) {
-                self.obs.record(
-                    now,
-                    Event::RequestFailed {
-                        service: self.service.0,
-                        vsn: b.vsn.0,
-                    },
-                );
-                self.obs
-                    .counter_add("switch", "aborted", self.labels(idx), 1);
-                self.obs.gauge_set(
-                    "switch",
-                    "outstanding",
-                    self.labels(idx),
-                    f64::from(b.outstanding),
-                );
-            }
+            let b = &self.backends[idx];
+            self.obs.record(
+                now,
+                Event::RequestFailed {
+                    service: self.service.0,
+                    vsn: b.vsn.0,
+                },
+            );
+            self.obs
+                .counter_add("switch", "aborted", self.labels(idx), 1);
+            self.obs.gauge_set(
+                "switch",
+                "outstanding",
+                self.labels(idx),
+                f64::from(b.outstanding),
+            );
         }
     }
 
@@ -281,6 +348,22 @@ impl ServiceSwitch {
         self.dropped
     }
 
+    /// Capacity (machine instances) currently healthy and in rotation.
+    /// O(1): maintained incrementally by every backend mutation.
+    pub fn healthy_capacity(&self) -> u32 {
+        self.healthy_capacity
+    }
+
+    /// Requests currently in flight across all backends. O(1).
+    pub fn total_outstanding(&self) -> u32 {
+        self.total_outstanding
+    }
+
+    /// Requests completed across all backends. O(1).
+    pub fn total_served(&self) -> u64 {
+        self.total_served
+    }
+
     /// Requests served per backend.
     pub fn served_counts(&self) -> Vec<u64> {
         self.backends.iter().map(|b| b.served).collect()
@@ -292,6 +375,28 @@ impl ServiceSwitch {
             .iter()
             .map(|b| b.response_stats.mean())
             .collect()
+    }
+
+    /// Recompute the view cache and aggregates from scratch and panic on
+    /// any divergence from the incrementally maintained state. This is
+    /// the oracle the differential tests drive after every random op.
+    #[doc(hidden)]
+    pub fn assert_cache_coherent(&self) {
+        assert_eq!(self.views.len(), self.backends.len(), "view cache length");
+        for (i, b) in self.backends.iter().enumerate() {
+            assert_eq!(self.views[i], b.view(), "view cache drift at {i}");
+        }
+        let healthy: u32 = self
+            .backends
+            .iter()
+            .filter(|b| b.healthy)
+            .map(|b| b.capacity)
+            .sum();
+        assert_eq!(self.healthy_capacity, healthy, "healthy_capacity drift");
+        let outstanding: u32 = self.backends.iter().map(|b| b.outstanding).sum();
+        assert_eq!(self.total_outstanding, outstanding, "outstanding drift");
+        let served: u64 = self.backends.iter().map(|b| b.served).sum();
+        assert_eq!(self.total_served, served, "served drift");
     }
 }
 
@@ -318,6 +423,12 @@ mod tests {
         s
     }
 
+    /// Route and return the chosen backend's VSN.
+    fn route_vsn(s: &mut ServiceSwitch) -> Option<VsnId> {
+        let i = s.route(SimTime::ZERO)?;
+        Some(s.backends()[i].vsn)
+    }
+
     #[test]
     fn default_policy_is_wrr_and_config_matches_table3() {
         let s = switch_2_1();
@@ -332,24 +443,27 @@ mod tests {
     fn routing_respects_2_to_1() {
         let mut s = switch_2_1();
         for _ in 0..300 {
-            let i = s.route(SimTime::ZERO).unwrap();
-            s.complete(i, SimDuration::from_millis(10), SimTime::ZERO);
+            let v = route_vsn(&mut s).unwrap();
+            s.complete(v, SimDuration::from_millis(10), SimTime::ZERO);
         }
         assert_eq!(s.served_counts(), vec![200, 100]);
+        assert_eq!(s.total_served(), 300);
         assert_eq!(s.dropped(), 0);
+        s.assert_cache_coherent();
     }
 
     #[test]
     fn outstanding_and_completion_accounting() {
         let mut s = switch_2_1();
-        let a = s.route(SimTime::ZERO).unwrap();
-        let b = s.route(SimTime::ZERO).unwrap();
-        assert_eq!(s.backends().iter().map(|x| x.outstanding).sum::<u32>(), 2);
+        let a = route_vsn(&mut s).unwrap();
+        let b = route_vsn(&mut s).unwrap();
+        assert_eq!(s.total_outstanding(), 2);
         s.complete(a, SimDuration::from_millis(100), SimTime::ZERO);
         s.abort(b, SimTime::ZERO);
-        assert_eq!(s.backends().iter().map(|x| x.outstanding).sum::<u32>(), 0);
+        assert_eq!(s.total_outstanding(), 0);
         let total_served: u64 = s.served_counts().iter().sum();
         assert_eq!(total_served, 1, "aborts are not completions");
+        s.assert_cache_coherent();
     }
 
     #[test]
@@ -359,7 +473,7 @@ mod tests {
             let i = s.index_of(VsnId(10)).unwrap();
             s.backends()[i].view(); // no-op, exercise view
             s.route(SimTime::ZERO);
-            s.complete(0, SimDuration::from_millis(ms), SimTime::ZERO);
+            s.complete(VsnId(10), SimDuration::from_millis(ms), SimTime::ZERO);
         }
         let means = s.mean_responses();
         assert!((means[0] - 0.020).abs() < 1e-9);
@@ -370,15 +484,18 @@ mod tests {
     fn health_routing() {
         let mut s = switch_2_1();
         s.set_health(VsnId(10), false);
+        assert_eq!(s.healthy_capacity(), 1);
         for _ in 0..10 {
-            let i = s.route(SimTime::ZERO).unwrap();
-            assert_eq!(i, s.index_of(VsnId(11)).unwrap());
-            s.complete(i, SimDuration::from_millis(1), SimTime::ZERO);
+            let v = route_vsn(&mut s).unwrap();
+            assert_eq!(v, VsnId(11));
+            s.complete(v, SimDuration::from_millis(1), SimTime::ZERO);
         }
         s.set_health(VsnId(11), false);
+        assert_eq!(s.healthy_capacity(), 0);
         assert_eq!(s.route(SimTime::ZERO), None);
         assert_eq!(s.dropped(), 1);
         assert!(!s.set_health(VsnId(99), true));
+        s.assert_cache_coherent();
     }
 
     #[test]
@@ -386,16 +503,19 @@ mod tests {
         let mut s = switch_2_1();
         assert!(s.set_capacity(VsnId(11), 2));
         assert!(s.config().to_string().contains("128.10.9.126 8080 2"));
+        assert_eq!(s.healthy_capacity(), 4);
         for _ in 0..100 {
-            let i = s.route(SimTime::ZERO).unwrap();
-            s.complete(i, SimDuration::from_millis(1), SimTime::ZERO);
+            let v = route_vsn(&mut s).unwrap();
+            s.complete(v, SimDuration::from_millis(1), SimTime::ZERO);
         }
         assert_eq!(s.served_counts(), vec![50, 50]);
         // Remove a node entirely.
         assert!(s.remove_backend(VsnId(10)));
         assert!(!s.remove_backend(VsnId(10)));
         assert_eq!(s.config().len(), 1);
+        assert_eq!(s.healthy_capacity(), 2);
         assert_eq!(s.route(SimTime::ZERO), Some(0));
+        s.assert_cache_coherent();
     }
 
     #[test]
@@ -425,5 +545,98 @@ mod tests {
         s.replace_policy(Box::new(Broken));
         assert_eq!(s.route(SimTime::ZERO), None);
         assert_eq!(s.dropped(), 1);
+    }
+
+    // --- coverage gaps: the corners the scale refactor must not bend ---
+
+    #[test]
+    fn abort_on_last_outstanding_request_reaches_zero_and_stays_there() {
+        let mut s = switch_2_1();
+        let v = route_vsn(&mut s).unwrap();
+        assert_eq!(s.total_outstanding(), 1);
+        s.abort(v, SimTime::ZERO);
+        assert_eq!(s.total_outstanding(), 0);
+        // A duplicate abort for the same request must not underflow.
+        s.abort(v, SimTime::ZERO);
+        assert_eq!(s.total_outstanding(), 0);
+        assert_eq!(s.backends()[s.index_of(v).unwrap()].outstanding, 0);
+        s.assert_cache_coherent();
+    }
+
+    #[test]
+    fn remove_backend_with_requests_outstanding_keeps_books_straight() {
+        let mut s = switch_2_1();
+        // Load both backends.
+        let mut picked = Vec::new();
+        for _ in 0..3 {
+            picked.push(route_vsn(&mut s).unwrap());
+        }
+        assert_eq!(s.total_outstanding(), 3);
+        // Remove the heavy backend while its requests are in flight: its
+        // outstanding count leaves the aggregates with it.
+        let gone = VsnId(10);
+        let in_flight_on_gone = picked.iter().filter(|&&v| v == gone).count() as u32;
+        assert!(s.remove_backend(gone));
+        assert_eq!(s.total_outstanding(), 3 - in_flight_on_gone);
+        s.assert_cache_coherent();
+        // The survivor still routes.
+        assert!(route_vsn(&mut s).is_some());
+    }
+
+    #[test]
+    fn complete_after_remove_is_a_no_op() {
+        // Regression: with index-keyed accounting, completing a request
+        // routed to a removed backend debited whichever backend shifted
+        // into its slot. Keyed by VsnId it must be a no-op.
+        let mut s = switch_2_1();
+        let v10 = route_vsn(&mut s).unwrap();
+        assert_eq!(v10, VsnId(10), "WRR 2:1 opens on the heavy backend");
+        let before_served = s.total_served();
+        assert!(s.remove_backend(VsnId(10)));
+        let survivor_outstanding = s.backends()[0].outstanding;
+        s.complete(VsnId(10), SimDuration::from_millis(5), SimTime::ZERO);
+        s.abort(VsnId(10), SimTime::ZERO);
+        assert_eq!(s.total_served(), before_served, "no phantom completion");
+        assert_eq!(
+            s.backends()[0].outstanding,
+            survivor_outstanding,
+            "survivor must not be debited for the removed backend's request"
+        );
+        s.assert_cache_coherent();
+    }
+
+    #[test]
+    fn set_capacity_zero_takes_backend_out_of_wrr_rotation() {
+        let mut s = switch_2_1();
+        assert!(s.set_capacity(VsnId(10), 0));
+        assert_eq!(s.healthy_capacity(), 1);
+        for _ in 0..10 {
+            let v = route_vsn(&mut s).unwrap();
+            assert_eq!(v, VsnId(11), "zero-capacity backend gets no traffic");
+            s.complete(v, SimDuration::from_millis(1), SimTime::ZERO);
+        }
+        // Both at zero: nothing routes, drops count.
+        assert!(s.set_capacity(VsnId(11), 0));
+        assert_eq!(s.route(SimTime::ZERO), None);
+        assert_eq!(s.dropped(), 1);
+        s.assert_cache_coherent();
+    }
+
+    #[test]
+    fn policy_replacement_mid_flight_preserves_outstanding_accounting() {
+        let mut s = switch_2_1();
+        let a = route_vsn(&mut s).unwrap();
+        let b = route_vsn(&mut s).unwrap();
+        assert_eq!(s.total_outstanding(), 2);
+        // Swap the policy while both requests are in flight.
+        s.replace_policy(Box::new(LeastConnections::new()));
+        // In-flight work completes against the same books.
+        s.complete(a, SimDuration::from_millis(2), SimTime::ZERO);
+        s.complete(b, SimDuration::from_millis(2), SimTime::ZERO);
+        assert_eq!(s.total_outstanding(), 0);
+        assert_eq!(s.total_served(), 2);
+        // And the new policy routes with the view cache intact.
+        assert!(route_vsn(&mut s).is_some());
+        s.assert_cache_coherent();
     }
 }

@@ -17,7 +17,7 @@
 //! Figures 4 and 6 are measurements of this pipeline; the DDoS and
 //! attack-isolation experiments perturb it.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 
 use soda_hup::daemon::{PrimingTicket, SodaDaemon};
 use soda_hup::host::HostId;
@@ -32,6 +32,7 @@ use soda_vmm::vsn::VsnId;
 use crate::agent::SodaAgent;
 use crate::api::CreationReply;
 use crate::error::SodaError;
+use crate::inflight::InflightTable;
 use crate::master::SodaMaster;
 use crate::recovery::{self, RecoveryManager};
 use crate::service::{ServiceId, ServiceSpec};
@@ -77,7 +78,10 @@ enum FlowPurpose {
     Response {
         service: ServiceId,
         vsn: VsnId,
-        backend_idx: Option<usize>,
+        /// Did this request pass through the service switch (and thus
+        /// hold an outstanding slot there)? Direct-dispatch requests
+        /// (the Figure 6 baselines) bypass the switch entirely.
+        routed: bool,
         issued: SimTime,
         /// When the backend's CPU stage finished (the response span —
         /// shaper wait + NIC transfer — starts here).
@@ -162,10 +166,16 @@ pub struct SodaWorld {
     /// heartbeats and sever in-flight responses during chaos runs.
     pub control: ControlPlane,
     node_runtimes: HashMap<VsnId, NodeRuntime>,
-    /// In-flight flows, keyed for deterministic iteration: faults that
-    /// sever many flows at once must cancel them in a reproducible
-    /// order or the event log diverges across runs of the same seed.
-    inflight: BTreeMap<(HostId, FlowId), FlowPurpose>,
+    /// In-flight flows, host-major keyed for deterministic iteration:
+    /// faults that sever many flows at once must cancel them in a
+    /// reproducible order or the event log diverges across runs of the
+    /// same seed. VSN-indexed so node crashes cancel in
+    /// O(flows-on-node), not O(all-inflight) — see DESIGN.md §8.
+    inflight: InflightTable<FlowPurpose>,
+    /// Host → position in `daemons`, built once at construction (hosts
+    /// never join or leave a world). Keeps the per-request shaper-admit
+    /// path O(1) instead of scanning the daemon list.
+    daemon_slots: HashMap<HostId, usize>,
     ready_nodes: HashMap<ServiceId, usize>,
     next_request: u64,
     callbacks: HashMap<RequestId, RequestCallback>,
@@ -192,6 +202,11 @@ impl SodaWorld {
                 )
             })
             .collect();
+        let daemon_slots = daemons
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.host.id, i))
+            .collect();
         SodaWorld {
             agent: SodaAgent::new(1.0),
             master: SodaMaster::new(),
@@ -207,7 +222,8 @@ impl SodaWorld {
             recovery: RecoveryManager::default(),
             control: ControlPlane::new(),
             node_runtimes: HashMap::new(),
-            inflight: BTreeMap::new(),
+            inflight: InflightTable::new(),
+            daemon_slots,
             ready_nodes: HashMap::new(),
             next_request: 1,
             callbacks: HashMap::new(),
@@ -251,10 +267,8 @@ impl SodaWorld {
     }
 
     pub(crate) fn daemon_mut(&mut self, host: HostId) -> &mut SodaDaemon {
-        self.daemons
-            .iter_mut()
-            .find(|d| d.host.id == host)
-            .expect("host exists")
+        let slot = *self.daemon_slots.get(&host).expect("host exists");
+        &mut self.daemons[slot]
     }
 
     #[cfg(test)]
@@ -379,14 +393,14 @@ fn pump_nic(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, host: HostId) {
         .expect("nic exists")
         .take_completed();
     for (flow, finish) in completed {
-        let Some(purpose) = world.inflight.remove(&(host, flow)) else {
+        let Some(purpose) = world.inflight.remove(host, flow) else {
             continue;
         };
         match purpose {
             FlowPurpose::Response {
                 service,
                 vsn,
-                backend_idx,
+                routed,
                 issued,
                 cpu_done,
                 dataset,
@@ -408,8 +422,10 @@ fn pump_nic(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, host: HostId) {
                     cpu_done,
                     delivered,
                 );
-                if let (Some(idx), Some(sw)) = (backend_idx, world.master.switch_mut(service)) {
-                    sw.complete(idx, delivered.saturating_since(issued), delivered);
+                if routed {
+                    if let Some(sw) = world.master.switch_mut(service) {
+                        sw.complete(vsn, delivered.saturating_since(issued), delivered);
+                    }
                 }
                 if let Some(cb) = world.callbacks.remove(&request) {
                     cb(world, ctx, Some(&record));
@@ -461,7 +477,13 @@ fn start_flow(
         .get_mut(&host)
         .expect("nic exists")
         .add_flow(bytes, now);
-    world.inflight.insert((host, flow), purpose);
+    // Only response flows are indexed by VSN: a node crash cancels its
+    // responses, while downloads and floods die with their host.
+    let vsn_tag = match &purpose {
+        FlowPurpose::Response { vsn, .. } => Some(*vsn),
+        FlowPurpose::Download { .. } | FlowPurpose::Flood => None,
+    };
+    world.inflight.insert(host, flow, vsn_tag, purpose);
     // Zero-byte flows complete instantly; pump right away. Otherwise arm
     // at the (possibly moved) next completion.
     pump_nic(world, ctx, host);
@@ -682,15 +704,7 @@ pub fn submit_request_with_callback(
     };
     let forward = lan_latency + switch_cycles_time + lan_latency;
     dispatch_to_backend(
-        world,
-        ctx,
-        service,
-        vsn,
-        Some(idx),
-        issued,
-        forward,
-        dataset,
-        request,
+        world, ctx, service, vsn, true, issued, forward, dataset, request,
     );
 }
 
@@ -708,7 +722,7 @@ pub fn submit_request_direct(
     world.next_request += 1;
     let forward = SimDuration::from_micros(200); // client → server, one hop
     dispatch_to_backend(
-        world, ctx, service, vsn, None, issued, forward, dataset, request,
+        world, ctx, service, vsn, false, issued, forward, dataset, request,
     );
 }
 
@@ -726,7 +740,7 @@ fn dispatch_to_backend(
     ctx: &mut Ctx<SodaWorld>,
     service: ServiceId,
     vsn: VsnId,
-    backend_idx: Option<usize>,
+    routed: bool,
     issued: SimTime,
     forward: SimDuration,
     dataset: u64,
@@ -739,8 +753,10 @@ fn dispatch_to_backend(
         .is_some_and(|rt| !world.control.is_partitioned(u64::from(rt.host.0), now));
     if !reachable {
         // Node crashed, never installed, or unreachable: request lost.
-        if let (Some(idx), Some(sw)) = (backend_idx, world.master.switch_mut(service)) {
-            sw.abort(idx, now);
+        if routed {
+            if let Some(sw) = world.master.switch_mut(service) {
+                sw.abort(vsn, now);
+            }
         }
         world.obs.record(
             now,
@@ -781,8 +797,10 @@ fn dispatch_to_backend(
         if !w.node_runtimes.contains_key(&vsn)
             || w.control.is_partitioned(u64::from(host.0), ctx.now())
         {
-            if let (Some(idx), Some(sw)) = (backend_idx, w.master.switch_mut(service)) {
-                sw.abort(idx, ctx.now());
+            if routed {
+                if let Some(sw) = w.master.switch_mut(service) {
+                    sw.abort(vsn, ctx.now());
+                }
             }
             w.obs.record(
                 ctx.now(),
@@ -806,8 +824,10 @@ fn dispatch_to_backend(
         };
         if depart == SimTime::MAX {
             // Zero-rate shaping: response never leaves.
-            if let (Some(idx), Some(sw)) = (backend_idx, w.master.switch_mut(service)) {
-                sw.abort(idx, ctx.now());
+            if routed {
+                if let Some(sw) = w.master.switch_mut(service) {
+                    sw.abort(vsn, ctx.now());
+                }
             }
             drop_request(w, ctx, request);
             return;
@@ -821,7 +841,7 @@ fn dispatch_to_backend(
                 FlowPurpose::Response {
                     service,
                     vsn,
-                    backend_idx,
+                    routed,
                     issued,
                     cpu_done: done_cpu,
                     dataset,
@@ -901,12 +921,14 @@ fn cancel_flows(
             FlowPurpose::Response {
                 service,
                 vsn,
-                backend_idx,
+                routed,
                 request,
                 ..
             } => {
-                if let (Some(idx), Some(sw)) = (backend_idx, world.master.switch_mut(service)) {
-                    sw.abort(idx, now);
+                if routed {
+                    if let Some(sw) = world.master.switch_mut(service) {
+                        sw.abort(vsn, now);
+                    }
                 }
                 world.obs.record(
                     now,
@@ -929,31 +951,15 @@ fn cancel_flows(
 /// was partitioned). The NIC's fluid state keeps draining the bytes;
 /// only the completion action is cancelled.
 pub(crate) fn drop_inflight_on_host(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, host: HostId) {
-    let keys: Vec<(HostId, FlowId)> = world
-        .inflight
-        .keys()
-        .filter(|(h, _)| *h == host)
-        .copied()
-        .collect();
-    let victims: Vec<((HostId, FlowId), FlowPurpose)> = keys
-        .into_iter()
-        .filter_map(|k| world.inflight.remove(&k).map(|p| (k, p)))
-        .collect();
+    let victims = world.inflight.drain_host(host);
     cancel_flows(world, ctx, victims);
 }
 
-/// Sever in-flight responses originating from one VSN.
+/// Sever in-flight responses originating from one VSN. O(flows-on-node)
+/// via the VSN index; cancellation order is the same ascending
+/// `(host, flow)` order the pre-index full scan produced.
 pub(crate) fn drop_inflight_on_vsn(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, vsn: VsnId) {
-    let keys: Vec<(HostId, FlowId)> = world
-        .inflight
-        .iter()
-        .filter(|(_, p)| matches!(p, FlowPurpose::Response { vsn: v, .. } if *v == vsn))
-        .map(|(k, _)| *k)
-        .collect();
-    let victims: Vec<((HostId, FlowId), FlowPurpose)> = keys
-        .into_iter()
-        .filter_map(|k| world.inflight.remove(&k).map(|p| (k, p)))
-        .collect();
+    let victims = world.inflight.drain_vsn(vsn);
     cancel_flows(world, ctx, victims);
 }
 

@@ -144,6 +144,12 @@ impl<S> Engine<S> {
         self.queue.len()
     }
 
+    /// High-water mark of queued events over the run — how deep the
+    /// event heap got at its worst (the scale sweep reports this).
+    pub fn peak_events_pending(&self) -> usize {
+        self.queue.peak_len()
+    }
+
     /// True if a handler called [`Ctx::request_stop`].
     pub fn is_stopped(&self) -> bool {
         self.stopped

@@ -46,6 +46,7 @@ impl<E> Ord for Entry<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
+    peak_len: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -60,6 +61,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            peak_len: 0,
         }
     }
 
@@ -69,6 +71,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::with_capacity(cap),
             next_seq: 0,
+            peak_len: 0,
         }
     }
 
@@ -78,6 +81,7 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { time, seq, payload });
+        self.peak_len = self.peak_len.max(self.heap.len());
     }
 
     /// Remove and return the earliest event.
@@ -98,6 +102,12 @@ impl<E> EventQueue<E> {
     /// True iff no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// High-water mark of pending events over the queue's lifetime —
+    /// the memory-pressure figure the scale experiments report.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
     }
 
     /// Drop every pending event.
@@ -137,6 +147,21 @@ mod tests {
         for i in 0..100 {
             assert_eq!(q.pop(), Some((t(5), i)));
         }
+    }
+
+    #[test]
+    fn peak_len_is_a_high_water_mark() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peak_len(), 0);
+        q.push(t(1), ());
+        q.push(t(2), ());
+        q.pop();
+        q.push(t(3), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peak_len(), 2, "peak holds after pops");
+        q.push(t(4), ());
+        q.push(t(5), ());
+        assert_eq!(q.peak_len(), 4);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use soda::sim::{Engine, SimDuration, SimTime};
 use soda::vmm::rootfs::RootFsCatalog;
 use soda::vmm::sysservices::StartupClass;
 use soda::workload::httpgen::PoissonGenerator;
+use soda_bench::experiments::scale::{self, ScaleConfig};
 
 fn trajectory(seed: u64) -> Vec<(u64, u64)> {
     let mut engine = Engine::with_seed(SodaWorld::testbed(), seed);
@@ -55,6 +56,40 @@ fn different_seeds_diverge() {
     let a = trajectory(42);
     let c = trajectory(43);
     assert_ne!(a, c, "different seeds must differ");
+}
+
+/// The utility-scale X-SCALE run is as deterministic as the two-host
+/// testbed: same seed, same fingerprints — and observability, which
+/// rides the hot paths (switch routing, completion accounting), must
+/// observe without perturbing the trajectory.
+#[test]
+fn scale_run_is_deterministic_and_obs_transparent() {
+    let cfg = ScaleConfig {
+        hosts: 100,
+        requests: 100_000,
+        seed: 1303,
+        obs: true,
+    };
+    let a = scale::run(&cfg);
+    let b = scale::run(&cfg);
+    assert_eq!(a.completed + a.dropped, cfg.requests);
+    assert_eq!(
+        a.trajectory_fingerprint, b.trajectory_fingerprint,
+        "identical seeds must replay identically at 100 hosts"
+    );
+    assert_eq!(
+        a.event_fingerprint, b.event_fingerprint,
+        "the event log must replay identically too"
+    );
+    assert_eq!(a.events, b.events);
+
+    let dark = scale::run(&ScaleConfig { obs: false, ..cfg });
+    assert_eq!(
+        dark.trajectory_fingerprint, a.trajectory_fingerprint,
+        "turning observability on must not move the trajectory"
+    );
+    assert_eq!(dark.events, a.events);
+    assert_eq!(dark.event_fingerprint, 0, "obs off records nothing");
 }
 
 #[test]

@@ -80,6 +80,10 @@ fn check_invariants(master: &SodaMaster, daemons: &[SodaDaemon], live: &[Service
                     "{svc}: config/capacity drift"
                 );
                 assert_eq!(sw.config().len(), rec.nodes.len());
+                // The switch's incremental view cache and aggregates
+                // must survive a from-scratch recompute after every
+                // master op (resize/upgrade/migrate/teardown).
+                sw.assert_cache_coherent();
             }
         }
     }

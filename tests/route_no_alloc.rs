@@ -1,0 +1,100 @@
+//! The switch's per-request hot path must be allocation-free once warm:
+//! `route()` hands the policy an incrementally maintained view cache
+//! (no per-request `Vec<BackendView>`), and `complete()`'s accounting
+//! (EWMA + Welford summary) is plain arithmetic. This lives in its own
+//! integration-test binary and the allocation counter is thread-local,
+//! so the libtest harness's own threads (spawning, result channels,
+//! slow-test timers) can never bleed allocations into a window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use soda::core::service::ServiceId;
+use soda::core::switch::ServiceSwitch;
+use soda::sim::{SimDuration, SimTime};
+use soda::vmm::vsn::VsnId;
+
+struct CountingAllocator;
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Allocations made by the *calling* thread so far.
+fn allocations_here() -> u64 {
+    ALLOCATIONS.with(Cell::get)
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // try_with: TLS may be mid-teardown on exiting threads.
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn wide_switch(backends: u32) -> ServiceSwitch {
+    let mut sw = ServiceSwitch::new(ServiceId(1), VsnId(1));
+    for i in 0..backends {
+        let ip = format!("10.0.{}.{}", i / 250, i % 250 + 1);
+        sw.add_backend(
+            VsnId(u64::from(i) + 1),
+            ip.parse().expect("valid"),
+            8080,
+            1 + i % 4,
+        );
+    }
+    sw
+}
+
+#[test]
+fn warm_switch_hot_paths_never_allocate() {
+    // --- route + complete under load -------------------------------
+    let mut sw = wide_switch(64);
+    // Warm up: the default WRR policy sizes its weight vector on first
+    // pick; everything after that must be steady-state.
+    for _ in 0..8 {
+        let i = sw.route(SimTime::ZERO).expect("healthy");
+        let vsn = sw.backends()[i].vsn;
+        sw.complete(vsn, SimDuration::from_millis(3), SimTime::ZERO);
+    }
+    let before = allocations_here();
+    for _ in 0..10_000u32 {
+        let i = sw.route(SimTime::ZERO).expect("healthy");
+        let vsn = sw.backends()[i].vsn;
+        sw.complete(vsn, SimDuration::from_millis(3), SimTime::ZERO);
+    }
+    let after = allocations_here();
+    assert_eq!(
+        after - before,
+        0,
+        "route+complete must not allocate once warm (got {} allocations over 10k requests)",
+        after - before
+    );
+    sw.assert_cache_coherent();
+
+    // --- drop + abort paths ----------------------------------------
+    let mut sw = wide_switch(8);
+    let i = sw.route(SimTime::ZERO).expect("healthy");
+    let vsn = sw.backends()[i].vsn;
+    sw.abort(vsn, SimTime::ZERO);
+    // Take every backend down so route() exercises the drop branch.
+    for v in 1..=8u64 {
+        sw.set_health(VsnId(v), false);
+    }
+    assert_eq!(sw.route(SimTime::ZERO), None);
+    let before = allocations_here();
+    for _ in 0..10_000u32 {
+        assert_eq!(sw.route(SimTime::ZERO), None);
+        sw.abort(VsnId(3), SimTime::ZERO); // saturates at zero, still alloc-free
+    }
+    let after = allocations_here();
+    assert_eq!(after - before, 0, "drop/abort paths must not allocate");
+    sw.assert_cache_coherent();
+}

@@ -31,7 +31,8 @@ proptest! {
         let total: u32 = caps.iter().sum();
         for _ in 0..(total * rounds) {
             let i = sw.route(SimTime::ZERO).expect("healthy backends exist");
-            sw.complete(i, SimDuration::from_millis(1), SimTime::ZERO);
+            let vsn = sw.backends()[i].vsn;
+            sw.complete(vsn, SimDuration::from_millis(1), SimTime::ZERO);
         }
         let served = sw.served_counts();
         for (i, &c) in caps.iter().enumerate() {
@@ -49,22 +50,22 @@ proptest! {
         script in proptest::collection::vec(any::<bool>(), 1..200)
     ) {
         let mut sw = build_switch(&caps);
-        let mut inflight: Vec<usize> = Vec::new();
+        let mut inflight: Vec<VsnId> = Vec::new();
         for issue in script {
             if issue || inflight.is_empty() {
                 if let Some(i) = sw.route(SimTime::ZERO) {
-                    inflight.push(i);
+                    inflight.push(sw.backends()[i].vsn);
                 }
             } else {
-                let i = inflight.remove(0);
-                sw.complete(i, SimDuration::from_millis(1), SimTime::ZERO);
+                let vsn = inflight.remove(0);
+                sw.complete(vsn, SimDuration::from_millis(1), SimTime::ZERO);
             }
             let total_outstanding: u32 =
                 sw.backends().iter().map(|b| b.outstanding).sum();
             prop_assert_eq!(total_outstanding as usize, inflight.len());
         }
-        for i in inflight.drain(..) {
-            sw.complete(i, SimDuration::from_millis(1), SimTime::ZERO);
+        for vsn in inflight.drain(..) {
+            sw.complete(vsn, SimDuration::from_millis(1), SimTime::ZERO);
         }
         prop_assert!(sw.backends().iter().all(|b| b.outstanding == 0));
     }
@@ -95,7 +96,8 @@ proptest! {
             let i = sw.route(SimTime::ZERO).expect("a healthy backend exists");
             // Routed to a healthy one.
             prop_assert!(sw.backends()[i].healthy);
-            sw.complete(i, SimDuration::from_millis(1), SimTime::ZERO);
+            let vsn = sw.backends()[i].vsn;
+            sw.complete(vsn, SimDuration::from_millis(1), SimTime::ZERO);
         }
         prop_assert_eq!(sw.dropped(), 0);
     }
