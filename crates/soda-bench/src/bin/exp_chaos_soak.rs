@@ -1,18 +1,17 @@
 //! Extension X-CHAOS: randomized fault-plan soak with self-healing.
 //!
-//! Usage: `exp_chaos_soak [seed]` (default seed 42). Exits non-zero if
-//! the routing invariant (never route to a known-dead VSN) was ever
-//! violated, so CI can gate on it.
+//! Usage: `exp_chaos_soak [seed ...]` (default seed 42). With several
+//! seeds the soaks fan out across cores via [`soda_bench::SweepRunner`] —
+//! each soak is an independent single-threaded simulation, so per-seed
+//! results are identical to serial runs. Exits non-zero if any seed's
+//! routing invariant (never route to a known-dead VSN) was violated, so
+//! CI can gate on it.
 
-use soda_bench::experiments::chaos_soak;
+use soda_bench::experiments::chaos_soak::{self, ChaosSoakResult};
+use soda_bench::SweepRunner;
 
-fn main() {
-    let seed = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse::<u64>().ok())
-        .unwrap_or(42);
-    let r = chaos_soak::run(seed);
-    println!("== X-CHAOS — fault-plan soak (seed {seed}) ==");
+fn print_result(r: &ChaosSoakResult) {
+    println!("== X-CHAOS — fault-plan soak (seed {}) ==", r.seed);
     println!("faults injected             : {}", r.faults_injected);
     println!(
         "host-down detections        : {} (mean {:.2} s, max {:.2} s after crash)",
@@ -40,8 +39,50 @@ fn main() {
         "event-log fingerprint       : {:#018x}",
         r.event_fingerprint
     );
-    soda_bench::emit_json("exp_chaos_soak", &r);
-    if r.invariant_violations > 0 {
+}
+
+fn main() {
+    let seeds: Vec<u64> = {
+        let parsed: Vec<u64> = std::env::args()
+            .skip(1)
+            .filter_map(|s| s.parse().ok())
+            .collect();
+        if parsed.is_empty() {
+            vec![42]
+        } else {
+            parsed
+        }
+    };
+    let results: Vec<ChaosSoakResult> = if seeds.len() == 1 {
+        vec![chaos_soak::run(seeds[0])]
+    } else {
+        let runner = SweepRunner::from_env();
+        println!(
+            "fanning {} soak seeds over {} thread(s)",
+            seeds.len(),
+            runner.threads()
+        );
+        let sweep = runner.run(seeds, chaos_soak::run);
+        println!(
+            "sweep wall {:.2} s vs serial est {:.2} s — speedup {:.2}x",
+            sweep.wall_secs,
+            sweep.serial_estimate_secs(),
+            sweep.speedup_vs_serial()
+        );
+        sweep.results
+    };
+    for r in &results {
+        print_result(r);
+    }
+    // Single-seed runs keep the original object-shaped JSON; multi-seed
+    // runs emit an array.
+    if results.len() == 1 {
+        soda_bench::emit_json("exp_chaos_soak", &results[0]);
+    } else {
+        soda_bench::emit_json("exp_chaos_soak", &results);
+    }
+    let violations: u64 = results.iter().map(|r| r.invariant_violations).sum();
+    if violations > 0 {
         eprintln!("FAIL: switch routed to a known-dead VSN");
         std::process::exit(1);
     }

@@ -2,15 +2,21 @@
 //!
 //! Usage:
 //!   `exp_scale`                       — full 3×3 grid
-//!                                       (hosts ∈ {10,100,1000} × requests ∈ {10k,100k,1M})
+//!                                       (hosts ∈ {10,100,1000} × requests ∈ {10k,100k,1M}),
+//!                                       grid points fanned out across cores
+//!                                       via [`soda_bench::SweepRunner`]
 //!   `exp_scale HOSTS REQUESTS`        — one grid point
 //!   `exp_scale HOSTS REQUESTS BUDGET` — one grid point with a wall-clock
 //!                                       budget in seconds; exits non-zero
 //!                                       if the point runs over (CI gate).
 //!
-//! All points are written to `results/exp_scale.json`.
+//! All points are written to `results/exp_scale.json`. Each grid point is
+//! an independent single-threaded simulation; parallelism lives only
+//! across points, so the per-point fingerprints are identical to a serial
+//! sweep's.
 
 use soda_bench::experiments::scale::{self, ScaleConfig, ScaleResult};
+use soda_bench::SweepRunner;
 
 fn print_point(r: &ScaleResult) {
     println!(
@@ -29,31 +35,45 @@ fn print_point(r: &ScaleResult) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     println!("== X-SCALE — hot-path throughput sweep ==");
-    let mut results: Vec<ScaleResult> = Vec::new();
+    let results: Vec<ScaleResult>;
     let budget_secs: Option<f64> = args.get(2).and_then(|s| s.parse().ok());
     match (
         args.first().and_then(|s| s.parse::<u32>().ok()),
         args.get(1).and_then(|s| s.parse::<u64>().ok()),
     ) {
         (Some(hosts), Some(requests)) => {
-            results.push(scale::run(&ScaleConfig {
+            results = vec![scale::run(&ScaleConfig {
                 hosts,
                 requests,
-                seed: 42,
-                obs: false,
-            }));
+                ..ScaleConfig::default()
+            })];
         }
         _ => {
-            for &hosts in &[10u32, 100, 1000] {
-                for &requests in &[10_000u64, 100_000, 1_000_000] {
-                    results.push(scale::run(&ScaleConfig {
-                        hosts,
-                        requests,
-                        seed: 42,
-                        obs: false,
-                    }));
-                    print_point(results.last().expect("just pushed"));
-                }
+            let grid: Vec<ScaleConfig> = [10u32, 100, 1000]
+                .iter()
+                .flat_map(|&hosts| {
+                    [10_000u64, 100_000, 1_000_000]
+                        .iter()
+                        .map(move |&requests| ScaleConfig {
+                            hosts,
+                            requests,
+                            ..ScaleConfig::default()
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            let runner = SweepRunner::from_env();
+            println!("fanning 9 grid points over {} thread(s)", runner.threads());
+            let sweep = runner.run(grid, |cfg| scale::run(&cfg));
+            println!(
+                "sweep wall {:.2} s vs serial est {:.2} s — speedup {:.2}x",
+                sweep.wall_secs,
+                sweep.serial_estimate_secs(),
+                sweep.speedup_vs_serial()
+            );
+            results = sweep.results;
+            for r in &results {
+                print_point(r);
             }
         }
     }

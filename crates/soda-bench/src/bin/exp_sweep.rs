@@ -1,0 +1,215 @@
+//! Extension X-SWEEP: parallel deterministic seed sweep.
+//!
+//! Usage: `exp_sweep [EXP] [N_SEEDS] [BASE_SEED] [BUDGET_SECS]`
+//!
+//! * `EXP`         — `chaos` (default) or `scale`; the experiment each
+//!                   seed runs.
+//! * `N_SEEDS`     — sweep width (default 4), seeds `BASE..BASE+N`.
+//! * `BASE_SEED`   — first seed (default 1).
+//! * `BUDGET_SECS` — optional wall-clock budget for the parallel sweep;
+//!                   exits non-zero when exceeded (CI gate).
+//!
+//! The sweep fans `(seed × experiment)` simulations across cores via
+//! [`soda_bench::SweepRunner`]; each run is single-threaded and owns its
+//! world, so parallel results must be bit-identical to serial ones. The
+//! binary proves it: after the parallel sweep it re-runs the first
+//! (pinned) seed serially on the calling thread and exits non-zero if
+//! any fingerprint differs. Results — per-seed fingerprints, wall
+//! clocks, and the parallel-vs-serial speedup — land in
+//! `results/exp_sweep.json`.
+
+use serde::Serialize;
+use soda_bench::experiments::chaos_soak;
+use soda_bench::experiments::scale::{self, ScaleConfig};
+use soda_bench::SweepRunner;
+
+/// One seed's run, reduced to what the sweep report needs.
+#[derive(Clone, Debug, Serialize)]
+struct SeedRun {
+    /// Seed this run derives from.
+    seed: u64,
+    /// Determinism witness: the experiment's event-log fingerprint for
+    /// `chaos`, the trajectory fingerprint for `scale`.
+    fingerprint: u64,
+    /// Worker wall-clock for this seed, seconds.
+    wall_secs: f64,
+    /// Requests completed.
+    completed: u64,
+    /// Requests dropped.
+    dropped: u64,
+}
+
+/// Pinned-seed parallel-vs-serial comparison.
+#[derive(Clone, Debug, Serialize)]
+struct PinnedCheck {
+    /// The seed re-run serially (the sweep's first).
+    seed: u64,
+    /// Fingerprint from the parallel sweep.
+    parallel_fingerprint: u64,
+    /// Fingerprint from the serial re-run.
+    serial_fingerprint: u64,
+    /// Whether the two match bit for bit.
+    identical: bool,
+}
+
+/// The merged sweep report written to `results/exp_sweep.json`.
+#[derive(Clone, Debug, Serialize)]
+struct SweepReport {
+    /// Experiment swept (`"chaos"` / `"scale"`).
+    experiment: String,
+    /// Worker threads the parallel sweep used.
+    threads: usize,
+    /// Per-seed runs, in seed order.
+    runs: Vec<SeedRun>,
+    /// Wall seconds for the parallel region.
+    parallel_wall_secs: f64,
+    /// Sum of per-seed walls: what a serial sweep would cost.
+    serial_estimate_secs: f64,
+    /// `serial_estimate_secs / parallel_wall_secs`.
+    speedup: f64,
+    /// Pinned-seed bit-identity proof.
+    pinned: PinnedCheck,
+}
+
+fn run_one(experiment: &str, seed: u64) -> SeedRun {
+    match experiment {
+        "scale" => {
+            let r = scale::run(&ScaleConfig {
+                hosts: 10,
+                requests: 50_000,
+                seed,
+                ..ScaleConfig::default()
+            });
+            SeedRun {
+                seed,
+                fingerprint: r.trajectory_fingerprint,
+                wall_secs: r.wall_secs,
+                completed: r.completed,
+                dropped: r.dropped,
+            }
+        }
+        _ => {
+            let wall = std::time::Instant::now();
+            let r = chaos_soak::run(seed);
+            SeedRun {
+                seed,
+                fingerprint: r.event_fingerprint,
+                wall_secs: wall.elapsed().as_secs_f64(),
+                completed: r.completed,
+                dropped: r.dropped,
+            }
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let experiment = match args.first().map(String::as_str) {
+        Some("scale") => "scale".to_string(),
+        _ => "chaos".to_string(),
+    };
+    let n_seeds: u64 = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(4);
+    let base_seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let budget_secs: Option<f64> = args.get(3).and_then(|s| s.parse().ok());
+    let seeds: Vec<u64> = (base_seed..base_seed + n_seeds).collect();
+
+    println!("== X-SWEEP — parallel deterministic seed sweep ==");
+    let runner = SweepRunner::from_env();
+    println!(
+        "experiment {experiment}, seeds {}..{}, {} thread(s)",
+        base_seed,
+        base_seed + n_seeds - 1,
+        runner.threads()
+    );
+    let exp = experiment.clone();
+    let sweep = runner.run(seeds.clone(), move |seed| run_one(&exp, seed));
+    // The runner times each job on its worker; use those walls (not the
+    // in-result ones) so chaos and scale are measured the same way.
+    let mut runs = sweep.results;
+    for (run, &secs) in runs.iter_mut().zip(&sweep.job_secs) {
+        run.wall_secs = secs;
+    }
+    for r in &runs {
+        println!(
+            "seed {:>4} | fp {:#018x} | {:>7.2} s | completed {:>7} | dropped {:>5}",
+            r.seed, r.fingerprint, r.wall_secs, r.completed, r.dropped
+        );
+    }
+    // Determinism proof: re-run the pinned first seed serially, on this
+    // thread, and require a bit-identical fingerprint. Its wall clock
+    // doubles as an uncontended cost sample for the serial estimate.
+    let pinned_seed = seeds[0];
+    let serial_start = std::time::Instant::now();
+    let serial = run_one(&experiment, pinned_seed);
+    let serial_pinned_secs = serial_start.elapsed().as_secs_f64();
+
+    // Serial estimate: scale the pinned seed's *uncontended* wall by the
+    // seeds' relative sizes as measured inside the sweep. Summing the
+    // in-sweep walls directly would overstate serial cost whenever the
+    // workers contend for cores (each job's wall then includes time spent
+    // descheduled), which flatters the speedup — on an oversubscribed
+    // machine, absurdly so.
+    let in_sweep_total: f64 = sweep.job_secs.iter().sum();
+    let serial_estimate_secs = if sweep.job_secs[0] > 0.0 {
+        serial_pinned_secs * (in_sweep_total / sweep.job_secs[0])
+    } else {
+        in_sweep_total
+    };
+    let speedup = if sweep.wall_secs > 0.0 && serial_estimate_secs > 0.0 {
+        serial_estimate_secs / sweep.wall_secs
+    } else {
+        1.0
+    };
+    println!(
+        "sweep wall {:.2} s vs serial est {:.2} s — speedup {:.2}x",
+        sweep.wall_secs, serial_estimate_secs, speedup
+    );
+
+    let pinned = PinnedCheck {
+        seed: pinned_seed,
+        parallel_fingerprint: runs[0].fingerprint,
+        serial_fingerprint: serial.fingerprint,
+        identical: runs[0].fingerprint == serial.fingerprint,
+    };
+    println!(
+        "pinned seed {}: parallel {:#018x} vs serial {:#018x} — {}",
+        pinned.seed,
+        pinned.parallel_fingerprint,
+        pinned.serial_fingerprint,
+        if pinned.identical {
+            "identical"
+        } else {
+            "MISMATCH"
+        }
+    );
+
+    let report = SweepReport {
+        experiment,
+        threads: sweep.threads,
+        runs,
+        parallel_wall_secs: sweep.wall_secs,
+        serial_estimate_secs,
+        speedup,
+        pinned: pinned.clone(),
+    };
+    soda_bench::emit_json("exp_sweep", &report);
+
+    if !pinned.identical {
+        eprintln!("FAIL: parallel sweep diverged from serial on the pinned seed");
+        std::process::exit(1);
+    }
+    if let Some(budget) = budget_secs {
+        if sweep.wall_secs > budget {
+            eprintln!(
+                "FAIL: parallel sweep took {:.2} s (budget {budget:.2} s)",
+                sweep.wall_secs
+            );
+            std::process::exit(1);
+        }
+        println!("within budget: {:.2} s <= {budget:.2} s", sweep.wall_secs);
+    }
+}

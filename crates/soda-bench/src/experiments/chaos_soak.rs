@@ -96,6 +96,10 @@ pub fn run(seed: u64) -> ChaosSoakResult {
         ))))
         .collect();
     let mut engine = Engine::with_seed(SodaWorld::new(daemons), seed);
+    // Capacity hint: heartbeats, the two Poisson generators and the fault
+    // plan keep the pending-event population in the low thousands; reserve
+    // once so the soak never re-allocates queue storage mid-run.
+    engine.reserve_events(16 * 1024);
     engine.state_mut().enable_obs(1 << 16);
 
     let web = create_service_driven(&mut engine, spec("web", 3), "webco").expect("admitted");

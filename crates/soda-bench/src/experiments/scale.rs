@@ -26,7 +26,7 @@ use soda_hostos::resources::ResourceVector;
 use soda_hup::daemon::SodaDaemon;
 use soda_hup::host::{HostId, HupHost};
 use soda_net::pool::IpPool;
-use soda_sim::{Engine, SimDuration, SimTime};
+use soda_sim::{Engine, QueueKind, SimDuration, SimTime};
 use soda_vmm::rootfs::RootFsCatalog;
 use soda_vmm::sysservices::StartupClass;
 use std::rc::Rc;
@@ -57,6 +57,21 @@ pub struct ScaleConfig {
     pub seed: u64,
     /// Record observability events/metrics during the run.
     pub obs: bool,
+    /// Event-queue implementation; the determinism suite replays runs on
+    /// both kinds and requires identical fingerprints.
+    pub queue: QueueKind,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig {
+            hosts: 10,
+            requests: 10_000,
+            seed: 42,
+            obs: false,
+            queue: QueueKind::default(),
+        }
+    }
 }
 
 /// Measurements from one scale run.
@@ -76,6 +91,8 @@ pub struct ScaleResult {
     pub dropped: u64,
     /// Whether observability was enabled.
     pub obs: bool,
+    /// Event-queue implementation the run used (`"wheel"` / `"heap"`).
+    pub queue: String,
     /// Engine events executed, creation phase included.
     pub events: u64,
     /// Host wall-clock for the whole run, seconds.
@@ -155,7 +172,16 @@ pub fn run(cfg: &ScaleConfig) -> ScaleResult {
             ))
         })
         .collect();
-    let mut engine = Engine::with_seed(SodaWorld::new(daemons), cfg.seed);
+    let mut engine = Engine::with_seed_queue(SodaWorld::new(daemons), cfg.seed, cfg.queue);
+    // Workload-derived capacity hint: the queue high-water mark tracks the
+    // in-flight request population, itself bounded by the issue batch size
+    // times the pipeline depth. Pre-paying the growth keeps re-allocation
+    // out of the measured request phase.
+    engine.reserve_events(
+        usize::try_from(cfg.requests / 4)
+            .unwrap_or(usize::MAX)
+            .clamp(1024, 1 << 20),
+    );
     if cfg.obs {
         engine.state_mut().enable_obs(1 << 16);
     }
@@ -258,6 +284,10 @@ pub fn run(cfg: &ScaleConfig) -> ScaleResult {
         completed: w.completed.len() as u64,
         dropped: w.dropped,
         obs: cfg.obs,
+        queue: match cfg.queue {
+            QueueKind::Wheel => "wheel".to_string(),
+            QueueKind::Heap => "heap".to_string(),
+        },
         events,
         wall_secs,
         events_per_sec: events as f64 / wall_secs.max(1e-9),
@@ -277,8 +307,7 @@ mod tests {
         let r = run(&ScaleConfig {
             hosts: 4,
             requests: 2_000,
-            seed: 42,
-            obs: false,
+            ..ScaleConfig::default()
         });
         assert_eq!(r.services, 4 * SERVICES_PER_HOST);
         assert_eq!(r.vsns, 4 * r.services);
@@ -294,11 +323,33 @@ mod tests {
             hosts: 3,
             requests: 1_000,
             seed: 9,
-            obs: false,
+            ..ScaleConfig::default()
         };
         let a = run(&cfg);
         let b = run(&cfg);
         assert_eq!(a.trajectory_fingerprint, b.trajectory_fingerprint);
         assert_eq!(a.events, b.events);
+    }
+
+    /// The wheel and the heap are trajectory-identical end to end, not
+    /// just at the queue API: a full scale run on each must fingerprint
+    /// the same.
+    #[test]
+    fn queue_kinds_are_trajectory_identical() {
+        let cfg = ScaleConfig {
+            hosts: 3,
+            requests: 1_000,
+            seed: 17,
+            obs: true,
+            queue: QueueKind::Wheel,
+        };
+        let wheel = run(&cfg);
+        let heap = run(&ScaleConfig {
+            queue: QueueKind::Heap,
+            ..cfg
+        });
+        assert_eq!(wheel.trajectory_fingerprint, heap.trajectory_fingerprint);
+        assert_eq!(wheel.event_fingerprint, heap.event_fingerprint);
+        assert_eq!(wheel.events, heap.events);
     }
 }

@@ -8,5 +8,7 @@
 
 pub mod experiments;
 pub mod report;
+pub mod sweep;
 
 pub use report::{emit_json, write_json, Table};
+pub use sweep::{SweepOutcome, SweepRunner};

@@ -25,7 +25,7 @@
 //! the rotation is a no-op.
 
 use soda_net::addr::Ipv4Addr;
-use soda_sim::{Event, Labels, Obs, SimDuration, SimTime, Summary};
+use soda_sim::{Event, Labels, MetricHandle, MetricKind, Obs, SimDuration, SimTime, Summary};
 use soda_vmm::vsn::VsnId;
 
 use crate::config::ServiceConfigFile;
@@ -66,6 +66,20 @@ impl BackendRuntime {
     }
 }
 
+/// Interned `switch.*` metric handles for one backend, filled lazily on
+/// first record (so a metric still only appears once it is first written,
+/// exactly as with string-keyed recording) and hit directly afterwards —
+/// the per-request hot path pays a slot-table index instead of a
+/// `BTreeMap` walk over `(scope, name, labels)` keys.
+#[derive(Clone, Copy, Debug, Default)]
+struct BackendHandles {
+    dispatched: Option<MetricHandle>,
+    served: Option<MetricHandle>,
+    aborted: Option<MetricHandle>,
+    outstanding: Option<MetricHandle>,
+    response_time: Option<MetricHandle>,
+}
+
 /// The per-service request switch.
 pub struct ServiceSwitch {
     /// The service this switch fronts.
@@ -88,6 +102,10 @@ pub struct ServiceSwitch {
     dropped: u64,
     ewma_alpha: f64,
     obs: Obs,
+    /// Per-backend interned metric handles, in lockstep with `backends`.
+    handles: Vec<BackendHandles>,
+    /// Interned handle for the service-level `switch.dropped` counter.
+    dropped_h: Option<MetricHandle>,
 }
 
 impl ServiceSwitch {
@@ -106,13 +124,40 @@ impl ServiceSwitch {
             dropped: 0,
             ewma_alpha: 0.2,
             obs: Obs::disabled(),
+            handles: Vec::new(),
+            dropped_h: None,
         }
     }
 
     /// Attach an observability handle; request lifecycle events and
-    /// `switch.*` metrics are recorded through it.
+    /// `switch.*` metrics are recorded through it. Cached metric handles
+    /// are dropped: they index the previous handle's registry.
     pub fn set_obs(&mut self, obs: Obs) {
         self.obs = obs;
+        self.handles = vec![BackendHandles::default(); self.backends.len()];
+        self.dropped_h = None;
+    }
+
+    /// Returns the cached handle in `slot`, interning `switch.<name>` on
+    /// first use. Callers only reach this with observability enabled.
+    #[inline]
+    fn handle(
+        obs: &Obs,
+        slot: &mut Option<MetricHandle>,
+        name: &'static str,
+        labels: Labels,
+        kind: MetricKind,
+    ) -> MetricHandle {
+        match *slot {
+            Some(h) => h,
+            None => {
+                let h = obs
+                    .intern("switch", name, labels, kind)
+                    .expect("interning requires enabled obs");
+                *slot = Some(h);
+                h
+            }
+        }
     }
 
     /// `{service, vsn}` metric labels for backend `idx`.
@@ -152,6 +197,7 @@ impl ServiceSwitch {
         self.views.push(b.view());
         self.healthy_capacity += capacity;
         self.backends.push(b);
+        self.handles.push(BackendHandles::default());
     }
 
     /// Remove a backend node (shrink-resize / teardown). Returns whether
@@ -163,6 +209,7 @@ impl ServiceSwitch {
         };
         let b = self.backends.remove(pos);
         self.views.remove(pos);
+        self.handles.remove(pos);
         if b.healthy {
             self.healthy_capacity -= b.capacity;
         }
@@ -227,13 +274,24 @@ impl ServiceSwitch {
                             vsn: self.backends[i].vsn.0,
                         },
                     );
-                    self.obs.counter_add("switch", "dispatched", labels, 1);
-                    self.obs.gauge_set(
-                        "switch",
+                    let h = &mut self.handles[i];
+                    let dispatched = Self::handle(
+                        &self.obs,
+                        &mut h.dispatched,
+                        "dispatched",
+                        labels,
+                        MetricKind::Counter,
+                    );
+                    let outstanding = Self::handle(
+                        &self.obs,
+                        &mut h.outstanding,
                         "outstanding",
                         labels,
-                        f64::from(self.backends[i].outstanding),
+                        MetricKind::Gauge,
                     );
+                    self.obs.counter_add_h(dispatched, 1);
+                    self.obs
+                        .gauge_set_h(outstanding, f64::from(self.backends[i].outstanding));
                 }
                 Some(i)
             }
@@ -247,12 +305,14 @@ impl ServiceSwitch {
                             vsn: 0,
                         },
                     );
-                    self.obs.counter_add(
-                        "switch",
+                    let dropped = Self::handle(
+                        &self.obs,
+                        &mut self.dropped_h,
                         "dropped",
                         Labels::one("service", self.service.0),
-                        1,
+                        MetricKind::Counter,
                     );
+                    self.obs.counter_add_h(dropped, 1);
                 }
                 None
             }
@@ -284,19 +344,41 @@ impl ServiceSwitch {
         self.views[idx].ewma_response = b.ewma_response;
         if self.obs.is_enabled() {
             let labels = self.labels(idx);
-            let b = &self.backends[idx];
+            let outstanding_now = self.backends[idx].outstanding;
             self.obs.record(
                 now,
                 Event::RequestCompleted {
                     service: self.service.0,
-                    vsn: b.vsn.0,
+                    vsn: self.backends[idx].vsn.0,
                 },
             );
-            self.obs.counter_add("switch", "served", labels, 1);
+            let h = &mut self.handles[idx];
+            let served = Self::handle(
+                &self.obs,
+                &mut h.served,
+                "served",
+                labels,
+                MetricKind::Counter,
+            );
+            let outstanding = Self::handle(
+                &self.obs,
+                &mut h.outstanding,
+                "outstanding",
+                labels,
+                MetricKind::Gauge,
+            );
+            let response = Self::handle(
+                &self.obs,
+                &mut h.response_time,
+                "response_time",
+                labels,
+                MetricKind::Histogram,
+            );
+            self.obs.counter_add_h(served, 1);
             self.obs
-                .gauge_set("switch", "outstanding", labels, f64::from(b.outstanding));
+                .gauge_set_h(outstanding, f64::from(outstanding_now));
             self.obs
-                .histogram_record("switch", "response_time", labels, response_time.as_nanos());
+                .histogram_record_h(response, response_time.as_nanos());
         }
     }
 
@@ -314,22 +396,33 @@ impl ServiceSwitch {
         }
         self.views[idx].outstanding = b.outstanding;
         if self.obs.is_enabled() {
-            let b = &self.backends[idx];
+            let labels = self.labels(idx);
+            let outstanding_now = self.backends[idx].outstanding;
             self.obs.record(
                 now,
                 Event::RequestFailed {
                     service: self.service.0,
-                    vsn: b.vsn.0,
+                    vsn: self.backends[idx].vsn.0,
                 },
             );
-            self.obs
-                .counter_add("switch", "aborted", self.labels(idx), 1);
-            self.obs.gauge_set(
-                "switch",
-                "outstanding",
-                self.labels(idx),
-                f64::from(b.outstanding),
+            let h = &mut self.handles[idx];
+            let aborted = Self::handle(
+                &self.obs,
+                &mut h.aborted,
+                "aborted",
+                labels,
+                MetricKind::Counter,
             );
+            let outstanding = Self::handle(
+                &self.obs,
+                &mut h.outstanding,
+                "outstanding",
+                labels,
+                MetricKind::Gauge,
+            );
+            self.obs.counter_add_h(aborted, 1);
+            self.obs
+                .gauge_set_h(outstanding, f64::from(outstanding_now));
         }
     }
 

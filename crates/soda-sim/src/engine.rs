@@ -7,7 +7,7 @@
 //! so `Ctx` buffers the new events and the engine drains the buffer after
 //! each handler returns — preserving FIFO order at equal timestamps).
 
-use crate::queue::EventQueue;
+use crate::queue::{EventQueue, QueueKind};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Trace;
@@ -85,17 +85,37 @@ impl<S> Engine<S> {
         Self::with_seed(state, 0x5eed_50da)
     }
 
-    /// A new engine at t=0 whose RNG is seeded with `seed`.
+    /// A new engine at t=0 whose RNG is seeded with `seed`, on the default
+    /// event-queue implementation (the timer wheel).
     pub fn with_seed(state: S, seed: u64) -> Self {
+        Self::with_seed_queue(state, seed, QueueKind::default())
+    }
+
+    /// A new engine at t=0 whose RNG is seeded with `seed`, on an explicit
+    /// event-queue implementation. The determinism tests replay identical
+    /// workloads on both kinds and require identical trajectories.
+    pub fn with_seed_queue(state: S, seed: u64, queue: QueueKind) -> Self {
         Engine {
             state,
             now: SimTime::ZERO,
-            queue: EventQueue::with_capacity(1024),
+            queue: EventQueue::with_capacity_and_kind(1024, queue),
             rng: SimRng::new(seed),
             trace: Trace::disabled(),
             executed: 0,
             stopped: false,
         }
+    }
+
+    /// Which event-queue implementation this engine runs on.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.queue.kind()
+    }
+
+    /// Reserve queue room for roughly `additional` more pending events —
+    /// a workload-size hint so large experiments pay their queue growth
+    /// once, up front, instead of re-allocating mid-run.
+    pub fn reserve_events(&mut self, additional: usize) {
+        self.queue.reserve(additional);
     }
 
     /// Current simulated time.

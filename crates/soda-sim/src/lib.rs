@@ -58,10 +58,10 @@ pub use engine::{Ctx, Engine, EventFn};
 pub use faults::{ChaosProfile, FaultInjection, FaultPlan, FaultSpec};
 pub use metrics::{Availability, Counter, Histogram, Summary, TimeSeries, WindowedMean};
 pub use obs::{
-    DrainedEvents, Event, Labels, MetricValue, MetricsRegistry, Obs, RegistrySnapshot, Severity,
-    SpanGuard, TimedEvent,
+    DrainedEvents, Event, Labels, MetricHandle, MetricKind, MetricValue, MetricsRegistry, Obs,
+    RegistrySnapshot, Severity, SpanGuard, TimedEvent,
 };
-pub use queue::EventQueue;
+pub use queue::{EventQueue, QueueKind};
 pub use retry::BackoffPolicy;
 pub use rng::{SimRng, Zipf};
 pub use stats::{linear_fit, mean_ci95, LinearFit, MeanCi};

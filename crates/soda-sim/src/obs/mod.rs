@@ -34,7 +34,10 @@ pub mod registry;
 pub mod span;
 
 pub use event::{DrainedEvents, Event, EventLog, Severity, TimedEvent};
-pub use registry::{Labels, MetricId, MetricValue, MetricsRegistry, RegistrySnapshot, Sample};
+pub use registry::{
+    Labels, MetricHandle, MetricId, MetricKind, MetricValue, MetricsRegistry, RegistrySnapshot,
+    Sample,
+};
 pub use span::{SpanGuard, SpanStats, SpanTracker};
 
 use crate::time::SimTime;
@@ -130,6 +133,47 @@ impl Obs {
             .borrow_mut()
             .registry
             .histogram_record(scope, name, labels, value);
+    }
+
+    /// Interns a metric identity for handle-based recording; `None` when
+    /// disabled. Hot-path writers call this once at wiring time and then
+    /// record through [`Obs::counter_add_h`] & co., which index straight
+    /// into the registry's slot table.
+    pub fn intern(
+        &self,
+        scope: &'static str,
+        name: &'static str,
+        labels: Labels,
+        kind: MetricKind,
+    ) -> Option<MetricHandle> {
+        let shared = self.shared.as_ref()?;
+        Some(
+            shared
+                .borrow_mut()
+                .registry
+                .intern(scope, name, labels, kind),
+        )
+    }
+
+    /// Adds to an interned counter (no-op when disabled).
+    #[inline]
+    pub fn counter_add_h(&self, h: MetricHandle, n: u64) {
+        let Some(shared) = &self.shared else { return };
+        shared.borrow_mut().registry.counter_add_h(h, n);
+    }
+
+    /// Sets an interned gauge (no-op when disabled).
+    #[inline]
+    pub fn gauge_set_h(&self, h: MetricHandle, v: f64) {
+        let Some(shared) = &self.shared else { return };
+        shared.borrow_mut().registry.gauge_set_h(h, v);
+    }
+
+    /// Records into an interned histogram (no-op when disabled).
+    #[inline]
+    pub fn histogram_record_h(&self, h: MetricHandle, value: u64) {
+        let Some(shared) = &self.shared else { return };
+        shared.borrow_mut().registry.histogram_record_h(h, value);
     }
 
     /// Opens a span keyed by `(entity, op, id)` (no-op when disabled).

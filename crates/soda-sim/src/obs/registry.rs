@@ -152,15 +152,38 @@ impl Metric {
     }
 }
 
+/// The kind of metric an interned handle points at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+/// An interned metric identity: a direct index into the registry's slot
+/// table. Hot-path writers intern `(scope, name, labels)` once (at wiring
+/// time) and record through the handle afterwards, skipping the per-record
+/// `BTreeMap` walk and its string comparisons entirely.
+///
+/// Handles are only meaningful for the registry that issued them; slots are
+/// never removed, so a handle stays valid for the registry's lifetime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MetricHandle(u32);
+
 /// The central registry. Entities write through [`crate::obs::Obs`];
 /// experiment harnesses read via accessors or [`MetricsRegistry::snapshot`].
+///
+/// Storage is a flat slot table (`Vec`) addressed by [`MetricHandle`],
+/// plus a `BTreeMap` index from [`MetricId`] to slot for interning, the
+/// string-keyed write path, and stable snapshot ordering.
 ///
 /// A `(scope, name, labels)` key must keep one metric kind for the whole
 /// run — re-registering it as a different kind panics, since silently
 /// resetting would corrupt longitudinal data.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
-    metrics: BTreeMap<MetricId, Metric>,
+    index: BTreeMap<MetricId, u32>,
+    slots: Vec<(MetricId, Metric)>,
 }
 
 impl MetricsRegistry {
@@ -168,35 +191,85 @@ impl MetricsRegistry {
         Self::default()
     }
 
-    fn slot(&mut self, scope: &'static str, name: &'static str, labels: Labels) -> &mut Metric {
-        self.metrics
-            .entry(MetricId {
-                scope,
-                name,
-                labels,
-            })
-            .or_insert_with(|| Metric::Counter(0))
-    }
-
-    /// Adds `n` to a counter, creating it at zero first.
-    pub fn counter_add(&mut self, scope: &'static str, name: &'static str, labels: Labels, n: u64) {
-        match self.slot(scope, name, labels) {
-            Metric::Counter(v) => *v += n,
-            other => panic!("{scope}.{name} is a {}, not a counter", other.kind()),
-        }
-    }
-
-    /// Sets a gauge to `v`, creating it if absent.
-    pub fn gauge_set(&mut self, scope: &'static str, name: &'static str, labels: Labels, v: f64) {
+    /// Interns a metric identity, creating the metric (zeroed) if absent,
+    /// and returns its handle.
+    ///
+    /// # Panics
+    /// If the identity already exists with a different kind.
+    pub fn intern(
+        &mut self,
+        scope: &'static str,
+        name: &'static str,
+        labels: Labels,
+        kind: MetricKind,
+    ) -> MetricHandle {
         let id = MetricId {
             scope,
             name,
             labels,
         };
-        match self.metrics.entry(id).or_insert(Metric::Gauge(0.0)) {
-            Metric::Gauge(g) => *g = v,
-            other => panic!("{scope}.{name} is a {}, not a gauge", other.kind()),
+        let slot = *self.index.entry(id).or_insert_with(|| {
+            let metric = match kind {
+                MetricKind::Counter => Metric::Counter(0),
+                MetricKind::Gauge => Metric::Gauge(0.0),
+                MetricKind::Histogram => Metric::Histogram(Histogram::new()),
+            };
+            let slot = u32::try_from(self.slots.len()).expect("metric slot overflow");
+            self.slots.push((id, metric));
+            slot
+        });
+        let existing = match &self.slots[slot as usize].1 {
+            Metric::Counter(_) => MetricKind::Counter,
+            Metric::Gauge(_) => MetricKind::Gauge,
+            Metric::Histogram(_) => MetricKind::Histogram,
+        };
+        let wanted = match kind {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        };
+        assert!(
+            existing == kind,
+            "{scope}.{name} is a {}, not a {wanted}",
+            self.slots[slot as usize].1.kind()
+        );
+        MetricHandle(slot)
+    }
+
+    /// Adds `n` to the counter behind an interned handle.
+    pub fn counter_add_h(&mut self, h: MetricHandle, n: u64) {
+        match &mut self.slots[h.0 as usize].1 {
+            Metric::Counter(v) => *v += n,
+            other => panic!("handle is a {}, not a counter", other.kind()),
         }
+    }
+
+    /// Sets the gauge behind an interned handle.
+    pub fn gauge_set_h(&mut self, h: MetricHandle, v: f64) {
+        match &mut self.slots[h.0 as usize].1 {
+            Metric::Gauge(g) => *g = v,
+            other => panic!("handle is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Records into the histogram behind an interned handle.
+    pub fn histogram_record_h(&mut self, h: MetricHandle, value: u64) {
+        match &mut self.slots[h.0 as usize].1 {
+            Metric::Histogram(hist) => hist.record(value),
+            other => panic!("handle is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Adds `n` to a counter, creating it at zero first.
+    pub fn counter_add(&mut self, scope: &'static str, name: &'static str, labels: Labels, n: u64) {
+        let h = self.intern(scope, name, labels, MetricKind::Counter);
+        self.counter_add_h(h, n);
+    }
+
+    /// Sets a gauge to `v`, creating it if absent.
+    pub fn gauge_set(&mut self, scope: &'static str, name: &'static str, labels: Labels, v: f64) {
+        let h = self.intern(scope, name, labels, MetricKind::Gauge);
+        self.gauge_set_h(h, v);
     }
 
     /// Records `value` into a histogram, creating it if absent.
@@ -207,19 +280,8 @@ impl MetricsRegistry {
         labels: Labels,
         value: u64,
     ) {
-        let id = MetricId {
-            scope,
-            name,
-            labels,
-        };
-        match self
-            .metrics
-            .entry(id)
-            .or_insert_with(|| Metric::Histogram(Histogram::new()))
-        {
-            Metric::Histogram(h) => h.record(value),
-            other => panic!("{scope}.{name} is a {}, not a histogram", other.kind()),
-        }
+        let h = self.intern(scope, name, labels, MetricKind::Histogram);
+        self.histogram_record_h(h, value);
     }
 
     /// Counter value (`None` if absent or a different kind).
@@ -248,7 +310,7 @@ impl MetricsRegistry {
 
     /// Sums a counter across every label set it was recorded under.
     pub fn counter_total(&self, scope: &str, name: &str) -> u64 {
-        self.metrics
+        self.slots
             .iter()
             .filter(|(id, _)| id.scope == scope && id.name == name)
             .filter_map(|(_, m)| match m {
@@ -261,7 +323,7 @@ impl MetricsRegistry {
     fn get(&self, scope: &str, name: &str, labels: Labels) -> Option<&Metric> {
         // Linear probe so lookups work with non-'static keys; reads
         // happen at snapshot/report time, never on the simulation path.
-        self.metrics
+        self.slots
             .iter()
             .find(|(id, _)| id.scope == scope && id.name == name && id.labels == labels)
             .map(|(_, m)| m)
@@ -269,19 +331,21 @@ impl MetricsRegistry {
 
     /// Number of registered metrics.
     pub fn len(&self) -> usize {
-        self.metrics.len()
+        self.slots.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.metrics.is_empty()
+        self.slots.is_empty()
     }
 
     /// A point-in-time, serializable copy of every metric, in stable
-    /// (scope, name, labels) order.
+    /// (scope, name, labels) order (the index order, independent of
+    /// interning order).
     pub fn snapshot(&self) -> RegistrySnapshot {
         let samples = self
-            .metrics
+            .index
             .iter()
+            .map(|(id, &slot)| (id, &self.slots[slot as usize].1))
             .map(|(id, m)| Sample {
                 name: format!("{}.{}", id.scope, id.name),
                 labels: id
@@ -442,6 +506,68 @@ mod tests {
         let mut r = MetricsRegistry::new();
         r.gauge_set("x", "y", Labels::none(), 1.0);
         r.counter_add("x", "y", Labels::none(), 1);
+    }
+
+    #[test]
+    fn interned_handles_alias_string_writes() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("switch", "served", Labels::one("vsn", 7), 2);
+        let h = r.intern(
+            "switch",
+            "served",
+            Labels::one("vsn", 7),
+            MetricKind::Counter,
+        );
+        r.counter_add_h(h, 3);
+        assert_eq!(
+            r.counter("switch", "served", Labels::one("vsn", 7)),
+            Some(5)
+        );
+        // Re-interning yields the same slot; no duplicate metric appears.
+        let h2 = r.intern(
+            "switch",
+            "served",
+            Labels::one("vsn", 7),
+            MetricKind::Counter,
+        );
+        assert_eq!(h, h2);
+        assert_eq!(r.len(), 1);
+
+        let g = r.intern("switch", "outstanding", Labels::none(), MetricKind::Gauge);
+        r.gauge_set_h(g, 4.5);
+        assert_eq!(r.gauge("switch", "outstanding", Labels::none()), Some(4.5));
+
+        let hist = r.intern("switch", "response", Labels::none(), MetricKind::Histogram);
+        r.histogram_record_h(hist, 1_000);
+        r.histogram_record_h(hist, 3_000);
+        assert_eq!(
+            r.histogram("switch", "response", Labels::none())
+                .unwrap()
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn intern_kind_conflict_panics() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("x", "y", Labels::none(), 1);
+        r.intern("x", "y", Labels::none(), MetricKind::Gauge);
+    }
+
+    /// The snapshot stays in (scope, name, labels) order even when metrics
+    /// are interned out of order into later slots.
+    #[test]
+    fn snapshot_order_is_independent_of_interning_order() {
+        let mut r = MetricsRegistry::new();
+        let z = r.intern("zeta", "last", Labels::none(), MetricKind::Counter);
+        let a = r.intern("alpha", "first", Labels::none(), MetricKind::Counter);
+        r.counter_add_h(z, 1);
+        r.counter_add_h(a, 2);
+        let snap = r.snapshot();
+        assert_eq!(snap.samples[0].name, "alpha.first");
+        assert_eq!(snap.samples[1].name, "zeta.last");
     }
 
     #[test]

@@ -1,44 +1,357 @@
 //! Offline stand-in for `rayon`.
 //!
 //! The build environment cannot reach a crate registry, so this shim
-//! maps the `par_iter`/`into_par_iter` entry points onto ordinary
-//! sequential iterators. Downstream combinators (`map`, `collect`, …)
-//! are then plain `std::iter::Iterator` methods. Results are identical
-//! to rayon's — the experiment sweeps are independent deterministic
-//! simulations — only wall-clock parallelism is lost.
+//! reimplements the subset of rayon's API the workspace uses — but with
+//! **real threads**: `map`/`flat_map`/`collect` chains fan work out over a
+//! shared work queue drained by `std::thread::scope` workers, one item at a
+//! time, with results re-assembled in input order. Semantics match rayon's
+//! for the workloads here (independent deterministic simulations): output
+//! order is the input order regardless of which worker finishes first.
+//!
+//! Differences from real rayon, deliberately accepted:
+//!
+//! * Items are materialised into a `Vec` before dispatch (no lazy
+//!   splitting) — sweep inputs are small; the work is in the closure.
+//! * No global thread pool: each `collect`/`to_vec` spins up scoped
+//!   workers. Thread count is `available_parallelism`, capped by the job
+//!   count, overridable with `RAYON_NUM_THREADS` or a
+//!   [`ThreadPoolBuilder`] `install` scope.
+//! * Every parallel adapter also implements `IntoIterator` for sequential
+//!   composition where a caller needs it (rayon's adapters are not
+//!   `IntoIterator`; the nested `flat_map` call sites here are).
 
-pub mod prelude {
-    /// `into_par_iter()` for owned collections and ranges.
-    pub trait IntoParallelIterator {
-        type Item;
-        type Iter: Iterator<Item = Self::Item>;
-        fn into_par_iter(self) -> Self::Iter;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+pub mod iter {
+    use super::run_parallel;
+
+    /// The subset of rayon's `ParallelIterator` the workspace uses.
+    pub trait ParallelIterator: Sized {
+        type Item: Send;
+
+        /// Evaluate the chain in parallel, preserving input order.
+        fn to_vec(self) -> Vec<Self::Item>;
+
+        fn map<R, F>(self, f: F) -> Map<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync + Send,
+        {
+            Map { base: self, f }
+        }
+
+        fn flat_map<PI, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            PI: IntoIterator,
+            PI::Item: Send,
+            F: Fn(Self::Item) -> PI + Sync + Send,
+        {
+            FlatMap { base: self, f }
+        }
+
+        fn collect<C: FromIterator<Self::Item>>(self) -> C {
+            self.to_vec().into_iter().collect()
+        }
     }
 
-    impl<I: IntoIterator> IntoParallelIterator for I {
+    /// Materialised parallel iterator over owned items.
+    pub struct ParIter<T: Send> {
+        pub(crate) items: Vec<T>,
+    }
+
+    impl<T: Send> ParallelIterator for ParIter<T> {
+        type Item = T;
+        fn to_vec(self) -> Vec<T> {
+            self.items
+        }
+    }
+
+    impl<T: Send> IntoIterator for ParIter<T> {
+        type Item = T;
+        type IntoIter = std::vec::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.items.into_iter()
+        }
+    }
+
+    /// Parallel `map` adapter.
+    pub struct Map<P, F> {
+        base: P,
+        f: F,
+    }
+
+    impl<P, R, F> ParallelIterator for Map<P, F>
+    where
+        P: ParallelIterator,
+        R: Send,
+        F: Fn(P::Item) -> R + Sync + Send,
+    {
+        type Item = R;
+        fn to_vec(self) -> Vec<R> {
+            run_parallel(self.base.to_vec(), &self.f)
+        }
+    }
+
+    impl<P, R, F> IntoIterator for Map<P, F>
+    where
+        P: ParallelIterator + IntoIterator<Item = <P as ParallelIterator>::Item>,
+        R: Send,
+        F: Fn(<P as ParallelIterator>::Item) -> R + Sync + Send,
+    {
+        type Item = R;
+        type IntoIter = std::iter::Map<<P as IntoIterator>::IntoIter, F>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.base.into_iter().map(self.f)
+        }
+    }
+
+    /// Parallel `flat_map` adapter. Each item's sub-iterator is produced
+    /// and drained on the worker that ran it; sub-results concatenate in
+    /// input order.
+    pub struct FlatMap<P, F> {
+        base: P,
+        f: F,
+    }
+
+    impl<P, PI, F> ParallelIterator for FlatMap<P, F>
+    where
+        P: ParallelIterator,
+        PI: IntoIterator,
+        PI::Item: Send,
+        F: Fn(P::Item) -> PI + Sync + Send,
+    {
+        type Item = PI::Item;
+        fn to_vec(self) -> Vec<PI::Item> {
+            let f = &self.f;
+            let nested = run_parallel(self.base.to_vec(), &|item| {
+                f(item).into_iter().collect::<Vec<_>>()
+            });
+            nested.into_iter().flatten().collect()
+        }
+    }
+
+    /// `into_par_iter()` for owned collections and ranges.
+    pub trait IntoParallelIterator {
+        type Item: Send;
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I
+    where
+        I::Item: Send,
+    {
         type Item = I::Item;
-        type Iter = I::IntoIter;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+        fn into_par_iter(self) -> ParIter<I::Item> {
+            ParIter {
+                items: self.into_iter().collect(),
+            }
         }
     }
 
     /// `par_iter()` for anything iterable by reference.
     pub trait IntoParallelRefIterator<'data> {
-        type Item;
-        type Iter: Iterator<Item = Self::Item>;
-        fn par_iter(&'data self) -> Self::Iter;
+        type Item: Send;
+        fn par_iter(&'data self) -> ParIter<Self::Item>;
     }
 
     impl<'data, C: ?Sized> IntoParallelRefIterator<'data> for C
     where
         &'data C: IntoIterator,
+        <&'data C as IntoIterator>::Item: Send,
         C: 'data,
     {
         type Item = <&'data C as IntoIterator>::Item;
-        type Iter = <&'data C as IntoIterator>::IntoIter;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.into_iter()
+        fn par_iter(&'data self) -> ParIter<Self::Item> {
+            ParIter {
+                items: self.into_iter().collect(),
+            }
         }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+std::thread_local! {
+    /// Scoped override installed by [`ThreadPool::install`].
+    static POOL_THREADS: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// Worker count the next parallel chain will use: an `install` override,
+/// else `RAYON_NUM_THREADS`, else `available_parallelism`.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = POOL_THREADS.with(|c| c.get()) {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `f` over every item on scoped worker threads (never more workers
+/// than items), returning results in input order. Single-worker runs stay
+/// on the calling thread.
+fn run_parallel<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = current_num_threads().min(n).max(1);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let job = queue.lock().unwrap().pop_front();
+                let Some((idx, item)) = job else { break };
+                let out = f(item);
+                done.lock().unwrap().push((idx, out));
+            });
+        }
+    });
+    let mut out = done.into_inner().unwrap();
+    out.sort_unstable_by_key(|&(idx, _)| idx);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Builder for a fixed-size [`ThreadPool`] (rayon-compatible subset).
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fix the worker count (0 means "automatic", like rayon).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, BuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// Errors from [`ThreadPoolBuilder::build`] (infallible here; the type
+/// exists for API compatibility).
+#[derive(Debug)]
+pub struct BuildError;
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// A scoped thread-count policy: parallel chains evaluated inside
+/// [`ThreadPool::install`] use this pool's worker count.
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's thread count installed for any parallel
+    /// iterator chains it evaluates.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|c| c.replace(self.num_threads));
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        op()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads.unwrap_or_else(current_num_threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_input_order() {
+        let squares: Vec<u64> = (0u64..100).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares, (0u64..100).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_by_ref_works() {
+        let data = [3u64, 1, 4, 1, 5];
+        let doubled: Vec<u64> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 8, 2, 10]);
+    }
+
+    #[test]
+    fn nested_flat_map_matches_sequential() {
+        let outer = [1u64, 2, 3];
+        let got: Vec<u64> = outer
+            .par_iter()
+            .flat_map(|&a| [10u64, 20].into_par_iter().map(move |b| a * 100 + b))
+            .collect();
+        let want: Vec<u64> = outer
+            .iter()
+            .flat_map(|&a| [10u64, 20].iter().map(move |&b| a * 100 + b))
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 2);
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 2);
+            let v: Vec<u64> = (0u64..32).into_par_iter().map(|x| x + 1).collect();
+            assert_eq!(v.len(), 32);
+        });
+    }
+
+    #[test]
+    fn results_are_input_ordered_even_with_skewed_work() {
+        // Early items do far more work than late ones; order must hold.
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let v: Vec<u64> = pool.install(|| {
+            (0u64..64)
+                .into_par_iter()
+                .map(|x| {
+                    let spins = if x < 4 { 200_000 } else { 10 };
+                    let mut acc = x;
+                    for _ in 0..spins {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    }
+                    std::hint::black_box(acc);
+                    x
+                })
+                .collect()
+        });
+        assert_eq!(v, (0u64..64).collect::<Vec<_>>());
     }
 }

@@ -6,6 +6,7 @@
 use soda::core::service::ServiceSpec;
 use soda::core::world::SodaWorld;
 use soda::hostos::resources::ResourceVector;
+use soda::sim::QueueKind;
 use soda::sim::{Engine, SimDuration, SimTime};
 use soda::vmm::rootfs::RootFsCatalog;
 use soda::vmm::sysservices::StartupClass;
@@ -69,6 +70,7 @@ fn scale_run_is_deterministic_and_obs_transparent() {
         requests: 100_000,
         seed: 1303,
         obs: true,
+        queue: QueueKind::Wheel,
     };
     let a = scale::run(&cfg);
     let b = scale::run(&cfg);
@@ -90,6 +92,39 @@ fn scale_run_is_deterministic_and_obs_transparent() {
     );
     assert_eq!(dark.events, a.events);
     assert_eq!(dark.event_fingerprint, 0, "obs off records nothing");
+}
+
+/// The timer wheel replaced the binary heap as the engine's event core;
+/// the heap survives as `queue::oracle` and as `QueueKind::Heap`. The
+/// two must be trajectory-identical at utility scale: replaying the
+/// 100-host / 100k-request run on each queue implementation produces
+/// the same trajectory and event-log fingerprints, bit for bit.
+#[test]
+fn queue_implementations_replay_identically_at_scale() {
+    let cfg = ScaleConfig {
+        hosts: 100,
+        requests: 100_000,
+        seed: 1303,
+        obs: true,
+        queue: QueueKind::Wheel,
+    };
+    let wheel = scale::run(&cfg);
+    let heap = scale::run(&ScaleConfig {
+        queue: QueueKind::Heap,
+        ..cfg
+    });
+    assert_eq!(wheel.completed + wheel.dropped, cfg.requests);
+    assert_eq!(
+        wheel.trajectory_fingerprint, heap.trajectory_fingerprint,
+        "wheel and heap must drive identical trajectories"
+    );
+    assert_eq!(
+        wheel.event_fingerprint, heap.event_fingerprint,
+        "and identical event logs"
+    );
+    assert_eq!(wheel.events, heap.events);
+    assert_eq!(wheel.completed, heap.completed);
+    assert_eq!(wheel.dropped, heap.dropped);
 }
 
 #[test]
