@@ -10,6 +10,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod host_failure;
 pub mod inflation;
+pub mod link_stress;
 pub mod migration;
 pub mod placement;
 pub mod resize;

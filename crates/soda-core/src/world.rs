@@ -24,7 +24,9 @@ use soda_hup::host::HostId;
 use soda_net::control::ControlPlane;
 use soda_net::http::HttpModel;
 use soda_net::link::{FlowId, LinkSpec, ProcessorSharingLink};
-use soda_sim::{Ctx, Engine, Event, FaultSpec, Labels, Obs, SimDuration, SimTime};
+use soda_sim::{
+    Ctx, Engine, Event, FaultSpec, Labels, MetricHandle, MetricKind, Obs, SimDuration, SimTime,
+};
 use soda_vmm::intercept::{InterceptCostModel, SlowdownFactors};
 use soda_vmm::isolation::{Blast, ExecutionMode, FaultKind};
 use soda_vmm::vsn::VsnId;
@@ -98,6 +100,23 @@ enum FlowPurpose {
     },
     /// DDoS garbage (no completion action).
     Flood,
+}
+
+/// Wakeup bookkeeping for one host NIC. Every scheduled pump event
+/// carries the generation current at arming time; any mutation that
+/// moves the NIC's next completion bumps the generation, so superseded
+/// wakeups identify themselves on arrival and are dropped in O(1)
+/// instead of re-walking the link (see DESIGN.md §10).
+#[derive(Clone, Copy, Debug, Default)]
+struct NicArm {
+    /// Current wakeup generation; only an event stamped with this value
+    /// is allowed to pump.
+    gen: u64,
+    /// The completion time the live wakeup (if any) is armed for. Lets
+    /// re-arming skip scheduling when the target time is unchanged —
+    /// the common case when a pump completes flows and the next
+    /// completion was already known.
+    armed_for: Option<SimTime>,
 }
 
 /// One finished client request — the raw material of Figures 4 and 6.
@@ -179,6 +198,17 @@ pub struct SodaWorld {
     ready_nodes: HashMap<ServiceId, usize>,
     next_request: u64,
     callbacks: HashMap<RequestId, RequestCallback>,
+    /// Per-host NIC wakeup generations (stale-event elimination).
+    nic_arms: HashMap<HostId, NicArm>,
+    /// Pool of drained-completion scratch buffers. A pool rather than a
+    /// single buffer because a completion callback can start new flows
+    /// and re-enter `pump_nic` while an outer pump still owns its
+    /// buffer; steady-state depth is the maximum pump nesting, so the
+    /// warm path never allocates.
+    nic_scratch: Vec<Vec<(FlowId, SimTime)>>,
+    /// Interned counter of dropped stale NIC wakeups (lazily interned on
+    /// first drop so the obs-on hot path stays zero-alloc).
+    stale_wakeup_h: Option<MetricHandle>,
     /// Transient CPU slowdown per host (the `SlowHost` fault): the
     /// factor and when it expires. Overlapping windows merge to the
     /// strongest factor and the latest expiry, and an expiry callback
@@ -227,6 +257,9 @@ impl SodaWorld {
             ready_nodes: HashMap::new(),
             next_request: 1,
             callbacks: HashMap::new(),
+            nic_arms: HashMap::new(),
+            nic_scratch: Vec::new(),
+            stale_wakeup_h: None,
             host_slow: HashMap::new(),
             armed_priming_failures: HashMap::new(),
         }
@@ -263,7 +296,23 @@ impl SodaWorld {
             d.set_obs(obs.clone());
         }
         self.obs = obs.clone();
+        // Any previously interned handle points into the old registry.
+        self.stale_wakeup_h = None;
         obs
+    }
+
+    /// How many stale NIC wakeups have been dropped (0 when obs is off
+    /// or none were dropped). Stale drops are pure event-queue hygiene:
+    /// counting them must never perturb the trajectory.
+    pub fn stale_nic_wakeups(&self) -> u64 {
+        use soda_sim::MetricValue;
+        match self.obs.snapshot().and_then(|s| {
+            s.find("world.nic_stale_wakeups", &[])
+                .map(|m| m.value.clone())
+        }) {
+            Some(MetricValue::Counter(n)) => n,
+            _ => 0,
+        }
     }
 
     pub(crate) fn daemon_mut(&mut self, host: HostId) -> &mut SodaDaemon {
@@ -378,6 +427,63 @@ impl SodaWorld {
 // event closures can re-enter them.
 // ---------------------------------------------------------------------
 
+/// The scheduled half of the NIC pump: runs at a completion time armed
+/// by [`rearm_nic`], carrying the generation current when it was armed.
+/// A stale generation means the NIC's schedule moved after this event
+/// was queued (new flow arrived, earlier pump already handled the
+/// completion) — the event drops itself in O(1), touching nothing but a
+/// metrics counter, instead of re-walking the link.
+fn pump_nic_event(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, host: HostId, gen: u64) {
+    let live = world.nic_arms.get(&host).map_or(0, |a| a.gen);
+    if live != gen {
+        if world.stale_wakeup_h.is_none() {
+            world.stale_wakeup_h = world.obs.intern(
+                "world",
+                "nic_stale_wakeups",
+                Labels::none(),
+                MetricKind::Counter,
+            );
+        }
+        if let Some(h) = world.stale_wakeup_h {
+            world.obs.counter_add_h(h, 1);
+        }
+        return;
+    }
+    if let Some(arm) = world.nic_arms.get_mut(&host) {
+        arm.armed_for = None;
+    }
+    pump_nic(world, ctx, host);
+}
+
+/// Re-arm the wakeup for `host`'s next flow completion, bumping the
+/// generation so any wakeup armed earlier is dead on arrival. Arming is
+/// skipped when a live wakeup already targets the same instant — the
+/// common case when a pump drains one completion and the following
+/// completion time was already armed.
+fn rearm_nic(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, host: HostId) {
+    let next = world.nics[&host].next_completion();
+    let arm = world.nic_arms.entry(host).or_default();
+    match next {
+        Some(t) => {
+            if arm.armed_for == Some(t) {
+                return;
+            }
+            arm.gen += 1;
+            arm.armed_for = Some(t);
+            let gen = arm.gen;
+            ctx.schedule_at(t, move |w: &mut SodaWorld, ctx| {
+                pump_nic_event(w, ctx, host, gen);
+            });
+        }
+        None => {
+            // Idle link: invalidate whatever wakeup may be in flight.
+            if arm.armed_for.take().is_some() {
+                arm.gen += 1;
+            }
+        }
+    }
+}
+
 /// Kick the NIC of `host`: advance the fluid state, finalise any flows
 /// that completed, and re-arm a wakeup for the next completion.
 fn pump_nic(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, host: HostId) {
@@ -387,12 +493,15 @@ fn pump_nic(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, host: HostId) {
         nic.advance(now);
         nic.spec().latency
     };
-    let completed = world
+    // Completion callbacks can start flows and re-enter this function,
+    // so the scratch buffer comes from a pool rather than a single slot.
+    let mut completed = world.nic_scratch.pop().unwrap_or_default();
+    world
         .nics
         .get_mut(&host)
         .expect("nic exists")
-        .take_completed();
-    for (flow, finish) in completed {
+        .drain_completed_into(&mut completed);
+    for (flow, finish) in completed.drain(..) {
         let Some(purpose) = world.inflight.remove(host, flow) else {
             continue;
         };
@@ -457,10 +566,8 @@ fn pump_nic(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, host: HostId) {
             FlowPurpose::Flood => {}
         }
     }
-    // Re-arm.
-    if let Some(t) = world.nics[&host].next_completion() {
-        ctx.schedule_at(t, move |w: &mut SodaWorld, ctx| pump_nic(w, ctx, host));
-    }
+    world.nic_scratch.push(completed);
+    rearm_nic(world, ctx, host);
 }
 
 /// Put a flow on a host NIC and arm the pump.

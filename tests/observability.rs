@@ -371,3 +371,70 @@ proptest! {
         }
     }
 }
+
+/// The generation-stamped NIC wakeup protocol drops superseded pump
+/// events on arrival and counts the drops in an interned metric. The
+/// counter is pure observation: the same seed produces the same count
+/// across runs, and running dark (obs off) — where the drops still
+/// happen but nothing is counted — leaves the request trajectory
+/// bit-identical.
+#[test]
+fn stale_nic_wakeup_counter_is_observer_transparent() {
+    use soda::core::world::ddos_switch_host;
+
+    let run = |obs: bool| -> (Vec<(u64, u64)>, u64, u64) {
+        let mut world = SodaWorld::testbed();
+        if obs {
+            world.enable_obs(1024);
+        }
+        let mut engine = Engine::with_seed(world, 1303);
+        let svc = create_service_driven(&mut engine, web_spec(3), "webco").unwrap();
+        engine.run_until(SimTime::from_secs(60));
+        let t0 = engine.now();
+        // Overlapping response flows: every flow that lands on a busy
+        // NIC moves the next completion and stales the armed wakeup.
+        PoissonGenerator {
+            service: svc,
+            dataset_bytes: 200_000,
+            rate_rps: 120.0,
+            start: t0,
+            end: t0 + SimDuration::from_secs(10),
+        }
+        .start(&mut engine);
+        // And a burst of flood flows added back-to-back at one instant —
+        // each add re-arms the pump, staling the previous wakeup.
+        engine.schedule_at(
+            t0 + SimDuration::from_secs(2),
+            move |w: &mut SodaWorld, ctx| {
+                ddos_switch_host(w, ctx, svc, 10, 5_000_000);
+            },
+        );
+        engine.run_until(t0 + SimDuration::from_secs(60));
+        let w = engine.state();
+        let traj: Vec<(u64, u64)> = w
+            .completed
+            .iter()
+            .map(|r| (r.issued.as_nanos(), r.completed.as_nanos()))
+            .collect();
+        (
+            traj,
+            engine.events_executed(),
+            engine.state().stale_nic_wakeups(),
+        )
+    };
+
+    let (traj_a, events_a, stale_a) = run(true);
+    let (traj_b, events_b, stale_b) = run(true);
+    let (traj_dark, events_dark, stale_dark) = run(false);
+    assert!(!traj_a.is_empty(), "scenario must serve requests");
+    assert!(stale_a > 0, "contended NICs must shed stale wakeups");
+    assert_eq!(stale_a, stale_b, "the stale count is deterministic");
+    assert_eq!(traj_a, traj_b, "same seed, same trajectory");
+    assert_eq!(events_a, events_b);
+    assert_eq!(
+        traj_a, traj_dark,
+        "counting stale wakeups must not perturb the trajectory"
+    );
+    assert_eq!(events_a, events_dark, "same engine events dark or lit");
+    assert_eq!(stale_dark, 0, "obs off counts nothing");
+}
