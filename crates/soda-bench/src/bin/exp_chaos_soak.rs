@@ -8,7 +8,7 @@
 //! CI can gate on it.
 
 use soda_bench::experiments::chaos_soak::{self, ChaosSoakResult};
-use soda_bench::SweepRunner;
+use soda_bench::{BenchRecord, SweepRunner};
 
 fn print_result(r: &ChaosSoakResult) {
     println!("== X-CHAOS — fault-plan soak (seed {}) ==", r.seed);
@@ -36,6 +36,10 @@ fn print_result(r: &ChaosSoakResult) {
     );
     println!("invariant violations        : {}", r.invariant_violations);
     println!(
+        "response time (ms)          : p50 {:.2} / p99 {:.2} / p999 {:.2} / max {:.2} over {}",
+        r.latency.p50_ms, r.latency.p99_ms, r.latency.p999_ms, r.latency.max_ms, r.latency.count
+    );
+    println!(
         "event-log fingerprint       : {:#018x}",
         r.event_fingerprint
     );
@@ -53,6 +57,7 @@ fn main() {
             parsed
         }
     };
+    let wall_start = std::time::Instant::now();
     let results: Vec<ChaosSoakResult> = if seeds.len() == 1 {
         vec![chaos_soak::run(seeds[0])]
     } else {
@@ -71,9 +76,34 @@ fn main() {
         );
         sweep.results
     };
+    let wall_secs = wall_start.elapsed().as_secs_f64();
     for r in &results {
         print_result(r);
     }
+    // Aggregate trajectory: counts sum, peaks max, one wall for the
+    // whole (possibly parallel) region.
+    let events: u64 = results.iter().map(|r| r.events).sum();
+    let requests: u64 = results.iter().map(|r| r.completed + r.dropped).sum();
+    soda_bench::emit_bench(&BenchRecord {
+        experiment: "exp_chaos_soak".to_string(),
+        wall_secs,
+        sim_secs: results.iter().map(|r| r.sim_secs).sum(),
+        events,
+        events_per_sec: events as f64 / wall_secs.max(1e-9),
+        requests,
+        requests_per_sec: requests as f64 / wall_secs.max(1e-9),
+        peak_queue_depth: results
+            .iter()
+            .map(|r| r.peak_queue_depth as u64)
+            .max()
+            .unwrap_or(0),
+        peak_live_flows: results.iter().map(|r| r.peak_live_flows).max().unwrap_or(0),
+        peak_open_requests: results
+            .iter()
+            .map(|r| r.peak_open_requests)
+            .max()
+            .unwrap_or(0),
+    });
     // Single-seed runs keep the original object-shaped JSON; multi-seed
     // runs emit an array.
     if results.len() == 1 {

@@ -2,6 +2,13 @@
 //! service under weighted-round-robin 2:1 switching, across six dataset
 //! sizes. Sweep points run in parallel (each is an independent
 //! deterministic simulation).
+//!
+//! `exp_fig4_loadbalance trace [SAMPLE_ONE_IN]` instead runs one traced
+//! point (1-in-N head sampling, default 8) and writes the sampled
+//! causal traces as Chrome trace-event JSON
+//! (`results/exp_fig4_trace.json`, loadable in Perfetto) plus the
+//! per-request critical-path breakdown
+//! (`results/exp_fig4_critical_paths.json`).
 
 use rayon::prelude::*;
 use soda_bench::cells;
@@ -11,6 +18,29 @@ use soda_workload::datasets::FIG4_SWEEP;
 
 fn main() {
     let measure_secs = 120;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("trace") {
+        let sample_one_in: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+        let point = &FIG4_SWEEP[2];
+        println!(
+            "== Figure 4, traced ({}kB @ {} req/s, 1-in-{sample_one_in} sampling) ==",
+            point.dataset_bytes / 1000,
+            point.rate_rps
+        );
+        let traced = fig4::run_point_traced(point, measure_secs, 1, sample_one_in);
+        println!(
+            "kept {} traces over {} completed requests; served ratio {:.2}, response ratio {:.2}",
+            traced.traces_kept,
+            traced.completed.len(),
+            traced.row.served_ratio(),
+            traced.row.response_ratio()
+        );
+        soda_bench::emit_json("exp_fig4_trace", &traced.chrome_trace);
+        soda_bench::emit_json("exp_fig4_critical_paths", &traced.critical_paths);
+        // The run's metric snapshot, digestible via `soda-cli obs`.
+        soda_bench::emit_json("exp_fig4_trace_metrics", &traced.snapshot);
+        return;
+    }
     let rows: Vec<fig4::Row> = FIG4_SWEEP
         .par_iter()
         .map(|p| fig4::run_point(p, measure_secs, 1))

@@ -11,9 +11,11 @@
 //! `oracle` to also replay the schedule on the O(n) oracle and print
 //! the speedup (the fingerprints must match — that's asserted).
 //!
-//! The result is written to `results/exp_link_stress.json`.
+//! The result is written to `results/exp_link_stress.json`, plus the
+//! standardized trajectory record `results/BENCH_exp_link_stress.json`.
 
 use soda_bench::experiments::link_stress::{self, StressConfig, StressResult};
+use soda_bench::BenchRecord;
 
 fn print_result(tag: &str, r: &StressResult) {
     println!(
@@ -54,6 +56,20 @@ fn main() {
         );
     }
     soda_bench::emit_json("exp_link_stress", &indexed);
+    // The link has no admission path: peak active flows stands in for
+    // queue depth, and nothing is ever "open" at a switch.
+    soda_bench::emit_bench(&BenchRecord {
+        experiment: "exp_link_stress".to_string(),
+        wall_secs: indexed.wall_secs,
+        sim_secs: indexed.sim_secs,
+        events: indexed.events,
+        events_per_sec: indexed.events_per_sec,
+        requests: indexed.flows,
+        requests_per_sec: indexed.flows as f64 / indexed.wall_secs.max(1e-9),
+        peak_queue_depth: indexed.peak_active,
+        peak_live_flows: indexed.peak_active,
+        peak_open_requests: 0,
+    });
     if let Some(budget) = budget_secs {
         if indexed.wall_secs > budget {
             eprintln!(

@@ -9,14 +9,19 @@
 //!   `exp_scale HOSTS REQUESTS BUDGET` — one grid point with a wall-clock
 //!                                       budget in seconds; exits non-zero
 //!                                       if the point runs over (CI gate).
+//!   `exp_scale profile [HOSTS REQUESTS]` — one grid point with the engine
+//!                                       self-profiler on; prints the
+//!                                       per-event-kind wall-clock cost
+//!                                       table.
 //!
-//! All points are written to `results/exp_scale.json`. Each grid point is
-//! an independent single-threaded simulation; parallelism lives only
-//! across points, so the per-point fingerprints are identical to a serial
-//! sweep's.
+//! All points are written to `results/exp_scale.json`, and the run's
+//! aggregate throughput trajectory to `results/BENCH_exp_scale.json`.
+//! Each grid point is an independent single-threaded simulation;
+//! parallelism lives only across points, so the per-point fingerprints
+//! are identical to a serial sweep's.
 
 use soda_bench::experiments::scale::{self, ScaleConfig, ScaleResult};
-use soda_bench::SweepRunner;
+use soda_bench::{BenchRecord, SweepRunner, Table};
 
 fn print_point(r: &ScaleResult) {
     println!(
@@ -32,9 +37,60 @@ fn print_point(r: &ScaleResult) {
     );
 }
 
+/// Reduce all grid points to one aggregate trajectory record.
+fn bench_record(results: &[ScaleResult]) -> BenchRecord {
+    let mut it = results.iter().map(|r| BenchRecord {
+        experiment: "exp_scale".to_string(),
+        wall_secs: r.wall_secs,
+        sim_secs: r.sim_secs,
+        events: r.events,
+        events_per_sec: r.events_per_sec,
+        requests: r.requests,
+        requests_per_sec: r.requests_per_sec,
+        peak_queue_depth: r.peak_queue_depth as u64,
+        peak_live_flows: r.peak_live_flows,
+        peak_open_requests: r.peak_open_requests,
+    });
+    let mut acc = it.next().expect("at least one grid point");
+    for rec in it {
+        acc.fold(&rec);
+    }
+    acc
+}
+
+fn print_profile(r: &ScaleResult) {
+    let mut t = Table::new(
+        "engine self-profile — wall-clock cost per event kind",
+        &["kind", "count", "total ms", "mean µs", "max µs"],
+    );
+    for e in &r.profile {
+        t.row(soda_bench::cells![
+            e.kind,
+            e.count,
+            format!("{:.2}", e.total_ns as f64 / 1e6),
+            format!("{:.2}", e.mean_ns / 1e3),
+            format!("{:.2}", e.max_ns as f64 / 1e3),
+        ]);
+    }
+    t.print();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     println!("== X-SCALE — hot-path throughput sweep ==");
+    if args.first().map(String::as_str) == Some("profile") {
+        let cfg = ScaleConfig {
+            hosts: args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10),
+            requests: args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100_000),
+            profile: true,
+            ..ScaleConfig::default()
+        };
+        let r = scale::run(&cfg);
+        print_point(&r);
+        print_profile(&r);
+        soda_bench::emit_json("exp_scale_profile", &r);
+        return;
+    }
     let results: Vec<ScaleResult>;
     let budget_secs: Option<f64> = args.get(2).and_then(|s| s.parse().ok());
     match (
@@ -81,6 +137,7 @@ fn main() {
         print_point(&results[0]);
     }
     soda_bench::emit_json("exp_scale", &results);
+    soda_bench::emit_bench(&bench_record(&results));
     if let Some(budget) = budget_secs {
         let worst = results.iter().map(|r| r.wall_secs).fold(0.0f64, f64::max);
         if worst > budget {

@@ -19,9 +19,10 @@
 //! `results/exp_sweep.json`.
 
 use serde::Serialize;
-use soda_bench::experiments::chaos_soak;
+use soda_bench::experiments::chaos_soak::{self, LatencyDigest};
 use soda_bench::experiments::scale::{self, ScaleConfig};
-use soda_bench::SweepRunner;
+use soda_bench::{BenchRecord, SweepRunner};
+use soda_sim::Histogram;
 
 /// One seed's run, reduced to what the sweep report needs.
 #[derive(Clone, Debug, Serialize)]
@@ -37,6 +38,16 @@ struct SeedRun {
     completed: u64,
     /// Requests dropped.
     dropped: u64,
+    /// Engine events executed.
+    events: u64,
+    /// Virtual time simulated, seconds.
+    sim_secs: f64,
+    /// Event-queue high-water mark.
+    peak_queue_depth: u64,
+    /// High-water mark of concurrently active NIC flows.
+    peak_live_flows: u64,
+    /// High-water mark of in-flight requests.
+    peak_open_requests: u64,
 }
 
 /// Pinned-seed parallel-vs-serial comparison.
@@ -67,11 +78,15 @@ struct SweepReport {
     serial_estimate_secs: f64,
     /// `serial_estimate_secs / parallel_wall_secs`.
     speedup: f64,
+    /// Client-visible latency folded across every seed's merged
+    /// `switch.response_time` histogram (`None` when the swept
+    /// experiment records no latency — `scale` runs with obs off).
+    latency: Option<LatencyDigest>,
     /// Pinned-seed bit-identity proof.
     pinned: PinnedCheck,
 }
 
-fn run_one(experiment: &str, seed: u64) -> SeedRun {
+fn run_one(experiment: &str, seed: u64) -> (SeedRun, Option<Histogram>) {
     match experiment {
         "scale" => {
             let r = scale::run(&ScaleConfig {
@@ -80,24 +95,36 @@ fn run_one(experiment: &str, seed: u64) -> SeedRun {
                 seed,
                 ..ScaleConfig::default()
             });
-            SeedRun {
+            let run = SeedRun {
                 seed,
                 fingerprint: r.trajectory_fingerprint,
                 wall_secs: r.wall_secs,
                 completed: r.completed,
                 dropped: r.dropped,
-            }
+                events: r.events,
+                sim_secs: r.sim_secs,
+                peak_queue_depth: r.peak_queue_depth as u64,
+                peak_live_flows: r.peak_live_flows,
+                peak_open_requests: r.peak_open_requests,
+            };
+            (run, None)
         }
         _ => {
             let wall = std::time::Instant::now();
-            let r = chaos_soak::run(seed);
-            SeedRun {
+            let (r, hist) = chaos_soak::run_with_latency(seed);
+            let run = SeedRun {
                 seed,
                 fingerprint: r.event_fingerprint,
                 wall_secs: wall.elapsed().as_secs_f64(),
                 completed: r.completed,
                 dropped: r.dropped,
-            }
+                events: r.events,
+                sim_secs: r.sim_secs,
+                peak_queue_depth: r.peak_queue_depth as u64,
+                peak_live_flows: r.peak_live_flows,
+                peak_open_requests: r.peak_open_requests,
+            };
+            (run, hist)
         }
     }
 }
@@ -127,9 +154,23 @@ fn main() {
     );
     let exp = experiment.clone();
     let sweep = runner.run(seeds.clone(), move |seed| run_one(&exp, seed));
+    // Per-seed latency folds across seeds via Histogram::merge — the
+    // log-bucketed histograms add bucket-wise, so the merged digest is
+    // exactly what one big serial run over all seeds would have seen.
+    let (mut runs, hists): (Vec<SeedRun>, Vec<Option<Histogram>>) =
+        sweep.results.into_iter().unzip();
+    let latency: Option<LatencyDigest> = {
+        let mut merged: Option<Histogram> = None;
+        for h in hists.into_iter().flatten() {
+            match &mut merged {
+                Some(m) => m.merge(&h),
+                None => merged = Some(h),
+            }
+        }
+        merged.as_ref().map(LatencyDigest::from_nanos)
+    };
     // The runner times each job on its worker; use those walls (not the
     // in-result ones) so chaos and scale are measured the same way.
-    let mut runs = sweep.results;
     for (run, &secs) in runs.iter_mut().zip(&sweep.job_secs) {
         run.wall_secs = secs;
     }
@@ -144,7 +185,7 @@ fn main() {
     // doubles as an uncontended cost sample for the serial estimate.
     let pinned_seed = seeds[0];
     let serial_start = std::time::Instant::now();
-    let serial = run_one(&experiment, pinned_seed);
+    let (serial, _) = run_one(&experiment, pinned_seed);
     let serial_pinned_secs = serial_start.elapsed().as_secs_f64();
 
     // Serial estimate: scale the pinned seed's *uncontended* wall by the
@@ -187,16 +228,38 @@ fn main() {
         }
     );
 
+    if let Some(l) = &latency {
+        println!(
+            "merged latency over {} responses: p50 {:.2} ms / p99 {:.2} ms / p999 {:.2} ms",
+            l.count, l.p50_ms, l.p99_ms, l.p999_ms
+        );
+    }
+
     let report = SweepReport {
-        experiment,
+        experiment: experiment.clone(),
         threads: sweep.threads,
-        runs,
+        runs: runs.clone(),
         parallel_wall_secs: sweep.wall_secs,
         serial_estimate_secs,
         speedup,
+        latency,
         pinned: pinned.clone(),
     };
     soda_bench::emit_json("exp_sweep", &report);
+    let events: u64 = runs.iter().map(|r| r.events).sum();
+    let requests: u64 = runs.iter().map(|r| r.completed + r.dropped).sum();
+    soda_bench::emit_bench(&BenchRecord {
+        experiment: "exp_sweep".to_string(),
+        wall_secs: sweep.wall_secs,
+        sim_secs: runs.iter().map(|r| r.sim_secs).sum(),
+        events,
+        events_per_sec: events as f64 / sweep.wall_secs.max(1e-9),
+        requests,
+        requests_per_sec: requests as f64 / sweep.wall_secs.max(1e-9),
+        peak_queue_depth: runs.iter().map(|r| r.peak_queue_depth).max().unwrap_or(0),
+        peak_live_flows: runs.iter().map(|r| r.peak_live_flows).max().unwrap_or(0),
+        peak_open_requests: runs.iter().map(|r| r.peak_open_requests).max().unwrap_or(0),
+    });
 
     if !pinned.identical {
         eprintln!("FAIL: parallel sweep diverged from serial on the pinned seed");

@@ -25,6 +25,42 @@ use soda_vmm::rootfs::RootFsCatalog;
 use soda_vmm::sysservices::StartupClass;
 use soda_workload::httpgen::PoissonGenerator;
 
+/// Client-visible latency distribution for one run: every per-backend
+/// `switch.response_time` histogram merged into a single digest. The
+/// quantiles come from the log-bucketed [`soda_sim::Histogram`], so
+/// they are bucket floors (deterministic, seed-reproducible) — never
+/// wall-clock-dependent.
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+pub struct LatencyDigest {
+    /// Responses recorded.
+    pub count: u64,
+    /// Mean response time, milliseconds.
+    pub mean_ms: f64,
+    /// Median, milliseconds.
+    pub p50_ms: f64,
+    /// 99th percentile, milliseconds.
+    pub p99_ms: f64,
+    /// 99.9th percentile, milliseconds.
+    pub p999_ms: f64,
+    /// Largest recorded bucket, milliseconds.
+    pub max_ms: f64,
+}
+
+impl LatencyDigest {
+    /// Reduce a nanosecond-valued histogram to the digest.
+    pub fn from_nanos(h: &soda_sim::Histogram) -> Self {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        LatencyDigest {
+            count: h.count(),
+            mean_ms: h.mean() / 1e6,
+            p50_ms: ms(h.quantile(0.5)),
+            p99_ms: ms(h.quantile(0.99)),
+            p999_ms: ms(h.quantile(0.999)),
+            max_ms: ms(h.quantile(1.0)),
+        }
+    }
+}
+
 /// Result of one chaos soak run.
 #[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct ChaosSoakResult {
@@ -61,6 +97,18 @@ pub struct ChaosSoakResult {
     pub retries: u64,
     /// Routing-invariant violations (must be zero).
     pub invariant_violations: u64,
+    /// Engine events executed over the whole soak.
+    pub events: u64,
+    /// Virtual time simulated, seconds.
+    pub sim_secs: f64,
+    /// Event-queue high-water mark.
+    pub peak_queue_depth: usize,
+    /// High-water mark of concurrently active NIC flows fleet-wide.
+    pub peak_live_flows: u64,
+    /// High-water mark of in-flight (admitted, unanswered) requests.
+    pub peak_open_requests: u64,
+    /// Merged `switch.response_time` distribution across all backends.
+    pub latency: LatencyDigest,
     /// FNV-1a hash over the rendered event log — two runs with the same
     /// seed must produce the same fingerprint.
     pub event_fingerprint: u64,
@@ -81,6 +129,13 @@ fn spec(name: &str, instances: u32) -> ServiceSpec {
 /// Run the soak: ~5 minutes of virtual time, faults between t=60 s and
 /// t=270 s, metrics drained after the dust settles.
 pub fn run(seed: u64) -> ChaosSoakResult {
+    run_with_latency(seed).0
+}
+
+/// [`run`], additionally returning the merged raw response-time
+/// histogram (nanosecond values) so sweep callers can fold latency
+/// across seeds with [`soda_sim::Histogram::merge`] before digesting.
+pub fn run_with_latency(seed: u64) -> (ChaosSoakResult, Option<soda_sim::Histogram>) {
     // Three seattles plus a tacoma spare: enough headroom that most
     // recoveries succeed, little enough that degradation is reachable.
     let daemons: Vec<SodaDaemon> = (1u32..=3)
@@ -163,7 +218,15 @@ pub fn run(seed: u64) -> ChaosSoakResult {
             _ => None,
         })
         .collect();
+    let events = engine.events_executed();
+    let peak_queue_depth = engine.peak_events_pending();
+    let sim_secs = engine.now().as_secs_f64();
     let w = engine.state_mut();
+    let latency_hist = w.obs.merged_histogram("switch", "response_time");
+    let latency = latency_hist
+        .as_ref()
+        .map(LatencyDigest::from_nanos)
+        .unwrap_or_default();
     let stats = w.recovery.stats.clone();
     // Crash → detection latency: each detection matched to the latest
     // crash of that host at or before it.
@@ -205,7 +268,7 @@ pub fn run(seed: u64) -> ChaosSoakResult {
         }
     }
 
-    ChaosSoakResult {
+    let result = ChaosSoakResult {
         seed,
         faults_injected,
         detections: stats.detections.len(),
@@ -222,8 +285,15 @@ pub fn run(seed: u64) -> ChaosSoakResult {
         false_alarms: stats.false_alarms,
         retries: stats.retries,
         invariant_violations: stats.invariant_violations,
+        events,
+        sim_secs,
+        peak_queue_depth,
+        peak_live_flows: w.peak_live_flows as u64,
+        peak_open_requests: w.peak_open_requests,
+        latency,
         event_fingerprint: fp,
-    }
+    };
+    (result, latency_hist)
 }
 
 #[cfg(test)]
@@ -236,5 +306,15 @@ mod tests {
         assert!(r.faults_injected > 0, "plan must contain faults");
         assert!(r.completed > 1000, "service keeps serving: {}", r.completed);
         assert_eq!(r.invariant_violations, 0, "never route to a known-dead VSN");
+        assert_eq!(
+            r.latency.count, r.completed,
+            "every completion lands in the merged latency digest"
+        );
+        assert!(r.latency.p50_ms <= r.latency.p99_ms);
+        assert!(r.latency.p99_ms <= r.latency.p999_ms);
+        assert!(r.latency.p999_ms <= r.latency.max_ms);
+        assert!(r.events > 0);
+        assert!(r.peak_queue_depth > 0);
+        assert!(r.peak_open_requests > 0, "requests were in flight");
     }
 }

@@ -70,6 +70,23 @@ pub fn web_world(seed: u64) -> (Engine<SodaWorld>, ServiceId) {
     (engine, svc)
 }
 
+/// Reduce a finished world to the figure's per-node row.
+fn row_from(world: &SodaWorld, svc: ServiceId, point: &DatasetPoint) -> Row {
+    let nodes = &world.master.service(svc).expect("exists").nodes;
+    let (seattle_vsn, tacoma_vsn) = (nodes[0].vsn, nodes[1].vsn);
+    let sw = world.master.switch(svc).expect("switch");
+    let i_s = sw.index_of(seattle_vsn).expect("backend");
+    let i_t = sw.index_of(tacoma_vsn).expect("backend");
+    Row {
+        dataset_bytes: point.dataset_bytes,
+        rate_rps: point.rate_rps,
+        seattle_served: sw.served_counts()[i_s],
+        tacoma_served: sw.served_counts()[i_t],
+        seattle_mean_secs: sw.mean_responses()[i_s],
+        tacoma_mean_secs: sw.mean_responses()[i_t],
+    }
+}
+
 /// Run one sweep point for `measure_secs` of load.
 pub fn run_point(point: &DatasetPoint, measure_secs: u64, seed: u64) -> Row {
     let (mut engine, svc) = web_world(seed);
@@ -83,19 +100,82 @@ pub fn run_point(point: &DatasetPoint, measure_secs: u64, seed: u64) -> Row {
     }
     .start(&mut engine);
     engine.run_until(t0 + SimDuration::from_secs(measure_secs + 120));
-    let world = engine.state();
-    let nodes = &world.master.service(svc).expect("exists").nodes;
-    let (seattle_vsn, tacoma_vsn) = (nodes[0].vsn, nodes[1].vsn);
-    let sw = world.master.switch(svc).expect("switch");
-    let i_s = sw.index_of(seattle_vsn).expect("backend");
-    let i_t = sw.index_of(tacoma_vsn).expect("backend");
-    Row {
+    row_from(engine.state(), svc, point)
+}
+
+/// Everything a traced sweep point yields beyond the figure's row.
+pub struct TracedPoint {
+    /// The figure row (identical to an untraced run's — tracing must be
+    /// observer-transparent).
+    pub row: Row,
+    /// Chrome trace-event JSON (load in Perfetto / `chrome://tracing`).
+    pub chrome_trace: serde::Value,
+    /// Per-trace critical-path breakdown (see `Tracer::critical_paths_value`).
+    pub critical_paths: serde::Value,
+    /// Sampled traces kept.
+    pub traces_kept: usize,
+    /// `(request key, measured response time ns)` for every completed
+    /// request, so critical paths join back to measured times.
+    pub completed: Vec<(u64, u64)>,
+    /// The run's full metric snapshot (per-backend response-time
+    /// histograms, dispatch/drop counters) — the file `soda-cli obs`
+    /// digests.
+    pub snapshot: soda_sim::RegistrySnapshot,
+}
+
+/// [`run_point`] with observability and causal tracing on: the same
+/// deterministic trajectory, plus a head-sampled (1-in-`sample_one_in`,
+/// salted by `seed`) set of end-to-end request traces exported as
+/// Chrome trace-event JSON and critical-path breakdowns.
+pub fn run_point_traced(
+    point: &DatasetPoint,
+    measure_secs: u64,
+    seed: u64,
+    sample_one_in: u64,
+) -> TracedPoint {
+    let mut engine = Engine::with_seed(SodaWorld::testbed(), seed);
+    engine.state_mut().shaping_enforced = false;
+    engine.state_mut().enable_obs(1 << 16);
+    // Salt from the seed: the same run always samples the same keys,
+    // different seeds sample different ones.
+    engine
+        .state_mut()
+        .obs
+        .enable_tracing(seed ^ 0x50DA_50DA, sample_one_in, 1 << 16);
+    let spec = ServiceSpec {
+        name: "web".into(),
+        image: RootFsCatalog::new().base_1_0(),
+        required_services: vec!["network", "syslogd"],
+        app_class: StartupClass::Light,
+        instances: 3,
+        machine: ResourceVector::TABLE1_EXAMPLE,
+        port: 8080,
+    };
+    let svc = create_service_driven(&mut engine, spec, "webco").expect("admitted");
+    engine.run_until(SimTime::from_secs(120));
+    assert_eq!(engine.state().creations.len(), 1, "creation must finish");
+    let t0 = engine.now() + SimDuration::from_secs(5);
+    PoissonGenerator {
+        service: svc,
         dataset_bytes: point.dataset_bytes,
         rate_rps: point.rate_rps,
-        seattle_served: sw.served_counts()[i_s],
-        tacoma_served: sw.served_counts()[i_t],
-        seattle_mean_secs: sw.mean_responses()[i_s],
-        tacoma_mean_secs: sw.mean_responses()[i_t],
+        start: t0,
+        end: t0 + SimDuration::from_secs(measure_secs),
+    }
+    .start(&mut engine);
+    engine.run_until(t0 + SimDuration::from_secs(measure_secs + 120));
+    let world = engine.state();
+    TracedPoint {
+        row: row_from(world, svc, point),
+        chrome_trace: world.obs.chrome_trace().expect("obs enabled"),
+        critical_paths: world.obs.critical_paths().expect("obs enabled"),
+        traces_kept: world.obs.with(|inner| inner.tracer.len()).unwrap_or(0),
+        completed: world
+            .completed
+            .iter()
+            .map(|r| (r.request.0, r.response_time().as_nanos()))
+            .collect(),
+        snapshot: world.obs.snapshot().expect("obs enabled"),
     }
 }
 
@@ -128,20 +208,7 @@ pub fn run_point_closed(point: &DatasetPoint, clients: u32, measure_secs: u64, s
     }
     .start(&mut engine);
     engine.run_until(t0 + SimDuration::from_secs(measure_secs + 120));
-    let world = engine.state();
-    let nodes = &world.master.service(svc).expect("exists").nodes;
-    let (seattle_vsn, tacoma_vsn) = (nodes[0].vsn, nodes[1].vsn);
-    let sw = world.master.switch(svc).expect("switch");
-    let i_s = sw.index_of(seattle_vsn).expect("backend");
-    let i_t = sw.index_of(tacoma_vsn).expect("backend");
-    Row {
-        dataset_bytes: point.dataset_bytes,
-        rate_rps: point.rate_rps,
-        seattle_served: sw.served_counts()[i_s],
-        tacoma_served: sw.served_counts()[i_t],
-        seattle_mean_secs: sw.mean_responses()[i_s],
-        tacoma_mean_secs: sw.mean_responses()[i_t],
-    }
+    row_from(engine.state(), svc, point)
 }
 
 #[cfg(test)]
@@ -172,6 +239,67 @@ mod tests {
         }
         // Response time grows with dataset size.
         assert!(rows[2].seattle_mean_secs > rows[0].seattle_mean_secs);
+    }
+
+    /// Acceptance for the tracing tentpole: a traced run walks the same
+    /// trajectory as an untraced one, its export is shaped like Chrome
+    /// trace-event JSON, and every sampled request's critical-path
+    /// phases sum exactly to that request's measured response time.
+    #[test]
+    fn traced_point_is_transparent_and_critical_paths_sum() {
+        let plain = run_point(&FIG4_SWEEP[0], 30, 3);
+        let traced = run_point_traced(&FIG4_SWEEP[0], 30, 3, 4);
+        assert_eq!(plain.seattle_served, traced.row.seattle_served);
+        assert_eq!(plain.tacoma_served, traced.row.tacoma_served);
+        assert_eq!(plain.seattle_mean_secs, traced.row.seattle_mean_secs);
+        assert_eq!(plain.tacoma_mean_secs, traced.row.tacoma_mean_secs);
+        assert!(traced.traces_kept > 0, "1-in-4 sampling must keep traces");
+
+        // Chrome trace-event shape: complete events with ts/dur, µs.
+        let serde::Value::Array(events) = traced
+            .chrome_trace
+            .get("traceEvents")
+            .expect("traceEvents key")
+        else {
+            panic!("traceEvents must be an array");
+        };
+        assert!(!events.is_empty());
+        for e in events {
+            assert_eq!(e.get("ph").and_then(serde::Value::as_str), Some("X"));
+            assert!(e.get("ts").is_some() && e.get("dur").is_some());
+            assert!(e.get("tid").is_some() && e.get("name").is_some());
+        }
+
+        // Critical paths tile the trace and equal the measured times.
+        let by_key: std::collections::HashMap<u64, u64> =
+            traced.completed.iter().copied().collect();
+        let serde::Value::Array(paths) = &traced.critical_paths else {
+            panic!("critical paths must be an array");
+        };
+        let mut matched = 0u64;
+        for p in paths {
+            if p.get("track").and_then(serde::Value::as_str) != Some("request") {
+                continue;
+            }
+            let key = p.get("key").and_then(serde::Value::as_u64).expect("key");
+            let total = p
+                .get("total_ns")
+                .and_then(serde::Value::as_u64)
+                .expect("total_ns");
+            let serde::Value::Array(phases) = p.get("phases").expect("phases") else {
+                panic!("phases must be an array");
+            };
+            let sum: u64 = phases
+                .iter()
+                .map(|ph| ph.get("dur_ns").and_then(serde::Value::as_u64).unwrap_or(0))
+                .sum();
+            assert_eq!(sum, total, "phases must tile the request trace");
+            if let Some(&rt) = by_key.get(&key) {
+                assert_eq!(total, rt, "critical path != measured response time");
+                matched += 1;
+            }
+        }
+        assert!(matched > 10, "only {matched} sampled requests verified");
     }
 
     #[test]

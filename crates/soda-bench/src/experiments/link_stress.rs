@@ -54,8 +54,9 @@ pub struct StressResult {
     pub sim_secs: f64,
     /// Wall-clock seconds for the whole run.
     pub wall_secs: f64,
-    /// Link events (arrivals + completions + cancellations) per
-    /// wall-clock second.
+    /// Link events: arrivals + completions + cancellations.
+    pub events: u64,
+    /// Link events per wall-clock second.
     pub events_per_sec: f64,
     /// FNV-1a over the `(FlowId, finish_ns)` completion sequence.
     pub fingerprint: u64,
@@ -222,6 +223,7 @@ fn drive(link: &mut dyn Link, cfg: &StressConfig) -> StressResult {
         peak_active,
         sim_secs: now.as_secs_f64(),
         wall_secs,
+        events,
         events_per_sec: events as f64 / wall_secs.max(1e-9),
         fingerprint: fp,
     }

@@ -57,6 +57,11 @@ pub struct ScaleConfig {
     pub seed: u64,
     /// Record observability events/metrics during the run.
     pub obs: bool,
+    /// Run the engine self-profiler (wall-clock cost per event kind).
+    /// Profiling reads the host clock around every handler, so it is
+    /// off for fingerprint-bearing CI runs and on for `exp_scale
+    /// profile` investigations; it must never move the trajectory.
+    pub profile: bool,
     /// Event-queue implementation; the determinism suite replays runs on
     /// both kinds and requires identical fingerprints.
     pub queue: QueueKind,
@@ -69,6 +74,7 @@ impl Default for ScaleConfig {
             requests: 10_000,
             seed: 42,
             obs: false,
+            profile: false,
             queue: QueueKind::default(),
         }
     }
@@ -97,10 +103,21 @@ pub struct ScaleResult {
     pub events: u64,
     /// Host wall-clock for the whole run, seconds.
     pub wall_secs: f64,
+    /// Virtual time simulated, seconds.
+    pub sim_secs: f64,
     /// Events per wall-clock second.
     pub events_per_sec: f64,
+    /// Requests per wall-clock second.
+    pub requests_per_sec: f64,
     /// Event-queue high-water mark.
     pub peak_queue_depth: usize,
+    /// High-water mark of concurrently active NIC flows fleet-wide.
+    pub peak_live_flows: u64,
+    /// High-water mark of in-flight (admitted, unanswered) requests.
+    pub peak_open_requests: u64,
+    /// Per-event-kind wall-clock cost table (empty unless
+    /// [`ScaleConfig::profile`] was set).
+    pub profile: Vec<soda_sim::ProfileEntry>,
     /// Process peak RSS in kB (`VmHWM`; 0 where unavailable). Process-
     /// wide and monotonic, so within one sweep only the largest grid
     /// point's value is meaningful.
@@ -185,6 +202,9 @@ pub fn run(cfg: &ScaleConfig) -> ScaleResult {
     if cfg.obs {
         engine.state_mut().enable_obs(1 << 16);
     }
+    if cfg.profile {
+        engine.enable_profiler();
+    }
 
     // Fill the utility: every admission succeeds because the fleet's
     // instance capacity equals total demand exactly.
@@ -229,7 +249,7 @@ pub fn run(cfg: &ScaleConfig) -> ScaleResult {
             self.remaining -= n;
             if self.remaining > 0 {
                 let tick = self.tick;
-                ctx.schedule_in(tick, move |w, ctx| self.fire(w, ctx));
+                ctx.schedule_in_as("client_arrival", tick, move |w, ctx| self.fire(w, ctx));
             }
         }
     }
@@ -240,12 +260,14 @@ pub fn run(cfg: &ScaleConfig) -> ScaleResult {
         batch,
         tick,
     };
-    engine.schedule_at(t_ready, move |w, ctx| driver.fire(w, ctx));
+    engine.schedule_at_as("client_arrival", t_ready, move |w, ctx| driver.fire(w, ctx));
     // Budget ÷ batch ticks of issue plus drain time.
     engine.run_until(t_ready + SimDuration::from_secs(200));
 
     let events = engine.events_executed();
     let peak_queue_depth = engine.peak_events_pending();
+    let sim_secs = engine.now().as_secs_f64();
+    let profile = engine.profile_report();
     let w = engine.state_mut();
     assert_eq!(
         w.completed.len() as u64 + w.dropped,
@@ -290,8 +312,13 @@ pub fn run(cfg: &ScaleConfig) -> ScaleResult {
         },
         events,
         wall_secs,
+        sim_secs,
         events_per_sec: events as f64 / wall_secs.max(1e-9),
+        requests_per_sec: cfg.requests as f64 / wall_secs.max(1e-9),
         peak_queue_depth,
+        peak_live_flows: w.peak_live_flows as u64,
+        peak_open_requests: w.peak_open_requests,
+        profile,
         peak_rss_kb: peak_rss_kb(),
         trajectory_fingerprint,
         event_fingerprint,
@@ -331,6 +358,38 @@ mod tests {
         assert_eq!(a.events, b.events);
     }
 
+    /// The self-profiler only reads the host clock around handlers: a
+    /// profiled run must walk the exact trajectory of a plain one, and
+    /// its cost table must account for every event executed.
+    #[test]
+    fn profiler_is_trajectory_transparent_and_buckets_kinds() {
+        let cfg = ScaleConfig {
+            hosts: 3,
+            requests: 1_000,
+            seed: 5,
+            ..ScaleConfig::default()
+        };
+        let plain = run(&cfg);
+        let profiled = run(&ScaleConfig {
+            profile: true,
+            ..cfg
+        });
+        assert_eq!(
+            plain.trajectory_fingerprint,
+            profiled.trajectory_fingerprint
+        );
+        assert_eq!(plain.events, profiled.events);
+        assert!(plain.profile.is_empty(), "profiler off by default");
+        let counted: u64 = profiled.profile.iter().map(|e| e.count).sum();
+        assert_eq!(counted, profiled.events, "every event lands in a bucket");
+        for kind in ["client_arrival", "cpu_done", "nic_pump", "response_depart"] {
+            assert!(
+                profiled.profile.iter().any(|e| e.kind == kind),
+                "expected event kind {kind} in the cost table"
+            );
+        }
+    }
+
     /// The wheel and the heap are trajectory-identical end to end, not
     /// just at the queue API: a full scale run on each must fingerprint
     /// the same.
@@ -341,6 +400,7 @@ mod tests {
             requests: 1_000,
             seed: 17,
             obs: true,
+            profile: false,
             queue: QueueKind::Wheel,
         };
         let wheel = run(&cfg);

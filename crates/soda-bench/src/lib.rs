@@ -10,5 +10,5 @@ pub mod experiments;
 pub mod report;
 pub mod sweep;
 
-pub use report::{emit_json, write_json, Table};
+pub use report::{emit_bench, emit_json, write_bench_json, write_json, BenchRecord, Table};
 pub use sweep::{SweepOutcome, SweepRunner};

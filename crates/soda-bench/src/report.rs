@@ -110,6 +110,73 @@ pub fn emit_json<T: Serialize + ?Sized>(exp: &str, data: &T) {
     }
 }
 
+/// One experiment's machine-readable performance trajectory point.
+///
+/// Every canonical perf run (`exp_scale`, `exp_link_stress`,
+/// `exp_sweep`, `exp_chaos_soak`) reduces its results to this one
+/// schema and writes it as `results/BENCH_<experiment>.json`, so a
+/// release build's throughput can be tracked commit-over-commit by
+/// tooling that never parses the experiment-specific report shapes.
+/// Multi-point runs aggregate: walls and counts sum, rates divide the
+/// sums, peaks take the max across points.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchRecord {
+    /// Experiment name, `exp_*` (also names the output file).
+    pub experiment: String,
+    /// Host wall-clock for the measured region, seconds.
+    pub wall_secs: f64,
+    /// Virtual time simulated, seconds.
+    pub sim_secs: f64,
+    /// Engine (or link) events executed.
+    pub events: u64,
+    /// `events / wall_secs`.
+    pub events_per_sec: f64,
+    /// Requests (or flows) pushed through the system.
+    pub requests: u64,
+    /// `requests / wall_secs`.
+    pub requests_per_sec: f64,
+    /// Event-queue high-water mark.
+    pub peak_queue_depth: u64,
+    /// High-water mark of concurrently active NIC/link flows.
+    pub peak_live_flows: u64,
+    /// High-water mark of in-flight (admitted, unanswered) requests.
+    pub peak_open_requests: u64,
+}
+
+impl BenchRecord {
+    /// Fold another point into this record: walls, counts and virtual
+    /// time sum; peaks take the max; the rates are re-derived from the
+    /// folded sums.
+    pub fn fold(&mut self, other: &BenchRecord) {
+        self.wall_secs += other.wall_secs;
+        self.sim_secs += other.sim_secs;
+        self.events += other.events;
+        self.requests += other.requests;
+        self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
+        self.peak_live_flows = self.peak_live_flows.max(other.peak_live_flows);
+        self.peak_open_requests = self.peak_open_requests.max(other.peak_open_requests);
+        self.events_per_sec = self.events as f64 / self.wall_secs.max(1e-9);
+        self.requests_per_sec = self.requests as f64 / self.wall_secs.max(1e-9);
+    }
+}
+
+/// Serialize a [`BenchRecord`] into `results/BENCH_<experiment>.json`.
+pub fn write_bench_json(record: &BenchRecord) -> io::Result<PathBuf> {
+    write_json(&format!("BENCH_{}", record.experiment), record)
+}
+
+/// [`write_bench_json`] plus a one-line confirmation on stdout; errors
+/// go to stderr without unwinding, mirroring [`emit_json`].
+pub fn emit_bench(record: &BenchRecord) {
+    match write_bench_json(record) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!(
+            "warning: could not write BENCH_{}.json: {e}",
+            record.experiment
+        ),
+    }
+}
+
 /// Shorthand for building a row of strings.
 #[macro_export]
 macro_rules! cells {
@@ -121,6 +188,10 @@ macro_rules! cells {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Serializes the tests that point `SODA_RESULTS_DIR` somewhere
+    /// (process-global env, parallel test runner).
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     #[test]
     fn renders_aligned() {
@@ -142,7 +213,69 @@ mod tests {
     }
 
     #[test]
+    fn bench_record_folds_sums_and_peaks() {
+        let mut a = BenchRecord {
+            experiment: "exp_unit".into(),
+            wall_secs: 1.0,
+            sim_secs: 100.0,
+            events: 1_000,
+            events_per_sec: 1_000.0,
+            requests: 100,
+            requests_per_sec: 100.0,
+            peak_queue_depth: 10,
+            peak_live_flows: 5,
+            peak_open_requests: 7,
+        };
+        let b = BenchRecord {
+            wall_secs: 3.0,
+            sim_secs: 300.0,
+            events: 3_000,
+            events_per_sec: 1_000.0,
+            requests: 300,
+            requests_per_sec: 100.0,
+            peak_queue_depth: 4,
+            peak_live_flows: 9,
+            peak_open_requests: 2,
+            ..a.clone()
+        };
+        a.fold(&b);
+        assert_eq!(a.events, 4_000);
+        assert_eq!(a.requests, 400);
+        assert_eq!(a.peak_queue_depth, 10);
+        assert_eq!(a.peak_live_flows, 9);
+        assert_eq!(a.peak_open_requests, 7);
+        assert!((a.events_per_sec - 1_000.0).abs() < 1e-9);
+        assert!((a.requests_per_sec - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bench_json_lands_under_bench_prefix() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join("soda-bench-record-test");
+        std::env::set_var("SODA_RESULTS_DIR", &dir);
+        let rec = BenchRecord {
+            experiment: "exp_unit".into(),
+            wall_secs: 0.5,
+            sim_secs: 10.0,
+            events: 42,
+            events_per_sec: 84.0,
+            requests: 7,
+            requests_per_sec: 14.0,
+            peak_queue_depth: 3,
+            peak_live_flows: 2,
+            peak_open_requests: 1,
+        };
+        let path = write_bench_json(&rec).unwrap();
+        std::env::remove_var("SODA_RESULTS_DIR");
+        assert_eq!(path, dir.join("BENCH_exp_unit.json"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"events_per_sec\""), "{body}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn write_json_emits_rows() {
+        let _guard = ENV_LOCK.lock().unwrap();
         #[derive(Serialize)]
         struct Row {
             name: String,

@@ -519,7 +519,7 @@ fn attempt_recovery(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, id: u64) {
                             host: u64::from(host.0),
                         },
                     );
-                    ctx.schedule_in(timing.total(), move |w: &mut SodaWorld, ctx| {
+                    ctx.schedule_in_as("reprime", timing.total(), move |w: &mut SodaWorld, ctx| {
                         finish_reprime(w, ctx, id, svc, vsn, host);
                     });
                     return;
@@ -600,7 +600,7 @@ fn schedule_retry(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, id: u64) {
             delay_ms: delay.as_millis(),
         },
     );
-    ctx.schedule_in(delay, move |w: &mut SodaWorld, ctx| {
+    ctx.schedule_in_as("retry", delay, move |w: &mut SodaWorld, ctx| {
         // Generation guard: only fire if the episode is still waiting
         // on this very attempt.
         let live = w

@@ -97,6 +97,10 @@ pub struct ServiceSwitch {
     healthy_capacity: u32,
     /// Sum of `outstanding` over all backends, maintained incrementally.
     total_outstanding: u32,
+    /// High-water mark of `total_outstanding` — the switch's worst-case
+    /// queue depth, reported by the bench trajectory. Tracked
+    /// unconditionally so it never depends on observability settings.
+    peak_outstanding: u32,
     /// Sum of `served` over all backends, maintained incrementally.
     total_served: u64,
     dropped: u64,
@@ -106,6 +110,9 @@ pub struct ServiceSwitch {
     handles: Vec<BackendHandles>,
     /// Interned handle for the service-level `switch.dropped` counter.
     dropped_h: Option<MetricHandle>,
+    /// Interned handle for the service-level `switch.queue_depth` gauge
+    /// (total outstanding across backends — the autoscaler's signal).
+    queue_depth_h: Option<MetricHandle>,
 }
 
 impl ServiceSwitch {
@@ -120,12 +127,14 @@ impl ServiceSwitch {
             views: Vec::new(),
             healthy_capacity: 0,
             total_outstanding: 0,
+            peak_outstanding: 0,
             total_served: 0,
             dropped: 0,
             ewma_alpha: 0.2,
             obs: Obs::disabled(),
             handles: Vec::new(),
             dropped_h: None,
+            queue_depth_h: None,
         }
     }
 
@@ -136,6 +145,26 @@ impl ServiceSwitch {
         self.obs = obs;
         self.handles = vec![BackendHandles::default(); self.backends.len()];
         self.dropped_h = None;
+        self.queue_depth_h = None;
+    }
+
+    /// Track the `total_outstanding` high-water mark and, when obs is
+    /// on, refresh the `switch.queue_depth` gauge. Called after every
+    /// mutation of the outstanding count.
+    #[inline]
+    fn note_queue_depth(&mut self) {
+        self.peak_outstanding = self.peak_outstanding.max(self.total_outstanding);
+        if !self.obs.is_enabled() {
+            return;
+        }
+        let h = Self::handle(
+            &self.obs,
+            &mut self.queue_depth_h,
+            "queue_depth",
+            Labels::none().with("service", self.service.0),
+            MetricKind::Gauge,
+        );
+        self.obs.gauge_set_h(h, f64::from(self.total_outstanding));
     }
 
     /// Returns the cached handle in `slot`, interning `switch.<name>` on
@@ -265,6 +294,7 @@ impl ServiceSwitch {
                 self.backends[i].outstanding += 1;
                 self.views[i].outstanding += 1;
                 self.total_outstanding += 1;
+                self.note_queue_depth();
                 if self.obs.is_enabled() {
                     let labels = self.labels(i);
                     self.obs.record(
@@ -342,6 +372,7 @@ impl ServiceSwitch {
         b.response_stats.record(rt);
         self.views[idx].outstanding = b.outstanding;
         self.views[idx].ewma_response = b.ewma_response;
+        self.note_queue_depth();
         if self.obs.is_enabled() {
             let labels = self.labels(idx);
             let outstanding_now = self.backends[idx].outstanding;
@@ -395,6 +426,7 @@ impl ServiceSwitch {
             self.total_outstanding -= 1;
         }
         self.views[idx].outstanding = b.outstanding;
+        self.note_queue_depth();
         if self.obs.is_enabled() {
             let labels = self.labels(idx);
             let outstanding_now = self.backends[idx].outstanding;
@@ -450,6 +482,12 @@ impl ServiceSwitch {
     /// Requests currently in flight across all backends. O(1).
     pub fn total_outstanding(&self) -> u32 {
         self.total_outstanding
+    }
+
+    /// High-water mark of [`ServiceSwitch::total_outstanding`] over the
+    /// switch's lifetime.
+    pub fn peak_outstanding(&self) -> u32 {
+        self.peak_outstanding
     }
 
     /// Requests completed across all backends. O(1).

@@ -26,6 +26,7 @@ use soda_net::http::HttpModel;
 use soda_net::link::{FlowId, LinkSpec, ProcessorSharingLink};
 use soda_sim::{
     Ctx, Engine, Event, FaultSpec, Labels, MetricHandle, MetricKind, Obs, SimDuration, SimTime,
+    TraceRef,
 };
 use soda_vmm::intercept::{InterceptCostModel, SlowdownFactors};
 use soda_vmm::isolation::{Blast, ExecutionMode, FaultKind};
@@ -88,6 +89,9 @@ enum FlowPurpose {
         /// When the backend's CPU stage finished (the response span —
         /// shaper wait + NIC transfer — starts here).
         cpu_done: SimTime,
+        /// When the shaper released the response onto the NIC (the
+        /// `response_transfer` trace phase starts here).
+        departed: SimTime,
         dataset: u64,
         request: RequestId,
     },
@@ -122,6 +126,9 @@ struct NicArm {
 /// One finished client request — the raw material of Figures 4 and 6.
 #[derive(Clone, Copy, Debug)]
 pub struct RequestRecord {
+    /// The request (doubles as the causal-trace key on the `request`
+    /// track, so sampled traces join back to their records exactly).
+    pub request: RequestId,
     /// The service.
     pub service: ServiceId,
     /// The backend node that served it.
@@ -218,6 +225,26 @@ pub struct SodaWorld {
     /// Armed one-shot priming failures per host: the next `n` image
     /// downloads completing on the host fail instead of booting.
     armed_priming_failures: HashMap<HostId, u32>,
+    /// Root trace refs of sampled in-flight requests (entries exist only
+    /// while tracing is on and the request was sampled; removed at
+    /// delivery or drop, so this never outgrows the in-flight set).
+    request_traces: HashMap<RequestId, TraceRef>,
+    /// Root trace refs of sampled in-flight service creations.
+    creation_traces: HashMap<ServiceId, TraceRef>,
+    /// Open `priming` spans of sampled creations, keyed by node.
+    priming_traces: HashMap<VsnId, TraceRef>,
+    /// High-water mark of concurrent NIC flows across all hosts. Plain
+    /// unconditional bookkeeping: tracked whether or not obs is on, so
+    /// the bench trajectory never depends on observability settings.
+    pub peak_live_flows: usize,
+    /// Requests submitted but not yet delivered or dropped.
+    open_requests: u64,
+    /// High-water mark of `open_requests`.
+    pub peak_open_requests: u64,
+    /// Interned gauges for the backpressure signals (lazy, like
+    /// `stale_wakeup_h`).
+    live_flows_h: Option<MetricHandle>,
+    open_requests_h: Option<MetricHandle>,
 }
 
 impl SodaWorld {
@@ -262,6 +289,14 @@ impl SodaWorld {
             stale_wakeup_h: None,
             host_slow: HashMap::new(),
             armed_priming_failures: HashMap::new(),
+            request_traces: HashMap::new(),
+            creation_traces: HashMap::new(),
+            priming_traces: HashMap::new(),
+            peak_live_flows: 0,
+            open_requests: 0,
+            peak_open_requests: 0,
+            live_flows_h: None,
+            open_requests_h: None,
         }
     }
 
@@ -298,7 +333,36 @@ impl SodaWorld {
         self.obs = obs.clone();
         // Any previously interned handle points into the old registry.
         self.stale_wakeup_h = None;
+        self.live_flows_h = None;
+        self.open_requests_h = None;
         obs
+    }
+
+    /// Refresh the backpressure gauges and their high-water marks:
+    /// concurrent NIC flows across all hosts and submitted-but-unfinished
+    /// requests. The peaks are plain fields (always tracked); the gauges
+    /// are lazily interned and only touched when obs is on.
+    fn note_backpressure(&mut self) {
+        let flows = self.inflight.len();
+        self.peak_live_flows = self.peak_live_flows.max(flows);
+        self.peak_open_requests = self.peak_open_requests.max(self.open_requests);
+        if !self.obs.is_enabled() {
+            return;
+        }
+        if self.live_flows_h.is_none() {
+            self.live_flows_h =
+                self.obs
+                    .intern("world", "live_flows", Labels::none(), MetricKind::Gauge);
+            self.open_requests_h =
+                self.obs
+                    .intern("world", "open_requests", Labels::none(), MetricKind::Gauge);
+        }
+        if let Some(h) = self.live_flows_h {
+            self.obs.gauge_set_h(h, flows as f64);
+        }
+        if let Some(h) = self.open_requests_h {
+            self.obs.gauge_set_h(h, self.open_requests as f64);
+        }
     }
 
     /// How many stale NIC wakeups have been dropped (0 when obs is off
@@ -471,7 +535,7 @@ fn rearm_nic(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, host: HostId) {
             arm.gen += 1;
             arm.armed_for = Some(t);
             let gen = arm.gen;
-            ctx.schedule_at(t, move |w: &mut SodaWorld, ctx| {
+            ctx.schedule_at_as("nic_pump", t, move |w: &mut SodaWorld, ctx| {
                 pump_nic_event(w, ctx, host, gen);
             });
         }
@@ -512,11 +576,13 @@ fn pump_nic(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, host: HostId) {
                 routed,
                 issued,
                 cpu_done,
+                departed,
                 dataset,
                 request,
             } => {
                 let delivered = finish + latency;
                 let record = RequestRecord {
+                    request,
                     service,
                     vsn,
                     issued,
@@ -531,6 +597,13 @@ fn pump_nic(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, host: HostId) {
                     cpu_done,
                     delivered,
                 );
+                if let Some(tr) = world.request_traces.remove(&request) {
+                    world
+                        .obs
+                        .trace_child(Some(tr), "response_transfer", departed, delivered);
+                    world.obs.trace_close(Some(tr), delivered);
+                }
+                world.open_requests = world.open_requests.saturating_sub(1);
                 if routed {
                     if let Some(sw) = world.master.switch_mut(service) {
                         sw.complete(vsn, delivered.saturating_since(issued), delivered);
@@ -558,7 +631,13 @@ fn pump_nic(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, host: HostId) {
                     fail_priming(world, ctx, service, vsn, host);
                 } else {
                     // Image is on local disk; bootstrap now runs.
-                    ctx.schedule_in(bootstrap, move |w: &mut SodaWorld, ctx| {
+                    let now = ctx.now();
+                    let ptr = world.priming_traces.get(&vsn).copied();
+                    world.obs.trace_child(ptr, "image_download", started, now);
+                    world
+                        .obs
+                        .trace_child(ptr, "bootstrap", now, now + bootstrap);
+                    ctx.schedule_in_as("node_boot", bootstrap, move |w: &mut SodaWorld, ctx| {
                         finish_node_boot(w, ctx, service, vsn, started);
                     });
                 }
@@ -567,6 +646,7 @@ fn pump_nic(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, host: HostId) {
         }
     }
     world.nic_scratch.push(completed);
+    world.note_backpressure();
     rearm_nic(world, ctx, host);
 }
 
@@ -591,6 +671,7 @@ fn start_flow(
         FlowPurpose::Download { .. } | FlowPurpose::Flood => None,
     };
     world.inflight.insert(host, flow, vsn_tag, purpose);
+    world.note_backpressure();
     // Zero-byte flows complete instantly; pump right away. Otherwise arm
     // at the (possibly moved) next completion.
     pump_nic(world, ctx, host);
@@ -605,6 +686,9 @@ fn finish_node_boot(
 ) {
     let now = ctx.now();
     let elapsed = now.saturating_since(started);
+    if let Some(p) = world.priming_traces.remove(&vsn) {
+        world.obs.trace_close(Some(p), now);
+    }
     // A node booting for a service that already has a switch is a
     // resize-growth or failover replacement: it joins the running
     // service instead of completing a creation.
@@ -683,6 +767,9 @@ pub(crate) fn complete_creation_record(
     for n in nodes {
         let _ = world.install_runtime(service, n, ExecutionMode::GuestIsolated);
     }
+    if let Some(tr) = world.creation_traces.remove(&service) {
+        world.obs.trace_close(Some(tr), now);
+    }
     world.agent.billing_start(service, &asp, capacity, now);
     world.creations.push(CreationRecord { reply, at: now });
 }
@@ -702,6 +789,18 @@ pub fn create_service_driven(
     world.daemons = daemons;
     let outcome = outcome?;
     let service = outcome.service;
+    // Admission and placement both resolved synchronously inside
+    // `Master::admit`, so a sampled creation trace records them as
+    // zero-width phases at `now`; each node then gets an open `priming`
+    // phase closed when its bootstrap finishes (or its priming fails).
+    let trace = world
+        .obs
+        .trace_begin("creation", "creation", service.0, now);
+    if let Some(tr) = trace {
+        world.obs.trace_child(Some(tr), "admission", now, now);
+        world.obs.trace_child(Some(tr), "placement", now, now);
+        world.creation_traces.insert(service, tr);
+    }
     let downloads: Vec<(HostId, VsnId, SimDuration, u64)> = outcome
         .tickets
         .iter()
@@ -714,8 +813,13 @@ pub fn create_service_driven(
             )
         })
         .collect();
+    for &(_, vsn, _, _) in &downloads {
+        if let Some(p) = world.obs.trace_open_child(trace, "priming", now) {
+            world.priming_traces.insert(vsn, p);
+        }
+    }
     for (host, vsn, bootstrap, bytes) in downloads {
-        engine.schedule_at(now, move |w: &mut SodaWorld, ctx| {
+        engine.schedule_at_as("start_download", now, move |w: &mut SodaWorld, ctx| {
             start_flow(
                 w,
                 ctx,
@@ -753,7 +857,7 @@ pub fn resize_service_driven(
     // Shrinks may have removed nodes the data plane still references.
     world.prune_runtimes();
     for (host, ticket) in outcome.tickets {
-        engine.schedule_at(now, move |w: &mut SodaWorld, ctx| {
+        engine.schedule_at_as("start_download", now, move |w: &mut SodaWorld, ctx| {
             start_download(w, ctx, host, service, &ticket);
         });
     }
@@ -784,6 +888,14 @@ pub fn submit_request_with_callback(
     let issued = ctx.now();
     let request = RequestId(world.next_request);
     world.next_request += 1;
+    if let Some(tr) = world
+        .obs
+        .trace_begin("request", "request", request.0, issued)
+    {
+        world.request_traces.insert(request, tr);
+    }
+    world.open_requests += 1;
+    world.note_backpressure();
     if let Some(cb) = callback {
         world.callbacks.insert(request, cb);
     }
@@ -827,15 +939,29 @@ pub fn submit_request_direct(
     let issued = ctx.now();
     let request = RequestId(world.next_request);
     world.next_request += 1;
+    if let Some(tr) = world
+        .obs
+        .trace_begin("request", "request", request.0, issued)
+    {
+        world.request_traces.insert(request, tr);
+    }
+    world.open_requests += 1;
+    world.note_backpressure();
     let forward = SimDuration::from_micros(200); // client → server, one hop
     dispatch_to_backend(
         world, ctx, service, vsn, false, issued, forward, dataset, request,
     );
 }
 
-/// Count a drop and fire the request's callback with `None`.
+/// Count a drop and fire the request's callback with `None`. Also the
+/// single place a lost request's trace root is closed (at the drop
+/// instant — its phases then legitimately do not span a full response).
 fn drop_request(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, request: RequestId) {
     world.dropped += 1;
+    world.open_requests = world.open_requests.saturating_sub(1);
+    if let Some(tr) = world.request_traces.remove(&request) {
+        world.obs.trace_close(Some(tr), ctx.now());
+    }
     if let Some(cb) = world.callbacks.remove(&request) {
         cb(world, ctx, None);
     }
@@ -895,9 +1021,16 @@ fn dispatch_to_backend(
         world
             .obs
             .span_record("request", "guest_service", labels, start, done_cpu);
+        // Same for a sampled trace: the first three critical-path phases
+        // (route spans switch forwarding, queue the CPU wait, service
+        // the CPU stage) are contiguous from issue to CPU completion.
+        let tr = world.request_traces.get(&request).copied();
+        world.obs.trace_child(tr, "route", issued, arrive);
+        world.obs.trace_child(tr, "queue", arrive, start);
+        world.obs.trace_child(tr, "guest_service", start, done_cpu);
     }
     let wire_bytes = (world.http.response_bytes(dataset) as f64 * net_slow) as u64;
-    ctx.schedule_at(done_cpu, move |w: &mut SodaWorld, ctx| {
+    ctx.schedule_at_as("cpu_done", done_cpu, move |w: &mut SodaWorld, ctx| {
         // The node may have died (or its link partitioned) while the
         // request was in its CPU stage: the response is lost, and the
         // drop is counted rather than silently vanishing.
@@ -939,7 +1072,9 @@ fn dispatch_to_backend(
             drop_request(w, ctx, request);
             return;
         }
-        ctx.schedule_at(depart, move |w: &mut SodaWorld, ctx| {
+        let tr = w.request_traces.get(&request).copied();
+        w.obs.trace_child(tr, "shaper_wait", done_cpu, depart);
+        ctx.schedule_at_as("response_depart", depart, move |w: &mut SodaWorld, ctx| {
             start_flow(
                 w,
                 ctx,
@@ -951,6 +1086,7 @@ fn dispatch_to_backend(
                     routed,
                     issued,
                     cpu_done: done_cpu,
+                    departed: ctx.now(),
                     dataset,
                     request,
                 },
@@ -1116,6 +1252,9 @@ fn fail_priming(
             host: u64::from(host.0),
         },
     );
+    if let Some(p) = world.priming_traces.remove(&vsn) {
+        world.obs.trace_close(Some(p), now);
+    }
     let mut daemons = std::mem::take(&mut world.daemons);
     let removed = world.master.remove_node(service, vsn, &mut daemons, now);
     world.daemons = daemons;
@@ -1206,7 +1345,7 @@ pub fn apply_fault(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, fault: Fault
             let entry = world.host_slow.entry(h).or_insert((1.0, until));
             entry.0 = entry.0.max(factor.max(1.0));
             entry.1 = entry.1.max(until);
-            ctx.schedule_in(duration, move |w: &mut SodaWorld, ctx| {
+            ctx.schedule_in_as("fault_expiry", duration, move |w: &mut SodaWorld, ctx| {
                 if w.host_slow.get(&h).is_some_and(|&(_, t)| ctx.now() >= t) {
                     w.host_slow.remove(&h);
                 }
@@ -1223,7 +1362,7 @@ pub fn apply_fault(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, fault: Fault
             world.control.partition(host, now + duration);
             world.obs.record(now, Event::LinkPartitioned { host });
             drop_inflight_on_host(world, ctx, HostId(host as u32));
-            ctx.schedule_in(duration, move |w: &mut SodaWorld, ctx| {
+            ctx.schedule_in_as("fault_expiry", duration, move |w: &mut SodaWorld, ctx| {
                 w.obs.record(ctx.now(), Event::LinkRestored { host });
             });
         }
@@ -1244,7 +1383,7 @@ pub fn revive_node(
         .ok_or(SodaError::UnknownService(service))?;
     let host = rec.node(vsn).ok_or(SodaError::UnknownVsn(vsn))?.host;
     let timing = world.daemon_mut(host).begin_repriming(vsn)?;
-    ctx.schedule_in(timing.total(), move |w: &mut SodaWorld, ctx| {
+    ctx.schedule_in_as("reprime", timing.total(), move |w: &mut SodaWorld, ctx| {
         let now = ctx.now();
         if w.daemon_mut(host).complete_priming(vsn, now).is_ok() {
             w.master.node_recovered(service, vsn);

@@ -6,22 +6,29 @@
 //! the [`Ctx`] (the queue itself cannot be borrowed while the handler runs,
 //! so `Ctx` buffers the new events and the engine drains the buffer after
 //! each handler returns — preserving FIFO order at equal timestamps).
+//!
+//! Every event carries a static *kind* tag (`schedule_at_as` & co.; the
+//! untagged helpers file under [`DEFAULT_EVENT_KIND`]). Kinds cost one
+//! pointer per queued event and buy the self-profiler its per-kind
+//! wall-clock cost table ([`Engine::enable_profiler`]).
 
+use crate::profiler::{ProfileEntry, Profiler};
 use crate::queue::{EventQueue, QueueKind};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
-use crate::trace::Trace;
 
 /// The type of a scheduled event handler.
 pub type EventFn<S> = Box<dyn FnOnce(&mut S, &mut Ctx<S>)>;
 
-/// Handler-side view of the engine: the current time, the RNG, the trace,
-/// and a buffer for newly scheduled events.
+/// The kind tag events scheduled without an explicit kind file under.
+pub const DEFAULT_EVENT_KIND: &str = "event";
+
+/// Handler-side view of the engine: the current time, the RNG, and a
+/// buffer for newly scheduled events.
 pub struct Ctx<'a, S> {
     now: SimTime,
     rng: &'a mut SimRng,
-    trace: &'a mut Trace,
-    pending: Vec<(SimTime, EventFn<S>)>,
+    pending: Vec<(SimTime, &'static str, EventFn<S>)>,
     stop_requested: bool,
 }
 
@@ -36,19 +43,13 @@ impl<'a, S> Ctx<'a, S> {
         self.rng
     }
 
-    /// The engine's trace buffer.
-    pub fn trace(&mut self) -> &mut Trace {
-        self.trace
-    }
-
     /// Schedule `f` to run at absolute time `at`. Times in the past clamp
     /// to "now" (they run after all other events already queued for now).
     pub fn schedule_at<F>(&mut self, at: SimTime, f: F)
     where
         F: FnOnce(&mut S, &mut Ctx<S>) + 'static,
     {
-        let at = at.max(self.now);
-        self.pending.push((at, Box::new(f)));
+        self.schedule_at_as(DEFAULT_EVENT_KIND, at, f);
     }
 
     /// Schedule `f` to run `delay` after now.
@@ -57,6 +58,23 @@ impl<'a, S> Ctx<'a, S> {
         F: FnOnce(&mut S, &mut Ctx<S>) + 'static,
     {
         self.schedule_at(self.now + delay, f);
+    }
+
+    /// Schedule `f` at absolute time `at` under a profiling kind tag.
+    pub fn schedule_at_as<F>(&mut self, kind: &'static str, at: SimTime, f: F)
+    where
+        F: FnOnce(&mut S, &mut Ctx<S>) + 'static,
+    {
+        let at = at.max(self.now);
+        self.pending.push((at, kind, Box::new(f)));
+    }
+
+    /// Schedule `f` after `delay` under a profiling kind tag.
+    pub fn schedule_in_as<F>(&mut self, kind: &'static str, delay: SimDuration, f: F)
+    where
+        F: FnOnce(&mut S, &mut Ctx<S>) + 'static,
+    {
+        self.schedule_at_as(kind, self.now + delay, f);
     }
 
     /// Ask the engine to stop after the current handler returns. Pending
@@ -71,9 +89,9 @@ impl<'a, S> Ctx<'a, S> {
 pub struct Engine<S> {
     state: S,
     now: SimTime,
-    queue: EventQueue<EventFn<S>>,
+    queue: EventQueue<(&'static str, EventFn<S>)>,
     rng: SimRng,
-    trace: Trace,
+    profiler: Profiler,
     executed: u64,
     stopped: bool,
 }
@@ -100,7 +118,7 @@ impl<S> Engine<S> {
             now: SimTime::ZERO,
             queue: EventQueue::with_capacity_and_kind(1024, queue),
             rng: SimRng::new(seed),
-            trace: Trace::disabled(),
+            profiler: Profiler::disabled(),
             executed: 0,
             stopped: false,
         }
@@ -144,14 +162,22 @@ impl<S> Engine<S> {
         &mut self.rng
     }
 
-    /// Enable event tracing with the given capacity.
-    pub fn enable_trace(&mut self, capacity: usize) {
-        self.trace = Trace::enabled(capacity);
+    /// Switch on the self-profiler: each executed handler's wall-clock
+    /// cost is accumulated per event kind. Wall readings never touch
+    /// simulation state, so profiling cannot perturb a trajectory.
+    pub fn enable_profiler(&mut self) {
+        self.profiler = Profiler::enabled();
     }
 
-    /// The trace buffer.
-    pub fn trace(&self) -> &Trace {
-        &self.trace
+    /// The self-profiler (disabled unless [`Engine::enable_profiler`]).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// The per-event-kind cost table, most expensive kind first (empty
+    /// when the profiler is disabled).
+    pub fn profile_report(&self) -> Vec<ProfileEntry> {
+        self.profiler.report()
     }
 
     /// Number of events executed so far.
@@ -185,8 +211,7 @@ impl<S> Engine<S> {
     where
         F: FnOnce(&mut S, &mut Ctx<S>) + 'static,
     {
-        let at = at.max(self.now);
-        self.queue.push(at, Box::new(f));
+        self.schedule_at_as(DEFAULT_EVENT_KIND, at, f);
     }
 
     /// Schedule `f` to run `delay` after the current time.
@@ -195,6 +220,23 @@ impl<S> Engine<S> {
         F: FnOnce(&mut S, &mut Ctx<S>) + 'static,
     {
         self.schedule_at(self.now + delay, f);
+    }
+
+    /// Schedule `f` at absolute time `at` under a profiling kind tag.
+    pub fn schedule_at_as<F>(&mut self, kind: &'static str, at: SimTime, f: F)
+    where
+        F: FnOnce(&mut S, &mut Ctx<S>) + 'static,
+    {
+        let at = at.max(self.now);
+        self.queue.push(at, (kind, Box::new(f)));
+    }
+
+    /// Schedule `f` after `delay` under a profiling kind tag.
+    pub fn schedule_in_as<F>(&mut self, kind: &'static str, delay: SimDuration, f: F)
+    where
+        F: FnOnce(&mut S, &mut Ctx<S>) + 'static,
+    {
+        self.schedule_at_as(kind, self.now + delay, f);
     }
 
     /// Schedule `f` to run every `period` starting at `start`, until it
@@ -218,13 +260,13 @@ impl<S> Engine<S> {
                     let next = ctx.now() + period;
                     if next < end {
                         let ev = arm(period, end, f);
-                        ctx.pending.push((next, ev));
+                        ctx.pending.push((next, "periodic", ev));
                     }
                 }
             })
         }
         let at = start.max(self.now);
-        self.queue.push(at, arm(period, end, f));
+        self.queue.push(at, ("periodic", arm(period, end, f)));
     }
 
     /// Execute the single earliest event. Returns `false` if the queue was
@@ -233,7 +275,7 @@ impl<S> Engine<S> {
         if self.stopped {
             return false;
         }
-        let Some((time, event)) = self.queue.pop() else {
+        let Some((time, (kind, event))) = self.queue.pop() else {
             return false;
         };
         debug_assert!(time >= self.now, "event queue went back in time");
@@ -241,18 +283,21 @@ impl<S> Engine<S> {
         let mut ctx = Ctx {
             now: time,
             rng: &mut self.rng,
-            trace: &mut self.trace,
             pending: Vec::new(),
             stop_requested: false,
         };
+        let started = self.profiler.is_enabled().then(std::time::Instant::now);
         event(&mut self.state, &mut ctx);
+        if let Some(t0) = started {
+            self.profiler.observe(kind, t0.elapsed());
+        }
         let Ctx {
             pending,
             stop_requested,
             ..
         } = ctx;
-        for (at, f) in pending {
-            self.queue.push(at, f);
+        for (at, k, f) in pending {
+            self.queue.push(at, (k, f));
         }
         self.stopped = stop_requested;
         self.executed += 1;
@@ -433,6 +478,38 @@ mod tests {
             SimTime::from_secs(1),
             |_: &mut W, _| true,
         );
+    }
+
+    #[test]
+    fn profiler_buckets_by_kind_tag() {
+        let mut e = Engine::new(W::default());
+        e.enable_profiler();
+        e.schedule_at_as("tick", SimTime::from_secs(1), |w: &mut W, ctx| {
+            w.log.push(1);
+            ctx.schedule_in_as("tock", SimDuration::from_secs(1), |w: &mut W, _| {
+                w.log.push(2);
+            });
+        });
+        e.schedule_at(SimTime::from_secs(3), |w: &mut W, _| w.log.push(3));
+        e.run_to_completion();
+        assert_eq!(e.state().log, vec![1, 2, 3]);
+        let report = e.profile_report();
+        let kinds: Vec<&str> = report.iter().map(|r| r.kind).collect();
+        assert!(kinds.contains(&"tick"));
+        assert!(kinds.contains(&"tock"));
+        assert!(kinds.contains(&DEFAULT_EVENT_KIND));
+        assert!(report.iter().all(|r| r.count == 1));
+    }
+
+    #[test]
+    fn disabled_profiler_reports_nothing() {
+        let mut e = Engine::new(W::default());
+        e.schedule_at_as("tick", SimTime::from_secs(1), |w: &mut W, _| {
+            w.log.push(1);
+        });
+        e.run_to_completion();
+        assert!(e.profile_report().is_empty());
+        assert!(!e.profiler().is_enabled());
     }
 
     #[test]

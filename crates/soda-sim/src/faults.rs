@@ -258,7 +258,7 @@ impl FaultPlan {
         for inj in &self.injections {
             let fault = inj.fault;
             let apply = apply.clone();
-            engine.schedule_at(inj.at, move |state: &mut S, ctx: &mut Ctx<S>| {
+            engine.schedule_at_as("fault", inj.at, move |state: &mut S, ctx: &mut Ctx<S>| {
                 apply(state, ctx, fault);
             });
         }

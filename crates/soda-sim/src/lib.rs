@@ -9,8 +9,10 @@
 //! a stable event queue, a seeded random-number generator with the
 //! distributions the workload generators need, metric recorders
 //! (histograms, time series, availability trackers) used by every
-//! experiment harness, and a structured observability layer ([`obs`]:
-//! typed events, virtual-time spans, labeled metrics registry).
+//! experiment harness, a structured observability layer ([`obs`]:
+//! typed events, virtual-time spans, labeled metrics registry, sampled
+//! causal traces), and a per-event-kind wall-clock self-profiler
+//! ([`profiler`]).
 //!
 //! Design goals:
 //!
@@ -47,23 +49,24 @@ pub mod engine;
 pub mod faults;
 pub mod metrics;
 pub mod obs;
+pub mod profiler;
 pub mod queue;
 pub mod retry;
 pub mod rng;
 pub mod stats;
 pub mod time;
-pub mod trace;
 
-pub use engine::{Ctx, Engine, EventFn};
+pub use engine::{Ctx, Engine, EventFn, DEFAULT_EVENT_KIND};
 pub use faults::{ChaosProfile, FaultInjection, FaultPlan, FaultSpec};
 pub use metrics::{Availability, Counter, Histogram, Summary, TimeSeries, WindowedMean};
 pub use obs::{
     DrainedEvents, Event, Labels, MetricHandle, MetricKind, MetricValue, MetricsRegistry, Obs,
-    RegistrySnapshot, Severity, SpanGuard, TimedEvent,
+    RegistrySnapshot, Severity, SpanGuard, SpanId, TimedEvent, TraceId, TraceRecord, TraceRef,
+    TraceSpan, Tracer,
 };
+pub use profiler::{ProfileEntry, Profiler};
 pub use queue::{EventQueue, QueueKind};
 pub use retry::BackoffPolicy;
 pub use rng::{SimRng, Zipf};
 pub use stats::{linear_fit, mean_ci95, LinearFit, MeanCi};
 pub use time::{SimDuration, SimTime};
-pub use trace::{DrainedTrace, Trace, TraceEvent};

@@ -317,9 +317,9 @@ impl fmt::Display for TimedEvent {
     }
 }
 
-/// Bounded ring buffer of typed events. Like [`crate::trace::Trace`]
-/// it evicts oldest-first, but the evicted count is surfaced whenever
-/// the log is drained or formatted instead of being silently discarded.
+/// Bounded ring buffer of typed events. It evicts oldest-first, but the
+/// evicted count is surfaced whenever the log is drained or formatted
+/// instead of being silently discarded.
 #[derive(Debug)]
 pub struct EventLog {
     buf: VecDeque<TimedEvent>,

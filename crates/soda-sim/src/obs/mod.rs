@@ -1,9 +1,9 @@
-//! Structured observability: typed events, virtual-time spans, and a
-//! labeled metrics registry.
+//! Structured observability: typed events, virtual-time spans, a
+//! labeled metrics registry, and sampled causal traces.
 //!
-//! The free-form [`crate::trace::Trace`] ring buffer records strings
-//! that nothing can query or aggregate. This module replaces it with a
-//! machine-readable signal layer shared by every SODA entity:
+//! This module is the machine-readable signal layer shared by every
+//! SODA entity (the free-form string ring buffer it replaced was
+//! removed once all callers migrated):
 //!
 //! * [`event`] — a typed [`Event`] enum (admission/placement decisions,
 //!   boot phases, request lifecycle, resizes, crashes, host failures,
@@ -16,6 +16,10 @@
 //! * [`registry`] — a central [`MetricsRegistry`] of named counters,
 //!   gauges and histograms with small label sets (service, vsn, host),
 //!   snapshotable and serializable for `results/<exp>.json` reports.
+//! * [`trace`] — per-request/per-creation causal traces: a sampled
+//!   [`Tracer`] builds parent-linked span trees whose contiguous
+//!   phases reconstruct each request's critical path, exportable as
+//!   Chrome trace-event JSON (Perfetto-loadable).
 //!
 //! ## The observer effect — and why there isn't one
 //!
@@ -32,6 +36,7 @@
 pub mod event;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use event::{DrainedEvents, Event, EventLog, Severity, TimedEvent};
 pub use registry::{
@@ -39,18 +44,21 @@ pub use registry::{
     Sample,
 };
 pub use span::{SpanGuard, SpanStats, SpanTracker};
+pub use trace::{SpanId, TraceId, TraceRecord, TraceRef, TraceSpan, Tracer};
 
 use crate::time::SimTime;
 use std::cell::RefCell;
 use std::rc::Rc;
 
 /// Everything one observability domain records: its event log, span
-/// tracker and metrics registry. Obtain through [`Obs::with`].
+/// tracker, metrics registry, and causal tracer. Obtain through
+/// [`Obs::with`].
 #[derive(Debug, Default)]
 pub struct ObsInner {
     pub events: EventLog,
     pub spans: SpanTracker,
     pub registry: MetricsRegistry,
+    pub tracer: Tracer,
 }
 
 /// Shared handle to an observability domain.
@@ -77,6 +85,7 @@ impl Obs {
                 events: EventLog::new(event_capacity),
                 spans: SpanTracker::default(),
                 registry: MetricsRegistry::default(),
+                tracer: Tracer::disabled(),
             }))),
         }
     }
@@ -234,10 +243,96 @@ impl Obs {
         self.with(|inner| inner.registry.snapshot())
     }
 
+    /// All `(scope, name)` histograms merged across their label sets —
+    /// e.g. every per-backend `switch.response_time` folded into one
+    /// service-wide latency distribution. `None` when disabled or when
+    /// no matching histogram was ever recorded.
+    pub fn merged_histogram(
+        &self,
+        scope: &'static str,
+        name: &'static str,
+    ) -> Option<crate::metrics::Histogram> {
+        self.with(|inner| inner.registry.merged_histogram(scope, name))
+            .flatten()
+    }
+
     /// Drains and returns the retained events plus the count of events
     /// evicted by the capacity bound; `None` when disabled.
     pub fn drain_events(&self) -> Option<DrainedEvents> {
         self.with(|inner| inner.events.drain())
+    }
+
+    /// Switches causal tracing on for this domain. `salt` seeds the
+    /// deterministic head sampler (derive it from the run seed),
+    /// `sample_one_in` keeps roughly 1/N of keys, `max_traces` bounds
+    /// memory. Returns `false` (and does nothing) when the whole
+    /// observability domain is disabled.
+    pub fn enable_tracing(&self, salt: u64, sample_one_in: u64, max_traces: usize) -> bool {
+        self.with(|inner| inner.tracer = Tracer::enabled(salt, sample_one_in, max_traces))
+            .is_some()
+    }
+
+    /// Starts a trace for `key` if the sampler keeps it (no-op returning
+    /// `None` when disabled).
+    #[inline]
+    pub fn trace_begin(
+        &self,
+        track: &'static str,
+        name: &'static str,
+        key: u64,
+        now: SimTime,
+    ) -> Option<TraceRef> {
+        let Some(shared) = &self.shared else {
+            return None;
+        };
+        shared.borrow_mut().tracer.begin(track, name, key, now)
+    }
+
+    /// Records a completed child span under `parent` (no-op when the
+    /// parent was not sampled).
+    #[inline]
+    pub fn trace_child(
+        &self,
+        parent: Option<TraceRef>,
+        name: &'static str,
+        start: SimTime,
+        end: SimTime,
+    ) -> Option<TraceRef> {
+        let parent = parent?;
+        let shared = self.shared.as_ref()?;
+        shared.borrow_mut().tracer.child(parent, name, start, end)
+    }
+
+    /// Opens a child span under `parent`; close with [`Obs::trace_close`].
+    #[inline]
+    pub fn trace_open_child(
+        &self,
+        parent: Option<TraceRef>,
+        name: &'static str,
+        start: SimTime,
+    ) -> Option<TraceRef> {
+        let parent = parent?;
+        let shared = self.shared.as_ref()?;
+        shared.borrow_mut().tracer.open_child(parent, name, start)
+    }
+
+    /// Closes a span (idempotent; no-op for unsampled refs).
+    #[inline]
+    pub fn trace_close(&self, r: Option<TraceRef>, end: SimTime) {
+        let Some(r) = r else { return };
+        let Some(shared) = &self.shared else { return };
+        shared.borrow_mut().tracer.close(r, end);
+    }
+
+    /// The stored traces in Chrome trace-event JSON form; `None` when
+    /// the domain is disabled.
+    pub fn chrome_trace(&self) -> Option<serde::Value> {
+        self.with(|inner| inner.tracer.chrome_trace_value())
+    }
+
+    /// Per-trace critical-path breakdown; `None` when disabled.
+    pub fn critical_paths(&self) -> Option<serde::Value> {
+        self.with(|inner| inner.tracer.critical_paths_value())
     }
 }
 

@@ -308,6 +308,25 @@ impl MetricsRegistry {
         }
     }
 
+    /// Merges a histogram across every label set it was recorded under —
+    /// how `SweepRunner` aggregates per-backend (or per-seed) latency
+    /// distributions into one digest. `None` if no histogram matches.
+    pub fn merged_histogram(&self, scope: &str, name: &str) -> Option<Histogram> {
+        let mut merged: Option<Histogram> = None;
+        for (id, m) in &self.slots {
+            if id.scope != scope || id.name != name {
+                continue;
+            }
+            if let Metric::Histogram(h) = m {
+                match &mut merged {
+                    Some(acc) => acc.merge(h),
+                    None => merged = Some(h.clone()),
+                }
+            }
+        }
+        merged
+    }
+
     /// Sums a counter across every label set it was recorded under.
     pub fn counter_total(&self, scope: &str, name: &str) -> u64 {
         self.slots
@@ -362,6 +381,7 @@ impl MetricsRegistry {
                         mean: h.mean(),
                         p50: h.median(),
                         p99: h.p99(),
+                        p999: h.quantile(0.999),
                         max: h.quantile(1.0),
                     },
                 },
@@ -385,13 +405,14 @@ pub struct Sample {
 pub enum MetricValue {
     Counter(u64),
     Gauge(f64),
-    /// Histogram digest; `mean`/`p50`/`p99`/`max` are in the recorded
-    /// unit (nanoseconds for span latencies).
+    /// Histogram digest; `mean`/`p50`/`p99`/`p999`/`max` are in the
+    /// recorded unit (nanoseconds for span latencies).
     Histogram {
         count: u64,
         mean: f64,
         p50: u64,
         p99: u64,
+        p999: u64,
         max: u64,
     },
 }
@@ -444,6 +465,7 @@ impl serde::Serialize for Sample {
                 mean,
                 p50,
                 p99,
+                p999,
                 max,
             } => (
                 "histogram",
@@ -452,6 +474,7 @@ impl serde::Serialize for Sample {
                     ("mean".to_string(), serde::Value::F64(*mean)),
                     ("p50".to_string(), serde::Value::U64(*p50)),
                     ("p99".to_string(), serde::Value::U64(*p99)),
+                    ("p999".to_string(), serde::Value::U64(*p999)),
                     ("max".to_string(), serde::Value::U64(*max)),
                 ]),
             ),

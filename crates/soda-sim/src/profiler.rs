@@ -1,0 +1,150 @@
+//! Engine self-profiling: wall-clock cost per event kind.
+//!
+//! Every scheduled event carries a static kind tag (`"nic_pump"`,
+//! `"client_arrival"`, …; untagged events fall into `"event"`). When
+//! profiling is enabled, [`crate::Engine::step`] reads a monotonic
+//! wall clock around each handler and feeds the elapsed time here, so a
+//! run can report where the *host* CPU went — the per-event-kind cost
+//! table that sizes parallel-epoch batching (ROADMAP item 2).
+//!
+//! Wall-clock readings never enter simulation state, the RNG, or event
+//! ordering: profiling on versus off is trajectory-identical, and the
+//! disabled path is one branch with no heap allocation (locked in by
+//! `tests/obs_no_alloc.rs`).
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Accumulated cost of one event kind.
+#[derive(Clone, Copy, Debug, Default)]
+struct KindCost {
+    count: u64,
+    total: Duration,
+    max: Duration,
+}
+
+/// Per-event-kind wall-clock accumulator. Disabled by default.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    enabled: bool,
+    costs: BTreeMap<&'static str, KindCost>,
+}
+
+impl Profiler {
+    /// A profiler that records nothing.
+    pub fn disabled() -> Self {
+        Profiler::default()
+    }
+
+    /// A recording profiler.
+    pub fn enabled() -> Self {
+        Profiler {
+            enabled: true,
+            costs: BTreeMap::new(),
+        }
+    }
+
+    /// True if this profiler records.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Feed one handler execution (no-op when disabled). Allocates only
+    /// when a kind is seen for the first time.
+    #[inline]
+    pub fn observe(&mut self, kind: &'static str, elapsed: Duration) {
+        if !self.enabled {
+            return;
+        }
+        let c = self.costs.entry(kind).or_default();
+        c.count += 1;
+        c.total += elapsed;
+        c.max = c.max.max(elapsed);
+    }
+
+    /// Number of distinct kinds observed.
+    pub fn kinds(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// The cost table, most expensive kind (by total wall time) first.
+    pub fn report(&self) -> Vec<ProfileEntry> {
+        let mut out: Vec<ProfileEntry> = self
+            .costs
+            .iter()
+            .map(|(&kind, c)| ProfileEntry {
+                kind,
+                count: c.count,
+                total_ns: c.total.as_nanos() as u64,
+                mean_ns: if c.count == 0 {
+                    0.0
+                } else {
+                    c.total.as_nanos() as f64 / c.count as f64
+                },
+                max_ns: c.max.as_nanos() as u64,
+            })
+            .collect();
+        out.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.kind.cmp(b.kind)));
+        out
+    }
+}
+
+/// One row of the per-event-kind cost table.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProfileEntry {
+    /// The static kind tag events were scheduled under.
+    pub kind: &'static str,
+    /// Handlers executed.
+    pub count: u64,
+    /// Total wall-clock spent in handlers of this kind.
+    pub total_ns: u64,
+    /// Mean wall-clock per handler.
+    pub mean_ns: f64,
+    /// Worst single handler.
+    pub max_ns: u64,
+}
+
+impl serde::Serialize for ProfileEntry {
+    fn to_json_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            (
+                "kind".to_string(),
+                serde::Value::String(self.kind.to_string()),
+            ),
+            ("count".to_string(), serde::Value::U64(self.count)),
+            ("total_ns".to_string(), serde::Value::U64(self.total_ns)),
+            ("mean_ns".to_string(), serde::Value::F64(self.mean_ns)),
+            ("max_ns".to_string(), serde::Value::U64(self.max_ns)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_observe_is_a_no_op() {
+        let mut p = Profiler::disabled();
+        p.observe("x", Duration::from_micros(5));
+        assert_eq!(p.kinds(), 0);
+        assert!(p.report().is_empty());
+    }
+
+    #[test]
+    fn report_sorts_by_total_cost() {
+        let mut p = Profiler::enabled();
+        p.observe("cheap", Duration::from_nanos(10));
+        p.observe("dear", Duration::from_micros(10));
+        p.observe("cheap", Duration::from_nanos(20));
+        let r = p.report();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].kind, "dear");
+        assert_eq!(r[1].kind, "cheap");
+        assert_eq!(r[1].count, 2);
+        assert_eq!(r[1].total_ns, 30);
+        assert_eq!(r[1].max_ns, 20);
+        assert!((r[1].mean_ns - 15.0).abs() < 1e-9);
+    }
+}

@@ -32,7 +32,9 @@ impl PoissonGenerator {
             let gap = engine.rng_mut().exp(1.0 / self.rate_rps);
             self.start + SimDuration::from_secs_f64(gap)
         };
-        engine.schedule_at(first, move |w: &mut SodaWorld, ctx| self.fire(w, ctx));
+        engine.schedule_at_as("client_arrival", first, move |w: &mut SodaWorld, ctx| {
+            self.fire(w, ctx)
+        });
     }
 
     fn fire(self, world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>) {
@@ -43,7 +45,9 @@ impl PoissonGenerator {
         let gap = ctx.rng().exp(1.0 / self.rate_rps);
         let next = ctx.now() + SimDuration::from_secs_f64(gap);
         if next < self.end {
-            ctx.schedule_at(next, move |w: &mut SodaWorld, ctx| self.fire(w, ctx));
+            ctx.schedule_at_as("client_arrival", next, move |w: &mut SodaWorld, ctx| {
+                self.fire(w, ctx)
+            });
         }
     }
 }
@@ -68,7 +72,11 @@ impl PacedGenerator {
     /// Install the generator on the engine.
     pub fn start(self, engine: &mut Engine<SodaWorld>) {
         assert!(self.rate_rps > 0.0, "rate must be positive");
-        engine.schedule_at(self.start, move |w: &mut SodaWorld, ctx| self.fire(w, ctx));
+        engine.schedule_at_as(
+            "client_arrival",
+            self.start,
+            move |w: &mut SodaWorld, ctx| self.fire(w, ctx),
+        );
     }
 
     fn fire(self, world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>) {
@@ -78,7 +86,9 @@ impl PacedGenerator {
         submit_request(world, ctx, self.service, self.dataset_bytes);
         let next = ctx.now() + SimDuration::from_secs_f64(1.0 / self.rate_rps);
         if next < self.end {
-            ctx.schedule_at(next, move |w: &mut SodaWorld, ctx| self.fire(w, ctx));
+            ctx.schedule_at_as("client_arrival", next, move |w: &mut SodaWorld, ctx| {
+                self.fire(w, ctx)
+            });
         }
     }
 }
@@ -116,9 +126,13 @@ impl ClosedLoopGenerator {
             let stagger = SimDuration::from_nanos(
                 self.mean_think.as_nanos().saturating_mul(i as u64) / self.clients as u64,
             );
-            engine.schedule_at(self.start + stagger, move |w: &mut SodaWorld, ctx| {
-                self.fire(w, ctx);
-            });
+            engine.schedule_at_as(
+                "client_arrival",
+                self.start + stagger,
+                move |w: &mut SodaWorld, ctx| {
+                    self.fire(w, ctx);
+                },
+            );
         }
     }
 
@@ -139,7 +153,9 @@ impl ClosedLoopGenerator {
                 let think = ctx.rng().exp(self.mean_think.as_secs_f64());
                 let next = ctx.now() + SimDuration::from_secs_f64(think);
                 if next < self.end {
-                    ctx.schedule_at(next, move |w: &mut SodaWorld, ctx| self.fire(w, ctx));
+                    ctx.schedule_at_as("client_arrival", next, move |w: &mut SodaWorld, ctx| {
+                        self.fire(w, ctx)
+                    });
                 }
             })),
         );

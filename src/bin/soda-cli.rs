@@ -6,6 +6,10 @@
 //!                   [--secs S] [--policy wrr|rr|random|least-conn]
 //!                   [--seed SEED] [--no-shaping]
 //! soda-cli status   (creates a service, prints a monitoring snapshot)
+//! soda-cli obs FILE [--top N]
+//!                   (pretty-print an observability snapshot from a
+//!                    results/<exp>.json: slowest histograms by p99,
+//!                    quantiles incl. p999, drop counts)
 //! soda-cli experiments
 //! ```
 
@@ -187,6 +191,150 @@ fn cmd_status() -> Result<(), String> {
     Ok(())
 }
 
+/// One histogram pulled out of a results JSON, wherever it was nested.
+struct HistEntry {
+    name: String,
+    labels: String,
+    count: u64,
+    mean_ns: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    p999_ns: u64,
+    max_ns: u64,
+}
+
+/// Recursively collect metric samples and drop counters from any
+/// results JSON shape — a bare registry snapshot array, an object with
+/// an embedded `metrics` key, or an experiment report that carries
+/// numeric `dropped`/`*_dropped` fields of its own.
+fn collect_obs(
+    value: &serde_json::Value,
+    path: &str,
+    hists: &mut Vec<HistEntry>,
+    drops: &mut Vec<(String, u64)>,
+) {
+    use serde_json::Value;
+    match value {
+        Value::Object(fields) => {
+            let name = value.get("name").and_then(Value::as_str);
+            if let (Some(name), Some(h)) = (name, value.get("histogram")) {
+                let labels = match value.get("labels") {
+                    Some(Value::Object(ls)) if !ls.is_empty() => {
+                        let parts: Vec<String> = ls
+                            .iter()
+                            .map(|(k, v)| format!("{k}={}", v.as_u64().unwrap_or(0)))
+                            .collect();
+                        format!("{{{}}}", parts.join(","))
+                    }
+                    _ => String::new(),
+                };
+                let g = |key: &str| h.get(key).and_then(Value::as_u64).unwrap_or(0);
+                hists.push(HistEntry {
+                    name: name.to_string(),
+                    labels,
+                    count: g("count"),
+                    mean_ns: h.get("mean").and_then(Value::as_f64).unwrap_or(0.0),
+                    p50_ns: g("p50"),
+                    p99_ns: g("p99"),
+                    p999_ns: g("p999"),
+                    max_ns: g("max"),
+                });
+            }
+            if let (Some(name), Some(v)) = (name, value.get("counter").and_then(Value::as_u64)) {
+                if name.contains("drop") {
+                    drops.push((name.to_string(), v));
+                }
+            }
+            for (k, v) in fields {
+                let sub = if path.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{path}.{k}")
+                };
+                // Experiment reports carry their own drop tallies as
+                // plain numeric fields (`dropped`, `events_dropped`, …).
+                if k.contains("drop") {
+                    if let Some(n) = v.as_u64() {
+                        drops.push((sub.clone(), n));
+                    }
+                }
+                collect_obs(v, &sub, hists, drops);
+            }
+        }
+        Value::Array(items) => {
+            for (i, v) in items.iter().enumerate() {
+                collect_obs(v, &format!("{path}[{i}]"), hists, drops);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn cmd_obs(args: &[String]) -> Result<(), String> {
+    let mut file: Option<&String> = None;
+    let mut top: usize = 10;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--top" => {
+                top = it
+                    .next()
+                    .ok_or("--top needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--top: {e}"))?
+            }
+            _ if file.is_none() => file = Some(a),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let path = file.ok_or("obs needs a results JSON path (e.g. results/exp_chaos_soak.json)")?;
+    let body = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let value: serde_json::Value =
+        serde_json::from_str(&body).map_err(|e| format!("{path}: parse error: {e}"))?;
+
+    let mut hists = Vec::new();
+    let mut drops = Vec::new();
+    collect_obs(&value, "", &mut hists, &mut drops);
+
+    if hists.is_empty() && drops.is_empty() {
+        println!("{path}: no histograms or drop counters found");
+        return Ok(());
+    }
+
+    if !hists.is_empty() {
+        hists.sort_by(|a, b| b.p99_ns.cmp(&a.p99_ns).then(a.name.cmp(&b.name)));
+        println!(
+            "== {path} — slowest {} histograms by p99 ==",
+            top.min(hists.len())
+        );
+        println!(
+            "{:<36} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "histogram", "count", "mean ms", "p50 ms", "p99 ms", "p999 ms", "max ms"
+        );
+        let ms = |ns: u64| ns as f64 / 1e6;
+        for h in hists.iter().take(top) {
+            println!(
+                "{:<36} {:>9} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+                format!("{}{}", h.name, h.labels),
+                h.count,
+                h.mean_ns / 1e6,
+                ms(h.p50_ns),
+                ms(h.p99_ns),
+                ms(h.p999_ns),
+                ms(h.max_ns),
+            );
+        }
+    }
+
+    if !drops.is_empty() {
+        println!("\n== drop counts ==");
+        for (name, n) in &drops {
+            println!("{name:<48} {n}");
+        }
+    }
+    Ok(())
+}
+
 fn cmd_demo() -> Result<(), String> {
     println!("== SODA demo: create → serve → snapshot ==");
     cmd_simulate(SimulateArgs::default())?;
@@ -238,15 +386,17 @@ fn main() -> ExitCode {
         "demo" => cmd_demo(),
         "simulate" => parse_simulate(rest).and_then(cmd_simulate),
         "status" => cmd_status(),
+        "obs" => cmd_obs(rest),
         "experiments" => {
             cmd_experiments();
             Ok(())
         }
         "--help" | "-h" | "help" => {
             println!(
-                "usage: soda-cli [demo|simulate|status|experiments]\n\
+                "usage: soda-cli [demo|simulate|status|obs|experiments]\n\
                  simulate flags: --instances N --dataset BYTES --rate RPS --secs S\n\
-                 \t--policy rr|random|least-conn --seed SEED --no-shaping"
+                 \t--policy rr|random|least-conn --seed SEED --no-shaping\n\
+                 obs: soda-cli obs results/<exp>.json [--top N]"
             );
             Ok(())
         }

@@ -71,6 +71,7 @@ fn scale_run_is_deterministic_and_obs_transparent() {
         seed: 1303,
         obs: true,
         queue: QueueKind::Wheel,
+        profile: false,
     };
     let a = scale::run(&cfg);
     let b = scale::run(&cfg);
@@ -107,6 +108,7 @@ fn queue_implementations_replay_identically_at_scale() {
         seed: 1303,
         obs: true,
         queue: QueueKind::Wheel,
+        profile: false,
     };
     let wheel = scale::run(&cfg);
     let heap = scale::run(&ScaleConfig {

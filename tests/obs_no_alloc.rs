@@ -78,6 +78,74 @@ fn disabled_obs_path_never_allocates() {
     );
 }
 
+/// The disabled causal tracer is a branch-only no-op too: begin/child/
+/// close calls through a disabled domain (or an enabled domain whose
+/// tracer was never switched on) must not touch the heap.
+#[test]
+fn disabled_tracing_path_never_allocates() {
+    let _guard = COUNTER_WINDOW.lock().unwrap();
+    let dark = Obs::disabled();
+    let lit = Obs::enabled(64); // obs on, tracing NOT enabled
+    let now = SimTime::from_secs(3);
+    // Warm-up.
+    dark.trace_begin("request", "request", 0, now);
+    lit.trace_begin("request", "request", 0, now);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for key in 0..1_000u64 {
+        let t = dark.trace_begin("request", "request", key, now);
+        assert!(t.is_none());
+        let c = dark.trace_child(t, "route", now, now);
+        dark.trace_close(c, now);
+        // An enabled obs domain with tracing off takes the same no-op
+        // path: Tracer::disabled() declines every key without counting
+        // or storing anything.
+        let t = lit.trace_begin("request", "request", key, now);
+        assert!(t.is_none());
+        let o = lit.trace_open_child(t, "queue", now);
+        lit.trace_close(o, now);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled tracing must not allocate (got {} allocations)",
+        after - before
+    );
+}
+
+/// The disabled engine self-profiler never allocates on the dispatch
+/// path: `Profiler::observe` with profiling off is one branch, and even
+/// the enabled profiler reuses its per-kind slots once every event
+/// kind has been seen.
+#[test]
+fn profiler_paths_never_allocate_once_warm() {
+    use soda::sim::Profiler;
+    use std::time::Duration;
+
+    let _guard = COUNTER_WINDOW.lock().unwrap();
+    let mut off = Profiler::disabled();
+    let mut on = Profiler::enabled();
+    let kinds = ["nic_pump", "cpu_done", "client_arrival", "response_depart"];
+    // Warm the enabled profiler: one slot per kind.
+    for k in kinds {
+        on.observe(k, Duration::from_nanos(1));
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..1_000usize {
+        let k = kinds[i % kinds.len()];
+        let d = Duration::from_nanos(i as u64);
+        off.observe(k, d);
+        on.observe(k, d);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "profiler dispatch hook must not allocate (got {} allocations)",
+        after - before
+    );
+}
+
 #[test]
 fn enabled_event_recording_reuses_ring_slots_once_warm() {
     // Sanity check on the enabled path: Event variants are Copy and the

@@ -372,6 +372,226 @@ proptest! {
     }
 }
 
+/// The same scenario with causal tracing (1-in-`sample_one_in`
+/// deterministic head sampling) and the engine self-profiler switched
+/// on — the two observability layers added on top of events, spans and
+/// metrics. Returns the trajectory, event count, RNG probe, the obs
+/// handle, and the profiler's per-kind cost table.
+fn scenario_traced(
+    seed: u64,
+    sample_one_in: u64,
+) -> (Vec<(u64, u64)>, u64, u64, Obs, Vec<soda::sim::ProfileEntry>) {
+    let mut world = SodaWorld::testbed();
+    let obs = world.enable_obs(8192);
+    obs.enable_tracing(seed ^ 0x50DA, sample_one_in, 1 << 12);
+    let mut engine = Engine::with_seed(world, seed);
+    engine.enable_profiler();
+    let svc = create_service_driven(&mut engine, web_spec(3), "webco").unwrap();
+    engine.run_until(SimTime::from_secs(60));
+    let t0 = engine.now();
+    PoissonGenerator {
+        service: svc,
+        dataset_bytes: 30_000,
+        rate_rps: 25.0,
+        start: t0,
+        end: t0 + SimDuration::from_secs(20),
+    }
+    .start(&mut engine);
+    engine.schedule_at(
+        t0 + SimDuration::from_secs(5),
+        move |w: &mut SodaWorld, ctx| {
+            if let Some(node) = w.master.service(svc).and_then(|r| r.nodes.first().copied()) {
+                attack_node(w, ctx, svc, node.vsn, FaultKind::Crash);
+                let _ = revive_node(w, ctx, svc, node.vsn);
+            }
+        },
+    );
+    engine.run_until(t0 + SimDuration::from_secs(60));
+    let traj: Vec<(u64, u64)> = engine
+        .state()
+        .completed
+        .iter()
+        .map(|r| (r.issued.as_nanos(), r.completed.as_nanos()))
+        .collect();
+    let events = engine.events_executed();
+    let profile = engine.profile_report();
+    let rng_probe = engine.rng_mut().next_u64();
+    (traj, events, rng_probe, obs, profile)
+}
+
+/// Tracing and self-profiling are the newest observability layers and
+/// ride the hottest paths (request issue, switch routing, NIC
+/// completion, every engine dispatch). Switching both on must leave the
+/// run bit-identical to running fully dark: the sampler is a pure hash,
+/// the profiler only reads the wall clock around dispatch, and neither
+/// schedules events or draws simulation randomness.
+#[test]
+fn tracing_and_profiling_are_observer_transparent() {
+    let (traj_dark, events_dark, rng_dark, _) = scenario(31, None);
+    let (traj_lit, events_lit, rng_lit, obs, profile) = scenario_traced(31, 2);
+    assert!(!traj_dark.is_empty(), "scenario must serve requests");
+    assert_eq!(
+        traj_lit, traj_dark,
+        "tracing + profiling must not perturb the request trajectory"
+    );
+    assert_eq!(
+        events_lit, events_dark,
+        "tracing + profiling must not schedule engine events"
+    );
+    assert_eq!(
+        rng_lit, rng_dark,
+        "tracing + profiling must not draw randomness"
+    );
+    // The traced run really traced: 1-in-2 sampling keeps some request
+    // keys and declines others, deterministically.
+    obs.with(|inner| {
+        assert!(!inner.tracer.is_empty(), "sampler must keep some traces");
+        assert!(
+            inner.tracer.unsampled() > 0,
+            "1-in-2 sampling must decline some keys"
+        );
+    })
+    .unwrap();
+    // And the profiler really profiled: every dispatched event is
+    // attributed to exactly one kind, so the per-kind counts sum to the
+    // engine's executed-event count.
+    let attributed: u64 = profile.iter().map(|e| e.count).sum();
+    assert_eq!(
+        attributed, events_lit,
+        "profiler must attribute every dispatched event"
+    );
+    for kind in ["client_arrival", "cpu_done", "nic_pump", "response_depart"] {
+        assert!(
+            profile.iter().any(|e| e.kind == kind && e.count > 0),
+            "missing hot event kind {kind} in {profile:?}"
+        );
+    }
+}
+
+/// The event ring's drop accounting is exact: sequence numbers are
+/// assigned at push, so the last retained sequence number pins the
+/// total ever recorded, which must equal retained + dropped.
+#[test]
+fn event_log_overflow_accounting_is_exact() {
+    let (_, _, _, obs) = scenario(17, Some(64));
+    let obs = obs.unwrap();
+    let drained = obs.drain_events().unwrap();
+    assert_eq!(
+        drained.events.len(),
+        64,
+        "ring retains exactly its capacity"
+    );
+    assert!(
+        drained.dropped > 0,
+        "rich scenario overflows a 64-slot ring"
+    );
+    let last_seq = drained.events.last().unwrap().seq;
+    assert_eq!(
+        last_seq + 1,
+        drained.dropped + drained.events.len() as u64,
+        "every recorded event is either retained or counted as dropped"
+    );
+    // What survives is the most recent window, still in record order.
+    let seqs: Vec<u64> = drained.events.iter().map(|e| e.seq).collect();
+    assert!(
+        seqs.windows(2).all(|w| w[1] == w[0] + 1),
+        "retained window must be contiguous"
+    );
+}
+
+/// Under chaos — node crashes mid-load, revival, and a flood on the
+/// switch host — every sampled trace still resolves: requests severed
+/// by the crash close their root at the drop instant instead of
+/// leaking an open span, and every span inside a finished trace is
+/// closed. For request traces the phases stay contiguous, so they sum
+/// exactly to the root's duration even when that root ended in a drop.
+#[test]
+fn trace_spans_balance_under_chaos() {
+    use soda::core::world::ddos_switch_host;
+
+    let mut world = SodaWorld::testbed();
+    let obs = world.enable_obs(8192);
+    // Keep every key: the point is the crash/drop paths, not sampling.
+    obs.enable_tracing(0xC4A05, 1, 1 << 14);
+    let mut engine = Engine::with_seed(world, 909);
+    let svc = create_service_driven(&mut engine, web_spec(3), "webco").unwrap();
+    engine.run_until(SimTime::from_secs(60));
+    let t0 = engine.now();
+    PoissonGenerator {
+        service: svc,
+        dataset_bytes: 60_000,
+        rate_rps: 60.0,
+        start: t0,
+        end: t0 + SimDuration::from_secs(15),
+    }
+    .start(&mut engine);
+    // Crash a node mid-load (cancelling its in-flight responses), then
+    // revive it; pile a flood onto the switch host for good measure.
+    for (i, at) in [3u64, 7, 11].into_iter().enumerate() {
+        engine.schedule_at(
+            t0 + SimDuration::from_secs(at),
+            move |w: &mut SodaWorld, ctx| {
+                let node = w
+                    .master
+                    .service(svc)
+                    .and_then(|r| r.nodes.get(i % 2).copied());
+                if let Some(node) = node {
+                    attack_node(w, ctx, svc, node.vsn, FaultKind::Crash);
+                    let _ = revive_node(w, ctx, svc, node.vsn);
+                }
+                ddos_switch_host(w, ctx, svc, 6, 2_000_000);
+            },
+        );
+    }
+    // Run far past the load window so nothing is legitimately in flight.
+    engine.run_until(t0 + SimDuration::from_secs(120));
+    let w = engine.state();
+    assert!(w.dropped > 0, "the crashes must sever some requests");
+    assert!(!w.completed.is_empty(), "the service must still serve");
+    obs.with(|inner| {
+        assert!(inner.tracer.len() > 10, "traces were kept");
+        let mut request_tracks = 0;
+        for rec in inner.tracer.traces() {
+            assert!(
+                rec.is_finished(),
+                "trace {}/{} (key {}) left its root open",
+                rec.track,
+                rec.id.0,
+                rec.key
+            );
+            for (i, span) in rec.spans.iter().enumerate() {
+                assert!(
+                    span.end.is_some(),
+                    "span {i} ({}) of trace {} never closed",
+                    span.name,
+                    rec.id.0
+                );
+            }
+            if rec.track == "request" {
+                request_tracks += 1;
+                let root = rec.root();
+                let total = root.end.unwrap().saturating_since(root.start).as_nanos();
+                let sum: u64 = rec
+                    .phases()
+                    .iter()
+                    .map(|s| s.end.unwrap().saturating_since(s.start).as_nanos())
+                    .sum();
+                assert!(
+                    sum <= total,
+                    "phases overrun the root on trace {}",
+                    rec.id.0
+                );
+            }
+        }
+        assert!(request_tracks > 0, "request traces present");
+        assert!(
+            inner.spans.is_balanced(),
+            "aggregate spans must balance under chaos too"
+        );
+    })
+    .unwrap();
+}
+
 /// The generation-stamped NIC wakeup protocol drops superseded pump
 /// events on arrival and counts the drops in an interned metric. The
 /// counter is pure observation: the same seed produces the same count
