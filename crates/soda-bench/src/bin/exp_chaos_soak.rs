@@ -1,6 +1,9 @@
 //! Extension X-CHAOS: randomized fault-plan soak with self-healing.
 //!
-//! Usage: `exp_chaos_soak [seed ...]` (default seed 42). With several
+//! Usage: `exp_chaos_soak [--master-faults N] [seed ...]` (default
+//! seed 42). `--master-faults N` folds `N` Master-crash faults into
+//! each seed's plan, exercising journaled warm-standby failover under
+//! the same converging-soak gate. With several
 //! seeds the soaks fan out across cores via [`soda_bench::SweepRunner`] —
 //! each soak is an independent single-threaded simulation, so per-seed
 //! results are identical to serial runs. Exits non-zero if any seed's
@@ -35,6 +38,16 @@ fn print_result(r: &ChaosSoakResult) {
         r.false_alarms, r.retries
     );
     println!("invariant violations        : {}", r.invariant_violations);
+    if r.master_crashes > 0 {
+        println!(
+            "master crashes / failovers  : {} / {} (mean {:.2} s, max {:.2} s to takeover)",
+            r.master_crashes, r.master_failovers, r.mean_failover_secs, r.max_failover_secs
+        );
+        println!(
+            "journal                     : {} entries appended, longest replay {}",
+            r.journal_appended, r.max_journal_replay
+        );
+    }
     println!(
         "response time (ms)          : p50 {:.2} / p99 {:.2} / p999 {:.2} / max {:.2} over {}",
         r.latency.p50_ms, r.latency.p99_ms, r.latency.p999_ms, r.latency.max_ms, r.latency.count
@@ -46,20 +59,25 @@ fn print_result(r: &ChaosSoakResult) {
 }
 
 fn main() {
-    let seeds: Vec<u64> = {
-        let parsed: Vec<u64> = std::env::args()
-            .skip(1)
-            .filter_map(|s| s.parse().ok())
-            .collect();
-        if parsed.is_empty() {
-            vec![42]
-        } else {
-            parsed
+    let mut master_faults: u32 = 0;
+    let mut seeds: Vec<u64> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--master-faults" {
+            master_faults = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--master-faults takes a count");
+        } else if let Ok(s) = a.parse() {
+            seeds.push(s);
         }
-    };
+    }
+    if seeds.is_empty() {
+        seeds.push(42);
+    }
     let wall_start = std::time::Instant::now();
     let results: Vec<ChaosSoakResult> = if seeds.len() == 1 {
-        vec![chaos_soak::run(seeds[0])]
+        vec![chaos_soak::run_with_faults(seeds[0], master_faults).0]
     } else {
         let runner = SweepRunner::from_env();
         println!(
@@ -67,7 +85,9 @@ fn main() {
             seeds.len(),
             runner.threads()
         );
-        let sweep = runner.run(seeds, chaos_soak::run);
+        let sweep = runner.run(seeds, move |s| {
+            chaos_soak::run_with_faults(s, master_faults).0
+        });
         println!(
             "sweep wall {:.2} s vs serial est {:.2} s — speedup {:.2}x",
             sweep.wall_secs,
@@ -103,6 +123,24 @@ fn main() {
             .map(|r| r.peak_open_requests)
             .max()
             .unwrap_or(0),
+        master_failovers: results.iter().map(|r| r.master_failovers as u64).sum(),
+        mean_failover_secs: {
+            let n: usize = results.iter().map(|r| r.master_failovers).sum();
+            if n == 0 {
+                0.0
+            } else {
+                results
+                    .iter()
+                    .map(|r| r.mean_failover_secs * r.master_failovers as f64)
+                    .sum::<f64>()
+                    / n as f64
+            }
+        },
+        max_journal_replay: results
+            .iter()
+            .map(|r| r.max_journal_replay)
+            .max()
+            .unwrap_or(0),
     });
     // Single-seed runs keep the original object-shaped JSON; multi-seed
     // runs emit an array.
@@ -114,6 +152,15 @@ fn main() {
     let violations: u64 = results.iter().map(|r| r.invariant_violations).sum();
     if violations > 0 {
         eprintln!("FAIL: switch routed to a known-dead VSN");
+        std::process::exit(1);
+    }
+    // A crashed Master must always be replaced: a standby that never
+    // takes over leaves the control plane dead for the rest of the run.
+    if results
+        .iter()
+        .any(|r| r.master_crashes > 0 && r.master_failovers == 0)
+    {
+        eprintln!("FAIL: master crashed but no standby takeover completed");
         std::process::exit(1);
     }
 }

@@ -69,6 +69,9 @@ fn main() {
         peak_queue_depth: indexed.peak_active,
         peak_live_flows: indexed.peak_active,
         peak_open_requests: 0,
+        master_failovers: 0,
+        mean_failover_secs: 0.0,
+        max_journal_replay: 0,
     });
     if let Some(budget) = budget_secs {
         if indexed.wall_secs > budget {

@@ -50,6 +50,9 @@ fn bench_record(results: &[ScaleResult]) -> BenchRecord {
         peak_queue_depth: r.peak_queue_depth as u64,
         peak_live_flows: r.peak_live_flows,
         peak_open_requests: r.peak_open_requests,
+        master_failovers: 0,
+        mean_failover_secs: 0.0,
+        max_journal_replay: 0,
     });
     let mut acc = it.next().expect("at least one grid point");
     for rec in it {

@@ -259,6 +259,9 @@ fn main() {
         peak_queue_depth: runs.iter().map(|r| r.peak_queue_depth).max().unwrap_or(0),
         peak_live_flows: runs.iter().map(|r| r.peak_live_flows).max().unwrap_or(0),
         peak_open_requests: runs.iter().map(|r| r.peak_open_requests).max().unwrap_or(0),
+        master_failovers: 0,
+        mean_failover_secs: 0.0,
+        max_journal_replay: 0,
     });
 
     if !pinned.identical {

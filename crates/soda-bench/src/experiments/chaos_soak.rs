@@ -97,6 +97,18 @@ pub struct ChaosSoakResult {
     pub retries: u64,
     /// Routing-invariant violations (must be zero).
     pub invariant_violations: u64,
+    /// MasterCrash faults in the plan.
+    pub master_crashes: usize,
+    /// Warm-standby takeovers completed.
+    pub master_failovers: usize,
+    /// Mean master crash → takeover-complete latency, seconds.
+    pub mean_failover_secs: f64,
+    /// Worst master crash → takeover-complete latency, seconds.
+    pub max_failover_secs: f64,
+    /// Longest journal replay a takeover performed (entries).
+    pub max_journal_replay: u64,
+    /// Journal entries appended over the whole soak.
+    pub journal_appended: u64,
     /// Engine events executed over the whole soak.
     pub events: u64,
     /// Virtual time simulated, seconds.
@@ -136,6 +148,15 @@ pub fn run(seed: u64) -> ChaosSoakResult {
 /// histogram (nanosecond values) so sweep callers can fold latency
 /// across seeds with [`soda_sim::Histogram::merge`] before digesting.
 pub fn run_with_latency(seed: u64) -> (ChaosSoakResult, Option<soda_sim::Histogram>) {
+    run_with_faults(seed, 0)
+}
+
+/// [`run_with_latency`] with `master_crashes` MasterCrash faults folded
+/// into the plan (the `--master-faults` path of `exp_chaos_soak`).
+pub fn run_with_faults(
+    seed: u64,
+    master_crashes: u32,
+) -> (ChaosSoakResult, Option<soda_sim::Histogram>) {
     // Three seattles plus a tacoma spare: enough headroom that most
     // recoveries succeed, little enough that degradation is reachable.
     let daemons: Vec<SodaDaemon> = (1u32..=3)
@@ -192,6 +213,8 @@ pub fn run_with_latency(seed: u64) -> (ChaosSoakResult, Option<soda_sim::Histogr
         end: SimTime::from_secs(270),
         mean_gap: SimDuration::from_secs(20),
         mean_repair: SimDuration::from_secs(40),
+        domains: Vec::new(),
+        master_crashes,
     };
     let plan = FaultPlan::randomized(seed, &profile);
     let faults_injected = plan.len();
@@ -218,6 +241,11 @@ pub fn run_with_latency(seed: u64) -> (ChaosSoakResult, Option<soda_sim::Histogr
             _ => None,
         })
         .collect();
+    let master_crash_count = plan
+        .injections()
+        .iter()
+        .filter(|inj| matches!(inj.fault, FaultSpec::MasterCrash))
+        .count();
     let events = engine.events_executed();
     let peak_queue_depth = engine.peak_events_pending();
     let sim_secs = engine.now().as_secs_f64();
@@ -246,6 +274,20 @@ pub fn run_with_latency(seed: u64) -> (ChaosSoakResult, Option<soda_sim::Histogr
         .iter()
         .map(|(_, d)| d.as_secs_f64())
         .collect();
+    let failover_lat: Vec<f64> = w
+        .failover
+        .records
+        .iter()
+        .map(|r| r.recovered_at.saturating_since(r.crashed_at).as_secs_f64())
+        .collect();
+    let master_failovers = w.failover.records.len();
+    let max_journal_replay = w
+        .failover
+        .records
+        .iter()
+        .map(|r| r.replayed as u64)
+        .max()
+        .unwrap_or(0);
     // (empty-slice guard: an empty f64 sum is -0.0, which would leak a
     // negative zero into the report)
     let mean = |v: &[f64]| {
@@ -285,6 +327,12 @@ pub fn run_with_latency(seed: u64) -> (ChaosSoakResult, Option<soda_sim::Histogr
         false_alarms: stats.false_alarms,
         retries: stats.retries,
         invariant_violations: stats.invariant_violations,
+        master_crashes: master_crash_count,
+        master_failovers,
+        mean_failover_secs: mean(&failover_lat),
+        max_failover_secs: max(&failover_lat),
+        max_journal_replay,
+        journal_appended: w.journal.appended_total(),
         events,
         sim_secs,
         peak_queue_depth,

@@ -11,6 +11,7 @@ pub mod fig6;
 pub mod host_failure;
 pub mod inflation;
 pub mod link_stress;
+pub mod master_failover;
 pub mod migration;
 pub mod placement;
 pub mod resize;

@@ -141,6 +141,14 @@ pub struct BenchRecord {
     pub peak_live_flows: u64,
     /// High-water mark of in-flight (admitted, unanswered) requests.
     pub peak_open_requests: u64,
+    /// Warm-standby Master takeovers completed (zero for experiments
+    /// that never crash the control plane).
+    pub master_failovers: u64,
+    /// Mean master crash → takeover-complete latency, seconds (zero
+    /// when no failovers happened).
+    pub mean_failover_secs: f64,
+    /// Longest journal replay a takeover performed, entries.
+    pub max_journal_replay: u64,
 }
 
 impl BenchRecord {
@@ -155,6 +163,15 @@ impl BenchRecord {
         self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
         self.peak_live_flows = self.peak_live_flows.max(other.peak_live_flows);
         self.peak_open_requests = self.peak_open_requests.max(other.peak_open_requests);
+        // Failover latency folds as a count-weighted mean.
+        let folded = self.master_failovers + other.master_failovers;
+        if folded > 0 {
+            self.mean_failover_secs = (self.mean_failover_secs * self.master_failovers as f64
+                + other.mean_failover_secs * other.master_failovers as f64)
+                / folded as f64;
+        }
+        self.master_failovers = folded;
+        self.max_journal_replay = self.max_journal_replay.max(other.max_journal_replay);
         self.events_per_sec = self.events as f64 / self.wall_secs.max(1e-9);
         self.requests_per_sec = self.requests as f64 / self.wall_secs.max(1e-9);
     }
@@ -225,6 +242,9 @@ mod tests {
             peak_queue_depth: 10,
             peak_live_flows: 5,
             peak_open_requests: 7,
+            master_failovers: 2,
+            mean_failover_secs: 4.0,
+            max_journal_replay: 10,
         };
         let b = BenchRecord {
             wall_secs: 3.0,
@@ -236,6 +256,9 @@ mod tests {
             peak_queue_depth: 4,
             peak_live_flows: 9,
             peak_open_requests: 2,
+            master_failovers: 1,
+            mean_failover_secs: 1.0,
+            max_journal_replay: 30,
             ..a.clone()
         };
         a.fold(&b);
@@ -264,6 +287,9 @@ mod tests {
             peak_queue_depth: 3,
             peak_live_flows: 2,
             peak_open_requests: 1,
+            master_failovers: 0,
+            mean_failover_secs: 0.0,
+            max_journal_replay: 0,
         };
         let path = write_bench_json(&rec).unwrap();
         std::env::remove_var("SODA_RESULTS_DIR");

@@ -39,6 +39,9 @@ pub enum SodaError {
     },
     /// Malformed request (e.g. `n == 0`).
     BadRequest(String),
+    /// The Master is down (crashed, standby not yet taken over); the
+    /// control-plane API is unavailable until failover completes.
+    MasterUnavailable,
 }
 
 impl fmt::Display for SodaError {
@@ -61,6 +64,9 @@ impl fmt::Display for SodaError {
                 write!(f, "service {service}: cannot {attempted} in current state")
             }
             SodaError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            SodaError::MasterUnavailable => {
+                write!(f, "master unavailable: control plane is failing over")
+            }
         }
     }
 }

@@ -30,6 +30,7 @@ pub mod config;
 pub mod error;
 pub mod federation;
 pub mod inflight;
+pub mod journal;
 pub mod master;
 pub mod monitoring;
 pub mod partition;
@@ -45,6 +46,10 @@ pub use agent::SodaAgent;
 pub use api::{CreationReply, CreationRequest, ResizeRequest, TeardownRequest};
 pub use config::{ConfigDirective, ServiceConfigFile};
 pub use error::SodaError;
+pub use journal::{
+    EpisodeId, Journal, JournalEntry, JournalOp, MasterSnapshot, RecoverySnapshot, ServiceSnapshot,
+    WorldSnapshot,
+};
 pub use master::SodaMaster;
 pub use placement::{BestFit, FirstFit, NodePlan, PlacementPolicy, WorstFit};
 pub use policy::{

@@ -24,7 +24,8 @@ use soda_vmm::vsn::{VsnId, VsnState};
 
 use crate::api::{CreationReply, NodeInfo};
 use crate::error::SodaError;
-use crate::placement::{PlacementPolicy, WorstFit};
+use crate::journal::{MasterSnapshot, ServiceSnapshot};
+use crate::placement::{BestFit, FirstFit, PlacementPolicy, WorstFit};
 use crate::service::{PlacedNode, ServiceId, ServiceRecord, ServiceSpec, ServiceState};
 use crate::switch::ServiceSwitch;
 
@@ -127,6 +128,67 @@ impl SodaMaster {
     /// The placement policy's name.
     pub fn placement_name(&self) -> &'static str {
         self.placement.name()
+    }
+
+    /// `(next_service, next_vsn)` — journaled with every entry so a
+    /// standby rebuilt from the log never re-issues a used id.
+    pub(crate) fn id_counters(&self) -> (u64, u64) {
+        (self.next_service, self.next_vsn)
+    }
+
+    /// Capture the Master's durable control state (service records,
+    /// id counters, placement name) under `epoch`. Switch routing
+    /// tables and the resource inventory are deliberately absent: the
+    /// switches survive a Master crash as separate processes, and the
+    /// inventory is rebuilt from live daemon reports.
+    pub fn snapshot(&self, epoch: u64) -> MasterSnapshot {
+        MasterSnapshot {
+            epoch,
+            next_service: self.next_service,
+            next_vsn: self.next_vsn,
+            slowdown_inflation: self.slowdown_inflation,
+            placement: self.placement.name().to_string(),
+            services: self
+                .services
+                .values()
+                .map(ServiceSnapshot::capture)
+                .collect(),
+        }
+    }
+
+    /// Fail-stop crash of the Master process: every record it held in
+    /// memory is gone. The per-service switches are colocated but
+    /// separate data-plane processes — they keep routing and are later
+    /// transplanted into the standby, so they are NOT touched here.
+    pub(crate) fn crash_control(&mut self) {
+        self.services.clear();
+        self.inventory = ResourceInventory::new();
+        self.next_service = 1;
+        self.next_vsn = 1;
+    }
+
+    /// Standby rebuild from checkpoint ⊕ journal replay: install the
+    /// replayed records and counters over whatever the crash left.
+    /// Returns how many records were restored.
+    pub(crate) fn restore_control(&mut self, snap: &MasterSnapshot) -> usize {
+        self.services.clear();
+        let mut restored = 0;
+        for s in &snap.services {
+            if let Some(rec) = s.restore() {
+                self.services.insert(rec.id, rec);
+                restored += 1;
+            }
+        }
+        self.next_service = snap.next_service.max(1);
+        self.next_vsn = snap.next_vsn.max(1);
+        self.slowdown_inflation = snap.slowdown_inflation;
+        match snap.placement.as_str() {
+            "first-fit" => self.placement = Box::new(FirstFit),
+            "best-fit" => self.placement = Box::new(BestFit),
+            "worst-fit" => self.placement = Box::new(WorstFit),
+            _ => {}
+        }
+        restored
     }
 
     /// Refresh the inventory from the daemons' reports.

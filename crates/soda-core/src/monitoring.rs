@@ -123,7 +123,7 @@ pub fn snapshot(
             host: placed.host,
             ip: vsn.ip,
             capacity: placed.capacity,
-            state: vsn.state().clone(),
+            state: *vsn.state(),
             crash_count: vsn.crash_count,
             running_since: vsn.running_since,
             served,

@@ -40,6 +40,10 @@ use soda_sim::{BackoffPolicy, Ctx, Engine, Event, SimDuration, SimRng, SimTime};
 use soda_vmm::isolation::ExecutionMode;
 use soda_vmm::vsn::{VsnId, VsnState};
 
+use crate::journal::{
+    EpisodeId, EpisodeSnapshot, HostSnapshot, JournalOp, RecoverySnapshot, StatsSnapshot,
+    PRIORITY_BIAS,
+};
 use crate::service::{ServiceId, ServiceState};
 use crate::world::{self, SodaWorld};
 
@@ -85,7 +89,9 @@ struct HostState {
 /// One open capacity-restoration effort: a lost node being replaced.
 #[derive(Clone, Copy, Debug)]
 struct Episode {
-    id: u64,
+    /// Epoch-stamped id: a Master resurrected under a later epoch can
+    /// never collide with (or accidentally resume) a pre-crash episode.
+    id: EpisodeId,
     service: ServiceId,
     /// Machine instances to restore.
     capacity: u32,
@@ -114,8 +120,8 @@ struct Episode {
 pub struct RecoveryStats {
     /// `(host, when)` — each host-down declaration.
     pub detections: Vec<(u64, SimTime)>,
-    /// `(service, lost → restored latency)` per completed episode.
-    pub recoveries: Vec<(u64, SimDuration)>,
+    /// `(episode, lost → restored latency)` per completed episode.
+    pub recoveries: Vec<(EpisodeId, SimDuration)>,
     /// Placement retries scheduled.
     pub retries: u64,
     /// Episodes that exhausted their backoff budget.
@@ -137,7 +143,9 @@ pub struct RecoveryManager {
     rng: SimRng,
     hosts: BTreeMap<HostId, HostState>,
     episodes: Vec<Episode>,
-    next_episode: u64,
+    /// Master epoch stamped onto new episode ids.
+    epoch: u64,
+    next_seq: u64,
     degraded_since: BTreeMap<ServiceId, SimTime>,
     degraded_total: BTreeMap<ServiceId, SimDuration>,
     priorities: BTreeMap<ServiceId, i32>,
@@ -160,7 +168,8 @@ impl RecoveryManager {
             rng: SimRng::new(cfg.seed),
             hosts: BTreeMap::new(),
             episodes: Vec::new(),
-            next_episode: 1,
+            epoch: 1,
+            next_seq: 1,
             degraded_since: BTreeMap::new(),
             degraded_total: BTreeMap::new(),
             priorities: BTreeMap::new(),
@@ -200,6 +209,209 @@ impl RecoveryManager {
             .sum();
         SimDuration::from_nanos(closed + open)
     }
+
+    /// Master epoch new episode ids are stamped with.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn new_episode_id(&mut self) -> EpisodeId {
+        let id = EpisodeId {
+            epoch: self.epoch,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        id
+    }
+
+    /// The Master process died: its in-memory control state — host
+    /// table, open episodes, the jitter RNG position — is gone. The
+    /// accumulated [`RecoveryStats`] and degraded-time ledgers survive:
+    /// they model external measurement, not Master memory.
+    pub(crate) fn crash(&mut self) {
+        self.enabled = false;
+        self.hosts.clear();
+        self.episodes.clear();
+    }
+
+    /// A warm standby took over as `epoch`: re-arm with a fresh seq
+    /// stream and a deterministically re-seeded jitter RNG (the crashed
+    /// Master's RNG position is unrecoverable by design — it was never
+    /// journaled, so the standby must not pretend to resume it).
+    pub(crate) fn rearm(&mut self, epoch: u64, now: SimTime, hosts: &[HostId]) {
+        self.enabled = true;
+        self.epoch = epoch;
+        self.next_seq = 1;
+        self.rng = SimRng::new(self.cfg.seed ^ epoch);
+        self.hosts.clear();
+        for &h in hosts {
+            self.hosts.insert(
+                h,
+                HostState {
+                    last_heartbeat: now,
+                    health: HostHealth::Up,
+                },
+            );
+        }
+    }
+
+    /// Full state capture for [`crate::journal::WorldSnapshot`].
+    pub fn snapshot(&self) -> RecoverySnapshot {
+        RecoverySnapshot {
+            enabled: self.enabled,
+            episode_epoch: self.epoch,
+            next_seq: self.next_seq,
+            rng: self.rng.state(),
+            hosts: self
+                .hosts
+                .iter()
+                .map(|(h, st)| HostSnapshot {
+                    host: u64::from(h.0),
+                    last_heartbeat_ns: st.last_heartbeat.as_nanos(),
+                    up: st.health == HostHealth::Up,
+                })
+                .collect(),
+            episodes: self
+                .episodes
+                .iter()
+                .map(|e| EpisodeSnapshot {
+                    epoch: e.id.epoch,
+                    seq: e.id.seq,
+                    service: e.service.0,
+                    capacity: e.capacity,
+                    lost_at_ns: e.lost_at.as_nanos(),
+                    dead_vsn: e.dead_vsn.map(|v| v.0),
+                    origin_host: e.origin_host.map(|h| u64::from(h.0)),
+                    attempt: e.attempt,
+                    replacement: e.replacement.map(|v| v.0),
+                    try_reprime: e.try_reprime,
+                    shed_done: e.shed_done,
+                    degraded: e.degraded,
+                    parked_until_ns: e.parked_until.map(SimTime::as_nanos),
+                })
+                .collect(),
+            degraded_since: self
+                .degraded_since
+                .iter()
+                .map(|(s, t)| (s.0, t.as_nanos()))
+                .collect(),
+            degraded_total: self
+                .degraded_total
+                .iter()
+                .map(|(s, d)| (s.0, d.as_nanos()))
+                .collect(),
+            priorities: self
+                .priorities
+                .iter()
+                .map(|(s, p)| (s.0, (i64::from(*p) + PRIORITY_BIAS as i64) as u64))
+                .collect(),
+            stats: StatsSnapshot {
+                detections: self
+                    .stats
+                    .detections
+                    .iter()
+                    .map(|&(h, t)| (h, t.as_nanos()))
+                    .collect(),
+                recoveries: self
+                    .stats
+                    .recoveries
+                    .iter()
+                    .map(|&(id, d)| (id.epoch, id.seq, d.as_nanos()))
+                    .collect(),
+                retries: self.stats.retries,
+                degradations: self.stats.degradations,
+                sheds: self.stats.sheds,
+                false_alarms: self.stats.false_alarms,
+                invariant_violations: self.stats.invariant_violations,
+            },
+        }
+    }
+
+    /// Rebuild a manager from a parsed snapshot; the inverse of
+    /// [`RecoveryManager::snapshot`] down to the RNG word, so a
+    /// restored run continues bit-identically.
+    pub fn restore(cfg: RecoveryConfig, snap: &RecoverySnapshot) -> Self {
+        let host_id = |raw: u64| HostId(raw as u32);
+        RecoveryManager {
+            enabled: snap.enabled,
+            cfg,
+            rng: SimRng::from_state(snap.rng),
+            hosts: snap
+                .hosts
+                .iter()
+                .map(|h| {
+                    (
+                        host_id(h.host),
+                        HostState {
+                            last_heartbeat: SimTime::from_nanos(h.last_heartbeat_ns),
+                            health: if h.up {
+                                HostHealth::Up
+                            } else {
+                                HostHealth::Down
+                            },
+                        },
+                    )
+                })
+                .collect(),
+            episodes: snap
+                .episodes
+                .iter()
+                .map(|e| Episode {
+                    id: EpisodeId {
+                        epoch: e.epoch,
+                        seq: e.seq,
+                    },
+                    service: ServiceId(e.service),
+                    capacity: e.capacity,
+                    lost_at: SimTime::from_nanos(e.lost_at_ns),
+                    dead_vsn: e.dead_vsn.map(VsnId),
+                    origin_host: e.origin_host.map(host_id),
+                    attempt: e.attempt,
+                    replacement: e.replacement.map(VsnId),
+                    try_reprime: e.try_reprime,
+                    shed_done: e.shed_done,
+                    degraded: e.degraded,
+                    parked_until: e.parked_until_ns.map(SimTime::from_nanos),
+                })
+                .collect(),
+            epoch: snap.episode_epoch,
+            next_seq: snap.next_seq,
+            degraded_since: snap
+                .degraded_since
+                .iter()
+                .map(|&(s, t)| (ServiceId(s), SimTime::from_nanos(t)))
+                .collect(),
+            degraded_total: snap
+                .degraded_total
+                .iter()
+                .map(|&(s, d)| (ServiceId(s), SimDuration::from_nanos(d)))
+                .collect(),
+            priorities: snap
+                .priorities
+                .iter()
+                .map(|&(s, p)| (ServiceId(s), (p as i64 - PRIORITY_BIAS as i64) as i32))
+                .collect(),
+            stats: RecoveryStats {
+                detections: snap
+                    .stats
+                    .detections
+                    .iter()
+                    .map(|&(h, t)| (h, SimTime::from_nanos(t)))
+                    .collect(),
+                recoveries: snap
+                    .stats
+                    .recoveries
+                    .iter()
+                    .map(|&(epoch, seq, d)| (EpisodeId { epoch, seq }, SimDuration::from_nanos(d)))
+                    .collect(),
+                retries: snap.stats.retries,
+                degradations: snap.stats.degradations,
+                sheds: snap.stats.sheds,
+                false_alarms: snap.stats.false_alarms,
+                invariant_violations: snap.stats.invariant_violations,
+            },
+        }
+    }
 }
 
 /// Arm the self-healing loop: heartbeats every
@@ -212,6 +424,7 @@ pub fn start_self_healing(engine: &mut Engine<SodaWorld>, cfg: RecoveryConfig, u
         let world = engine.state_mut();
         let mut mgr = RecoveryManager::new(cfg);
         mgr.enabled = true;
+        mgr.epoch = world.journal.epoch();
         // Seed the table now so a host that never heartbeats still
         // times out.
         for d in &world.daemons {
@@ -274,7 +487,7 @@ pub fn heartbeat_tick(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>) {
         }
     }
     // Parked episodes poll for capacity at the backoff ceiling.
-    let due: Vec<u64> = world
+    let due: Vec<EpisodeId> = world
         .recovery
         .episodes
         .iter()
@@ -356,7 +569,7 @@ fn host_flapped_up(
             host: u64::from(host.0),
         },
     );
-    let cancelable: Vec<(u64, ServiceId, VsnId)> = world
+    let cancelable: Vec<(EpisodeId, ServiceId, VsnId)> = world
         .recovery
         .episodes
         .iter()
@@ -369,6 +582,7 @@ fn host_flapped_up(
         let _ = world.install_runtime(svc, vsn, ExecutionMode::GuestIsolated);
         world.recovery.episodes.retain(|e| e.id != id);
         world.recovery.stats.false_alarms += 1;
+        world.journal_episode(now, JournalOp::EpisodeClose, svc, id);
         clear_degraded_if_recovered(world, svc, now);
     }
     // VSNs on the daemon that no service record references any more
@@ -420,6 +634,7 @@ fn declare_host_down(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, host: Host
                 world::complete_creation_record(world, now, svc, reply);
             }
             world.remove_runtime(vsn);
+            world.journal_op(now, JournalOp::Recovery, svc);
             schedule_retry(world, ctx, id);
             continue;
         }
@@ -436,7 +651,7 @@ fn declare_host_down(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, host: Host
 }
 
 /// Drain one dead node and open (and immediately drive) its episode.
-fn handle_node_down(
+pub(crate) fn handle_node_down(
     world: &mut SodaWorld,
     ctx: &mut Ctx<SodaWorld>,
     service: ServiceId,
@@ -457,8 +672,7 @@ fn handle_node_down(
     world.remove_runtime(vsn);
     world::drop_inflight_on_vsn(world, ctx, vsn);
     world.recovery.degraded_since.entry(service).or_insert(now);
-    let id = world.recovery.next_episode;
-    world.recovery.next_episode += 1;
+    let id = world.recovery.new_episode_id();
     world.recovery.episodes.push(Episode {
         id,
         service,
@@ -473,12 +687,13 @@ fn handle_node_down(
         degraded: false,
         parked_until: None,
     });
+    world.journal_episode(now, JournalOp::EpisodeOpen, service, id);
     attempt_recovery(world, ctx, id);
 }
 
 /// Drive one episode: re-prime in place if possible, else place a
 /// replacement; on failure, back off / degrade / shed.
-fn attempt_recovery(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, id: u64) {
+fn attempt_recovery(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, id: EpisodeId) {
     let now = ctx.now();
     let Some(ep) = world.recovery.episodes.iter_mut().find(|e| e.id == id) else {
         return;
@@ -571,6 +786,7 @@ fn attempt_recovery(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, id: u64) {
                 ep.dead_vsn = None;
                 ep.replacement = Some(new_vsn);
             }
+            world.journal_op(now, JournalOp::Recovery, svc);
             world::start_download(world, ctx, target, svc, &ticket);
         }
         Err(_) => schedule_retry(world, ctx, id),
@@ -579,7 +795,7 @@ fn attempt_recovery(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, id: u64) {
 
 /// Back off before the next attempt — or, with the budget exhausted,
 /// degrade (and shed) instead.
-fn schedule_retry(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, id: u64) {
+fn schedule_retry(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, id: EpisodeId) {
     let now = ctx.now();
     let Some(ep) = world.recovery.episodes.iter().find(|e| e.id == id) else {
         return;
@@ -616,7 +832,7 @@ fn schedule_retry(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, id: u64) {
 
 /// The backoff budget ran out: declare degradation, shed the lowest
 /// strictly-lower-priority service once, then park at the ceiling.
-fn degrade_or_shed(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, id: u64) {
+fn degrade_or_shed(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, id: EpisodeId) {
     let now = ctx.now();
     let Some(ep) = world.recovery.episodes.iter().find(|e| e.id == id) else {
         return;
@@ -668,6 +884,7 @@ fn degrade_or_shed(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, id: u64) {
                         victim: victim.0,
                     },
                 );
+                world.journal_op(now, JournalOp::Teardown, victim);
                 world.prune_runtimes();
                 attempt_recovery(world, ctx, id);
                 return;
@@ -684,7 +901,7 @@ fn degrade_or_shed(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, id: u64) {
 fn finish_reprime(
     world: &mut SodaWorld,
     ctx: &mut Ctx<SodaWorld>,
-    id: u64,
+    id: EpisodeId,
     svc: ServiceId,
     vsn: VsnId,
     host: HostId,
@@ -716,13 +933,19 @@ fn finish_reprime(
     }
 }
 
-fn complete_episode(world: &mut SodaWorld, id: u64, svc: ServiceId, vsn: VsnId, now: SimTime) {
+fn complete_episode(
+    world: &mut SodaWorld,
+    id: EpisodeId,
+    svc: ServiceId,
+    vsn: VsnId,
+    now: SimTime,
+) {
     let Some(pos) = world.recovery.episodes.iter().position(|e| e.id == id) else {
         return;
     };
     let ep = world.recovery.episodes.remove(pos);
     let latency = now.saturating_since(ep.lost_at);
-    world.recovery.stats.recoveries.push((svc.0, latency));
+    world.recovery.stats.recoveries.push((id, latency));
     world.obs.record(
         now,
         Event::RecoveryCompleted {
@@ -731,6 +954,7 @@ fn complete_episode(world: &mut SodaWorld, id: u64, svc: ServiceId, vsn: VsnId, 
             latency_ms: latency.as_millis(),
         },
     );
+    world.journal_episode(now, JournalOp::EpisodeClose, svc, id);
     clear_degraded_if_recovered(world, svc, now);
 }
 
@@ -803,8 +1027,7 @@ pub(crate) fn on_priming_failed(
         return;
     }
     world.recovery.degraded_since.entry(svc).or_insert(now);
-    let id = world.recovery.next_episode;
-    world.recovery.next_episode += 1;
+    let id = world.recovery.new_episode_id();
     world.recovery.episodes.push(Episode {
         id,
         service: svc,
@@ -819,6 +1042,7 @@ pub(crate) fn on_priming_failed(
         degraded: false,
         parked_until: None,
     });
+    world.journal_episode(now, JournalOp::EpisodeOpen, svc, id);
     attempt_recovery(world, ctx, id);
 }
 

@@ -30,12 +30,13 @@ use soda_sim::{
 };
 use soda_vmm::intercept::{InterceptCostModel, SlowdownFactors};
 use soda_vmm::isolation::{Blast, ExecutionMode, FaultKind};
-use soda_vmm::vsn::VsnId;
+use soda_vmm::vsn::{VsnId, VsnState};
 
 use crate::agent::SodaAgent;
 use crate::api::CreationReply;
 use crate::error::SodaError;
 use crate::inflight::InflightTable;
+use crate::journal::{EpisodeId, Journal, JournalOp, ServiceSnapshot, WorldSnapshot};
 use crate::master::SodaMaster;
 use crate::recovery::{self, RecoveryManager};
 use crate::service::{ServiceId, ServiceSpec};
@@ -157,6 +158,78 @@ pub struct CreationRecord {
     pub at: SimTime,
 }
 
+/// How many journal entries accumulate before an inline compacted
+/// checkpoint is taken (bounds standby replay length).
+const JOURNAL_CHECKPOINT_EVERY: usize = 64;
+
+/// One completed Master failover, recorded for drivers and benches.
+#[derive(Clone, Copy, Debug)]
+pub struct FailoverRecord {
+    /// When the Master process died (first crash of the outage).
+    pub crashed_at: SimTime,
+    /// When the standby finished replay and reconciliation.
+    pub recovered_at: SimTime,
+    /// The Master epoch after takeover.
+    pub epoch: u64,
+    /// Journal entries replayed on top of the checkpoint.
+    pub replayed: usize,
+    /// Sequence number of the checkpoint replay started from.
+    pub checkpoint_seq: u64,
+    /// Service records rebuilt from checkpoint ⊕ journal.
+    pub restored: usize,
+    /// Running nodes adopted as-is from daemon re-registration.
+    pub adopted: usize,
+    /// Dead nodes scrubbed into fresh (epoch-stamped) episodes.
+    pub scrubbed: usize,
+    /// Daemon-side VSNs unknown to the rebuilt state, torn down.
+    pub duplicates: usize,
+    /// Node boots that landed while the Master was down and were
+    /// re-driven at takeover.
+    pub orphaned_boots: usize,
+}
+
+/// Control-plane failover state: whether the Master is currently dead,
+/// the standby's timing knobs, and the ledger of past failovers.
+#[derive(Debug)]
+pub struct FailoverState {
+    /// True between a `MasterCrash` fault and standby takeover. While
+    /// down, control-plane API calls fail and nothing is journaled; the
+    /// data plane (switches, NICs, shapers, daemons) keeps running.
+    pub down: bool,
+    /// When the current outage started.
+    pub crashed_at: Option<SimTime>,
+    /// Generation guard for the pending takeover event: a second crash
+    /// while down kills the standby mid-replay, restarts its clock and
+    /// invalidates the earlier takeover (stale-wakeup pattern).
+    takeover_gen: u64,
+    /// Boots that completed while the Master was down, re-driven in
+    /// arrival order at takeover.
+    orphaned_boots: Vec<(ServiceId, VsnId, SimTime)>,
+    /// Completed failovers.
+    pub records: Vec<FailoverRecord>,
+    /// Standby watchdog: how long until the crash is detected.
+    pub detection_delay: SimDuration,
+    /// Fixed cost for the standby to load the checkpoint.
+    pub checkpoint_load: SimDuration,
+    /// Replay cost per journal entry on top of the checkpoint.
+    pub per_entry_replay: SimDuration,
+}
+
+impl Default for FailoverState {
+    fn default() -> Self {
+        FailoverState {
+            down: false,
+            crashed_at: None,
+            takeover_gen: 0,
+            orphaned_boots: Vec::new(),
+            records: Vec::new(),
+            detection_delay: SimDuration::from_millis(2_000),
+            checkpoint_load: SimDuration::from_millis(50),
+            per_entry_replay: SimDuration::from_micros(200),
+        }
+    }
+}
+
 /// The composed world. All SODA entities plus the network fabric.
 pub struct SodaWorld {
     /// The ASP-facing agent.
@@ -188,6 +261,11 @@ pub struct SodaWorld {
     /// Self-healing control loop state (inert until
     /// [`crate::recovery::start_self_healing`] arms it).
     pub recovery: RecoveryManager,
+    /// Write-ahead journal of control-plane state transitions — the
+    /// durable medium a warm-standby Master rebuilds from.
+    pub journal: Journal,
+    /// Master-crash / warm-standby failover state.
+    pub failover: FailoverState,
     /// Per-host link impairment windows (partitions, loss) that gate
     /// heartbeats and sever in-flight responses during chaos runs.
     pub control: ControlPlane,
@@ -216,6 +294,9 @@ pub struct SodaWorld {
     /// Interned counter of dropped stale NIC wakeups (lazily interned on
     /// first drop so the obs-on hot path stays zero-alloc).
     stale_wakeup_h: Option<MetricHandle>,
+    /// Interned counter of completed Master failovers (lazy, like
+    /// `stale_wakeup_h`).
+    master_failovers_h: Option<MetricHandle>,
     /// Transient CPU slowdown per host (the `SlowHost` fault): the
     /// factor and when it expires. Overlapping windows merge to the
     /// strongest factor and the latest expiry, and an expiry callback
@@ -264,9 +345,13 @@ impl SodaWorld {
             .enumerate()
             .map(|(i, d)| (d.host.id, i))
             .collect();
+        let master = SodaMaster::new();
+        // The journal's genesis checkpoint is the empty control plane at
+        // epoch 1; everything after is appended transitions.
+        let journal = Journal::new(master.snapshot(1), JOURNAL_CHECKPOINT_EVERY);
         SodaWorld {
             agent: SodaAgent::new(1.0),
-            master: SodaMaster::new(),
+            master,
             daemons,
             nics,
             http: HttpModel::new(),
@@ -277,6 +362,8 @@ impl SodaWorld {
             shaping_enforced: true,
             obs: Obs::disabled(),
             recovery: RecoveryManager::default(),
+            journal,
+            failover: FailoverState::default(),
             control: ControlPlane::new(),
             node_runtimes: HashMap::new(),
             inflight: InflightTable::new(),
@@ -287,6 +374,7 @@ impl SodaWorld {
             nic_arms: HashMap::new(),
             nic_scratch: Vec::new(),
             stale_wakeup_h: None,
+            master_failovers_h: None,
             host_slow: HashMap::new(),
             armed_priming_failures: HashMap::new(),
             request_traces: HashMap::new(),
@@ -333,6 +421,7 @@ impl SodaWorld {
         self.obs = obs.clone();
         // Any previously interned handle points into the old registry.
         self.stale_wakeup_h = None;
+        self.master_failovers_h = None;
         self.live_flows_h = None;
         self.open_requests_h = None;
         obs
@@ -377,6 +466,67 @@ impl SodaWorld {
             Some(MetricValue::Counter(n)) => n,
             _ => 0,
         }
+    }
+
+    /// True while the Master process is dead and the standby has not
+    /// yet taken over. The data plane keeps running; control-plane API
+    /// calls fail with [`SodaError::MasterUnavailable`].
+    pub fn master_is_down(&self) -> bool {
+        self.failover.down
+    }
+
+    /// Journal one state transition of `service`, capturing the full
+    /// post-transition record (replay is last-writer-wins per service).
+    /// No-ops while the Master is down: a dead process writes nothing.
+    pub(crate) fn journal_op(&mut self, now: SimTime, op: JournalOp, service: ServiceId) {
+        if self.failover.down {
+            return;
+        }
+        let record = self.master.service(service).map(ServiceSnapshot::capture);
+        let counters = self.master.id_counters();
+        self.journal
+            .append(now, op, service, None, record, counters);
+    }
+
+    /// Journal a recovery-episode lifecycle edge (open/close/cancel).
+    /// Carries no record snapshot — episode edges never mutate records.
+    pub(crate) fn journal_episode(
+        &mut self,
+        now: SimTime,
+        op: JournalOp,
+        service: ServiceId,
+        id: EpisodeId,
+    ) {
+        if self.failover.down {
+            return;
+        }
+        let counters = self.master.id_counters();
+        self.journal
+            .append(now, op, service, Some(id), None, counters);
+    }
+
+    /// Capture the control-plane state as a serde round-trippable
+    /// snapshot: Master records and id counters at the journal's
+    /// current epoch, plus the recovery manager including its exact
+    /// RNG position.
+    pub fn snapshot_world(&self, now: SimTime) -> WorldSnapshot {
+        WorldSnapshot {
+            at_ns: now.as_nanos(),
+            master: self.master.snapshot(self.journal.epoch()),
+            recovery: self.recovery.snapshot(),
+        }
+    }
+
+    /// Restore control-plane state from a snapshot, making it the new
+    /// journal genesis. Data-plane state (daemons, NICs, in-flight
+    /// flows) is untouched: a restore models a standby picking up from
+    /// durable state against live hardware, and a restored world must
+    /// continue fingerprint-identically to one that never restored.
+    pub fn restore_world(&mut self, snap: &WorldSnapshot) {
+        self.master.restore_control(&snap.master);
+        let cfg = self.recovery.cfg;
+        self.recovery = RecoveryManager::restore(cfg, &snap.recovery);
+        self.journal = Journal::new(snap.master.clone(), JOURNAL_CHECKPOINT_EVERY);
     }
 
     pub(crate) fn daemon_mut(&mut self, host: HostId) -> &mut SodaDaemon {
@@ -685,6 +835,12 @@ fn finish_node_boot(
     started: SimTime,
 ) {
     let now = ctx.now();
+    // The Master is dead: nobody is listening for node-ready. Buffer
+    // the boot (priming trace stays open) and re-drive it at takeover.
+    if world.failover.down {
+        world.failover.orphaned_boots.push((service, vsn, started));
+        return;
+    }
     let elapsed = now.saturating_since(started);
     if let Some(p) = world.priming_traces.remove(&vsn) {
         world.obs.trace_close(Some(p), now);
@@ -701,6 +857,7 @@ fn finish_node_boot(
         match r {
             Ok(()) => {
                 let _ = world.install_runtime(service, vsn, ExecutionMode::GuestIsolated);
+                world.journal_op(now, JournalOp::Priming, service);
                 recovery::on_node_boot(world, ctx, service, vsn);
             }
             Err(_) => {
@@ -726,6 +883,7 @@ fn finish_node_boot(
     match reply {
         Ok(Some(reply)) => {
             complete_creation_record(world, now, service, reply);
+            world.journal_op(now, JournalOp::Priming, service);
             recovery::on_node_boot(world, ctx, service, vsn);
         }
         Ok(None) => {
@@ -734,6 +892,7 @@ fn finish_node_boot(
                 .entry(service)
                 .and_modify(|n| *n += 1)
                 .or_insert(1);
+            world.journal_op(now, JournalOp::Priming, service);
             recovery::on_node_boot(world, ctx, service, vsn);
         }
         Err(_) => {
@@ -784,11 +943,15 @@ pub fn create_service_driven(
 ) -> Result<ServiceId, SodaError> {
     let now = engine.now();
     let world = engine.state_mut();
+    if world.failover.down {
+        return Err(SodaError::MasterUnavailable);
+    }
     let mut daemons = std::mem::take(&mut world.daemons);
     let outcome = world.master.admit(spec, asp, &mut daemons, now);
     world.daemons = daemons;
     let outcome = outcome?;
     let service = outcome.service;
+    world.journal_op(now, JournalOp::Admission, service);
     // Admission and placement both resolved synchronously inside
     // `Master::admit`, so a sampled creation trace records them as
     // zero-width phases at `now`; each node then gets an open `priming`
@@ -848,12 +1011,16 @@ pub fn resize_service_driven(
 ) -> Result<(), SodaError> {
     let now = engine.now();
     let world = engine.state_mut();
+    if world.failover.down {
+        return Err(SodaError::MasterUnavailable);
+    }
     let mut daemons = std::mem::take(&mut world.daemons);
     let outcome = world
         .master
         .resize(service, new_instances, &mut daemons, now);
     world.daemons = daemons;
     let outcome = outcome?;
+    world.journal_op(now, JournalOp::Resize, service);
     // Shrinks may have removed nodes the data plane still references.
     world.prune_runtimes();
     for (host, ticket) in outcome.tickets {
@@ -1262,6 +1429,7 @@ fn fail_priming(
         if let Some(reply) = reply {
             complete_creation_record(world, now, service, reply);
         }
+        world.journal_op(now, JournalOp::Recovery, service);
         recovery::on_priming_failed(world, ctx, service, vsn, capacity);
     }
 }
@@ -1297,6 +1465,163 @@ pub fn repair_host(world: &mut SodaWorld, host: HostId) {
     if let Some(d) = world.daemons.iter_mut().find(|d| d.host.id == host) {
         d.host.repair();
     }
+}
+
+/// Fail-stop crash of the Master process (the `MasterCrash` fault):
+/// every record it held in memory is gone, the self-healing loop dies
+/// with it, and nothing is journaled until takeover. The per-service
+/// switches are colocated but separate data-plane processes — they
+/// keep routing (stale) — and the daemons keep serving and priming. A
+/// warm standby detects the silence and takes over by rebuilding from
+/// the journal's checkpoint ⊕ tail, then reconciling against live
+/// daemon reality.
+pub fn crash_master(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>) {
+    let now = ctx.now();
+    world.obs.record(
+        now,
+        Event::MasterDown {
+            epoch: world.journal.epoch(),
+        },
+    );
+    if !world.failover.down {
+        world.failover.down = true;
+        world.failover.crashed_at = Some(now);
+        world.master.crash_control();
+        world.recovery.crash();
+    }
+    // A crash while already down kills the standby mid-replay: restart
+    // the detection + replay clock and invalidate the pending takeover.
+    world.failover.takeover_gen += 1;
+    let gen = world.failover.takeover_gen;
+    let delay = world.failover.detection_delay
+        + world.failover.checkpoint_load
+        + world.failover.per_entry_replay * world.journal.replay_len();
+    ctx.schedule_in_as("master_takeover", delay, move |w: &mut SodaWorld, ctx| {
+        if w.failover.takeover_gen != gen || !w.failover.down {
+            return;
+        }
+        master_takeover(w, ctx);
+    });
+}
+
+/// Warm-standby takeover: rebuild the control plane from the journal,
+/// bump the Master epoch, re-arm self-healing, and reconcile the
+/// rebuilt picture against what the daemons actually hold.
+/// One daemon's re-registration report: `None` when the host is dead.
+type ReRegistration = Option<Vec<(VsnId, VsnState)>>;
+
+fn master_takeover(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>) {
+    let now = ctx.now();
+    let replayed = world.journal.replay_len() as usize;
+    let checkpoint_seq = world.journal.checkpoint_seq();
+    let rebuilt = world.journal.rebuild();
+    let restored = world.master.restore_control(&rebuilt);
+    world.failover.down = false;
+    let epoch = world.journal.bump_epoch(now, world.master.id_counters());
+    world.obs.record(
+        now,
+        Event::JournalReplayed {
+            epoch,
+            entries: replayed as u64,
+            checkpoint_seq,
+        },
+    );
+
+    // Every daemon re-registers its VSNs; the journal's picture is a
+    // lower bound on reality and is corrected against the reports.
+    // Failed hosts answer nothing — the re-armed heartbeat loop will
+    // declare them down through the normal detection path.
+    let reports: Vec<(HostId, ReRegistration)> = world
+        .daemons
+        .iter()
+        .map(|d| (d.host.id, d.re_register()))
+        .collect();
+    let hosts: Vec<HostId> = reports.iter().map(|(h, _)| *h).collect();
+    world.master.collect_resources(&world.daemons, now);
+    world.recovery.rearm(epoch, now, &hosts);
+
+    // vsn → (service, capacity) over the rebuilt records.
+    let known: HashMap<VsnId, (ServiceId, u32)> = world
+        .master
+        .services()
+        .flat_map(|rec| rec.nodes.iter().map(move |n| (n.vsn, (rec.id, n.capacity))))
+        .collect();
+    let mut adopted = 0usize;
+    let mut scrubbed = 0usize;
+    let mut duplicates = 0usize;
+    for (host, report) in &reports {
+        let Some(vsns) = report else { continue };
+        for &(vsn, state) in vsns {
+            match known.get(&vsn) {
+                Some(&(svc, cap)) => match state {
+                    // Journaled and actually running: adopt as-is (its
+                    // switch kept routing through the outage).
+                    VsnState::Running => adopted += 1,
+                    // In-flight priming finishes via the (buffered)
+                    // boot path below.
+                    VsnState::Allocated | VsnState::Priming => {}
+                    // Journaled but dead: scrub it into a fresh
+                    // epoch-stamped recovery episode.
+                    VsnState::Crashed => {
+                        recovery::handle_node_down(world, ctx, svc, vsn, cap, Some(*host), false);
+                        scrubbed += 1;
+                    }
+                    VsnState::TornDown => {}
+                },
+                // The daemon holds a VSN the rebuilt state does not
+                // know — a duplicate or leaked placement. Tear it down.
+                None => {
+                    let _ = world.daemon_mut(*host).teardown_vsn(vsn);
+                    world.remove_runtime(vsn);
+                    drop_inflight_on_vsn(world, ctx, vsn);
+                    duplicates += 1;
+                }
+            }
+        }
+    }
+
+    // Boots that landed while the Master was down, re-driven in arrival
+    // order. Their records were rebuilt from the journal, so the normal
+    // node-ready path completes them (elapsed honestly spans the outage).
+    let orphans = std::mem::take(&mut world.failover.orphaned_boots);
+    let orphaned_boots = orphans.len();
+    for (svc, vsn, started) in orphans {
+        finish_node_boot(world, ctx, svc, vsn, started);
+    }
+
+    world.obs.record(
+        now,
+        Event::MasterRecovered {
+            epoch,
+            replayed: replayed as u64,
+        },
+    );
+    if world.obs.is_enabled() {
+        if world.master_failovers_h.is_none() {
+            world.master_failovers_h = world.obs.intern(
+                "world",
+                "master_failovers",
+                Labels::none(),
+                MetricKind::Counter,
+            );
+        }
+        if let Some(h) = world.master_failovers_h {
+            world.obs.counter_add_h(h, 1);
+        }
+    }
+    let crashed_at = world.failover.crashed_at.take().unwrap_or(now);
+    world.failover.records.push(FailoverRecord {
+        crashed_at,
+        recovered_at: now,
+        epoch,
+        replayed,
+        checkpoint_seq,
+        restored,
+        adopted,
+        scrubbed,
+        duplicates,
+        orphaned_boots,
+    });
 }
 
 /// Apply one injected fault to the world — the bridge a
@@ -1358,6 +1683,7 @@ pub fn apply_fault(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, fault: Fault
         } => {
             world.control.set_loss(host, loss, now + duration);
         }
+        FaultSpec::MasterCrash => crash_master(world, ctx),
         FaultSpec::LinkPartition { host, duration } => {
             world.control.partition(host, now + duration);
             world.obs.record(now, Event::LinkPartitioned { host });
@@ -1388,6 +1714,7 @@ pub fn revive_node(
         if w.daemon_mut(host).complete_priming(vsn, now).is_ok() {
             w.master.node_recovered(service, vsn);
             w.install_runtime(service, vsn, ExecutionMode::GuestIsolated);
+            w.journal_op(now, JournalOp::Recovery, service);
         }
     });
     Ok(())
@@ -1419,6 +1746,7 @@ pub fn failover_node(
     let result = world.master.replace_node(service, vsn, &mut daemons, now);
     world.daemons = daemons;
     let (target, ticket) = result?;
+    world.journal_op(now, JournalOp::Recovery, service);
     start_download(world, ctx, target, service, &ticket);
     Ok(target)
 }

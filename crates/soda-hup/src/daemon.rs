@@ -32,7 +32,6 @@ use soda_vmm::bootstrap::{BootstrapModel, BootstrapTiming};
 use soda_vmm::guest::GuestOs;
 use soda_vmm::rootfs::RootFsImage;
 use soda_vmm::sysservices::{StartupClass, SystemServiceId};
-#[cfg(test)]
 use soda_vmm::vsn::VsnState;
 use soda_vmm::vsn::{VirtualServiceNode, VsnError, VsnId};
 
@@ -196,6 +195,26 @@ impl SodaDaemon {
                 .values()
                 .filter(|v| v.is_running())
                 .map(|v| v.id)
+                .collect(),
+        )
+    }
+
+    /// The re-registration handshake a warm-standby Master performs
+    /// after taking over. Unlike [`SodaDaemon::heartbeat`] (running ids
+    /// only), the daemon reports *every* VSN it still holds together
+    /// with its lifecycle state, so the standby can adopt running
+    /// nodes, leave in-flight primings to finish, and scrub crashed
+    /// ones. A failed host cannot answer — `None`, exactly like a
+    /// missed heartbeat.
+    pub fn re_register(&self) -> Option<Vec<(VsnId, VsnState)>> {
+        if self.host.failed {
+            return None;
+        }
+        Some(
+            self.vsns
+                .values()
+                .filter(|v| !matches!(v.state(), VsnState::TornDown))
+                .map(|v| (v.id, *v.state()))
                 .collect(),
         )
     }

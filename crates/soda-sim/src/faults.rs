@@ -45,6 +45,10 @@ pub enum FaultSpec {
     /// Full network partition of the host for `duration`: nothing in or
     /// out, but the host itself keeps running.
     LinkPartition { host: u64, duration: SimDuration },
+    /// Fail-stop crash of the Master control plane. Data-plane switches
+    /// keep routing; detection, journal replay and warm-standby takeover
+    /// are the world's job.
+    MasterCrash,
 }
 
 impl FaultSpec {
@@ -58,6 +62,7 @@ impl FaultSpec {
             FaultSpec::SlowHost { .. } => "slow_host",
             FaultSpec::LinkLoss { .. } => "link_loss",
             FaultSpec::LinkPartition { .. } => "link_partition",
+            FaultSpec::MasterCrash => "master_crash",
         }
     }
 
@@ -70,7 +75,7 @@ impl FaultSpec {
             | FaultSpec::SlowHost { host, .. }
             | FaultSpec::LinkLoss { host, .. }
             | FaultSpec::LinkPartition { host, .. } => Some(host),
-            FaultSpec::VsnCrash { .. } => None,
+            FaultSpec::VsnCrash { .. } | FaultSpec::MasterCrash => None,
         }
     }
 
@@ -113,6 +118,7 @@ impl fmt::Display for FaultSpec {
                 "link_partition host={host} for={:.1}s",
                 duration.as_secs_f64()
             ),
+            FaultSpec::MasterCrash => write!(f, "master_crash"),
         }
     }
 }
@@ -124,6 +130,17 @@ pub struct FaultInjection {
     pub at: SimTime,
     /// What happens.
     pub fault: FaultSpec,
+}
+
+/// A correlated fault domain: hosts behind one rack switch / power rail
+/// that fail together. Domain incidents are generated on top of the
+/// independent per-host plan by [`FaultPlan::randomized`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct FailureDomain {
+    /// Label for logs ("rack-a", "tor-2").
+    pub name: String,
+    /// Hosts sharing the domain's fate (raw ids).
+    pub hosts: Vec<u64>,
 }
 
 /// Knobs for [`FaultPlan::randomized`].
@@ -141,6 +158,17 @@ pub struct ChaosProfile {
     /// uniform in `[0.5×, 1.5×]` this. Keeps long soaks from
     /// monotonically exhausting the host pool.
     pub mean_repair: SimDuration,
+    /// Correlated fault domains. Each domain suffers one incident per
+    /// run: either a simultaneous crash of all its hosts (with staggered
+    /// repairs) or a simultaneous partition with per-host durations —
+    /// asymmetric healing, some hosts regain the network before others.
+    /// Empty = no domain events; the rest of the plan is byte-identical
+    /// to one generated without this field (the domain stream draws from
+    /// its own salted RNG).
+    pub domains: Vec<FailureDomain>,
+    /// Master crashes to fold into the plan, uniform over the window
+    /// (their own salted RNG: 0 leaves the plan untouched).
+    pub master_crashes: u32,
 }
 
 /// An ordered, replayable schedule of fault injections.
@@ -245,6 +273,50 @@ impl FaultPlan {
                 );
             }
         }
+        // Correlated domain incidents and Master crashes draw from their
+        // own salted streams, appended after the base loop: a profile
+        // without them generates the exact bytes it always has, so
+        // existing seeds' fingerprints survive the feature.
+        if !profile.domains.is_empty() {
+            const DOMAIN_SALT: u64 = 0xd0ca_11ed_4ac5_a17e;
+            let mut rng = SimRng::new(seed ^ DOMAIN_SALT);
+            let window = profile.end.saturating_since(profile.start).as_secs_f64();
+            for domain in &profile.domains {
+                if domain.hosts.is_empty() || window <= 0.0 {
+                    continue;
+                }
+                let t = profile.start + SimDuration::from_secs_f64(window * rng.f64());
+                if rng.bool(0.5) {
+                    // The rack loses power: every host crashes at the
+                    // same instant, repairs stagger back in.
+                    for &host in &domain.hosts {
+                        plan.push(t, FaultSpec::HostCrash { host });
+                        let repair_secs = profile.mean_repair.as_secs_f64() * (0.5 + rng.f64());
+                        plan.push(
+                            t + SimDuration::from_secs_f64(repair_secs),
+                            FaultSpec::HostRepair { host },
+                        );
+                    }
+                } else {
+                    // The rack switch wedges: every host partitions at
+                    // once, but healing is asymmetric — per-host
+                    // durations, so some hosts rejoin before others.
+                    for &host in &domain.hosts {
+                        let duration = SimDuration::from_secs_f64(5.0 + 15.0 * rng.f64());
+                        plan.push(t, FaultSpec::LinkPartition { host, duration });
+                    }
+                }
+            }
+        }
+        if profile.master_crashes > 0 {
+            const MASTER_SALT: u64 = 0x5eed_0fad_ead5_0da5;
+            let mut rng = SimRng::new(seed ^ MASTER_SALT);
+            let window = profile.end.saturating_since(profile.start).as_secs_f64();
+            for _ in 0..profile.master_crashes {
+                let t = profile.start + SimDuration::from_secs_f64(window * rng.f64());
+                plan.push(t, FaultSpec::MasterCrash);
+            }
+        }
         plan
     }
 
@@ -332,6 +404,8 @@ mod tests {
             end: SimTime::from_secs(300),
             mean_gap: SimDuration::from_secs(15),
             mean_repair: SimDuration::from_secs(30),
+            domains: Vec::new(),
+            master_crashes: 0,
         }
     }
 
@@ -381,6 +455,63 @@ mod tests {
             .inject(SimTime::from_secs(5), FaultSpec::HostRepair { host: 2 });
         let kinds: Vec<_> = plan.injections().iter().map(|i| i.fault.kind()).collect();
         assert_eq!(kinds, vec!["vsn_crash", "host_crash", "host_repair"]);
+    }
+
+    #[test]
+    fn empty_domains_leave_the_base_plan_untouched() {
+        let base = FaultPlan::randomized(19, &profile());
+        let mut p = profile();
+        p.domains = Vec::new();
+        p.master_crashes = 0;
+        assert_eq!(base, FaultPlan::randomized(19, &p));
+    }
+
+    #[test]
+    fn domain_incident_hits_all_member_hosts_at_once() {
+        let mut p = profile();
+        p.domains = vec![FailureDomain {
+            name: "rack-a".into(),
+            hosts: vec![1, 2],
+        }];
+        let plan = FaultPlan::randomized(19, &p);
+        // The base plan (no domains) is a strict subset, in order.
+        let base = FaultPlan::randomized(19, &profile());
+        let mut base_iter = base.injections().iter();
+        for inj in plan.injections() {
+            if base_iter.clone().next() == Some(inj) {
+                base_iter.next();
+            }
+        }
+        assert!(base_iter.next().is_none(), "base plan preserved verbatim");
+        // The extra injections target both domain hosts from one instant:
+        // either both crash at the same t, or both partition at the same t.
+        let extras: Vec<&FaultInjection> = plan
+            .injections()
+            .iter()
+            .filter(|i| !base.injections().contains(i))
+            .collect();
+        assert!(!extras.is_empty(), "domain produced an incident");
+        let first_t = extras[0].at;
+        let correlated = extras.iter().filter(|i| i.at == first_t).count();
+        assert!(correlated >= 2, "hosts 1 and 2 hit together: {extras:?}");
+    }
+
+    #[test]
+    fn master_crashes_fold_into_the_window() {
+        let mut p = profile();
+        p.master_crashes = 2;
+        let plan = FaultPlan::randomized(5, &p);
+        let crashes: Vec<&FaultInjection> = plan
+            .injections()
+            .iter()
+            .filter(|i| i.fault == FaultSpec::MasterCrash)
+            .collect();
+        assert_eq!(crashes.len(), 2);
+        for c in crashes {
+            assert!(c.at >= p.start && c.at < p.end);
+        }
+        // Deterministic per seed.
+        assert_eq!(plan, FaultPlan::randomized(5, &p));
     }
 
     #[test]

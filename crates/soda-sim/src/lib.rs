@@ -57,7 +57,7 @@ pub mod stats;
 pub mod time;
 
 pub use engine::{Ctx, Engine, EventFn, DEFAULT_EVENT_KIND};
-pub use faults::{ChaosProfile, FaultInjection, FaultPlan, FaultSpec};
+pub use faults::{ChaosProfile, FailureDomain, FaultInjection, FaultPlan, FaultSpec};
 pub use metrics::{Availability, Counter, Histogram, Summary, TimeSeries, WindowedMean};
 pub use obs::{
     DrainedEvents, Event, Labels, MetricHandle, MetricKind, MetricValue, MetricsRegistry, Obs,

@@ -138,6 +138,17 @@ pub enum Event {
     LinkPartitioned { host: u64 },
     /// The host's links healed.
     LinkRestored { host: u64 },
+    /// The Master process crashed; `epoch` is the epoch that just died.
+    MasterDown { epoch: u64 },
+    /// A warm-standby Master finished taking over as `epoch`.
+    MasterRecovered { epoch: u64, replayed: u64 },
+    /// The standby replayed the journal: `entries` applied on top of a
+    /// checkpoint taken at `checkpoint_seq` (0 = genesis).
+    JournalReplayed {
+        epoch: u64,
+        entries: u64,
+        checkpoint_seq: u64,
+    },
 }
 
 impl Event {
@@ -158,7 +169,9 @@ impl Event {
             Event::VsnCrash { .. } | Event::HostFailure { .. } | Event::MasterOpFailed { .. } => {
                 Severity::Error
             }
-            Event::HostDown { .. } | Event::PrimingFailed { .. } => Severity::Error,
+            Event::HostDown { .. } | Event::PrimingFailed { .. } | Event::MasterDown { .. } => {
+                Severity::Error
+            }
             Event::RequestDispatched { .. }
             | Event::RequestCompleted { .. }
             | Event::SchedulerShareSample { .. } => Severity::Debug,
@@ -197,6 +210,9 @@ impl Event {
             Event::FaultInjected { .. } => "fault_injected",
             Event::LinkPartitioned { .. } => "link_partitioned",
             Event::LinkRestored { .. } => "link_restored",
+            Event::MasterDown { .. } => "master_down",
+            Event::MasterRecovered { .. } => "master_recovered",
+            Event::JournalReplayed { .. } => "journal_replayed",
         }
     }
 }
@@ -292,6 +308,18 @@ impl fmt::Display for Event {
             }
             Event::LinkPartitioned { host } => write!(f, "link-partitioned host={host}"),
             Event::LinkRestored { host } => write!(f, "link-restored host={host}"),
+            Event::MasterDown { epoch } => write!(f, "master-down epoch={epoch}"),
+            Event::MasterRecovered { epoch, replayed } => {
+                write!(f, "master-recovered epoch={epoch} replayed={replayed}")
+            }
+            Event::JournalReplayed {
+                epoch,
+                entries,
+                checkpoint_seq,
+            } => write!(
+                f,
+                "journal-replayed epoch={epoch} entries={entries} checkpoint={checkpoint_seq}"
+            ),
         }
     }
 }
@@ -538,6 +566,20 @@ impl serde::Serialize for Event {
                 put("fault", Value::String(kind.into()));
                 put("host", Value::U64(host));
                 put("vsn", Value::U64(vsn));
+            }
+            Event::MasterDown { epoch } => put("epoch", Value::U64(epoch)),
+            Event::MasterRecovered { epoch, replayed } => {
+                put("epoch", Value::U64(epoch));
+                put("replayed", Value::U64(replayed));
+            }
+            Event::JournalReplayed {
+                epoch,
+                entries,
+                checkpoint_seq,
+            } => {
+                put("epoch", Value::U64(epoch));
+                put("entries", Value::U64(entries));
+                put("checkpoint_seq", Value::U64(checkpoint_seq));
             }
         }
         Value::Object(fields)

@@ -138,6 +138,18 @@ impl SimRng {
             Some(&xs[self.index(xs.len())])
         }
     }
+
+    /// Capture the raw generator state so a snapshot can restore the
+    /// exact point in the stream (checkpoint/restore must continue
+    /// bit-identically, so "re-seed and hope" is not an option).
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from a captured [`SimRng::state`].
+    pub fn from_state(s: [u64; 4]) -> Self {
+        SimRng { s }
+    }
 }
 
 /// Zipf-distributed ranks in `[1, n]` with skew `s` — used to model

@@ -37,7 +37,7 @@ impl fmt::Display for VsnId {
 }
 
 /// Lifecycle states.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum VsnState {
     /// Slice reserved; nothing downloaded or booted yet.
     Allocated,
@@ -139,7 +139,7 @@ impl VirtualServiceNode {
         VsnError {
             vsn: self.id,
             attempted,
-            state: self.state.clone(),
+            state: self.state,
         }
     }
 

@@ -7,6 +7,8 @@
 //! failure landing mid-resize, and a flapping heartbeat that must be
 //! rolled back rather than acted on twice.
 
+use soda::core::error::SodaError;
+use soda::core::journal::WorldSnapshot;
 use soda::core::recovery::{self, RecoveryConfig};
 use soda::core::service::{ServiceSpec, ServiceState};
 use soda::core::world::{
@@ -16,9 +18,10 @@ use soda::hostos::resources::ResourceVector;
 use soda::hup::daemon::SodaDaemon;
 use soda::hup::host::{HostId, HupHost};
 use soda::net::pool::IpPool;
-use soda::sim::{Engine, SimDuration, SimTime};
+use soda::sim::{Engine, FaultSpec, SimDuration, SimTime};
 use soda::vmm::rootfs::RootFsCatalog;
 use soda::vmm::sysservices::StartupClass;
+use soda::workload::httpgen::PoissonGenerator;
 use soda_bench::experiments::chaos_soak;
 
 fn web_spec(n: u32) -> ServiceSpec {
@@ -325,4 +328,259 @@ fn heartbeat_flapping_rolls_back_cleanly() {
             .expect("host");
         assert!(d.vsn(n.vsn).is_some_and(|v| v.is_running()));
     }
+}
+
+/// FNV-1a over the rendered event log — the same fingerprint the soak
+/// experiments gate on.
+fn drain_fingerprint(world: &mut SodaWorld) -> u64 {
+    let mut fp: u64 = 0xcbf2_9ce4_8422_2325;
+    if let Some(drained) = world.obs.drain_events() {
+        for ev in &drained.events {
+            for b in ev.to_string().bytes() {
+                fp ^= u64::from(b);
+                fp = fp.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+    fp
+}
+
+/// The Master dies while a recovery episode is mid-flight — a host was
+/// crashed, detection fired, and the replacement's image download is on
+/// the wire. The crash wipes the episode table; the standby must
+/// rebuild from checkpoint ⊕ journal, re-detect whatever is still
+/// broken under the new epoch, and converge to full capacity with
+/// nothing placed on the dead host — bit-identically across replays.
+#[test]
+fn master_crash_during_active_recovery_converges() {
+    fn scenario(seed: u64) -> (u64, usize, u64, u64) {
+        let mut engine = Engine::with_seed(SodaWorld::new(hup(3, true)), seed);
+        engine.state_mut().enable_obs(1 << 15);
+        recovery::start_self_healing(
+            &mut engine,
+            RecoveryConfig::default(),
+            SimTime::from_secs(300),
+        );
+        let svc = create_service_driven(&mut engine, web_spec(3), "webco").expect("admitted");
+        engine.run_until(SimTime::from_secs(49));
+        assert_eq!(engine.state().creations.len(), 1, "creation finished");
+        let victim = engine.state().master.service(svc).expect("exists").nodes[0].host;
+        engine.schedule_at(SimTime::from_secs(50), move |w: &mut SodaWorld, ctx| {
+            crash_host(w, ctx, victim);
+        });
+        // Detection lands ~53.5–54.5 s and opens an episode; the
+        // replacement is still priming when the Master dies at 56.
+        engine.schedule_at(SimTime::from_secs(56), |w: &mut SodaWorld, ctx| {
+            assert!(w.recovery.open_episodes() > 0, "episode must be in flight");
+            assert!(w.journal.replay_len() > 0, "journal has a tail to replay");
+            apply_fault(w, ctx, FaultSpec::MasterCrash);
+        });
+        engine.run_until(SimTime::from_secs(300));
+        let w = engine.state_mut();
+        assert!(!w.master_is_down(), "standby took over");
+        assert_eq!(w.failover.records.len(), 1, "exactly one takeover");
+        let rec = w.failover.records[0];
+        assert!(rec.replayed > 0, "takeover replayed the journal tail");
+        assert_eq!(rec.epoch, 2, "epoch bumped exactly once");
+        let svc_rec = w.master.service(svc).expect("record survived the crash");
+        assert_eq!(svc_rec.placed_capacity(), 3, "full capacity restored");
+        assert_recovered_off_host(w, svc, victim);
+        assert_eq!(
+            recovery::check_invariants(w),
+            0,
+            "never routed to a dead VSN"
+        );
+        (
+            drain_fingerprint(w),
+            rec.replayed,
+            w.journal.epoch(),
+            w.recovery.stats.retries,
+        )
+    }
+    let a = scenario(11);
+    let b = scenario(11);
+    assert_eq!(a, b, "same seed must replay bit-identically");
+}
+
+/// The Master dies while admissions keep arriving. Every attempt during
+/// the outage must be refused loudly (`MasterUnavailable`), never
+/// silently queued against a dead control plane; once the standby takes
+/// over, the whole backlog re-admits and every creation completes. The
+/// data plane serves throughout — switches survive the crash.
+#[test]
+fn master_crash_with_admission_backlog() {
+    fn scenario(seed: u64) -> (u64, usize, u64) {
+        let mut engine = Engine::with_seed(SodaWorld::new(hup(4, false)), seed);
+        engine.state_mut().enable_obs(1 << 15);
+        recovery::start_self_healing(
+            &mut engine,
+            RecoveryConfig::default(),
+            SimTime::from_secs(240),
+        );
+        let web = create_service_driven(&mut engine, web_spec(2), "webco").expect("admitted");
+        // A slow standby (8 s watchdog) so the outage spans several
+        // admission attempts.
+        engine.state_mut().failover.detection_delay = SimDuration::from_secs(8);
+        PoissonGenerator {
+            service: web,
+            dataset_bytes: 30_000,
+            rate_rps: 10.0,
+            start: SimTime::from_secs(20),
+            end: SimTime::from_secs(120),
+        }
+        .start(&mut engine);
+        engine.schedule_at(SimTime::from_secs(40), |w: &mut SodaWorld, ctx| {
+            apply_fault(w, ctx, FaultSpec::MasterCrash);
+        });
+        // Control plane down 40 → ~48.05 s; three tenants knock.
+        let mut backlog = Vec::new();
+        for (t, asp) in [(41u64, "aco"), (43, "bco"), (45, "cco")] {
+            engine.run_until(SimTime::from_secs(t));
+            assert!(engine.state().master_is_down(), "still down at t={t}");
+            match create_service_driven(&mut engine, web_spec(1), asp) {
+                Err(SodaError::MasterUnavailable) => backlog.push(asp),
+                other => panic!("expected MasterUnavailable at t={t}, got {other:?}"),
+            }
+        }
+        engine.run_until(SimTime::from_secs(60));
+        assert!(!engine.state().master_is_down(), "standby took over");
+        let admitted: Vec<_> = backlog
+            .into_iter()
+            .map(|asp| create_service_driven(&mut engine, web_spec(1), asp).expect("retry admits"))
+            .collect();
+        assert_eq!(admitted.len(), 3, "whole backlog re-admitted");
+        engine.run_until(SimTime::from_secs(240));
+        let w = engine.state_mut();
+        for svc in &admitted {
+            assert!(
+                w.creations.iter().any(|c| c.reply.service == *svc),
+                "backlog creation {svc:?} completed"
+            );
+        }
+        assert_eq!(w.failover.records.len(), 1, "exactly one takeover");
+        assert!(
+            !w.completed.is_empty(),
+            "data plane served across the outage"
+        );
+        assert_eq!(recovery::check_invariants(w), 0);
+        (drain_fingerprint(w), w.completed.len(), w.dropped)
+    }
+    let a = scenario(7);
+    let b = scenario(7);
+    assert_eq!(a, b, "same seed must replay bit-identically");
+}
+
+/// A second Master crash lands inside the first takeover's watchdog
+/// window. The stale takeover must abort (generation guard) and the
+/// clock restart from the second crash — exactly one takeover record,
+/// latency honestly measured from the *original* outage, and the world
+/// still converges.
+#[test]
+fn double_master_crash_before_standby_finishes_replay() {
+    fn scenario(seed: u64) -> (u64, u64, u64) {
+        let mut engine = Engine::with_seed(SodaWorld::new(hup(3, true)), seed);
+        engine.state_mut().enable_obs(1 << 15);
+        recovery::start_self_healing(
+            &mut engine,
+            RecoveryConfig::default(),
+            SimTime::from_secs(240),
+        );
+        let svc = create_service_driven(&mut engine, web_spec(3), "webco").expect("admitted");
+        engine.run_until(SimTime::from_secs(30));
+        // First crash at 40 → watchdog fires ~42.05. The second crash
+        // at 41 is inside that window.
+        engine.schedule_at(SimTime::from_secs(40), |w: &mut SodaWorld, ctx| {
+            apply_fault(w, ctx, FaultSpec::MasterCrash);
+        });
+        engine.schedule_at(SimTime::from_secs(41), |w: &mut SodaWorld, ctx| {
+            assert!(w.master_is_down(), "first outage still in effect");
+            apply_fault(w, ctx, FaultSpec::MasterCrash);
+        });
+        engine.run_until(SimTime::from_secs(240));
+        let w = engine.state_mut();
+        assert_eq!(
+            w.failover.records.len(),
+            1,
+            "stale takeover aborted; exactly one completes"
+        );
+        let rec = w.failover.records[0];
+        assert_eq!(
+            rec.crashed_at,
+            SimTime::from_secs(40),
+            "latency measured from the original outage"
+        );
+        assert!(
+            rec.recovered_at >= SimTime::from_secs(43),
+            "takeover clock restarted by the second crash: {:?}",
+            rec.recovered_at
+        );
+        assert_eq!(rec.epoch, 2, "one epoch bump for the whole double-crash");
+        assert!(!w.master_is_down());
+        assert_eq!(
+            w.master
+                .service(svc)
+                .expect("record survived")
+                .placed_capacity(),
+            3
+        );
+        assert_eq!(recovery::check_invariants(w), 0);
+        (
+            drain_fingerprint(w),
+            rec.recovered_at.as_nanos(),
+            w.journal.epoch(),
+        )
+    }
+    let a = scenario(13);
+    let b = scenario(13);
+    assert_eq!(a, b, "same seed must replay bit-identically");
+}
+
+/// Tier-1: a checkpoint taken mid-soak, rendered to text, parsed back
+/// and restored into the world continues fingerprint-identically to the
+/// run that never snapshotted — the snapshot is a faithful,
+/// serializable image of the control plane (jitter RNG state included:
+/// a host dies *after* the restore point and every detection/backoff
+/// draw must be unperturbed).
+#[test]
+fn snapshot_roundtrip_continues_fingerprint_identically() {
+    fn scenario(seed: u64, roundtrip: bool) -> (u64, usize, u64) {
+        let mut engine = Engine::with_seed(SodaWorld::new(hup(3, true)), seed);
+        engine.state_mut().enable_obs(1 << 15);
+        recovery::start_self_healing(
+            &mut engine,
+            RecoveryConfig::default(),
+            SimTime::from_secs(200),
+        );
+        let svc = create_service_driven(&mut engine, web_spec(3), "webco").expect("admitted");
+        PoissonGenerator {
+            service: svc,
+            dataset_bytes: 30_000,
+            rate_rps: 12.0,
+            start: SimTime::from_secs(10),
+            end: SimTime::from_secs(150),
+        }
+        .start(&mut engine);
+        engine.run_until(SimTime::from_secs(100));
+        if roundtrip {
+            let snap = engine.state().snapshot_world(engine.now());
+            let text = snap.render();
+            let parsed = WorldSnapshot::parse(&text).expect("snapshot text parses back");
+            assert_eq!(parsed, snap, "render → parse is lossless");
+            assert_eq!(parsed.fingerprint(), snap.fingerprint());
+            engine.state_mut().restore_world(&parsed);
+        }
+        engine.run_until(SimTime::from_secs(109));
+        let victim = engine.state().master.service(svc).expect("exists").nodes[0].host;
+        engine.schedule_at(SimTime::from_secs(110), move |w: &mut SodaWorld, ctx| {
+            crash_host(w, ctx, victim);
+        });
+        engine.run_until(SimTime::from_secs(200));
+        let w = engine.state_mut();
+        assert_recovered_off_host(w, svc, victim);
+        assert_eq!(recovery::check_invariants(w), 0);
+        (drain_fingerprint(w), w.completed.len(), w.dropped)
+    }
+    let plain = scenario(21, false);
+    let snapped = scenario(21, true);
+    assert_eq!(snapped, plain, "round-trip must not perturb the run");
 }

@@ -658,3 +658,94 @@ fn stale_nic_wakeup_counter_is_observer_transparent() {
     assert_eq!(events_a, events_dark, "same engine events dark or lit");
     assert_eq!(stale_dark, 0, "obs off counts nothing");
 }
+
+/// The observer effect holds through a full Master failover: crashing
+/// the control plane and replaying the journal with instrumentation on
+/// must not perturb the trajectory, the engine event count, or the RNG
+/// state — and the enabled run records the whole failover arc (typed
+/// events plus the `master_failovers` counter).
+#[test]
+fn observer_effect_holds_through_master_failover() {
+    fn failover_scenario(
+        seed: u64,
+        obs_capacity: Option<usize>,
+    ) -> (Vec<(u64, u64)>, u64, u64, Option<Obs>) {
+        use soda::core::recovery::{self, RecoveryConfig};
+        use soda::core::world::apply_fault;
+        use soda::sim::FaultSpec;
+
+        let mut world = SodaWorld::testbed();
+        let obs = obs_capacity.map(|c| world.enable_obs(c));
+        let mut engine = Engine::with_seed(world, seed);
+        let svc = create_service_driven(&mut engine, web_spec(3), "webco").unwrap();
+        engine.run_until(SimTime::from_secs(60));
+        recovery::start_self_healing(
+            &mut engine,
+            RecoveryConfig::default(),
+            SimTime::from_secs(180),
+        );
+        let t0 = engine.now();
+        PoissonGenerator {
+            service: svc,
+            dataset_bytes: 30_000,
+            rate_rps: 25.0,
+            start: t0,
+            end: t0 + SimDuration::from_secs(40),
+        }
+        .start(&mut engine);
+        engine.schedule_at(t0 + SimDuration::from_secs(10), |w: &mut SodaWorld, ctx| {
+            apply_fault(w, ctx, FaultSpec::MasterCrash);
+        });
+        engine.run_until(t0 + SimDuration::from_secs(90));
+        assert!(!engine.state().master_is_down(), "standby took over");
+        assert_eq!(engine.state().failover.records.len(), 1);
+        let traj: Vec<(u64, u64)> = engine
+            .state()
+            .completed
+            .iter()
+            .map(|r| (r.issued.as_nanos(), r.completed.as_nanos()))
+            .collect();
+        let events = engine.events_executed();
+        let rng_probe = engine.rng_mut().next_u64();
+        (traj, events, rng_probe, obs)
+    }
+
+    let (traj_off, events_off, rng_off, _) = failover_scenario(4007, None);
+    let (traj_on, events_on, rng_on, obs) = failover_scenario(4007, Some(1 << 14));
+    assert!(!traj_off.is_empty(), "scenario must serve requests");
+    assert_eq!(
+        traj_on, traj_off,
+        "obs must not perturb the trajectory through a failover"
+    );
+    assert_eq!(events_on, events_off, "obs must not schedule engine events");
+    assert_eq!(rng_on, rng_off, "obs must not draw randomness");
+
+    let obs = obs.unwrap();
+    obs.with(|inner| {
+        assert_eq!(
+            inner
+                .registry
+                .counter("world", "master_failovers", Labels::none()),
+            Some(1),
+            "takeover increments the failover counter"
+        );
+    });
+    let timeline = obs.drain_events().unwrap();
+    let kinds: std::collections::BTreeSet<&str> =
+        timeline.events.iter().map(|e| e.event.kind()).collect();
+    for expected in ["master_down", "journal_replayed", "master_recovered"] {
+        assert!(kinds.contains(expected), "missing {expected} in {kinds:?}");
+    }
+    // The arc is ordered: down strictly before replay, replay no later
+    // than the recovered mark.
+    let at = |kind: &str| {
+        timeline
+            .events
+            .iter()
+            .find(|e| e.event.kind() == kind)
+            .map(|e| (e.time, e.seq))
+            .unwrap()
+    };
+    assert!(at("master_down") < at("journal_replayed"));
+    assert!(at("journal_replayed") <= at("master_recovered"));
+}
