@@ -13,8 +13,10 @@
 //! event log so two runs can be compared exactly.
 
 use serde::Serialize;
+use soda_core::config::ShardId;
 use soda_core::recovery::{self, RecoveryConfig};
 use soda_core::service::ServiceSpec;
+use soda_core::shard::ControlPlaneKind;
 use soda_core::world::{apply_fault, create_service_driven, SodaWorld};
 use soda_hostos::resources::ResourceVector;
 use soda_hup::daemon::SodaDaemon;
@@ -107,8 +109,20 @@ pub struct ChaosSoakResult {
     pub max_failover_secs: f64,
     /// Longest journal replay a takeover performed (entries).
     pub max_journal_replay: u64,
-    /// Journal entries appended over the whole soak.
+    /// Journal entries appended over the whole soak (all cells).
     pub journal_appended: u64,
+    /// Control plane the run used (`"monolith"` / `"sharded-N"`).
+    pub control_plane: String,
+    /// Placement cells in the control plane (1 for the monolith).
+    pub shards: u32,
+    /// Placements (admission or recovery) re-placed over the whole
+    /// fleet after their home cell was full.
+    pub shard_spills: u64,
+    /// Inter-shard messages sent.
+    pub shard_msgs_sent: u64,
+    /// Inter-shard messages dropped because the destination's journal
+    /// epoch moved while they were in flight.
+    pub shard_msgs_stale: u64,
     /// Engine events executed over the whole soak.
     pub events: u64,
     /// Virtual time simulated, seconds.
@@ -157,6 +171,24 @@ pub fn run_with_faults(
     seed: u64,
     master_crashes: u32,
 ) -> (ChaosSoakResult, Option<soda_sim::Histogram>) {
+    run_full(seed, master_crashes, ControlPlaneKind::Monolith)
+}
+
+/// The soak under an explicit control plane: the monolith oracle or a
+/// sharded plane (the `exp_shard` differential path). MasterCrash
+/// faults stay monolith-only — warm-standby drills are shard-0 scoped.
+pub fn run_with_kind(
+    seed: u64,
+    kind: ControlPlaneKind,
+) -> (ChaosSoakResult, Option<soda_sim::Histogram>) {
+    run_full(seed, 0, kind)
+}
+
+fn run_full(
+    seed: u64,
+    master_crashes: u32,
+    kind: ControlPlaneKind,
+) -> (ChaosSoakResult, Option<soda_sim::Histogram>) {
     // Three seattles plus a tacoma spare: enough headroom that most
     // recoveries succeed, little enough that degradation is reachable.
     let daemons: Vec<SodaDaemon> = (1u32..=3)
@@ -172,6 +204,7 @@ pub fn run_with_faults(
         ))))
         .collect();
     let mut engine = Engine::with_seed(SodaWorld::new(daemons), seed);
+    engine.state_mut().configure_shards(kind);
     // Capacity hint: heartbeats, the two Poisson generators and the fault
     // plan keep the pending-event population in the low thousands; reserve
     // once so the soak never re-allocates queue storage mid-run.
@@ -255,7 +288,26 @@ pub fn run_with_faults(
         .as_ref()
         .map(LatencyDigest::from_nanos)
         .unwrap_or_default();
-    let stats = w.recovery.stats.clone();
+    // Aggregate self-healing stats across every cell (one fold for the
+    // monolith).
+    let mut stats = w.recovery.stats.clone();
+    let mut journal_appended = 0u64;
+    let mut degraded = soda_sim::SimDuration::ZERO;
+    for k in 0..w.shard_count() {
+        let shard = ShardId(k);
+        journal_appended += w.journal_of(shard).appended_total();
+        degraded += w.recovery_of(shard).degraded_time(horizon);
+        if k > 0 {
+            let cell = w.recovery_of(shard).stats.clone();
+            stats.detections.extend(cell.detections.iter().copied());
+            stats.recoveries.extend(cell.recoveries.iter().copied());
+            stats.retries += cell.retries;
+            stats.degradations += cell.degradations;
+            stats.sheds += cell.sheds;
+            stats.false_alarms += cell.false_alarms;
+            stats.invariant_violations += cell.invariant_violations;
+        }
+    }
     // Crash → detection latency: each detection matched to the latest
     // crash of that host at or before it.
     let detection_lat: Vec<f64> = stats
@@ -321,7 +373,7 @@ pub fn run_with_faults(
         max_recovery_secs: max(&recovery_lat),
         completed: w.completed.len() as u64,
         dropped: w.dropped,
-        degraded_secs: w.recovery.degraded_time(horizon).as_secs_f64(),
+        degraded_secs: degraded.as_secs_f64(),
         degradations: stats.degradations,
         sheds: stats.sheds,
         false_alarms: stats.false_alarms,
@@ -332,7 +384,12 @@ pub fn run_with_faults(
         mean_failover_secs: mean(&failover_lat),
         max_failover_secs: max(&failover_lat),
         max_journal_replay,
-        journal_appended: w.journal.appended_total(),
+        journal_appended,
+        control_plane: kind.label(),
+        shards: w.shard_count(),
+        shard_spills: w.shards.spills,
+        shard_msgs_sent: w.shards.msgs_sent,
+        shard_msgs_stale: w.shards.msgs_stale,
         events,
         sim_secs,
         peak_queue_depth,
@@ -347,6 +404,38 @@ pub fn run_with_faults(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// One placement cell IS the monolith, even under the full chaos
+    /// plan: same seed, same event log, same counters.
+    #[test]
+    fn sharded_one_cell_soak_matches_monolith() {
+        let mono = run(9);
+        let (one, _) = run_with_kind(9, ControlPlaneKind::Sharded(1));
+        assert_eq!(mono.event_fingerprint, one.event_fingerprint);
+        assert_eq!(mono.completed, one.completed);
+        assert_eq!(mono.dropped, one.dropped);
+        assert_eq!(mono.recoveries, one.recoveries);
+        assert_eq!(mono.detections, one.detections);
+        assert_eq!(mono.events, one.events);
+        assert_eq!(one.shards, 1);
+    }
+
+    /// Four cells under chaos: routing invariants hold in every cell,
+    /// the service keeps serving, and cross-shard messages flow when a
+    /// spilled placement's host dies.
+    #[test]
+    fn sharded_four_cell_soak_keeps_invariants() {
+        let (r, _) = run_with_kind(7, ControlPlaneKind::Sharded(4));
+        assert_eq!(r.shards, 4);
+        assert_eq!(r.invariant_violations, 0, "never route to a known-dead VSN");
+        assert!(r.completed > 1000, "service keeps serving: {}", r.completed);
+        assert_eq!(r.latency.count, r.completed);
+        assert!(r.shard_spills >= 1, "tight cells force a fleet spill");
+        assert!(
+            r.shard_msgs_sent >= 1,
+            "a spilled node's death crosses shards"
+        );
+    }
 
     #[test]
     fn soak_survives_and_keeps_routing_invariant() {

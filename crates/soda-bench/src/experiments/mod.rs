@@ -16,6 +16,7 @@ pub mod migration;
 pub mod placement;
 pub mod resize;
 pub mod scale;
+pub mod shard;
 pub mod table2;
 pub mod table4;
 pub mod usage_billing;

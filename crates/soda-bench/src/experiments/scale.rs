@@ -21,6 +21,7 @@
 
 use serde::Serialize;
 use soda_core::service::{ServiceId, ServiceSpec};
+use soda_core::shard::ControlPlaneKind;
 use soda_core::world::{create_service_driven, submit_request, SodaWorld};
 use soda_hostos::resources::ResourceVector;
 use soda_hup::daemon::SodaDaemon;
@@ -65,6 +66,10 @@ pub struct ScaleConfig {
     /// Event-queue implementation; the determinism suite replays runs on
     /// both kinds and requires identical fingerprints.
     pub queue: QueueKind,
+    /// Control plane driving the run: the monolithic Master, or `n`
+    /// placement cells coordinated by messages. The differential suite
+    /// requires `Sharded(1)` to fingerprint identically to `Monolith`.
+    pub kind: ControlPlaneKind,
 }
 
 impl Default for ScaleConfig {
@@ -76,6 +81,7 @@ impl Default for ScaleConfig {
             obs: false,
             profile: false,
             queue: QueueKind::default(),
+            kind: ControlPlaneKind::Monolith,
         }
     }
 }
@@ -99,6 +105,18 @@ pub struct ScaleResult {
     pub obs: bool,
     /// Event-queue implementation the run used (`"wheel"` / `"heap"`).
     pub queue: String,
+    /// Control plane the run used (`"monolith"` / `"sharded-N"`).
+    pub control_plane: String,
+    /// Placement cells in the control plane (1 for the monolith).
+    pub shards: u32,
+    /// Creations re-placed over the whole fleet after their home cell
+    /// was full.
+    pub shard_spills: u64,
+    /// Inter-shard messages sent / dropped as stale.
+    pub shard_msgs_sent: u64,
+    /// Inter-shard messages dropped because the destination's journal
+    /// epoch moved while they were in flight.
+    pub shard_msgs_stale: u64,
     /// Engine events executed, creation phase included.
     pub events: u64,
     /// Host wall-clock for the whole run, seconds.
@@ -190,6 +208,7 @@ pub fn run(cfg: &ScaleConfig) -> ScaleResult {
         })
         .collect();
     let mut engine = Engine::with_seed_queue(SodaWorld::new(daemons), cfg.seed, cfg.queue);
+    engine.state_mut().configure_shards(cfg.kind);
     // Workload-derived capacity hint: the queue high-water mark tracks the
     // in-flight request population, itself bounded by the issue batch size
     // times the pipeline depth. Pre-paying the growth keeps re-allocation
@@ -310,6 +329,11 @@ pub fn run(cfg: &ScaleConfig) -> ScaleResult {
             QueueKind::Wheel => "wheel".to_string(),
             QueueKind::Heap => "heap".to_string(),
         },
+        control_plane: cfg.kind.label(),
+        shards: w.shard_count(),
+        shard_spills: w.shards.spills,
+        shard_msgs_sent: w.shards.msgs_sent,
+        shard_msgs_stale: w.shards.msgs_stale,
         events,
         wall_secs,
         sim_secs,
@@ -390,6 +414,49 @@ mod tests {
         }
     }
 
+    /// One placement cell IS the monolith: a `Sharded(1)` run must walk
+    /// the exact trajectory (and event log) of the `Monolith` oracle.
+    #[test]
+    fn sharded_one_cell_is_the_monolith() {
+        let cfg = ScaleConfig {
+            hosts: 4,
+            requests: 2_000,
+            seed: 23,
+            obs: true,
+            ..ScaleConfig::default()
+        };
+        let mono = run(&cfg);
+        let one = run(&ScaleConfig {
+            kind: ControlPlaneKind::Sharded(1),
+            ..cfg
+        });
+        assert_eq!(mono.trajectory_fingerprint, one.trajectory_fingerprint);
+        assert_eq!(mono.event_fingerprint, one.event_fingerprint);
+        assert_eq!(mono.events, one.events);
+        assert_eq!(one.shards, 1);
+        assert_eq!(one.shard_spills, 0);
+    }
+
+    /// Four cells keep the conservation law and the admission totals of
+    /// the monolith: every service admits, every request completes or
+    /// is counted dropped.
+    #[test]
+    fn sharded_four_cells_conserve_requests() {
+        let cfg = ScaleConfig {
+            hosts: 4,
+            requests: 2_000,
+            seed: 23,
+            kind: ControlPlaneKind::Sharded(4),
+            ..ScaleConfig::default()
+        };
+        let r = run(&cfg);
+        assert_eq!(r.shards, 4);
+        assert_eq!(r.services, 4 * SERVICES_PER_HOST);
+        assert_eq!(r.vsns, 4 * r.services);
+        assert_eq!(r.completed + r.dropped, cfg.requests);
+        assert_eq!(r.dropped, 0, "unsaturated fleet drops nothing");
+    }
+
     /// The wheel and the heap are trajectory-identical end to end, not
     /// just at the queue API: a full scale run on each must fingerprint
     /// the same.
@@ -400,8 +467,7 @@ mod tests {
             requests: 1_000,
             seed: 17,
             obs: true,
-            profile: false,
-            queue: QueueKind::Wheel,
+            ..ScaleConfig::default()
         };
         let wheel = run(&cfg);
         let heap = run(&ScaleConfig {

@@ -1,0 +1,232 @@
+//! X-SHARD — shard-count scaling sweep and the shard-vs-monolith
+//! differential gate.
+//!
+//! The sharded control plane is only trustworthy because the monolith
+//! is kept alive as its oracle. This experiment drives both:
+//!
+//! * **Gate** ([`gate`]) — the CI mode. On a compact scale grid point
+//!   and on the chaos soak, `Sharded(1)` must replay the `Monolith`
+//!   bit-identically (trajectory + event-log fingerprints, event
+//!   counts), and `Sharded(n)` for n > 1 must keep the conservation
+//!   laws: every service admitted, every request completed or counted
+//!   dropped, zero routing-invariant violations.
+//! * **Sweep** ([`sweep`]) — the scaling-curve mode. Runs the
+//!   1,000-host / 1M-request workload across shard counts and a
+//!   10,000-host point, so the per-shard-count throughput trajectory
+//!   lands in `results/BENCH_exp_shard.json`.
+
+use serde::Serialize;
+use soda_core::shard::ControlPlaneKind;
+use soda_sim::QueueKind;
+
+use crate::experiments::chaos_soak;
+use crate::experiments::scale::{self, ScaleConfig, ScaleResult};
+use crate::SweepRunner;
+
+/// One differential comparison in the gate report.
+#[derive(Clone, Debug, Serialize)]
+pub struct GateCheck {
+    /// What was compared (e.g. `"scale n=1 trajectory"`).
+    pub name: String,
+    /// Whether the check held.
+    pub passed: bool,
+    /// Human-readable detail (fingerprints, counts).
+    pub detail: String,
+}
+
+/// The gate's full report: every check, plus the runs it compared.
+#[derive(Clone, Debug, Serialize)]
+pub struct GateReport {
+    /// Shard count exercised on the n > 1 side.
+    pub shards: u32,
+    /// Every comparison made, in order.
+    pub checks: Vec<GateCheck>,
+    /// The scale grid points (monolith, sharded-1, sharded-n).
+    pub scale_points: Vec<ScaleResult>,
+    /// True iff every check passed.
+    pub passed: bool,
+}
+
+fn check(checks: &mut Vec<GateCheck>, name: &str, passed: bool, detail: String) {
+    checks.push(GateCheck {
+        name: name.to_string(),
+        passed,
+        detail,
+    });
+}
+
+/// Run the differential gate with `n` cells on the sharded side
+/// (n ∈ {1, n} is always exercised; the monolith is the oracle).
+pub fn gate(n: u32) -> GateReport {
+    let n = n.max(2);
+    let mut checks = Vec::new();
+
+    // Compact utility grid point, observability on so the event-log
+    // fingerprint participates. 8 hosts divide evenly into n cells for
+    // every n in {2, 4, 8}.
+    let cfg = ScaleConfig {
+        hosts: 8,
+        requests: 20_000,
+        seed: 1303,
+        obs: true,
+        queue: QueueKind::Wheel,
+        ..ScaleConfig::default()
+    };
+    let mono = scale::run(&cfg);
+    let one = scale::run(&ScaleConfig {
+        kind: ControlPlaneKind::Sharded(1),
+        ..cfg
+    });
+    let many = scale::run(&ScaleConfig {
+        kind: ControlPlaneKind::Sharded(n),
+        ..cfg
+    });
+
+    check(
+        &mut checks,
+        "scale n=1 trajectory fingerprint",
+        one.trajectory_fingerprint == mono.trajectory_fingerprint,
+        format!(
+            "monolith {:#018x} vs sharded-1 {:#018x}",
+            mono.trajectory_fingerprint, one.trajectory_fingerprint
+        ),
+    );
+    check(
+        &mut checks,
+        "scale n=1 event fingerprint",
+        one.event_fingerprint == mono.event_fingerprint,
+        format!(
+            "monolith {:#018x} vs sharded-1 {:#018x}",
+            mono.event_fingerprint, one.event_fingerprint
+        ),
+    );
+    check(
+        &mut checks,
+        "scale n=1 event count",
+        one.events == mono.events,
+        format!("monolith {} vs sharded-1 {}", mono.events, one.events),
+    );
+    check(
+        &mut checks,
+        &format!("scale n={n} admission totals"),
+        many.services == mono.services && many.vsns == mono.vsns,
+        format!(
+            "services {} vs {}, vsns {} vs {}",
+            mono.services, many.services, mono.vsns, many.vsns
+        ),
+    );
+    check(
+        &mut checks,
+        &format!("scale n={n} request conservation"),
+        many.completed + many.dropped == cfg.requests,
+        format!(
+            "completed {} + dropped {} vs submitted {}",
+            many.completed, many.dropped, cfg.requests
+        ),
+    );
+
+    // Chaos tier: the soak's fault plan, heartbeat draws and backoff
+    // jitter must also be oblivious to a single-cell control plane.
+    let mono_soak = chaos_soak::run(11);
+    let (one_soak, _) = chaos_soak::run_with_kind(11, ControlPlaneKind::Sharded(1));
+    let (many_soak, _) = chaos_soak::run_with_kind(11, ControlPlaneKind::Sharded(n.min(4)));
+    check(
+        &mut checks,
+        "soak n=1 event fingerprint",
+        one_soak.event_fingerprint == mono_soak.event_fingerprint,
+        format!(
+            "monolith {:#018x} vs sharded-1 {:#018x}",
+            mono_soak.event_fingerprint, one_soak.event_fingerprint
+        ),
+    );
+    check(
+        &mut checks,
+        "soak n=1 recovery accounting",
+        one_soak.detections == mono_soak.detections
+            && one_soak.recoveries == mono_soak.recoveries
+            && one_soak.completed == mono_soak.completed
+            && one_soak.dropped == mono_soak.dropped,
+        format!(
+            "detections {}/{} recoveries {}/{} completed {}/{} dropped {}/{}",
+            mono_soak.detections,
+            one_soak.detections,
+            mono_soak.recoveries,
+            one_soak.recoveries,
+            mono_soak.completed,
+            one_soak.completed,
+            mono_soak.dropped,
+            one_soak.dropped
+        ),
+    );
+    check(
+        &mut checks,
+        &format!("soak n={} routing invariant", n.min(4)),
+        many_soak.invariant_violations == 0,
+        format!("{} violations", many_soak.invariant_violations),
+    );
+    check(
+        &mut checks,
+        &format!("soak n={} keeps serving", n.min(4)),
+        many_soak.completed > 1000,
+        format!("{} completed", many_soak.completed),
+    );
+
+    let passed = checks.iter().all(|c| c.passed);
+    GateReport {
+        shards: n,
+        checks,
+        scale_points: vec![mono, one, many],
+        passed,
+    }
+}
+
+/// The sweep grid: shard counts over the 1,000-host / 1M-request
+/// workload, plus a 10,000-host point at the largest count.
+pub fn sweep_grid(hosts: u32, requests: u64, shard_counts: &[u32]) -> Vec<ScaleConfig> {
+    shard_counts
+        .iter()
+        .map(|&n| ScaleConfig {
+            hosts,
+            requests,
+            seed: 1303,
+            kind: if n <= 1 {
+                ControlPlaneKind::Monolith
+            } else {
+                ControlPlaneKind::Sharded(n)
+            },
+            ..ScaleConfig::default()
+        })
+        .collect()
+}
+
+/// Run a sweep grid, fanning points across cores (each point is an
+/// independent single-threaded simulation, so per-point results are
+/// identical to a serial sweep's).
+pub fn sweep(grid: Vec<ScaleConfig>) -> Vec<ScaleResult> {
+    SweepRunner::from_env()
+        .run(grid, |cfg| scale::run(&cfg))
+        .results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_passes_on_the_pinned_seed() {
+        let report = gate(4);
+        let failed: Vec<&GateCheck> = report.checks.iter().filter(|c| !c.passed).collect();
+        assert!(report.passed, "failed checks: {failed:?}");
+        assert_eq!(report.scale_points.len(), 3);
+        assert_eq!(report.scale_points[2].shards, 4);
+    }
+
+    #[test]
+    fn sweep_grid_labels_shard_counts() {
+        let grid = sweep_grid(8, 1_000, &[1, 2, 4]);
+        assert_eq!(grid.len(), 3);
+        assert_eq!(grid[0].kind, ControlPlaneKind::Monolith);
+        assert_eq!(grid[1].kind, ControlPlaneKind::Sharded(2));
+        assert_eq!(grid[2].kind, ControlPlaneKind::Sharded(4));
+    }
+}

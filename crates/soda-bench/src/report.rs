@@ -271,6 +271,102 @@ mod tests {
         assert!((a.requests_per_sec - 100.0).abs() < 1e-9);
     }
 
+    /// The rates in a folded record are re-derived from the folded
+    /// sums (`events / wall`, `requests / wall`), not averaged from the
+    /// per-point rates — the distinction matters whenever points have
+    /// unequal walls.
+    #[test]
+    fn bench_record_rederives_rates_from_folded_wall() {
+        let mut a = BenchRecord {
+            experiment: "exp_unit".into(),
+            wall_secs: 1.0,
+            sim_secs: 10.0,
+            events: 10_000,
+            events_per_sec: 10_000.0,
+            requests: 1_000,
+            requests_per_sec: 1_000.0,
+            peak_queue_depth: 1,
+            peak_live_flows: 1,
+            peak_open_requests: 1,
+            master_failovers: 0,
+            mean_failover_secs: 0.0,
+            max_journal_replay: 0,
+        };
+        // Slow point: 9 s of wall for the same event count. A naive
+        // rate average would say ~5,555 ev/s; the folded truth is
+        // 20,000 events over 10 s = 2,000 ev/s.
+        let b = BenchRecord {
+            wall_secs: 9.0,
+            events_per_sec: 10_000.0 / 9.0,
+            requests_per_sec: 1_000.0 / 9.0,
+            ..a.clone()
+        };
+        a.fold(&b);
+        assert!((a.wall_secs - 10.0).abs() < 1e-12);
+        assert_eq!(a.events, 20_000);
+        assert_eq!(a.requests, 2_000);
+        assert!((a.events_per_sec - 2_000.0).abs() < 1e-9);
+        assert!((a.requests_per_sec - 200.0).abs() < 1e-9);
+    }
+
+    /// Failover fields merge correctly: the mean folds count-weighted,
+    /// the replay depth takes the max, and a failover-free point leaves
+    /// the other side's latency untouched.
+    #[test]
+    fn bench_record_folds_failover_fields() {
+        let base = BenchRecord {
+            experiment: "exp_unit".into(),
+            wall_secs: 1.0,
+            sim_secs: 1.0,
+            events: 1,
+            events_per_sec: 1.0,
+            requests: 1,
+            requests_per_sec: 1.0,
+            peak_queue_depth: 1,
+            peak_live_flows: 1,
+            peak_open_requests: 1,
+            master_failovers: 0,
+            mean_failover_secs: 0.0,
+            max_journal_replay: 0,
+        };
+        // Count-weighted mean: 3 takeovers at 2 s + 1 takeover at 10 s
+        // fold to (3·2 + 1·10) / 4 = 4 s.
+        let mut a = BenchRecord {
+            master_failovers: 3,
+            mean_failover_secs: 2.0,
+            max_journal_replay: 17,
+            ..base.clone()
+        };
+        let b = BenchRecord {
+            master_failovers: 1,
+            mean_failover_secs: 10.0,
+            max_journal_replay: 5,
+            ..base.clone()
+        };
+        a.fold(&b);
+        assert_eq!(a.master_failovers, 4);
+        assert!((a.mean_failover_secs - 4.0).abs() < 1e-12);
+        assert_eq!(a.max_journal_replay, 17, "replay depth takes the max");
+
+        // Folding in a failover-free point must not dilute the mean.
+        let mut c = BenchRecord {
+            master_failovers: 2,
+            mean_failover_secs: 6.0,
+            max_journal_replay: 9,
+            ..base.clone()
+        };
+        c.fold(&base);
+        assert_eq!(c.master_failovers, 2);
+        assert!((c.mean_failover_secs - 6.0).abs() < 1e-12);
+        assert_eq!(c.max_journal_replay, 9);
+
+        // Two failover-free records stay at zero (no 0/0 poisoning).
+        let mut d = base.clone();
+        d.fold(&base);
+        assert_eq!(d.master_failovers, 0);
+        assert_eq!(d.mean_failover_secs, 0.0);
+    }
+
     #[test]
     fn bench_json_lands_under_bench_prefix() {
         let _guard = ENV_LOCK.lock().unwrap();

@@ -11,9 +11,90 @@
 //! ```
 
 use std::fmt;
+use std::ops::Range;
 use std::str::FromStr;
 
 use soda_net::addr::Ipv4Addr;
+
+/// Identifier of one placement cell of the sharded control plane.
+///
+/// Shard 0 is special: under `ControlPlaneKind::Monolith` it is the
+/// *only* cell and owns the whole fleet, so shard-0 state doubles as
+/// the monolithic Master's state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardId(pub u32);
+
+impl fmt::Display for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard-{}", self.0)
+    }
+}
+
+/// Static, balanced partition of the host fleet into placement cells.
+///
+/// Hosts are identified here by their *index* in the world's daemon
+/// roster (registration order), not by `HostId`: cells are contiguous
+/// index ranges so a cell's daemons can be borrowed as one slice. The
+/// split is the canonical balanced one — with `h` hosts and `n` cells,
+/// cell `k` owns indices `[k*h/n, (k+1)*h/n)`, so cell sizes differ by
+/// at most one and `n = 1` degenerates to the full range `[0, h)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardMap {
+    count: u32,
+    hosts: usize,
+}
+
+impl ShardMap {
+    /// A map of `hosts` roster slots over `count` cells (`count >= 1`).
+    pub fn new(count: u32, hosts: usize) -> Self {
+        ShardMap {
+            count: count.max(1),
+            hosts,
+        }
+    }
+
+    /// Number of placement cells.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Number of host roster slots covered.
+    pub fn hosts(&self) -> usize {
+        self.hosts
+    }
+
+    /// The contiguous roster-index range owned by `shard`.
+    pub fn range(&self, shard: ShardId) -> Range<usize> {
+        let n = self.count as usize;
+        let k = (shard.0 as usize).min(n - 1);
+        (k * self.hosts / n)..((k + 1) * self.hosts / n)
+    }
+
+    /// The cell owning roster index `idx`.
+    pub fn shard_of_index(&self, idx: usize) -> ShardId {
+        let n = self.count as usize;
+        if self.hosts == 0 {
+            return ShardId(0);
+        }
+        let idx = idx.min(self.hosts - 1);
+        // Inverse of the balanced split: the unique k with
+        // k*h/n <= idx < (k+1)*h/n.
+        let k = (idx * n + n - 1) / self.hosts.max(1);
+        let mut k = k.min(n - 1);
+        while k > 0 && self.range(ShardId(k as u32)).start > idx {
+            k -= 1;
+        }
+        while k + 1 < n && self.range(ShardId(k as u32)).end <= idx {
+            k += 1;
+        }
+        ShardId(k as u32)
+    }
+
+    /// All cells in order.
+    pub fn shards(&self) -> impl Iterator<Item = ShardId> {
+        (0..self.count).map(ShardId)
+    }
+}
 
 /// One directive line.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -265,6 +346,51 @@ mod tests {
         assert_eq!(removed.capacity, 2);
         assert_eq!(f.len(), 1);
         assert!(f.remove_backend("128.10.9.125".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn shard_map_single_cell_owns_everything() {
+        let m = ShardMap::new(1, 100);
+        assert_eq!(m.range(ShardId(0)), 0..100);
+        for idx in [0usize, 1, 50, 99] {
+            assert_eq!(m.shard_of_index(idx), ShardId(0));
+        }
+    }
+
+    #[test]
+    fn shard_map_ranges_partition_the_roster() {
+        for hosts in [1usize, 3, 4, 7, 10, 100, 1000] {
+            for count in [1u32, 2, 3, 4, 8] {
+                let m = ShardMap::new(count, hosts);
+                let mut covered = 0usize;
+                let mut prev_end = 0usize;
+                for s in m.shards() {
+                    let r = m.range(s);
+                    assert_eq!(r.start, prev_end, "hosts={hosts} count={count}");
+                    prev_end = r.end;
+                    covered += r.len();
+                    // Balanced: sizes differ by at most one.
+                    assert!(r.len() + 1 >= hosts / count as usize);
+                    assert!(r.len() <= hosts / count as usize + 1);
+                    for idx in r {
+                        assert_eq!(m.shard_of_index(idx), s, "idx={idx}");
+                    }
+                }
+                assert_eq!(prev_end, hosts);
+                assert_eq!(covered, hosts);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_map_clamps_degenerate_inputs() {
+        // count is floored to 1, out-of-range indices clamp.
+        let m = ShardMap::new(0, 5);
+        assert_eq!(m.count(), 1);
+        assert_eq!(ShardMap::new(2, 0).shard_of_index(3), ShardId(0));
+        let m = ShardMap::new(4, 8);
+        assert_eq!(m.shard_of_index(1000), ShardId(3));
+        assert_eq!(m.range(ShardId(99)), m.range(ShardId(3)));
     }
 
     proptest! {

@@ -39,12 +39,13 @@ pub mod policy;
 pub mod queue;
 pub mod recovery;
 pub mod service;
+pub mod shard;
 pub mod switch;
 pub mod world;
 
 pub use agent::SodaAgent;
 pub use api::{CreationReply, CreationRequest, ResizeRequest, TeardownRequest};
-pub use config::{ConfigDirective, ServiceConfigFile};
+pub use config::{ConfigDirective, ServiceConfigFile, ShardId, ShardMap};
 pub use error::SodaError;
 pub use journal::{
     EpisodeId, Journal, JournalEntry, JournalOp, MasterSnapshot, RecoverySnapshot, ServiceSnapshot,
@@ -60,6 +61,7 @@ pub use recovery::{
     RecoveryStats,
 };
 pub use service::{ServiceId, ServiceRecord, ServiceSpec, ServiceState};
+pub use shard::{shard_salt, ControlPlaneKind, ShardCell, ShardMsg, ShardPlane};
 pub use switch::ServiceSwitch;
 pub use world::{
     apply_fault, attack_node, crash_host, create_service_driven, ddos_switch_host, fail_host,

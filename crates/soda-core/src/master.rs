@@ -80,6 +80,14 @@ pub struct SodaMaster {
     switches: BTreeMap<ServiceId, ServiceSwitch>,
     next_service: u64,
     next_vsn: u64,
+    /// First id this Master may issue (its shard lane's residue).
+    id_base: u64,
+    /// Distance between consecutive ids this Master issues. A sharded
+    /// control plane gives cell `k` of `n` the lane `base = k + 1`,
+    /// `stride = n`, so ids are globally unique without coordination
+    /// and `(id - 1) % n` recovers the owning shard. The monolith keeps
+    /// the default `base = stride = 1`.
+    id_stride: u64,
     obs: Obs,
 }
 
@@ -101,6 +109,8 @@ impl SodaMaster {
             switches: BTreeMap::new(),
             next_service: 1,
             next_vsn: 1,
+            id_base: 1,
+            id_stride: 1,
             obs: Obs::disabled(),
         }
     }
@@ -136,6 +146,17 @@ impl SodaMaster {
         (self.next_service, self.next_vsn)
     }
 
+    /// Confine this Master to the id lane `base + k*stride` (`base >=
+    /// 1`, `stride >= 1`). Must be set before the Master issues any id;
+    /// calling it later would orphan already-issued ids, so it resets
+    /// the counters to the lane start.
+    pub fn set_id_lane(&mut self, base: u64, stride: u64) {
+        self.id_base = base.max(1);
+        self.id_stride = stride.max(1);
+        self.next_service = self.id_base;
+        self.next_vsn = self.id_base;
+    }
+
     /// Capture the Master's durable control state (service records,
     /// id counters, placement name) under `epoch`. Switch routing
     /// tables and the resource inventory are deliberately absent: the
@@ -163,8 +184,8 @@ impl SodaMaster {
     pub(crate) fn crash_control(&mut self) {
         self.services.clear();
         self.inventory = ResourceInventory::new();
-        self.next_service = 1;
-        self.next_vsn = 1;
+        self.next_service = self.id_base;
+        self.next_vsn = self.id_base;
     }
 
     /// Standby rebuild from checkpoint ⊕ journal replay: install the
@@ -179,8 +200,8 @@ impl SodaMaster {
                 restored += 1;
             }
         }
-        self.next_service = snap.next_service.max(1);
-        self.next_vsn = snap.next_vsn.max(1);
+        self.next_service = snap.next_service.max(self.id_base);
+        self.next_vsn = snap.next_vsn.max(self.id_base);
         self.slowdown_inflation = snap.slowdown_inflation;
         match snap.placement.as_str() {
             "first-fit" => self.placement = Box::new(FirstFit),
@@ -196,6 +217,18 @@ impl SodaMaster {
         for d in daemons {
             self.inventory.update(d.host.id, d.report_resources(), now);
         }
+    }
+
+    /// Forget inventory entries for hosts outside `daemons`.
+    ///
+    /// A cell Master that previously admitted with a spilled (fleet-wide)
+    /// roster would otherwise keep stale reports for foreign hosts, and a
+    /// later cell-restricted placement could choose a host that is not in
+    /// the daemon slice it was handed. No-op when `daemons` is the full
+    /// fleet, so the monolith path is unaffected.
+    pub fn prune_inventory_to(&mut self, daemons: &[SodaDaemon]) {
+        let keep: std::collections::BTreeSet<HostId> = daemons.iter().map(|d| d.host.id).collect();
+        self.inventory.retain(|h| keep.contains(&h));
     }
 
     /// The per-instance slice actually reserved: `M` with CPU and
@@ -254,7 +287,7 @@ impl SodaMaster {
             });
         };
         let service = ServiceId(self.next_service);
-        self.next_service += 1;
+        self.next_service += self.id_stride;
         if self.obs.is_enabled() {
             self.obs.record(
                 now,
@@ -292,7 +325,7 @@ impl SodaMaster {
                 .find(|d| d.host.id == node_plan.host)
                 .expect("placement only chooses reported hosts");
             let vsn = VsnId(self.next_vsn);
-            self.next_vsn += 1;
+            self.next_vsn += self.id_stride;
             let slice = m_infl * node_plan.instances;
             let ticket = daemon.begin_priming(
                 vsn,
@@ -645,7 +678,7 @@ impl SodaMaster {
                     .find(|d| d.host.id == node_plan.host)
                     .expect("placement only chooses reported hosts");
                 let vsn = VsnId(self.next_vsn);
-                self.next_vsn += 1;
+                self.next_vsn += self.id_stride;
                 let ticket = daemon.begin_priming(
                     vsn,
                     node_plan.instances,
@@ -772,7 +805,7 @@ impl SodaMaster {
             .find(|d| d.host.id == target)
             .ok_or(SodaError::BadRequest(format!("unknown host {target}")))?;
         let new_vsn = VsnId(self.next_vsn);
-        self.next_vsn += 1;
+        self.next_vsn += self.id_stride;
         let ticket = daemon.begin_priming(
             new_vsn,
             placed.capacity,
@@ -904,7 +937,7 @@ impl SodaMaster {
             })?;
         let target = plan[0].host;
         let new_vsn = VsnId(self.next_vsn);
-        self.next_vsn += 1;
+        self.next_vsn += self.id_stride;
         let daemon = daemons
             .iter_mut()
             .find(|d| d.host.id == target)
@@ -1043,7 +1076,7 @@ impl SodaMaster {
             })?;
         let target = plan[0].host;
         let new_vsn = VsnId(self.next_vsn);
-        self.next_vsn += 1;
+        self.next_vsn += self.id_stride;
         let daemon = daemons
             .iter_mut()
             .find(|d| d.host.id == target)

@@ -40,11 +40,13 @@ use soda_sim::{BackoffPolicy, Ctx, Engine, Event, SimDuration, SimRng, SimTime};
 use soda_vmm::isolation::ExecutionMode;
 use soda_vmm::vsn::{VsnId, VsnState};
 
+use crate::config::ShardId;
 use crate::journal::{
     EpisodeId, EpisodeSnapshot, HostSnapshot, JournalOp, RecoverySnapshot, StatsSnapshot,
     PRIORITY_BIAS,
 };
 use crate::service::{ServiceId, ServiceState};
+use crate::shard::{send_shard_msg, shard_salt, ShardMsg};
 use crate::world::{self, SodaWorld};
 
 /// Tunables of the self-healing loop.
@@ -422,21 +424,31 @@ pub fn start_self_healing(engine: &mut Engine<SodaWorld>, cfg: RecoveryConfig, u
     let now = engine.now();
     {
         let world = engine.state_mut();
-        let mut mgr = RecoveryManager::new(cfg);
-        mgr.enabled = true;
-        mgr.epoch = world.journal.epoch();
-        // Seed the table now so a host that never heartbeats still
-        // times out.
-        for d in &world.daemons {
-            mgr.hosts.insert(
-                d.host.id,
-                HostState {
-                    last_heartbeat: now,
-                    health: HostHealth::Up,
-                },
-            );
+        // One manager per cell: beliefs about a host live only in its
+        // own cell, and each cell's jitter RNG gets a salted seed
+        // (`shard_salt(0) == 0`, so the monolith stream is unchanged).
+        for shard in 0..world.shard_count() {
+            let shard = ShardId(shard);
+            let range = world.cell_range(shard);
+            let cell_hosts: Vec<HostId> = world.daemons[range].iter().map(|d| d.host.id).collect();
+            let mut scfg = cfg;
+            scfg.seed ^= shard_salt(shard.0);
+            let mut mgr = RecoveryManager::new(scfg);
+            mgr.enabled = true;
+            mgr.epoch = world.journal_of(shard).epoch();
+            // Seed the table now so a host that never heartbeats still
+            // times out.
+            for h in cell_hosts {
+                mgr.hosts.insert(
+                    h,
+                    HostState {
+                        last_heartbeat: now,
+                        health: HostHealth::Up,
+                    },
+                );
+            }
+            *world.recovery_of_mut(shard) = mgr;
         }
-        world.recovery = mgr;
     }
     engine.schedule_periodic(now + interval, interval, until, |w, ctx| {
         heartbeat_tick(w, ctx);
@@ -469,11 +481,13 @@ pub fn heartbeat_tick(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>) {
     for (host, running) in reports {
         process_heartbeat(world, ctx, host, running);
     }
-    // Silence detection.
+    // Silence detection, against the host's own cell's beliefs.
     let timeout = world.recovery.cfg.heartbeat_timeout;
     for host in hosts {
-        let Some(st) = world.recovery.hosts.get(&host).copied() else {
-            world.recovery.hosts.insert(
+        let cell = world.shard_of_host(host);
+        let mgr = world.recovery_of_mut(cell);
+        let Some(st) = mgr.hosts.get(&host).copied() else {
+            mgr.hosts.insert(
                 host,
                 HostState {
                     last_heartbeat: now,
@@ -486,16 +500,22 @@ pub fn heartbeat_tick(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>) {
             declare_host_down(world, ctx, host);
         }
     }
-    // Parked episodes poll for capacity at the backoff ceiling.
-    let due: Vec<EpisodeId> = world
-        .recovery
-        .episodes
-        .iter()
-        .filter(|e| e.replacement.is_none() && e.parked_until.is_some_and(|t| now >= t))
-        .map(|e| e.id)
-        .collect();
-    for id in due {
-        attempt_recovery(world, ctx, id);
+    // Parked episodes poll for capacity at the backoff ceiling. Episode
+    // sequences are per-cell, so episodes are addressed (shard, id).
+    let mut due: Vec<(ShardId, EpisodeId)> = Vec::new();
+    for shard in 0..world.shard_count() {
+        let shard = ShardId(shard);
+        due.extend(
+            world
+                .recovery_of(shard)
+                .episodes
+                .iter()
+                .filter(|e| e.replacement.is_none() && e.parked_until.is_some_and(|t| now >= t))
+                .map(|e| (shard, e.id)),
+        );
+    }
+    for (shard, id) in due {
+        attempt_recovery(world, ctx, shard, id);
     }
 }
 
@@ -506,7 +526,8 @@ fn process_heartbeat(
     running: Vec<VsnId>,
 ) {
     let now = ctx.now();
-    let prev = world.recovery.hosts.insert(
+    let cell = world.shard_of_host(host);
+    let prev = world.recovery_of_mut(cell).hosts.insert(
         host,
         HostState {
             last_heartbeat: now,
@@ -517,10 +538,10 @@ fn process_heartbeat(
         host_flapped_up(world, ctx, host, &running);
     }
     // A heartbeat that omits a recorded node while its daemon marks it
-    // Crashed is a node-level failure report.
+    // Crashed is a node-level failure report. Every cell's records are
+    // scanned: a spilled node lives on this host but is homed elsewhere.
     let recorded: Vec<(ServiceId, VsnId, u32)> = world
-        .master
-        .services()
+        .services_all()
         .filter(|r| r.state != ServiceState::TornDown)
         .flat_map(|r| {
             r.nodes
@@ -542,12 +563,31 @@ fn process_heartbeat(
         if !crashed {
             continue; // priming or mid-transition: not a failure
         }
+        let home = world.shard_of_service(svc);
         if world
-            .recovery
+            .recovery_of(home)
             .episodes
             .iter()
             .any(|e| e.dead_vsn == Some(vsn) || e.replacement == Some(vsn))
         {
+            continue;
+        }
+        if home != cell {
+            // The dead node is homed in another cell: tell that cell's
+            // Master over the inter-shard message layer.
+            send_shard_msg(
+                world,
+                ctx,
+                cell,
+                home,
+                ShardMsg::NodeDown {
+                    service: svc,
+                    vsn,
+                    capacity: cap,
+                    origin_host: Some(host),
+                    try_reprime: true,
+                },
+            );
             continue;
         }
         handle_node_down(world, ctx, svc, vsn, cap, Some(host), true);
@@ -569,27 +609,34 @@ fn host_flapped_up(
             host: u64::from(host.0),
         },
     );
-    let cancelable: Vec<(EpisodeId, ServiceId, VsnId)> = world
-        .recovery
-        .episodes
-        .iter()
-        .filter(|e| e.origin_host == Some(host) && e.replacement.is_none())
-        .filter_map(|e| e.dead_vsn.map(|v| (e.id, e.service, v)))
-        .filter(|(_, _, v)| running.contains(v))
-        .collect();
-    for (id, svc, vsn) in cancelable {
-        world.master.node_recovered(svc, vsn);
+    // False-alarm episodes can live in any cell: a foreign-homed node
+    // spilled onto this host is tracked by its home shard's manager.
+    let mut cancelable: Vec<(ShardId, EpisodeId, ServiceId, VsnId)> = Vec::new();
+    for shard in 0..world.shard_count() {
+        let shard = ShardId(shard);
+        cancelable.extend(
+            world
+                .recovery_of(shard)
+                .episodes
+                .iter()
+                .filter(|e| e.origin_host == Some(host) && e.replacement.is_none())
+                .filter_map(|e| e.dead_vsn.map(|v| (shard, e.id, e.service, v)))
+                .filter(|(_, _, _, v)| running.contains(v)),
+        );
+    }
+    for (shard, id, svc, vsn) in cancelable {
+        world.master_of_mut(shard).node_recovered(svc, vsn);
         let _ = world.install_runtime(svc, vsn, ExecutionMode::GuestIsolated);
-        world.recovery.episodes.retain(|e| e.id != id);
-        world.recovery.stats.false_alarms += 1;
+        let mgr = world.recovery_of_mut(shard);
+        mgr.episodes.retain(|e| e.id != id);
+        mgr.stats.false_alarms += 1;
         world.journal_episode(now, JournalOp::EpisodeClose, svc, id);
-        clear_degraded_if_recovered(world, svc, now);
+        clear_degraded_if_recovered(world, shard, svc, now);
     }
     // VSNs on the daemon that no service record references any more
     // (their capacity was re-placed while the host was out) are stale.
     let referenced: Vec<VsnId> = world
-        .master
-        .services()
+        .services_all()
         .flat_map(|r| r.nodes.iter().map(|n| n.vsn))
         .collect();
     if let Some(d) = world.daemons.iter_mut().find(|d| d.host.id == host) {
@@ -610,16 +657,28 @@ fn declare_host_down(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, host: Host
     let h = u64::from(host.0);
     world.obs.record(now, Event::HeartbeatMissed { host: h });
     world.obs.record(now, Event::HostDown { host: h });
-    if let Some(st) = world.recovery.hosts.get_mut(&host) {
-        st.health = HostHealth::Down;
+    let cell = world.shard_of_host(host);
+    {
+        let mgr = world.recovery_of_mut(cell);
+        if let Some(st) = mgr.hosts.get_mut(&host) {
+            st.health = HostHealth::Down;
+        }
+        mgr.stats.detections.push((h, now));
     }
-    world.recovery.stats.detections.push((h, now));
-    let affected = world.master.host_failed(host);
+    // Every cell's Master drains its own nodes on the dead host, in
+    // shard order (a spilled node is recorded by its home cell).
+    let mut affected: Vec<(ServiceId, VsnId, u32)> = Vec::new();
+    for shard in 0..world.shard_count() {
+        affected.extend(world.master_of_mut(ShardId(shard)).host_failed(host));
+    }
     for (svc, vsn, cap) in affected {
+        let home = world.shard_of_service(svc);
         // A replacement that was priming on this very host: release it
-        // and send its episode back to placement.
+        // and send its episode back to placement. This reconciliation
+        // stays synchronous — it is part of the host-down broadcast,
+        // not a belief exchange.
         if let Some(ep) = world
-            .recovery
+            .recovery_of_mut(home)
             .episodes
             .iter_mut()
             .find(|e| e.replacement == Some(vsn))
@@ -628,22 +687,40 @@ fn declare_host_down(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, host: Host
             ep.try_reprime = false;
             let id = ep.id;
             let mut daemons = std::mem::take(&mut world.daemons);
-            let removed = world.master.remove_node(svc, vsn, &mut daemons, now);
+            let removed = world
+                .master_of_mut(home)
+                .remove_node(svc, vsn, &mut daemons, now);
             world.daemons = daemons;
             if let Some((_, Some(reply))) = removed {
                 world::complete_creation_record(world, now, svc, reply);
             }
             world.remove_runtime(vsn);
             world.journal_op(now, JournalOp::Recovery, svc);
-            schedule_retry(world, ctx, id);
+            schedule_retry(world, ctx, home, id);
             continue;
         }
         if world
-            .recovery
+            .recovery_of(home)
             .episodes
             .iter()
             .any(|e| e.dead_vsn == Some(vsn))
         {
+            continue;
+        }
+        if home != cell {
+            send_shard_msg(
+                world,
+                ctx,
+                cell,
+                home,
+                ShardMsg::NodeDown {
+                    service: svc,
+                    vsn,
+                    capacity: cap,
+                    origin_host: Some(host),
+                    try_reprime: false,
+                },
+            );
             continue;
         }
         handle_node_down(world, ctx, svc, vsn, cap, Some(host), false);
@@ -661,7 +738,8 @@ pub(crate) fn handle_node_down(
     try_reprime: bool,
 ) {
     let now = ctx.now();
-    world.master.node_crashed(service, vsn);
+    let home = world.shard_of_service(service);
+    world.master_of_mut(home).node_crashed(service, vsn);
     world.obs.record(
         now,
         Event::BackendDrained {
@@ -671,9 +749,10 @@ pub(crate) fn handle_node_down(
     );
     world.remove_runtime(vsn);
     world::drop_inflight_on_vsn(world, ctx, vsn);
-    world.recovery.degraded_since.entry(service).or_insert(now);
-    let id = world.recovery.new_episode_id();
-    world.recovery.episodes.push(Episode {
+    let mgr = world.recovery_of_mut(home);
+    mgr.degraded_since.entry(service).or_insert(now);
+    let id = mgr.new_episode_id();
+    mgr.episodes.push(Episode {
         id,
         service,
         capacity,
@@ -688,14 +767,57 @@ pub(crate) fn handle_node_down(
         parked_until: None,
     });
     world.journal_episode(now, JournalOp::EpisodeOpen, service, id);
-    attempt_recovery(world, ctx, id);
+    attempt_recovery(world, ctx, home, id);
+}
+
+/// A [`ShardMsg::NodeDown`] landed at the home shard: the reported node
+/// may have been scrubbed, recovered, or re-reported while the message
+/// was in flight, so re-validate before opening an episode.
+pub(crate) fn deliver_node_down(
+    world: &mut SodaWorld,
+    ctx: &mut Ctx<SodaWorld>,
+    service: ServiceId,
+    vsn: VsnId,
+    capacity: u32,
+    origin_host: Option<HostId>,
+    try_reprime: bool,
+) {
+    if !world.recovery.enabled {
+        return;
+    }
+    let home = world.shard_of_service(service);
+    let still_recorded = world
+        .service_record(service)
+        .is_some_and(|r| r.state != ServiceState::TornDown && r.node(vsn).is_some());
+    if !still_recorded {
+        return;
+    }
+    if world
+        .recovery_of(home)
+        .episodes
+        .iter()
+        .any(|e| e.dead_vsn == Some(vsn) || e.replacement == Some(vsn))
+    {
+        return;
+    }
+    handle_node_down(world, ctx, service, vsn, capacity, origin_host, try_reprime);
 }
 
 /// Drive one episode: re-prime in place if possible, else place a
 /// replacement; on failure, back off / degrade / shed.
-fn attempt_recovery(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, id: EpisodeId) {
+fn attempt_recovery(
+    world: &mut SodaWorld,
+    ctx: &mut Ctx<SodaWorld>,
+    shard: ShardId,
+    id: EpisodeId,
+) {
     let now = ctx.now();
-    let Some(ep) = world.recovery.episodes.iter_mut().find(|e| e.id == id) else {
+    let Some(ep) = world
+        .recovery_of_mut(shard)
+        .episodes
+        .iter_mut()
+        .find(|e| e.id == id)
+    else {
         return;
     };
     if ep.replacement.is_some() {
@@ -723,7 +845,12 @@ fn attempt_recovery(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, id: Episode
                 .is_some_and(|d| !d.is_failed());
             if host_alive {
                 if let Ok(timing) = world.daemon_mut(host).begin_repriming(vsn) {
-                    if let Some(ep) = world.recovery.episodes.iter_mut().find(|e| e.id == id) {
+                    if let Some(ep) = world
+                        .recovery_of_mut(shard)
+                        .episodes
+                        .iter_mut()
+                        .find(|e| e.id == id)
+                    {
                         ep.replacement = Some(vsn);
                     }
                     world.obs.record(
@@ -735,13 +862,18 @@ fn attempt_recovery(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, id: Episode
                         },
                     );
                     ctx.schedule_in_as("reprime", timing.total(), move |w: &mut SodaWorld, ctx| {
-                        finish_reprime(w, ctx, id, svc, vsn, host);
+                        finish_reprime(w, ctx, shard, id, svc, vsn, host);
                     });
                     return;
                 }
             }
             // Host gone or blueprint lost: fall through to placement.
-            if let Some(ep) = world.recovery.episodes.iter_mut().find(|e| e.id == id) {
+            if let Some(ep) = world
+                .recovery_of_mut(shard)
+                .episodes
+                .iter_mut()
+                .find(|e| e.id == id)
+            {
                 ep.try_reprime = false;
             }
         }
@@ -749,19 +881,54 @@ fn attempt_recovery(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, id: Episode
 
     // Replacement placement, steering clear of every host the monitor
     // currently believes is down (a partitioned host is not `failed`,
-    // but placing there would strand the replacement).
-    let down: Vec<HostId> = world
-        .recovery
-        .hosts
-        .iter()
-        .filter(|(_, s)| s.health == HostHealth::Down)
-        .map(|(&h, _)| h)
-        .collect();
+    // but placing there would strand the replacement). Down beliefs are
+    // gathered across every cell in shard order: the home cell tries
+    // its own hosts first, then spills fleet-wide if the cell is full.
+    let mut down: Vec<HostId> = Vec::new();
+    for s in 0..world.shard_count() {
+        down.extend(
+            world
+                .recovery_of(ShardId(s))
+                .hosts
+                .iter()
+                .filter(|(_, s)| s.health == HostHealth::Down)
+                .map(|(&h, _)| h),
+        );
+    }
+    let n = world.shard_count();
+    let cell = world.cell_range(shard);
     let mut daemons = std::mem::take(&mut world.daemons);
-    let placed = world
-        .master
-        .place_recovery_node(svc, capacity, &down, &mut daemons, now);
+    world
+        .master_of_mut(shard)
+        .prune_inventory_to(&daemons[cell.clone()]);
+    let mut placed = world.master_of_mut(shard).place_recovery_node(
+        svc,
+        capacity,
+        &down,
+        &mut daemons[cell],
+        now,
+    );
+    let mut spilled = false;
+    if n > 1 && placed.is_err() {
+        // Cross-shard spill: the home cell has no room for the
+        // replacement, so place it anywhere in the fleet.
+        placed =
+            world
+                .master_of_mut(shard)
+                .place_recovery_node(svc, capacity, &down, &mut daemons, now);
+        spilled = placed.is_ok();
+    }
     world.daemons = daemons;
+    if spilled {
+        world.shards.spills += 1;
+        world.obs.record(
+            now,
+            Event::ShardSpill {
+                service: svc.0,
+                from: shard.0,
+            },
+        );
+    }
     match placed {
         Ok((target, ticket)) => {
             let new_vsn = ticket.vsn;
@@ -776,38 +943,51 @@ fn attempt_recovery(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, id: Episode
             // Commit: the successor exists, scrub the dead node.
             if let Some(vsn) = dead {
                 let mut daemons = std::mem::take(&mut world.daemons);
-                let removed = world.master.remove_node(svc, vsn, &mut daemons, now);
+                let removed = world
+                    .master_of_mut(shard)
+                    .remove_node(svc, vsn, &mut daemons, now);
                 world.daemons = daemons;
                 if let Some((_, Some(reply))) = removed {
                     world::complete_creation_record(world, now, svc, reply);
                 }
             }
-            if let Some(ep) = world.recovery.episodes.iter_mut().find(|e| e.id == id) {
+            if let Some(ep) = world
+                .recovery_of_mut(shard)
+                .episodes
+                .iter_mut()
+                .find(|e| e.id == id)
+            {
                 ep.dead_vsn = None;
                 ep.replacement = Some(new_vsn);
             }
             world.journal_op(now, JournalOp::Recovery, svc);
             world::start_download(world, ctx, target, svc, &ticket);
         }
-        Err(_) => schedule_retry(world, ctx, id),
+        Err(_) => schedule_retry(world, ctx, shard, id),
     }
 }
 
 /// Back off before the next attempt — or, with the budget exhausted,
 /// degrade (and shed) instead.
-fn schedule_retry(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, id: EpisodeId) {
+fn schedule_retry(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, shard: ShardId, id: EpisodeId) {
     let now = ctx.now();
-    let Some(ep) = world.recovery.episodes.iter().find(|e| e.id == id) else {
+    let Some(ep) = world
+        .recovery_of(shard)
+        .episodes
+        .iter()
+        .find(|e| e.id == id)
+    else {
         return;
     };
     let (svc, attempt) = (ep.service, ep.attempt);
-    let policy = world.recovery.cfg.backoff;
+    let policy = world.recovery_of(shard).cfg.backoff;
     if policy.exhausted(attempt) {
-        degrade_or_shed(world, ctx, id);
+        degrade_or_shed(world, ctx, shard, id);
         return;
     }
-    world.recovery.stats.retries += 1;
-    let delay = policy.delay_jittered(attempt.max(1), &mut world.recovery.rng);
+    let mgr = world.recovery_of_mut(shard);
+    mgr.stats.retries += 1;
+    let delay = policy.delay_jittered(attempt.max(1), &mut mgr.rng);
     world.obs.record(
         now,
         Event::RecoveryRetry {
@@ -820,63 +1000,83 @@ fn schedule_retry(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, id: EpisodeId
         // Generation guard: only fire if the episode is still waiting
         // on this very attempt.
         let live = w
-            .recovery
+            .recovery_of(shard)
             .episodes
             .iter()
             .any(|e| e.id == id && e.attempt == attempt && e.replacement.is_none());
         if live {
-            attempt_recovery(w, ctx, id);
+            attempt_recovery(w, ctx, shard, id);
         }
     });
 }
 
 /// The backoff budget ran out: declare degradation, shed the lowest
 /// strictly-lower-priority service once, then park at the ceiling.
-fn degrade_or_shed(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, id: EpisodeId) {
+fn degrade_or_shed(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, shard: ShardId, id: EpisodeId) {
     let now = ctx.now();
-    let Some(ep) = world.recovery.episodes.iter().find(|e| e.id == id) else {
+    let Some(ep) = world
+        .recovery_of(shard)
+        .episodes
+        .iter()
+        .find(|e| e.id == id)
+    else {
         return;
     };
     let (svc, capacity, shed_done, degraded) = (ep.service, ep.capacity, ep.shed_done, ep.degraded);
     if !degraded {
-        if let Some(ep) = world.recovery.episodes.iter_mut().find(|e| e.id == id) {
+        if let Some(ep) = world
+            .recovery_of_mut(shard)
+            .episodes
+            .iter_mut()
+            .find(|e| e.id == id)
+        {
             ep.degraded = true;
         }
-        world.recovery.stats.degradations += 1;
+        world.recovery_of_mut(shard).stats.degradations += 1;
         world.obs.record(
             now,
             Event::ServiceDegraded {
                 service: svc.0,
-                capacity: world.master.healthy_capacity(svc),
+                capacity: world.master_of(shard).healthy_capacity(svc),
             },
         );
     }
     if !shed_done {
-        let my_prio = world.recovery.priority(svc);
+        // Shed victims come from the home cell only: a cell Master has
+        // no authority to tear down another cell's services.
+        let my_prio = world.recovery_of(shard).priority(svc);
         let victim = world
-            .master
+            .master_of(shard)
             .services()
             .filter(|r| r.id != svc && r.state == ServiceState::Running)
             .filter(|r| r.placed_capacity() > 0)
-            .filter(|r| world.recovery.priority(r.id) < my_prio)
-            .min_by_key(|r| (world.recovery.priority(r.id), r.id.0))
+            .filter(|r| world.recovery_of(shard).priority(r.id) < my_prio)
+            .min_by_key(|r| (world.recovery_of(shard).priority(r.id), r.id.0))
             .map(|r| (r.id, r.placed_capacity()));
         if let Some((victim, vcap)) = victim {
-            if let Some(ep) = world.recovery.episodes.iter_mut().find(|e| e.id == id) {
+            if let Some(ep) = world
+                .recovery_of_mut(shard)
+                .episodes
+                .iter_mut()
+                .find(|e| e.id == id)
+            {
                 ep.shed_done = true;
             }
             let mut daemons = std::mem::take(&mut world.daemons);
             let res = if vcap > capacity {
                 world
-                    .master
+                    .master_of_mut(shard)
                     .resize(victim, vcap - capacity, &mut daemons, now)
                     .map(|_| ())
             } else {
-                world.master.teardown(victim, &mut daemons).map(|_| ())
+                world
+                    .master_of_mut(shard)
+                    .teardown(victim, &mut daemons)
+                    .map(|_| ())
             };
             world.daemons = daemons;
             if res.is_ok() {
-                world.recovery.stats.sheds += 1;
+                world.recovery_of_mut(shard).stats.sheds += 1;
                 world.obs.record(
                     now,
                     Event::ServiceShed {
@@ -886,14 +1086,20 @@ fn degrade_or_shed(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, id: EpisodeI
                 );
                 world.journal_op(now, JournalOp::Teardown, victim);
                 world.prune_runtimes();
-                attempt_recovery(world, ctx, id);
+                attempt_recovery(world, ctx, shard, id);
                 return;
             }
         }
     }
     // Park: poll again once per ceiling (driven by the heartbeat tick).
-    if let Some(ep) = world.recovery.episodes.iter_mut().find(|e| e.id == id) {
-        ep.parked_until = Some(now + world.recovery.cfg.backoff.ceiling);
+    let ceiling = world.recovery_of(shard).cfg.backoff.ceiling;
+    if let Some(ep) = world
+        .recovery_of_mut(shard)
+        .episodes
+        .iter_mut()
+        .find(|e| e.id == id)
+    {
+        ep.parked_until = Some(now + ceiling);
     }
 }
 
@@ -901,6 +1107,7 @@ fn degrade_or_shed(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, id: EpisodeI
 fn finish_reprime(
     world: &mut SodaWorld,
     ctx: &mut Ctx<SodaWorld>,
+    shard: ShardId,
     id: EpisodeId,
     svc: ServiceId,
     vsn: VsnId,
@@ -908,7 +1115,7 @@ fn finish_reprime(
 ) {
     let now = ctx.now();
     let live = world
-        .recovery
+        .recovery_of(shard)
         .episodes
         .iter()
         .any(|e| e.id == id && e.replacement == Some(vsn));
@@ -921,31 +1128,38 @@ fn finish_reprime(
         .find(|d| d.host.id == host)
         .is_some_and(|d| d.complete_priming(vsn, now).is_ok());
     if ok {
-        world.master.node_recovered(svc, vsn);
+        world.master_of_mut(shard).node_recovered(svc, vsn);
         let _ = world.install_runtime(svc, vsn, ExecutionMode::GuestIsolated);
-        complete_episode(world, id, svc, vsn, now);
+        complete_episode(world, shard, id, svc, vsn, now);
     } else {
-        if let Some(ep) = world.recovery.episodes.iter_mut().find(|e| e.id == id) {
+        if let Some(ep) = world
+            .recovery_of_mut(shard)
+            .episodes
+            .iter_mut()
+            .find(|e| e.id == id)
+        {
             ep.replacement = None;
             ep.try_reprime = false;
         }
-        schedule_retry(world, ctx, id);
+        schedule_retry(world, ctx, shard, id);
     }
 }
 
 fn complete_episode(
     world: &mut SodaWorld,
+    shard: ShardId,
     id: EpisodeId,
     svc: ServiceId,
     vsn: VsnId,
     now: SimTime,
 ) {
-    let Some(pos) = world.recovery.episodes.iter().position(|e| e.id == id) else {
+    let mgr = world.recovery_of_mut(shard);
+    let Some(pos) = mgr.episodes.iter().position(|e| e.id == id) else {
         return;
     };
-    let ep = world.recovery.episodes.remove(pos);
+    let ep = mgr.episodes.remove(pos);
     let latency = now.saturating_since(ep.lost_at);
-    world.recovery.stats.recoveries.push((id, latency));
+    mgr.stats.recoveries.push((id, latency));
     world.obs.record(
         now,
         Event::RecoveryCompleted {
@@ -955,20 +1169,22 @@ fn complete_episode(
         },
     );
     world.journal_episode(now, JournalOp::EpisodeClose, svc, id);
-    clear_degraded_if_recovered(world, svc, now);
+    clear_degraded_if_recovered(world, shard, svc, now);
 }
 
-fn clear_degraded_if_recovered(world: &mut SodaWorld, svc: ServiceId, now: SimTime) {
-    if world.recovery.episodes.iter().any(|e| e.service == svc) {
+fn clear_degraded_if_recovered(
+    world: &mut SodaWorld,
+    shard: ShardId,
+    svc: ServiceId,
+    now: SimTime,
+) {
+    let mgr = world.recovery_of_mut(shard);
+    if mgr.episodes.iter().any(|e| e.service == svc) {
         return;
     }
-    if let Some(since) = world.recovery.degraded_since.remove(&svc) {
+    if let Some(since) = mgr.degraded_since.remove(&svc) {
         let window = now.saturating_since(since);
-        let total = world
-            .recovery
-            .degraded_total
-            .entry(svc)
-            .or_insert(SimDuration::ZERO);
+        let total = mgr.degraded_total.entry(svc).or_insert(SimDuration::ZERO);
         *total = SimDuration::from_nanos(total.as_nanos() + window.as_nanos());
     }
 }
@@ -985,8 +1201,9 @@ pub(crate) fn on_node_boot(
         return;
     }
     let now = ctx.now();
+    let shard = world.shard_of_service(svc);
     let Some(id) = world
-        .recovery
+        .recovery_of(shard)
         .episodes
         .iter()
         .find(|e| e.replacement == Some(vsn))
@@ -994,7 +1211,7 @@ pub(crate) fn on_node_boot(
     else {
         return;
     };
-    complete_episode(world, id, svc, vsn, now);
+    complete_episode(world, shard, id, svc, vsn, now);
 }
 
 /// Hook from the world: a node's priming failed. Requeues the episode
@@ -1011,8 +1228,9 @@ pub(crate) fn on_priming_failed(
         return;
     }
     let now = ctx.now();
+    let shard = world.shard_of_service(svc);
     if let Some(ep) = world
-        .recovery
+        .recovery_of_mut(shard)
         .episodes
         .iter_mut()
         .find(|e| e.replacement == Some(vsn))
@@ -1020,15 +1238,16 @@ pub(crate) fn on_priming_failed(
         ep.replacement = None;
         ep.try_reprime = false;
         let id = ep.id;
-        schedule_retry(world, ctx, id);
+        schedule_retry(world, ctx, shard, id);
         return;
     }
     if capacity == 0 {
         return;
     }
-    world.recovery.degraded_since.entry(svc).or_insert(now);
-    let id = world.recovery.new_episode_id();
-    world.recovery.episodes.push(Episode {
+    let mgr = world.recovery_of_mut(shard);
+    mgr.degraded_since.entry(svc).or_insert(now);
+    let id = mgr.new_episode_id();
+    mgr.episodes.push(Episode {
         id,
         service: svc,
         capacity,
@@ -1043,7 +1262,7 @@ pub(crate) fn on_priming_failed(
         parked_until: None,
     });
     world.journal_episode(now, JournalOp::EpisodeOpen, svc, id);
-    attempt_recovery(world, ctx, id);
+    attempt_recovery(world, ctx, shard, id);
 }
 
 /// The routing invariant: once the control loop *knows* a node is dead
@@ -1051,10 +1270,11 @@ pub(crate) fn on_priming_failed(
 /// must not keep it healthy. Counts (and records) violations; the
 /// pre-detection window, where the switch cannot yet know, is exempt.
 pub fn check_invariants(world: &mut SodaWorld) -> u64 {
-    let services: Vec<ServiceId> = world.master.services().map(|r| r.id).collect();
+    let services: Vec<ServiceId> = world.services_all().map(|r| r.id).collect();
     let mut violations = 0u64;
     for svc in services {
-        let Some(sw) = world.master.switch(svc) else {
+        let home = world.shard_of_service(svc);
+        let Some(sw) = world.master_of(home).switch(svc) else {
             continue;
         };
         let healthy: Vec<VsnId> = sw
@@ -1065,7 +1285,7 @@ pub fn check_invariants(world: &mut SodaWorld) -> u64 {
             .collect();
         for vsn in healthy {
             let host = world
-                .master
+                .master_of(home)
                 .service(svc)
                 .and_then(|r| r.node(vsn))
                 .map(|n| n.host);
@@ -1079,14 +1299,16 @@ pub fn check_invariants(world: &mut SodaWorld) -> u64 {
             if alive {
                 continue;
             }
+            // Beliefs about the node's host live in the *host's* cell;
+            // the episode (if any) lives in the service's home cell.
             let known_down = host.is_some_and(|h| {
                 world
-                    .recovery
+                    .recovery_of(world.shard_of_host(h))
                     .hosts
                     .get(&h)
                     .is_some_and(|s| s.health == HostHealth::Down)
             }) || world
-                .recovery
+                .recovery_of(home)
                 .episodes
                 .iter()
                 .any(|e| e.dead_vsn == Some(vsn));

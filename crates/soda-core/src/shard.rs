@@ -1,0 +1,266 @@
+//! Sharded control plane: placement cells with per-cell Masters.
+//!
+//! The monolithic `SodaWorld` funnels every admission, placement, and
+//! recovery decision through one Master. To scale past that ceiling the
+//! host roster is partitioned into *placement cells* ([`ShardMap`] in
+//! `config`), and each cell gets its own full Master stack: service
+//! records, placement index, admission path, recovery episodes, and a
+//! write-ahead [`Journal`]. Cells coordinate only through explicit,
+//! epoch-stamped messages that ride the engine event queue with a
+//! configurable inter-shard latency — never through shared memory.
+//!
+//! Key properties:
+//!
+//! - **n = 1 is the monolith.** Every sharded code path degenerates
+//!   exactly when there is a single cell: the cell slice is the whole
+//!   roster, the round-robin home cursor never moves, spill retries are
+//!   gated on `n > 1`, the id lane is `base 1, stride 1`, and
+//!   `shard_salt(0) == 0` leaves the recovery RNG seed untouched. A
+//!   tier-1 differential gate holds `Sharded(1)` bit-identical to
+//!   `Monolith` (trajectory + event-log fingerprints).
+//! - **Global ids without coordination.** Cell `k` of `n` allocates
+//!   service/VSN ids from the lane `{k+1, k+1+n, k+1+2n, ...}`
+//!   ([`SodaMaster::set_id_lane`]), so `(id - 1) % n` recovers the home
+//!   shard of any id with no inter-cell id traffic.
+//! - **Cross-shard spill.** Admission and recovery placement first try
+//!   the home cell's hosts; if the cell is full, the home Master
+//!   re-places over the whole fleet (one simulated reservation
+//!   round-trip of extra latency on the spilled creation's priming).
+//! - **Shard-local beliefs, messaged conclusions.** Heartbeat beliefs
+//!   about a host live only in that host's cell. When a cell detects a
+//!   dead node whose service is homed elsewhere (a spilled placement),
+//!   it sends a [`ShardMsg::NodeDown`] stamped with the destination
+//!   journal's epoch; deliveries whose epoch no longer matches (the home
+//!   Master failed over in flight) are dropped as stale — the same
+//!   generation-guard idiom the NIC wakeups use.
+
+use soda_hup::host::HostId;
+use soda_sim::{Ctx, Event, SimDuration};
+use soda_vmm::vsn::VsnId;
+
+use crate::config::{ShardId, ShardMap};
+use crate::journal::Journal;
+use crate::master::SodaMaster;
+use crate::recovery::{self, RecoveryManager};
+use crate::service::ServiceId;
+use crate::world::SodaWorld;
+
+/// Which control plane drives a world: the single shared-state Master
+/// (the oracle), or `n` placement cells coordinated by messages.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ControlPlaneKind {
+    /// One Master owns every host and every service (the seed design).
+    #[default]
+    Monolith,
+    /// `n` cells, each with its own Master/journal/recovery stack.
+    /// `Sharded(0)` and `Sharded(1)` both mean a single cell.
+    Sharded(u32),
+}
+
+impl ControlPlaneKind {
+    /// Number of cells this kind implies (always at least 1).
+    pub fn shards(&self) -> u32 {
+        match self {
+            ControlPlaneKind::Monolith => 1,
+            ControlPlaneKind::Sharded(n) => (*n).max(1),
+        }
+    }
+
+    /// Stable label for bench records and logs.
+    pub fn label(&self) -> String {
+        match self {
+            ControlPlaneKind::Monolith => "monolith".to_string(),
+            ControlPlaneKind::Sharded(n) => format!("sharded-{}", (*n).max(1)),
+        }
+    }
+}
+
+/// Seed salt for cell `k`'s recovery RNG, so cells draw independent
+/// backoff jitter. `shard_salt(0) == 0`: shard 0 keeps the monolith's
+/// exact RNG stream, which the n=1 differential gate depends on.
+pub fn shard_salt(k: u32) -> u64 {
+    (k as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// One placement cell's control-plane stack, for shards 1..n. Shard 0
+/// reuses the world's original `master`/`journal`/`recovery` fields so
+/// the monolith path stays byte-for-byte the seed code.
+pub struct ShardCell {
+    /// The cell's Master: service records, placement, inventory.
+    pub master: SodaMaster,
+    /// The cell's write-ahead journal (admission through teardown).
+    pub journal: Journal,
+    /// The cell's recovery manager: episodes, backoff RNG, and beliefs
+    /// about the cell's own hosts.
+    pub recovery: RecoveryManager,
+}
+
+/// The world's sharding state: the kind switch, the host→cell map, the
+/// extra cells, and message-layer counters.
+pub struct ShardPlane {
+    /// Monolith vs Sharded(n).
+    pub kind: ControlPlaneKind,
+    /// One-way latency of an inter-shard message.
+    pub latency: SimDuration,
+    /// Contiguous balanced host→cell partition.
+    pub map: ShardMap,
+    /// Cells 1..n-1 (shard 0 lives on the world itself).
+    pub cells: Vec<ShardCell>,
+    /// Round-robin cursor choosing each new service's home cell.
+    pub next_home: u32,
+    /// Creations that could not fit in their home cell and were
+    /// re-placed over the whole fleet.
+    pub spills: u64,
+    /// Inter-shard messages sent.
+    pub msgs_sent: u64,
+    /// Inter-shard messages dropped because the destination epoch moved.
+    pub msgs_stale: u64,
+}
+
+impl ShardPlane {
+    /// Default one-way inter-shard latency: cells live in one facility,
+    /// so a control message costs about a LAN round trip.
+    pub const DEFAULT_LATENCY: SimDuration = SimDuration::from_micros(500);
+
+    /// A plane with no extra cells yet (monolith, or pre-`configure_shards`).
+    pub fn new(kind: ControlPlaneKind, latency: SimDuration, hosts: usize) -> Self {
+        Self {
+            kind,
+            latency,
+            map: ShardMap::new(kind.shards(), hosts),
+            cells: Vec::new(),
+            next_home: 0,
+            spills: 0,
+            msgs_sent: 0,
+            msgs_stale: 0,
+        }
+    }
+
+    /// Number of cells (1 for the monolith).
+    pub fn count(&self) -> u32 {
+        self.map.count()
+    }
+}
+
+/// An inter-shard control message. Payloads are plain ids so messages
+/// stay `Copy` and allocation-free on the event queue.
+#[derive(Clone, Copy, Debug)]
+pub enum ShardMsg {
+    /// A cell observed (via its heartbeat beliefs) that `vsn` of the
+    /// foreign-homed `service` is down; the home shard owns the episode.
+    NodeDown {
+        service: ServiceId,
+        vsn: VsnId,
+        capacity: u32,
+        origin_host: Option<HostId>,
+        try_reprime: bool,
+    },
+}
+
+impl ShardMsg {
+    /// Stable tag for observability events.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ShardMsg::NodeDown { .. } => "node_down",
+        }
+    }
+}
+
+/// Send `msg` from cell `from` to cell `to`, stamped with `to`'s current
+/// journal epoch. The message rides the engine queue for the configured
+/// inter-shard latency; on delivery, a stale epoch (the destination
+/// Master failed over in flight) drops the message.
+pub(crate) fn send_shard_msg(
+    world: &mut SodaWorld,
+    ctx: &mut Ctx<SodaWorld>,
+    from: ShardId,
+    to: ShardId,
+    msg: ShardMsg,
+) {
+    let epoch = world.journal_of(to).epoch();
+    let latency = world.shards.latency;
+    world.shards.msgs_sent += 1;
+    ctx.schedule_in_as("shard_msg", latency, move |w: &mut SodaWorld, ctx| {
+        deliver_shard_msg(w, ctx, from, to, epoch, msg);
+    });
+}
+
+fn deliver_shard_msg(
+    world: &mut SodaWorld,
+    ctx: &mut Ctx<SodaWorld>,
+    from: ShardId,
+    to: ShardId,
+    epoch: u64,
+    msg: ShardMsg,
+) {
+    let now = ctx.now();
+    if world.journal_of(to).epoch() != epoch {
+        world.shards.msgs_stale += 1;
+        world.obs.record(
+            now,
+            Event::ShardMsgStale {
+                to: to.0,
+                epoch,
+                kind: msg.kind(),
+            },
+        );
+        return;
+    }
+    world.obs.record(
+        now,
+        Event::ShardMsgDelivered {
+            from: from.0,
+            to: to.0,
+            kind: msg.kind(),
+        },
+    );
+    match msg {
+        ShardMsg::NodeDown {
+            service,
+            vsn,
+            capacity,
+            origin_host,
+            try_reprime,
+        } => {
+            recovery::deliver_node_down(
+                world,
+                ctx,
+                service,
+                vsn,
+                capacity,
+                origin_host,
+                try_reprime,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_shard_counts_and_labels() {
+        assert_eq!(ControlPlaneKind::Monolith.shards(), 1);
+        assert_eq!(ControlPlaneKind::Sharded(0).shards(), 1);
+        assert_eq!(ControlPlaneKind::Sharded(1).shards(), 1);
+        assert_eq!(ControlPlaneKind::Sharded(4).shards(), 4);
+        assert_eq!(ControlPlaneKind::Monolith.label(), "monolith");
+        assert_eq!(ControlPlaneKind::Sharded(4).label(), "sharded-4");
+        assert_eq!(ControlPlaneKind::Sharded(0).label(), "sharded-1");
+    }
+
+    #[test]
+    fn salt_zero_preserves_monolith_seed() {
+        assert_eq!(shard_salt(0), 0);
+        assert_ne!(shard_salt(1), shard_salt(2));
+    }
+
+    #[test]
+    fn plane_defaults_to_one_cell() {
+        let p = ShardPlane::new(ControlPlaneKind::Monolith, ShardPlane::DEFAULT_LATENCY, 10);
+        assert_eq!(p.count(), 1);
+        assert!(p.cells.is_empty());
+        assert_eq!(p.map.range(ShardId(0)), 0..10);
+    }
+}

@@ -34,12 +34,15 @@ use soda_vmm::vsn::{VsnId, VsnState};
 
 use crate::agent::SodaAgent;
 use crate::api::CreationReply;
+use crate::config::ShardId;
 use crate::error::SodaError;
 use crate::inflight::InflightTable;
 use crate::journal::{EpisodeId, Journal, JournalOp, ServiceSnapshot, WorldSnapshot};
 use crate::master::SodaMaster;
-use crate::recovery::{self, RecoveryManager};
-use crate::service::{ServiceId, ServiceSpec};
+use crate::recovery::{self, RecoveryConfig, RecoveryManager};
+use crate::service::{ServiceId, ServiceRecord, ServiceSpec};
+use crate::shard::{shard_salt, ControlPlaneKind, ShardCell, ShardPlane};
+use crate::switch::ServiceSwitch;
 
 /// Per-request CPU work: fixed parsing/handling plus per-byte content
 /// work (checksums, copies), in cycles.
@@ -160,7 +163,7 @@ pub struct CreationRecord {
 
 /// How many journal entries accumulate before an inline compacted
 /// checkpoint is taken (bounds standby replay length).
-const JOURNAL_CHECKPOINT_EVERY: usize = 64;
+pub(crate) const JOURNAL_CHECKPOINT_EVERY: usize = 64;
 
 /// One completed Master failover, recorded for drivers and benches.
 #[derive(Clone, Copy, Debug)]
@@ -269,6 +272,11 @@ pub struct SodaWorld {
     /// Per-host link impairment windows (partitions, loss) that gate
     /// heartbeats and sever in-flight responses during chaos runs.
     pub control: ControlPlane,
+    /// Sharded-control-plane state: the `Monolith`/`Sharded(n)` switch,
+    /// the host→cell map, cells 1..n-1 (shard 0 reuses the fields
+    /// above), and inter-shard message counters. Defaults to a one-cell
+    /// monolith; [`SodaWorld::configure_shards`] re-partitions.
+    pub shards: ShardPlane,
     node_runtimes: HashMap<VsnId, NodeRuntime>,
     /// In-flight flows, host-major keyed for deterministic iteration:
     /// faults that sever many flows at once must cancel them in a
@@ -349,6 +357,11 @@ impl SodaWorld {
         // The journal's genesis checkpoint is the empty control plane at
         // epoch 1; everything after is appended transitions.
         let journal = Journal::new(master.snapshot(1), JOURNAL_CHECKPOINT_EVERY);
+        let shards = ShardPlane::new(
+            ControlPlaneKind::Monolith,
+            ShardPlane::DEFAULT_LATENCY,
+            daemons.len(),
+        );
         SodaWorld {
             agent: SodaAgent::new(1.0),
             master,
@@ -365,6 +378,7 @@ impl SodaWorld {
             journal,
             failover: FailoverState::default(),
             control: ControlPlane::new(),
+            shards,
             node_runtimes: HashMap::new(),
             inflight: InflightTable::new(),
             daemon_slots,
@@ -419,12 +433,204 @@ impl SodaWorld {
             d.set_obs(obs.clone());
         }
         self.obs = obs.clone();
+        for cell in &mut self.shards.cells {
+            cell.master.set_obs(obs.clone());
+        }
         // Any previously interned handle points into the old registry.
         self.stale_wakeup_h = None;
         self.master_failovers_h = None;
         self.live_flows_h = None;
         self.open_requests_h = None;
         obs
+    }
+
+    /// Switch the control plane to `kind`, partitioning the host roster
+    /// into balanced contiguous cells. Must run before any service is
+    /// created: cell Masters start from empty genesis checkpoints and
+    /// the id lanes are re-striped. With one cell (`Monolith` or
+    /// `Sharded(1)`) this is a no-op and the world stays byte-for-byte
+    /// the seed design.
+    pub fn configure_shards(&mut self, kind: ControlPlaneKind) {
+        self.configure_shards_with(kind, ShardPlane::DEFAULT_LATENCY);
+    }
+
+    /// [`SodaWorld::configure_shards`] with an explicit one-way
+    /// inter-shard message latency.
+    pub fn configure_shards_with(&mut self, kind: ControlPlaneKind, latency: SimDuration) {
+        assert!(
+            self.creations.is_empty() && self.master.services().next().is_none(),
+            "configure_shards must run before any service is created"
+        );
+        let n = kind.shards();
+        self.shards = ShardPlane::new(kind, latency, self.daemons.len());
+        if n <= 1 {
+            return;
+        }
+        // Shard 0 reuses the world's own master/journal/recovery fields,
+        // re-striped onto id lane {1, 1+n, 1+2n, ...}; its journal is
+        // re-seeded so the genesis checkpoint carries the lane counters.
+        self.master.set_id_lane(1, n as u64);
+        self.journal = Journal::new(self.master.snapshot(1), JOURNAL_CHECKPOINT_EVERY);
+        for k in 1..n {
+            let mut master = SodaMaster::new();
+            master.set_id_lane(k as u64 + 1, n as u64);
+            if self.obs.is_enabled() {
+                master.set_obs(self.obs.clone());
+            }
+            let journal = Journal::new(master.snapshot(1), JOURNAL_CHECKPOINT_EVERY);
+            let mut cfg = RecoveryConfig::default();
+            cfg.seed ^= shard_salt(k);
+            self.shards.cells.push(ShardCell {
+                master,
+                journal,
+                recovery: RecoveryManager::new(cfg),
+            });
+        }
+    }
+
+    /// Number of placement cells (1 for the monolith).
+    pub fn shard_count(&self) -> u32 {
+        self.shards.map.count()
+    }
+
+    /// The active control-plane kind.
+    pub fn control_kind(&self) -> ControlPlaneKind {
+        self.shards.kind
+    }
+
+    /// Home shard of a service id. Ids are lane-striped — cell `k` of
+    /// `n` allocates `{k+1, k+1+n, ...}` — so the home cell is recovered
+    /// arithmetically, with no lookup traffic between cells.
+    pub fn shard_of_service(&self, service: ServiceId) -> ShardId {
+        let n = self.shard_count() as u64;
+        if n <= 1 || service.0 == 0 {
+            return ShardId(0);
+        }
+        ShardId(((service.0 - 1) % n) as u32)
+    }
+
+    /// Home shard of a VSN id (same lane striping as services).
+    pub fn shard_of_vsn(&self, vsn: VsnId) -> ShardId {
+        let n = self.shard_count() as u64;
+        if n <= 1 || vsn.0 == 0 {
+            return ShardId(0);
+        }
+        ShardId(((vsn.0 - 1) % n) as u32)
+    }
+
+    /// The cell owning a host (by roster position).
+    pub fn shard_of_host(&self, host: HostId) -> ShardId {
+        match self.daemon_slots.get(&host) {
+            Some(&slot) => self.shards.map.shard_of_index(slot),
+            None => ShardId(0),
+        }
+    }
+
+    /// The roster index range a cell owns.
+    pub fn cell_range(&self, shard: ShardId) -> std::ops::Range<usize> {
+        self.shards.map.range(shard)
+    }
+
+    /// The Master of cell `shard` (shard 0 is the world's own field).
+    pub fn master_of(&self, shard: ShardId) -> &SodaMaster {
+        if shard.0 == 0 {
+            &self.master
+        } else {
+            &self.shards.cells[shard.0 as usize - 1].master
+        }
+    }
+
+    /// Mutable access to cell `shard`'s Master.
+    pub fn master_of_mut(&mut self, shard: ShardId) -> &mut SodaMaster {
+        if shard.0 == 0 {
+            &mut self.master
+        } else {
+            &mut self.shards.cells[shard.0 as usize - 1].master
+        }
+    }
+
+    /// The Master owning `service`'s record.
+    pub fn master_for(&self, service: ServiceId) -> &SodaMaster {
+        self.master_of(self.shard_of_service(service))
+    }
+
+    /// Mutable access to the Master owning `service`'s record.
+    pub fn master_for_mut(&mut self, service: ServiceId) -> &mut SodaMaster {
+        self.master_of_mut(self.shard_of_service(service))
+    }
+
+    /// Cell `shard`'s journal.
+    pub fn journal_of(&self, shard: ShardId) -> &Journal {
+        if shard.0 == 0 {
+            &self.journal
+        } else {
+            &self.shards.cells[shard.0 as usize - 1].journal
+        }
+    }
+
+    /// Mutable access to cell `shard`'s journal.
+    pub fn journal_of_mut(&mut self, shard: ShardId) -> &mut Journal {
+        if shard.0 == 0 {
+            &mut self.journal
+        } else {
+            &mut self.shards.cells[shard.0 as usize - 1].journal
+        }
+    }
+
+    /// Cell `shard`'s recovery manager.
+    pub fn recovery_of(&self, shard: ShardId) -> &RecoveryManager {
+        if shard.0 == 0 {
+            &self.recovery
+        } else {
+            &self.shards.cells[shard.0 as usize - 1].recovery
+        }
+    }
+
+    /// Mutable access to cell `shard`'s recovery manager.
+    pub fn recovery_of_mut(&mut self, shard: ShardId) -> &mut RecoveryManager {
+        if shard.0 == 0 {
+            &mut self.recovery
+        } else {
+            &mut self.shards.cells[shard.0 as usize - 1].recovery
+        }
+    }
+
+    /// The recovery manager owning `service`'s episodes.
+    pub fn recovery_for_mut(&mut self, service: ServiceId) -> &mut RecoveryManager {
+        self.recovery_of_mut(self.shard_of_service(service))
+    }
+
+    /// `service`'s record, wherever it is homed.
+    pub fn service_record(&self, service: ServiceId) -> Option<&ServiceRecord> {
+        self.master_for(service).service(service)
+    }
+
+    /// `service`'s switch, wherever it is homed.
+    pub fn switch_for(&self, service: ServiceId) -> Option<&ServiceSwitch> {
+        self.master_for(service).switch(service)
+    }
+
+    /// Mutable access to `service`'s switch.
+    pub fn switch_mut_for(&mut self, service: ServiceId) -> Option<&mut ServiceSwitch> {
+        self.master_for_mut(service).switch_mut(service)
+    }
+
+    /// Every service record across every cell, in shard order (shard 0
+    /// first) — the sharded replacement for `master.services()` scans.
+    pub fn services_all(&self) -> impl Iterator<Item = &ServiceRecord> + '_ {
+        (0..self.shard_count()).flat_map(move |s| self.master_of(ShardId(s)).services())
+    }
+
+    /// Pick the home cell for the next service creation (round-robin).
+    /// With one cell the cursor never moves and this is always shard 0.
+    pub(crate) fn pick_home_shard(&mut self) -> ShardId {
+        let n = self.shard_count();
+        if n <= 1 {
+            return ShardId(0);
+        }
+        let s = ShardId(self.shards.next_home % n);
+        self.shards.next_home = (self.shards.next_home + 1) % n;
+        s
     }
 
     /// Refresh the backpressure gauges and their high-water marks:
@@ -479,12 +685,14 @@ impl SodaWorld {
     /// post-transition record (replay is last-writer-wins per service).
     /// No-ops while the Master is down: a dead process writes nothing.
     pub(crate) fn journal_op(&mut self, now: SimTime, op: JournalOp, service: ServiceId) {
-        if self.failover.down {
+        let shard = self.shard_of_service(service);
+        if shard.0 == 0 && self.failover.down {
             return;
         }
-        let record = self.master.service(service).map(ServiceSnapshot::capture);
-        let counters = self.master.id_counters();
-        self.journal
+        let master = self.master_of(shard);
+        let record = master.service(service).map(ServiceSnapshot::capture);
+        let counters = master.id_counters();
+        self.journal_of_mut(shard)
             .append(now, op, service, None, record, counters);
     }
 
@@ -497,18 +705,20 @@ impl SodaWorld {
         service: ServiceId,
         id: EpisodeId,
     ) {
-        if self.failover.down {
+        let shard = self.shard_of_service(service);
+        if shard.0 == 0 && self.failover.down {
             return;
         }
-        let counters = self.master.id_counters();
-        self.journal
+        let counters = self.master_of(shard).id_counters();
+        self.journal_of_mut(shard)
             .append(now, op, service, Some(id), None, counters);
     }
 
     /// Capture the control-plane state as a serde round-trippable
     /// snapshot: Master records and id counters at the journal's
     /// current epoch, plus the recovery manager including its exact
-    /// RNG position.
+    /// RNG position. Shard-0 scoped: under `Sharded(n>1)` this captures
+    /// cell 0 only (each cell's durability story is its own journal).
     pub fn snapshot_world(&self, now: SimTime) -> WorldSnapshot {
         WorldSnapshot {
             at_ns: now.as_nanos(),
@@ -553,7 +763,7 @@ impl SodaWorld {
         vsn: VsnId,
         mode: ExecutionMode,
     ) -> bool {
-        let placed = match self.master.service(service).and_then(|r| r.node(vsn)) {
+        let placed = match self.service_record(service).and_then(|r| r.node(vsn)) {
             Some(p) => *p,
             None => return false,
         };
@@ -596,8 +806,7 @@ impl SodaWorld {
     /// (e.g. after a shed tears a victim service down).
     pub(crate) fn prune_runtimes(&mut self) {
         let keep: std::collections::HashSet<VsnId> = self
-            .master
-            .services()
+            .services_all()
             .flat_map(|r| r.nodes.iter().map(|n| n.vsn))
             .collect();
         self.node_runtimes.retain(|v, _| keep.contains(v));
@@ -755,7 +964,7 @@ fn pump_nic(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, host: HostId) {
                 }
                 world.open_requests = world.open_requests.saturating_sub(1);
                 if routed {
-                    if let Some(sw) = world.master.switch_mut(service) {
+                    if let Some(sw) = world.switch_mut_for(service) {
                         sw.complete(vsn, delivered.saturating_since(issued), delivered);
                     }
                 }
@@ -837,7 +1046,9 @@ fn finish_node_boot(
     let now = ctx.now();
     // The Master is dead: nobody is listening for node-ready. Buffer
     // the boot (priming trace stays open) and re-drive it at takeover.
-    if world.failover.down {
+    // Only shard 0's Master participates in failover drills; a foreign
+    // cell's boots are never blocked by shard 0 being down.
+    if world.failover.down && world.shard_of_service(service).0 == 0 {
         world.failover.orphaned_boots.push((service, vsn, started));
         return;
     }
@@ -848,10 +1059,10 @@ fn finish_node_boot(
     // A node booting for a service that already has a switch is a
     // resize-growth or failover replacement: it joins the running
     // service instead of completing a creation.
-    if world.master.switch(service).is_some() {
+    if world.switch_for(service).is_some() {
         let mut daemons = std::mem::take(&mut world.daemons);
         let r = world
-            .master
+            .master_for_mut(service)
             .resize_node_ready(service, vsn, &mut daemons, now);
         world.daemons = daemons;
         match r {
@@ -877,7 +1088,7 @@ fn finish_node_boot(
     // Split borrows: pull daemons out, call master, put back.
     let mut daemons = std::mem::take(&mut world.daemons);
     let reply = world
-        .master
+        .master_for_mut(service)
         .node_ready(service, vsn, &mut daemons, now, elapsed);
     world.daemons = daemons;
     match reply {
@@ -917,7 +1128,7 @@ pub(crate) fn complete_creation_record(
     service: ServiceId,
     reply: CreationReply,
 ) {
-    let Some(rec) = world.master.service(service) else {
+    let Some(rec) = world.service_record(service) else {
         return;
     };
     let nodes: Vec<VsnId> = rec.nodes.iter().map(|n| n.vsn).collect();
@@ -943,14 +1154,52 @@ pub fn create_service_driven(
 ) -> Result<ServiceId, SodaError> {
     let now = engine.now();
     let world = engine.state_mut();
-    if world.failover.down {
+    let home = world.pick_home_shard();
+    // Failover drills target shard 0's Master; other cells stay up.
+    if world.failover.down && home.0 == 0 {
         return Err(SodaError::MasterUnavailable);
     }
+    let n = world.shard_count();
+    let cell = world.cell_range(home);
+    // Keep a copy for the fleet-wide retry if the home cell is full.
+    let retry_spec = (n > 1).then(|| spec.clone());
     let mut daemons = std::mem::take(&mut world.daemons);
-    let outcome = world.master.admit(spec, asp, &mut daemons, now);
+    // The home Master's inventory may hold stale reports for foreign
+    // hosts from an earlier spill; prune so cell-restricted placement
+    // can only choose hosts it was actually handed. No-op for n = 1.
+    world
+        .master_of_mut(home)
+        .prune_inventory_to(&daemons[cell.clone()]);
+    let mut outcome = world
+        .master_of_mut(home)
+        .admit(spec, asp, &mut daemons[cell], now);
+    let mut spilled = false;
+    if n > 1 {
+        if let Err(SodaError::AdmissionRejected { .. }) = outcome {
+            // Cross-shard spill: the home cell is full, so the home
+            // Master re-places over the whole fleet.
+            outcome = world.master_of_mut(home).admit(
+                retry_spec.expect("cloned when n > 1"),
+                asp,
+                &mut daemons,
+                now,
+            );
+            spilled = outcome.is_ok();
+        }
+    }
     world.daemons = daemons;
     let outcome = outcome?;
     let service = outcome.service;
+    if spilled {
+        world.shards.spills += 1;
+        world.obs.record(
+            now,
+            Event::ShardSpill {
+                service: service.0,
+                from: home.0,
+            },
+        );
+    }
     world.journal_op(now, JournalOp::Admission, service);
     // Admission and placement both resolved synchronously inside
     // `Master::admit`, so a sampled creation trace records them as
@@ -981,8 +1230,16 @@ pub fn create_service_driven(
             world.priming_traces.insert(vsn, p);
         }
     }
+    // A spilled creation pays one inter-shard reservation round trip
+    // before its priming can start on foreign hosts.
+    let start_at = if spilled {
+        let world = engine.state_mut();
+        now + world.shards.latency + world.shards.latency
+    } else {
+        now
+    };
     for (host, vsn, bootstrap, bytes) in downloads {
-        engine.schedule_at_as("start_download", now, move |w: &mut SodaWorld, ctx| {
+        engine.schedule_at_as("start_download", start_at, move |w: &mut SodaWorld, ctx| {
             start_flow(
                 w,
                 ctx,
@@ -1011,12 +1268,13 @@ pub fn resize_service_driven(
 ) -> Result<(), SodaError> {
     let now = engine.now();
     let world = engine.state_mut();
-    if world.failover.down {
+    if world.failover.down && world.shard_of_service(service).0 == 0 {
         return Err(SodaError::MasterUnavailable);
     }
     let mut daemons = std::mem::take(&mut world.daemons);
+    // Resizes place fleet-wide: the service may already be spilled.
     let outcome = world
-        .master
+        .master_for_mut(service)
         .resize(service, new_instances, &mut daemons, now);
     world.daemons = daemons;
     let outcome = outcome?;
@@ -1069,7 +1327,7 @@ pub fn submit_request_with_callback(
     // Client → switch hop.
     let lan_latency = SimDuration::from_micros(200);
     // Switch routes.
-    let Some(sw) = world.master.switch_mut(service) else {
+    let Some(sw) = world.switch_mut_for(service) else {
         drop_request(world, ctx, request);
         return;
     };
@@ -1154,7 +1412,7 @@ fn dispatch_to_backend(
     if !reachable {
         // Node crashed, never installed, or unreachable: request lost.
         if routed {
-            if let Some(sw) = world.master.switch_mut(service) {
+            if let Some(sw) = world.switch_mut_for(service) {
                 sw.abort(vsn, now);
             }
         }
@@ -1205,7 +1463,7 @@ fn dispatch_to_backend(
             || w.control.is_partitioned(u64::from(host.0), ctx.now())
         {
             if routed {
-                if let Some(sw) = w.master.switch_mut(service) {
+                if let Some(sw) = w.switch_mut_for(service) {
                     sw.abort(vsn, ctx.now());
                 }
             }
@@ -1232,7 +1490,7 @@ fn dispatch_to_backend(
         if depart == SimTime::MAX {
             // Zero-rate shaping: response never leaves.
             if routed {
-                if let Some(sw) = w.master.switch_mut(service) {
+                if let Some(sw) = w.switch_mut_for(service) {
                     sw.abort(vsn, ctx.now());
                 }
             }
@@ -1283,8 +1541,7 @@ pub fn attack_node(
     if blast.cohosted_down {
         // Host-level compromise: every node on the host falls.
         let victims: Vec<(ServiceId, VsnId)> = world
-            .master
-            .services()
+            .services_all()
             .flat_map(|rec| {
                 rec.nodes
                     .iter()
@@ -1301,14 +1558,14 @@ pub fn attack_node(
 
 fn crash_one(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, service: ServiceId, vsn: VsnId) {
     let now = ctx.now();
-    let Some(rec) = world.master.service(service) else {
+    let Some(rec) = world.service_record(service) else {
         return;
     };
     let Some(host) = rec.node(vsn).map(|n| n.host) else {
         return;
     };
     let _ = world.daemon_mut(host).crash_vsn(vsn, now);
-    world.master.node_crashed(service, vsn);
+    world.master_for_mut(service).node_crashed(service, vsn);
     world.node_runtimes.remove(&vsn);
     drop_inflight_on_vsn(world, ctx, vsn);
 }
@@ -1336,7 +1593,7 @@ fn cancel_flows(
                 ..
             } => {
                 if routed {
-                    if let Some(sw) = world.master.switch_mut(service) {
+                    if let Some(sw) = world.switch_mut_for(service) {
                         sw.abort(vsn, now);
                     }
                 }
@@ -1423,7 +1680,9 @@ fn fail_priming(
         world.obs.trace_close(Some(p), now);
     }
     let mut daemons = std::mem::take(&mut world.daemons);
-    let removed = world.master.remove_node(service, vsn, &mut daemons, now);
+    let removed = world
+        .master_for_mut(service)
+        .remove_node(service, vsn, &mut daemons, now);
     world.daemons = daemons;
     if let Some((capacity, reply)) = removed {
         if let Some(reply) = reply {
@@ -1447,12 +1706,15 @@ pub fn crash_host(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, host: HostId)
         }
         _ => return,
     }
-    let dead: Vec<VsnId> = world
+    // `node_runtimes` is a HashMap: sort so downstream handling of the
+    // dead set can never depend on hash-iteration order.
+    let mut dead: Vec<VsnId> = world
         .node_runtimes
         .iter()
         .filter(|(_, rt)| rt.host == host)
         .map(|(v, _)| *v)
         .collect();
+    dead.sort_unstable();
     for v in &dead {
         world.node_runtimes.remove(v);
     }
@@ -1531,19 +1793,22 @@ fn master_takeover(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>) {
     // lower bound on reality and is corrected against the reports.
     // Failed hosts answer nothing — the re-armed heartbeat loop will
     // declare them down through the normal detection path.
-    let reports: Vec<(HostId, ReRegistration)> = world
-        .daemons
+    // Under a sharded plane only cell 0's hosts re-register with the
+    // recovering shard-0 Master (each cell owns its own roster).
+    let cell = world.cell_range(ShardId(0));
+    let reports: Vec<(HostId, ReRegistration)> = world.daemons[cell.clone()]
         .iter()
         .map(|d| (d.host.id, d.re_register()))
         .collect();
     let hosts: Vec<HostId> = reports.iter().map(|(h, _)| *h).collect();
-    world.master.collect_resources(&world.daemons, now);
+    world.master.collect_resources(&world.daemons[cell], now);
     world.recovery.rearm(epoch, now, &hosts);
 
-    // vsn → (service, capacity) over the rebuilt records.
+    // vsn → (service, capacity) over every cell's records: a foreign
+    // service spilled onto a shard-0 host must not be torn down as a
+    // duplicate just because shard 0's own journal never heard of it.
     let known: HashMap<VsnId, (ServiceId, u32)> = world
-        .master
-        .services()
+        .services_all()
         .flat_map(|rec| rec.nodes.iter().map(move |n| (n.vsn, (rec.id, n.capacity))))
         .collect();
     let mut adopted = 0usize;
@@ -1643,8 +1908,7 @@ pub fn apply_fault(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, fault: Fault
         FaultSpec::VsnCrash { vsn } => {
             let vsn = VsnId(vsn);
             let owner = world
-                .master
-                .services()
+                .services_all()
                 .find_map(|rec| rec.node(vsn).map(|n| (rec.id, n.host)));
             if let Some((_, host)) = owner {
                 // The VSN dies but the Master is not told — the next
@@ -1704,15 +1968,14 @@ pub fn revive_node(
     vsn: VsnId,
 ) -> Result<(), SodaError> {
     let rec = world
-        .master
-        .service(service)
+        .service_record(service)
         .ok_or(SodaError::UnknownService(service))?;
     let host = rec.node(vsn).ok_or(SodaError::UnknownVsn(vsn))?.host;
     let timing = world.daemon_mut(host).begin_repriming(vsn)?;
     ctx.schedule_in_as("reprime", timing.total(), move |w: &mut SodaWorld, ctx| {
         let now = ctx.now();
         if w.daemon_mut(host).complete_priming(vsn, now).is_ok() {
-            w.master.node_recovered(service, vsn);
+            w.master_for_mut(service).node_recovered(service, vsn);
             w.install_runtime(service, vsn, ExecutionMode::GuestIsolated);
             w.journal_op(now, JournalOp::Recovery, service);
         }
@@ -1729,7 +1992,11 @@ pub fn fail_host(
     host: HostId,
 ) -> Vec<(ServiceId, VsnId, u32)> {
     crash_host(world, ctx, host);
-    world.master.host_failed(host)
+    let mut affected = Vec::new();
+    for s in 0..world.shard_count() {
+        affected.extend(world.master_of_mut(ShardId(s)).host_failed(host));
+    }
+    affected
 }
 
 /// Fail over one dead node onto a surviving host: re-place, bootstrap
@@ -1743,7 +2010,9 @@ pub fn failover_node(
 ) -> Result<HostId, SodaError> {
     let now = ctx.now();
     let mut daemons = std::mem::take(&mut world.daemons);
-    let result = world.master.replace_node(service, vsn, &mut daemons, now);
+    let result = world
+        .master_for_mut(service)
+        .replace_node(service, vsn, &mut daemons, now);
     world.daemons = daemons;
     let (target, ticket) = result?;
     world.journal_op(now, JournalOp::Recovery, service);
@@ -1762,9 +2031,9 @@ pub fn ddos_switch_host(
     flows: u32,
     bytes_each: u64,
 ) -> Option<HostId> {
-    let sw = world.master.switch(service)?;
+    let sw = world.switch_for(service)?;
     let colo = sw.colocated_on;
-    let host = world.master.service(service)?.node(colo)?.host;
+    let host = world.service_record(service)?.node(colo)?.host;
     for _ in 0..flows {
         start_flow(world, ctx, host, bytes_each, FlowPurpose::Flood);
     }

@@ -54,6 +54,12 @@ impl ResourceInventory {
         self.reports.get(&host)
     }
 
+    /// Drop every report whose host fails the predicate (e.g. hosts
+    /// outside a placement cell).
+    pub fn retain<F: FnMut(HostId) -> bool>(&mut self, mut keep: F) {
+        self.reports.retain(|&h, _| keep(h));
+    }
+
     /// All hosts with reports, in id order (deterministic placement).
     pub fn hosts(&self) -> impl Iterator<Item = (HostId, &HostReport)> {
         self.reports.iter().map(|(&id, r)| (id, r))

@@ -149,6 +149,23 @@ pub enum Event {
         entries: u64,
         checkpoint_seq: u64,
     },
+    /// A placement cell was full, so the creation spilled to hosts
+    /// owned by other cells (`from` is the service's home shard).
+    ShardSpill { service: u64, from: u32 },
+    /// An inter-shard control message was delivered after its simulated
+    /// transit latency.
+    ShardMsgDelivered {
+        from: u32,
+        to: u32,
+        kind: &'static str,
+    },
+    /// An inter-shard message arrived stamped with a stale epoch (the
+    /// destination cell failed over in flight) and was discarded.
+    ShardMsgStale {
+        to: u32,
+        epoch: u64,
+        kind: &'static str,
+    },
 }
 
 impl Event {
@@ -165,7 +182,9 @@ impl Event {
             | Event::ServiceDegraded { .. }
             | Event::ServiceShed { .. }
             | Event::FaultInjected { .. }
-            | Event::LinkPartitioned { .. } => Severity::Warn,
+            | Event::LinkPartitioned { .. }
+            | Event::ShardSpill { .. }
+            | Event::ShardMsgStale { .. } => Severity::Warn,
             Event::VsnCrash { .. } | Event::HostFailure { .. } | Event::MasterOpFailed { .. } => {
                 Severity::Error
             }
@@ -174,7 +193,8 @@ impl Event {
             }
             Event::RequestDispatched { .. }
             | Event::RequestCompleted { .. }
-            | Event::SchedulerShareSample { .. } => Severity::Debug,
+            | Event::SchedulerShareSample { .. }
+            | Event::ShardMsgDelivered { .. } => Severity::Debug,
             _ => Severity::Info,
         }
     }
@@ -213,6 +233,9 @@ impl Event {
             Event::MasterDown { .. } => "master_down",
             Event::MasterRecovered { .. } => "master_recovered",
             Event::JournalReplayed { .. } => "journal_replayed",
+            Event::ShardSpill { .. } => "shard_spill",
+            Event::ShardMsgDelivered { .. } => "shard_msg_delivered",
+            Event::ShardMsgStale { .. } => "shard_msg_stale",
         }
     }
 }
@@ -320,6 +343,15 @@ impl fmt::Display for Event {
                 f,
                 "journal-replayed epoch={epoch} entries={entries} checkpoint={checkpoint_seq}"
             ),
+            Event::ShardSpill { service, from } => {
+                write!(f, "shard-spill service={service} from={from}")
+            }
+            Event::ShardMsgDelivered { from, to, kind } => {
+                write!(f, "shard-msg from={from} to={to} kind={kind}")
+            }
+            Event::ShardMsgStale { to, epoch, kind } => {
+                write!(f, "shard-msg-stale to={to} epoch={epoch} kind={kind}")
+            }
         }
     }
 }
@@ -580,6 +612,20 @@ impl serde::Serialize for Event {
                 put("epoch", Value::U64(epoch));
                 put("entries", Value::U64(entries));
                 put("checkpoint_seq", Value::U64(checkpoint_seq));
+            }
+            Event::ShardSpill { service, from } => {
+                put("service", Value::U64(service));
+                put("from", Value::U64(u64::from(from)));
+            }
+            Event::ShardMsgDelivered { from, to, kind } => {
+                put("from", Value::U64(u64::from(from)));
+                put("to", Value::U64(u64::from(to)));
+                put("msg", Value::String(kind.into()));
+            }
+            Event::ShardMsgStale { to, epoch, kind } => {
+                put("to", Value::U64(u64::from(to)));
+                put("epoch", Value::U64(epoch));
+                put("msg", Value::String(kind.into()));
             }
         }
         Value::Object(fields)

@@ -93,6 +93,32 @@ fn chaos_soak_is_deterministic() {
     );
 }
 
+/// Differential gate at the chaos tier: a single placement cell runs
+/// the soak — fault plan, heartbeat loss draws, backoff jitter and all
+/// — bit-identically to the monolith, while four cells keep the
+/// routing invariant and conservation of recovery accounting.
+#[test]
+fn sharded_soak_matches_monolith_and_four_cells_hold_invariants() {
+    use soda::core::shard::ControlPlaneKind;
+    let mono = chaos_soak::run(11);
+    let (one, _) = chaos_soak::run_with_kind(11, ControlPlaneKind::Sharded(1));
+    assert_eq!(
+        mono.event_fingerprint, one.event_fingerprint,
+        "one cell must render the monolith's exact event log"
+    );
+    assert_eq!(mono.completed, one.completed);
+    assert_eq!(mono.dropped, one.dropped);
+    assert_eq!(mono.detections, one.detections);
+    assert_eq!(mono.recoveries, one.recoveries);
+    assert_eq!(mono.retries, one.retries);
+    assert_eq!(mono.events, one.events);
+
+    let (four, _) = chaos_soak::run_with_kind(11, ControlPlaneKind::Sharded(4));
+    assert_eq!(four.shards, 4);
+    assert_eq!(four.invariant_violations, 0);
+    assert!(four.completed > 1000, "four cells keep serving");
+}
+
 /// A host dies while its node is still downloading the service image.
 /// The creation must still complete (on replacement capacity) and the
 /// service must end at full strength with nothing on the dead host.
@@ -583,4 +609,70 @@ fn snapshot_roundtrip_continues_fingerprint_identically() {
     let plain = scenario(21, false);
     let snapped = scenario(21, true);
     assert_eq!(snapped, plain, "round-trip must not perturb the run");
+}
+
+/// Snapshot → restore taken while an impairment window is ACTIVE —
+/// mid-partition or mid-`SlowHost` — must also continue
+/// fingerprint-identically: the snapshot captures control-plane state,
+/// and restoring it must not cancel, double-apply, or time-shift the
+/// in-flight fault windows.
+#[test]
+fn snapshot_mid_impairment_continues_fingerprint_identically() {
+    fn scenario(seed: u64, fault: FaultSpec, roundtrip: bool) -> (u64, usize, u64) {
+        let mut engine = Engine::with_seed(SodaWorld::new(hup(3, true)), seed);
+        engine.state_mut().enable_obs(1 << 15);
+        recovery::start_self_healing(
+            &mut engine,
+            RecoveryConfig::default(),
+            SimTime::from_secs(200),
+        );
+        let svc = create_service_driven(&mut engine, web_spec(3), "webco").expect("admitted");
+        PoissonGenerator {
+            service: svc,
+            dataset_bytes: 30_000,
+            rate_rps: 12.0,
+            start: SimTime::from_secs(10),
+            end: SimTime::from_secs(150),
+        }
+        .start(&mut engine);
+        // Impairment opens at t=95 s and stays open through t=125 s;
+        // the snapshot lands at t=100 s, squarely inside the window.
+        engine.schedule_at(SimTime::from_secs(95), move |w: &mut SodaWorld, ctx| {
+            apply_fault(w, ctx, fault);
+        });
+        engine.run_until(SimTime::from_secs(100));
+        if roundtrip {
+            let snap = engine.state().snapshot_world(engine.now());
+            let text = snap.render();
+            let parsed = WorldSnapshot::parse(&text).expect("snapshot text parses back");
+            assert_eq!(parsed, snap, "render → parse is lossless");
+            engine.state_mut().restore_world(&parsed);
+        }
+        engine.run_until(SimTime::from_secs(200));
+        let w = engine.state_mut();
+        assert_eq!(recovery::check_invariants(w), 0);
+        (drain_fingerprint(w), w.completed.len(), w.dropped)
+    }
+    let partition = FaultSpec::LinkPartition {
+        host: 1,
+        duration: SimDuration::from_secs(30),
+    };
+    let plain = scenario(33, partition, false);
+    let snapped = scenario(33, partition, true);
+    assert_eq!(
+        snapped, plain,
+        "snapshot mid-partition must not perturb the run"
+    );
+
+    let slow = FaultSpec::SlowHost {
+        host: 1,
+        factor: 4.0,
+        duration: SimDuration::from_secs(30),
+    };
+    let plain = scenario(34, slow, false);
+    let snapped = scenario(34, slow, true);
+    assert_eq!(
+        snapped, plain,
+        "snapshot mid-SlowHost must not perturb the run"
+    );
 }

@@ -4,6 +4,7 @@
 //! diverge.
 
 use soda::core::service::ServiceSpec;
+use soda::core::shard::ControlPlaneKind;
 use soda::core::world::SodaWorld;
 use soda::hostos::resources::ResourceVector;
 use soda::sim::QueueKind;
@@ -71,7 +72,7 @@ fn scale_run_is_deterministic_and_obs_transparent() {
         seed: 1303,
         obs: true,
         queue: QueueKind::Wheel,
-        profile: false,
+        ..ScaleConfig::default()
     };
     let a = scale::run(&cfg);
     let b = scale::run(&cfg);
@@ -108,7 +109,7 @@ fn queue_implementations_replay_identically_at_scale() {
         seed: 1303,
         obs: true,
         queue: QueueKind::Wheel,
-        profile: false,
+        ..ScaleConfig::default()
     };
     let wheel = scale::run(&cfg);
     let heap = scale::run(&ScaleConfig {
@@ -127,6 +128,55 @@ fn queue_implementations_replay_identically_at_scale() {
     assert_eq!(wheel.events, heap.events);
     assert_eq!(wheel.completed, heap.completed);
     assert_eq!(wheel.dropped, heap.dropped);
+}
+
+/// The sharded control plane's differential gate: one placement cell
+/// IS the monolith. `Sharded(1)` must replay the utility-scale
+/// 100-host / 100k-request run bit-identically to `Monolith` —
+/// trajectory fingerprint, event-log fingerprint and event count — and
+/// with zero shard traffic. A sharded plane with n > 1 cells keeps the
+/// conservation law on the same run: every service admits, every
+/// request completes or is counted dropped.
+#[test]
+fn sharded_one_cell_replays_the_monolith_at_scale() {
+    let cfg = ScaleConfig {
+        hosts: 100,
+        requests: 100_000,
+        seed: 1303,
+        obs: true,
+        queue: QueueKind::Wheel,
+        ..ScaleConfig::default()
+    };
+    let mono = scale::run(&cfg);
+    let one = scale::run(&ScaleConfig {
+        kind: ControlPlaneKind::Sharded(1),
+        ..cfg
+    });
+    assert_eq!(
+        mono.trajectory_fingerprint, one.trajectory_fingerprint,
+        "one cell must walk the monolith's exact trajectory"
+    );
+    assert_eq!(
+        mono.event_fingerprint, one.event_fingerprint,
+        "and render the monolith's exact event log"
+    );
+    assert_eq!(mono.events, one.events);
+    assert_eq!(one.shards, 1);
+    assert_eq!(one.shard_spills, 0, "a single cell never spills");
+    assert_eq!(one.shard_msgs_sent, 0, "a single cell never messages");
+
+    let four = scale::run(&ScaleConfig {
+        kind: ControlPlaneKind::Sharded(4),
+        ..cfg
+    });
+    assert_eq!(four.shards, 4);
+    assert_eq!(four.services, mono.services, "every service still admits");
+    assert_eq!(four.vsns, mono.vsns, "every instance still places");
+    assert_eq!(
+        four.completed + four.dropped,
+        cfg.requests,
+        "conservation holds under four cells"
+    );
 }
 
 #[test]

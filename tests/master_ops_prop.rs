@@ -4,6 +4,7 @@
 //! no leaked IPs/processes/bridge entries after everything is torn down.
 
 use proptest::prelude::*;
+use soda::core::journal::{Journal, JournalOp, ServiceSnapshot};
 use soda::core::master::SodaMaster;
 use soda::core::service::{ServiceId, ServiceSpec, ServiceState};
 use soda::hostos::resources::ResourceVector;
@@ -158,6 +159,88 @@ proptest! {
             prop_assert!(d.host.processes.is_empty());
             prop_assert_eq!(d.host.bridge.mappings(), 0);
             prop_assert_eq!(d.host.ip_pool.in_use(), 0);
+        }
+    }
+
+    /// Inline compaction is a pure optimisation: for any op sequence,
+    /// replaying a journal that compacts aggressively (every 4 entries)
+    /// must rebuild state identical — fingerprint, id counters, epoch —
+    /// to replaying the full uncompacted stream, after every single
+    /// append, not just at the end.
+    #[test]
+    fn journal_compaction_equivalence(ops in proptest::collection::vec(op_strategy(), 1..48)) {
+        let mut master = SodaMaster::new();
+        let mut daemons = testbed();
+        let genesis = master.snapshot(1);
+        let mut compacted = Journal::new(genesis.clone(), 4);
+        let mut full = Journal::new(genesis, usize::MAX);
+        let mut live: Vec<ServiceId> = Vec::new();
+        for (i, op) in ops.into_iter().enumerate() {
+            let now = SimTime::from_secs(i as u64);
+            // (op kind, touched service, post-transition record)
+            let entry: Option<(JournalOp, ServiceId, Option<ServiceSnapshot>)> = match op {
+                Op::Create { instances } => master
+                    .create_service_now(spec(instances, i), "asp", &mut daemons, now)
+                    .ok()
+                    .map(|reply| {
+                        live.push(reply.service);
+                        let rec = master.service(reply.service).expect("admitted");
+                        (JournalOp::Admission, reply.service, Some(ServiceSnapshot::capture(rec)))
+                    }),
+                Op::Resize { which, new_instances } => {
+                    live.get(which % live.len().max(1)).copied().and_then(|svc| {
+                        master.resize(svc, new_instances, &mut daemons, now).ok().map(|_| {
+                            let rec = master.service(svc).expect("resized");
+                            (JournalOp::Resize, svc, Some(ServiceSnapshot::capture(rec)))
+                        })
+                    })
+                }
+                Op::Teardown { which } => {
+                    if live.is_empty() {
+                        None
+                    } else {
+                        let svc = live.remove(which % live.len());
+                        master.teardown(svc, &mut daemons).expect("live teardown succeeds");
+                        Some((JournalOp::Teardown, svc, None))
+                    }
+                }
+                Op::CrashNode { which } => {
+                    live.get(which % live.len().max(1)).copied().and_then(|svc| {
+                        let node = master.service(svc).and_then(|r| r.nodes.first().copied())?;
+                        let d = daemons.iter_mut().find(|d| d.host.id == node.host)?;
+                        if !d.vsn(node.vsn).is_some_and(|v| v.is_running()) {
+                            return None;
+                        }
+                        d.crash_vsn(node.vsn, now).expect("running node crashes");
+                        master.node_crashed(svc, node.vsn);
+                        let rec = master.service(svc).expect("record survives crash");
+                        Some((JournalOp::Recovery, svc, Some(ServiceSnapshot::capture(rec))))
+                    })
+                }
+            };
+            // Counters ride every entry, exactly as the world journals them.
+            let snap = master.snapshot(compacted.epoch());
+            let counters = (snap.next_service, snap.next_vsn);
+            if let Some((op, svc, rec)) = entry {
+                compacted.append(now, op, svc, None, rec.clone(), counters);
+                full.append(now, op, svc, None, rec, counters);
+            }
+            // A takeover mid-stream must not break the equivalence either.
+            if i % 13 == 12 {
+                compacted.bump_epoch(now, counters);
+                full.bump_epoch(now, counters);
+            }
+            let a = compacted.rebuild();
+            let b = full.rebuild();
+            prop_assert_eq!(a.fingerprint(), b.fingerprint(), "divergence after op {}", i);
+            prop_assert_eq!(&a, &b);
+            prop_assert_eq!(compacted.epoch(), full.epoch());
+            prop_assert_eq!((a.next_service, a.next_vsn), (b.next_service, b.next_vsn));
+        }
+        prop_assert_eq!(full.checkpoints_taken(), 0, "the oracle stream never compacts");
+        prop_assert_eq!(compacted.appended_total(), full.appended_total());
+        if compacted.appended_total() >= 4 {
+            prop_assert!(compacted.checkpoints_taken() > 0, "compaction actually fired");
         }
     }
 }
