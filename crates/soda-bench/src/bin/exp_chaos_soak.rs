@@ -141,6 +141,9 @@ fn main() {
             .map(|r| r.max_journal_replay)
             .max()
             .unwrap_or(0),
+        threads: 1,
+        epochs: 0,
+        barrier_wait_secs: 0.0,
     });
     // Single-seed runs keep the original object-shaped JSON; multi-seed
     // runs emit an array.

@@ -72,6 +72,9 @@ fn main() {
         master_failovers: 0,
         mean_failover_secs: 0.0,
         max_journal_replay: 0,
+        threads: 1,
+        epochs: 0,
+        barrier_wait_secs: 0.0,
     });
     if let Some(budget) = budget_secs {
         if indexed.wall_secs > budget {

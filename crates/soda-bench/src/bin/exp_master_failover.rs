@@ -69,6 +69,9 @@ fn main() {
         master_failovers: (r.failovers + replay.failovers) as u64,
         mean_failover_secs: (r.failover_secs + replay.failover_secs) / 2.0,
         max_journal_replay: r.replayed.max(replay.replayed) as u64,
+        threads: 1,
+        epochs: 0,
+        barrier_wait_secs: 0.0,
     });
     soda_bench::emit_json("exp_master_failover", &r);
 

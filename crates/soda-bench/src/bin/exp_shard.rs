@@ -59,6 +59,9 @@ fn bench_record(results: &[ScaleResult]) -> BenchRecord {
         master_failovers: 0,
         mean_failover_secs: 0.0,
         max_journal_replay: 0,
+        threads: 1,
+        epochs: 0,
+        barrier_wait_secs: 0.0,
     });
     let mut acc = it.next().expect("at least one sweep point");
     for rec in it {

@@ -13,6 +13,7 @@ pub mod inflation;
 pub mod link_stress;
 pub mod master_failover;
 pub mod migration;
+pub mod parallel;
 pub mod placement;
 pub mod resize;
 pub mod scale;

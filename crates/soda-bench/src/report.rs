@@ -149,6 +149,14 @@ pub struct BenchRecord {
     pub mean_failover_secs: f64,
     /// Longest journal replay a takeover performed, entries.
     pub max_journal_replay: u64,
+    /// Worker threads driving the run (1 for serial experiments).
+    pub threads: u32,
+    /// Epoch barriers crossed by the parallel engine (0 for serial
+    /// experiments).
+    pub epochs: u64,
+    /// Total wall-clock the workers spent parked at epoch barriers,
+    /// seconds (0 for serial experiments).
+    pub barrier_wait_secs: f64,
 }
 
 impl BenchRecord {
@@ -172,6 +180,11 @@ impl BenchRecord {
         }
         self.master_failovers = folded;
         self.max_journal_replay = self.max_journal_replay.max(other.max_journal_replay);
+        // A folded record describes the widest concurrency of any of
+        // its points; epochs and barrier idle time accumulate.
+        self.threads = self.threads.max(other.threads);
+        self.epochs += other.epochs;
+        self.barrier_wait_secs += other.barrier_wait_secs;
         self.events_per_sec = self.events as f64 / self.wall_secs.max(1e-9);
         self.requests_per_sec = self.requests as f64 / self.wall_secs.max(1e-9);
     }
@@ -245,6 +258,9 @@ mod tests {
             master_failovers: 2,
             mean_failover_secs: 4.0,
             max_journal_replay: 10,
+            threads: 1,
+            epochs: 0,
+            barrier_wait_secs: 0.0,
         };
         let b = BenchRecord {
             wall_secs: 3.0,
@@ -291,6 +307,9 @@ mod tests {
             master_failovers: 0,
             mean_failover_secs: 0.0,
             max_journal_replay: 0,
+            threads: 1,
+            epochs: 0,
+            barrier_wait_secs: 0.0,
         };
         // Slow point: 9 s of wall for the same event count. A naive
         // rate average would say ~5,555 ev/s; the folded truth is
@@ -328,6 +347,9 @@ mod tests {
             master_failovers: 0,
             mean_failover_secs: 0.0,
             max_journal_replay: 0,
+            threads: 1,
+            epochs: 0,
+            barrier_wait_secs: 0.0,
         };
         // Count-weighted mean: 3 takeovers at 2 s + 1 takeover at 10 s
         // fold to (3·2 + 1·10) / 4 = 4 s.
@@ -367,6 +389,61 @@ mod tests {
         assert_eq!(d.mean_failover_secs, 0.0);
     }
 
+    /// Parallel-engine fields fold with their own semantics: `threads`
+    /// is the widest point (a sweep mixing serial and 4-thread points
+    /// is a 4-thread record), while `epochs` and barrier idle time
+    /// accumulate like the other cost counters.
+    #[test]
+    fn bench_record_folds_parallel_fields() {
+        let base = BenchRecord {
+            experiment: "exp_unit".into(),
+            wall_secs: 1.0,
+            sim_secs: 1.0,
+            events: 1,
+            events_per_sec: 1.0,
+            requests: 1,
+            requests_per_sec: 1.0,
+            peak_queue_depth: 1,
+            peak_live_flows: 1,
+            peak_open_requests: 1,
+            master_failovers: 0,
+            mean_failover_secs: 0.0,
+            max_journal_replay: 0,
+            threads: 1,
+            epochs: 0,
+            barrier_wait_secs: 0.0,
+        };
+        let mut a = BenchRecord {
+            threads: 4,
+            epochs: 100,
+            barrier_wait_secs: 0.25,
+            ..base.clone()
+        };
+        let b = BenchRecord {
+            threads: 2,
+            epochs: 40,
+            barrier_wait_secs: 0.5,
+            ..base.clone()
+        };
+        a.fold(&b);
+        assert_eq!(a.threads, 4, "threads take the max");
+        assert_eq!(a.epochs, 140, "epochs sum");
+        assert!((a.barrier_wait_secs - 0.75).abs() < 1e-12, "idle sums");
+
+        // A serial point folded into a parallel record leaves the
+        // concurrency fields alone.
+        let mut c = BenchRecord {
+            threads: 8,
+            epochs: 7,
+            barrier_wait_secs: 0.125,
+            ..base.clone()
+        };
+        c.fold(&base);
+        assert_eq!(c.threads, 8);
+        assert_eq!(c.epochs, 7);
+        assert!((c.barrier_wait_secs - 0.125).abs() < 1e-12);
+    }
+
     #[test]
     fn bench_json_lands_under_bench_prefix() {
         let _guard = ENV_LOCK.lock().unwrap();
@@ -386,6 +463,9 @@ mod tests {
             master_failovers: 0,
             mean_failover_secs: 0.0,
             max_journal_replay: 0,
+            threads: 1,
+            epochs: 0,
+            barrier_wait_secs: 0.0,
         };
         let path = write_bench_json(&rec).unwrap();
         std::env::remove_var("SODA_RESULTS_DIR");

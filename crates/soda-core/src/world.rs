@@ -25,8 +25,8 @@ use soda_net::control::ControlPlane;
 use soda_net::http::HttpModel;
 use soda_net::link::{FlowId, LinkSpec, ProcessorSharingLink};
 use soda_sim::{
-    Ctx, Engine, Event, FaultSpec, Labels, MetricHandle, MetricKind, Obs, SimDuration, SimTime,
-    TraceRef,
+    CellPort, CellWorld, Ctx, Engine, Event, FaultSpec, Labels, MetricHandle, MetricKind, Obs,
+    SimDuration, SimTime, TraceRef,
 };
 use soda_vmm::intercept::{InterceptCostModel, SlowdownFactors};
 use soda_vmm::isolation::{Blast, ExecutionMode, FaultKind};
@@ -277,6 +277,14 @@ pub struct SodaWorld {
     /// above), and inter-shard message counters. Defaults to a one-cell
     /// monolith; [`SodaWorld::configure_shards`] re-partitions.
     pub shards: ShardPlane,
+    /// Cross-cell endpoint for epoch-synchronized parallel runs
+    /// ([`soda_sim::par`]): when this world is one cell of a
+    /// multi-cell run, event handlers ship work to sibling cells
+    /// through the port and the epoch barrier delivers it. Defaults to
+    /// a solo port (single cell, never sends), which is inert in
+    /// ordinary serial worlds. See
+    /// [`SodaWorld::configure_parallel_cell`].
+    pub port: CellPort<SodaWorld>,
     node_runtimes: HashMap<VsnId, NodeRuntime>,
     /// In-flight flows, host-major keyed for deterministic iteration:
     /// faults that sever many flows at once must cancel them in a
@@ -336,6 +344,12 @@ pub struct SodaWorld {
     open_requests_h: Option<MetricHandle>,
 }
 
+impl CellWorld for SodaWorld {
+    fn port(&mut self) -> &mut CellPort<SodaWorld> {
+        &mut self.port
+    }
+}
+
 impl SodaWorld {
     /// A world over the given hosts' daemons, with a 100 Mbps NIC each.
     pub fn new(daemons: Vec<SodaDaemon>) -> Self {
@@ -379,6 +393,7 @@ impl SodaWorld {
             failover: FailoverState::default(),
             control: ControlPlane::new(),
             shards,
+            port: CellPort::default(),
             node_runtimes: HashMap::new(),
             inflight: InflightTable::new(),
             daemon_slots,
@@ -486,6 +501,30 @@ impl SodaWorld {
                 recovery: RecoveryManager::new(cfg),
             });
         }
+    }
+
+    /// Configure this world as cell `cell` of a `cells`-cell
+    /// epoch-synchronized parallel run ([`soda_sim::par`]). Each cell
+    /// world holds only its own slice of the host roster; this call
+    /// wires the cross-cell port and stripes the Master's id lanes so
+    /// service/VSN ids stay globally unique across cell worlds (cell
+    /// `k` allocates `{k+1, k+1+cells, ...}` — the same striping the
+    /// sharded control plane uses, so ids agree between a `cells`-cell
+    /// parallel run and a `Sharded(cells)` monolith run). Must run
+    /// before any service is created, for the same reason
+    /// [`SodaWorld::configure_shards`] must.
+    pub fn configure_parallel_cell(&mut self, cell: u32, cells: u32, lookahead: SimDuration) {
+        self.port
+            .configure(cell as usize, cells.max(1) as usize, lookahead);
+        if cells <= 1 {
+            return;
+        }
+        assert!(
+            self.creations.is_empty() && self.master.services().next().is_none(),
+            "configure_parallel_cell must run before any service is created"
+        );
+        self.master.set_id_lane(cell as u64 + 1, cells as u64);
+        self.journal = Journal::new(self.master.snapshot(1), JOURNAL_CHECKPOINT_EVERY);
     }
 
     /// Number of placement cells (1 for the monolith).

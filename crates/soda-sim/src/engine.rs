@@ -333,6 +333,31 @@ impl<S> Engine<S> {
         let until = self.now + dur;
         self.run_until(until);
     }
+
+    /// Timestamp of the earliest pending event, if any. Takes `&mut
+    /// self` because peeking a timer wheel settles it (see `queue`).
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Run every event with timestamp **strictly before** `bound`,
+    /// leaving the clock at the last executed event (not advanced to
+    /// `bound`). This is the epoch-execution primitive of the parallel
+    /// runner ([`crate::par`]): an epoch executes `[start, bound)` and
+    /// the barrier then injects cross-cell events at times `>= bound`,
+    /// which stay legal because the clock never reached `bound`.
+    pub fn run_events_before(&mut self, bound: SimTime) {
+        loop {
+            match self.queue.peek_time() {
+                Some(t) if t < bound => {
+                    if !self.step() {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -510,6 +535,40 @@ mod tests {
         e.run_to_completion();
         assert!(e.profile_report().is_empty());
         assert!(!e.profiler().is_enabled());
+    }
+
+    #[test]
+    fn run_events_before_is_strict_and_leaves_clock_behind() {
+        let mut e = Engine::new(W::default());
+        for i in 1..=5u64 {
+            e.schedule_at(SimTime::from_secs(i), move |w: &mut W, _| {
+                w.log.push(i as u32);
+            });
+        }
+        e.run_events_before(SimTime::from_secs(3));
+        // Strictly before: the t=3 event stays queued.
+        assert_eq!(e.state().log, vec![1, 2]);
+        assert_eq!(e.now(), SimTime::from_secs(2), "clock stays at last event");
+        assert_eq!(e.peek_time(), Some(SimTime::from_secs(3)));
+        // Events landing exactly at the bound are legal to inject now.
+        e.schedule_at(SimTime::from_secs(3), |w: &mut W, _| w.log.push(30));
+        e.run_events_before(SimTime::MAX);
+        assert_eq!(e.state().log, vec![1, 2, 3, 30, 4, 5]);
+        assert_eq!(e.peek_time(), None);
+    }
+
+    #[test]
+    fn run_events_before_respects_stop_requests() {
+        let mut e = Engine::new(W::default());
+        e.schedule_at(SimTime::from_secs(1), |w: &mut W, ctx| {
+            w.log.push(1);
+            ctx.request_stop();
+        });
+        e.schedule_at(SimTime::from_secs(2), |w: &mut W, _| w.log.push(2));
+        e.run_events_before(SimTime::MAX);
+        assert_eq!(e.state().log, vec![1]);
+        assert!(e.is_stopped());
+        assert_eq!(e.events_pending(), 1);
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod engine;
 pub mod faults;
 pub mod metrics;
 pub mod obs;
+pub mod par;
 pub mod profiler;
 pub mod queue;
 pub mod retry;
@@ -64,6 +65,7 @@ pub use obs::{
     RegistrySnapshot, Severity, SpanGuard, SpanId, TimedEvent, TraceId, TraceRecord, TraceRef,
     TraceSpan, Tracer,
 };
+pub use par::{run_cells, CellPort, CellWorld, EngineKind, EpochStats, RemoteEvent};
 pub use profiler::{ProfileEntry, Profiler};
 pub use queue::{EventQueue, QueueKind};
 pub use retry::BackoffPolicy;

@@ -676,3 +676,41 @@ fn snapshot_mid_impairment_continues_fingerprint_identically() {
         "snapshot mid-SlowHost must not perturb the run"
     );
 }
+
+/// The parallel engine under chaos: per-cell fault plans, heartbeat
+/// draws, self-healing episodes and invariant sweeps must replay the
+/// serial oracle bit-identically on real threads — the epoch barriers
+/// see recovery traffic and mass cancellations, not just the steady
+/// state.
+#[test]
+fn parallel_engine_replays_serial_on_a_chaos_seed() {
+    use soda::sim::EngineKind;
+    use soda_bench::experiments::parallel::{self, ParallelConfig};
+
+    let cfg = ParallelConfig {
+        hosts: 8,
+        requests: 20_000,
+        seed: 1303,
+        cells: 4,
+        obs: true,
+        chaos: true,
+        ..ParallelConfig::default()
+    };
+    let serial = parallel::run(&cfg);
+    assert!(serial.completed > 1000, "the fleet keeps serving");
+    for n in [2, 4] {
+        let par = parallel::run(&ParallelConfig {
+            engine: EngineKind::Parallel(n),
+            ..cfg
+        });
+        assert_eq!(
+            par.trajectory_fingerprint, serial.trajectory_fingerprint,
+            "Parallel({n}) chaos trajectory diverged from serial"
+        );
+        assert_eq!(
+            par.event_fingerprint, serial.event_fingerprint,
+            "Parallel({n}) chaos event log diverged from serial"
+        );
+        assert_eq!(par.events, serial.events);
+    }
+}

@@ -198,3 +198,46 @@ fn engine_event_count_is_reproducible() {
     };
     assert_eq!(count(7), count(7));
 }
+
+/// The parallel engine's differential gate at utility scale: the
+/// conservative epoch-synchronized runner must replay the serial
+/// oracle bit-for-bit on the 100-host / 100k-request run — trajectory
+/// fingerprint, event-log fingerprint and event count — for every
+/// thread count, including `Parallel(1)`. The merge order at the epoch
+/// barriers, not thread scheduling, decides every cross-cell tie, so
+/// divergence at any n is a bug, not noise.
+#[test]
+fn parallel_engine_replays_the_serial_oracle_at_scale() {
+    use soda::sim::EngineKind;
+    use soda_bench::experiments::parallel::{self, ParallelConfig};
+
+    let cfg = ParallelConfig {
+        hosts: 100,
+        requests: 100_000,
+        seed: 1303,
+        cells: 8,
+        obs: true,
+        queue: QueueKind::Wheel,
+        ..ParallelConfig::default()
+    };
+    let serial = parallel::run(&cfg);
+    assert_eq!(serial.completed + serial.dropped, cfg.requests);
+    assert!(serial.remote_msgs > 0, "cross-cell traffic must flow");
+    for n in [1, 2, 4, 8] {
+        let par = parallel::run(&ParallelConfig {
+            engine: EngineKind::Parallel(n),
+            ..cfg
+        });
+        assert_eq!(
+            par.trajectory_fingerprint, serial.trajectory_fingerprint,
+            "Parallel({n}) must walk the serial oracle's exact trajectory"
+        );
+        assert_eq!(
+            par.event_fingerprint, serial.event_fingerprint,
+            "Parallel({n}) must write the serial oracle's exact event log"
+        );
+        assert_eq!(par.events, serial.events);
+        assert_eq!(par.remote_msgs, serial.remote_msgs);
+        assert_eq!(par.epochs, serial.epochs);
+    }
+}

@@ -8,12 +8,14 @@
 //! (the inventory, recovery beliefs) or be explicitly sorted before use
 //! (the dead-VSN sweep in `crash_host`).
 //!
-//! This test is the audit, made durable: it scans `soda-core`'s sources
-//! for hash-typed fields and for iteration over them, and fails when
-//! either appears outside the reviewed allow-lists below. Adding a new
-//! `HashMap` field or a new `.iter()`/`.values()`/`.retain()` call over
-//! one forces the author to re-audit (is the order observable?) and
-//! extend the list.
+//! This test is the audit, made durable: it scans the sources of
+//! `soda-core` and `soda-sim` (the engine and the parallel epoch
+//! machinery in `par.rs` are just as order-sensitive — a hash-ordered
+//! merge would break the `Parallel(n)` ≡ `Serial` gate) for hash-typed
+//! fields and for iteration over them, and fails when either appears
+//! outside the reviewed allow-lists below. Adding a new `HashMap` field
+//! or a new `.iter()`/`.values()`/`.retain()` call over one forces the
+//! author to re-audit (is the order observable?) and extend the list.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -57,26 +59,30 @@ const AUDITED_ITERATION_SITES: &[(&str, &str)] = &[
     ("world.rs", "dead.sort_unstable()"),
 ];
 
-fn core_sources() -> Vec<(String, String)> {
-    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/soda-core/src");
+fn scanned_sources() -> Vec<(String, String)> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let mut out = Vec::new();
-    let mut stack = vec![dir];
-    while let Some(d) = stack.pop() {
-        for entry in fs::read_dir(&d).expect("soda-core sources readable") {
-            let path: PathBuf = entry.expect("dir entry").path();
-            if path.is_dir() {
-                stack.push(path);
-            } else if path.extension().is_some_and(|e| e == "rs") {
-                let name = path
-                    .file_name()
-                    .expect("file name")
-                    .to_string_lossy()
-                    .into_owned();
-                out.push((name, fs::read_to_string(&path).expect("source reads")));
+    for crate_dir in ["crates/soda-core/src", "crates/soda-sim/src"] {
+        let before = out.len();
+        let mut stack = vec![root.join(crate_dir)];
+        while let Some(d) = stack.pop() {
+            for entry in fs::read_dir(&d).expect("crate sources readable") {
+                let path: PathBuf = entry.expect("dir entry").path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else if path.extension().is_some_and(|e| e == "rs") {
+                    let name = path
+                        .file_name()
+                        .expect("file name")
+                        .to_string_lossy()
+                        .into_owned();
+                    out.push((name, fs::read_to_string(&path).expect("source reads")));
+                }
             }
         }
+        assert!(out.len() > before + 3, "expected the {crate_dir} tree");
     }
-    assert!(out.len() >= 10, "expected the soda-core source tree");
+    assert!(out.len() >= 10, "expected both crates' source trees");
     out
 }
 
@@ -130,7 +136,7 @@ fn hash_bindings(code: &str) -> Vec<String> {
 #[test]
 fn hash_state_is_allow_listed() {
     let mut violations = Vec::new();
-    for (file, src) in core_sources() {
+    for (file, src) in scanned_sources() {
         for (i, line) in src.lines().enumerate() {
             for name in hash_bindings(code_of(line)) {
                 if !AUDITED_HASH_STATE.contains(&name.as_str()) {
@@ -166,7 +172,7 @@ fn hash_iteration_sites_are_audited() {
         }
     }
     let mut violations = Vec::new();
-    for (file, src) in core_sources() {
+    for (file, src) in scanned_sources() {
         for (i, line) in src.lines().enumerate() {
             let code = code_of(line);
             for p in &patterns {
@@ -195,7 +201,7 @@ fn hash_iteration_sites_are_audited() {
 /// grants behind.
 #[test]
 fn audited_sites_still_exist() {
-    let sources = core_sources();
+    let sources = scanned_sources();
     for &(file, frag) in AUDITED_ITERATION_SITES {
         let found = sources
             .iter()
