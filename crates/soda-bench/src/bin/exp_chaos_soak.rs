@@ -144,6 +144,8 @@ fn main() {
         threads: 1,
         epochs: 0,
         barrier_wait_secs: 0.0,
+        peak_rss_bytes: soda_bench::memtrack::peak_rss_bytes(),
+        bytes_per_host: 0,
     });
     // Single-seed runs keep the original object-shaped JSON; multi-seed
     // runs emit an array.

@@ -75,6 +75,8 @@ fn main() {
         threads: 1,
         epochs: 0,
         barrier_wait_secs: 0.0,
+        peak_rss_bytes: soda_bench::memtrack::peak_rss_bytes(),
+        bytes_per_host: 0,
     });
     if let Some(budget) = budget_secs {
         if indexed.wall_secs > budget {

@@ -72,6 +72,8 @@ fn main() {
         threads: 1,
         epochs: 0,
         barrier_wait_secs: 0.0,
+        peak_rss_bytes: soda_bench::memtrack::peak_rss_bytes(),
+        bytes_per_host: 0,
     });
     soda_bench::emit_json("exp_master_failover", &r);
 

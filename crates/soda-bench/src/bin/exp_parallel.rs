@@ -15,6 +15,17 @@
 //!                               replay the X-SCALE monolith, and the
 //!                               profiler must bucket every event.
 //!                               Exits non-zero on any failed check.
+//!   `exp_parallel skew [HOSTS REQUESTS CELLS T]` — adaptive-epoch-width
+//!                               study on a deliberately imbalanced
+//!                               partition (cell 0 carries 90% of the
+//!                               load): fixed vs adaptive policies, each
+//!                               under serial and `T` threads, with the
+//!                               per-worker barrier-wait histogram.
+//!                               Gates: each policy's parallel run must
+//!                               replay its own serial oracle, and
+//!                               adaptive must collapse the epoch count
+//!                               and cut total barrier wait vs fixed.
+//!                               Exits non-zero on any failure.
 //!   `exp_parallel HOSTS REQUESTS CELLS [T...]` — custom sweep over the
 //!                               given thread counts (default {1,2,4,8}).
 //!
@@ -26,6 +37,12 @@
 use soda_bench::experiments::parallel::{self, ParallelConfig, ParallelResult};
 use soda_bench::{BenchRecord, Table};
 
+/// Exact heap accounting for the bench records (see
+/// `soda_bench::memtrack`); the parallel engine's hot path is epoch
+/// batches, so two relaxed atomics per allocation are noise here.
+#[global_allocator]
+static GLOBAL: soda_bench::memtrack::TrackingAllocator = soda_bench::memtrack::TrackingAllocator;
+
 fn print_points(results: &[ParallelResult]) {
     let mut t = Table::new(
         "X-PARALLEL — epoch-synchronized speedup",
@@ -34,6 +51,7 @@ fn print_points(results: &[ParallelResult]) {
             "requests",
             "cells",
             "engine",
+            "policy",
             "epochs",
             "msgs",
             "barrier s",
@@ -44,7 +62,8 @@ fn print_points(results: &[ParallelResult]) {
         ],
     );
     // Speedup is relative to the serial point of the same (hosts,
-    // cells, requests) workload, where one exists in the result set.
+    // cells, requests, policy) workload, where one exists in the
+    // result set.
     let serial_wall = |r: &ParallelResult| {
         results
             .iter()
@@ -53,6 +72,7 @@ fn print_points(results: &[ParallelResult]) {
                     && s.hosts == r.hosts
                     && s.cells == r.cells
                     && s.requests == r.requests
+                    && s.policy == r.policy
             })
             .map(|s| s.wall_secs)
     };
@@ -65,6 +85,7 @@ fn print_points(results: &[ParallelResult]) {
             r.requests,
             r.cells,
             r.engine,
+            r.policy,
             r.epochs,
             r.remote_msgs,
             format!("{:.2}", r.barrier_wait_secs),
@@ -77,10 +98,39 @@ fn print_points(results: &[ParallelResult]) {
     t.print();
 }
 
+/// Per-worker barrier-wait histogram for the parallel points: where the
+/// idle time actually sat. With a skewed partition under fixed epochs
+/// the workers that own only light cells park for most of the run;
+/// adaptive widths should flatten these bars toward zero.
+fn print_barrier_histogram(results: &[ParallelResult]) {
+    for r in results {
+        if r.barrier_wait_by_worker.is_empty() {
+            continue;
+        }
+        let max = r
+            .barrier_wait_by_worker
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max);
+        println!(
+            "barrier wait by worker — {} {} cells={} ({} epochs, {:.2} s total):",
+            r.engine, r.policy, r.cells, r.epochs, r.barrier_wait_secs
+        );
+        for (w, secs) in r.barrier_wait_by_worker.iter().enumerate() {
+            let width = if max > 0.0 {
+                ((secs / max) * 40.0).round() as usize
+            } else {
+                0
+            };
+            println!("  w{w}: {:>8.2} s |{}", secs, "#".repeat(width));
+        }
+    }
+}
+
 /// Reduce sweep points to one aggregate trajectory record.
-fn bench_record(results: &[ParallelResult]) -> BenchRecord {
+fn bench_record(name: &str, results: &[ParallelResult]) -> BenchRecord {
     let mut it = results.iter().map(|r| BenchRecord {
-        experiment: "exp_parallel".to_string(),
+        experiment: name.to_string(),
         wall_secs: r.wall_secs,
         sim_secs: r.sim_secs,
         events: r.events,
@@ -96,6 +146,8 @@ fn bench_record(results: &[ParallelResult]) -> BenchRecord {
         threads: r.threads,
         epochs: r.epochs,
         barrier_wait_secs: r.barrier_wait_secs,
+        peak_rss_bytes: soda_bench::memtrack::peak_rss_bytes(),
+        bytes_per_host: soda_bench::memtrack::peak_rss_bytes() / u64::from(r.hosts.max(1)),
     });
     let mut acc = it.next().expect("at least one sweep point");
     for rec in it {
@@ -109,8 +161,8 @@ fn run_grid(grid: Vec<ParallelConfig>) -> Vec<ParallelResult> {
         .map(|cfg| {
             let r = parallel::run(cfg);
             println!(
-                "  {} cells={} {}: {:.2}s wall, {} epochs, {} remote msgs",
-                r.hosts, r.cells, r.engine, r.wall_secs, r.epochs, r.remote_msgs
+                "  {} cells={} {} {}: {:.2}s wall, {} epochs, {} remote msgs",
+                r.hosts, r.cells, r.engine, r.policy, r.wall_secs, r.epochs, r.remote_msgs
             );
             r
         })
@@ -134,12 +186,105 @@ fn main() {
         }
         print_points(&report.points);
         soda_bench::emit_json("exp_parallel", &report);
-        soda_bench::emit_bench(&bench_record(&report.points));
+        soda_bench::emit_bench(&bench_record("exp_parallel", &report.points));
         if !report.passed {
             eprintln!("FAIL: parallel engine diverged from the serial oracle");
             std::process::exit(1);
         }
         println!("gate passed: parallel-1 and parallel-{t} replay the serial oracle bit-for-bit");
+        return;
+    }
+
+    if args.first().map(String::as_str) == Some("skew") {
+        // Default size note: barrier wait has two components — parking
+        // for the straggler's per-epoch work (invariant to epoch width;
+        // only repartitioning the cells could remove it) and the
+        // per-crossing synchronization overhead, which scales with the
+        // epoch count. The default workload keeps the straggler real
+        // (cell 0 still carries 90% of the requests) but small enough
+        // that the crossing overhead is visible, so the adaptive
+        // policy's epoch collapse shows up in the measured totals
+        // instead of drowning in parking time.
+        let hosts: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1_000);
+        let requests: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(50_000);
+        let cells: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(8);
+        let threads: u32 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(8);
+        println!(
+            "skew study: {hosts} hosts, {requests} requests, {cells} cells \
+             (cell 0 carries 90% of the load), {threads} threads"
+        );
+        let results = run_grid(parallel::skew_grid(hosts, requests, cells, threads));
+        print_points(&results);
+        print_barrier_histogram(&results);
+        soda_bench::emit_json("exp_parallel_skew", &results);
+        soda_bench::emit_bench(&bench_record("exp_parallel_skew", &results));
+
+        // Gates. Each policy's parallel run must replay its own serial
+        // oracle (fixed and adaptive legitimately walk different
+        // trajectories — epoch boundaries shift engine seq numbers of
+        // same-time cross-cell arrivals — so the comparison never
+        // crosses policies), and adaptive must actually cut the idle
+        // time the skew creates.
+        let mut failed = false;
+        let find = |policy: &str, engine: &str| {
+            results
+                .iter()
+                .find(|r| r.policy == policy && r.engine == engine)
+                .unwrap_or_else(|| panic!("skew grid has a {policy}/{engine} point"))
+        };
+        for policy in ["fixed", "adaptive"] {
+            let serial = find(policy, "serial");
+            let par = results
+                .iter()
+                .find(|r| r.policy == policy && r.engine != "serial")
+                .expect("skew grid has a parallel point per policy");
+            let ok = serial.trajectory_fingerprint == par.trajectory_fingerprint
+                && serial.event_fingerprint == par.event_fingerprint
+                && serial.events == par.events;
+            println!(
+                "{} {policy}: parallel ≡ serial — traj {:#018x} vs {:#018x}",
+                if ok { "PASS" } else { "FAIL" },
+                par.trajectory_fingerprint,
+                serial.trajectory_fingerprint
+            );
+            failed |= !ok;
+        }
+        let fixed_par = results
+            .iter()
+            .find(|r| r.policy == "fixed" && r.engine != "serial")
+            .expect("fixed parallel point");
+        let adapt_par = results
+            .iter()
+            .find(|r| r.policy == "adaptive" && r.engine != "serial")
+            .expect("adaptive parallel point");
+        // Deterministic gate first: adaptive must collapse the epoch
+        // count (the light cells drain early and promise `MAX`, so
+        // their bounds stop dragging the straggler). Then the measured
+        // consequence: fewer crossings mean less synchronization
+        // overhead, so total barrier wait must drop too.
+        let epochs_ok = adapt_par.epochs < fixed_par.epochs;
+        println!(
+            "{} adaptive collapses epochs: {} < {}",
+            if epochs_ok { "PASS" } else { "FAIL" },
+            adapt_par.epochs,
+            fixed_par.epochs
+        );
+        failed |= !epochs_ok;
+        let cut_ok = adapt_par.barrier_wait_secs < fixed_par.barrier_wait_secs;
+        println!(
+            "{} adaptive cuts barrier wait: {:.2} s < {:.2} s ({} vs {} epochs)",
+            if cut_ok { "PASS" } else { "FAIL" },
+            adapt_par.barrier_wait_secs,
+            fixed_par.barrier_wait_secs,
+            adapt_par.epochs,
+            fixed_par.epochs
+        );
+        failed |= !cut_ok;
+        if failed {
+            eprintln!("FAIL: skew study gates did not hold");
+            std::process::exit(1);
+        }
+        println!("skew study passed: adaptive widths tame the imbalanced partition");
         return;
     }
 
@@ -175,5 +320,5 @@ fn main() {
     };
     print_points(&results);
     soda_bench::emit_json("exp_parallel", &results);
-    soda_bench::emit_bench(&bench_record(&results));
+    soda_bench::emit_bench(&bench_record("exp_parallel", &results));
 }

@@ -13,34 +13,60 @@
 //!                                       self-profiler on; prints the
 //!                                       per-event-kind wall-clock cost
 //!                                       table.
+//!   `exp_scale xl [WALL_S] [MEM_GB]`  — the utility-scale tier: 100,000
+//!                                       hosts × 1M VSNs × 10M requests on
+//!                                       a 16-cell control plane. Gates on
+//!                                       BOTH wall clock and peak heap;
+//!                                       exits non-zero over either budget.
+//!   `exp_scale xl-smoke [WALL_S] [MEM_GB]` — the CI-sized xl rehearsal:
+//!                                       10,000 hosts × 100k VSNs × 1M
+//!                                       requests, same shape and gates.
+//!   `exp_scale storage-gate`          — differential gate: the dense
+//!                                       arena backend must fingerprint
+//!                                       bit-identically to the ordered-map
+//!                                       oracle on a clean 100-host/100k
+//!                                       point AND on a full chaos soak
+//!                                       (slot reuse under crashes). Exits
+//!                                       non-zero on any divergence.
 //!
 //! All points are written to `results/exp_scale.json`, and the run's
-//! aggregate throughput trajectory to `results/BENCH_exp_scale.json`.
-//! Each grid point is an independent single-threaded simulation;
-//! parallelism lives only across points, so the per-point fingerprints
-//! are identical to a serial sweep's.
+//! aggregate throughput trajectory to `results/BENCH_exp_scale.json`
+//! (`exp_scale_xl` / `exp_scale_xl_smoke` for the xl tiers, so the
+//! committed baselines never mix). Each grid point is an independent
+//! single-threaded simulation; parallelism lives only across points, so
+//! the per-point fingerprints are identical to a serial sweep's.
 
+use soda_bench::experiments::chaos_soak;
 use soda_bench::experiments::scale::{self, ScaleConfig, ScaleResult};
 use soda_bench::{BenchRecord, SweepRunner, Table};
+use soda_core::shard::ControlPlaneKind;
+use soda_core::WorldStorageKind;
+
+/// Exact heap accounting for the memory gates: the xl tier budgets
+/// bytes, and `VmHWM` alone would smear allocator slack and thread
+/// stacks over the measurement.
+#[global_allocator]
+static GLOBAL: soda_bench::memtrack::TrackingAllocator = soda_bench::memtrack::TrackingAllocator;
 
 fn print_point(r: &ScaleResult) {
     println!(
-        "{:>5} hosts {:>8} req | {:>6} vsns | {:>9.2} s wall | {:>11.0} ev/s | peak q {:>8} | rss {:>8} kB | traj {:#018x}",
+        "{:>6} hosts {:>8} req | {:>7} vsns | {:>6} | {:>9.2} s wall | {:>11.0} ev/s | peak q {:>8} | heap {:>8.1} MB | traj {:#018x}",
         r.hosts,
         r.requests,
         r.vsns,
+        r.storage,
         r.wall_secs,
         r.events_per_sec,
         r.peak_queue_depth,
-        r.peak_rss_kb,
+        r.peak_rss_bytes as f64 / 1e6,
         r.trajectory_fingerprint,
     );
 }
 
 /// Reduce all grid points to one aggregate trajectory record.
-fn bench_record(results: &[ScaleResult]) -> BenchRecord {
+fn bench_record(name: &str, results: &[ScaleResult]) -> BenchRecord {
     let mut it = results.iter().map(|r| BenchRecord {
-        experiment: "exp_scale".to_string(),
+        experiment: name.to_string(),
         wall_secs: r.wall_secs,
         sim_secs: r.sim_secs,
         events: r.events,
@@ -56,6 +82,8 @@ fn bench_record(results: &[ScaleResult]) -> BenchRecord {
         threads: 1,
         epochs: 0,
         barrier_wait_secs: 0.0,
+        peak_rss_bytes: r.peak_rss_bytes,
+        bytes_per_host: r.peak_rss_bytes / u64::from(r.hosts.max(1)),
     });
     let mut acc = it.next().expect("at least one grid point");
     for rec in it {
@@ -81,21 +109,150 @@ fn print_profile(r: &ScaleResult) {
     t.print();
 }
 
+/// One xl-tier point with wall AND memory gates. The workload shape is
+/// the scale run's (5 services/host, deterministic 10 ms driver); only
+/// `instances` drops to 2 so the VSN count is exactly 10 × hosts.
+fn run_xl(tier: &str, hosts: u32, requests: u64, wall_budget: f64, mem_budget_gb: f64) {
+    let cfg = ScaleConfig {
+        hosts,
+        requests,
+        instances: 2,
+        kind: ControlPlaneKind::Sharded(16),
+        ..ScaleConfig::default()
+    };
+    println!(
+        "xl tier `{tier}`: {hosts} hosts, {} VSNs, {requests} requests, sharded-16, arena storage",
+        cfg.instances * hosts * scale::SERVICES_PER_HOST,
+    );
+    let r = scale::run(&cfg);
+    print_point(&r);
+    println!(
+        "heap peak {:.2} GB ({} bytes, {} bytes/host) | completed {} dropped {}",
+        r.peak_rss_bytes as f64 / 1e9,
+        r.peak_rss_bytes,
+        r.peak_rss_bytes / u64::from(hosts),
+        r.completed,
+        r.dropped,
+    );
+    let name = format!("exp_scale_{}", tier.replace('-', "_"));
+    soda_bench::emit_json(&name, &r);
+    soda_bench::emit_bench(&bench_record(&name, std::slice::from_ref(&r)));
+    let mut failed = false;
+    if r.wall_secs > wall_budget {
+        eprintln!(
+            "FAIL: xl point took {:.2} s (budget {wall_budget:.2} s)",
+            r.wall_secs
+        );
+        failed = true;
+    }
+    let mem_budget = (mem_budget_gb * 1e9) as u64;
+    if r.peak_rss_bytes > mem_budget {
+        eprintln!(
+            "FAIL: xl point peaked at {:.2} GB heap (budget {mem_budget_gb:.2} GB)",
+            r.peak_rss_bytes as f64 / 1e9
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "within budgets: {:.2} s <= {wall_budget:.2} s, {:.2} GB <= {mem_budget_gb:.2} GB",
+        r.wall_secs,
+        r.peak_rss_bytes as f64 / 1e9
+    );
+}
+
+/// The arena-vs-map differential gate: a clean scale point and a full
+/// chaos soak, each run on both backends, must fingerprint identically.
+fn run_storage_gate() {
+    let mut failed = false;
+
+    let cfg = ScaleConfig {
+        hosts: 100,
+        requests: 100_000,
+        seed: 1303,
+        obs: true,
+        storage: WorldStorageKind::Arena,
+        ..ScaleConfig::default()
+    };
+    let arena = scale::run(&cfg);
+    let map = scale::run(&ScaleConfig {
+        storage: WorldStorageKind::Map,
+        ..cfg
+    });
+    print_point(&arena);
+    print_point(&map);
+    let scale_ok = arena.trajectory_fingerprint == map.trajectory_fingerprint
+        && arena.event_fingerprint == map.event_fingerprint
+        && arena.events == map.events;
+    println!(
+        "{} scale point: arena ≡ map — traj {:#018x} vs {:#018x}, events {} vs {}",
+        if scale_ok { "PASS" } else { "FAIL" },
+        arena.trajectory_fingerprint,
+        map.trajectory_fingerprint,
+        arena.events,
+        map.events
+    );
+    failed |= !scale_ok;
+
+    // The soak churns slots — crash, scrub, re-place — so generation
+    // guards and free-list reuse face real traffic, not just growth.
+    let (soak_arena, _) = chaos_soak::run_with_storage(7, WorldStorageKind::Arena);
+    let (soak_map, _) = chaos_soak::run_with_storage(7, WorldStorageKind::Map);
+    let soak_ok = soak_arena == soak_map;
+    println!(
+        "{} chaos soak: arena ≡ map — fp {:#018x} vs {:#018x}, events {} vs {}",
+        if soak_ok { "PASS" } else { "FAIL" },
+        soak_arena.event_fingerprint,
+        soak_map.event_fingerprint,
+        soak_arena.events,
+        soak_map.events
+    );
+    failed |= !soak_ok;
+
+    soda_bench::emit_json("exp_scale_storage_gate", &vec![arena, map]);
+    if failed {
+        eprintln!("FAIL: arena storage diverged from the map oracle");
+        std::process::exit(1);
+    }
+    println!("gate passed: arena storage is the map oracle, clean and under chaos");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     println!("== X-SCALE — hot-path throughput sweep ==");
-    if args.first().map(String::as_str) == Some("profile") {
-        let cfg = ScaleConfig {
-            hosts: args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10),
-            requests: args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100_000),
-            profile: true,
-            ..ScaleConfig::default()
-        };
-        let r = scale::run(&cfg);
-        print_point(&r);
-        print_profile(&r);
-        soda_bench::emit_json("exp_scale_profile", &r);
-        return;
+    match args.first().map(String::as_str) {
+        Some("profile") => {
+            let cfg = ScaleConfig {
+                hosts: args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10),
+                requests: args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100_000),
+                profile: true,
+                ..ScaleConfig::default()
+            };
+            let r = scale::run(&cfg);
+            print_point(&r);
+            print_profile(&r);
+            soda_bench::emit_json("exp_scale_profile", &r);
+            return;
+        }
+        Some("xl") => {
+            let wall = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(600.0);
+            let mem = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(16.0);
+            run_xl("xl", 100_000, 10_000_000, wall, mem);
+            return;
+        }
+        Some("xl-smoke") => {
+            let wall = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(120.0);
+            let mem = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4.0);
+            run_xl("xl-smoke", 10_000, 1_000_000, wall, mem);
+            return;
+        }
+        Some("storage-gate") => {
+            run_storage_gate();
+            return;
+        }
+        _ => {}
     }
     let results: Vec<ScaleResult>;
     let budget_secs: Option<f64> = args.get(2).and_then(|s| s.parse().ok());
@@ -143,7 +300,7 @@ fn main() {
         print_point(&results[0]);
     }
     soda_bench::emit_json("exp_scale", &results);
-    soda_bench::emit_bench(&bench_record(&results));
+    soda_bench::emit_bench(&bench_record("exp_scale", &results));
     if let Some(budget) = budget_secs {
         let worst = results.iter().map(|r| r.wall_secs).fold(0.0f64, f64::max);
         if worst > budget {

@@ -62,6 +62,8 @@ fn bench_record(results: &[ScaleResult]) -> BenchRecord {
         threads: 1,
         epochs: 0,
         barrier_wait_secs: 0.0,
+        peak_rss_bytes: r.peak_rss_bytes,
+        bytes_per_host: r.peak_rss_bytes / u64::from(r.hosts.max(1)),
     });
     let mut acc = it.next().expect("at least one sweep point");
     for rec in it {

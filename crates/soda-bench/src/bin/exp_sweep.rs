@@ -265,6 +265,8 @@ fn main() {
         threads: 1,
         epochs: 0,
         barrier_wait_secs: 0.0,
+        peak_rss_bytes: soda_bench::memtrack::peak_rss_bytes(),
+        bytes_per_host: 0,
     });
 
     if !pinned.identical {

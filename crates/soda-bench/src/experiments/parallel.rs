@@ -35,8 +35,8 @@ use soda_hup::daemon::SodaDaemon;
 use soda_hup::host::{HostId, HupHost};
 use soda_net::pool::IpPool;
 use soda_sim::{
-    run_cells, ChaosProfile, Engine, EngineKind, FaultPlan, ProfileEntry, QueueKind, SimDuration,
-    SimTime,
+    run_cells_with, ChaosProfile, Engine, EngineKind, EpochPolicy, FaultPlan, ProfileEntry,
+    QueueKind, SimDuration, SimTime,
 };
 use soda_vmm::rootfs::RootFsCatalog;
 use soda_vmm::sysservices::StartupClass;
@@ -76,6 +76,14 @@ pub struct ParallelConfig {
     pub queue: QueueKind,
     /// Inject the per-cell chaos plan (host crashes + self-healing).
     pub chaos: bool,
+    /// Epoch-width policy (fixed global bound vs per-cell adaptive).
+    /// The two policies are separately deterministic; gate Serial vs
+    /// Parallel within one policy, never across.
+    pub policy: EpochPolicy,
+    /// Skew the request split: cell 0 carries ~90% of the budget, the
+    /// rest is balanced over the other cells. The straggler workload
+    /// the adaptive policy exists for.
+    pub skew: bool,
 }
 
 impl Default for ParallelConfig {
@@ -90,6 +98,8 @@ impl Default for ParallelConfig {
             profile: false,
             queue: QueueKind::default(),
             chaos: false,
+            policy: EpochPolicy::Fixed,
+            skew: false,
         }
     }
 }
@@ -155,12 +165,19 @@ pub struct ParallelResult {
     pub queue: String,
     /// Events executed, summed over cells.
     pub events: u64,
+    /// Epoch-width policy label (`"fixed"` / `"adaptive"`).
+    pub policy: String,
+    /// Whether the skewed request split was used.
+    pub skew: bool,
     /// Epoch barriers crossed.
     pub epochs: u64,
     /// Cross-cell events delivered through the barriers.
     pub remote_msgs: u64,
     /// Total wall-clock the workers spent parked at barriers, seconds.
     pub barrier_wait_secs: f64,
+    /// Barrier wait split by worker (cell `k` runs on worker
+    /// `k % threads`, so with `threads == cells` this is per cell).
+    pub barrier_wait_by_worker: Vec<f64>,
     /// Host wall-clock for the whole run, seconds.
     pub wall_secs: f64,
     /// Virtual time simulated, seconds.
@@ -329,9 +346,22 @@ impl Driver {
     }
 }
 
-/// Per-cell request budget: the canonical balanced split.
-fn cell_requests(requests: u64, cells: u32, k: u32) -> u64 {
-    requests / cells as u64 + u64::from((k as u64) < requests % cells as u64)
+/// Per-cell request budget: the canonical balanced split, or — under
+/// `skew` — a deliberately imbalanced one where cell 0 carries ~90% of
+/// the load and the rest is balanced over the other cells. The light
+/// cells exhaust their budgets early and promise `MAX`, which is
+/// exactly the straggler shape [`EpochPolicy::Adaptive`] collapses.
+fn cell_requests(requests: u64, cells: u32, k: u32, skew: bool) -> u64 {
+    if !skew || cells <= 1 {
+        return requests / cells as u64 + u64::from((k as u64) < requests % cells as u64);
+    }
+    let heavy = requests / 10 * 9;
+    if k == 0 {
+        return heavy;
+    }
+    let rest = requests - heavy;
+    let others = cells as u64 - 1;
+    rest / others + u64::from((k as u64 - 1) < rest % others)
 }
 
 /// Build cell `k`'s engine: its slice of the host roster (global host
@@ -364,7 +394,7 @@ fn build_cell(k: u32, map: &ShardMap, cfg: &ParallelConfig) -> Engine<SodaWorld>
     engine
         .state_mut()
         .configure_parallel_cell(k, cfg.cells, ShardPlane::DEFAULT_LATENCY);
-    let budget = cell_requests(cfg.requests, cfg.cells, k);
+    let budget = cell_requests(cfg.requests, cfg.cells, k, cfg.skew);
     engine.reserve_events(
         usize::try_from(budget / 4)
             .unwrap_or(usize::MAX)
@@ -511,8 +541,9 @@ pub fn run(cfg: &ParallelConfig) -> ParallelResult {
             }
         })
         .collect();
-    let (outcomes, stats) = run_cells(
+    let (outcomes, stats) = run_cells_with(
         cfg.engine,
+        cfg.policy,
         ShardPlane::DEFAULT_LATENCY,
         horizon,
         builders,
@@ -571,9 +602,12 @@ pub fn run(cfg: &ParallelConfig) -> ParallelResult {
             QueueKind::Heap => "heap".to_string(),
         },
         events,
+        policy: cfg.policy.label().to_string(),
+        skew: cfg.skew,
         epochs: stats.epochs,
         remote_msgs: stats.remote_msgs,
         barrier_wait_secs: stats.barrier_wait_secs,
+        barrier_wait_by_worker: stats.barrier_wait_by_worker,
         wall_secs,
         sim_secs: horizon.as_secs_f64(),
         events_per_sec: events as f64 / wall_secs.max(1e-9),
@@ -782,6 +816,43 @@ pub fn gate(threads: u32) -> ParallelGateReport {
         format!("{} completed", chaos_serial.completed),
     );
 
+    // Tier 4: the adaptive epoch policy is a second deterministic pair.
+    // Its trajectory may legitimately differ from Fixed (epoch
+    // boundaries shift which engine sequence numbers same-time
+    // cross-cell arrivals get), so the gate is within-policy only.
+    let adapt = ParallelConfig {
+        policy: EpochPolicy::Adaptive,
+        ..multi
+    };
+    let adapt_serial = run(&adapt);
+    let adapt_par = run(&ParallelConfig {
+        engine: EngineKind::Parallel(threads),
+        ..adapt
+    });
+    check(
+        &mut checks,
+        "adaptive policy: parallel ≡ serial",
+        adapt_par.trajectory_fingerprint == adapt_serial.trajectory_fingerprint
+            && adapt_par.event_fingerprint == adapt_serial.event_fingerprint
+            && adapt_par.events == adapt_serial.events,
+        format!(
+            "trajectory {:#018x} vs {:#018x}, events {} vs {}",
+            adapt_serial.trajectory_fingerprint,
+            adapt_par.trajectory_fingerprint,
+            adapt_serial.events,
+            adapt_par.events
+        ),
+    );
+    check(
+        &mut checks,
+        "adaptive policy conserves requests",
+        adapt_par.completed + adapt_par.dropped == multi.requests,
+        format!(
+            "completed {} + dropped {} vs submitted {}",
+            adapt_par.completed, adapt_par.dropped, multi.requests
+        ),
+    );
+
     let passed = checks.iter().all(|c| c.passed);
     ParallelGateReport {
         threads,
@@ -809,6 +880,39 @@ pub fn speedup_grid(hosts: u32, requests: u64, cells: u32, threads: &[u32]) -> V
         ..base
     }));
     grid
+}
+
+/// The skew demonstration grid: one straggler workload (cell 0 carries
+/// ~90% of the requests) under both epoch policies, each as its serial
+/// oracle plus a `Parallel(threads)` run. The parallel pair shows the
+/// `barrier_wait_secs` gap; the serial runs gate each policy's
+/// determinism.
+pub fn skew_grid(hosts: u32, requests: u64, cells: u32, threads: u32) -> Vec<ParallelConfig> {
+    let base = ParallelConfig {
+        hosts,
+        requests,
+        seed: 1303,
+        cells,
+        skew: true,
+        ..ParallelConfig::default()
+    };
+    [EpochPolicy::Fixed, EpochPolicy::Adaptive]
+        .into_iter()
+        .flat_map(|policy| {
+            [
+                ParallelConfig {
+                    policy,
+                    engine: EngineKind::Serial,
+                    ..base
+                },
+                ParallelConfig {
+                    policy,
+                    engine: EngineKind::Parallel(threads),
+                    ..base
+                },
+            ]
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -907,17 +1011,72 @@ mod tests {
     #[test]
     fn cell_request_split_is_balanced_and_total() {
         for (req, cells) in [(10u64, 3u32), (7, 7), (1_000_003, 8)] {
-            let total: u64 = (0..cells).map(|k| cell_requests(req, cells, k)).sum();
+            let total: u64 = (0..cells)
+                .map(|k| cell_requests(req, cells, k, false))
+                .sum();
             assert_eq!(total, req);
             let mn = (0..cells)
-                .map(|k| cell_requests(req, cells, k))
+                .map(|k| cell_requests(req, cells, k, false))
                 .min()
                 .unwrap();
             let mx = (0..cells)
-                .map(|k| cell_requests(req, cells, k))
+                .map(|k| cell_requests(req, cells, k, false))
                 .max()
                 .unwrap();
             assert!(mx - mn <= 1);
         }
+    }
+
+    #[test]
+    fn skewed_split_is_total_and_heavy_on_cell_zero() {
+        for (req, cells) in [(10_000u64, 4u32), (1_000_003, 8), (17, 3)] {
+            let total: u64 = (0..cells).map(|k| cell_requests(req, cells, k, true)).sum();
+            assert_eq!(total, req);
+            let heavy = cell_requests(req, cells, 0, true);
+            let light_max = (1..cells)
+                .map(|k| cell_requests(req, cells, k, true))
+                .max()
+                .unwrap();
+            assert!(heavy >= light_max, "cell 0 carries the straggler load");
+        }
+        // One cell: skew degenerates to the balanced split.
+        assert_eq!(cell_requests(100, 1, 0, true), 100);
+    }
+
+    #[test]
+    fn adaptive_policy_replays_its_serial_oracle_and_cuts_epochs() {
+        let skewed = ParallelConfig {
+            hosts: 4,
+            requests: 4_000,
+            seed: 23,
+            cells: 4,
+            skew: true,
+            obs: true,
+            ..ParallelConfig::default()
+        };
+        let fixed = run(&skewed);
+        let adapt_cfg = ParallelConfig {
+            policy: EpochPolicy::Adaptive,
+            ..skewed
+        };
+        let adapt = run(&adapt_cfg);
+        let adapt_par = run(&ParallelConfig {
+            engine: EngineKind::Parallel(4),
+            ..adapt_cfg
+        });
+        assert_eq!(
+            adapt_par.trajectory_fingerprint, adapt.trajectory_fingerprint,
+            "adaptive parallel diverged from the adaptive serial oracle"
+        );
+        assert_eq!(adapt_par.event_fingerprint, adapt.event_fingerprint);
+        assert_eq!(adapt_par.events, adapt.events);
+        assert_eq!(adapt.completed + adapt.dropped, skewed.requests);
+        assert!(
+            adapt.epochs < fixed.epochs,
+            "adaptive should cross fewer barriers under skew: {} vs {}",
+            adapt.epochs,
+            fixed.epochs
+        );
+        assert_eq!(adapt_par.barrier_wait_by_worker.len(), 4);
     }
 }

@@ -23,9 +23,11 @@ use serde::Serialize;
 use soda_core::service::{ServiceId, ServiceSpec};
 use soda_core::shard::ControlPlaneKind;
 use soda_core::world::{create_service_driven, submit_request, SodaWorld};
+use soda_core::WorldStorageKind;
 use soda_hostos::resources::ResourceVector;
 use soda_hup::daemon::SodaDaemon;
 use soda_hup::host::{HostId, HupHost};
+use soda_net::addr::Ipv4Addr;
 use soda_net::pool::IpPool;
 use soda_sim::{Engine, QueueKind, SimDuration, SimTime};
 use soda_vmm::rootfs::RootFsCatalog;
@@ -70,6 +72,14 @@ pub struct ScaleConfig {
     /// placement cells coordinated by messages. The differential suite
     /// requires `Sharded(1)` to fingerprint identically to `Monolith`.
     pub kind: ControlPlaneKind,
+    /// VSN instances per service (4 in the canonical grid — 20 VSNs per
+    /// host; the xl tier runs 2 so 100k hosts carry exactly 1M VSNs
+    /// without changing the per-service spec shape).
+    pub instances: u32,
+    /// World-state storage backend. `Arena` (the default) is the dense
+    /// slab data plane; `Map` is the ordered-map oracle the
+    /// differential suite replays against.
+    pub storage: WorldStorageKind,
 }
 
 impl Default for ScaleConfig {
@@ -82,6 +92,8 @@ impl Default for ScaleConfig {
             profile: false,
             queue: QueueKind::default(),
             kind: ControlPlaneKind::Monolith,
+            instances: 4,
+            storage: WorldStorageKind::default(),
         }
     }
 }
@@ -107,6 +119,8 @@ pub struct ScaleResult {
     pub queue: String,
     /// Control plane the run used (`"monolith"` / `"sharded-N"`).
     pub control_plane: String,
+    /// Storage backend the run used (`"arena"` / `"map"`).
+    pub storage: String,
     /// Placement cells in the control plane (1 for the monolith).
     pub shards: u32,
     /// Creations re-placed over the whole fleet after their home cell
@@ -140,21 +154,41 @@ pub struct ScaleResult {
     /// wide and monotonic, so within one sweep only the largest grid
     /// point's value is meaningful.
     pub peak_rss_kb: u64,
+    /// Peak heap bytes (counting-allocator mark when the binary
+    /// installs one, `VmHWM` otherwise — see `soda_bench::memtrack`).
+    /// Process-wide and monotonic like `peak_rss_kb`.
+    pub peak_rss_bytes: u64,
     /// FNV-1a over completed-request tuples + the drop count.
     pub trajectory_fingerprint: u64,
     /// FNV-1a over the rendered event log (0 with `obs` off).
     pub event_fingerprint: u64,
 }
 
-fn spec(name: &str) -> ServiceSpec {
+fn spec(name: &str, instances: u32) -> ServiceSpec {
     ServiceSpec {
         name: name.into(),
         image: RootFsCatalog::new().base_1_0(),
         required_services: vec!["network", "syslogd"],
         app_class: StartupClass::Light,
-        instances: 4,
+        instances,
         machine: M_SCALE,
         port: 8080,
+    }
+}
+
+/// Per-host IP pool base. Fleets up to 60,000 hosts keep the historic
+/// `10.{i/250}.{i%250}.0` dotted formula verbatim — the committed
+/// fingerprints depend on these addresses — and larger fleets (the xl
+/// tier) switch to flat arithmetic in 10/8: host `i` owns the 32
+/// addresses starting at `10.0.0.0 + i·64`. The formulas never mix
+/// within one run, and 100,000 × 64 stays far inside the /8.
+pub fn host_ip(i: u32, hosts: u32) -> Ipv4Addr {
+    if hosts <= 60_000 {
+        format!("10.{}.{}.0", i / 250, i % 250)
+            .parse()
+            .expect("valid dotted quad below 60k hosts")
+    } else {
+        Ipv4Addr(0x0a00_0000 + i * 64)
     }
 }
 
@@ -193,21 +227,19 @@ fn peak_rss_kb() -> u64 {
 
 /// Run one grid point.
 pub fn run(cfg: &ScaleConfig) -> ScaleResult {
+    assert!(cfg.instances >= 1, "services need at least one instance");
     let wall_start = std::time::Instant::now();
     let daemons: Vec<SodaDaemon> = (1..=cfg.hosts)
         .map(|i| {
             SodaDaemon::new(HupHost::seattle(
                 HostId(i),
-                IpPool::new(
-                    format!("10.{}.{}.0", i / 250, i % 250)
-                        .parse()
-                        .expect("valid"),
-                    32,
-                ),
+                IpPool::new(host_ip(i, cfg.hosts), 32),
             ))
         })
         .collect();
-    let mut engine = Engine::with_seed_queue(SodaWorld::new(daemons), cfg.seed, cfg.queue);
+    let mut world = SodaWorld::new(daemons);
+    world.configure_storage(cfg.storage);
+    let mut engine = Engine::with_seed_queue(world, cfg.seed, cfg.queue);
     engine.state_mut().configure_shards(cfg.kind);
     // Workload-derived capacity hint: the queue high-water mark tracks the
     // in-flight request population, itself bounded by the issue batch size
@@ -230,8 +262,12 @@ pub fn run(cfg: &ScaleConfig) -> ScaleResult {
     let n_services = cfg.hosts * SERVICES_PER_HOST;
     let services: Vec<ServiceId> = (0..n_services)
         .map(|s| {
-            create_service_driven(&mut engine, spec(&format!("svc{s}")), "scaleco")
-                .expect("fleet sized to admit every service")
+            create_service_driven(
+                &mut engine,
+                spec(&format!("svc{s}"), cfg.instances),
+                "scaleco",
+            )
+            .expect("fleet sized to admit every service")
         })
         .collect();
     // Image downloads + bootstraps; ~20 concurrent downloads per NIC.
@@ -242,7 +278,7 @@ pub fn run(cfg: &ScaleConfig) -> ScaleResult {
         n_services as usize,
         "every creation completes within the priming horizon"
     );
-    let vsns = 4 * n_services;
+    let vsns = cfg.instances * n_services;
 
     // Request phase: a deterministic driver issues a fixed batch every
     // 10 ms, round-robin over services, until the budget is spent.
@@ -330,6 +366,7 @@ pub fn run(cfg: &ScaleConfig) -> ScaleResult {
             QueueKind::Heap => "heap".to_string(),
         },
         control_plane: cfg.kind.label(),
+        storage: cfg.storage.label().to_string(),
         shards: w.shard_count(),
         shard_spills: w.shards.spills,
         shard_msgs_sent: w.shards.msgs_sent,
@@ -344,6 +381,7 @@ pub fn run(cfg: &ScaleConfig) -> ScaleResult {
         peak_open_requests: w.peak_open_requests,
         profile,
         peak_rss_kb: peak_rss_kb(),
+        peak_rss_bytes: crate::memtrack::peak_rss_bytes(),
         trajectory_fingerprint,
         event_fingerprint,
     }
@@ -455,6 +493,46 @@ mod tests {
         assert_eq!(r.vsns, 4 * r.services);
         assert_eq!(r.completed + r.dropped, cfg.requests);
         assert_eq!(r.dropped, 0, "unsaturated fleet drops nothing");
+    }
+
+    /// The dense arena backend IS the ordered-map oracle: a full scale
+    /// run on each must fingerprint (trajectory AND event log)
+    /// identically, event for event.
+    #[test]
+    fn arena_and_map_storage_fingerprint_identically() {
+        let cfg = ScaleConfig {
+            hosts: 4,
+            requests: 2_000,
+            seed: 23,
+            obs: true,
+            storage: WorldStorageKind::Arena,
+            ..ScaleConfig::default()
+        };
+        let arena = run(&cfg);
+        let map = run(&ScaleConfig {
+            storage: WorldStorageKind::Map,
+            ..cfg
+        });
+        assert_eq!(arena.storage, "arena");
+        assert_eq!(map.storage, "map");
+        assert_eq!(arena.trajectory_fingerprint, map.trajectory_fingerprint);
+        assert_eq!(arena.event_fingerprint, map.event_fingerprint);
+        assert_eq!(arena.events, map.events);
+    }
+
+    /// The xl addressing formula stays verbatim-compatible below the
+    /// 60k-host threshold and injective (with room for a /27 per host)
+    /// above it.
+    #[test]
+    fn host_ip_formulas_agree_on_ranges() {
+        assert_eq!(host_ip(1, 100), "10.0.1.0".parse().unwrap());
+        assert_eq!(host_ip(251, 10_000), "10.1.1.0".parse().unwrap());
+        assert_eq!(host_ip(60_000, 60_000), "10.240.0.0".parse().unwrap());
+        assert_eq!(host_ip(1, 100_000), Ipv4Addr(0x0a00_0000 + 64));
+        assert_eq!(
+            host_ip(100_000, 100_000),
+            Ipv4Addr(0x0a00_0000 + 100_000 * 64)
+        );
     }
 
     /// The wheel and the heap are trajectory-identical end to end, not

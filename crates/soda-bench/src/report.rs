@@ -157,6 +157,14 @@ pub struct BenchRecord {
     /// Total wall-clock the workers spent parked at epoch barriers,
     /// seconds (0 for serial experiments).
     pub barrier_wait_secs: f64,
+    /// Peak heap bytes live at once (counting-allocator high-water
+    /// mark; falls back to `VmHWM` when the experiment doesn't install
+    /// the tracking allocator, 0 where neither is available).
+    pub peak_rss_bytes: u64,
+    /// `peak_rss_bytes / hosts` for the experiment's fleet size — the
+    /// per-host memory footprint the xl scale budget is written
+    /// against (0 when the experiment has no host fleet).
+    pub bytes_per_host: u64,
 }
 
 impl BenchRecord {
@@ -185,6 +193,13 @@ impl BenchRecord {
         self.threads = self.threads.max(other.threads);
         self.epochs += other.epochs;
         self.barrier_wait_secs += other.barrier_wait_secs;
+        // Memory peaks don't sum across points of one process — the
+        // folded record keeps the single worst point's pair, so
+        // `bytes_per_host` stays consistent with the peak it came from.
+        if other.peak_rss_bytes > self.peak_rss_bytes {
+            self.peak_rss_bytes = other.peak_rss_bytes;
+            self.bytes_per_host = other.bytes_per_host;
+        }
         self.events_per_sec = self.events as f64 / self.wall_secs.max(1e-9);
         self.requests_per_sec = self.requests as f64 / self.wall_secs.max(1e-9);
     }
@@ -261,6 +276,8 @@ mod tests {
             threads: 1,
             epochs: 0,
             barrier_wait_secs: 0.0,
+            peak_rss_bytes: 0,
+            bytes_per_host: 0,
         };
         let b = BenchRecord {
             wall_secs: 3.0,
@@ -310,6 +327,8 @@ mod tests {
             threads: 1,
             epochs: 0,
             barrier_wait_secs: 0.0,
+            peak_rss_bytes: 0,
+            bytes_per_host: 0,
         };
         // Slow point: 9 s of wall for the same event count. A naive
         // rate average would say ~5,555 ev/s; the folded truth is
@@ -350,6 +369,8 @@ mod tests {
             threads: 1,
             epochs: 0,
             barrier_wait_secs: 0.0,
+            peak_rss_bytes: 0,
+            bytes_per_host: 0,
         };
         // Count-weighted mean: 3 takeovers at 2 s + 1 takeover at 10 s
         // fold to (3·2 + 1·10) / 4 = 4 s.
@@ -412,6 +433,8 @@ mod tests {
             threads: 1,
             epochs: 0,
             barrier_wait_secs: 0.0,
+            peak_rss_bytes: 0,
+            bytes_per_host: 0,
         };
         let mut a = BenchRecord {
             threads: 4,
@@ -444,6 +467,64 @@ mod tests {
         assert!((c.barrier_wait_secs - 0.125).abs() < 1e-12);
     }
 
+    /// Memory peaks fold as a *pair*: the folded record reports the
+    /// single worst point's `(peak_rss_bytes, bytes_per_host)`, never a
+    /// sum (points share one process) and never a mixed pair (a small
+    /// fleet's bytes-per-host against a big fleet's peak would be
+    /// nonsense).
+    #[test]
+    fn bench_record_folds_memory_as_the_worst_points_pair() {
+        let base = BenchRecord {
+            experiment: "exp_unit".into(),
+            wall_secs: 1.0,
+            sim_secs: 1.0,
+            events: 1,
+            events_per_sec: 1.0,
+            requests: 1,
+            requests_per_sec: 1.0,
+            peak_queue_depth: 1,
+            peak_live_flows: 1,
+            peak_open_requests: 1,
+            master_failovers: 0,
+            mean_failover_secs: 0.0,
+            max_journal_replay: 0,
+            threads: 1,
+            epochs: 0,
+            barrier_wait_secs: 0.0,
+            peak_rss_bytes: 0,
+            bytes_per_host: 0,
+        };
+        let mut a = BenchRecord {
+            peak_rss_bytes: 1_000_000,
+            bytes_per_host: 100,
+            ..base.clone()
+        };
+        let b = BenchRecord {
+            peak_rss_bytes: 5_000_000,
+            bytes_per_host: 50,
+            ..base.clone()
+        };
+        a.fold(&b);
+        assert_eq!(a.peak_rss_bytes, 5_000_000, "peak takes the larger point");
+        assert_eq!(a.bytes_per_host, 50, "per-host rides with its own peak");
+
+        // A smaller point leaves the pair alone.
+        let c = BenchRecord {
+            peak_rss_bytes: 10,
+            bytes_per_host: 9_999,
+            ..base.clone()
+        };
+        a.fold(&c);
+        assert_eq!(a.peak_rss_bytes, 5_000_000);
+        assert_eq!(a.bytes_per_host, 50);
+
+        // Memory-free points fold to zero, not garbage.
+        let mut d = base.clone();
+        d.fold(&base);
+        assert_eq!(d.peak_rss_bytes, 0);
+        assert_eq!(d.bytes_per_host, 0);
+    }
+
     #[test]
     fn bench_json_lands_under_bench_prefix() {
         let _guard = ENV_LOCK.lock().unwrap();
@@ -466,6 +547,8 @@ mod tests {
             threads: 1,
             epochs: 0,
             barrier_wait_secs: 0.0,
+            peak_rss_bytes: 0,
+            bytes_per_host: 0,
         };
         let path = write_bench_json(&rec).unwrap();
         std::env::remove_var("SODA_RESULTS_DIR");

@@ -8,10 +8,17 @@
 //! maintenance. What the scale-out run needs on top is the VSN
 //! dimension: node crashes must cancel only that node's response flows
 //! without scanning every in-flight flow in the utility. A secondary
-//! `by_vsn` index provides that; its `BTreeSet<(HostId, FlowId)>`
-//! iterates in exactly the order the old full scan produced, so
-//! cancellation trajectories are bit-identical (see DESIGN.md §8 and
-//! `tests/scale_oracle.rs` for the differential proof).
+//! `by_vsn` index provides that; its key set iterates in exactly the
+//! order the old full scan produced, so cancellation trajectories are
+//! bit-identical (see DESIGN.md §8 and `tests/scale_oracle.rs` for the
+//! differential proof).
+//!
+//! Keys are packed: `(host << 32) | flow` in one `u64`, so the tree
+//! compares a single integer instead of a two-field tuple and each
+//! entry sheds eight key bytes. Packing preserves host-major order
+//! exactly because per-host flow ids stay below 2³² (asserted on
+//! insert) — the numeric order of the packed word IS the lexicographic
+//! `(HostId, FlowId)` order.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -19,14 +26,26 @@ use soda_hup::host::HostId;
 use soda_net::link::FlowId;
 use soda_vmm::vsn::VsnId;
 
+/// Pack `(host, flow)` into one order-preserving `u64` key.
+fn pack(host: HostId, flow: FlowId) -> u64 {
+    assert!(flow.0 < (1 << 32), "per-host flow ids stay below 2^32");
+    (u64::from(host.0) << 32) | flow.0
+}
+
+/// Recover `(host, flow)` from a packed key.
+fn unpack(key: u64) -> (HostId, FlowId) {
+    (HostId((key >> 32) as u32), FlowId(key & 0xffff_ffff))
+}
+
 /// In-flight flows, indexed for O(flows-on-target) cancellation by host
 /// or by VSN. `P` is the per-flow payload (the world's `FlowPurpose`).
 #[derive(Debug, Clone)]
 pub struct InflightTable<P> {
-    /// Source of truth, host-major: a host's flows are one key range.
-    flows: BTreeMap<(HostId, FlowId), (Option<VsnId>, P)>,
+    /// Source of truth, host-major: a host's flows are one key range of
+    /// the packed `(host << 32) | flow` key space.
+    flows: BTreeMap<u64, (Option<VsnId>, P)>,
     /// Secondary index: response flows by the VSN serving them.
-    by_vsn: BTreeMap<VsnId, BTreeSet<(HostId, FlowId)>>,
+    by_vsn: BTreeMap<VsnId, BTreeSet<u64>>,
 }
 
 impl<P> Default for InflightTable<P> {
@@ -58,21 +77,23 @@ impl<P> InflightTable<P> {
     /// cancel (response flows); downloads and floods pass `None` and are
     /// reachable only through their host.
     pub fn insert(&mut self, host: HostId, flow: FlowId, vsn: Option<VsnId>, payload: P) {
-        if let Some((Some(old), _)) = self.flows.insert((host, flow), (vsn, payload)) {
+        let key = pack(host, flow);
+        if let Some((Some(old), _)) = self.flows.insert(key, (vsn, payload)) {
             // Overwrite: drop the old tag's index entry before adding
             // the new one, or a retag would leave the index stale.
-            self.unindex(old, (host, flow));
+            self.unindex(old, key);
         }
         if let Some(v) = vsn {
-            self.by_vsn.entry(v).or_default().insert((host, flow));
+            self.by_vsn.entry(v).or_default().insert(key);
         }
     }
 
     /// Remove one flow (normal completion), returning its payload.
     pub fn remove(&mut self, host: HostId, flow: FlowId) -> Option<P> {
-        let (vsn, payload) = self.flows.remove(&(host, flow))?;
+        let key = pack(host, flow);
+        let (vsn, payload) = self.flows.remove(&key)?;
         if let Some(v) = vsn {
-            self.unindex(v, (host, flow));
+            self.unindex(v, key);
         }
         Some(payload)
     }
@@ -81,18 +102,16 @@ impl<P> InflightTable<P> {
     /// `(HostId, FlowId)` order — the deterministic cancellation order
     /// PR 2 established. O(flows-on-host · log n).
     pub fn drain_host(&mut self, host: HostId) -> Vec<((HostId, FlowId), P)> {
-        let keys: Vec<(HostId, FlowId)> = self
-            .flows
-            .range((host, FlowId(0))..=(host, FlowId(u64::MAX)))
-            .map(|(k, _)| *k)
-            .collect();
+        let lo = pack(host, FlowId(0));
+        let hi = pack(host, FlowId((1 << 32) - 1));
+        let keys: Vec<u64> = self.flows.range(lo..=hi).map(|(k, _)| *k).collect();
         let mut out = Vec::with_capacity(keys.len());
         for k in keys {
             let (vsn, payload) = self.flows.remove(&k).expect("key just enumerated");
             if let Some(v) = vsn {
                 self.unindex(v, k);
             }
-            out.push((k, payload));
+            out.push((unpack(k), payload));
         }
         out
     }
@@ -107,17 +126,17 @@ impl<P> InflightTable<P> {
         let mut out = Vec::with_capacity(keys.len());
         for k in keys {
             let (_, payload) = self.flows.remove(&k).expect("index entry has a flow");
-            out.push((k, payload));
+            out.push((unpack(k), payload));
         }
         out
     }
 
     /// Iterate all flows in ascending `(HostId, FlowId)` order.
-    pub fn iter(&self) -> impl Iterator<Item = (&(HostId, FlowId), &P)> {
-        self.flows.iter().map(|(k, (_, p))| (k, p))
+    pub fn iter(&self) -> impl Iterator<Item = ((HostId, FlowId), &P)> {
+        self.flows.iter().map(|(k, (_, p))| (unpack(*k), p))
     }
 
-    fn unindex(&mut self, vsn: VsnId, key: (HostId, FlowId)) {
+    fn unindex(&mut self, vsn: VsnId, key: u64) {
         if let Some(set) = self.by_vsn.get_mut(&vsn) {
             set.remove(&key);
             if set.is_empty() {
@@ -130,7 +149,7 @@ impl<P> InflightTable<P> {
     /// any divergence. Driven by the differential oracle tests.
     #[doc(hidden)]
     pub fn assert_coherent(&self) {
-        let mut expect: BTreeMap<VsnId, BTreeSet<(HostId, FlowId)>> = BTreeMap::new();
+        let mut expect: BTreeMap<VsnId, BTreeSet<u64>> = BTreeMap::new();
         for (k, (vsn, _)) in &self.flows {
             if let Some(v) = vsn {
                 expect.entry(*v).or_default().insert(*k);

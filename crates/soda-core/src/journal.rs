@@ -695,6 +695,31 @@ pub struct JournalEntry {
     pub next_vsn: u64,
 }
 
+/// Replays a journal tail onto a snapshot: last-writer-wins per
+/// service, counters from the newest entry. `snap.services` stays
+/// sorted by id (the `MasterSnapshot` invariant), so each record lands
+/// by binary search and a tombstone removes at most one slot.
+fn apply_entries(snap: &mut MasterSnapshot, entries: &[JournalEntry]) {
+    for entry in entries {
+        snap.next_service = entry.next_service;
+        snap.next_vsn = entry.next_vsn;
+        if !entry.op.mutates_record() {
+            continue;
+        }
+        match &entry.record {
+            Some(rec) => match snap.services.binary_search_by_key(&entry.service, |s| s.id) {
+                Ok(at) => snap.services[at] = rec.clone(),
+                Err(at) => snap.services.insert(at, rec.clone()),
+            },
+            None => {
+                if let Ok(at) = snap.services.binary_search_by_key(&entry.service, |s| s.id) {
+                    snap.services.remove(at);
+                }
+            }
+        }
+    }
+}
+
 /// Append-only journal with compacted checkpoints.
 #[derive(Clone, Debug)]
 pub struct Journal {
@@ -776,7 +801,11 @@ impl Journal {
         seq
     }
 
-    /// Folds the tail into the checkpoint and truncates.
+    /// Folds the tail into the checkpoint and truncates. The fold is
+    /// in place — compaction cost is O(tail × log services), not
+    /// O(services): cloning the whole checkpoint here made every 64th
+    /// journal append pay for the entire control plane, which summed
+    /// quadratic over a 500k-service creation wave.
     pub fn compact(&mut self) {
         if self.entries.is_empty() {
             return;
@@ -786,7 +815,8 @@ impl Journal {
             .last()
             .map(|e| e.seq)
             .unwrap_or(self.checkpoint_seq);
-        self.checkpoint = self.rebuild();
+        self.checkpoint.epoch = self.epoch;
+        apply_entries(&mut self.checkpoint, &self.entries);
         self.checkpoint_seq = seq;
         self.entries.clear();
         self.checkpoints_taken += 1;
@@ -798,23 +828,7 @@ impl Journal {
     pub fn rebuild(&self) -> MasterSnapshot {
         let mut snap = self.checkpoint.clone();
         snap.epoch = self.epoch;
-        for entry in &self.entries {
-            snap.next_service = entry.next_service;
-            snap.next_vsn = entry.next_vsn;
-            if !entry.op.mutates_record() {
-                continue;
-            }
-            match &entry.record {
-                Some(rec) => match snap.services.iter_mut().find(|s| s.id == entry.service) {
-                    Some(slot) => *slot = rec.clone(),
-                    None => {
-                        let at = snap.services.partition_point(|s| s.id < entry.service);
-                        snap.services.insert(at, rec.clone());
-                    }
-                },
-                None => snap.services.retain(|s| s.id != entry.service),
-            }
-        }
+        apply_entries(&mut snap, &self.entries);
         snap
     }
 

@@ -25,6 +25,7 @@
 
 pub mod agent;
 pub mod api;
+pub mod arena;
 pub mod billing;
 pub mod config;
 pub mod error;
@@ -45,6 +46,7 @@ pub mod world;
 
 pub use agent::SodaAgent;
 pub use api::{CreationReply, CreationRequest, ResizeRequest, TeardownRequest};
+pub use arena::{DenseId, IdMap, RequestTable, SlotHandle, WorldStorageKind};
 pub use config::{ConfigDirective, ServiceConfigFile, ShardId, ShardMap};
 pub use error::SodaError;
 pub use journal::{

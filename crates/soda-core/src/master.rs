@@ -25,7 +25,7 @@ use soda_vmm::vsn::{VsnId, VsnState};
 use crate::api::{CreationReply, NodeInfo};
 use crate::error::SodaError;
 use crate::journal::{MasterSnapshot, ServiceSnapshot};
-use crate::placement::{BestFit, FirstFit, PlacementPolicy, WorstFit};
+use crate::placement::{BestFit, FirstFit, NodePlan, PlacementPolicy, WorstFit};
 use crate::service::{PlacedNode, ServiceId, ServiceRecord, ServiceSpec, ServiceState};
 use crate::switch::ServiceSwitch;
 
@@ -69,9 +69,37 @@ pub struct MigrationOutcome {
     pub checkpoint_bytes: u64,
 }
 
+/// The Master's incremental admission index: a headroom-ordered view of
+/// the roster that persists *between* admissions, so the admission hot
+/// path is O(plan log H) instead of rebuilding an O(H) host snapshot per
+/// service (the dominant cost at 100k hosts × 500k admissions).
+///
+/// `avail[i]` mirrors `daemons[i].report_resources()` — positions are
+/// roster positions, which is exactly the position space
+/// `placement::one_at_a_time` tie-breaks on, so cached placement is
+/// decision-for-decision identical to the uncached path. The index holds
+/// `(instances_of(m), position)` for hosts that still fit ≥ 1 instance.
+///
+/// Coherence contract: the cache is only reused while nothing outside
+/// `admit` has changed any host's availability. Every Master method that
+/// reserves, releases or resizes a slice drops the cache, and the world
+/// drops every Master's cache on host failure/repair and on direct
+/// daemon teardowns ([`SodaMaster::invalidate_admission_index`]). Debug
+/// builds re-verify the full mirror against the live roster on every
+/// cached admission, so the test suite enforces the contract.
+struct AdmissionIndex {
+    /// The inflated machine slice the index was built for.
+    m: ResourceVector,
+    /// `(host id, availability)` mirror of the roster, by position.
+    avail: Vec<(HostId, ResourceVector)>,
+    /// `(whole instances of m, roster position)` for hosts with room.
+    index: std::collections::BTreeSet<(u32, usize)>,
+}
+
 /// The HUP-wide coordinator.
 pub struct SodaMaster {
     inventory: ResourceInventory,
+    admission_index: Option<AdmissionIndex>,
     placement: Box<dyn PlacementPolicy>,
     /// Slow-down inflation applied to `M` at admission (footnote 2;
     /// default 1.5).
@@ -103,6 +131,7 @@ impl SodaMaster {
     pub fn new() -> Self {
         SodaMaster {
             inventory: ResourceInventory::new(),
+            admission_index: None,
             placement: Box::new(WorstFit),
             slowdown_inflation: SlowdownFactors::CONSERVATIVE.cpu,
             services: BTreeMap::new(),
@@ -132,7 +161,16 @@ impl SodaMaster {
 
     /// Replace the placement policy (the placement ablation experiment).
     pub fn set_placement(&mut self, p: Box<dyn PlacementPolicy>) {
+        self.admission_index = None;
         self.placement = p;
+    }
+
+    /// Drop the incremental admission index. Must be called by any code
+    /// that changes a host's availability behind the Master's back (host
+    /// failure/repair, direct daemon teardowns); the next admission
+    /// rebuilds from live daemon reports.
+    pub fn invalidate_admission_index(&mut self) {
+        self.admission_index = None;
     }
 
     /// The placement policy's name.
@@ -184,6 +222,7 @@ impl SodaMaster {
     pub(crate) fn crash_control(&mut self) {
         self.services.clear();
         self.inventory = ResourceInventory::new();
+        self.admission_index = None;
         self.next_service = self.id_base;
         self.next_vsn = self.id_base;
     }
@@ -193,6 +232,7 @@ impl SodaMaster {
     /// Returns how many records were restored.
     pub(crate) fn restore_control(&mut self, snap: &MasterSnapshot) -> usize {
         self.services.clear();
+        self.admission_index = None;
         let mut restored = 0;
         for s in &snap.services {
             if let Some(rec) = s.restore() {
@@ -227,6 +267,17 @@ impl SodaMaster {
     /// the daemon slice it was handed. No-op when `daemons` is the full
     /// fleet, so the monolith path is unaffected.
     pub fn prune_inventory_to(&mut self, daemons: &[SodaDaemon]) {
+        // Fast path: the inventory already covers exactly this roster.
+        // Rosters are contiguous ascending slices of one fleet, so a
+        // matching size plus matching lowest/highest ids means matching
+        // sets; skipping the rebuild keeps the steady-state
+        // per-admission cost O(log H) instead of O(H log H).
+        if self.inventory.len() == daemons.len()
+            && self.inventory.first_host() == daemons.first().map(|d| d.host.id)
+            && self.inventory.last_host() == daemons.last().map(|d| d.host.id)
+        {
+            return;
+        }
         let keep: std::collections::BTreeSet<HostId> = daemons.iter().map(|d| d.host.id).collect();
         self.inventory.retain(|h| keep.contains(&h));
     }
@@ -260,17 +311,17 @@ impl SodaMaster {
                 "instance count n must be positive".into(),
             ));
         }
-        self.collect_resources(daemons, now);
         let m_infl = self.inflated_machine(&spec.machine);
-        let hosts: Vec<(HostId, ResourceVector)> = self
-            .inventory
-            .hosts()
-            .map(|(id, r)| (id, r.available))
-            .collect();
-        let Some(plan) = self.placement.place(spec.instances, &m_infl, &hosts) else {
-            let available = hosts
-                .iter()
-                .fold(ResourceVector::ZERO, |acc, &(_, a)| acc + a);
+        let Some(plan) = self.place_for_admission(spec.instances, &m_infl, daemons, now) else {
+            // Rejection: the cache (if any) was consumed mid-placement,
+            // so drop it and report the availability sum from a fresh
+            // collection — the same numbers the uncached path computes.
+            self.admission_index = None;
+            self.collect_resources(daemons, now);
+            let available = self
+                .inventory
+                .hosts()
+                .fold(ResourceVector::ZERO, |acc, (_, r)| acc + r.available);
             self.obs.record(
                 now,
                 Event::AdmissionDecision {
@@ -320,14 +371,12 @@ impl SodaMaster {
         let mut tickets = Vec::with_capacity(plan.len());
         let mut nodes = Vec::with_capacity(plan.len());
         for node_plan in &plan {
-            let daemon = daemons
-                .iter_mut()
-                .find(|d| d.host.id == node_plan.host)
+            let daemon = soda_hup::daemon::daemon_for_mut(daemons, node_plan.host)
                 .expect("placement only chooses reported hosts");
             let vsn = VsnId(self.next_vsn);
             self.next_vsn += self.id_stride;
             let slice = m_infl * node_plan.instances;
-            let ticket = daemon.begin_priming(
+            let ticket = match daemon.begin_priming(
                 vsn,
                 node_plan.instances,
                 slice,
@@ -336,7 +385,16 @@ impl SodaMaster {
                 spec.app_class,
                 &spec.name,
                 now,
-            )?;
+            ) {
+                Ok(t) => t,
+                Err(e) => {
+                    // Partial priming: earlier nodes of this plan hold
+                    // reservations the cache already accounts for, but
+                    // this node's do not match — rebuild next admission.
+                    self.admission_index = None;
+                    return Err(e.into());
+                }
+            };
             self.obs.span_enter("master", "priming", vsn.0, now);
             nodes.push(PlacedNode {
                 host: node_plan.host,
@@ -359,6 +417,162 @@ impl SodaMaster {
         Ok(AdmissionOutcome { service, tickets })
     }
 
+    /// Place `n` instances of `m_infl` for admission. Headroom policies
+    /// (worst/best-fit) are served from the incremental
+    /// [`AdmissionIndex`]; other policies, unsorted rosters, and rosters
+    /// that disagree with the inventory fall back to the uncached
+    /// collect-and-place path. `None` means the demand cannot be placed.
+    fn place_for_admission(
+        &mut self,
+        n: u32,
+        m_infl: &ResourceVector,
+        daemons: &[SodaDaemon],
+        now: SimTime,
+    ) -> Option<Vec<NodePlan>> {
+        let Some(prefer_most) = self.placement.headroom_preference() else {
+            self.collect_resources(daemons, now);
+            return self.place_uncached(n, m_infl);
+        };
+        if !self.admission_index_reusable(m_infl, daemons)
+            && !self.rebuild_admission_index(m_infl, daemons, now)
+        {
+            return self.place_uncached(n, m_infl);
+        }
+        #[cfg(debug_assertions)]
+        self.assert_admission_index_coherent(daemons);
+        let cache = self
+            .admission_index
+            .as_mut()
+            .expect("reused or rebuilt above");
+        // The one-at-a-time loop from `placement::one_at_a_time`, run
+        // against the persistent index: identical (headroom, position)
+        // keys, identical tie-breaks, identical plans.
+        let mut picks: BTreeMap<usize, u32> = BTreeMap::new();
+        for _ in 0..n {
+            let &(k, i) = if prefer_most {
+                let &(kmax, _) = cache.index.last()?;
+                cache
+                    .index
+                    .range((kmax, 0)..)
+                    .next()
+                    .expect("kmax came from the index")
+            } else {
+                cache.index.first()?
+            };
+            cache.index.remove(&(k, i));
+            cache.avail[i].1 -= *m_infl;
+            *picks.entry(i).or_insert(0) += 1;
+            let k_next = cache.avail[i].1.instances_of(m_infl);
+            if k_next > 0 {
+                cache.index.insert((k_next, i));
+            }
+        }
+        // Ascending-position iteration reproduces `finish`'s plan order.
+        Some(
+            picks
+                .into_iter()
+                .map(|(i, instances)| NodePlan {
+                    host: cache.avail[i].0,
+                    instances,
+                })
+                .collect(),
+        )
+    }
+
+    /// The original admission placement: a fresh host snapshot from the
+    /// (already collected) inventory, handed to the policy.
+    fn place_uncached(&mut self, n: u32, m_infl: &ResourceVector) -> Option<Vec<NodePlan>> {
+        let hosts: Vec<(HostId, ResourceVector)> = self
+            .inventory
+            .hosts()
+            .map(|(id, r)| (id, r.available))
+            .collect();
+        self.placement.place(n, m_infl, &hosts)
+    }
+
+    /// Cheap O(1) test that the cached index still describes `daemons`:
+    /// same machine slice, same roster shape, and an inventory covering
+    /// exactly this roster — so cached and uncached placement would see
+    /// the same host set. Content freshness is the invalidation
+    /// contract's job ([`SodaMaster::invalidate_admission_index`]), not
+    /// this check's.
+    fn admission_index_reusable(&self, m_infl: &ResourceVector, daemons: &[SodaDaemon]) -> bool {
+        self.admission_index.as_ref().is_some_and(|c| {
+            c.m == *m_infl
+                && c.avail.len() == daemons.len()
+                && self.inventory.len() == daemons.len()
+                && c.avail.first().map(|&(h, _)| h) == daemons.first().map(|d| d.host.id)
+                && c.avail.last().map(|&(h, _)| h) == daemons.last().map(|d| d.host.id)
+        })
+    }
+
+    /// Build the admission index from live daemon reports, refreshing
+    /// the inventory on the way (it stays the uncached path's and the
+    /// rejection report's source of truth). Returns `false` — leaving
+    /// the cache empty — when the roster is not in strictly ascending
+    /// host-id order or the inventory covers hosts beyond it; the caller
+    /// then places uncached, honouring those extra reports exactly as
+    /// before.
+    fn rebuild_admission_index(
+        &mut self,
+        m_infl: &ResourceVector,
+        daemons: &[SodaDaemon],
+        now: SimTime,
+    ) -> bool {
+        self.admission_index = None;
+        self.collect_resources(daemons, now);
+        if self.inventory.len() != daemons.len()
+            || !daemons.windows(2).all(|w| w[0].host.id < w[1].host.id)
+        {
+            return false;
+        }
+        let avail: Vec<(HostId, ResourceVector)> = daemons
+            .iter()
+            .map(|d| (d.host.id, d.report_resources()))
+            .collect();
+        let index = avail
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &(_, a))| {
+                let k = a.instances_of(m_infl);
+                (k > 0).then_some((k, i))
+            })
+            .collect();
+        self.admission_index = Some(AdmissionIndex {
+            m: *m_infl,
+            avail,
+            index,
+        });
+        true
+    }
+
+    /// Debug-build coherence check: the cached mirror must equal the
+    /// live roster entry for entry — an availability change that
+    /// bypassed [`SodaMaster::invalidate_admission_index`] trips this on
+    /// the next admission, so the whole debug test suite enforces the
+    /// invalidation contract.
+    #[cfg(debug_assertions)]
+    fn assert_admission_index_coherent(&self, daemons: &[SodaDaemon]) {
+        let c = self.admission_index.as_ref().expect("cache present");
+        assert_eq!(c.avail.len(), daemons.len());
+        for (i, d) in daemons.iter().enumerate() {
+            assert_eq!(c.avail[i].0, d.host.id, "roster misaligned at position {i}");
+            assert_eq!(
+                c.avail[i].1,
+                d.report_resources(),
+                "admission index stale for host {:?} — an availability mutation bypassed \
+                 invalidate_admission_index",
+                d.host.id
+            );
+            let k = c.avail[i].1.instances_of(&c.m);
+            assert_eq!(
+                c.index.contains(&(k, i)),
+                k > 0,
+                "headroom index entry wrong for position {i}"
+            );
+        }
+    }
+
     /// Called when one node's download + bootstrap has completed. When
     /// the last node reports, the Master creates the service switch and
     /// the service goes Running; the returned reply is what the Agent
@@ -376,9 +590,7 @@ impl SodaMaster {
             .get_mut(&service)
             .ok_or(SodaError::UnknownService(service))?;
         let placed = *rec.node(vsn).ok_or(SodaError::UnknownVsn(vsn))?;
-        let daemon = daemons
-            .iter_mut()
-            .find(|d| d.host.id == placed.host)
+        let daemon = soda_hup::daemon::daemon_for_mut(daemons, placed.host)
             .ok_or(SodaError::UnknownVsn(vsn))?;
         daemon.complete_priming(vsn, now)?;
         self.obs.span_exit("master", "priming", vsn.0, now);
@@ -409,9 +621,7 @@ impl SodaMaster {
         let mut infos = Vec::with_capacity(rec.nodes.len());
         let mut backends = Vec::with_capacity(rec.nodes.len());
         for n in &rec.nodes {
-            let resolved = daemons
-                .iter()
-                .find(|d| d.host.id == n.host)
+            let resolved = soda_hup::daemon::daemon_for(daemons, n.host)
                 .and_then(|d| d.vsn(n.vsn))
                 .and_then(|v| v.ip);
             let Some(ip) = resolved else {
@@ -503,6 +713,7 @@ impl SodaMaster {
         service: ServiceId,
         daemons: &mut [SodaDaemon],
     ) -> Result<(), SodaError> {
+        self.admission_index = None;
         let rec = self
             .services
             .get_mut(&service)
@@ -514,7 +725,7 @@ impl SodaMaster {
             });
         }
         for n in rec.nodes.clone() {
-            if let Some(d) = daemons.iter_mut().find(|d| d.host.id == n.host) {
+            if let Some(d) = soda_hup::daemon::daemon_for_mut(daemons, n.host) {
                 let _ = d.teardown_vsn(n.vsn);
             }
         }
@@ -539,6 +750,7 @@ impl SodaMaster {
         daemons: &mut [SodaDaemon],
         now: SimTime,
     ) -> Result<ResizeOutcome, SodaError> {
+        self.admission_index = None;
         if new_instances == 0 {
             return Err(SodaError::BadRequest("n_new must be positive".into()));
         }
@@ -572,7 +784,7 @@ impl SodaMaster {
             for mut n in rec.nodes.clone().into_iter().rev() {
                 if to_shed >= n.capacity {
                     to_shed -= n.capacity;
-                    if let Some(d) = daemons.iter_mut().find(|d| d.host.id == n.host) {
+                    if let Some(d) = soda_hup::daemon::daemon_for_mut(daemons, n.host) {
                         d.teardown_vsn(n.vsn)?;
                     }
                     outcome.removed.push(n.vsn);
@@ -581,7 +793,7 @@ impl SodaMaster {
                 if to_shed > 0 {
                     let new_cap = n.capacity - to_shed;
                     to_shed = 0;
-                    if let Some(d) = daemons.iter_mut().find(|d| d.host.id == n.host) {
+                    if let Some(d) = soda_hup::daemon::daemon_for_mut(daemons, n.host) {
                         d.resize_vsn(n.vsn, new_cap, m_infl * new_cap, now)?;
                     }
                     n.capacity = new_cap;
@@ -632,7 +844,7 @@ impl SodaMaster {
             if to_add == 0 {
                 break;
             }
-            let Some(d) = daemons.iter_mut().find(|d| d.host.id == n.host) else {
+            let Some(d) = soda_hup::daemon::daemon_for_mut(daemons, n.host) else {
                 continue;
             };
             let headroom = d.report_resources().instances_of(&m_infl);
@@ -659,7 +871,7 @@ impl SodaMaster {
                 // Roll back the in-place growth.
                 for &(vsn, _) in &outcome.resized {
                     let n = nodes_snapshot.iter().find(|n| n.vsn == vsn).expect("known");
-                    if let Some(d) = daemons.iter_mut().find(|d| d.host.id == n.host) {
+                    if let Some(d) = soda_hup::daemon::daemon_for_mut(daemons, n.host) {
                         let _ = d.resize_vsn(vsn, n.capacity, m_infl * n.capacity, now);
                     }
                 }
@@ -673,9 +885,7 @@ impl SodaMaster {
             };
             let rec = self.services.get_mut(&service).expect("checked");
             for node_plan in &plan {
-                let daemon = daemons
-                    .iter_mut()
-                    .find(|d| d.host.id == node_plan.host)
+                let daemon = soda_hup::daemon::daemon_for_mut(daemons, node_plan.host)
                     .expect("placement only chooses reported hosts");
                 let vsn = VsnId(self.next_vsn);
                 self.next_vsn += self.id_stride;
@@ -747,9 +957,7 @@ impl SodaMaster {
             .get_mut(&service)
             .ok_or(SodaError::UnknownService(service))?;
         let placed = *rec.node(vsn).ok_or(SodaError::UnknownVsn(vsn))?;
-        let daemon = daemons
-            .iter_mut()
-            .find(|d| d.host.id == placed.host)
+        let daemon = soda_hup::daemon::daemon_for_mut(daemons, placed.host)
             .ok_or(SodaError::UnknownVsn(vsn))?;
         let ip = daemon.complete_priming(vsn, now)?;
         self.obs.span_exit("master", "priming", vsn.0, now);
@@ -778,6 +986,7 @@ impl SodaMaster {
         daemons: &mut [SodaDaemon],
         now: SimTime,
     ) -> Result<MigrationOutcome, SodaError> {
+        self.admission_index = None;
         let rec = self
             .services
             .get(&service)
@@ -800,9 +1009,7 @@ impl SodaMaster {
         let m_infl = self.inflated_machine(&rec.spec.machine);
         let slice = m_infl * placed.capacity;
         let spec = rec.spec.clone();
-        let daemon = daemons
-            .iter_mut()
-            .find(|d| d.host.id == target)
+        let daemon = soda_hup::daemon::daemon_for_mut(daemons, target)
             .ok_or(SodaError::BadRequest(format!("unknown host {target}")))?;
         let new_vsn = VsnId(self.next_vsn);
         self.next_vsn += self.id_stride;
@@ -837,6 +1044,7 @@ impl SodaMaster {
         daemons: &mut [SodaDaemon],
         now: SimTime,
     ) -> Result<(), SodaError> {
+        self.admission_index = None;
         let service = outcome.service;
         let rec = self
             .services
@@ -845,9 +1053,7 @@ impl SodaMaster {
         let old = *rec
             .node(outcome.old_vsn)
             .ok_or(SodaError::UnknownVsn(outcome.old_vsn))?;
-        let target_daemon = daemons
-            .iter_mut()
-            .find(|d| d.host.id == outcome.target)
+        let target_daemon = soda_hup::daemon::daemon_for_mut(daemons, outcome.target)
             .ok_or(SodaError::UnknownVsn(outcome.new_vsn))?;
         let new_ip = target_daemon.complete_priming(outcome.new_vsn, now)?;
         self.obs
@@ -863,7 +1069,7 @@ impl SodaMaster {
             n.vsn = outcome.new_vsn;
             n.host = outcome.target;
         }
-        if let Some(d) = daemons.iter_mut().find(|d| d.host.id == old.host) {
+        if let Some(d) = soda_hup::daemon::daemon_for_mut(daemons, old.host) {
             d.teardown_vsn(outcome.old_vsn)?;
         }
         Ok(())
@@ -907,6 +1113,7 @@ impl SodaMaster {
         daemons: &mut [SodaDaemon],
         now: SimTime,
     ) -> Result<(HostId, PrimingTicket), SodaError> {
+        self.admission_index = None;
         let rec = self
             .services
             .get(&service)
@@ -938,9 +1145,7 @@ impl SodaMaster {
         let target = plan[0].host;
         let new_vsn = VsnId(self.next_vsn);
         self.next_vsn += self.id_stride;
-        let daemon = daemons
-            .iter_mut()
-            .find(|d| d.host.id == target)
+        let daemon = soda_hup::daemon::daemon_for_mut(daemons, target)
             .expect("placement only chooses reported hosts");
         let ticket = daemon.begin_priming(
             new_vsn,
@@ -957,7 +1162,7 @@ impl SodaMaster {
         if let Some(sw) = self.switches.get_mut(&service) {
             sw.remove_backend(vsn);
         }
-        if let Some(d) = daemons.iter_mut().find(|d| d.host.id == dead.host) {
+        if let Some(d) = soda_hup::daemon::daemon_for_mut(daemons, dead.host) {
             if !d.is_failed() {
                 let _ = d.teardown_vsn(vsn);
             }
@@ -1018,6 +1223,7 @@ impl SodaMaster {
         daemons: &mut [SodaDaemon],
         now: SimTime,
     ) -> Result<(HostId, PrimingTicket), SodaError> {
+        self.admission_index = None;
         if capacity == 0 {
             return Err(SodaError::BadRequest("capacity must be positive".into()));
         }
@@ -1077,9 +1283,7 @@ impl SodaMaster {
         let target = plan[0].host;
         let new_vsn = VsnId(self.next_vsn);
         self.next_vsn += self.id_stride;
-        let daemon = daemons
-            .iter_mut()
-            .find(|d| d.host.id == target)
+        let daemon = soda_hup::daemon::daemon_for_mut(daemons, target)
             .expect("placement only chooses reported hosts");
         let ticket = daemon.begin_priming(
             new_vsn,
@@ -1127,6 +1331,7 @@ impl SodaMaster {
         daemons: &mut [SodaDaemon],
         now: SimTime,
     ) -> Option<(u32, Option<CreationReply>)> {
+        self.admission_index = None;
         let rec = self.services.get_mut(&service)?;
         let pos = rec.nodes.iter().position(|n| n.vsn == vsn)?;
         let node = rec.nodes.remove(pos);
@@ -1138,7 +1343,7 @@ impl SodaMaster {
         if let Some(sw) = self.switches.get_mut(&service) {
             sw.remove_backend(vsn);
         }
-        if let Some(d) = daemons.iter_mut().find(|d| d.host.id == node.host) {
+        if let Some(d) = soda_hup::daemon::daemon_for_mut(daemons, node.host) {
             // Close the priming span if the node never booted; teardown
             // releases the slice when the host survives.
             let priming = d

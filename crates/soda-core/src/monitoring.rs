@@ -81,7 +81,7 @@ pub fn snapshot(
     let mut running = 0usize;
     let mut total_served = 0u64;
     for placed in &rec.nodes {
-        let daemon = daemons.iter().find(|d| d.host.id == placed.host)?;
+        let daemon = soda_hup::daemon::daemon_for(daemons, placed.host)?;
         let vsn = daemon.vsn(placed.vsn)?;
         // Traffic figures come from the metrics registry when
         // observability is on (the switch feeds `switch.*` under

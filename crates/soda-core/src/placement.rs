@@ -40,6 +40,17 @@ pub trait PlacementPolicy: Send {
 
     /// Policy name for experiment output.
     fn name(&self) -> &'static str;
+
+    /// For one-instance-at-a-time headroom policies, the direction of
+    /// the headroom preference: `Some(true)` = most headroom first
+    /// (worst-fit), `Some(false)` = least headroom first (best-fit).
+    /// `None` (the default) means the policy is not expressible as a
+    /// headroom scan; the Master then cannot serve it from its
+    /// incremental admission index and falls back to a full
+    /// [`PlacementPolicy::place`] call per admission.
+    fn headroom_preference(&self) -> Option<bool> {
+        None
+    }
 }
 
 fn finish(mut counts: Vec<(HostId, u32)>) -> Vec<NodePlan> {
@@ -204,6 +215,10 @@ impl PlacementPolicy for BestFit {
     fn name(&self) -> &'static str {
         "best-fit"
     }
+
+    fn headroom_preference(&self) -> Option<bool> {
+        Some(false)
+    }
 }
 
 impl PlacementPolicy for WorstFit {
@@ -218,6 +233,10 @@ impl PlacementPolicy for WorstFit {
 
     fn name(&self) -> &'static str {
         "worst-fit"
+    }
+
+    fn headroom_preference(&self) -> Option<bool> {
+        Some(true)
     }
 }
 

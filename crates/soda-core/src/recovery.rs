@@ -554,10 +554,7 @@ fn process_heartbeat(
         if running.contains(&vsn) {
             continue;
         }
-        let crashed = world
-            .daemons
-            .iter()
-            .find(|d| d.host.id == host)
+        let crashed = soda_hup::daemon::daemon_for(&world.daemons, host)
             .and_then(|d| d.vsn(vsn))
             .is_some_and(|v| matches!(v.state(), VsnState::Crashed));
         if !crashed {
@@ -639,14 +636,18 @@ fn host_flapped_up(
         .services_all()
         .flat_map(|r| r.nodes.iter().map(|n| n.vsn))
         .collect();
-    if let Some(d) = world.daemons.iter_mut().find(|d| d.host.id == host) {
+    if let Some(d) = soda_hup::daemon::daemon_for_mut(&mut world.daemons, host) {
         let stale: Vec<VsnId> = d
             .vsns()
             .filter(|v| !referenced.contains(&v.id) && !matches!(v.state(), VsnState::TornDown))
             .map(|v| v.id)
             .collect();
+        let scrubbed = !stale.is_empty();
         for v in stale {
             let _ = d.teardown_vsn(v);
+        }
+        if scrubbed {
+            world.invalidate_admission_indexes();
         }
     }
 }
@@ -691,6 +692,7 @@ fn declare_host_down(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, host: Host
                 .master_of_mut(home)
                 .remove_node(svc, vsn, &mut daemons, now);
             world.daemons = daemons;
+            world.invalidate_admission_indexes();
             if let Some((_, Some(reply))) = removed {
                 world::complete_creation_record(world, now, svc, reply);
             }
@@ -838,11 +840,8 @@ fn attempt_recovery(
     // In-place re-prime: cheapest path when the host itself survived.
     if try_reprime {
         if let (Some(vsn), Some(host)) = (dead, origin) {
-            let host_alive = world
-                .daemons
-                .iter()
-                .find(|d| d.host.id == host)
-                .is_some_and(|d| !d.is_failed());
+            let host_alive =
+                soda_hup::daemon::daemon_for(&world.daemons, host).is_some_and(|d| !d.is_failed());
             if host_alive {
                 if let Ok(timing) = world.daemon_mut(host).begin_repriming(vsn) {
                     if let Some(ep) = world
@@ -919,6 +918,8 @@ fn attempt_recovery(
         spilled = placed.is_ok();
     }
     world.daemons = daemons;
+    // Recovery priming reserved on some cell's host (possibly spilled).
+    world.invalidate_admission_indexes();
     if spilled {
         world.shards.spills += 1;
         world.obs.record(
@@ -947,6 +948,7 @@ fn attempt_recovery(
                     .master_of_mut(shard)
                     .remove_node(svc, vsn, &mut daemons, now);
                 world.daemons = daemons;
+                world.invalidate_admission_indexes();
                 if let Some((_, Some(reply))) = removed {
                     world::complete_creation_record(world, now, svc, reply);
                 }
@@ -1075,6 +1077,7 @@ fn degrade_or_shed(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, shard: Shard
                     .map(|_| ())
             };
             world.daemons = daemons;
+            world.invalidate_admission_indexes();
             if res.is_ok() {
                 world.recovery_of_mut(shard).stats.sheds += 1;
                 world.obs.record(
@@ -1122,10 +1125,7 @@ fn finish_reprime(
     if !live {
         return;
     }
-    let ok = world
-        .daemons
-        .iter_mut()
-        .find(|d| d.host.id == host)
+    let ok = soda_hup::daemon::daemon_for_mut(&mut world.daemons, host)
         .is_some_and(|d| d.complete_priming(vsn, now).is_ok());
     if ok {
         world.master_of_mut(shard).node_recovered(svc, vsn);
@@ -1290,10 +1290,7 @@ pub fn check_invariants(world: &mut SodaWorld) -> u64 {
                 .and_then(|r| r.node(vsn))
                 .map(|n| n.host);
             let alive = host.is_some_and(|h| {
-                world
-                    .daemons
-                    .iter()
-                    .find(|d| d.host.id == h)
+                soda_hup::daemon::daemon_for(&world.daemons, h)
                     .is_some_and(|d| !d.is_failed() && d.vsn(vsn).is_some_and(|v| v.is_running()))
             });
             if alive {

@@ -93,6 +93,11 @@ pub struct ServiceSwitch {
     /// Per-request view of `backends`, maintained in lockstep so
     /// `route()` never rebuilds (or allocates) it.
     views: Vec<BackendView>,
+    /// Sorted `(vsn, index into backends)` pairs: every VSN-keyed
+    /// operation (complete, abort, health/capacity flips) binary-searches
+    /// here instead of scanning `backends` linearly — the difference
+    /// between O(log n) and O(n) per completion once wide services exist.
+    by_vsn: Vec<(VsnId, u32)>,
     /// Sum of `capacity` over healthy backends, maintained incrementally.
     healthy_capacity: u32,
     /// Sum of `outstanding` over all backends, maintained incrementally.
@@ -125,6 +130,7 @@ impl ServiceSwitch {
             policy: Box::new(WeightedRoundRobin::new()),
             backends: Vec::new(),
             views: Vec::new(),
+            by_vsn: Vec::new(),
             healthy_capacity: 0,
             total_outstanding: 0,
             peak_outstanding: 0,
@@ -227,18 +233,32 @@ impl ServiceSwitch {
         self.healthy_capacity += capacity;
         self.backends.push(b);
         self.handles.push(BackendHandles::default());
+        let idx = (self.backends.len() - 1) as u32;
+        let at = self.by_vsn.partition_point(|&(v, _)| v < vsn);
+        self.by_vsn.insert(at, (vsn, idx));
     }
 
     /// Remove a backend node (shrink-resize / teardown). Returns whether
     /// it existed. In-flight requests on the removed backend leave with
     /// it; their later completions/aborts become no-ops.
     pub fn remove_backend(&mut self, vsn: VsnId) -> bool {
-        let Some(pos) = self.backends.iter().position(|b| b.vsn == vsn) else {
+        let Some(pos) = self.index_of(vsn) else {
             return false;
         };
         let b = self.backends.remove(pos);
         self.views.remove(pos);
         self.handles.remove(pos);
+        let at = self
+            .by_vsn
+            .binary_search_by_key(&vsn, |&(v, _)| v)
+            .expect("index_of found it");
+        self.by_vsn.remove(at);
+        // Everything past the removed slot shifted down by one.
+        for e in &mut self.by_vsn {
+            if e.1 as usize > pos {
+                e.1 -= 1;
+            }
+        }
         if b.healthy {
             self.healthy_capacity -= b.capacity;
         }
@@ -252,7 +272,7 @@ impl ServiceSwitch {
     /// config file is updated to match (§3.4: "in either case, the
     /// service configuration file will be updated by the SODA Master").
     pub fn set_capacity(&mut self, vsn: VsnId, capacity: u32) -> bool {
-        let Some(i) = self.backends.iter().position(|b| b.vsn == vsn) else {
+        let Some(i) = self.index_of(vsn) else {
             return false;
         };
         let b = &mut self.backends[i];
@@ -268,7 +288,7 @@ impl ServiceSwitch {
 
     /// Mark a backend up/down (node crash / revival).
     pub fn set_health(&mut self, vsn: VsnId, healthy: bool) -> bool {
-        let Some(i) = self.backends.iter().position(|b| b.vsn == vsn) else {
+        let Some(i) = self.index_of(vsn) else {
             return false;
         };
         let b = &mut self.backends[i];
@@ -353,7 +373,7 @@ impl ServiceSwitch {
     /// observed response time. A no-op when the backend has since left
     /// the rotation (`remove_backend` raced the response).
     pub fn complete(&mut self, vsn: VsnId, response_time: SimDuration, now: SimTime) {
-        let Some(idx) = self.backends.iter().position(|b| b.vsn == vsn) else {
+        let Some(idx) = self.index_of(vsn) else {
             return;
         };
         let b = &mut self.backends[idx];
@@ -417,7 +437,7 @@ impl ServiceSwitch {
     /// in-flight without recording a completion. A no-op when the
     /// backend has since been removed.
     pub fn abort(&mut self, vsn: VsnId, now: SimTime) {
-        let Some(idx) = self.backends.iter().position(|b| b.vsn == vsn) else {
+        let Some(idx) = self.index_of(vsn) else {
             return;
         };
         let b = &mut self.backends[idx];
@@ -463,9 +483,10 @@ impl ServiceSwitch {
         &self.backends
     }
 
-    /// Backend index by VSN.
+    /// Backend index by VSN. O(log n) over the sorted VSN index.
     pub fn index_of(&self, vsn: VsnId) -> Option<usize> {
-        self.backends.iter().position(|b| b.vsn == vsn)
+        let at = self.by_vsn.binary_search_by_key(&vsn, |&(v, _)| v).ok()?;
+        Some(self.by_vsn[at].1 as usize)
     }
 
     /// Requests dropped (no backend available).
@@ -528,6 +549,14 @@ impl ServiceSwitch {
         assert_eq!(self.total_outstanding, outstanding, "outstanding drift");
         let served: u64 = self.backends.iter().map(|b| b.served).sum();
         assert_eq!(self.total_served, served, "served drift");
+        let mut expect: Vec<(VsnId, u32)> = self
+            .backends
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (b.vsn, i as u32))
+            .collect();
+        expect.sort_unstable_by_key(|&(v, _)| v);
+        assert_eq!(self.by_vsn, expect, "by_vsn index drift");
     }
 }
 

@@ -34,6 +34,7 @@ use soda_vmm::vsn::{VsnId, VsnState};
 
 use crate::agent::SodaAgent;
 use crate::api::CreationReply;
+use crate::arena::{DenseId, IdMap, RequestTable, WorldStorageKind};
 use crate::config::ShardId;
 use crate::error::SodaError;
 use crate::inflight::InflightTable;
@@ -72,6 +73,15 @@ struct NodeRuntime {
 /// Identifier of one client request within a world.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RequestId(pub u64);
+
+impl DenseId for RequestId {
+    fn dense(self) -> u64 {
+        self.0
+    }
+    fn from_dense(d: u64) -> Self {
+        RequestId(d)
+    }
+}
 
 /// Callback fired when a request finishes. `None` means the request was
 /// dropped (no healthy backend / node crashed mid-flight) — closed-loop
@@ -242,7 +252,7 @@ pub struct SodaWorld {
     /// One daemon per HUP host.
     pub daemons: Vec<SodaDaemon>,
     /// Per-host NIC links (100 Mbps LAN ports).
-    pub nics: HashMap<HostId, ProcessorSharingLink>,
+    pub nics: IdMap<HostId, ProcessorSharingLink>,
     /// HTTP sizing model.
     pub http: HttpModel,
     /// Syscall interception model (drives the measured slowdown).
@@ -285,7 +295,10 @@ pub struct SodaWorld {
     /// ordinary serial worlds. See
     /// [`SodaWorld::configure_parallel_cell`].
     pub port: CellPort<SodaWorld>,
-    node_runtimes: HashMap<VsnId, NodeRuntime>,
+    /// Which backend (dense arena or ordered-map oracle) the id-keyed
+    /// tables below use. See [`SodaWorld::configure_storage`].
+    storage: WorldStorageKind,
+    node_runtimes: IdMap<VsnId, NodeRuntime>,
     /// In-flight flows, host-major keyed for deterministic iteration:
     /// faults that sever many flows at once must cancel them in a
     /// reproducible order or the event log diverges across runs of the
@@ -295,12 +308,12 @@ pub struct SodaWorld {
     /// Host → position in `daemons`, built once at construction (hosts
     /// never join or leave a world). Keeps the per-request shaper-admit
     /// path O(1) instead of scanning the daemon list.
-    daemon_slots: HashMap<HostId, usize>,
-    ready_nodes: HashMap<ServiceId, usize>,
+    daemon_slots: IdMap<HostId, usize>,
+    ready_nodes: IdMap<ServiceId, usize>,
     next_request: u64,
-    callbacks: HashMap<RequestId, RequestCallback>,
+    callbacks: RequestTable<RequestId, RequestCallback>,
     /// Per-host NIC wakeup generations (stale-event elimination).
-    nic_arms: HashMap<HostId, NicArm>,
+    nic_arms: IdMap<HostId, NicArm>,
     /// Pool of drained-completion scratch buffers. A pool rather than a
     /// single buffer because a completion callback can start new flows
     /// and re-enter `pump_nic` while an outer pump still owns its
@@ -318,18 +331,18 @@ pub struct SodaWorld {
     /// strongest factor and the latest expiry, and an expiry callback
     /// only clears the entry once its stored until-time has passed — so
     /// an earlier window ending cannot cancel a later one's slowdown.
-    host_slow: HashMap<HostId, (f64, SimTime)>,
+    host_slow: IdMap<HostId, (f64, SimTime)>,
     /// Armed one-shot priming failures per host: the next `n` image
     /// downloads completing on the host fail instead of booting.
-    armed_priming_failures: HashMap<HostId, u32>,
+    armed_priming_failures: IdMap<HostId, u32>,
     /// Root trace refs of sampled in-flight requests (entries exist only
     /// while tracing is on and the request was sampled; removed at
     /// delivery or drop, so this never outgrows the in-flight set).
-    request_traces: HashMap<RequestId, TraceRef>,
+    request_traces: RequestTable<RequestId, TraceRef>,
     /// Root trace refs of sampled in-flight service creations.
-    creation_traces: HashMap<ServiceId, TraceRef>,
+    creation_traces: IdMap<ServiceId, TraceRef>,
     /// Open `priming` spans of sampled creations, keyed by node.
-    priming_traces: HashMap<VsnId, TraceRef>,
+    priming_traces: IdMap<VsnId, TraceRef>,
     /// High-water mark of concurrent NIC flows across all hosts. Plain
     /// unconditional bookkeeping: tracked whether or not obs is on, so
     /// the bench trajectory never depends on observability settings.
@@ -353,20 +366,16 @@ impl CellWorld for SodaWorld {
 impl SodaWorld {
     /// A world over the given hosts' daemons, with a 100 Mbps NIC each.
     pub fn new(daemons: Vec<SodaDaemon>) -> Self {
-        let nics = daemons
-            .iter()
-            .map(|d| {
-                (
-                    d.host.id,
-                    ProcessorSharingLink::new(LinkSpec::lan_100mbps()),
-                )
-            })
-            .collect();
-        let daemon_slots = daemons
-            .iter()
-            .enumerate()
-            .map(|(i, d)| (d.host.id, i))
-            .collect();
+        let storage = WorldStorageKind::default();
+        let mut nics = IdMap::new(storage);
+        let mut daemon_slots = IdMap::new(storage);
+        for (i, d) in daemons.iter().enumerate() {
+            nics.insert(
+                d.host.id,
+                ProcessorSharingLink::new(LinkSpec::lan_100mbps()),
+            );
+            daemon_slots.insert(d.host.id, i);
+        }
         let master = SodaMaster::new();
         // The journal's genesis checkpoint is the empty control plane at
         // epoch 1; everything after is appended transitions.
@@ -394,21 +403,22 @@ impl SodaWorld {
             control: ControlPlane::new(),
             shards,
             port: CellPort::default(),
-            node_runtimes: HashMap::new(),
+            storage,
+            node_runtimes: IdMap::new(storage),
             inflight: InflightTable::new(),
             daemon_slots,
-            ready_nodes: HashMap::new(),
+            ready_nodes: IdMap::new(storage),
             next_request: 1,
-            callbacks: HashMap::new(),
-            nic_arms: HashMap::new(),
+            callbacks: RequestTable::new(storage),
+            nic_arms: IdMap::new(storage),
             nic_scratch: Vec::new(),
             stale_wakeup_h: None,
             master_failovers_h: None,
-            host_slow: HashMap::new(),
-            armed_priming_failures: HashMap::new(),
-            request_traces: HashMap::new(),
-            creation_traces: HashMap::new(),
-            priming_traces: HashMap::new(),
+            host_slow: IdMap::new(storage),
+            armed_priming_failures: IdMap::new(storage),
+            request_traces: RequestTable::new(storage),
+            creation_traces: IdMap::new(storage),
+            priming_traces: IdMap::new(storage),
             peak_live_flows: 0,
             open_requests: 0,
             peak_open_requests: 0,
@@ -457,6 +467,33 @@ impl SodaWorld {
         self.live_flows_h = None;
         self.open_requests_h = None;
         obs
+    }
+
+    /// Select the storage backend for the id-keyed hot state. `Arena`
+    /// (the default) is the dense generational slab; `Map` keeps the
+    /// ordered-map oracle the differential gates replay against. Both
+    /// iterate in ascending id order, so the choice can never perturb a
+    /// trajectory — the tier-1 gates hold `Arena` ≡ `Map` bit-identical
+    /// on trajectory and event fingerprints. Callable at any time
+    /// (entries migrate), though benches switch before driving load.
+    pub fn configure_storage(&mut self, kind: WorldStorageKind) {
+        self.storage = kind;
+        self.nics.set_kind(kind);
+        self.node_runtimes.set_kind(kind);
+        self.daemon_slots.set_kind(kind);
+        self.ready_nodes.set_kind(kind);
+        self.callbacks.set_kind(kind);
+        self.nic_arms.set_kind(kind);
+        self.host_slow.set_kind(kind);
+        self.armed_priming_failures.set_kind(kind);
+        self.request_traces.set_kind(kind);
+        self.creation_traces.set_kind(kind);
+        self.priming_traces.set_kind(kind);
+    }
+
+    /// The active storage backend.
+    pub fn storage(&self) -> WorldStorageKind {
+        self.storage
     }
 
     /// Switch the control plane to `kind`, partitioning the host roster
@@ -525,6 +562,15 @@ impl SodaWorld {
         );
         self.master.set_id_lane(cell as u64 + 1, cells as u64);
         self.journal = Journal::new(self.master.snapshot(1), JOURNAL_CHECKPOINT_EVERY);
+        // This cell only ever sees ids on its own lane, so the
+        // VSN/Service-keyed arenas stripe `(id - base) / cells` into
+        // dense slots instead of leaving `cells - 1` of every `cells`
+        // slots forever empty.
+        let stride = cells as u64;
+        self.node_runtimes.set_stride(stride);
+        self.ready_nodes.set_stride(stride);
+        self.creation_traces.set_stride(stride);
+        self.priming_traces.set_stride(stride);
     }
 
     /// Number of placement cells (1 for the monolith).
@@ -585,6 +631,17 @@ impl SodaWorld {
             &mut self.master
         } else {
             &mut self.shards.cells[shard.0 as usize - 1].master
+        }
+    }
+
+    /// Drop every Master's incremental admission index (shard 0 and all
+    /// cells). Called wherever host availability changes without going
+    /// through a Master — host failure/repair, direct daemon teardowns —
+    /// so the next admission on any cell rebuilds from live reports.
+    pub fn invalidate_admission_indexes(&mut self) {
+        self.master.invalidate_admission_index();
+        for cell in &mut self.shards.cells {
+            cell.master.invalidate_admission_index();
         }
     }
 
@@ -806,7 +863,7 @@ impl SodaWorld {
             Some(p) => *p,
             None => return false,
         };
-        let Some(d) = self.daemons.iter().find(|d| d.host.id == placed.host) else {
+        let Some(d) = soda_hup::daemon::daemon_for(&self.daemons, placed.host) else {
             return false;
         };
         let Some(ip) = d.vsn(vsn).and_then(|v| v.ip) else {
@@ -848,7 +905,7 @@ impl SodaWorld {
             .services_all()
             .flat_map(|r| r.nodes.iter().map(|n| n.vsn))
             .collect();
-        self.node_runtimes.retain(|v, _| keep.contains(v));
+        self.node_runtimes.retain(|v, _| keep.contains(&v));
     }
 
     /// CPU service time for one request of `dataset` bytes on `vsn`.
@@ -1316,6 +1373,8 @@ pub fn resize_service_driven(
         .master_for_mut(service)
         .resize(service, new_instances, &mut daemons, now);
     world.daemons = daemons;
+    // A spilled service's slices may sit on other cells' hosts.
+    world.invalidate_admission_indexes();
     let outcome = outcome?;
     world.journal_op(now, JournalOp::Resize, service);
     // Shrinks may have removed nodes the data plane still references.
@@ -1723,6 +1782,7 @@ fn fail_priming(
         .master_for_mut(service)
         .remove_node(service, vsn, &mut daemons, now);
     world.daemons = daemons;
+    world.invalidate_admission_indexes();
     if let Some((capacity, reply)) = removed {
         if let Some(reply) = reply {
             complete_creation_record(world, now, service, reply);
@@ -1739,21 +1799,19 @@ fn fail_priming(
 /// and those requests count as dropped.
 pub fn crash_host(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, host: HostId) {
     let now = ctx.now();
-    match world.daemons.iter_mut().find(|d| d.host.id == host) {
+    match soda_hup::daemon::daemon_for_mut(&mut world.daemons, host) {
         Some(d) if !d.is_failed() => {
             let _ = d.fail_host(now);
         }
         _ => return,
     }
-    // `node_runtimes` is a HashMap: sort so downstream handling of the
-    // dead set can never depend on hash-iteration order.
-    let mut dead: Vec<VsnId> = world
+    world.invalidate_admission_indexes();
+    let dead: Vec<VsnId> = world
         .node_runtimes
         .iter()
         .filter(|(_, rt)| rt.host == host)
-        .map(|(v, _)| *v)
+        .map(|(v, _)| v)
         .collect();
-    dead.sort_unstable();
     for v in &dead {
         world.node_runtimes.remove(v);
     }
@@ -1763,8 +1821,9 @@ pub fn crash_host(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>, host: HostId)
 /// Bring a crashed host back (rebooted, empty). Its capacity is
 /// placeable again; VSNs that died with it stay dead until torn down.
 pub fn repair_host(world: &mut SodaWorld, host: HostId) {
-    if let Some(d) = world.daemons.iter_mut().find(|d| d.host.id == host) {
-        d.host.repair();
+    if let Some(d) = soda_hup::daemon::daemon_for_mut(&mut world.daemons, host) {
+        d.repair_host();
+        world.invalidate_admission_indexes();
     }
 }
 
@@ -1876,6 +1935,7 @@ fn master_takeover(world: &mut SodaWorld, ctx: &mut Ctx<SodaWorld>) {
                 // know — a duplicate or leaked placement. Tear it down.
                 None => {
                     let _ = world.daemon_mut(*host).teardown_vsn(vsn);
+                    world.invalidate_admission_indexes();
                     world.remove_runtime(vsn);
                     drop_inflight_on_vsn(world, ctx, vsn);
                     duplicates += 1;
@@ -2053,6 +2113,7 @@ pub fn failover_node(
         .master_for_mut(service)
         .replace_node(service, vsn, &mut daemons, now);
     world.daemons = daemons;
+    world.invalidate_admission_indexes();
     let (target, ticket) = result?;
     world.journal_op(now, JournalOp::Recovery, service);
     start_download(world, ctx, target, service, &ticket);

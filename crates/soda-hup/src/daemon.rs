@@ -123,6 +123,12 @@ pub struct SodaDaemon {
     model: BootstrapModel,
     vsns: BTreeMap<VsnId, VirtualServiceNode>,
     blueprints: BTreeMap<VsnId, Blueprint>,
+    /// Bumped by every operation that can change what
+    /// [`SodaDaemon::report_resources`] reports (slice reserve, release,
+    /// resize, host failure and repair). The Master's admission index
+    /// compares this against its cached value to resync only the hosts
+    /// that actually changed between admissions.
+    resource_gen: u64,
     obs: Obs,
 }
 
@@ -134,8 +140,15 @@ impl SodaDaemon {
             model: BootstrapModel::new(),
             vsns: BTreeMap::new(),
             blueprints: BTreeMap::new(),
+            resource_gen: 0,
             obs: Obs::disabled(),
         }
+    }
+
+    /// Generation counter of this host's reported availability; changes
+    /// whenever `report_resources` may have changed.
+    pub fn resource_gen(&self) -> u64 {
+        self.resource_gen
     }
 
     /// Attach an observability handle. Propagates to the host's traffic
@@ -161,6 +174,7 @@ impl SodaDaemon {
     /// at once. Returns the ids of the nodes that went down.
     pub fn fail_host(&mut self, now: SimTime) -> Vec<VsnId> {
         self.host.fail();
+        self.resource_gen += 1;
         let mut downed = Vec::new();
         for vsn in self.vsns.values_mut() {
             if vsn.is_running() && vsn.crash().is_ok() {
@@ -175,6 +189,15 @@ impl SodaDaemon {
         self.obs
             .counter_add("daemon", "host_failures", Labels::one("host", host), 1);
         downed
+    }
+
+    /// Repair the host after a failure (power restored, ledger intact).
+    /// Routed through the daemon rather than `host.repair()` directly so
+    /// the availability generation advances — a repaired host's capacity
+    /// reappears to the Master's admission index.
+    pub fn repair_host(&mut self) {
+        self.host.repair();
+        self.resource_gen += 1;
     }
 
     /// Is the host down?
@@ -254,6 +277,7 @@ impl SodaDaemon {
             }));
         }
         let reservation = self.host.ledger.reserve(slice)?;
+        self.resource_gen += 1;
         let ip = match self.host.ip_pool.allocate() {
             Ok(ip) => ip,
             Err(e) => {
@@ -427,6 +451,7 @@ impl SodaDaemon {
         self.host.processes.kill_uid(uid);
         self.host.mem.unregister(uid);
         let _ = self.host.ledger.release(reservation);
+        self.resource_gen += 1;
         if let Some(ip) = ip {
             let _ = self.host.bridge.unmap(ip);
             let _ = self.host.ip_pool.release(ip);
@@ -452,6 +477,7 @@ impl SodaDaemon {
             .get_mut(&vsn_id)
             .ok_or(PrimingError::UnknownVsn(vsn_id))?;
         self.host.ledger.resize(vsn.reservation, new_slice)?;
+        self.resource_gen += 1;
         vsn.capacity = new_capacity_m.max(1);
         self.host.mem.register(vsn.uid, new_slice.mem_mb);
         if let Some(ip) = vsn.ip {
@@ -480,6 +506,29 @@ impl SodaDaemon {
     /// Number of VSNs (any state) on this host.
     pub fn vsn_count(&self) -> usize {
         self.vsns.len()
+    }
+}
+
+/// Locate the daemon managing `host` in a roster.
+///
+/// Rosters are assembled in ascending host-id order at world
+/// construction and never reordered afterwards, so the common case is
+/// one binary search over 100k hosts instead of a linear sweep per
+/// node operation. An `Ok` probe is always a genuine hit (the probe
+/// compared equal); only a miss can be spurious on an out-of-order
+/// roster, so a miss falls back to the sweep.
+pub fn daemon_for(daemons: &[SodaDaemon], host: HostId) -> Option<&SodaDaemon> {
+    match daemons.binary_search_by_key(&host, |d| d.host.id) {
+        Ok(i) => Some(&daemons[i]),
+        Err(_) => daemons.iter().find(|d| d.host.id == host),
+    }
+}
+
+/// [`daemon_for`], mutably.
+pub fn daemon_for_mut(daemons: &mut [SodaDaemon], host: HostId) -> Option<&mut SodaDaemon> {
+    match daemons.binary_search_by_key(&host, |d| d.host.id) {
+        Ok(i) => Some(&mut daemons[i]),
+        Err(_) => daemons.iter_mut().find(|d| d.host.id == host),
     }
 }
 

@@ -70,6 +70,16 @@ impl ResourceInventory {
         self.reports.len()
     }
 
+    /// Lowest reported host id, if any.
+    pub fn first_host(&self) -> Option<HostId> {
+        self.reports.keys().next().copied()
+    }
+
+    /// Highest reported host id, if any.
+    pub fn last_host(&self) -> Option<HostId> {
+        self.reports.keys().next_back().copied()
+    }
+
     /// True iff no host has reported.
     pub fn is_empty(&self) -> bool {
         self.reports.is_empty()

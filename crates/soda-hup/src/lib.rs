@@ -19,6 +19,6 @@ pub mod daemon;
 pub mod host;
 pub mod inventory;
 
-pub use daemon::{PrimingError, PrimingTicket, SodaDaemon};
+pub use daemon::{daemon_for, daemon_for_mut, PrimingError, PrimingTicket, SodaDaemon};
 pub use host::{HostId, HupHost};
 pub use inventory::ResourceInventory;

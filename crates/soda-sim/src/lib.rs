@@ -65,7 +65,10 @@ pub use obs::{
     RegistrySnapshot, Severity, SpanGuard, SpanId, TimedEvent, TraceId, TraceRecord, TraceRef,
     TraceSpan, Tracer,
 };
-pub use par::{run_cells, CellPort, CellWorld, EngineKind, EpochStats, RemoteEvent};
+pub use par::{
+    run_cells, run_cells_with, CellPort, CellWorld, EngineKind, EpochPolicy, EpochStats,
+    RemoteEvent,
+};
 pub use profiler::{ProfileEntry, Profiler};
 pub use queue::{EventQueue, QueueKind};
 pub use retry::BackoffPolicy;

@@ -35,6 +35,22 @@
 //!   collected under, so a promise violation aborts the run loudly
 //!   instead of silently reordering it.
 //!
+//! * **Epoch widths.** [`EpochPolicy::Fixed`] derives one global bound
+//!   per epoch — the straggler's own promise caps everyone, including
+//!   the straggler itself. [`EpochPolicy::Adaptive`] derives a
+//!   *per-cell* bound from the other cells' reports only: cell `j` may
+//!   run to `min over i ≠ j of max(next_i, promise_i) + L`. Under
+//!   skewed load this lets the busy cell drain long quiet stretches of
+//!   the others in one epoch instead of one barrier per send stride
+//!   (see `exp_parallel skew`). Safety is unchanged — any message from
+//!   cell `i` is sent at `s ≥ max(next_i, promise_i)` and lands at
+//!   `s + L ≥ bound_j + L = end_j` for every receiver `j ≠ i` — and so
+//!   is determinism, because the merge order never depends on the
+//!   bounds. The two policies are separately deterministic but not
+//!   bit-identical to each other (epoch boundaries shift which engine
+//!   sequence numbers same-time cross-cell arrivals get), so the
+//!   differential gates compare Serial vs Parallel *within* a policy.
+//!
 //! [`EngineKind::Serial`] drives the *same* epoch loop on the caller
 //! thread; `Parallel(n)` drives it on `n` scoped threads. Serial is the
 //! oracle: the differential gates (tier 1 and CI) require
@@ -78,6 +94,34 @@ impl EngineKind {
         match self {
             EngineKind::Serial => "serial".to_string(),
             EngineKind::Parallel(n) => format!("parallel-{}", (*n).max(1)),
+        }
+    }
+}
+
+/// How the epoch runner derives each epoch's execution bound(s). The
+/// default is the fixed global bound every prior PR shipped; `Adaptive`
+/// widens per cell. Both are deterministic for any thread count, but
+/// they are distinct trajectories — gate Serial against Parallel within
+/// one policy, never across policies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EpochPolicy {
+    /// One global bound per epoch:
+    /// `min over all cells of max(next, promise) + L`.
+    #[default]
+    Fixed,
+    /// Per-cell bounds excluding the cell's own report:
+    /// `end_j = min over i ≠ j of max(next_i, promise_i) + L`. A cell
+    /// whose peers are all quiet (`u64::MAX`) runs straight to the
+    /// horizon in one epoch.
+    Adaptive,
+}
+
+impl EpochPolicy {
+    /// Stable label for bench records and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EpochPolicy::Fixed => "fixed",
+            EpochPolicy::Adaptive => "adaptive",
         }
     }
 }
@@ -219,7 +263,7 @@ pub trait CellWorld: Sized {
 }
 
 /// Aggregate statistics of one epoch-synchronized run.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct EpochStats {
     /// Worker threads the run used.
     pub threads: u32,
@@ -229,6 +273,10 @@ pub struct EpochStats {
     /// An idle-worker measure: at perfect balance it approaches the
     /// merge cost alone.
     pub barrier_wait_secs: f64,
+    /// Barrier wait split by worker (index = worker; cell `k` runs on
+    /// worker `k % threads`). Sums to `barrier_wait_secs`. The skew
+    /// experiment reads this to show *who* is idling.
+    pub barrier_wait_by_worker: Vec<f64>,
     /// Cross-cell events delivered.
     pub remote_msgs: u64,
 }
@@ -241,8 +289,13 @@ const DONE: u64 = u64::MAX;
 /// payload closure is `Send` by construction.
 struct Coord<S> {
     barrier: Barrier,
-    /// Next epoch bound in nanoseconds ([`DONE`] once finished).
+    /// Run-over control word: [`DONE`] once finished, otherwise the
+    /// minimum of this epoch's per-cell bounds (informational).
     epoch_end: AtomicU64,
+    /// Per-cell execution bounds in nanoseconds, written by the leader
+    /// each merge. Under [`EpochPolicy::Fixed`] every slot holds the
+    /// same value; under `Adaptive` they differ.
+    ends: Vec<AtomicU64>,
     /// Outbox drain target: `(from cell, event)` pairs, collected in
     /// nondeterministic thread order and sorted by the leader.
     msgs: Mutex<Vec<(usize, RemoteEvent<S>)>>,
@@ -254,7 +307,8 @@ struct Coord<S> {
     /// First protocol violation or worker panic, if any.
     fail: Mutex<Option<String>>,
     epochs: AtomicU64,
-    barrier_ns: AtomicU64,
+    /// Barrier park time per worker, nanoseconds.
+    barrier_ns: Vec<AtomicU64>,
     delivered: AtomicU64,
 }
 
@@ -272,8 +326,36 @@ struct Coord<S> {
 /// event with `t <= horizon` executes, later events stay queued, and
 /// each clock ends at `horizon`. A cell that calls
 /// `Ctx::request_stop` freezes for the remainder of the run.
+///
+/// Runs under [`EpochPolicy::Fixed`]; [`run_cells_with`] exposes the
+/// policy knob.
 pub fn run_cells<S, R, B, F>(
     kind: EngineKind,
+    lookahead: SimDuration,
+    horizon: SimTime,
+    builders: Vec<B>,
+    finish: F,
+) -> (Vec<R>, EpochStats)
+where
+    S: CellWorld + 'static,
+    R: Send,
+    B: FnOnce(usize) -> Engine<S> + Send,
+    F: Fn(usize, Engine<S>) -> R + Sync,
+{
+    run_cells_with(
+        kind,
+        EpochPolicy::Fixed,
+        lookahead,
+        horizon,
+        builders,
+        finish,
+    )
+}
+
+/// [`run_cells`] with an explicit [`EpochPolicy`].
+pub fn run_cells_with<S, R, B, F>(
+    kind: EngineKind,
+    policy: EpochPolicy,
     lookahead: SimDuration,
     horizon: SimTime,
     builders: Vec<B>,
@@ -296,12 +378,13 @@ where
     let coord = Coord::<S> {
         barrier: Barrier::new(threads),
         epoch_end: AtomicU64::new(0),
+        ends: (0..cells).map(|_| AtomicU64::new(0)).collect(),
         msgs: Mutex::new(Vec::new()),
         reports: Mutex::new(vec![(u64::MAX, u64::MAX); cells]),
         inboxes: Mutex::new((0..cells).map(|_| Vec::new()).collect()),
         fail: Mutex::new(None),
         epochs: AtomicU64::new(0),
-        barrier_ns: AtomicU64::new(0),
+        barrier_ns: (0..threads).map(|_| AtomicU64::new(0)).collect(),
         delivered: AtomicU64::new(0),
     };
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..cells).map(|_| None).collect());
@@ -316,7 +399,7 @@ where
         EngineKind::Serial => {
             let mine = work.pop().expect("one worker");
             worker(
-                0, mine, cells, lookahead, horizon, &coord, &finish, &results,
+                0, mine, cells, policy, lookahead, horizon, &coord, &finish, &results,
             );
         }
         EngineKind::Parallel(_) => {
@@ -329,6 +412,7 @@ where
                             w + 1,
                             mine,
                             cells,
+                            policy,
                             lookahead,
                             horizon,
                             coord,
@@ -339,7 +423,7 @@ where
                 }
                 let mine = work.pop().expect("leader's share");
                 worker(
-                    0, mine, cells, lookahead, horizon, &coord, &finish, &results,
+                    0, mine, cells, policy, lookahead, horizon, &coord, &finish, &results,
                 );
             });
         }
@@ -355,10 +439,16 @@ where
         .enumerate()
         .map(|(k, r)| r.unwrap_or_else(|| panic!("cell {k} produced no result")))
         .collect();
+    let by_worker: Vec<f64> = coord
+        .barrier_ns
+        .iter()
+        .map(|ns| ns.load(Ordering::Relaxed) as f64 / 1e9)
+        .collect();
     let stats = EpochStats {
         threads: threads as u32,
         epochs: coord.epochs.load(Ordering::Relaxed),
-        barrier_wait_secs: coord.barrier_ns.load(Ordering::Relaxed) as f64 / 1e9,
+        barrier_wait_secs: by_worker.iter().sum(),
+        barrier_wait_by_worker: by_worker,
         remote_msgs: coord.delivered.load(Ordering::Relaxed),
     };
     (out, stats)
@@ -388,6 +478,7 @@ fn worker<S, R, B, F>(
     me: usize,
     mine: Vec<(usize, B)>,
     cells: usize,
+    policy: EpochPolicy,
     lookahead: SimDuration,
     horizon: SimTime,
     coord: &Coord<S>,
@@ -429,10 +520,12 @@ fn worker<S, R, B, F>(
         }
     }
 
-    // The bound the previous run phase executed under (0 before the
-    // first): newly collected messages must land at or after it, and
-    // the leader checks exactly that before merging.
-    let mut prev_end = 0u64;
+    // The per-cell bounds the previous run phase executed under (0
+    // before the first): newly collected messages must land at or
+    // after the *receiver's* previous bound, and the leader checks
+    // exactly that before merging. Leader-local — only worker 0 reads
+    // it.
+    let mut prev_ends = vec![0u64; cells];
     let mut delivered_here = 0u64;
     loop {
         // -- report: drain outboxes, publish next-event + promise.
@@ -453,9 +546,9 @@ fn worker<S, R, B, F>(
                 reports[*k] = (next, promise);
             }
         }
-        barrier_wait(coord);
+        barrier_wait(coord, me);
 
-        // -- merge (leader only): deterministic order, next bound.
+        // -- merge (leader only): deterministic order, next bound(s).
         if me == 0 {
             let failed = coord.fail.lock().expect("fail lock").is_some();
             let mut msgs = std::mem::take(&mut *coord.msgs.lock().expect("msgs lock"));
@@ -463,43 +556,78 @@ fn worker<S, R, B, F>(
             // Total, thread-order-independent merge key.
             msgs.sort_by_key(|(from, ev)| (ev.at, *from, ev.seq));
             for (from, ev) in &msgs {
-                if ev.at.as_nanos() < prev_end {
+                if ev.at.as_nanos() < prev_ends[ev.to] {
                     record_fail(
                         coord,
                         format!(
                             "cell {from} message for cell {} at {:?} lands before the \
-                             epoch bound {:?} — promise/lookahead discipline broken",
+                             receiver's epoch bound {:?} — promise/lookahead discipline \
+                             broken",
                             ev.to,
                             ev.at,
-                            SimTime::from_nanos(prev_end)
+                            SimTime::from_nanos(prev_ends[ev.to])
                         ),
                     );
                 }
                 let (next, _) = reports[ev.to];
                 reports[ev.to].0 = next.min(ev.at.as_nanos());
             }
-            // `max(next, promise)`: a cell sends no earlier than its
-            // promise, and cannot send at all without an event to run.
-            let bound = reports
-                .iter()
-                .map(|&(next, promise)| next.max(promise))
-                .min()
-                .unwrap_or(u64::MAX);
             let global_min = reports
                 .iter()
                 .map(|&(next, _)| next)
                 .min()
                 .unwrap_or(u64::MAX);
             let run_failed = failed || coord.fail.lock().expect("fail lock").is_some();
-            let end = if run_failed || global_min > horizon.as_nanos() {
-                DONE
+            if run_failed || global_min > horizon.as_nanos() {
+                coord.epoch_end.store(DONE, Ordering::SeqCst);
             } else {
                 coord.epochs.fetch_add(1, Ordering::Relaxed);
-                bound
-                    .saturating_add(lookahead.as_nanos())
-                    .min(hplus.as_nanos())
-            };
-            coord.epoch_end.store(end, Ordering::SeqCst);
+                // `max(next, promise)`: a cell sends no earlier than
+                // its promise, and cannot send at all without an event
+                // to run.
+                let cap = |bound: u64| {
+                    bound
+                        .saturating_add(lookahead.as_nanos())
+                        .min(hplus.as_nanos())
+                };
+                match policy {
+                    EpochPolicy::Fixed => {
+                        let bound = reports
+                            .iter()
+                            .map(|&(next, promise)| next.max(promise))
+                            .min()
+                            .unwrap_or(u64::MAX);
+                        let end = cap(bound);
+                        for (j, slot) in coord.ends.iter().enumerate() {
+                            slot.store(end, Ordering::SeqCst);
+                            prev_ends[j] = end;
+                        }
+                        coord.epoch_end.store(end, Ordering::SeqCst);
+                    }
+                    EpochPolicy::Adaptive => {
+                        // Cell j's bound comes from its peers only: a
+                        // message into j is sent by some i ≠ j at
+                        // `s ≥ max(next_i, promise_i) ≥ bound_j`, so it
+                        // lands at `s + L ≥ end_j`. j's own report
+                        // never constrains j.
+                        let mut min_end = u64::MAX;
+                        for (j, slot) in coord.ends.iter().enumerate() {
+                            let bound = reports
+                                .iter()
+                                .enumerate()
+                                .filter(|&(i, _)| i != j)
+                                .map(|(_, &(next, promise))| next.max(promise))
+                                .min()
+                                .unwrap_or(u64::MAX);
+                            let end = cap(bound);
+                            slot.store(end, Ordering::SeqCst);
+                            prev_ends[j] = end;
+                            min_end = min_end.min(end);
+                        }
+                        coord.epoch_end.store(min_end, Ordering::SeqCst);
+                    }
+                }
+            }
             if !msgs.is_empty() {
                 coord
                     .delivered
@@ -510,7 +638,7 @@ fn worker<S, R, B, F>(
                 }
             }
         }
-        barrier_wait(coord);
+        barrier_wait(coord, me);
 
         // -- deliver: push merged messages, in merge order, into the
         // owning queues. Also done when the run is over, so terminal
@@ -525,15 +653,14 @@ fn worker<S, R, B, F>(
                 }
             }
         }
-        let end = coord.epoch_end.load(Ordering::SeqCst);
-        if end == DONE {
+        if coord.epoch_end.load(Ordering::SeqCst) == DONE {
             break;
         }
 
-        // -- run: execute the epoch `[.., end)` on every owned cell.
-        prev_end = end;
-        let bound = SimTime::from_nanos(end);
+        // -- run: execute the epoch `[.., ends[k])` on every owned
+        // cell, each under its own bound.
         for (k, e) in &mut engines {
+            let bound = SimTime::from_nanos(coord.ends[*k].load(Ordering::SeqCst));
             if let Err(p) = panic::catch_unwind(AssertUnwindSafe(|| e.run_events_before(bound))) {
                 record_fail(coord, format!("cell {k} panicked: {}", describe_panic(p)));
             }
@@ -554,12 +681,10 @@ fn worker<S, R, B, F>(
     }
 }
 
-fn barrier_wait<S>(coord: &Coord<S>) {
+fn barrier_wait<S>(coord: &Coord<S>, me: usize) {
     let t0 = Instant::now();
     coord.barrier.wait();
-    coord
-        .barrier_ns
-        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    coord.barrier_ns[me].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -650,14 +775,24 @@ mod tests {
         plans: &[Vec<Op>],
         horizon: u64,
     ) -> (Vec<Vec<(u64, u32)>>, EpochStats) {
+        run_plan_with(kind, EpochPolicy::Fixed, plans, horizon)
+    }
+
+    fn run_plan_with(
+        kind: EngineKind,
+        policy: EpochPolicy,
+        plans: &[Vec<Op>],
+        horizon: u64,
+    ) -> (Vec<Vec<(u64, u32)>>, EpochStats) {
         let cells = plans.len();
         let builders: Vec<_> = plans
             .iter()
             .cloned()
             .map(|plan| move |k: usize| build_cell(k, cells, &plan))
             .collect();
-        let (logs, stats) = run_cells(
+        let (logs, stats) = run_cells_with(
             kind,
+            policy,
             L,
             SimTime::from_nanos(horizon),
             builders,
@@ -793,7 +928,7 @@ mod tests {
             L,
             SimTime::from_nanos(5_000),
             builders,
-            |_, mut e: Engine<Toy>| (e.now(), e.events_pending(), e.into_state().log),
+            |_, e: Engine<Toy>| (e.now(), e.events_pending(), e.into_state().log),
         );
         assert_eq!(
             out[0].0,
@@ -867,6 +1002,114 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_parallel_agrees_with_the_adaptive_serial_oracle() {
+        let plans = two_cell_plan();
+        let (serial, sstats) =
+            run_plan_with(EngineKind::Serial, EpochPolicy::Adaptive, &plans, 10_000);
+        for n in [1, 2, 4] {
+            let (par, pstats) = run_plan_with(
+                EngineKind::Parallel(n),
+                EpochPolicy::Adaptive,
+                &plans,
+                10_000,
+            );
+            assert_eq!(
+                par, serial,
+                "Adaptive Parallel({n}) diverged from Adaptive Serial"
+            );
+            assert_eq!(
+                pstats.epochs, sstats.epochs,
+                "epoch schedule is policy-determined"
+            );
+            assert_eq!(pstats.remote_msgs, 3);
+        }
+        // On this plan no same-tick tie depends on epoch boundaries, so
+        // the adaptive trajectory matches the fixed one too.
+        let (fixed, _) = run_plan(EngineKind::Serial, &plans, 10_000);
+        assert_eq!(serial, fixed);
+    }
+
+    #[test]
+    fn adaptive_epochs_collapse_under_skewed_load() {
+        // Heavy cell 0: 100 local events, every 10th sends cross-cell.
+        // Light cell 1: nothing but the arrivals. Fixed bounds advance
+        // one send stride per epoch (heavy's own promise caps the whole
+        // run); adaptive lets the heavy cell drain in one bound because
+        // its only peer is silent.
+        let heavy: Vec<Op> = (1..=100u64)
+            .map(|i| Op {
+                at: i * 1_000,
+                tag: i as u32,
+                send: (i % 10 == 0).then_some((1usize, 500u64)),
+            })
+            .collect();
+        let plans = vec![heavy, Vec::new()];
+        let (fixed, fstats) = run_plan(EngineKind::Serial, &plans, 200_000);
+        let (adaptive, astats) =
+            run_plan_with(EngineKind::Serial, EpochPolicy::Adaptive, &plans, 200_000);
+        assert_eq!(adaptive, fixed, "no same-tick ties: trajectories coincide");
+        assert!(
+            fstats.epochs >= 10,
+            "fixed pays one epoch per send stride, got {}",
+            fstats.epochs
+        );
+        assert!(
+            astats.epochs <= 3,
+            "adaptive drains the skewed plan in a few epochs, got {}",
+            astats.epochs
+        );
+        let (par, pstats) = run_plan_with(
+            EngineKind::Parallel(2),
+            EpochPolicy::Adaptive,
+            &plans,
+            200_000,
+        );
+        assert_eq!(par, adaptive);
+        assert_eq!(pstats.epochs, astats.epochs);
+        assert_eq!(pstats.barrier_wait_by_worker.len(), 2);
+        let total: f64 = pstats.barrier_wait_by_worker.iter().sum();
+        assert!((total - pstats.barrier_wait_secs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_solo_cell_still_drains_in_one_epoch() {
+        let plans = vec![vec![
+            Op {
+                at: 10,
+                tag: 1,
+                send: None,
+            },
+            Op {
+                at: 20,
+                tag: 2,
+                send: None,
+            },
+        ]];
+        let cells = plans.len();
+        let builders: Vec<_> = plans
+            .iter()
+            .cloned()
+            .map(|plan| {
+                move |k: usize| {
+                    let mut e = build_cell(k, cells, &plan);
+                    e.state_mut().port.configure(0, 1, SimDuration::ZERO);
+                    e
+                }
+            })
+            .collect();
+        let (logs, stats) = run_cells_with(
+            EngineKind::Serial,
+            EpochPolicy::Adaptive,
+            SimDuration::ZERO,
+            SimTime::from_nanos(100),
+            builders,
+            |_, e: Engine<Toy>| e.into_state().log,
+        );
+        assert_eq!(logs[0], vec![(10, 1), (20, 2)]);
+        assert_eq!(stats.epochs, 1, "no peers to wait for");
+    }
+
+    #[test]
     fn kind_labels_and_threads() {
         assert_eq!(EngineKind::Serial.threads(), 1);
         assert_eq!(EngineKind::Parallel(0).threads(), 1);
@@ -874,5 +1117,8 @@ mod tests {
         assert_eq!(EngineKind::Serial.label(), "serial");
         assert_eq!(EngineKind::Parallel(4).label(), "parallel-4");
         assert_eq!(EngineKind::default(), EngineKind::Serial);
+        assert_eq!(EpochPolicy::default(), EpochPolicy::Fixed);
+        assert_eq!(EpochPolicy::Fixed.label(), "fixed");
+        assert_eq!(EpochPolicy::Adaptive.label(), "adaptive");
     }
 }

@@ -30,7 +30,10 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut bencher = Bencher { samples: Vec::with_capacity(self.sample_size), per_sample: 0 };
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            per_sample: 0,
+        };
         for _ in 0..self.sample_size {
             f(&mut bencher);
         }
@@ -39,7 +42,10 @@ impl Criterion {
             .iter()
             .copied()
             .fold(f64::INFINITY, f64::min);
-        println!("{id:<44} best {best:>12.1} ns/iter ({} samples)", bencher.samples.len());
+        println!(
+            "{id:<44} best {best:>12.1} ns/iter ({} samples)",
+            bencher.samples.len()
+        );
         self
     }
 }
@@ -69,7 +75,8 @@ impl Bencher {
         for _ in 0..n {
             std::hint::black_box(routine());
         }
-        self.samples.push(start.elapsed().as_nanos() as f64 / n as f64);
+        self.samples
+            .push(start.elapsed().as_nanos() as f64 / n as f64);
     }
 
     pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
@@ -83,7 +90,8 @@ impl Bencher {
         for input in inputs {
             std::hint::black_box(routine(input));
         }
-        self.samples.push(start.elapsed().as_nanos() as f64 / n as f64);
+        self.samples
+            .push(start.elapsed().as_nanos() as f64 / n as f64);
     }
 }
 

@@ -102,26 +102,40 @@ macro_rules! impl_ser_signed {
 impl_ser_signed!(i8, i16, i32, i64, isize);
 
 impl Serialize for f64 {
-    fn to_json_value(&self) -> Value { Value::F64(*self) }
+    fn to_json_value(&self) -> Value {
+        Value::F64(*self)
+    }
 }
 impl Serialize for f32 {
-    fn to_json_value(&self) -> Value { Value::F64(*self as f64) }
+    fn to_json_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
 }
 impl Serialize for bool {
-    fn to_json_value(&self) -> Value { Value::Bool(*self) }
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
 }
 impl Serialize for str {
-    fn to_json_value(&self) -> Value { Value::String(self.to_string()) }
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
 }
 impl Serialize for String {
-    fn to_json_value(&self) -> Value { Value::String(self.clone()) }
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
 }
 impl Serialize for Value {
-    fn to_json_value(&self) -> Value { self.clone() }
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
 }
 
 impl<T: Serialize + ?Sized> Serialize for &T {
-    fn to_json_value(&self) -> Value { (**self).to_json_value() }
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
 }
 
 impl<T: Serialize> Serialize for Option<T> {
@@ -134,7 +148,9 @@ impl<T: Serialize> Serialize for Option<T> {
 }
 
 impl<T: Serialize> Serialize for Vec<T> {
-    fn to_json_value(&self) -> Value { self.as_slice().to_json_value() }
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
 }
 
 impl<T: Serialize> Serialize for [T] {
@@ -144,7 +160,9 @@ impl<T: Serialize> Serialize for [T] {
 }
 
 impl<T: Serialize, const N: usize> Serialize for [T; N] {
-    fn to_json_value(&self) -> Value { self.as_slice().to_json_value() }
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
 }
 
 macro_rules! impl_ser_tuple {
@@ -165,6 +183,10 @@ impl_ser_tuple! {
 
 impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
     fn to_json_value(&self) -> Value {
-        Value::Object(self.iter().map(|(k, v)| (k.to_string(), v.to_json_value())).collect())
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_json_value()))
+                .collect(),
+        )
     }
 }

@@ -31,9 +31,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                 "let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n{pushes}::serde::Value::Object(fields)"
             )
         }
-        Shape::NewtypeStruct => {
-            "::serde::Serialize::to_json_value(&self.0)".to_string()
-        }
+        Shape::NewtypeStruct => "::serde::Serialize::to_json_value(&self.0)".to_string(),
         Shape::UnitEnum(variants) => {
             let mut arms = String::new();
             for v in variants {
@@ -51,7 +49,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
          }}\n",
         name = item.name,
     );
-    out.parse().expect("serde_derive shim generated invalid Rust")
+    out.parse()
+        .expect("serde_derive shim generated invalid Rust")
 }
 
 enum Shape {
@@ -100,20 +99,31 @@ fn parse_item(input: TokenStream) -> Item {
                 // Tuple struct: only the newtype shape is supported.
                 let inner_commas = top_level_commas(g.stream());
                 if inner_commas != 0 {
-                    panic!("serde_derive shim: only newtype tuple structs are supported (`{name}`)");
+                    panic!(
+                        "serde_derive shim: only newtype tuple structs are supported (`{name}`)"
+                    );
                 }
-                return Item { name, shape: Shape::NewtypeStruct };
+                return Item {
+                    name,
+                    shape: Shape::NewtypeStruct,
+                };
             }
             Some(_) => {}
             None => break None,
         }
     };
-    let body = body
-        .unwrap_or_else(|| panic!("serde_derive shim: `{name}` has no body to serialize"));
+    let body =
+        body.unwrap_or_else(|| panic!("serde_derive shim: `{name}` has no body to serialize"));
     if kind == "struct" {
-        Item { name: name.clone(), shape: Shape::NamedStruct(named_fields(body.stream())) }
+        Item {
+            name: name.clone(),
+            shape: Shape::NamedStruct(named_fields(body.stream())),
+        }
     } else {
-        Item { name: name.clone(), shape: Shape::UnitEnum(unit_variants(&name, body.stream())) }
+        Item {
+            name: name.clone(),
+            shape: Shape::UnitEnum(unit_variants(&name, body.stream())),
+        }
     }
 }
 
@@ -142,7 +152,9 @@ fn named_fields(stream: TokenStream) -> Vec<String> {
                     }
                 }
                 Some(TokenTree::Ident(id)) => break Some(id.to_string()),
-                Some(other) => panic!("serde_derive shim: unexpected token {other:?} in struct body"),
+                Some(other) => {
+                    panic!("serde_derive shim: unexpected token {other:?} in struct body")
+                }
                 None => break None,
             }
         };
@@ -180,7 +192,9 @@ fn unit_variants(enum_name: &str, stream: TokenStream) -> Vec<String> {
                 Some(TokenTree::Ident(id)) => break Some(id.to_string()),
                 Some(TokenTree::Punct(p)) if p.as_char() == ',' => continue,
                 Some(other) => {
-                    panic!("serde_derive shim: `{enum_name}` must be a unit-only enum, got {other:?}")
+                    panic!(
+                        "serde_derive shim: `{enum_name}` must be a unit-only enum, got {other:?}"
+                    )
                 }
                 None => break None,
             }

@@ -4,8 +4,8 @@
 //! [`Value`] (`from_str`) — enough for the workspace's JSON reports and
 //! round-trip tests.
 
-pub use serde::Value;
 use serde::Serialize;
+pub use serde::Value;
 use std::fmt::Write as _;
 
 /// JSON rendering/parsing error.
@@ -61,19 +61,31 @@ fn render(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
             }
         }
         Value::String(s) => render_string(s, out),
-        Value::Array(items) => render_seq(items.iter(), items.len(), indent, depth, out, ('[', ']'), |item, d, o| {
-            render(item, indent, d, o)
-        }),
-        Value::Object(fields) => {
-            render_seq(fields.iter(), fields.len(), indent, depth, out, ('{', '}'), |(k, val), d, o| {
+        Value::Array(items) => render_seq(
+            items.iter(),
+            items.len(),
+            indent,
+            depth,
+            out,
+            ('[', ']'),
+            |item, d, o| render(item, indent, d, o),
+        ),
+        Value::Object(fields) => render_seq(
+            fields.iter(),
+            fields.len(),
+            indent,
+            depth,
+            out,
+            ('{', '}'),
+            |(k, val), d, o| {
                 render_string(k, o);
                 o.push(':');
                 if indent.is_some() {
                     o.push(' ');
                 }
                 render(val, indent, d, o);
-            })
-        }
+            },
+        ),
     }
 }
 
@@ -128,7 +140,10 @@ fn render_string(s: &str, out: &mut String) {
 
 /// Parses JSON text into a [`Value`] tree.
 pub fn from_str(s: &str) -> Result<Value> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -187,7 +202,11 @@ impl<'a> Parser<'a> {
             Some(b'[') => self.array(),
             Some(b'{') => self.object(),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            other => Err(Error(format!("unexpected {:?} at byte {}", other.map(|c| c as char), self.pos))),
+            other => Err(Error(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            ))),
         }
     }
 
@@ -215,7 +234,8 @@ impl<'a> Parser<'a> {
                                 .get(self.pos + 1..self.pos + 5)
                                 .ok_or_else(|| Error("truncated \\u escape".into()))?;
                             let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|_| Error("bad \\u escape".into()))?,
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error("bad \\u escape".into()))?,
                                 16,
                             )
                             .map_err(|_| Error("bad \\u escape".into()))?;
@@ -257,11 +277,17 @@ impl<'a> Parser<'a> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
         if float {
-            text.parse::<f64>().map(Value::F64).map_err(|e| Error(format!("bad number `{text}`: {e}")))
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|e| Error(format!("bad number `{text}`: {e}")))
         } else if text.starts_with('-') {
-            text.parse::<i64>().map(Value::I64).map_err(|e| Error(format!("bad number `{text}`: {e}")))
+            text.parse::<i64>()
+                .map(Value::I64)
+                .map_err(|e| Error(format!("bad number `{text}`: {e}")))
         } else {
-            text.parse::<u64>().map(Value::U64).map_err(|e| Error(format!("bad number `{text}`: {e}")))
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|e| Error(format!("bad number `{text}`: {e}")))
         }
     }
 
@@ -284,7 +310,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Array(items));
                 }
-                other => return Err(Error(format!("expected ',' or ']', found {:?}", other.map(|c| c as char)))),
+                other => {
+                    return Err(Error(format!(
+                        "expected ',' or ']', found {:?}",
+                        other.map(|c| c as char)
+                    )))
+                }
             }
         }
     }
@@ -313,7 +344,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Object(fields));
                 }
-                other => return Err(Error(format!("expected ',' or '}}', found {:?}", other.map(|c| c as char)))),
+                other => {
+                    return Err(Error(format!(
+                        "expected ',' or '}}', found {:?}",
+                        other.map(|c| c as char)
+                    )))
+                }
             }
         }
     }
@@ -342,7 +378,10 @@ mod tests {
     #[test]
     fn round_trip_nested_pretty() {
         let v = Value::Object(vec![
-            ("a".into(), Value::Array(vec![Value::U64(1), Value::F64(2.0)])),
+            (
+                "a".into(),
+                Value::Array(vec![Value::U64(1), Value::F64(2.0)]),
+            ),
             ("b".into(), Value::Object(vec![("c".into(), Value::Null)])),
             ("empty".into(), Value::Array(vec![])),
         ]);

@@ -179,6 +179,45 @@ fn sharded_one_cell_replays_the_monolith_at_scale() {
     );
 }
 
+/// The dense-arena data plane's differential gate at utility scale:
+/// `Arena` (the default slab backend for every id-keyed hot table) must
+/// replay the `Map` oracle bit-identically on the 100-host /
+/// 100k-request run — trajectory fingerprint, event-log fingerprint and
+/// event count. Both backends iterate in ascending id order by
+/// construction, so any divergence is a slot-accounting bug, not an
+/// ordering choice.
+#[test]
+fn arena_storage_replays_the_map_oracle_at_scale() {
+    use soda::core::WorldStorageKind;
+
+    let cfg = ScaleConfig {
+        hosts: 100,
+        requests: 100_000,
+        seed: 1303,
+        obs: true,
+        queue: QueueKind::Wheel,
+        storage: WorldStorageKind::Arena,
+        ..ScaleConfig::default()
+    };
+    let arena = scale::run(&cfg);
+    let map = scale::run(&ScaleConfig {
+        storage: WorldStorageKind::Map,
+        ..cfg
+    });
+    assert_eq!(arena.completed + arena.dropped, cfg.requests);
+    assert_eq!(
+        arena.trajectory_fingerprint, map.trajectory_fingerprint,
+        "the arena must walk the map oracle's exact trajectory"
+    );
+    assert_eq!(
+        arena.event_fingerprint, map.event_fingerprint,
+        "and render the map oracle's exact event log"
+    );
+    assert_eq!(arena.events, map.events);
+    assert_eq!(arena.completed, map.completed);
+    assert_eq!(arena.dropped, map.dropped);
+}
+
 #[test]
 fn engine_event_count_is_reproducible() {
     let count = |seed| {

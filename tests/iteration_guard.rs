@@ -22,41 +22,40 @@ use std::path::{Path, PathBuf};
 
 /// Hash-typed fields/bindings already audited: every one is either
 /// looked up by key only, or its only iteration sites are listed in
-/// [`AUDITED_ITERATION_SITES`].
+/// [`AUDITED_ITERATION_SITES`]. The world's id-keyed hot tables moved
+/// off hash maps entirely (see `arena.rs` and
+/// [`world_hot_state_is_arena_backed`]), so only order-insensitive
+/// locals remain.
 const AUDITED_HASH_STATE: &[&str] = &[
-    // world.rs — keyed lookups on the hot paths, never iterated for
-    // events or placement.
-    "nics",
-    "node_runtimes",
-    "daemon_slots",
-    "ready_nodes",
-    "callbacks",
-    "nic_arms",
-    "host_slow",
-    "armed_priming_failures",
-    "request_traces",
-    "creation_traces",
-    "priming_traces",
     // world.rs locals: membership sets / key-value indexes, read only
     // via `contains`/`get`.
-    "keep",
-    "known",
-    // placement.rs proptest local: assertion-only membership set.
+    "keep", "known", // placement.rs proptest local: assertion-only membership set.
     "seen",
 ];
 
 /// Audited iteration-over-hash sites, `(file, line-substring)`. Each is
 /// order-insensitive: pure removal, or the result is sorted before
-/// anything observable happens.
-const AUDITED_ITERATION_SITES: &[(&str, &str)] = &[
-    // Pure removal; the retained map is only ever key-looked-up after.
-    (
-        "world.rs",
-        "self.node_runtimes.retain(|v, _| keep.contains(v))",
-    ),
-    // Dead-VSN sweep: collected from VMM hash state, then explicitly
-    // sorted before the recovery loop observes it.
-    ("world.rs", "dead.sort_unstable()"),
+/// anything observable happens. Currently empty: the arena conversion
+/// removed the last iterated hash state (`node_runtimes` iterates in
+/// ascending id order by construction, so `crash_host` no longer needs
+/// its defensive sort).
+const AUDITED_ITERATION_SITES: &[(&str, &str)] = &[];
+
+/// The world's id-keyed hot tables, every one required to be backed by
+/// the arena containers (`IdMap`/`RequestTable`) whose iteration order
+/// is ascending-id in both backends.
+const ARENA_BACKED_FIELDS: &[&str] = &[
+    "nics: IdMap<",
+    "node_runtimes: IdMap<",
+    "daemon_slots: IdMap<",
+    "ready_nodes: IdMap<",
+    "callbacks: RequestTable<",
+    "nic_arms: IdMap<",
+    "host_slow: IdMap<",
+    "armed_priming_failures: IdMap<",
+    "request_traces: RequestTable<",
+    "creation_traces: IdMap<",
+    "priming_traces: IdMap<",
 ];
 
 fn scanned_sources() -> Vec<(String, String)> {
@@ -209,6 +208,47 @@ fn audited_sites_still_exist() {
         assert!(
             found,
             "stale allow-list entry: {file} no longer contains `{frag}`"
+        );
+    }
+}
+
+/// The arena containers and the in-flight table are the determinism
+/// backbone of the data plane: both must stay hash-free by
+/// construction, not by audit.
+#[test]
+fn arena_modules_are_hash_free() {
+    let sources = scanned_sources();
+    for target in ["arena.rs", "inflight.rs"] {
+        let (_, src) = sources
+            .iter()
+            .find(|(name, _)| name == target)
+            .unwrap_or_else(|| panic!("{target} exists in soda-core"));
+        for (i, line) in src.lines().enumerate() {
+            let code = code_of(line);
+            assert!(
+                !code.contains("HashMap") && !code.contains("HashSet"),
+                "{target}:{}: hash container in an arena module",
+                i + 1
+            );
+        }
+    }
+}
+
+/// The world's id-keyed hot tables must stay on the arena containers.
+/// Demoting one back to a `HashMap` would re-open the hash-order
+/// question this guard exists to close (and silently forfeit the dense
+/// layout the xl scale tier depends on).
+#[test]
+fn world_hot_state_is_arena_backed() {
+    let sources = scanned_sources();
+    let (_, world) = sources
+        .iter()
+        .find(|(name, _)| name == "world.rs")
+        .expect("world.rs exists");
+    for field in ARENA_BACKED_FIELDS {
+        assert!(
+            world.contains(field),
+            "world.rs hot table drifted off the arena: expected `{field}`"
         );
     }
 }
